@@ -1,0 +1,72 @@
+//! Criterion microbenchmarks of the performance-critical substrates:
+//! the co-run solver, the accelerator water-filling, regex scanning, and
+//! GBR training/prediction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use yala_ml::{Dataset, GbrParams, GradientBoostingRegressor};
+use yala_nf::bench::{mem_bench, regex_bench, synthetic_nf1};
+use yala_rxp::l7_default_ruleset;
+use yala_sim::{accel, ExecutionPattern, NicSpec, Simulator};
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    group.sample_size(20);
+    group.bench_function("co_run_4way", |b| {
+        let mut sim = Simulator::new(NicSpec::bluefield2());
+        let workloads = vec![
+            synthetic_nf1(ExecutionPattern::RunToCompletion),
+            mem_bench(1.2e8, 8e6),
+            regex_bench(1e6, 1446.0, 800.0),
+        ];
+        b.iter(|| black_box(sim.co_run(&workloads)));
+    });
+    group.finish();
+}
+
+fn bench_waterfill(c: &mut Criterion) {
+    c.bench_function("accel_waterfill_8users", |b| {
+        let inputs: Vec<accel::AccelInput> = (0..8)
+            .map(|i| accel::AccelInput {
+                queues: 1 + (i % 3) as u32,
+                service_s: 1e-7 * (1 + i) as f64,
+                offered_rps: 1e5 * (1 + i) as f64,
+            })
+            .collect();
+        b.iter(|| black_box(accel::solve(&inputs)));
+    });
+}
+
+fn bench_regex_scan(c: &mut Criterion) {
+    let rules = l7_default_ruleset();
+    let payload: Vec<u8> = (0..1446u32).map(|i| b"qwzjkvyxubnm"[i as usize % 12]).collect();
+    c.bench_function("ruleset_scan_1446B", |b| {
+        b.iter(|| black_box(rules.scan(&payload)));
+    });
+}
+
+fn bench_gbr(c: &mut Criterion) {
+    let mut ds = Dataset::new(10);
+    let mut x = 0.37f64;
+    for i in 0..200 {
+        let mut row = [0.0; 10];
+        for slot in row.iter_mut() {
+            x = (x * 997.0).fract();
+            *slot = x;
+        }
+        ds.push(&row, (i as f64).sin() + row[0]);
+    }
+    let mut group = c.benchmark_group("gbr");
+    group.sample_size(10);
+    group.bench_function("fit_200x10", |b| {
+        b.iter(|| black_box(GradientBoostingRegressor::fit(&ds, &GbrParams::default(), 1)));
+    });
+    let model = GradientBoostingRegressor::fit(&ds, &GbrParams::default(), 1);
+    group.bench_function("predict", |b| {
+        b.iter(|| black_box(model.predict(&[0.5; 10])));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver, bench_waterfill, bench_regex_scan, bench_gbr);
+criterion_main!(benches);

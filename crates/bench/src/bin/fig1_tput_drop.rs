@@ -1,0 +1,49 @@
+//! Figure 1: throughput drop ratios (median / 95%ile / 99%ile) of the nine
+//! Table 2 NFs when co-located with up to three other random NFs.
+
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+use yala_bench::{scaled, write_csv};
+use yala_core::profiler::cached_workload;
+use yala_ml::metrics;
+use yala_nf::NfKind;
+use yala_sim::{NicSpec, Simulator};
+use yala_traffic::TrafficProfile;
+
+fn main() {
+    let mut sim = Simulator::with_noise(NicSpec::bluefield2(), yala_bench::NOISE_SIGMA, 1);
+    let mut rng = StdRng::seed_from_u64(11);
+    let profile = TrafficProfile::default();
+    let n_combos = scaled(25, 92);
+    println!("Figure 1: throughput drop under co-location (profile: 16K flows, 1500B)");
+    println!("{:<16} {:>8} {:>8} {:>8}", "NF", "median%", "95%ile", "99%ile");
+    let mut rows = Vec::new();
+    for target in NfKind::TABLE2_NINE {
+        let tw = cached_workload(target, profile, target as usize as u64);
+        let solo = sim.solo(&tw).throughput_pps;
+        let others: Vec<NfKind> =
+            NfKind::TABLE2_NINE.iter().copied().filter(|k| *k != target).collect();
+        let mut drops = Vec::new();
+        for _ in 0..n_combos {
+            let n = rng.gen_range(1..=3usize);
+            let mut competitors = others.clone();
+            competitors.shuffle(&mut rng);
+            let mut workloads = vec![tw.clone()];
+            for (i, k) in competitors[..n].iter().enumerate() {
+                let mut w = cached_workload(*k, profile, *k as usize as u64);
+                w.name = format!("{}-{i}", w.name);
+                workloads.push(w);
+            }
+            let t = sim.co_run(&workloads).outcomes[0].throughput_pps;
+            drops.push(((solo - t) / solo * 100.0).max(0.0));
+        }
+        let (p50, p95, p99) = (
+            metrics::median(&drops),
+            metrics::percentile(&drops, 95.0),
+            metrics::percentile(&drops, 99.0),
+        );
+        println!("{:<16} {p50:>8.1} {p95:>8.1} {p99:>8.1}", target.name());
+        rows.push(format!("{},{p50:.2},{p95:.2},{p99:.2}", target.name()));
+    }
+    write_csv("fig1_tput_drop", "nf,median,p95,p99", &rows);
+}

@@ -1,0 +1,73 @@
+//! Figure 3: why traffic-agnostic models fail. (a) FlowStats throughput vs
+//! competing CAR across three flow-count profiles; (b) SLOMO's prediction
+//! error on its default training profile vs 100 random profiles, for three
+//! flow-table NFs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use yala_bench::{scaled, write_csv, NOISE_SIGMA};
+use yala_core::profiler::cached_workload;
+use yala_ml::metrics;
+use yala_nf::bench::mem_bench;
+use yala_nf::NfKind;
+use yala_sim::{CounterSample, NicSpec, Simulator};
+use yala_slomo::{default_mem_grid, SlomoModel};
+use yala_traffic::TrafficProfile;
+
+fn main() {
+    let mut sim = Simulator::with_noise(NicSpec::bluefield2(), NOISE_SIGMA, 31);
+    let mut rows = Vec::new();
+
+    println!("Figure 3(a): FlowStats tput (Mpps) vs competing CAR");
+    print!("{:>12}", "CAR Mref/s");
+    for flows in [4_000u32, 8_000, 16_000] {
+        print!(" {:>10}", format!("{}K flows", flows / 1000));
+    }
+    println!();
+    for step in 0..7 {
+        let car = 2.5e7 + step as f64 * 1.4e7;
+        print!("{:>12.0}", car / 1e6);
+        for flows in [4_000u32, 8_000, 16_000] {
+            let w = cached_workload(NfKind::FlowStats, TrafficProfile::new(flows, 1500, 0.0), 5);
+            let t = sim.co_run(&[w, mem_bench(car, 6e6)]).outcomes[0].throughput_pps;
+            print!(" {:>10.3}", t / 1e6);
+            rows.push(format!("a,{car},{flows},{t:.0}"));
+        }
+        println!();
+    }
+
+    println!("\nFigure 3(b): SLOMO error, default profile vs shifted profiles");
+    println!("{:<16} {:>16} {:>16}", "NF", "default med%", "other med%");
+    let n_profiles = scaled(25, 100);
+    for kind in [NfKind::FlowStats, NfKind::FlowClassifier, NfKind::FlowTracker] {
+        let train_profile = TrafficProfile::default();
+        let target = cached_workload(kind, train_profile, kind as usize as u64);
+        let model = SlomoModel::train(&mut sim, &target, &default_mem_grid(), 7);
+        let mut err_default = Vec::new();
+        let mut err_other = Vec::new();
+        let mut rng = StdRng::seed_from_u64(kind as usize as u64);
+        for i in 0..n_profiles {
+            let level = yala_core::profiler::MemLevel::random(&mut rng);
+            let features: CounterSample =
+                yala_core::profiler::bench_counters(&mut sim, level);
+            // Default-profile test point.
+            let t_def = sim
+                .co_run(&[target.clone(), level.bench()])
+                .outcomes[0]
+                .throughput_pps;
+            err_default.push(metrics::ape(t_def, model.predict(&features)));
+            // Shifted profile (random flow count up to 500K).
+            let shifted = TrafficProfile::random(&mut rng, 500_000);
+            let sw = cached_workload(kind, shifted, i as u64);
+            let solo_shifted = sim.solo(&sw).throughput_pps;
+            let t_shift =
+                sim.co_run(&[sw, level.bench()]).outcomes[0].throughput_pps;
+            err_other
+                .push(metrics::ape(t_shift, model.predict_extrapolated(&features, solo_shifted)));
+        }
+        let (d, o) = (metrics::median(&err_default), metrics::median(&err_other));
+        println!("{:<16} {d:>16.1} {o:>16.1}", kind.name());
+        rows.push(format!("b,{},{d:.2},{o:.2}", kind.name()));
+    }
+    write_csv("fig3_traffic_sensitivity", "panel,x1,x2,value", &rows);
+}

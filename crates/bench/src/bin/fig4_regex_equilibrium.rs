@@ -1,0 +1,31 @@
+//! Figure 4: throughput of co-running regex-NF and regex-bench as a
+//! function of regex-bench's request arrival rate, for four MTBRs of
+//! regex-NF. Shows the linear decline to a shared equilibrium (the
+//! round-robin signature behind Eq. 1).
+
+use yala_bench::write_csv;
+use yala_nf::bench::{regex_bench, regex_nf};
+use yala_sim::{NicSpec, Simulator};
+
+fn main() {
+    let mut sim = Simulator::new(NicSpec::bluefield2());
+    println!("Figure 4: regex-NF vs regex-bench equilibrium (64B requests)");
+    let mut rows = Vec::new();
+    for mtbr in [194.0, 220.0, 417.0, 628.0] {
+        println!("-- regex-NF MTBR = {mtbr} matches/MB --");
+        println!("{:>12} {:>14} {:>14}", "arrival Mrps", "regex-NF Mpps", "bench Mpps");
+        for step in 0..11 {
+            let arrival = (step as f64 * 8e6).max(1e5);
+            let nf = regex_nf("regex-nf", 64.0, mtbr);
+            let bench = regex_bench(arrival, 64.0, mtbr);
+            let report = sim.co_run(&[nf, bench]);
+            let (t_nf, t_b) = (
+                report.outcomes[0].throughput_pps / 1e6,
+                report.outcomes[1].throughput_pps / 1e6,
+            );
+            println!("{:>12.1} {t_nf:>14.2} {t_b:>14.2}", arrival / 1e6);
+            rows.push(format!("{mtbr},{arrival},{t_nf:.4},{t_b:.4}"));
+        }
+    }
+    write_csv("fig4_regex_equilibrium", "mtbr,arrival_rps,nf_mpps,bench_mpps", &rows);
+}

@@ -1,0 +1,50 @@
+//! Figure 5: throughput of synthetic pipeline (top) and run-to-completion
+//! (bottom) NFs under a grid of memory (competing CAR) × regex (competing
+//! match rate) contention. Pipelines pin at the slowest stage; RTC NFs
+//! compound both drops.
+
+use yala_bench::write_csv;
+use yala_nf::bench::{mem_bench, regex_bench, synthetic_nf1};
+use yala_sim::{ExecutionPattern, Simulator, NicSpec, WorkloadSpec};
+
+fn run_grid(sim: &mut Simulator, nf: WorkloadSpec, label: &str, rows: &mut Vec<String>) {
+    println!("-- {label} --");
+    print!("{:>12}", "CAR Mref/s");
+    let match_rates = [0.0f64, 520.0, 2_340.0, 2_600.0];
+    for m in match_rates {
+        print!(" {:>10}", format!("{m:.0}Km/s"));
+    }
+    println!();
+    for car_step in 0..9 {
+        let car = 3.0e7 + car_step as f64 * 2.7e7;
+        print!("{:>12.0}", car / 1e6);
+        for &kmatches in &match_rates {
+            let mut workloads = vec![nf.clone(), mem_bench(car, 8e6)];
+            if kmatches > 0.0 {
+                // Competing match rate = bench tput × matches/req; bytes
+                // 1446 at the bench MTBR below yields the target rate.
+                let matches_per_req = 2.0f64;
+                let rate = kmatches * 1e3 / matches_per_req;
+                workloads.push(regex_bench(rate, 1446.0, matches_per_req / 1446.0 * 1e6));
+            }
+            let t = sim.co_run(&workloads).outcomes[0].throughput_pps;
+            print!(" {:>10.0}", t / 1e3);
+            rows.push(format!("{label},{car},{kmatches},{t:.0}"));
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let mut sim = Simulator::new(NicSpec::bluefield2());
+    println!("Figure 5: execution-pattern contention response (Kpps cells)");
+    let mut rows = Vec::new();
+    run_grid(&mut sim, synthetic_nf1(ExecutionPattern::Pipeline), "pipeline", &mut rows);
+    run_grid(
+        &mut sim,
+        synthetic_nf1(ExecutionPattern::RunToCompletion),
+        "run-to-completion",
+        &mut rows,
+    );
+    write_csv("fig5_patterns", "pattern,car,kmatches_per_s,tput_pps", &rows);
+}

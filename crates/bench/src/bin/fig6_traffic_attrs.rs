@@ -1,0 +1,57 @@
+//! Figure 6: FlowStats throughput as a function of traffic attributes.
+//! (a) vs flow count for three competing working-set sizes (the LLC
+//! saturation plateau); (b) normalised throughput vs competing WSS for
+//! several packet sizes (header-only NFs are size-insensitive).
+
+use yala_bench::write_csv;
+use yala_core::profiler::cached_workload;
+use yala_nf::bench::mem_bench;
+use yala_nf::NfKind;
+use yala_sim::{NicSpec, Simulator};
+use yala_traffic::TrafficProfile;
+
+fn main() {
+    let mut sim = Simulator::new(NicSpec::bluefield2());
+    let mut rows = Vec::new();
+    println!("Figure 6(a): FlowStats tput (Mpps) vs flow count, 1500B packets");
+    print!("{:>10}", "flows");
+    for wss_mb in [0.5f64, 5.0, 10.0] {
+        print!(" {:>10}", format!("wss{wss_mb}MB"));
+    }
+    println!();
+    for flows in [1_000u32, 5_000, 10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 70_000] {
+        print!("{flows:>10}");
+        for wss_mb in [0.5f64, 5.0, 10.0] {
+            let w = cached_workload(NfKind::FlowStats, TrafficProfile::new(flows, 1500, 0.0), 3);
+            let t = sim
+                .co_run(&[w, mem_bench(1.2e8, wss_mb * 1e6)])
+                .outcomes[0]
+                .throughput_pps;
+            print!(" {:>10.3}", t / 1e6);
+            rows.push(format!("a,{flows},{wss_mb},{t:.0}"));
+        }
+        println!();
+    }
+    println!("\nFigure 6(b): normalised tput vs competing WSS, 16K flows");
+    print!("{:>10}", "wss MB");
+    let sizes = [64u32, 128, 256, 512, 1024];
+    for s in sizes {
+        print!(" {:>8}", format!("{s}B"));
+    }
+    println!();
+    for wss_mb in [0.5f64, 5.0, 10.0] {
+        print!("{wss_mb:>10}");
+        for s in sizes {
+            let w = cached_workload(NfKind::FlowStats, TrafficProfile::new(16_000, s, 0.0), 3);
+            let solo = sim.solo(&w).throughput_pps;
+            let t = sim
+                .co_run(&[w, mem_bench(1.2e8, wss_mb * 1e6)])
+                .outcomes[0]
+                .throughput_pps;
+            print!(" {:>8.3}", t / solo);
+            rows.push(format!("b,{wss_mb},{s},{:.4}", t / solo));
+        }
+        println!();
+    }
+    write_csv("fig6_traffic_attrs", "panel,x1,x2,value", &rows);
+}

@@ -1,0 +1,101 @@
+//! Figure 7: error-distribution deep dives. (a) FlowMonitor under joint
+//! contention with low vs high regex contention levels (MTBR ≤/> 600);
+//! (b) FlowStats under memory-only contention with low (≤20%) vs high
+//! (>20%) flow-count deviation from training, with and without SLOMO's
+//! sensitivity extrapolation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use yala_bench::{scaled, write_csv, NOISE_SIGMA};
+use yala_core::profiler::{
+    bench_counters, cached_workload, mem_bench_contender, regex_bench_contender, MemLevel,
+};
+use yala_core::{Contender, TrainConfig, YalaModel};
+use yala_ml::metrics;
+use yala_nf::bench::regex_bench;
+use yala_nf::NfKind;
+use yala_sim::{CounterSample, NicSpec, Simulator};
+use yala_slomo::{default_mem_grid, SlomoModel};
+use yala_traffic::TrafficProfile;
+
+fn main() {
+    let mut sim = Simulator::with_noise(NicSpec::bluefield2(), NOISE_SIGMA, 71);
+    let profile = TrafficProfile::default();
+    let n = scaled(20, 60);
+    let mut rows = Vec::new();
+
+    // ---- (a) multi-resource, low vs high regex contention ----
+    let kind = NfKind::FlowMonitor;
+    let target = cached_workload(kind, profile, kind as usize as u64);
+    let slomo = SlomoModel::train(&mut sim, &target, &default_mem_grid(), 5);
+    let yala = YalaModel::train(&mut sim, kind, &TrainConfig::default());
+    let solo = sim.solo(&target).throughput_pps;
+    println!("Figure 7(a): FlowMonitor APE under low/high regex contention");
+    println!("{:<8} {:>12} {:>12}", "range", "Yala med%", "SLOMO med%");
+    let mut rng = StdRng::seed_from_u64(5);
+    for (label, lo, hi) in [("low", 100.0, 600.0), ("high", 600.0, 2_400.0)] {
+        let (mut ey, mut es) = (Vec::new(), Vec::new());
+        for _ in 0..n {
+            let level = MemLevel::random(&mut rng);
+            let mtbr = rng.gen_range(lo..hi);
+            let rate = rng.gen_range(2e5..4e6);
+            let truth = sim
+                .co_run(&[target.clone(), level.bench(), regex_bench(rate, 1446.0, mtbr)])
+                .outcomes[0]
+                .throughput_pps;
+            let feats = bench_counters(&mut sim, level);
+            let rb = regex_bench_contender(&mut sim, rate, 1446.0, mtbr);
+            let contenders: Vec<Contender> =
+                vec![Contender::memory_only("mem-bench", feats), rb.clone()];
+            let agg = CounterSample::aggregate([&feats, &rb.counters]);
+            ey.push(metrics::ape(truth, yala.predict(solo, &profile, &contenders)));
+            es.push(metrics::ape(truth, slomo.predict(&agg)));
+        }
+        println!(
+            "{label:<8} {:>12.1} {:>12.1}",
+            metrics::median(&ey),
+            metrics::median(&es)
+        );
+        rows.push(format!("a,{label},{:.2},{:.2}", metrics::median(&ey), metrics::median(&es)));
+    }
+
+    // ---- (b) memory-only, flow-count deviation ----
+    let kind = NfKind::FlowStats;
+    let target = cached_workload(kind, profile, kind as usize as u64);
+    let slomo = SlomoModel::train(&mut sim, &target, &default_mem_grid(), 5);
+    let yala = YalaModel::train(&mut sim, kind, &TrainConfig::default());
+    println!("\nFigure 7(b): FlowStats APE by flow-count deviation from 16K");
+    println!(
+        "{:<8} {:>10} {:>12} {:>14}",
+        "range", "Yala", "SLOMO", "SLOMO w/o ext"
+    );
+    for (label, lo, hi) in [("low", 12_800u32, 19_200u32), ("high", 20_000, 500_000)] {
+        let (mut ey, mut es, mut esx) = (Vec::new(), Vec::new(), Vec::new());
+        for i in 0..n {
+            let flows = rng.gen_range(lo..=hi);
+            let tprofile = TrafficProfile::new(flows, 1500, 600.0);
+            let level = MemLevel::random(&mut rng);
+            let w = cached_workload(kind, tprofile, i as u64);
+            let solo_t = sim.solo(&w).throughput_pps;
+            let truth = sim.co_run(&[w, level.bench()]).outcomes[0].throughput_pps;
+            let feats = bench_counters(&mut sim, level);
+            let contender = mem_bench_contender(&mut sim, level);
+            ey.push(metrics::ape(truth, yala.predict(solo_t, &tprofile, &[contender])));
+            es.push(metrics::ape(truth, slomo.predict_extrapolated(&feats, solo_t)));
+            esx.push(metrics::ape(truth, slomo.predict(&feats)));
+        }
+        println!(
+            "{label:<8} {:>10.1} {:>12.1} {:>14.1}",
+            metrics::median(&ey),
+            metrics::median(&es),
+            metrics::median(&esx)
+        );
+        rows.push(format!(
+            "b,{label},{:.2},{:.2},{:.2}",
+            metrics::median(&ey),
+            metrics::median(&es),
+            metrics::median(&esx)
+        ));
+    }
+    write_csv("fig7_deep_dive", "panel,range,yala,slomo,slomo_noext", &rows);
+}

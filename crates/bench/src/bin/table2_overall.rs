@@ -1,0 +1,67 @@
+//! Table 2: overall prediction accuracy of SLOMO vs Yala for the nine NFs
+//! under joint multi-resource contention and varying traffic attributes
+//! (each target co-located with up to three random NFs across the nine
+//! evaluation traffic profiles).
+
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+use yala_bench::{accuracy, fmt_row, row_header, scaled, write_csv, Zoo};
+use yala_nf::NfKind;
+use yala_traffic::TrafficProfile;
+
+fn main() {
+    eprintln!("training model zoo (9 NFs x 2 frameworks)...");
+    let mut zoo = Zoo::train(&NfKind::TABLE2_NINE, 2);
+    let mut rng = StdRng::seed_from_u64(77);
+    let profiles = TrafficProfile::evaluation_grid();
+    let combos_per_profile = scaled(2, 10);
+    println!("Table 2: overall accuracy (multi-resource contention + varying traffic)");
+    println!("{}", row_header());
+    let mut rows = Vec::new();
+    let mut all_t = Vec::new();
+    let mut all_s = Vec::new();
+    let mut all_y = Vec::new();
+    for target in NfKind::TABLE2_NINE {
+        let others: Vec<NfKind> =
+            NfKind::TABLE2_NINE.iter().copied().filter(|k| *k != target).collect();
+        let (mut truths, mut slomos, mut yalas) = (Vec::new(), Vec::new(), Vec::new());
+        for &profile in &profiles {
+            for _ in 0..combos_per_profile {
+                let n = rng.gen_range(1..=3usize);
+                let mut cs = others.clone();
+                cs.shuffle(&mut rng);
+                let competitors: Vec<(NfKind, TrafficProfile)> =
+                    cs[..n].iter().map(|&k| (k, profile)).collect();
+                let e = zoo.evaluate(target, profile, &competitors);
+                truths.push(e.truth);
+                slomos.push(e.slomo);
+                yalas.push(e.yala);
+            }
+        }
+        let (s, y) = (accuracy(&truths, &slomos), accuracy(&truths, &yalas));
+        println!("{}", fmt_row(target.name(), s, y));
+        rows.push(format!(
+            "{},{:.2},{:.1},{:.1},{:.2},{:.1},{:.1}",
+            target.name(), s.mape, s.acc5, s.acc10, y.mape, y.acc5, y.acc10
+        ));
+        all_t.extend_from_slice(&truths);
+        all_s.extend_from_slice(&slomos);
+        all_y.extend_from_slice(&yalas);
+    }
+    let (s, y) = (accuracy(&all_t, &all_s), accuracy(&all_t, &all_y));
+    println!("{}", "-".repeat(64));
+    println!("{}", fmt_row("AVERAGE", s, y));
+    println!(
+        "MAPE reduction vs SLOMO: {:.1}%",
+        (1.0 - y.mape / s.mape) * 100.0
+    );
+    rows.push(format!(
+        "average,{:.2},{:.1},{:.1},{:.2},{:.1},{:.1}",
+        s.mape, s.acc5, s.acc10, y.mape, y.acc5, y.acc10
+    ));
+    write_csv(
+        "table2_overall",
+        "nf,slomo_mape,slomo_acc5,slomo_acc10,yala_mape,yala_acc5,yala_acc10",
+        &rows,
+    );
+}

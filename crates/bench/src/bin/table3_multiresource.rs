@@ -1,0 +1,63 @@
+//! Table 3: accuracy under multi-resource contention only (traffic fixed at
+//! the default profile). NIDS and FlowMonitor co-run with mem-bench and
+//! regex-bench at varying contention levels.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use yala_bench::{accuracy, fmt_row, row_header, scaled, write_csv, NOISE_SIGMA};
+use yala_core::profiler::cached_workload;
+use yala_core::{TrainConfig, YalaModel};
+use yala_nf::bench::regex_bench;
+use yala_nf::NfKind;
+use yala_sim::{CounterSample, NicSpec, Simulator};
+use yala_slomo::{default_mem_grid, SlomoModel};
+use yala_traffic::TrafficProfile;
+
+fn main() {
+    let mut sim = Simulator::with_noise(NicSpec::bluefield2(), NOISE_SIGMA, 3);
+    let profile = TrafficProfile::default();
+    let n = scaled(25, 90);
+    println!("Table 3: multi-resource contention only (default traffic profile)");
+    println!("{}", row_header());
+    let mut rows = Vec::new();
+    for kind in [NfKind::Nids, NfKind::FlowMonitor] {
+        let target = cached_workload(kind, profile, kind as usize as u64);
+        let slomo = SlomoModel::train(&mut sim, &target, &default_mem_grid(), 5);
+        let yala = YalaModel::train_fixed(&mut sim, kind, profile, &TrainConfig::default());
+        let solo = sim.solo(&target).throughput_pps;
+        let mut rng = StdRng::seed_from_u64(kind as usize as u64 + 60);
+        let (mut truths, mut spreds, mut ypreds) = (Vec::new(), Vec::new(), Vec::new());
+        for _ in 0..n {
+            let level = yala_core::profiler::MemLevel::random(&mut rng);
+            let rate = rng.gen_range(2e5..4e6);
+            let mtbr = rng.gen_range(300.0..2_500.0);
+            let truth = sim
+                .co_run(&[target.clone(), level.bench(), regex_bench(rate, 1446.0, mtbr)])
+                .outcomes[0]
+                .throughput_pps;
+            let mem_feats = yala_core::profiler::bench_counters(&mut sim, level);
+            let rb = yala_core::profiler::regex_bench_contender(&mut sim, rate, 1446.0, mtbr);
+            let contenders = vec![
+                yala_core::Contender::memory_only("mem-bench", mem_feats),
+                rb.clone(),
+            ];
+            truths.push(truth);
+            // SLOMO sees aggregate counters of both benches (regex-bench's
+            // are nearly zero on the memory side).
+            let agg = CounterSample::aggregate([&mem_feats, &rb.counters]);
+            spreds.push(slomo.predict(&agg));
+            ypreds.push(yala.predict(solo, &profile, &contenders));
+        }
+        let (s, y) = (accuracy(&truths, &spreds), accuracy(&truths, &ypreds));
+        println!("{}", fmt_row(kind.name(), s, y));
+        rows.push(format!(
+            "{},{:.2},{:.1},{:.1},{:.2},{:.1},{:.1}",
+            kind.name(), s.mape, s.acc5, s.acc10, y.mape, y.acc5, y.acc10
+        ));
+    }
+    write_csv(
+        "table3_multiresource",
+        "nf,slomo_mape,slomo_acc5,slomo_acc10,yala_mape,yala_acc5,yala_acc10",
+        &rows,
+    );
+}

@@ -1,0 +1,46 @@
+//! Table 5: accuracy under memory-only contention with dynamic traffic
+//! profiles — the traffic-awareness deep dive. Each traffic-sensitive NF is
+//! co-run with mem-bench across random traffic profiles.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use yala_bench::{accuracy, fmt_row, row_header, scaled, write_csv, Zoo};
+use yala_core::profiler::{bench_counters, mem_bench_contender, MemLevel};
+use yala_nf::NfKind;
+use yala_traffic::TrafficProfile;
+
+fn main() {
+    eprintln!("training model zoo (7 traffic-sensitive NFs)...");
+    let mut zoo = Zoo::train(&NfKind::TRAFFIC_SENSITIVE, 4);
+    let n_profiles = scaled(25, 100);
+    println!("Table 5: memory-only contention + dynamic traffic profiles");
+    println!("{}", row_header());
+    let mut rows = Vec::new();
+    for kind in NfKind::TRAFFIC_SENSITIVE {
+        let mut rng = StdRng::seed_from_u64(kind as usize as u64 + 40);
+        let (mut truths, mut spreds, mut ypreds) = (Vec::new(), Vec::new(), Vec::new());
+        for _ in 0..n_profiles {
+            let profile = TrafficProfile::random(&mut rng, 500_000);
+            let level = MemLevel::random(&mut rng);
+            let (w, _, solo) = zoo.solo(kind, profile);
+            let truth =
+                zoo.sim.co_run(&[w, level.bench()]).outcomes[0].throughput_pps;
+            let feats = bench_counters(&mut zoo.sim, level);
+            let contender = mem_bench_contender(&mut zoo.sim, level);
+            truths.push(truth);
+            spreds.push(zoo.slomo(kind).predict_extrapolated(&feats, solo));
+            ypreds.push(zoo.yala(kind).predict(solo, &profile, &[contender]));
+        }
+        let (s, y) = (accuracy(&truths, &spreds), accuracy(&truths, &ypreds));
+        println!("{}", fmt_row(kind.name(), s, y));
+        rows.push(format!(
+            "{},{:.2},{:.1},{:.1},{:.2},{:.1},{:.1}",
+            kind.name(), s.mape, s.acc5, s.acc10, y.mape, y.acc5, y.acc10
+        ));
+    }
+    write_csv(
+        "table5_traffic",
+        "nf,slomo_mape,slomo_acc5,slomo_acc10,yala_mape,yala_acc5,yala_acc10",
+        &rows,
+    );
+}

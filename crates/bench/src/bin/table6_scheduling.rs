@@ -1,0 +1,85 @@
+//! Table 6: contention-aware scheduling. Random sequences of NF arrivals
+//! (default traffic, SLAs of 5–20% allowed drop) are placed with four
+//! strategies; we report resource wastage vs the oracle plan and
+//! ground-truth SLA violations.
+
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+use yala_bench::{scaled, write_csv, Zoo};
+use yala_nf::NfKind;
+use yala_placement::{
+    place_sequence, prepare, Arrival, OraclePredictor, Placed, SlomoPredictor, Strategy,
+    YalaPredictor,
+};
+use yala_sim::NicSpec;
+use yala_traffic::TrafficProfile;
+
+fn main() {
+    eprintln!("training model zoo for scheduling...");
+    let mut zoo = Zoo::train(&NfKind::TABLE2_NINE, 6);
+    let n_sequences = scaled(5, 100);
+    let n_arrivals = scaled(60, 500);
+    let mut rng = StdRng::seed_from_u64(123);
+
+    let mut totals: Vec<(&str, f64, f64)> = Vec::new(); // (strategy, wastage, violations)
+    let mut acc: Vec<(f64, f64)> = vec![(0.0, 0.0); 4];
+    for seq in 0..n_sequences {
+        // Build one arrival sequence.
+        let arrivals: Vec<Placed> = (0..n_arrivals)
+            .map(|i| {
+                let kind = *NfKind::TABLE2_NINE.choose(&mut rng).expect("nonempty");
+                let arrival = Arrival {
+                    kind,
+                    traffic: TrafficProfile::default(),
+                    sla_drop: rng.gen_range(0.05..0.20),
+                };
+                prepare(&mut zoo.sim, arrival, (seq * n_arrivals + i) as u64)
+            })
+            .collect();
+        // Oracle reference plan.
+        let mut oracle = OraclePredictor::new(NicSpec::bluefield2());
+        let reference =
+            place_sequence(&mut zoo.sim, &arrivals, Strategy::ContentionAware(&mut oracle));
+        let ref_nics = reference.nics.len();
+
+        let mono = place_sequence(&mut zoo.sim, &arrivals, Strategy::Monopolization);
+        let greedy = place_sequence(&mut zoo.sim, &arrivals, Strategy::Greedy);
+        // Predictors borrow the zoo's models immutably, so give the
+        // placement run its own ground-truth simulator.
+        let mut gt_sim = yala_sim::Simulator::with_noise(
+            NicSpec::bluefield2(),
+            yala_bench::NOISE_SIGMA,
+            seq as u64 + 900,
+        );
+        let mut slomo_pred = SlomoPredictor::new(zoo.slomo_models());
+        let slomo =
+            place_sequence(&mut gt_sim, &arrivals, Strategy::ContentionAware(&mut slomo_pred));
+        let mut yala_pred = YalaPredictor::new(zoo.yala_models());
+        let yala =
+            place_sequence(&mut gt_sim, &arrivals, Strategy::ContentionAware(&mut yala_pred));
+        for (i, out) in [&mono, &greedy, &slomo, &yala].iter().enumerate() {
+            acc[i].0 += out.wastage_vs(ref_nics) * 100.0;
+            acc[i].1 += out.violation_rate() * 100.0;
+        }
+        eprintln!(
+            "  seq {seq}: oracle {} NICs; yala {} NICs / {:.1}% viol; slomo {} / {:.1}%",
+            ref_nics,
+            yala.nics.len(),
+            yala.violation_rate() * 100.0,
+            slomo.nics.len(),
+            slomo.violation_rate() * 100.0
+        );
+    }
+    let names = ["Monopolization", "Greedy", "SLOMO", "Yala"];
+    println!("Table 6: scheduling over {n_sequences} sequences x {n_arrivals} arrivals");
+    println!("{:<16} {:>14} {:>16}", "Approach", "Wastage (%)", "SLA Viol. (%)");
+    let mut rows = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let w = acc[i].0 / n_sequences as f64;
+        let v = acc[i].1 / n_sequences as f64;
+        println!("{name:<16} {w:>14.1} {v:>16.1}");
+        rows.push(format!("{name},{w:.2},{v:.2}"));
+        totals.push((name, w, v));
+    }
+    write_csv("table6_scheduling", "strategy,wastage_pct,violations_pct", &rows);
+}

@@ -1,0 +1,54 @@
+//! Table 7: bottleneck-diagnosis correctness. FlowStats, FlowMonitor and
+//! IPComp Gateway run under fixed memory + regex contention while the
+//! target MTBR sweeps 0→1100 matches/MB; the bottleneck may shift across
+//! resources. Ground truth is the simulator's per-resource accounting
+//! (standing in for perf hotspot analysis).
+
+use yala_bench::{scaled, write_csv, NOISE_SIGMA};
+use yala_core::profiler::{cached_workload, mem_bench_contender, regex_bench_contender, MemLevel};
+use yala_core::{TrainConfig, YalaModel};
+use yala_diagnosis::{correctness, diagnose_slomo, diagnose_yala};
+use yala_nf::bench::regex_bench;
+use yala_nf::NfKind;
+use yala_sim::{NicSpec, ResourceKind, Simulator};
+use yala_traffic::TrafficProfile;
+
+fn main() {
+    let mut sim = Simulator::with_noise(NicSpec::bluefield2(), NOISE_SIGMA, 8);
+    let steps = scaled(8, 23);
+    println!("Table 7: bottleneck identification correctness (%)");
+    println!("{:<16} {:>8} {:>8}", "NF", "SLOMO", "Yala");
+    let mut rows = Vec::new();
+    let cfg = TrainConfig::default();
+    let mem_level = MemLevel { car: 1.0e8, wss: 5e6, cycles: 60.0 };
+    for kind in [NfKind::FlowStats, NfKind::FlowMonitor, NfKind::IpCompGateway] {
+        let model = YalaModel::train(&mut sim, kind, &cfg);
+        let (mut yala_v, mut slomo_v, mut truth_v) = (Vec::new(), Vec::new(), Vec::new());
+        for i in 0..steps {
+            let mtbr = i as f64 * 1_100.0 / (steps - 1) as f64;
+            let traffic = TrafficProfile::new(16_000, 1500, mtbr);
+            let target = cached_workload(kind, traffic, kind as usize as u64);
+            let solo = sim.solo(&target).throughput_pps;
+            // Fixed contention: moderate memory + heavy regex bench.
+            let rbench = regex_bench(1e12, 1446.0, 6_000.0);
+            let truth = sim
+                .co_run(&[target.clone(), mem_level.bench(), rbench])
+                .outcomes[0]
+                .bottleneck;
+            let contenders = vec![
+                mem_bench_contender(&mut sim, mem_level),
+                regex_bench_contender(&mut sim, 1e12, 1446.0, 6_000.0),
+            ];
+            truth_v.push(truth);
+            yala_v.push(diagnose_yala(&model, solo, &traffic, &contenders).bottleneck);
+            slomo_v.push(diagnose_slomo(solo).bottleneck);
+        }
+        let yc = correctness(&yala_v, &truth_v);
+        let sc = correctness(&slomo_v, &truth_v);
+        let shifts = truth_v.windows(2).filter(|w| w[0] != w[1]).count();
+        println!("{:<16} {sc:>8.1} {yc:>8.1}   (bottleneck shifts: {shifts})", kind.name());
+        rows.push(format!("{},{sc:.1},{yc:.1},{shifts}", kind.name()));
+        let _ = ResourceKind::CpuMem;
+    }
+    write_csv("table7_diagnosis", "nf,slomo_correct,yala_correct,shifts", &rows);
+}

@@ -1,0 +1,103 @@
+//! Table 8 + Figure 8: profiling cost vs model accuracy for full, random,
+//! and adaptive profiling. For Fig. 8 the quota scales 0.5×/1×/1.5× on
+//! FlowClassifier; full profiling uses a dense grid (scaled down from the
+//! paper's 3200× so it terminates, but still ~20× the adaptive quota).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use yala_bench::{scaled, write_csv, NOISE_SIGMA};
+use yala_core::adaptive::{adaptive_profile, full_profile, random_profile, AdaptiveConfig, TrafficRanges};
+use yala_core::memory_model::MemoryModel;
+use yala_core::profiler::{bench_counters, cached_workload, MemLevel};
+use yala_core::TrainConfig;
+use yala_ml::metrics;
+use yala_nf::NfKind;
+use yala_sim::{NicSpec, Simulator};
+use yala_traffic::TrafficProfile;
+
+/// Test MAPE of a memory model over random (profile, level) scenarios.
+fn test_model(
+    sim: &mut Simulator,
+    kind: NfKind,
+    model: &MemoryModel,
+    n: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut truths, mut preds) = (Vec::new(), Vec::new());
+    for i in 0..n {
+        let profile = TrafficProfile::random(&mut rng, 500_000);
+        let level = MemLevel::random(&mut rng);
+        let w = cached_workload(kind, profile, i as u64 % 3);
+        let truth = sim.co_run(&[w, level.bench()]).outcomes[0].throughput_pps;
+        let feats = bench_counters(sim, level);
+        truths.push(truth);
+        preds.push(model.predict(&feats, Some(&profile)));
+    }
+    (metrics::mape(&truths, &preds), metrics::bounded_accuracy(&truths, &preds, 10.0))
+}
+
+fn main() {
+    let mut sim = Simulator::with_noise(NicSpec::bluefield2(), NOISE_SIGMA, 9);
+    let ranges = TrafficRanges::default();
+    let gbr = TrainConfig::default().gbr;
+    let n_test = scaled(20, 50);
+    let quota = AdaptiveConfig::default().quota;
+
+    println!("Table 8: profiling cost vs accuracy (MAPE% / ±10% Acc)");
+    println!(
+        "{:<16} {:>7} | {:>14} {:>14} {:>14}",
+        "NF", "quota", "full(~20x)", "random(1x)", "adaptive(1x)"
+    );
+    let mut rows = Vec::new();
+    let kinds = [
+        NfKind::FlowClassifier,
+        NfKind::Nat,
+        NfKind::FlowTracker,
+        NfKind::FlowMonitor,
+        NfKind::FlowStats,
+        NfKind::IpTunnel,
+    ];
+    let kinds: &[NfKind] = if yala_bench::full_scale() { &kinds } else { &kinds[..3] };
+    for &kind in kinds {
+        let full = full_profile(&mut sim, kind, ranges, [6, 4, 4], scaled(20, 40), 1);
+        let full_model = MemoryModel::fit(&full.dataset, &gbr, 1);
+        let rand_run = random_profile(&mut sim, kind, ranges, quota, 2);
+        let rand_model = MemoryModel::fit(&rand_run.dataset, &gbr, 1);
+        let adaptive =
+            adaptive_profile(&mut sim, kind, ranges, &AdaptiveConfig::default());
+        let adp_model = MemoryModel::fit(&adaptive.dataset, &gbr, 1);
+        let f = test_model(&mut sim, kind, &full_model, n_test, 100);
+        let r = test_model(&mut sim, kind, &rand_model, n_test, 100);
+        let a = test_model(&mut sim, kind, &adp_model, n_test, 100);
+        println!(
+            "{:<16} {:>7} | {:>6.1}/{:<6.1} {:>6.1}/{:<6.1} {:>6.1}/{:<6.1}",
+            kind.name(), quota, f.0, f.1, r.0, r.1, a.0, a.1
+        );
+        rows.push(format!(
+            "{},{},{:.2},{:.1},{:.2},{:.1},{:.2},{:.1}",
+            kind.name(), full.measurements, f.0, f.1, r.0, r.1, a.0, a.1
+        ));
+    }
+
+    // Figure 8: quota sensitivity on FlowClassifier.
+    println!("\nFigure 8: FlowClassifier MAPE vs profiling quota");
+    println!("{:>8} {:>10} {:>10}", "quota", "random", "adaptive");
+    for factor in [0.5f64, 1.0, 1.5] {
+        let q = (quota as f64 * factor) as usize;
+        let r = random_profile(&mut sim, NfKind::FlowClassifier, ranges, q, 3);
+        let rm = MemoryModel::fit(&r.dataset, &gbr, 1);
+        let cfg = AdaptiveConfig { quota: q, ..AdaptiveConfig::default() };
+        let a = adaptive_profile(&mut sim, NfKind::FlowClassifier, ranges, &cfg);
+        let am = MemoryModel::fit(&a.dataset, &gbr, 1);
+        let (rmape, _) = test_model(&mut sim, NfKind::FlowClassifier, &rm, n_test, 200);
+        let (amape, _) = test_model(&mut sim, NfKind::FlowClassifier, &am, n_test, 200);
+        println!("{q:>8} {rmape:>10.1} {amape:>10.1}");
+        rows.push(format!("fig8,{q},{rmape:.2},{amape:.2}"));
+    }
+    write_csv(
+        "table8_profiling",
+        "nf,full_cost,full_mape,full_acc10,rand_mape,rand_acc10,adp_mape,adp_acc10",
+        &rows,
+    );
+}

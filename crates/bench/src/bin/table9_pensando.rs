@@ -1,0 +1,50 @@
+//! Table 9: generalisation to another SoC SmartNIC. The Firewall NF runs on
+//! the AMD Pensando preset under memory-only contention with dynamic
+//! traffic; SLOMO (fixed-profile + extrapolation) vs Yala (traffic-aware).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use yala_bench::{accuracy, fmt_row, row_header, scaled, write_csv, NOISE_SIGMA};
+use yala_core::profiler::{bench_counters, cached_workload, mem_bench_contender, MemLevel};
+use yala_core::{TrainConfig, YalaModel};
+use yala_nf::NfKind;
+use yala_sim::{NicSpec, Simulator};
+use yala_slomo::{default_mem_grid, SlomoModel};
+use yala_traffic::TrafficProfile;
+
+fn main() {
+    let mut sim = Simulator::with_noise(NicSpec::pensando(), NOISE_SIGMA, 12);
+    let kind = NfKind::Firewall;
+    eprintln!("training on Pensando...");
+    let target = cached_workload(kind, TrafficProfile::default(), kind as usize as u64);
+    let slomo = SlomoModel::train(&mut sim, &target, &default_mem_grid(), 5);
+    let yala = YalaModel::train(&mut sim, kind, &TrainConfig::default());
+
+    let mut rng = StdRng::seed_from_u64(31);
+    let n = scaled(30, 100);
+    let (mut truths, mut spreds, mut ypreds) = (Vec::new(), Vec::new(), Vec::new());
+    for i in 0..n {
+        let profile = TrafficProfile::random(&mut rng, 500_000);
+        let level = MemLevel::random(&mut rng);
+        let w = cached_workload(kind, profile, i as u64 % 4);
+        let solo = sim.solo(&w).throughput_pps;
+        let truth = sim.co_run(&[w, level.bench()]).outcomes[0].throughput_pps;
+        let feats = bench_counters(&mut sim, level);
+        let contender = mem_bench_contender(&mut sim, level);
+        truths.push(truth);
+        spreds.push(slomo.predict_extrapolated(&feats, solo));
+        ypreds.push(yala.predict(solo, &profile, &[contender]));
+    }
+    let (s, y) = (accuracy(&truths, &spreds), accuracy(&truths, &ypreds));
+    println!("Table 9: Pensando generalisation (memory-only + dynamic traffic)");
+    println!("{}", row_header());
+    println!("{}", fmt_row("firewall", s, y));
+    write_csv(
+        "table9_pensando",
+        "nf,slomo_mape,slomo_acc5,slomo_acc10,yala_mape,yala_acc5,yala_acc10",
+        &[format!(
+            "firewall,{:.2},{:.1},{:.1},{:.2},{:.1},{:.1}",
+            s.mape, s.acc5, s.acc10, y.mape, y.acc5, y.acc10
+        )],
+    );
+}

@@ -1,0 +1,210 @@
+//! # yala-bench — the experiment harness
+//!
+//! Shared infrastructure for the binaries under `src/bin/`, each of which
+//! regenerates one table or figure of the paper (see `DESIGN.md` for the
+//! per-experiment index and `EXPERIMENTS.md` for paper-vs-measured notes).
+//!
+//! The central type is [`Zoo`]: it trains Yala and SLOMO models for a set
+//! of NFs against one simulated SmartNIC, caches per-(NF, profile)
+//! contentiousness profiles, and evaluates prediction scenarios against
+//! ground-truth co-runs.
+
+use std::collections::HashMap;
+use yala_core::profiler::cached_workload;
+use yala_core::{Contender, TrainConfig, YalaModel};
+use yala_ml::metrics;
+use yala_nf::NfKind;
+use yala_sim::{CounterSample, NicSpec, Simulator, WorkloadSpec};
+use yala_slomo::{default_mem_grid, SlomoModel};
+use yala_traffic::TrafficProfile;
+
+/// Measurement noise used across experiments (≈ real counter jitter).
+pub const NOISE_SIGMA: f64 = 0.005;
+
+/// Scale knob for experiment sizes: `YALA_SCALE=full` runs paper-sized
+/// sweeps; anything else (default) runs reduced-but-representative ones.
+pub fn full_scale() -> bool {
+    std::env::var("YALA_SCALE").map(|v| v == "full").unwrap_or(false)
+}
+
+/// Picks `n` if quick, `n_full` under `YALA_SCALE=full`.
+pub fn scaled(n: usize, n_full: usize) -> usize {
+    if full_scale() {
+        n_full
+    } else {
+        n
+    }
+}
+
+/// A prediction scenario's outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct Eval {
+    /// Ground-truth throughput of the target in the co-run.
+    pub truth: f64,
+    /// Yala's prediction.
+    pub yala: f64,
+    /// SLOMO's prediction (with sensitivity extrapolation).
+    pub slomo: f64,
+}
+
+/// Accuracy summary of a batch of evaluations (one paper table row).
+#[derive(Debug, Clone, Copy)]
+pub struct Accuracy {
+    /// Mean absolute percentage error.
+    pub mape: f64,
+    /// Fraction of predictions within ±5%.
+    pub acc5: f64,
+    /// Fraction within ±10%.
+    pub acc10: f64,
+}
+
+/// Summarises predictions against truths.
+pub fn accuracy(truth: &[f64], pred: &[f64]) -> Accuracy {
+    Accuracy {
+        mape: metrics::mape(truth, pred),
+        acc5: metrics::bounded_accuracy(truth, pred, 5.0),
+        acc10: metrics::bounded_accuracy(truth, pred, 10.0),
+    }
+}
+
+/// Trained models and caches for one NIC.
+pub struct Zoo {
+    /// The simulator standing in for the testbed.
+    pub sim: Simulator,
+    yala: Vec<(NfKind, YalaModel)>,
+    slomo: Vec<(NfKind, SlomoModel)>,
+    /// Cache: (kind, profile) → (workload, solo counters, solo tput).
+    solo_cache: HashMap<(NfKind, u32, u32, u64), (WorkloadSpec, CounterSample, f64)>,
+}
+
+impl Zoo {
+    /// Trains Yala + SLOMO models for `kinds` on a noisy BlueField-2.
+    pub fn train(kinds: &[NfKind], seed: u64) -> Self {
+        Self::train_on(NicSpec::bluefield2(), kinds, seed)
+    }
+
+    /// Trains on an explicit NIC spec (e.g. Pensando for Table 9).
+    pub fn train_on(spec: NicSpec, kinds: &[NfKind], seed: u64) -> Self {
+        let mut sim = Simulator::with_noise(spec, NOISE_SIGMA, seed);
+        let cfg = TrainConfig::default();
+        let mut yala = Vec::new();
+        let mut slomo = Vec::new();
+        for &kind in kinds {
+            eprintln!("  training models for {kind} ...");
+            yala.push((kind, YalaModel::train(&mut sim, kind, &cfg)));
+            let target = cached_workload(kind, TrafficProfile::default(), kind as usize as u64);
+            slomo.push((kind, SlomoModel::train(&mut sim, &target, &default_mem_grid(), seed)));
+        }
+        Self { sim, yala, slomo, solo_cache: HashMap::new() }
+    }
+
+    /// The trained Yala model for `kind`.
+    pub fn yala(&self, kind: NfKind) -> &YalaModel {
+        &self.yala.iter().find(|(k, _)| *k == kind).expect("trained").1
+    }
+
+    /// The trained SLOMO model for `kind`.
+    pub fn slomo(&self, kind: NfKind) -> &SlomoModel {
+        &self.slomo.iter().find(|(k, _)| *k == kind).expect("trained").1
+    }
+
+    /// All trained Yala models (for the placement predictor).
+    pub fn yala_models(&self) -> &[(NfKind, YalaModel)] {
+        &self.yala
+    }
+
+    /// All trained SLOMO models.
+    pub fn slomo_models(&self) -> &[(NfKind, SlomoModel)] {
+        &self.slomo
+    }
+
+    /// Workload + solo counters + solo throughput of an NF at a profile
+    /// (cached; this is the offline per-NF contentiousness profiling).
+    pub fn solo(
+        &mut self,
+        kind: NfKind,
+        profile: TrafficProfile,
+    ) -> (WorkloadSpec, CounterSample, f64) {
+        let key = (kind, profile.flow_count, profile.packet_size, profile.mtbr.to_bits());
+        if let Some(hit) = self.solo_cache.get(&key) {
+            return hit.clone();
+        }
+        let w = cached_workload(kind, profile, kind as usize as u64);
+        let o = self.sim.solo(&w);
+        let entry = (w, o.counters, o.throughput_pps);
+        self.solo_cache.insert(key, entry.clone());
+        entry
+    }
+
+    /// Evaluates one co-location scenario: `target` (at `profile`) with
+    /// `competitors` (each at its own profile). Returns ground truth and
+    /// both frameworks' predictions.
+    pub fn evaluate(
+        &mut self,
+        target: NfKind,
+        profile: TrafficProfile,
+        competitors: &[(NfKind, TrafficProfile)],
+    ) -> Eval {
+        let (tw, _, t_solo) = self.solo(target, profile);
+        let mut workloads = vec![tw];
+        let mut contenders: Vec<Contender> = Vec::new();
+        let mut counters: Vec<CounterSample> = Vec::new();
+        for (i, &(kind, cprofile)) in competitors.iter().enumerate() {
+            let (mut w, c, _) = self.solo(kind, cprofile);
+            w.name = format!("{}-{}", w.name, i); // unique co-run names
+            workloads.push(w);
+            contenders.push(self.yala(kind).as_contender(c, cprofile.mtbr));
+            counters.push(c);
+        }
+        let truth = self.sim.co_run(&workloads).outcomes[0].throughput_pps;
+        let yala = self.yala(target).predict(t_solo, &profile, &contenders);
+        let agg = CounterSample::aggregate(counters.iter());
+        let slomo = self.slomo(target).predict_extrapolated(&agg, t_solo);
+        Eval { truth, yala, slomo }
+    }
+}
+
+/// Formats a paper-style accuracy row.
+pub fn fmt_row(name: &str, slomo: Accuracy, yala: Accuracy) -> String {
+    format!(
+        "{name:<16} | {:>6.1} {:>6.1} {:>6.1} | {:>6.1} {:>6.1} {:>6.1}",
+        slomo.mape, slomo.acc5, slomo.acc10, yala.mape, yala.acc5, yala.acc10
+    )
+}
+
+/// Header matching [`fmt_row`].
+pub fn row_header() -> String {
+    format!(
+        "{:<16} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6}\n{}",
+        "NF", "S-MAPE", "S-5%", "S-10%", "Y-MAPE", "Y-5%", "Y-10%",
+        "-".repeat(64)
+    )
+}
+
+/// Writes a CSV file under `results/` (best effort; ignores IO errors so
+/// experiments can run in read-only checkouts).
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let _ = std::fs::create_dir_all("results");
+    let body = format!("{header}\n{}\n", rows.join("\n"));
+    let _ = std::fs::write(format!("results/{name}.csv"), body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_summary() {
+        let truth = [100.0, 100.0];
+        let pred = [104.0, 120.0];
+        let a = accuracy(&truth, &pred);
+        assert!((a.mape - 12.0).abs() < 1e-9);
+        assert_eq!(a.acc5, 50.0);
+        assert_eq!(a.acc10, 50.0);
+    }
+
+    #[test]
+    fn scaled_respects_env_default() {
+        assert_eq!(scaled(3, 10), if full_scale() { 10 } else { 3 });
+    }
+}

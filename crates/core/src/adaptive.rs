@@ -1,0 +1,400 @@
+//! Adaptive profiling (§5.2, Algorithm 1): prune traffic attributes the NF
+//! is insensitive to, then binary-search the remaining attribute space,
+//! spending the profiling quota where solo throughput changes fastest.
+//! Random and full profiling are provided for the Table 8 / Fig. 8
+//! comparisons.
+
+use crate::profiler::{measure_traffic_sample, MemLevel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use yala_ml::Dataset;
+use yala_nf::NfKind;
+use yala_sim::Simulator;
+use yala_traffic::TrafficProfile;
+
+/// Inclusive ranges of the three traffic attributes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficRanges {
+    /// Flow-count range.
+    pub flows: (u32, u32),
+    /// Packet-size range (bytes).
+    pub pkt: (u32, u32),
+    /// MTBR range (matches/MB).
+    pub mtbr: (f64, f64),
+}
+
+impl Default for TrafficRanges {
+    fn default() -> Self {
+        Self { flows: (1_000, 500_000), pkt: (64, 1500), mtbr: (0.0, 1_200.0) }
+    }
+}
+
+impl TrafficRanges {
+    fn low(&self) -> [f64; 3] {
+        [self.flows.0 as f64, self.pkt.0 as f64, self.mtbr.0]
+    }
+
+    fn high(&self) -> [f64; 3] {
+        [self.flows.1 as f64, self.pkt.1 as f64, self.mtbr.1]
+    }
+}
+
+fn profile_from_vec(v: [f64; 3]) -> TrafficProfile {
+    TrafficProfile::new(v[0].round() as u32, v[1].round() as u32, v[2])
+}
+
+/// Hyper-parameters of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Total measurement quota `q` (solo probes + contended samples).
+    pub quota: usize,
+    /// Relative solo-throughput difference below which an attribute is
+    /// pruned (`ε0`).
+    pub eps0: f64,
+    /// Relative difference that triggers sampling within a range (`ε1`).
+    pub eps1: f64,
+    /// Contended samples collected per selected region midpoint (`m`).
+    pub m: usize,
+    /// RNG seed for contention levels.
+    pub seed: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self { quota: 240, eps0: 0.03, eps1: 0.02, m: 6, seed: 17 }
+    }
+}
+
+/// Result of a profiling strategy: a traffic-aware training set plus
+/// bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ProfilingRun {
+    /// The 10-feature training dataset.
+    pub dataset: Dataset,
+    /// Total simulator measurements spent (the paper's profiling cost).
+    pub measurements: usize,
+    /// Which attributes survived pruning (flows, pkt, mtbr).
+    pub kept: [bool; 3],
+}
+
+/// Algorithm 1: adaptive profiling of `kind` over `ranges`.
+pub fn adaptive_profile(
+    sim: &mut Simulator,
+    kind: NfKind,
+    ranges: TrafficRanges,
+    cfg: &AdaptiveConfig,
+) -> ProfilingRun {
+    let mut state = State {
+        sim,
+        kind,
+        dataset: Dataset::new(10),
+        measurements: 0,
+        quota: cfg.quota,
+        rng: StdRng::seed_from_u64(cfg.seed),
+        m: cfg.m,
+        eps1: cfg.eps1,
+        spread_at: 0,
+    };
+    let default_vec =
+        [TrafficProfile::default().flow_count as f64, 1500.0, TrafficProfile::default().mtbr];
+    let t_default = state.solo(default_vec);
+
+    // Anchor the contention response at the default profile with a small
+    // structured sweep (the §4.1.2 base data the traffic dimensions extend).
+    for car in [4.0e7, 9.0e7, 1.5e8, 2.2e8, 2.9e8] {
+        for wss in [2.0e6, 8.0e6, 20.0e6] {
+            state.sample_at(default_vec, MemLevel { car, wss, cycles: 600.0 });
+        }
+    }
+
+    // Phase 1 (lines 7-11): attribute pruning against ε0.
+    let mut kept = [false; 3];
+    let lo = ranges.low();
+    let hi = ranges.high();
+    for attr in 0..3 {
+        let mut vmin = default_vec;
+        let mut vmax = default_vec;
+        vmin[attr] = lo[attr];
+        vmax[attr] = hi[attr];
+        let (t_min, t_max) = (state.solo(vmin), state.solo(vmax));
+        kept[attr] = (t_max - t_min).abs() / t_default >= cfg.eps0;
+    }
+
+    // Phase 2 (range_profile): binary search over the kept-attribute box.
+    let mut from = default_vec;
+    let mut to = default_vec;
+    for attr in 0..3 {
+        if kept[attr] {
+            from[attr] = lo[attr];
+            to[attr] = hi[attr];
+        }
+    }
+    if kept.iter().any(|&k| k) {
+        state.range_profile(from, to, t_default, 0);
+    } else {
+        // Nothing traffic-sensitive: spend the quota at the default profile.
+        while state.quota_left() {
+            state.sample_contended(default_vec);
+        }
+    }
+    ProfilingRun { dataset: state.dataset, measurements: state.measurements, kept }
+}
+
+struct State<'a> {
+    sim: &'a mut Simulator,
+    kind: NfKind,
+    dataset: Dataset,
+    measurements: usize,
+    quota: usize,
+    rng: StdRng,
+    m: usize,
+    eps1: f64,
+    spread_at: usize,
+}
+
+impl State<'_> {
+    fn quota_left(&self) -> bool {
+        self.measurements < self.quota
+    }
+
+    /// Solo measurement at a traffic point; recorded as a zero-contention
+    /// training sample (and counted against the quota).
+    fn solo(&mut self, v: [f64; 3]) -> f64 {
+        self.measurements += 1;
+        let (x, t) = measure_traffic_sample(
+            self.sim,
+            self.kind,
+            profile_from_vec(v),
+            MemLevel::idle(),
+            self.kind as usize as u64,
+        );
+        self.dataset.push(&x, t);
+        t
+    }
+
+    /// Contended measurement. Levels rotate through a structured spread
+    /// (with jitter) so every sampled traffic point sees a mini
+    /// contention-response curve — random levels leave the (traffic ×
+    /// contention) interaction under-covered at small quotas.
+    fn sample_contended(&mut self, v: [f64; 3]) {
+        const SPREAD: [(f64, f64); 6] = [
+            (4.0e7, 2.0e6),
+            (9.0e7, 8.0e6),
+            (1.5e8, 20.0e6),
+            (2.2e8, 4.0e6),
+            (2.9e8, 12.0e6),
+            (1.2e8, 6.0e6),
+        ];
+        let (car, wss) = SPREAD[self.spread_at % SPREAD.len()];
+        self.spread_at += 1;
+        let level = MemLevel {
+            car: car * self.rng.gen_range(0.85..1.15),
+            wss: wss * self.rng.gen_range(0.85..1.15),
+            cycles: [60.0, 600.0, 2_400.0][self.rng.gen_range(0..3)],
+        };
+        self.sample_at(v, level);
+    }
+
+    /// Contended measurement at an explicit level.
+    fn sample_at(&mut self, v: [f64; 3], level: MemLevel) {
+        self.measurements += 1;
+        let (x, t) = measure_traffic_sample(
+            self.sim,
+            self.kind,
+            profile_from_vec(v),
+            level,
+            self.kind as usize as u64,
+        );
+        self.dataset.push(&x, t);
+    }
+
+    /// Lines 14-26 of Algorithm 1, processed breadth-first: a depth-first
+    /// descent would exhaust the quota inside the first sensitive subrange
+    /// it meets, starving whole regions of the attribute space. Visiting
+    /// ranges level by level spreads the quota across scales, refining
+    /// everywhere the solo throughput still moves.
+    fn range_profile(&mut self, from: [f64; 3], to: [f64; 3], t_ref: f64, _depth: usize) {
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back((from, to, 0usize));
+        while let Some((lo, hi, depth)) = queue.pop_front() {
+            if !self.quota_left() || depth > 6 {
+                break;
+            }
+            let t_min = self.solo(lo);
+            let t_max = self.solo(hi);
+            if (t_max - t_min).abs() / t_ref < self.eps1 {
+                continue;
+            }
+            let mid = [
+                0.5 * (lo[0] + hi[0]),
+                0.5 * (lo[1] + hi[1]),
+                0.5 * (lo[2] + hi[2]),
+            ];
+            for _ in 0..self.m {
+                if !self.quota_left() {
+                    return;
+                }
+                self.sample_contended(mid);
+            }
+            queue.push_back((mid, hi, depth + 1));
+            queue.push_back((lo, mid, depth + 1));
+        }
+    }
+}
+
+/// Random profiling baseline: `quota` samples at uniformly random traffic
+/// points and contention levels.
+pub fn random_profile(
+    sim: &mut Simulator,
+    kind: NfKind,
+    ranges: TrafficRanges,
+    quota: usize,
+    seed: u64,
+) -> ProfilingRun {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dataset = Dataset::new(10);
+    for _ in 0..quota {
+        let v = [
+            rng.gen_range(ranges.flows.0 as f64..=ranges.flows.1 as f64),
+            rng.gen_range(ranges.pkt.0 as f64..=ranges.pkt.1 as f64),
+            rng.gen_range(ranges.mtbr.0..=ranges.mtbr.1),
+        ];
+        // 1-in-8 samples are solo anchors, mirroring adaptive's solo probes.
+        let level = if rng.gen_range(0..8) == 0 {
+            MemLevel::idle()
+        } else {
+            MemLevel::random(&mut rng)
+        };
+        let (x, t) =
+            measure_traffic_sample(sim, kind, profile_from_vec(v), level, kind as usize as u64);
+        dataset.push(&x, t);
+    }
+    ProfilingRun { dataset, measurements: quota, kept: [true; 3] }
+}
+
+/// Full (dense-grid) profiling: the paper's reference point costing 3200×
+/// the adaptive quota. Grid resolution is configurable so tests can afford
+/// it; `levels_per_point` contention levels are drawn per traffic point.
+pub fn full_profile(
+    sim: &mut Simulator,
+    kind: NfKind,
+    ranges: TrafficRanges,
+    steps: [usize; 3],
+    levels_per_point: usize,
+    seed: u64,
+) -> ProfilingRun {
+    assert!(steps.iter().all(|&s| s >= 2), "need at least 2 steps per attribute");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dataset = Dataset::new(10);
+    let mut measurements = 0usize;
+    let lo = ranges.low();
+    let hi = ranges.high();
+    let coord = |attr: usize, i: usize| -> f64 {
+        lo[attr] + (hi[attr] - lo[attr]) * i as f64 / (steps[attr] - 1) as f64
+    };
+    for fi in 0..steps[0] {
+        for pi in 0..steps[1] {
+            for mi in 0..steps[2] {
+                let v = [coord(0, fi), coord(1, pi), coord(2, mi)];
+                for li in 0..levels_per_point {
+                    let level = if li == 0 {
+                        MemLevel::idle()
+                    } else {
+                        MemLevel::random(&mut rng)
+                    };
+                    let (x, t) = measure_traffic_sample(
+                        sim,
+                        kind,
+                        profile_from_vec(v),
+                        level,
+                        kind as usize as u64,
+                    );
+                    dataset.push(&x, t);
+                    measurements += 1;
+                }
+            }
+        }
+    }
+    ProfilingRun { dataset, measurements, kept: [true; 3] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yala_sim::NicSpec;
+
+    fn sim() -> Simulator {
+        Simulator::new(NicSpec::bluefield2())
+    }
+
+    #[test]
+    fn prunes_insensitive_attributes_for_flowstats() {
+        // FlowStats is flow-count sensitive but packet-size/MTBR
+        // insensitive (§5.2's own example).
+        let mut sim = sim();
+        let cfg = AdaptiveConfig { quota: 40, ..Default::default() };
+        let run = adaptive_profile(&mut sim, NfKind::FlowStats, TrafficRanges::default(), &cfg);
+        assert!(run.kept[0], "flow count must be kept");
+        assert!(!run.kept[2], "MTBR must be pruned for a header-only NF");
+        assert!(run.measurements <= cfg.quota + 8, "quota respected (±pruning probes)");
+        assert!(run.dataset.len() > 10);
+    }
+
+    #[test]
+    fn keeps_mtbr_for_regex_nf() {
+        let mut sim = sim();
+        let cfg = AdaptiveConfig { quota: 40, ..Default::default() };
+        let run =
+            adaptive_profile(&mut sim, NfKind::FlowMonitor, TrafficRanges::default(), &cfg);
+        assert!(run.kept[2], "MTBR must be kept for a regex NF");
+    }
+
+    #[test]
+    fn insensitive_nf_spends_quota_at_default() {
+        let mut sim = sim();
+        let cfg = AdaptiveConfig { quota: 25, ..Default::default() };
+        let run = adaptive_profile(&mut sim, NfKind::Acl, TrafficRanges::default(), &cfg);
+        assert_eq!(run.kept, [false, false, false]);
+        assert!(run.dataset.len() >= 20);
+    }
+
+    #[test]
+    fn adaptive_concentrates_samples_in_sensitive_flow_range() {
+        // FlowStats's knee is at small flow counts (LLC saturation);
+        // adaptive sampling should place more mass there than uniform.
+        let mut sim = sim();
+        let cfg = AdaptiveConfig { quota: 100, ..Default::default() };
+        let run = adaptive_profile(&mut sim, NfKind::FlowStats, TrafficRanges::default(), &cfg);
+        let flows: Vec<f64> = (0..run.dataset.len())
+            .map(|i| run.dataset.feature(i, 7))
+            .collect();
+        let below_mid = flows.iter().filter(|&&f| f <= 260_000.0).count();
+        assert!(
+            below_mid as f64 > flows.len() as f64 * 0.6,
+            "adaptive should favour the sensitive low-flow region: {below_mid}/{}",
+            flows.len()
+        );
+    }
+
+    #[test]
+    fn random_profile_respects_quota() {
+        let mut sim = sim();
+        let run = random_profile(&mut sim, NfKind::FlowStats, TrafficRanges::default(), 30, 5);
+        assert_eq!(run.measurements, 30);
+        assert_eq!(run.dataset.len(), 30);
+    }
+
+    #[test]
+    fn full_profile_grid_size() {
+        let mut sim = sim();
+        let run = full_profile(
+            &mut sim,
+            NfKind::Acl,
+            TrafficRanges::default(),
+            [2, 2, 2],
+            2,
+            1,
+        );
+        assert_eq!(run.measurements, 2 * 2 * 2 * 2);
+    }
+}

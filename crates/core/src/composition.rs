@@ -1,0 +1,157 @@
+//! Execution-pattern-based composition (§4.2): combining per-resource
+//! throughput predictions into an end-to-end prediction, plus the naive
+//! sum/min baselines of §2.2.1 and the pattern-detection procedure.
+//!
+//! Per-resource models produce `T_k`: the predicted end-to-end throughput
+//! if *only* resource `k` were contended (each ≤ `T_solo`). Then:
+//!
+//! * **Pipeline (Eq. 2)** — `T = T_solo − max_k ΔT_k` where
+//!   `ΔT_k = T_solo − T_k`: the slowest stage dictates throughput.
+//! * **Run-to-completion (Eq. 3)** — per-packet resource times add:
+//!   `1/T = Σ_k 1/T_k − (r−1)/T_solo`.
+//! * **Sum baseline** — `T = T_solo − Σ_k ΔT_k` (over-subtracts for
+//!   pipelines).
+//! * **Min baseline** — identical to Eq. 2 (the paper's "min composition"
+//!   takes the maximum predicted loss); inaccurate for run-to-completion.
+
+use yala_sim::ExecutionPattern;
+
+/// Composes per-resource throughputs with the paper's Eq. 2 / Eq. 3
+/// according to `pattern`.
+///
+/// # Panics
+///
+/// Panics if `t_solo` is not positive or `per_resource` is empty.
+pub fn compose(pattern: ExecutionPattern, t_solo: f64, per_resource: &[f64]) -> f64 {
+    validate(t_solo, per_resource);
+    match pattern {
+        ExecutionPattern::Pipeline => compose_min(t_solo, per_resource),
+        ExecutionPattern::RunToCompletion => compose_rtc(t_solo, per_resource),
+    }
+}
+
+/// Eq. 2 / "min composition": the largest per-resource drop wins.
+pub fn compose_min(t_solo: f64, per_resource: &[f64]) -> f64 {
+    validate(t_solo, per_resource);
+    per_resource.iter().fold(t_solo, |acc, &t| acc.min(t.min(t_solo))).max(0.0)
+}
+
+/// "Sum composition": per-resource drops add (§2.2.1 baseline).
+pub fn compose_sum(t_solo: f64, per_resource: &[f64]) -> f64 {
+    validate(t_solo, per_resource);
+    let total_drop: f64 = per_resource.iter().map(|&t| (t_solo - t.min(t_solo)).max(0.0)).sum();
+    (t_solo - total_drop).max(0.0)
+}
+
+/// Eq. 3: run-to-completion composition of sojourn times.
+pub fn compose_rtc(t_solo: f64, per_resource: &[f64]) -> f64 {
+    validate(t_solo, per_resource);
+    let r = per_resource.len() as f64;
+    let inv: f64 = per_resource
+        .iter()
+        .map(|&t| 1.0 / t.min(t_solo).max(1e-9))
+        .sum::<f64>()
+        - (r - 1.0) / t_solo;
+    (1.0 / inv).clamp(0.0, t_solo)
+}
+
+fn validate(t_solo: f64, per_resource: &[f64]) {
+    assert!(t_solo > 0.0, "solo throughput must be positive");
+    assert!(!per_resource.is_empty(), "need at least one per-resource prediction");
+}
+
+/// Detects an NF's execution pattern from four throughput measurements
+/// (§4.2 "Detecting execution pattern"): solo, under memory-only
+/// contention, under accelerator-only contention, and under both. The
+/// pattern whose composition law better explains the combined measurement
+/// wins.
+pub fn detect_pattern(
+    t_solo: f64,
+    t_mem_only: f64,
+    t_accel_only: f64,
+    t_both: f64,
+) -> ExecutionPattern {
+    assert!(t_solo > 0.0, "solo throughput must be positive");
+    let per_resource = [t_mem_only, t_accel_only];
+    let pred_pipeline = compose_min(t_solo, &per_resource);
+    let pred_rtc = compose_rtc(t_solo, &per_resource);
+    if (pred_pipeline - t_both).abs() <= (pred_rtc - t_both).abs() {
+        ExecutionPattern::Pipeline
+    } else {
+        ExecutionPattern::RunToCompletion
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_takes_worst_resource() {
+        // solo 100, memory-contended 80, regex-contended 60.
+        assert_eq!(compose(ExecutionPattern::Pipeline, 100.0, &[80.0, 60.0]), 60.0);
+    }
+
+    #[test]
+    fn sum_adds_drops() {
+        assert_eq!(compose_sum(100.0, &[80.0, 60.0]), 40.0);
+        assert_eq!(compose_sum(100.0, &[50.0, 30.0, 90.0]), 0.0, "clamped at zero");
+    }
+
+    #[test]
+    fn rtc_compounds_harmonically() {
+        // 1/T = 1/80 + 1/60 − 1/100 = 0.0125 + 0.016667 − 0.01 = 0.019167
+        let t = compose(ExecutionPattern::RunToCompletion, 100.0, &[80.0, 60.0]);
+        assert!((t - 1.0 / 0.019166666).abs() < 0.01, "{t}");
+        // RTC lies below pipeline (both resources hurt).
+        assert!(t < 60.0);
+        // But above the sum baseline (sum double-counts solo time).
+        assert!(t > compose_sum(100.0, &[80.0, 60.0]));
+    }
+
+    #[test]
+    fn uncontended_resources_change_nothing() {
+        for pattern in [ExecutionPattern::Pipeline, ExecutionPattern::RunToCompletion] {
+            let t = compose(pattern, 100.0, &[100.0, 100.0]);
+            assert!((t - 100.0).abs() < 1e-9, "{pattern}: {t}");
+        }
+    }
+
+    #[test]
+    fn single_resource_reduces_to_that_resource() {
+        for pattern in [ExecutionPattern::Pipeline, ExecutionPattern::RunToCompletion] {
+            let t = compose(pattern, 100.0, &[70.0]);
+            assert!((t - 70.0).abs() < 1e-6, "{pattern}: {t}");
+        }
+    }
+
+    #[test]
+    fn per_resource_above_solo_is_clamped() {
+        // A model may predict above solo (noise); composition must clamp.
+        assert_eq!(compose_min(100.0, &[120.0]), 100.0);
+        let t = compose_rtc(100.0, &[120.0, 80.0]);
+        assert!((t - 80.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detect_pattern_pipeline_case() {
+        // Ground truth behaves like min: both = worst single.
+        assert_eq!(detect_pattern(100.0, 80.0, 60.0, 60.5), ExecutionPattern::Pipeline);
+    }
+
+    #[test]
+    fn detect_pattern_rtc_case() {
+        // Ground truth compounds: both < worst single.
+        let both = compose_rtc(100.0, &[80.0, 60.0]);
+        assert_eq!(
+            detect_pattern(100.0, 80.0, 60.0, both + 0.5),
+            ExecutionPattern::RunToCompletion
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one per-resource")]
+    fn empty_resources_panic() {
+        compose(ExecutionPattern::Pipeline, 1.0, &[]);
+    }
+}

@@ -1,0 +1,57 @@
+//! # yala-core — the Yala prediction framework (the paper's contribution)
+//!
+//! Yala predicts the throughput an on-NIC network function will achieve
+//! when co-located with other NFs, under **multi-resource contention**
+//! (memory subsystem + hardware accelerators) and **varying traffic
+//! attributes**. The design follows the paper exactly:
+//!
+//! * [`accel_model`] — white-box round-robin queueing model of accelerator
+//!   contention (Eq. 1) with traffic-aware service times (Eq. 4), fitted by
+//!   co-running the NF with a backlogged bench of known parameters.
+//! * [`memory_model`] — black-box gradient-boosting model over the
+//!   competitors' aggregate Table 11 counters, augmented with the target's
+//!   traffic-attribute vector (§5.1.2).
+//! * [`composition`] — execution-pattern-based composition: Eq. 2 for
+//!   pipelines, Eq. 3 for run-to-completion, plus the sum/min baselines and
+//!   the measurement-based pattern detector (§4.2).
+//! * [`adaptive`] — adaptive profiling (Algorithm 1): prune insensitive
+//!   traffic attributes, then binary-search sampling where solo throughput
+//!   moves (§5.2); random/full profiling for cost comparisons.
+//! * [`profiler`] — the offline profiling sweeps driving the simulator with
+//!   the synthetic benches (§6).
+//! * [`predictor`] — [`YalaModel`]: train once offline, then predict for
+//!   any proposed co-location.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use yala_core::{TrainConfig, YalaModel};
+//! use yala_core::profiler::{mem_bench_contender, MemLevel};
+//! use yala_nf::NfKind;
+//! use yala_sim::{NicSpec, Simulator};
+//! use yala_traffic::TrafficProfile;
+//!
+//! let mut sim = Simulator::with_noise(NicSpec::bluefield2(), 0.01, 7);
+//! let model = YalaModel::train(&mut sim, NfKind::FlowMonitor, &TrainConfig::default());
+//!
+//! let traffic = TrafficProfile::new(64_000, 1024, 800.0);
+//! let solo = sim.solo(&NfKind::FlowMonitor.workload(traffic, 1)).throughput_pps;
+//! let competitor = mem_bench_contender(&mut sim, MemLevel { car: 1e8, wss: 6e6, cycles: 60.0 });
+//! let predicted = model.predict(solo, &traffic, &[competitor]);
+//! println!("predicted throughput: {predicted:.0} pps");
+//! ```
+
+pub mod accel_model;
+pub mod adaptive;
+pub mod composition;
+pub mod contender;
+pub mod memory_model;
+pub mod predictor;
+pub mod profiler;
+
+pub use accel_model::{AccelServiceModel, InferConfig};
+pub use adaptive::{AdaptiveConfig, ProfilingRun, TrafficRanges};
+pub use composition::{compose, compose_min, compose_rtc, compose_sum, detect_pattern};
+pub use contender::{AccelContention, Contender};
+pub use memory_model::MemoryModel;
+pub use predictor::{Composition, TrainConfig, YalaModel};

@@ -1,0 +1,156 @@
+//! Black-box memory-subsystem model (§4.1.2): gradient-boosting regression
+//! over the competitors' aggregate Table 11 counters, optionally augmented
+//! with the target's traffic-attribute vector (§5.1.2).
+
+use serde::{Deserialize, Serialize};
+use yala_ml::{Dataset, GbrParams, GradientBoostingRegressor};
+use yala_sim::CounterSample;
+use yala_traffic::TrafficProfile;
+
+/// Number of counter features (Table 11).
+pub const N_COUNTER_FEATURES: usize = 7;
+/// Number of traffic-attribute features (flows, packet size, MTBR).
+pub const N_TRAFFIC_FEATURES: usize = 3;
+
+/// The trained memory model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryModel {
+    gbr: GradientBoostingRegressor,
+    traffic_aware: bool,
+}
+
+impl MemoryModel {
+    /// Fits the model from a profiling dataset. Feature width must be 7
+    /// (fixed traffic) or 10 (traffic-aware).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other feature width or an empty dataset.
+    pub fn fit(ds: &Dataset, params: &GbrParams, seed: u64) -> Self {
+        let traffic_aware = match ds.n_features() {
+            N_COUNTER_FEATURES => false,
+            w if w == N_COUNTER_FEATURES + N_TRAFFIC_FEATURES => true,
+            w => panic!("memory model expects 7 or 10 features, got {w}"),
+        };
+        Self { gbr: GradientBoostingRegressor::fit(ds, params, seed), traffic_aware }
+    }
+
+    /// Whether the model consumes traffic attributes.
+    pub fn is_traffic_aware(&self) -> bool {
+        self.traffic_aware
+    }
+
+    /// Predicts the target's throughput under memory contention described
+    /// by the competitors' aggregate counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is traffic-aware and `traffic` is `None`.
+    pub fn predict(&self, competitors: &CounterSample, traffic: Option<&TrafficProfile>) -> f64 {
+        let pred = if self.traffic_aware {
+            let t = traffic.expect("traffic-aware model needs a traffic profile");
+            let mut x = [0.0; N_COUNTER_FEATURES + N_TRAFFIC_FEATURES];
+            x[..N_COUNTER_FEATURES].copy_from_slice(&competitors.as_features());
+            x[N_COUNTER_FEATURES..].copy_from_slice(&t.as_vector());
+            self.gbr.predict(&x)
+        } else {
+            self.gbr.predict(&competitors.as_features())
+        };
+        pred.max(0.0)
+    }
+}
+
+/// Builds the feature row for one traffic-aware profiling sample.
+pub fn traffic_aware_features(
+    bench_counters: &CounterSample,
+    traffic: &TrafficProfile,
+) -> [f64; N_COUNTER_FEATURES + N_TRAFFIC_FEATURES] {
+    let mut x = [0.0; N_COUNTER_FEATURES + N_TRAFFIC_FEATURES];
+    x[..N_COUNTER_FEATURES].copy_from_slice(&bench_counters.as_features());
+    x[N_COUNTER_FEATURES..].copy_from_slice(&traffic.as_vector());
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(car: f64, wss: f64) -> CounterSample {
+        CounterSample {
+            l2crd: car / 2.0,
+            l2cwr: car / 2.0,
+            wss,
+            memrd: car * 0.05,
+            memwr: car * 0.05,
+            ipc: 0.5,
+            irt: car * 2.0,
+        }
+    }
+
+    #[test]
+    fn fixed_traffic_model_learns_car_dependence() {
+        let mut ds = Dataset::new(7);
+        for i in 0..60 {
+            let car = 1e7 + i as f64 * 5e6;
+            let tput = 2e6 - car * 3e-3; // linear degradation
+            ds.push(&counters(car, 4e6).as_features(), tput);
+        }
+        let model = MemoryModel::fit(&ds, &GbrParams::default(), 1);
+        assert!(!model.is_traffic_aware());
+        let lo = model.predict(&counters(2e7, 4e6), None);
+        let hi = model.predict(&counters(2.5e8, 4e6), None);
+        assert!(lo > hi, "more CAR must predict lower throughput");
+    }
+
+    #[test]
+    fn traffic_aware_model_uses_flow_count() {
+        let mut ds = Dataset::new(10);
+        for flows in [4_000u32, 16_000, 64_000, 256_000] {
+            for i in 0..20 {
+                let car = 1e7 + i as f64 * 1e7;
+                let t = TrafficProfile::new(flows, 1500, 600.0);
+                // Throughput falls with both CAR and flow count.
+                let tput = 2e6 / (1.0 + flows as f64 / 3e4) - car * 1e-3;
+                ds.push(&traffic_aware_features(&counters(car, 4e6), &t), tput);
+            }
+        }
+        let model = MemoryModel::fit(&ds, &GbrParams::default(), 2);
+        assert!(model.is_traffic_aware());
+        let few = model.predict(
+            &counters(5e7, 4e6),
+            Some(&TrafficProfile::new(4_000, 1500, 600.0)),
+        );
+        let many = model.predict(
+            &counters(5e7, 4e6),
+            Some(&TrafficProfile::new(256_000, 1500, 600.0)),
+        );
+        assert!(few > many * 1.5, "flow count must matter: {few} vs {many}");
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 7 or 10 features")]
+    fn wrong_width_panics() {
+        let mut ds = Dataset::new(4);
+        ds.push(&[1.0, 2.0, 3.0, 4.0], 1.0);
+        MemoryModel::fit(&ds, &GbrParams::default(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a traffic profile")]
+    fn traffic_aware_without_traffic_panics() {
+        let mut ds = Dataset::new(10);
+        ds.push(&[0.0; 10], 1.0);
+        ds.push(&[1.0; 10], 2.0);
+        let model = MemoryModel::fit(&ds, &GbrParams::default(), 0);
+        model.predict(&CounterSample::default(), None);
+    }
+
+    #[test]
+    fn predictions_are_non_negative() {
+        let mut ds = Dataset::new(7);
+        ds.push(&[0.0; 7], -5.0);
+        ds.push(&[1.0; 7], -5.0);
+        let model = MemoryModel::fit(&ds, &GbrParams::default(), 0);
+        assert_eq!(model.predict(&CounterSample::default(), None), 0.0);
+    }
+}

@@ -1,0 +1,345 @@
+//! The end-to-end Yala predictor (§3): trains per-resource models offline
+//! and composes them by detected execution pattern at prediction time.
+
+use crate::accel_model::{infer_service_model, AccelServiceModel, InferConfig};
+use crate::adaptive::{adaptive_profile, AdaptiveConfig, TrafficRanges};
+use crate::composition::{compose, compose_min, compose_sum, detect_pattern};
+use crate::contender::{aggregate_counters, Contender};
+use crate::memory_model::MemoryModel;
+use crate::profiler::{memory_dataset_fixed, MemLevel};
+use yala_ml::GbrParams;
+use yala_nf::NfKind;
+use yala_sim::{ExecutionPattern, ResourceKind, Simulator};
+use yala_traffic::TrafficProfile;
+
+/// Composition variants, for the §2.2.1 / Table 4 ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Composition {
+    /// Yala's execution-pattern-based composition (Eq. 2 / Eq. 3).
+    ExecutionPattern,
+    /// Naive sum of per-resource drops.
+    Sum,
+    /// Naive max-drop ("min composition").
+    Min,
+}
+
+/// Training configuration for [`YalaModel::train`].
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Traffic-attribute ranges to profile over.
+    pub ranges: TrafficRanges,
+    /// Adaptive-profiling hyper-parameters.
+    pub adaptive: AdaptiveConfig,
+    /// Accelerator-inference settings.
+    pub infer: InferConfig,
+    /// GBR hyper-parameters for the memory model.
+    pub gbr: GbrParams,
+    /// Seed for the GBR.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            ranges: TrafficRanges::default(),
+            adaptive: AdaptiveConfig::default(),
+            infer: InferConfig::default(),
+            // More, slower stages than sklearn's default: the profiling
+            // sets are small (quota-bound), so shrinkage buys smoothness.
+            gbr: GbrParams { n_estimators: 300, learning_rate: 0.05, ..GbrParams::default() },
+            seed: 23,
+        }
+    }
+}
+
+/// A trained Yala model for one NF.
+#[derive(Debug, Clone)]
+pub struct YalaModel {
+    /// NF name.
+    pub name: String,
+    /// Detected execution pattern.
+    pub pattern: ExecutionPattern,
+    /// Black-box memory model (traffic-aware unless trained fixed).
+    pub memory: MemoryModel,
+    /// White-box accelerator models, one per accelerator the NF uses.
+    pub accels: Vec<AccelServiceModel>,
+    /// Cores the NF deploys with (observable configuration, not source).
+    pub cores: f64,
+    /// Which traffic attributes mattered during profiling.
+    pub kept_attributes: [bool; 3],
+    /// Measurements spent in offline profiling.
+    pub profiling_cost: usize,
+}
+
+impl YalaModel {
+    /// Trains Yala's full (traffic-aware) model for `kind`.
+    pub fn train(sim: &mut Simulator, kind: NfKind, cfg: &TrainConfig) -> Self {
+        // 1. Traffic-aware memory model via adaptive profiling (§5).
+        let run = adaptive_profile(sim, kind, cfg.ranges, &cfg.adaptive);
+        let memory = MemoryModel::fit(&run.dataset, &cfg.gbr, cfg.seed);
+        Self::finish(sim, kind, memory, run.kept, run.measurements, cfg)
+    }
+
+    /// Trains the fixed-traffic variant (memory model with 7 features at
+    /// one profile) — used by the §7.3 multi-resource-only experiments.
+    pub fn train_fixed(
+        sim: &mut Simulator,
+        kind: NfKind,
+        profile: TrafficProfile,
+        cfg: &TrainConfig,
+    ) -> Self {
+        let target = kind.workload(profile, kind as usize as u64);
+        let ds = memory_dataset_fixed(sim, &target, &crate::profiler::default_mem_grid());
+        let memory = MemoryModel::fit(&ds, &cfg.gbr, cfg.seed);
+        Self::finish(sim, kind, memory, [false; 3], ds.len(), cfg)
+    }
+
+    fn finish(
+        sim: &mut Simulator,
+        kind: NfKind,
+        memory: MemoryModel,
+        kept: [bool; 3],
+        mem_cost: usize,
+        cfg: &TrainConfig,
+    ) -> Self {
+        // 2. White-box accelerator models (§4.1.1) at the training defaults.
+        let mut accels = Vec::new();
+        let mut cost = mem_cost;
+        for kind_a in [ResourceKind::Regex, ResourceKind::Compression] {
+            if sim.spec().accel(kind_a).is_none() {
+                continue;
+            }
+            let mut workload_at = |mtbr: f64| {
+                let mut p = TrafficProfile::default();
+                p.mtbr = mtbr;
+                kind.workload(p, kind as usize as u64)
+            };
+            if let Some(m) = infer_service_model(sim, kind_a, &mut workload_at, &cfg.infer) {
+                cost += cfg.infer.mtbrs.len();
+                accels.push(m);
+            }
+        }
+        // 3. Execution-pattern detection (§4.2).
+        let pattern = Self::detect(sim, kind, &accels, &mut cost);
+        Self {
+            name: kind.name().to_string(),
+            pattern,
+            memory,
+            accels,
+            cores: yala_nf::runtime::DEFAULT_CORES as f64,
+            kept_attributes: kept,
+            profiling_cost: cost,
+        }
+    }
+
+    /// Pattern detection by co-running with benches and testing which
+    /// composition law fits (§4.2).
+    fn detect(
+        sim: &mut Simulator,
+        kind: NfKind,
+        accels: &[AccelServiceModel],
+        cost: &mut usize,
+    ) -> ExecutionPattern {
+        let Some(accel) = accels.first() else {
+            // Single-resource NF: composition is vacuous.
+            return ExecutionPattern::RunToCompletion;
+        };
+        let target = kind.workload(TrafficProfile::default(), kind as usize as u64);
+        let mem = MemLevel { car: 1.5e8, wss: 8e6, cycles: 60.0 }.bench();
+        let acc_bench = match accel.kind {
+            ResourceKind::Regex => yala_nf::bench::regex_bench(1e12, 1446.0, 1_500.0),
+            ResourceKind::Compression => yala_nf::bench::compression_bench(1e12, 1446.0),
+            other => panic!("unexpected accelerator {other}"),
+        };
+        *cost += 4;
+        let t_solo = sim.solo(&target).throughput_pps;
+        let t_mem = sim.co_run(&[target.clone(), mem.clone()]).outcomes[0].throughput_pps;
+        let t_acc = sim.co_run(&[target.clone(), acc_bench.clone()]).outcomes[0].throughput_pps;
+        let t_both = sim.co_run(&[target, mem, acc_bench]).outcomes[0].throughput_pps;
+        detect_pattern(t_solo, t_mem, t_acc, t_both)
+    }
+
+    /// Per-resource throughput predictions `T_k` (memory first, then each
+    /// accelerator), clamped at `solo_tput`. For a pipeline NF the
+    /// accelerator entry is the Eq. 1 stage cap; for run-to-completion it
+    /// is the sojourn-delta end-to-end value (the paper's Eq. 3 input).
+    pub fn per_resource(
+        &self,
+        solo_tput: f64,
+        traffic: &TrafficProfile,
+        contenders: &[Contender],
+    ) -> Vec<(ResourceKind, f64)> {
+        assert!(solo_tput > 0.0, "solo throughput must be positive");
+        let traffic_arg = self.memory.is_traffic_aware().then_some(traffic);
+        let mem = self
+            .memory
+            .predict(&aggregate_counters(contenders), traffic_arg)
+            .min(solo_tput);
+        let mut out = vec![(ResourceKind::CpuMem, mem)];
+        for am in &self.accels {
+            let t_k = match self.pattern {
+                ExecutionPattern::Pipeline => {
+                    am.contended_cap(traffic.mtbr, contenders).min(solo_tput)
+                }
+                ExecutionPattern::RunToCompletion => am
+                    .rtc_end_to_end(solo_tput, traffic.mtbr, self.cores, contenders)
+                    .min(solo_tput),
+            };
+            out.push((am.kind, t_k));
+        }
+        out
+    }
+
+    /// Predicts the target's end-to-end throughput when co-located with
+    /// `contenders` under `traffic`, given its measured solo throughput at
+    /// that profile.
+    pub fn predict(
+        &self,
+        solo_tput: f64,
+        traffic: &TrafficProfile,
+        contenders: &[Contender],
+    ) -> f64 {
+        self.predict_with(Composition::ExecutionPattern, solo_tput, traffic, contenders)
+    }
+
+    /// Prediction with an explicit composition variant (for ablations).
+    pub fn predict_with(
+        &self,
+        composition: Composition,
+        solo_tput: f64,
+        traffic: &TrafficProfile,
+        contenders: &[Contender],
+    ) -> f64 {
+        let per: Vec<f64> =
+            self.per_resource(solo_tput, traffic, contenders).iter().map(|(_, t)| *t).collect();
+        match composition {
+            Composition::ExecutionPattern => compose(self.pattern, solo_tput, &per),
+            Composition::Sum => compose_sum(solo_tput, &per),
+            Composition::Min => compose_min(solo_tput, &per),
+        }
+    }
+
+    /// This NF's contender description when *it* is the competitor: its
+    /// solo counters plus its fitted accelerator pressure at its traffic's
+    /// MTBR.
+    pub fn as_contender(
+        &self,
+        counters: yala_sim::CounterSample,
+        mtbr: f64,
+    ) -> Contender {
+        let mut c = Contender::memory_only(self.name.clone(), counters);
+        for am in &self.accels {
+            c = c.with_accel(crate::contender::AccelContention {
+                kind: am.kind,
+                queues: am.queues,
+                service_s: am.service_time(mtbr),
+            });
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::mem_bench_contender;
+    use yala_ml::metrics;
+    use yala_sim::NicSpec;
+
+    fn sim() -> Simulator {
+        Simulator::with_noise(NicSpec::bluefield2(), 0.005, 99)
+    }
+
+    fn quick_cfg() -> TrainConfig {
+        TrainConfig::default()
+    }
+
+    #[test]
+    fn trains_and_predicts_memory_only_nf() {
+        let mut sim = sim();
+        let model = YalaModel::train(&mut sim, NfKind::FlowStats, &quick_cfg());
+        assert!(model.accels.is_empty());
+        assert!(model.kept_attributes[0], "flow count kept");
+
+        // Evaluate at an unseen profile and contention level.
+        let traffic = TrafficProfile::new(40_000, 1024, 0.0);
+        let target = NfKind::FlowStats.workload(traffic, 5);
+        let solo = sim.solo(&target).throughput_pps;
+        let level = MemLevel { car: 1.3e8, wss: 7e6, cycles: 600.0 };
+        let truth =
+            sim.co_run(&[target, level.bench()]).outcomes[0].throughput_pps;
+        let contender = mem_bench_contender(&mut sim, level);
+        let pred = model.predict(solo, &traffic, std::slice::from_ref(&contender));
+        let err = metrics::ape(truth, pred);
+        assert!(err < 12.0, "pred {pred} truth {truth} err {err}");
+    }
+
+    #[test]
+    fn multi_resource_nf_gets_accel_model_and_pattern() {
+        let mut sim = sim();
+        let model = YalaModel::train(&mut sim, NfKind::FlowMonitor, &quick_cfg());
+        assert_eq!(model.accels.len(), 1);
+        assert_eq!(model.accels[0].kind, ResourceKind::Regex);
+        assert!(model.kept_attributes[2], "MTBR kept for a regex NF");
+        assert_eq!(
+            model.pattern,
+            ExecutionPattern::RunToCompletion,
+            "FlowMonitor is run-to-completion"
+        );
+    }
+
+    #[test]
+    fn pipeline_nf_detected() {
+        let mut sim = sim();
+        let model = YalaModel::train(&mut sim, NfKind::PacketFilter, &quick_cfg());
+        assert_eq!(model.pattern, ExecutionPattern::Pipeline);
+    }
+
+    #[test]
+    fn prediction_improves_under_regex_contention_vs_memory_only_view() {
+        // The headline claim (Fig. 2): modeling the accelerator matters.
+        let mut sim = sim();
+        let model = YalaModel::train(&mut sim, NfKind::FlowMonitor, &quick_cfg());
+        let traffic = TrafficProfile::default();
+        let target = NfKind::FlowMonitor.workload(traffic, 5);
+        let solo = sim.solo(&target).throughput_pps;
+
+        let regex_hog = yala_nf::bench::regex_bench(1e12, 1446.0, 2_000.0);
+        let truth =
+            sim.co_run(&[target, regex_hog]).outcomes[0].throughput_pps;
+        let contender = crate::profiler::regex_bench_contender(&mut sim, 1e12, 1446.0, 2_000.0);
+        let pred = model.predict(solo, &traffic, std::slice::from_ref(&contender));
+        let err = metrics::ape(truth, pred);
+        assert!(err < 15.0, "Yala must see regex contention: {err} ({pred} vs {truth})");
+
+        // A memory-only view would predict ~solo.
+        let mem_only = model.per_resource(solo, &traffic, std::slice::from_ref(&contender))[0].1;
+        assert!(metrics::ape(truth, mem_only) > 20.0, "memory-only view must miss");
+    }
+
+    #[test]
+    fn as_contender_exports_accel_pressure() {
+        let mut sim = sim();
+        let model = YalaModel::train(&mut sim, NfKind::Nids, &quick_cfg());
+        let c = model.as_contender(Default::default(), 600.0);
+        assert!(c.pressure_on(ResourceKind::Regex) > 0.0);
+    }
+
+    #[test]
+    fn composition_variants_order_sensibly() {
+        let mut sim = sim();
+        let model = YalaModel::train(&mut sim, NfKind::FlowMonitor, &quick_cfg());
+        let traffic = TrafficProfile::default();
+        let solo = 1e6;
+        let mem_level = MemLevel { car: 1.5e8, wss: 8e6, cycles: 60.0 };
+        let contenders = vec![
+            mem_bench_contender(&mut sim, mem_level),
+            crate::profiler::regex_bench_contender(&mut sim, 1e12, 1446.0, 1_000.0),
+        ];
+        let sum = model.predict_with(Composition::Sum, solo, &traffic, &contenders);
+        let min = model.predict_with(Composition::Min, solo, &traffic, &contenders);
+        let rtc = model.predict_with(Composition::ExecutionPattern, solo, &traffic, &contenders);
+        assert!(sum <= rtc + 1.0, "sum over-subtracts: {sum} vs {rtc}");
+        assert!(rtc <= min + 1.0, "rtc compounds more than min: {rtc} vs {min}");
+    }
+}

@@ -1,0 +1,119 @@
+//! # yala-diagnosis — performance-bottleneck diagnosis (§7.5.2)
+//!
+//! Given a co-location and the target's traffic, which resource limits its
+//! throughput? The paper's ground truth is `perf`-style hotspot analysis;
+//! ours is the simulator's per-resource time accounting. Yala diagnoses by
+//! comparing its per-resource throughput predictions; SLOMO, being
+//! memory-only, can only ever answer "memory" — which is exactly why it
+//! fails on NFs whose bottleneck shifts with traffic (Table 7).
+
+use yala_core::{Contender, YalaModel};
+use yala_sim::ResourceKind;
+use yala_traffic::TrafficProfile;
+
+/// A diagnosis verdict: the predicted bottleneck resource.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Diagnosis {
+    /// The resource predicted to limit throughput.
+    pub bottleneck: ResourceKind,
+    /// Predicted throughput at the bottleneck resource.
+    pub limiting_tput: f64,
+}
+
+/// Yala's diagnosis: the resource whose per-resource model predicts the
+/// lowest throughput is the bottleneck.
+pub fn diagnose_yala(
+    model: &YalaModel,
+    solo_tput: f64,
+    traffic: &TrafficProfile,
+    contenders: &[Contender],
+) -> Diagnosis {
+    let per = model.per_resource(solo_tput, traffic, contenders);
+    let (kind, tput) = per
+        .into_iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite predictions"))
+        .expect("at least the memory resource");
+    Diagnosis { bottleneck: kind, limiting_tput: tput }
+}
+
+/// SLOMO's diagnosis: with a memory-only model, every degradation is
+/// attributed to the memory subsystem.
+pub fn diagnose_slomo(predicted_tput: f64) -> Diagnosis {
+    Diagnosis { bottleneck: ResourceKind::CpuMem, limiting_tput: predicted_tput }
+}
+
+/// Accuracy of a batch of diagnoses against ground truth.
+pub fn correctness(predicted: &[ResourceKind], truth: &[ResourceKind]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    assert!(!predicted.is_empty(), "empty diagnosis batch");
+    100.0
+        * predicted.iter().zip(truth).filter(|(p, t)| p == t).count() as f64
+        / predicted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yala_core::TrainConfig;
+    use yala_nf::NfKind;
+    use yala_sim::{NicSpec, Simulator};
+
+    #[test]
+    fn slomo_always_says_memory() {
+        let d = diagnose_slomo(1e6);
+        assert_eq!(d.bottleneck, ResourceKind::CpuMem);
+    }
+
+    #[test]
+    fn correctness_math() {
+        use ResourceKind::*;
+        let pred = [CpuMem, Regex, Regex, CpuMem];
+        let truth = [CpuMem, Regex, CpuMem, CpuMem];
+        assert!((correctness(&pred, &truth) - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn yala_diagnosis_matches_ground_truth_as_bottleneck_shifts() {
+        // FlowMonitor's bottleneck shifts between the memory subsystem and
+        // the regex engine depending on traffic and contention mix
+        // (§7.5.2). Yala's verdict must agree with the simulator's
+        // ground-truth accounting in both regimes; a memory-only predictor
+        // is only right in the first.
+        let mut sim = Simulator::with_noise(NicSpec::bluefield2(), 0.005, 4);
+        let model = YalaModel::train(&mut sim, NfKind::FlowMonitor, &TrainConfig::default());
+
+        // Regime A: low MTBR, heavy memory contention -> memory-bound.
+        let mem_heavy = yala_core::profiler::MemLevel { car: 2.0e8, wss: 12e6, cycles: 60.0 };
+        let traffic_a = TrafficProfile::new(16_000, 1500, 80.0);
+        let target_a = NfKind::FlowMonitor.workload(traffic_a, 2);
+        let truth_a = sim
+            .co_run(&[target_a.clone(), mem_heavy.bench()])
+            .outcomes[0]
+            .bottleneck;
+        assert_eq!(truth_a, ResourceKind::CpuMem, "regime A setup");
+        let solo_a = sim.solo(&target_a).throughput_pps;
+        let contenders_a = vec![yala_core::profiler::mem_bench_contender(&mut sim, mem_heavy)];
+        let verdict_a = diagnose_yala(&model, solo_a, &traffic_a, &contenders_a).bottleneck;
+        assert_eq!(verdict_a, truth_a, "Yala must call regime A memory-bound");
+
+        // Regime B: high MTBR, heavy regex contention, mild memory ->
+        // regex-bound.
+        let traffic_b = TrafficProfile::new(16_000, 1500, 1_000.0);
+        let target_b = NfKind::FlowMonitor.workload(traffic_b, 2);
+        let regex_heavy = yala_nf::bench::regex_bench(1e12, 1446.0, 10_000.0);
+        let truth_b = sim
+            .co_run(&[target_b.clone(), regex_heavy])
+            .outcomes[0]
+            .bottleneck;
+        assert_eq!(truth_b, ResourceKind::Regex, "regime B setup");
+        let solo_b = sim.solo(&target_b).throughput_pps;
+        let contenders_b =
+            vec![yala_core::profiler::regex_bench_contender(&mut sim, 1e12, 1446.0, 10_000.0)];
+        let verdict_b = diagnose_yala(&model, solo_b, &traffic_b, &contenders_b).bottleneck;
+        assert_eq!(verdict_b, truth_b, "Yala must call regime B regex-bound");
+
+        // SLOMO's memory-only view is right in A, wrong in B.
+        assert_eq!(diagnose_slomo(solo_a).bottleneck, truth_a);
+        assert_ne!(diagnose_slomo(solo_b).bottleneck, truth_b);
+    }
+}

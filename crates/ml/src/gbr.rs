@@ -1,0 +1,238 @@
+//! Gradient boosting regression (least-squares loss).
+//!
+//! Mirrors the parts of sklearn's `GradientBoostingRegressor` that SLOMO and
+//! Yala rely on: an additive ensemble of shallow CART trees fitted to
+//! residuals, with shrinkage (`learning_rate`) and optional stochastic
+//! subsampling. Deterministic for a fixed seed.
+
+use crate::tree::{RegressionTree, TreeParams};
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for [`GradientBoostingRegressor`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GbrParams {
+    /// Number of boosting stages. sklearn default: 100.
+    pub n_estimators: usize,
+    /// Shrinkage applied to each stage's contribution. sklearn default: 0.1.
+    pub learning_rate: f64,
+    /// Fraction of rows sampled (without replacement) per stage; 1.0 = all.
+    pub subsample: f64,
+    /// Parameters of the per-stage trees.
+    pub tree: TreeParams,
+}
+
+impl Default for GbrParams {
+    fn default() -> Self {
+        Self {
+            n_estimators: 100,
+            learning_rate: 0.1,
+            subsample: 1.0,
+            tree: TreeParams::default(),
+        }
+    }
+}
+
+/// A fitted gradient-boosted ensemble.
+///
+/// # Example
+///
+/// ```
+/// use yala_ml::{Dataset, GbrParams, GradientBoostingRegressor};
+/// let mut ds = Dataset::new(2);
+/// for i in 0..20 {
+///     for j in 0..20 {
+///         let (a, b) = (i as f64, j as f64);
+///         ds.push(&[a, b], a * 2.0 + (b - 10.0).abs());
+///     }
+/// }
+/// let model = GradientBoostingRegressor::fit(&ds, &GbrParams::default(), 42);
+/// let err = (model.predict(&[5.0, 10.0]) - 10.0).abs();
+/// assert!(err < 1.0, "err={err}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GradientBoostingRegressor {
+    base: f64,
+    learning_rate: f64,
+    stages: Vec<RegressionTree>,
+    n_features: usize,
+}
+
+impl GradientBoostingRegressor {
+    /// Fits the ensemble on `ds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ds` is empty or `params.subsample` is outside `(0, 1]`.
+    pub fn fit(ds: &Dataset, params: &GbrParams, seed: u64) -> Self {
+        assert!(!ds.is_empty(), "cannot fit GBR on an empty dataset");
+        assert!(
+            params.subsample > 0.0 && params.subsample <= 1.0,
+            "subsample must be in (0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = ds.target_mean();
+        let mut current: Vec<f64> = vec![base; ds.len()];
+        let mut stages = Vec::with_capacity(params.n_estimators);
+        let sample_size = ((ds.len() as f64) * params.subsample).ceil() as usize;
+        let residual_ds_rows: Vec<usize> = (0..ds.len()).collect();
+
+        for _ in 0..params.n_estimators {
+            // Residuals of the squared loss are just y - F(x).
+            let rows: Vec<usize> = if params.subsample < 1.0 {
+                sample_without_replacement(&mut rng, ds.len(), sample_size)
+            } else {
+                residual_ds_rows.clone()
+            };
+            let mut stage_ds = Dataset::new(ds.n_features());
+            for &i in &rows {
+                stage_ds.push(ds.row(i), ds.target(i) - current[i]);
+            }
+            let tree = RegressionTree::fit(&stage_ds, &params.tree);
+            // Update F on *all* rows (not just the subsample).
+            for (i, cur) in current.iter_mut().enumerate() {
+                *cur += params.learning_rate * tree.predict(ds.row(i));
+            }
+            stages.push(tree);
+        }
+        Self { base, learning_rate: params.learning_rate, stages, n_features: ds.n_features() }
+    }
+
+    /// Predicted value for one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training feature count.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_features, "feature width mismatch");
+        let mut acc = self.base;
+        for tree in &self.stages {
+            acc += self.learning_rate * tree.predict(x);
+        }
+        acc
+    }
+
+    /// Predictions for every row of `ds`.
+    pub fn predict_dataset(&self, ds: &Dataset) -> Vec<f64> {
+        ds.rows().map(|(x, _)| self.predict(x)).collect()
+    }
+
+    /// Number of fitted boosting stages.
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The constant (mean) prediction the ensemble starts from.
+    pub fn base_prediction(&self) -> f64 {
+        self.base
+    }
+}
+
+/// `k` distinct indices from `0..n`, Fisher–Yates over a scratch vector.
+fn sample_without_replacement(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
+    let k = k.min(n).max(1);
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    fn grid_ds(f: impl Fn(f64, f64) -> f64) -> Dataset {
+        let mut ds = Dataset::new(2);
+        for i in 0..25 {
+            for j in 0..25 {
+                let (a, b) = (i as f64, j as f64);
+                ds.push(&[a, b], f(a, b));
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn fits_additive_function() {
+        let ds = grid_ds(|a, b| 3.0 * a + 0.5 * b + 10.0);
+        let model = GradientBoostingRegressor::fit(&ds, &GbrParams::default(), 1);
+        let preds = model.predict_dataset(&ds);
+        assert!(metrics::mape(ds.targets(), &preds) < 3.0);
+    }
+
+    #[test]
+    fn fits_interaction() {
+        // Piecewise interaction that a linear model cannot capture.
+        let ds = grid_ds(|a, b| if a > 12.0 && b > 12.0 { 50.0 } else { 100.0 });
+        let model = GradientBoostingRegressor::fit(&ds, &GbrParams::default(), 1);
+        assert!((model.predict(&[20.0, 20.0]) - 50.0).abs() < 5.0);
+        assert!((model.predict(&[2.0, 20.0]) - 100.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let ds = grid_ds(|a, b| a * b);
+        let params = GbrParams { subsample: 0.7, ..GbrParams::default() };
+        let m1 = GradientBoostingRegressor::fit(&ds, &params, 99);
+        let m2 = GradientBoostingRegressor::fit(&ds, &params, 99);
+        assert_eq!(m1.predict(&[7.0, 7.0]), m2.predict(&[7.0, 7.0]));
+    }
+
+    #[test]
+    fn different_seed_changes_subsampled_fit() {
+        let ds = grid_ds(|a, b| a * b + (a - b).abs());
+        let params = GbrParams { subsample: 0.5, n_estimators: 30, ..GbrParams::default() };
+        let m1 = GradientBoostingRegressor::fit(&ds, &params, 1);
+        let m2 = GradientBoostingRegressor::fit(&ds, &params, 2);
+        // Extremely unlikely to be bit-identical across all probe points.
+        let probes = [[3.0, 4.0], [10.0, 1.0], [20.0, 20.0]];
+        assert!(probes.iter().any(|p| m1.predict(p) != m2.predict(p)));
+    }
+
+    #[test]
+    fn more_stages_fit_better() {
+        let ds = grid_ds(|a, b| (a * 0.7).sin() * 10.0 + b);
+        let small = GradientBoostingRegressor::fit(
+            &ds,
+            &GbrParams { n_estimators: 5, ..GbrParams::default() },
+            3,
+        );
+        let large = GradientBoostingRegressor::fit(
+            &ds,
+            &GbrParams { n_estimators: 200, ..GbrParams::default() },
+            3,
+        );
+        let sse = |m: &GradientBoostingRegressor| -> f64 {
+            ds.rows().map(|(x, y)| (m.predict(x) - y).powi(2)).sum()
+        };
+        assert!(sse(&large) < sse(&small) * 0.5);
+    }
+
+    #[test]
+    fn zero_stages_predicts_mean() {
+        let ds = grid_ds(|a, _| a);
+        let model = GradientBoostingRegressor::fit(
+            &ds,
+            &GbrParams { n_estimators: 0, ..GbrParams::default() },
+            0,
+        );
+        assert_eq!(model.n_stages(), 0);
+        assert_eq!(model.predict(&[0.0, 0.0]), ds.target_mean());
+    }
+
+    #[test]
+    fn sample_without_replacement_is_distinct() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = sample_without_replacement(&mut rng, 100, 40);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 40);
+    }
+}

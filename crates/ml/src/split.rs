@@ -1,0 +1,130 @@
+//! Seeded dataset splitting utilities (train/test split, k-fold).
+
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Splits `ds` into `(train, test)` with `test_fraction` of the rows held
+/// out, after a seeded shuffle.
+///
+/// # Panics
+///
+/// Panics if `test_fraction` is not in `(0, 1)` or either side would be
+/// empty.
+///
+/// # Example
+///
+/// ```
+/// use yala_ml::{Dataset, split::train_test_split};
+/// let mut ds = Dataset::new(1);
+/// for i in 0..10 { ds.push(&[i as f64], i as f64); }
+/// let (train, test) = train_test_split(&ds, 0.2, 1);
+/// assert_eq!(train.len(), 8);
+/// assert_eq!(test.len(), 2);
+/// ```
+pub fn train_test_split(ds: &Dataset, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test fraction must be in (0, 1)"
+    );
+    let n = ds.len();
+    let n_test = ((n as f64) * test_fraction).round() as usize;
+    assert!(n_test >= 1 && n_test < n, "split would leave an empty side");
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    let test_idx = &order[..n_test];
+    let train_idx = &order[n_test..];
+    (ds.select(train_idx), ds.select(test_idx))
+}
+
+/// Yields `k` (train, test) folds over a seeded shuffle of `ds`.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k > ds.len()`.
+pub fn k_fold(ds: &Dataset, k: usize, seed: u64) -> Vec<(Dataset, Dataset)> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(k <= ds.len(), "more folds than rows");
+    let mut order: Vec<usize> = (0..ds.len()).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut folds = Vec::with_capacity(k);
+    let base = ds.len() / k;
+    let extra = ds.len() % k;
+    let mut start = 0usize;
+    for f in 0..k {
+        let size = base + usize::from(f < extra);
+        let test_idx: Vec<usize> = order[start..start + size].to_vec();
+        let train_idx: Vec<usize> = order[..start]
+            .iter()
+            .chain(order[start + size..].iter())
+            .copied()
+            .collect();
+        folds.push((ds.select(&train_idx), ds.select(&test_idx)));
+        start += size;
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let mut ds = Dataset::new(1);
+        for i in 0..n {
+            ds.push(&[i as f64], i as f64);
+        }
+        ds
+    }
+
+    #[test]
+    fn split_sizes() {
+        let ds = toy(100);
+        let (train, test) = train_test_split(&ds, 0.25, 3);
+        assert_eq!(train.len(), 75);
+        assert_eq!(test.len(), 25);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let ds = toy(50);
+        let (train, test) = train_test_split(&ds, 0.3, 3);
+        let mut seen: Vec<f64> = train.targets().to_vec();
+        seen.extend_from_slice(test.targets());
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn split_deterministic_per_seed() {
+        let ds = toy(40);
+        let (_, t1) = train_test_split(&ds, 0.5, 9);
+        let (_, t2) = train_test_split(&ds, 0.5, 9);
+        assert_eq!(t1.targets(), t2.targets());
+        let (_, t3) = train_test_split(&ds, 0.5, 10);
+        assert_ne!(t1.targets(), t3.targets());
+    }
+
+    #[test]
+    fn kfold_covers_every_row_once() {
+        let ds = toy(23);
+        let folds = k_fold(&ds, 4, 7);
+        assert_eq!(folds.len(), 4);
+        let mut all_test: Vec<f64> = Vec::new();
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 23);
+            all_test.extend_from_slice(test.targets());
+        }
+        all_test.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect: Vec<f64> = (0..23).map(|i| i as f64).collect();
+        assert_eq!(all_test, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn kfold_rejects_k1() {
+        k_fold(&toy(10), 1, 0);
+    }
+}

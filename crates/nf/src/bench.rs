@@ -1,0 +1,279 @@
+//! Synthetic benchmarking NFs (paper §6): `mem-bench`, `regex-bench` and
+//! `compression-bench` apply *configurable* contention on one resource at a
+//! time — they generate Yala's training data, support the contention-
+//! behaviour studies (Figs. 4/5), and serve as microbenchmarks. Also
+//! provides the synthetic pipeline / run-to-completion NFs (NF1, NF2,
+//! regex-NF) used in Figs. 2b/4/5 and Table 4.
+
+use yala_sim::{ExecutionPattern, ResourceKind, StageDemand, WorkloadSpec};
+
+/// Cache references per "packet" (loop iteration) of mem-bench. The target
+/// CAR is reached by capping the offered iteration rate.
+pub const MEM_BENCH_REFS_PER_PKT: f64 = 100.0;
+
+/// mem-bench: asserts a configurable cache-access rate (`car_refs_per_s`)
+/// over a working set of `wss_bytes`, with a 50/50 read/write mix.
+///
+/// # Example
+///
+/// ```
+/// use yala_nf::bench::mem_bench;
+/// let w = mem_bench(100e6, 5.0e6);
+/// assert_eq!(w.offered_pps, Some(100e6 / 100.0));
+/// assert_eq!(w.wss_bytes(), 5.0e6);
+/// ```
+pub fn mem_bench(car_refs_per_s: f64, wss_bytes: f64) -> WorkloadSpec {
+    mem_bench_with_cycles(car_refs_per_s, wss_bytes, 60.0)
+}
+
+/// mem-bench with a configurable compute intensity per iteration. Sweeping
+/// `cycles_per_pkt` decorrelates the IPC/IRT counters from CAR in training
+/// data, so models learn the causal features (CAR/WSS/MEM*) rather than
+/// bench-specific correlations.
+pub fn mem_bench_with_cycles(
+    car_refs_per_s: f64,
+    wss_bytes: f64,
+    cycles_per_pkt: f64,
+) -> WorkloadSpec {
+    assert!(car_refs_per_s > 0.0, "CAR must be positive");
+    assert!(cycles_per_pkt >= 0.0, "cycles must be non-negative");
+    WorkloadSpec::new(
+        "mem-bench",
+        2,
+        ExecutionPattern::RunToCompletion,
+        vec![StageDemand::CpuMem {
+            cycles_per_pkt,
+            cache_refs_per_pkt: MEM_BENCH_REFS_PER_PKT,
+            write_frac: 0.5,
+            wss_bytes,
+        }],
+    )
+    .with_offered_pps(car_refs_per_s / MEM_BENCH_REFS_PER_PKT)
+    .with_packet_bytes(64.0)
+}
+
+/// regex-bench: submits `offered_rps` requests/second of `bytes_per_req`
+/// payloads carrying `mtbr_per_mb` matches per MB to the regex accelerator.
+pub fn regex_bench(offered_rps: f64, bytes_per_req: f64, mtbr_per_mb: f64) -> WorkloadSpec {
+    assert!(offered_rps > 0.0, "offered rate must be positive");
+    assert!(bytes_per_req > 0.0, "request size must be positive");
+    WorkloadSpec::new(
+        "regex-bench",
+        2,
+        // Fire-and-forget submission: the bench enqueues asynchronously, so
+        // its throughput equals its accelerator grant (pipeline semantics).
+        ExecutionPattern::Pipeline,
+        vec![
+            StageDemand::CpuMem {
+                cycles_per_pkt: 40.0,
+                cache_refs_per_pkt: 2.0,
+                write_frac: 0.5,
+                wss_bytes: 64.0 * 1024.0,
+            },
+            StageDemand::Accelerator {
+                kind: ResourceKind::Regex,
+                queues: 1,
+                reqs_per_pkt: 1.0,
+                bytes_per_req,
+                matches_per_req: mtbr_per_mb * bytes_per_req / 1e6,
+            },
+        ],
+    )
+    .with_offered_pps(offered_rps)
+    .with_packet_bytes(bytes_per_req + 54.0)
+}
+
+/// compression-bench: submits `offered_rps` requests of `bytes_per_req`
+/// to the compression accelerator.
+pub fn compression_bench(offered_rps: f64, bytes_per_req: f64) -> WorkloadSpec {
+    assert!(offered_rps > 0.0, "offered rate must be positive");
+    WorkloadSpec::new(
+        "compression-bench",
+        2,
+        // Fire-and-forget submission, as with regex-bench.
+        ExecutionPattern::Pipeline,
+        vec![
+            StageDemand::CpuMem {
+                cycles_per_pkt: 40.0,
+                cache_refs_per_pkt: 2.0,
+                write_frac: 0.5,
+                wss_bytes: 64.0 * 1024.0,
+            },
+            StageDemand::Accelerator {
+                kind: ResourceKind::Compression,
+                queues: 1,
+                reqs_per_pkt: 1.0,
+                bytes_per_req,
+                matches_per_req: 0.0,
+            },
+        ],
+    )
+    .with_offered_pps(offered_rps)
+    .with_packet_bytes(bytes_per_req + 54.0)
+}
+
+/// regex-NF (Fig. 4): an open-loop synthetic NF whose packets go straight
+/// to the regex accelerator as small scan requests at the given MTBR.
+pub fn regex_nf(name: &str, bytes_per_req: f64, mtbr_per_mb: f64) -> WorkloadSpec {
+    WorkloadSpec::new(
+        name,
+        2,
+        ExecutionPattern::Pipeline,
+        vec![
+            StageDemand::CpuMem {
+                cycles_per_pkt: 30.0,
+                cache_refs_per_pkt: 2.0,
+                write_frac: 0.5,
+                wss_bytes: 64.0 * 1024.0,
+            },
+            StageDemand::Accelerator {
+                kind: ResourceKind::Regex,
+                queues: 1,
+                reqs_per_pkt: 1.0,
+                bytes_per_req,
+                matches_per_req: mtbr_per_mb * bytes_per_req / 1e6,
+            },
+        ],
+    )
+    .with_packet_bytes(bytes_per_req + 54.0)
+}
+
+/// Synthetic NF1 (Fig. 2b / Table 4): memory + regex, in either execution
+/// pattern.
+pub fn synthetic_nf1(pattern: ExecutionPattern) -> WorkloadSpec {
+    WorkloadSpec::new(
+        match pattern {
+            ExecutionPattern::Pipeline => "nf1-pipeline",
+            ExecutionPattern::RunToCompletion => "nf1-rtc",
+        },
+        2,
+        pattern,
+        vec![
+            StageDemand::CpuMem {
+                cycles_per_pkt: 2_200.0,
+                cache_refs_per_pkt: 60.0,
+                write_frac: 0.35,
+                wss_bytes: 3.0e6,
+            },
+            StageDemand::Accelerator {
+                kind: ResourceKind::Regex,
+                queues: 1,
+                reqs_per_pkt: 1.0,
+                bytes_per_req: 1446.0,
+                matches_per_req: 0.9,
+            },
+        ],
+    )
+}
+
+/// Synthetic NF2 (Fig. 2b / Table 4): memory + regex + compression.
+pub fn synthetic_nf2(pattern: ExecutionPattern) -> WorkloadSpec {
+    WorkloadSpec::new(
+        match pattern {
+            ExecutionPattern::Pipeline => "nf2-pipeline",
+            ExecutionPattern::RunToCompletion => "nf2-rtc",
+        },
+        2,
+        pattern,
+        vec![
+            StageDemand::CpuMem {
+                cycles_per_pkt: 1_800.0,
+                cache_refs_per_pkt: 50.0,
+                write_frac: 0.35,
+                wss_bytes: 2.0e6,
+            },
+            StageDemand::Accelerator {
+                kind: ResourceKind::Regex,
+                queues: 1,
+                reqs_per_pkt: 1.0,
+                bytes_per_req: 1446.0,
+                matches_per_req: 0.7,
+            },
+            StageDemand::Accelerator {
+                kind: ResourceKind::Compression,
+                queues: 1,
+                reqs_per_pkt: 1.0,
+                bytes_per_req: 1446.0,
+                matches_per_req: 0.0,
+            },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yala_sim::{NicSpec, Simulator};
+
+    #[test]
+    fn mem_bench_hits_target_car_uncontended() {
+        let mut sim = Simulator::new(NicSpec::bluefield2());
+        let target_car = 8e7;
+        let o = sim.solo(&mem_bench(target_car, 1e6));
+        let achieved = o.counters.car();
+        assert!(
+            (achieved - target_car).abs() / target_car < 0.02,
+            "target {target_car}, achieved {achieved}"
+        );
+    }
+
+    #[test]
+    fn regex_bench_mtbr_to_matches() {
+        let w = regex_bench(1e6, 1_000_000.0, 600.0);
+        match &w.stages[1] {
+            StageDemand::Accelerator { matches_per_req, .. } => {
+                assert!((*matches_per_req - 600.0).abs() < 1e-9)
+            }
+            other => panic!("unexpected stage {other:?}"),
+        }
+    }
+
+    #[test]
+    fn benches_use_one_resource_heavily() {
+        let m = mem_bench(1e8, 1e6);
+        assert!(!m.uses(ResourceKind::Regex));
+        let r = regex_bench(1e6, 1446.0, 600.0);
+        assert!(r.uses(ResourceKind::Regex));
+        assert!(r.cache_refs_per_pkt() < 5.0, "regex-bench touches memory negligibly");
+        let c = compression_bench(1e6, 1446.0);
+        assert!(c.uses(ResourceKind::Compression));
+        assert!(!c.uses(ResourceKind::Regex));
+    }
+
+    #[test]
+    fn synthetic_nfs_have_expected_resources() {
+        let nf1 = synthetic_nf1(ExecutionPattern::RunToCompletion);
+        assert_eq!(
+            nf1.resources(),
+            vec![ResourceKind::CpuMem, ResourceKind::Regex]
+        );
+        let nf2 = synthetic_nf2(ExecutionPattern::Pipeline);
+        assert_eq!(
+            nf2.resources(),
+            vec![ResourceKind::CpuMem, ResourceKind::Regex, ResourceKind::Compression]
+        );
+    }
+
+    #[test]
+    fn fig4_equilibrium_shape() {
+        // regex-NF co-run with regex-bench: as bench arrival rises, regex-NF
+        // throughput declines then flattens at an equilibrium equal to the
+        // bench's (same queue count).
+        let mut sim = Simulator::new(NicSpec::bluefield2());
+        let nf = regex_nf("regex-nf", 64.0, 194.0);
+        let solo = sim.solo(&nf).throughput_pps;
+        let mut last = f64::INFINITY;
+        let mut final_pair = (0.0, 0.0);
+        for arrival in [1e6, 10e6, 20e6, 40e6, 80e6] {
+            let r = sim.co_run(&[nf.clone(), regex_bench(arrival, 64.0, 194.0)]);
+            let t_nf = r.outcome("regex-nf").throughput_pps;
+            assert!(t_nf <= last * 1.001);
+            last = t_nf;
+            final_pair = (t_nf, r.outcome("regex-bench").throughput_pps);
+        }
+        assert!(last < solo, "contention must bite");
+        // At saturation both sides converge (equal queues -> equal tput).
+        let (a, b) = final_pair;
+        assert!((a - b).abs() / a < 0.05, "equilibrium {a} vs {b}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Per-packet cost accounting: NFs do real work (hash probes, trie walks,
+//! payload scans) and report the hardware cost of each operation through a
+//! [`CostTracker`]. The instrumentation harness aggregates these into a
+//! [`yala_sim::WorkloadSpec`].
+
+use yala_sim::ResourceKind;
+
+/// Cycles charged per packet by the framework (Click/DPDK RX → TX path,
+/// descriptor handling, scheduling) before any NF logic runs.
+pub const FRAMEWORK_CYCLES: f64 = 2_800.0;
+/// Cache-line references charged per packet by the framework (descriptor
+/// rings, packet metadata).
+pub const FRAMEWORK_READS: f64 = 12.0;
+/// Framework write references per packet.
+pub const FRAMEWORK_WRITES: f64 = 6.0;
+
+/// Cycles to parse the Ethernet/IP/TCP headers.
+pub const PARSE_CYCLES: f64 = 120.0;
+/// Cycles for one 64-bit hash computation.
+pub const HASH_CYCLES: f64 = 40.0;
+/// Cycles per hash-table probe (compare + branch).
+pub const PROBE_CYCLES: f64 = 12.0;
+/// Cycles per table-entry update.
+pub const UPDATE_CYCLES: f64 = 10.0;
+/// Cycles per trie level traversed in LPM lookup.
+pub const TRIE_STEP_CYCLES: f64 = 10.0;
+/// Cycles to evaluate one ACL rule against a header.
+pub const ACL_RULE_CYCLES: f64 = 6.0;
+/// Cycles per payload byte for checksum/copy style processing.
+pub const PER_BYTE_CYCLES: f64 = 0.75;
+/// Bytes per cache line (for converting byte touches to references).
+pub const LINE_BYTES: f64 = 64.0;
+
+/// One accelerator request recorded during processing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccelRequest {
+    /// Target accelerator.
+    pub kind: ResourceKind,
+    /// Payload bytes submitted.
+    pub bytes: f64,
+    /// Rule matches the request produced (regex only).
+    pub matches: f64,
+}
+
+/// Accumulates the hardware cost of processing one packet.
+///
+/// # Example
+///
+/// ```
+/// use yala_nf::cost::CostTracker;
+/// let mut c = CostTracker::new();
+/// c.compute(100.0);
+/// c.read_lines(3.0);
+/// c.write_lines(1.0);
+/// assert_eq!(c.cycles, 100.0);
+/// assert_eq!(c.reads, 3.0);
+/// assert_eq!(c.writes, 1.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CostTracker {
+    /// Pure compute cycles.
+    pub cycles: f64,
+    /// Cache-line read references.
+    pub reads: f64,
+    /// Cache-line write references.
+    pub writes: f64,
+    /// Accelerator requests issued for this packet.
+    pub accel: Vec<AccelRequest>,
+}
+
+impl CostTracker {
+    /// Fresh tracker for one packet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges pure compute cycles.
+    pub fn compute(&mut self, cycles: f64) {
+        debug_assert!(cycles >= 0.0);
+        self.cycles += cycles;
+    }
+
+    /// Charges `n` cache-line reads.
+    pub fn read_lines(&mut self, n: f64) {
+        debug_assert!(n >= 0.0);
+        self.reads += n;
+    }
+
+    /// Charges `n` cache-line writes.
+    pub fn write_lines(&mut self, n: f64) {
+        debug_assert!(n >= 0.0);
+        self.writes += n;
+    }
+
+    /// Charges a sequential touch of `bytes` payload bytes (read).
+    pub fn touch_payload(&mut self, bytes: f64) {
+        self.compute(bytes * PER_BYTE_CYCLES);
+        self.read_lines((bytes / LINE_BYTES).ceil());
+    }
+
+    /// Records a request submitted to a hardware accelerator.
+    pub fn accel_request(&mut self, kind: ResourceKind, bytes: f64, matches: f64) {
+        debug_assert!(kind != ResourceKind::CpuMem, "CpuMem is not an accelerator");
+        self.accel.push(AccelRequest { kind, bytes, matches });
+    }
+
+    /// Total cache references (reads + writes).
+    pub fn refs(&self) -> f64 {
+        self.reads + self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let mut c = CostTracker::new();
+        c.compute(10.0);
+        c.compute(5.0);
+        c.read_lines(2.0);
+        c.write_lines(1.0);
+        assert_eq!(c.cycles, 15.0);
+        assert_eq!(c.refs(), 3.0);
+    }
+
+    #[test]
+    fn touch_payload_charges_lines_and_cycles() {
+        let mut c = CostTracker::new();
+        c.touch_payload(130.0);
+        assert_eq!(c.reads, 3.0); // ceil(130/64)
+        assert!((c.cycles - 130.0 * PER_BYTE_CYCLES).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accel_requests_recorded() {
+        let mut c = CostTracker::new();
+        c.accel_request(ResourceKind::Regex, 1000.0, 2.0);
+        assert_eq!(c.accel.len(), 1);
+        assert_eq!(c.accel[0].kind, ResourceKind::Regex);
+        assert_eq!(c.accel[0].matches, 2.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # yala-nf — the paper's network functions, implemented for real
+//!
+//! Every NF from the paper's Table 1 (plus the Pensando Firewall of §8) is
+//! implemented with genuine packet-processing logic — open-addressing flow
+//! tables, an LPM trie, ACL matching, NAT port allocation, tunnel
+//! encapsulation, and payload scanning through the [`yala_rxp`] regex
+//! engine. NFs charge hardware costs (cycles, cache-line references,
+//! accelerator requests) to a [`cost::CostTracker`] while they work, and
+//! the [`runtime::build_workload`] harness turns a profiled run into a
+//! [`yala_sim::WorkloadSpec`] for the SmartNIC simulator.
+//!
+//! That measurement path is what makes traffic attributes *causal* here,
+//! as on real hardware: more flows grow the tables (working-set size →
+//! cache pressure), bigger packets mean more bytes touched and scanned,
+//! higher MTBR means more regex matches per request (→ longer accelerator
+//! service times, the paper's Eq. 4).
+//!
+//! The [`bench`] module provides the synthetic contention generators
+//! (`mem-bench`, `regex-bench`, `compression-bench`) of §6 and the
+//! synthetic NF1/NF2/regex-NF workloads of Figs. 2b/4/5 and Table 4.
+//!
+//! # Example
+//!
+//! ```
+//! use yala_nf::NfKind;
+//! use yala_sim::{NicSpec, Simulator};
+//! use yala_traffic::TrafficProfile;
+//!
+//! // Profile FlowStats under the default traffic profile and run it solo.
+//! let workload = NfKind::FlowStats.workload(TrafficProfile::default(), 42);
+//! let mut sim = Simulator::new(NicSpec::bluefield2());
+//! let outcome = sim.solo(&workload);
+//! assert!(outcome.throughput_pps > 100_000.0);
+//! ```
+
+pub mod bench;
+pub mod cost;
+pub mod nfs;
+pub mod registry;
+pub mod runtime;
+pub mod table;
+
+pub use registry::NfKind;
+pub use runtime::{build_workload, NetworkFunction, Verdict};
+pub use yala_traffic::Packet;

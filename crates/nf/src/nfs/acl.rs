@@ -1,0 +1,179 @@
+//! ACL: ordered access-control-list matching over header fields (DPDK
+//! ip_pipeline style). Lightweight and traffic-insensitive — the paper's
+//! easiest prediction target (Table 2 shows ~1% MAPE for both SLOMO and
+//! Yala).
+
+use crate::cost::{CostTracker, ACL_RULE_CYCLES, PARSE_CYCLES};
+use crate::runtime::{NetworkFunction, Verdict};
+use crate::Packet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use yala_sim::ExecutionPattern;
+use yala_traffic::FiveTuple;
+
+/// One ACL rule: masked match on the 5-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AclRule {
+    /// Source prefix (value, mask-length 0–32).
+    pub src: (u32, u8),
+    /// Destination prefix.
+    pub dst: (u32, u8),
+    /// Destination port to match (`None` = any).
+    pub dst_port: Option<u16>,
+    /// Protocol to match (`None` = any).
+    pub proto: Option<u8>,
+    /// Whether matching packets are permitted.
+    pub permit: bool,
+}
+
+impl AclRule {
+    /// Whether the rule matches a flow.
+    pub fn matches(&self, ft: &FiveTuple) -> bool {
+        prefix_match(self.src, ft.src_ip)
+            && prefix_match(self.dst, ft.dst_ip)
+            && self.dst_port.map_or(true, |p| p == ft.dst_port)
+            && self.proto.map_or(true, |p| p == ft.proto)
+    }
+}
+
+fn prefix_match((value, len): (u32, u8), ip: u32) -> bool {
+    if len == 0 {
+        return true;
+    }
+    let mask = !0u32 << (32 - len as u32);
+    (ip & mask) == (value & mask)
+}
+
+/// The ACL NF: first matching rule decides; default permit.
+#[derive(Debug, Clone)]
+pub struct Acl {
+    rules: Vec<AclRule>,
+    denied: u64,
+}
+
+impl Acl {
+    /// Builds an ACL with `n_rules` random deny rules (deterministic in
+    /// `seed`) followed by an implicit default permit.
+    pub fn new(n_rules: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rules = (0..n_rules)
+            .map(|_| AclRule {
+                src: (rng.gen(), rng.gen_range(8..=24)),
+                dst: (rng.gen(), rng.gen_range(8..=24)),
+                dst_port: rng.gen_bool(0.5).then(|| rng.gen_range(1..1024)),
+                proto: rng.gen_bool(0.3).then(|| if rng.gen_bool(0.5) { 6 } else { 17 }),
+                permit: false,
+            })
+            .collect();
+        Self { rules, denied: 0 }
+    }
+
+    /// Builds an ACL from explicit rules.
+    pub fn from_rules(rules: Vec<AclRule>) -> Self {
+        Self { rules, denied: 0 }
+    }
+
+    /// Packets denied so far.
+    pub fn denied(&self) -> u64 {
+        self.denied
+    }
+
+    /// Number of configured rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Evaluates the list; returns `(permit, rules inspected)`.
+    pub fn evaluate(&self, ft: &FiveTuple) -> (bool, usize) {
+        for (i, rule) in self.rules.iter().enumerate() {
+            if rule.matches(ft) {
+                return (rule.permit, i + 1);
+            }
+        }
+        (true, self.rules.len())
+    }
+}
+
+impl NetworkFunction for Acl {
+    fn name(&self) -> &'static str {
+        "acl"
+    }
+
+    fn pattern(&self) -> ExecutionPattern {
+        ExecutionPattern::RunToCompletion
+    }
+
+    fn process(&mut self, pkt: &Packet, cost: &mut CostTracker) -> Verdict {
+        cost.compute(PARSE_CYCLES);
+        cost.read_lines(1.0);
+        let (permit, inspected) = self.evaluate(&pkt.five_tuple);
+        cost.compute(ACL_RULE_CYCLES * inspected as f64);
+        // Four packed rules per cache line.
+        cost.read_lines((inspected as f64 / 4.0).ceil());
+        if permit {
+            Verdict::Forward
+        } else {
+            self.denied += 1;
+            Verdict::Drop
+        }
+    }
+
+    fn wss_bytes(&self) -> f64 {
+        // Rules are compact: 16 bytes packed each.
+        self.rules.len() as f64 * 16.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deny_rule_drops() {
+        let rule = AclRule {
+            src: (0x0a000000, 8),
+            dst: (0, 0),
+            dst_port: Some(22),
+            proto: Some(6),
+            permit: false,
+        };
+        let mut acl = Acl::from_rules(vec![rule]);
+        let bad = Packet::new(FiveTuple::new(0x0a121212, 9, 1000, 22, 6), vec![]);
+        assert_eq!(acl.process(&bad, &mut CostTracker::new()), Verdict::Drop);
+        assert_eq!(acl.denied(), 1);
+        let good = Packet::new(FiveTuple::new(0x0b121212, 9, 1000, 22, 6), vec![]);
+        assert_eq!(acl.process(&good, &mut CostTracker::new()), Verdict::Forward);
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let permit_all = AclRule { src: (0, 0), dst: (0, 0), dst_port: None, proto: None, permit: true };
+        let deny_all = AclRule { permit: false, ..permit_all };
+        let mut acl = Acl::from_rules(vec![permit_all, deny_all]);
+        let pkt = Packet::new(FiveTuple::new(1, 2, 3, 4, 6), vec![]);
+        assert_eq!(acl.process(&pkt, &mut CostTracker::new()), Verdict::Forward);
+    }
+
+    #[test]
+    fn default_permit_on_no_match() {
+        let mut acl = Acl::from_rules(vec![]);
+        let pkt = Packet::new(FiveTuple::new(1, 2, 3, 4, 6), vec![]);
+        assert_eq!(acl.process(&pkt, &mut CostTracker::new()), Verdict::Forward);
+    }
+
+    #[test]
+    fn footprint_is_tiny_and_fixed() {
+        let acl = Acl::new(256, 1);
+        assert_eq!(acl.wss_bytes(), 256.0 * 16.0);
+        assert!(acl.wss_bytes() < 8192.0);
+    }
+
+    #[test]
+    fn prefix_match_semantics() {
+        assert!(prefix_match((0x0a000000, 8), 0x0affffff));
+        assert!(!prefix_match((0x0a000000, 8), 0x0bffffff));
+        assert!(prefix_match((0, 0), 0x12345678), "len 0 matches everything");
+        assert!(prefix_match((0x12345678, 32), 0x12345678));
+        assert!(!prefix_match((0x12345678, 32), 0x12345679));
+    }
+}

@@ -1,0 +1,169 @@
+//! IPRouter: longest-prefix-match forwarding over a binary trie (Click,
+//! header-only). Its table is configuration- rather than traffic-sized, so
+//! it is largely insensitive to traffic attributes — the contrast case to
+//! FlowStats in the adaptive-profiling study.
+
+use crate::cost::{CostTracker, PARSE_CYCLES, TRIE_STEP_CYCLES};
+use crate::runtime::{NetworkFunction, Verdict};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use yala_sim::ExecutionPattern;
+use yala_traffic::Packet;
+
+/// Modelled bytes per trie node (two child indices + next hop).
+const NODE_BYTES: f64 = 24.0;
+
+#[derive(Debug, Clone, Default)]
+struct Node {
+    children: [Option<u32>; 2],
+    next_hop: Option<u32>,
+}
+
+/// A binary (unibit) LPM trie over IPv4 destination prefixes.
+#[derive(Debug, Clone)]
+pub struct IpRouter {
+    nodes: Vec<Node>,
+}
+
+impl IpRouter {
+    /// Builds a router with `n_routes` random prefixes (lengths 8–24) plus
+    /// a default route, deterministic in `seed`.
+    pub fn new(n_routes: usize, seed: u64) -> Self {
+        let mut router = Self { nodes: vec![Node::default()] };
+        router.nodes[0].next_hop = Some(0); // default route
+        let mut rng = StdRng::seed_from_u64(seed);
+        for hop in 1..=n_routes as u32 {
+            let len = rng.gen_range(8..=24);
+            let prefix: u32 = rng.gen::<u32>() & (!0u32 << (32 - len));
+            router.insert(prefix, len, hop);
+        }
+        router
+    }
+
+    /// Inserts a route `prefix/len -> next_hop`.
+    pub fn insert(&mut self, prefix: u32, len: u8, next_hop: u32) {
+        assert!(len <= 32, "prefix length out of range");
+        let mut at = 0usize;
+        for depth in 0..len {
+            let bit = ((prefix >> (31 - depth)) & 1) as usize;
+            let next = match self.nodes[at].children[bit] {
+                Some(n) => n as usize,
+                None => {
+                    let id = self.nodes.len() as u32;
+                    self.nodes.push(Node::default());
+                    self.nodes[at].children[bit] = Some(id);
+                    id as usize
+                }
+            };
+            at = next;
+        }
+        self.nodes[at].next_hop = Some(next_hop);
+    }
+
+    /// Longest-prefix-match lookup; returns `(next_hop, trie steps)`.
+    pub fn lookup(&self, dst_ip: u32) -> (u32, usize) {
+        let mut at = 0usize;
+        let mut best = self.nodes[0].next_hop.unwrap_or(0);
+        let mut steps = 0usize;
+        for depth in 0..32 {
+            let bit = ((dst_ip >> (31 - depth)) & 1) as usize;
+            match self.nodes[at].children[bit] {
+                Some(n) => {
+                    at = n as usize;
+                    steps += 1;
+                    if let Some(h) = self.nodes[at].next_hop {
+                        best = h;
+                    }
+                }
+                None => break,
+            }
+        }
+        (best, steps)
+    }
+
+    /// Number of trie nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl NetworkFunction for IpRouter {
+    fn name(&self) -> &'static str {
+        "iprouter"
+    }
+
+    fn pattern(&self) -> ExecutionPattern {
+        ExecutionPattern::RunToCompletion
+    }
+
+    fn process(&mut self, pkt: &Packet, cost: &mut CostTracker) -> Verdict {
+        cost.compute(PARSE_CYCLES);
+        cost.read_lines(1.0);
+        let (_hop, steps) = self.lookup(pkt.five_tuple.dst_ip);
+        cost.compute(TRIE_STEP_CYCLES * steps as f64);
+        // Two trie nodes fit in a cache line.
+        cost.read_lines((steps as f64 / 2.0).ceil());
+        // Rewrite MAC / decrement TTL.
+        cost.compute(30.0);
+        cost.write_lines(1.0);
+        Verdict::Forward
+    }
+
+    fn wss_bytes(&self) -> f64 {
+        self.nodes.len() as f64 * NODE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yala_traffic::FiveTuple;
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut r = IpRouter::new(0, 0);
+        r.insert(0x0a000000, 8, 1); // 10.0.0.0/8 -> 1
+        r.insert(0x0a010000, 16, 2); // 10.1.0.0/16 -> 2
+        r.insert(0x0a010100, 24, 3); // 10.1.1.0/24 -> 3
+        assert_eq!(r.lookup(0x0a020202).0, 1);
+        assert_eq!(r.lookup(0x0a010202).0, 2);
+        assert_eq!(r.lookup(0x0a010105).0, 3);
+        assert_eq!(r.lookup(0x0b000001).0, 0, "default route");
+    }
+
+    #[test]
+    fn lookup_steps_bounded_by_depth() {
+        let r = IpRouter::new(1024, 7);
+        let (_, steps) = r.lookup(0x0a0a0a0a);
+        assert!(steps <= 32);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = IpRouter::new(100, 5);
+        let b = IpRouter::new(100, 5);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.lookup(0x12345678), b.lookup(0x12345678));
+    }
+
+    #[test]
+    fn wss_is_config_sized_not_traffic_sized() {
+        let r = IpRouter::new(1024, 1);
+        let w0 = r.wss_bytes();
+        // Processing traffic must not grow the footprint.
+        let mut r = r;
+        let mut cost = CostTracker::new();
+        for i in 0..1000u32 {
+            let pkt = Packet::new(FiveTuple::new(i, i.wrapping_mul(7), 1, 2, 6), vec![0; 64]);
+            r.process(&pkt, &mut cost);
+        }
+        assert_eq!(r.wss_bytes(), w0);
+    }
+
+    #[test]
+    fn forwards_everything() {
+        let mut r = IpRouter::new(10, 3);
+        let pkt = Packet::new(FiveTuple::new(1, 2, 3, 4, 6), vec![0; 10]);
+        assert_eq!(r.process(&pkt, &mut CostTracker::new()), Verdict::Forward);
+    }
+}

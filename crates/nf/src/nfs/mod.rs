@@ -1,0 +1,28 @@
+//! The network functions of the paper's Table 1 (plus the Pensando
+//! Firewall of §8), each implemented with real packet-processing logic.
+
+pub mod acl;
+pub mod firewall;
+pub mod flowclassifier;
+pub mod flowmonitor;
+pub mod flowstats;
+pub mod flowtracker;
+pub mod ipcomp;
+pub mod iprouter;
+pub mod iptunnel;
+pub mod nat;
+pub mod nids;
+pub mod packetfilter;
+
+pub use acl::Acl;
+pub use firewall::Firewall;
+pub use flowclassifier::FlowClassifier;
+pub use flowmonitor::FlowMonitor;
+pub use flowstats::FlowStats;
+pub use flowtracker::FlowTracker;
+pub use ipcomp::IpCompGateway;
+pub use iprouter::IpRouter;
+pub use iptunnel::IpTunnel;
+pub use nat::Nat;
+pub use nids::Nids;
+pub use packetfilter::PacketFilter;

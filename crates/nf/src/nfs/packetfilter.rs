@@ -1,0 +1,109 @@
+//! PacketFilter: stateless payload filtering on the regex accelerator
+//! (DOCA-style). No flow table — its only traffic sensitivity is MTBR and
+//! packet size through the scan itself.
+
+use crate::cost::{CostTracker, PARSE_CYCLES};
+use crate::runtime::{NetworkFunction, Verdict};
+use crate::Packet;
+use yala_rxp::{l7_default_ruleset, Ruleset};
+use yala_sim::{ExecutionPattern, ResourceKind};
+
+/// The PacketFilter NF.
+#[derive(Debug, Clone)]
+pub struct PacketFilter {
+    rules: Ruleset,
+    dropped: u64,
+    passed: u64,
+}
+
+impl PacketFilter {
+    /// Creates a filter with the default ruleset (any match ⇒ drop).
+    pub fn new() -> Self {
+        Self { rules: l7_default_ruleset(), dropped: 0, passed: 0 }
+    }
+
+    /// Packets dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Packets passed so far.
+    pub fn passed(&self) -> u64 {
+        self.passed
+    }
+}
+
+impl Default for PacketFilter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NetworkFunction for PacketFilter {
+    fn name(&self) -> &'static str {
+        "packetfilter"
+    }
+
+    fn pattern(&self) -> ExecutionPattern {
+        ExecutionPattern::Pipeline
+    }
+
+    fn process(&mut self, pkt: &Packet, cost: &mut CostTracker) -> Verdict {
+        cost.compute(PARSE_CYCLES);
+        cost.read_lines(1.0);
+        let report = self.rules.scan(&pkt.payload);
+        cost.accel_request(
+            ResourceKind::Regex,
+            pkt.payload_len() as f64,
+            report.total_matches as f64,
+        );
+        cost.compute(70.0);
+        cost.read_lines(1.0);
+        cost.write_lines(1.0);
+        if report.total_matches > 0 {
+            self.dropped += 1;
+            Verdict::Drop
+        } else {
+            self.passed += 1;
+            Verdict::Forward
+        }
+    }
+
+    fn wss_bytes(&self) -> f64 {
+        // Stateless: descriptor rings only.
+        64.0 * 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yala_traffic::FiveTuple;
+
+    #[test]
+    fn drops_matching_payloads() {
+        let mut pf = PacketFilter::new();
+        let flow = FiveTuple::new(1, 2, 3, 4, 6);
+        let v = pf.process(
+            &Packet::new(flow, b"qq SSH-2.0-OpenSSH_8.9 qq".to_vec()),
+            &mut CostTracker::new(),
+        );
+        assert_eq!(v, Verdict::Drop);
+        assert_eq!(pf.dropped(), 1);
+    }
+
+    #[test]
+    fn passes_clean_payloads() {
+        let mut pf = PacketFilter::new();
+        let flow = FiveTuple::new(1, 2, 3, 4, 6);
+        let v = pf.process(&Packet::new(flow, vec![b'q'; 64]), &mut CostTracker::new());
+        assert_eq!(v, Verdict::Forward);
+        assert_eq!(pf.passed(), 1);
+    }
+
+    #[test]
+    fn wss_is_flow_independent() {
+        let pf = PacketFilter::new();
+        assert_eq!(pf.wss_bytes(), 64.0 * 1024.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Registry of the paper's NFs (Table 1) with constructors and metadata,
+//! plus the convenience path from `(NF kind, traffic profile)` to a
+//! simulator [`WorkloadSpec`].
+
+use crate::nfs::{
+    Acl, Firewall, FlowClassifier, FlowMonitor, FlowStats, FlowTracker, IpCompGateway,
+    IpRouter, IpTunnel, Nat, Nids, PacketFilter,
+};
+use crate::runtime::{build_workload, NetworkFunction, DEFAULT_SAMPLE_PACKETS};
+use serde::{Deserialize, Serialize};
+use yala_sim::WorkloadSpec;
+use yala_traffic::TrafficProfile;
+
+/// The NFs of Table 1 (plus the Pensando Firewall of §8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NfKind {
+    /// Per-flow packet/byte statistics (Click).
+    FlowStats,
+    /// LPM forwarding (Click).
+    IpRouter,
+    /// IP-in-IP encapsulation (Click).
+    IpTunnel,
+    /// Source NAT (Click).
+    Nat,
+    /// Flow stats + payload inspection on regex (Click).
+    FlowMonitor,
+    /// Intrusion detection on regex (Click).
+    Nids,
+    /// Regex classification + compression gateway (Click).
+    IpCompGateway,
+    /// Access control list (DPDK).
+    Acl,
+    /// Flow classification (DPDK).
+    FlowClassifier,
+    /// Connection lifecycle tracking (DOCA).
+    FlowTracker,
+    /// Stateless payload filter on regex (DOCA).
+    PacketFilter,
+    /// Flow-walking firewall (Pensando, §8).
+    Firewall,
+}
+
+impl NfKind {
+    /// The nine NFs evaluated in Fig. 1 / Table 2.
+    pub const TABLE2_NINE: [NfKind; 9] = [
+        NfKind::Acl,
+        NfKind::Nids,
+        NfKind::IpTunnel,
+        NfKind::IpRouter,
+        NfKind::FlowClassifier,
+        NfKind::FlowTracker,
+        NfKind::FlowStats,
+        NfKind::FlowMonitor,
+        NfKind::Nat,
+    ];
+
+    /// The traffic-sensitive NFs of Table 5.
+    pub const TRAFFIC_SENSITIVE: [NfKind; 7] = [
+        NfKind::Nids,
+        NfKind::FlowClassifier,
+        NfKind::Nat,
+        NfKind::FlowTracker,
+        NfKind::FlowStats,
+        NfKind::FlowMonitor,
+        NfKind::IpTunnel,
+    ];
+
+    /// Every implemented NF.
+    pub const ALL: [NfKind; 12] = [
+        NfKind::FlowStats,
+        NfKind::IpRouter,
+        NfKind::IpTunnel,
+        NfKind::Nat,
+        NfKind::FlowMonitor,
+        NfKind::Nids,
+        NfKind::IpCompGateway,
+        NfKind::Acl,
+        NfKind::FlowClassifier,
+        NfKind::FlowTracker,
+        NfKind::PacketFilter,
+        NfKind::Firewall,
+    ];
+
+    /// Stable lowercase name (matches [`NetworkFunction::name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            NfKind::FlowStats => "flowstats",
+            NfKind::IpRouter => "iprouter",
+            NfKind::IpTunnel => "iptunnel",
+            NfKind::Nat => "nat",
+            NfKind::FlowMonitor => "flowmonitor",
+            NfKind::Nids => "nids",
+            NfKind::IpCompGateway => "ipcomp",
+            NfKind::Acl => "acl",
+            NfKind::FlowClassifier => "flowclassifier",
+            NfKind::FlowTracker => "flowtracker",
+            NfKind::PacketFilter => "packetfilter",
+            NfKind::Firewall => "firewall",
+        }
+    }
+
+    /// Whether the NF submits work to the regex accelerator (Table 1).
+    pub fn uses_regex(self) -> bool {
+        matches!(
+            self,
+            NfKind::FlowMonitor | NfKind::Nids | NfKind::IpCompGateway | NfKind::PacketFilter
+        )
+    }
+
+    /// Whether the NF submits work to the compression accelerator.
+    pub fn uses_compression(self) -> bool {
+        matches!(self, NfKind::IpCompGateway)
+    }
+
+    /// Whether the paper marks the NF as traffic-sensitive (Table 1's "T").
+    pub fn traffic_sensitive(self) -> bool {
+        !matches!(self, NfKind::IpRouter | NfKind::Acl)
+    }
+
+    /// The programming framework the paper implements the NF in (Table 1).
+    pub fn framework(self) -> &'static str {
+        match self {
+            NfKind::FlowStats
+            | NfKind::IpRouter
+            | NfKind::IpTunnel
+            | NfKind::Nat
+            | NfKind::FlowMonitor
+            | NfKind::Nids
+            | NfKind::IpCompGateway => "Click",
+            NfKind::Acl | NfKind::FlowClassifier => "DPDK",
+            NfKind::FlowTracker | NfKind::PacketFilter => "DOCA",
+            NfKind::Firewall => "Pensando SSDK",
+        }
+    }
+
+    /// Instantiates the NF with default configuration (deterministic).
+    pub fn build(self) -> Box<dyn NetworkFunction> {
+        match self {
+            NfKind::FlowStats => Box::new(FlowStats::new()),
+            NfKind::IpRouter => Box::new(IpRouter::new(1024, 0xA0)),
+            NfKind::IpTunnel => Box::new(IpTunnel::new(16)),
+            NfKind::Nat => Box::new(Nat::new()),
+            NfKind::FlowMonitor => Box::new(FlowMonitor::new()),
+            NfKind::Nids => Box::new(Nids::new()),
+            NfKind::IpCompGateway => Box::new(IpCompGateway::new()),
+            NfKind::Acl => Box::new(Acl::new(256, 0xA1)),
+            NfKind::FlowClassifier => Box::new(FlowClassifier::new()),
+            NfKind::FlowTracker => Box::new(FlowTracker::new()),
+            NfKind::PacketFilter => Box::new(PacketFilter::new()),
+            NfKind::Firewall => Box::new(Firewall::new(128, 0xA2)),
+        }
+    }
+
+    /// Profiles this NF under `profile` into a simulator workload
+    /// (builds, warms, replays packets, measures demand).
+    pub fn workload(self, profile: TrafficProfile, seed: u64) -> WorkloadSpec {
+        let mut nf = self.build();
+        build_workload(nf.as_mut(), profile, DEFAULT_SAMPLE_PACKETS, seed)
+    }
+}
+
+impl std::fmt::Display for NfKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yala_sim::ResourceKind;
+
+    #[test]
+    fn names_match_instances() {
+        for kind in NfKind::ALL {
+            assert_eq!(kind.build().name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn regex_metadata_matches_measured_stages() {
+        let profile = TrafficProfile::new(2_000, 1024, 600.0);
+        for kind in NfKind::ALL {
+            if kind == NfKind::Firewall {
+                continue; // Pensando NF, not profiled on BF-2 traffic mixes
+            }
+            let w = kind.workload(profile, 7);
+            assert_eq!(
+                w.uses(ResourceKind::Regex),
+                kind.uses_regex(),
+                "{kind} regex usage mismatch"
+            );
+            assert_eq!(
+                w.uses(ResourceKind::Compression),
+                kind.uses_compression(),
+                "{kind} compression usage mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn table2_nine_subset_of_all() {
+        for kind in NfKind::TABLE2_NINE {
+            assert!(NfKind::ALL.contains(&kind));
+        }
+    }
+
+    #[test]
+    fn flow_sensitive_nfs_grow_wss_with_flows() {
+        for kind in [NfKind::FlowStats, NfKind::Nat, NfKind::FlowTracker, NfKind::FlowClassifier]
+        {
+            let small = kind.workload(TrafficProfile::new(2_000, 512, 0.0), 1);
+            let large = kind.workload(TrafficProfile::new(64_000, 512, 0.0), 1);
+            assert!(
+                large.wss_bytes() > small.wss_bytes() * 4.0,
+                "{kind}: {} vs {}",
+                large.wss_bytes(),
+                small.wss_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn insensitive_nfs_keep_wss_flat() {
+        for kind in [NfKind::IpRouter, NfKind::Acl] {
+            let small = kind.workload(TrafficProfile::new(2_000, 512, 0.0), 1);
+            let large = kind.workload(TrafficProfile::new(64_000, 512, 0.0), 1);
+            let ratio = large.wss_bytes() / small.wss_bytes();
+            assert!(ratio < 1.2, "{kind} wss grew {ratio}x with flow count");
+        }
+    }
+
+    #[test]
+    fn mtbr_reaches_regex_stage() {
+        let lo = NfKind::FlowMonitor.workload(TrafficProfile::new(2_000, 1500, 100.0), 5);
+        let hi = NfKind::FlowMonitor.workload(TrafficProfile::new(2_000, 1500, 1000.0), 5);
+        let matches = |w: &WorkloadSpec| -> f64 {
+            w.stages
+                .iter()
+                .find_map(|s| match s {
+                    yala_sim::StageDemand::Accelerator { kind, matches_per_req, .. }
+                        if *kind == ResourceKind::Regex =>
+                    {
+                        Some(*matches_per_req)
+                    }
+                    _ => None,
+                })
+                .expect("flowmonitor has a regex stage")
+        };
+        assert!(
+            matches(&hi) > matches(&lo) * 3.0,
+            "measured matches must track MTBR: {} vs {}",
+            matches(&hi),
+            matches(&lo)
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! The NF abstraction and the instrumentation harness that turns a real
+//! packet-processing run into a [`WorkloadSpec`] for the simulator.
+//!
+//! NFs implement [`NetworkFunction::process`] with genuine logic (hash
+//! tables, tries, payload scans) and charge costs to a
+//! [`CostTracker`](crate::cost::CostTracker). [`build_workload`] replays a
+//! traffic profile through the NF, averages the measured demands, and emits
+//! the simulator workload — so traffic attributes shape resource demand
+//! through the actual code path (flow count → table footprint, packet size
+//! → bytes touched, MTBR → matches reported).
+
+use crate::cost::{CostTracker, FRAMEWORK_CYCLES, FRAMEWORK_READS, FRAMEWORK_WRITES};
+use yala_sim::{ExecutionPattern, ResourceKind, StageDemand, WorkloadSpec};
+use yala_traffic::{FiveTuple, Packet, PacketGenerator, TrafficProfile};
+
+/// Default cores per NF (the paper gives every NF two dedicated cores).
+pub const DEFAULT_CORES: u32 = 2;
+/// Default packets sampled when profiling an NF into a workload.
+pub const DEFAULT_SAMPLE_PACKETS: usize = 600;
+
+/// What an NF decides to do with a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Forward the packet (possibly rewritten).
+    Forward,
+    /// Drop the packet.
+    Drop,
+}
+
+/// A network function: real packet-processing logic plus cost reporting.
+pub trait NetworkFunction {
+    /// Stable, lowercase display name (e.g. `"flowstats"`).
+    fn name(&self) -> &'static str;
+
+    /// The execution pattern the NF's dataplane uses (§4.2).
+    fn pattern(&self) -> ExecutionPattern;
+
+    /// Processes one packet, charging costs to `cost`.
+    fn process(&mut self, pkt: &Packet, cost: &mut CostTracker) -> Verdict;
+
+    /// Current working-set footprint of the NF's live data structures.
+    fn wss_bytes(&self) -> f64;
+
+    /// Pre-populates per-flow state so steady-state demand is measured
+    /// (tables warmed) rather than cold-start insert storms.
+    fn warm(&mut self, flows: &[FiveTuple]) {
+        let _ = flows;
+    }
+}
+
+/// Profiles `nf` under `profile` and produces the equivalent simulator
+/// workload.
+///
+/// Runs `sample_packets` packets from a seeded generator through the NF
+/// (after warming its tables with the full flow set), averages cycles /
+/// cache references / accelerator requests per packet, and adds the
+/// framework overhead every Click/DPDK dataplane pays.
+pub fn build_workload(
+    nf: &mut dyn NetworkFunction,
+    profile: TrafficProfile,
+    sample_packets: usize,
+    seed: u64,
+) -> WorkloadSpec {
+    assert!(sample_packets > 0, "need at least one sample packet");
+    let mut gen = PacketGenerator::new(profile, seed);
+    nf.warm(&gen.flows().to_vec());
+
+    let mut cycles = 0.0f64;
+    let mut reads = 0.0f64;
+    let mut writes = 0.0f64;
+    // Per accelerator kind: (requests, bytes, matches).
+    let mut accel: Vec<(ResourceKind, f64, f64, f64)> = Vec::new();
+    for _ in 0..sample_packets {
+        let pkt = gen.next_packet();
+        let mut cost = CostTracker::new();
+        nf.process(&pkt, &mut cost);
+        cycles += cost.cycles;
+        reads += cost.reads;
+        writes += cost.writes;
+        for req in &cost.accel {
+            match accel.iter_mut().find(|(k, ..)| *k == req.kind) {
+                Some((_, n, b, m)) => {
+                    *n += 1.0;
+                    *b += req.bytes;
+                    *m += req.matches;
+                }
+                None => accel.push((req.kind, 1.0, req.bytes, req.matches)),
+            }
+        }
+    }
+    let n = sample_packets as f64;
+    let mut stages = vec![StageDemand::CpuMem {
+        cycles_per_pkt: cycles / n + FRAMEWORK_CYCLES,
+        cache_refs_per_pkt: (reads + writes) / n + FRAMEWORK_READS + FRAMEWORK_WRITES,
+        write_frac: (writes / n + FRAMEWORK_WRITES)
+            / ((reads + writes) / n + FRAMEWORK_READS + FRAMEWORK_WRITES),
+        wss_bytes: nf.wss_bytes(),
+    }];
+    for (kind, reqs, bytes, matches) in accel {
+        stages.push(StageDemand::Accelerator {
+            kind,
+            queues: 1,
+            reqs_per_pkt: reqs / n,
+            bytes_per_req: bytes / reqs,
+            matches_per_req: matches / reqs,
+        });
+    }
+    WorkloadSpec::new(nf.name(), DEFAULT_CORES, nf.pattern(), stages)
+        .with_packet_bytes(profile.packet_size as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal NF used to validate harness aggregation.
+    struct Toy {
+        scan: bool,
+    }
+
+    impl NetworkFunction for Toy {
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+        fn pattern(&self) -> ExecutionPattern {
+            ExecutionPattern::RunToCompletion
+        }
+        fn process(&mut self, pkt: &Packet, cost: &mut CostTracker) -> Verdict {
+            cost.compute(100.0);
+            cost.read_lines(2.0);
+            cost.write_lines(1.0);
+            if self.scan {
+                cost.accel_request(ResourceKind::Regex, pkt.payload_len() as f64, 0.5);
+            }
+            Verdict::Forward
+        }
+        fn wss_bytes(&self) -> f64 {
+            12_345.0
+        }
+    }
+
+    #[test]
+    fn harness_averages_and_adds_framework_cost() {
+        let mut nf = Toy { scan: false };
+        let w = build_workload(&mut nf, TrafficProfile::new(100, 256, 0.0), 50, 1);
+        assert_eq!(w.stages.len(), 1);
+        match &w.stages[0] {
+            StageDemand::CpuMem { cycles_per_pkt, cache_refs_per_pkt, wss_bytes, .. } => {
+                assert!((*cycles_per_pkt - (100.0 + FRAMEWORK_CYCLES)).abs() < 1e-9);
+                assert!(
+                    (*cache_refs_per_pkt - (3.0 + FRAMEWORK_READS + FRAMEWORK_WRITES)).abs()
+                        < 1e-9
+                );
+                assert_eq!(*wss_bytes, 12_345.0);
+            }
+            other => panic!("unexpected stage {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accelerator_requests_become_a_stage() {
+        let mut nf = Toy { scan: true };
+        let profile = TrafficProfile::new(100, 512, 0.0);
+        let w = build_workload(&mut nf, profile, 50, 1);
+        assert_eq!(w.stages.len(), 2);
+        match &w.stages[1] {
+            StageDemand::Accelerator { kind, reqs_per_pkt, bytes_per_req, matches_per_req, .. } => {
+                assert_eq!(*kind, ResourceKind::Regex);
+                assert!((*reqs_per_pkt - 1.0).abs() < 1e-9);
+                assert_eq!(*bytes_per_req, profile.payload_size() as f64);
+                assert!((*matches_per_req - 0.5).abs() < 1e-9);
+            }
+            other => panic!("unexpected stage {other:?}"),
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic_in_seed() {
+        let build = || {
+            let mut nf = Toy { scan: true };
+            build_workload(&mut nf, TrafficProfile::default(), 30, 9)
+        };
+        assert_eq!(build(), build());
+    }
+}

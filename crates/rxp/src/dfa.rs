@@ -1,0 +1,360 @@
+//! Scanning DFA: subset construction over byte classes, specialised for
+//! *streaming match counting* — the operation the RXP accelerator performs
+//! on packet payloads.
+//!
+//! The automaton consumes a payload byte-by-byte. For unanchored patterns
+//! the start closure is re-injected after every byte so matches may begin at
+//! any offset; when an accepting subset is reached the match counter is
+//! incremented and the machine resets (leftmost-shortest, non-overlapping
+//! counting — one pass, O(len), like hardware).
+
+use crate::classes::ClassSet;
+use crate::nfa::Nfa;
+use std::collections::HashMap;
+
+/// Upper bound on DFA states; patterns exceeding it fail to compile.
+pub const MAX_DFA_STATES: usize = 16_384;
+
+/// Sentinel state id: a match just completed (only used when the pattern is
+/// not end-anchored).
+const MATCH: u32 = u32::MAX;
+/// Sentinel state id: no match can ever complete from here.
+const DEAD: u32 = u32::MAX - 1;
+
+/// Error returned when subset construction exceeds [`MAX_DFA_STATES`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DfaTooComplexError;
+
+impl std::fmt::Display for DfaTooComplexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pattern expands past {MAX_DFA_STATES} DFA states")
+    }
+}
+
+impl std::error::Error for DfaTooComplexError {}
+
+/// A compiled scanning DFA. Build with [`ScanDfa::build`]; query with
+/// [`ScanDfa::count_matches`] / [`ScanDfa::is_match`].
+#[derive(Debug, Clone)]
+pub struct ScanDfa {
+    /// Byte → equivalence-class index.
+    class_of: Vec<u16>,
+    n_classes: usize,
+    /// Row-major transition table: `trans[state * n_classes + class]`.
+    trans: Vec<u32>,
+    start: u32,
+    /// Per-state accept flag, used only for end-anchored patterns.
+    accept_at_eof: Vec<bool>,
+    anchored_start: bool,
+    anchored_end: bool,
+}
+
+impl ScanDfa {
+    /// Builds the scanning DFA from an NFA and its anchor flags.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfaTooComplexError`] if subset construction explodes.
+    pub fn build(
+        nfa: &Nfa,
+        anchored_start: bool,
+        anchored_end: bool,
+    ) -> Result<Self, DfaTooComplexError> {
+        let (class_of, n_classes, class_reps) = byte_classes(nfa);
+        let start_closure = nfa.eps_closure(&[nfa.start]);
+
+        let mut subset_ids: HashMap<Vec<usize>, u32> = HashMap::new();
+        let mut subsets: Vec<Vec<usize>> = Vec::new();
+        let mut trans: Vec<u32> = Vec::new();
+        let mut accept_at_eof: Vec<bool> = Vec::new();
+        let mut worklist: Vec<u32> = Vec::new();
+
+        let intern = |subset: Vec<usize>,
+                          subsets: &mut Vec<Vec<usize>>,
+                          trans: &mut Vec<u32>,
+                          accept_at_eof: &mut Vec<bool>,
+                          worklist: &mut Vec<u32>,
+                          subset_ids: &mut HashMap<Vec<usize>, u32>|
+         -> Result<u32, DfaTooComplexError> {
+            if subset.is_empty() {
+                return Ok(DEAD);
+            }
+            if !anchored_end && subset.contains(&nfa.accept) {
+                return Ok(MATCH);
+            }
+            if let Some(&id) = subset_ids.get(&subset) {
+                return Ok(id);
+            }
+            let id = subsets.len() as u32;
+            if subsets.len() >= MAX_DFA_STATES {
+                return Err(DfaTooComplexError);
+            }
+            subset_ids.insert(subset.clone(), id);
+            accept_at_eof.push(subset.contains(&nfa.accept));
+            subsets.push(subset);
+            trans.extend(std::iter::repeat(DEAD).take(n_classes));
+            worklist.push(id);
+            Ok(id)
+        };
+
+        let start = intern(
+            start_closure.clone(),
+            &mut subsets,
+            &mut trans,
+            &mut accept_at_eof,
+            &mut worklist,
+            &mut subset_ids,
+        )?;
+        debug_assert!(start != MATCH, "empty-matching patterns are rejected earlier");
+
+        while let Some(id) = worklist.pop() {
+            let subset = subsets[id as usize].clone();
+            for class in 0..n_classes {
+                let rep = class_reps[class];
+                let mut moved: Vec<usize> = Vec::new();
+                for &s in &subset {
+                    for (cls, t) in &nfa.states[s].on_byte {
+                        if cls.contains(rep) && !moved.contains(t) {
+                            moved.push(*t);
+                        }
+                    }
+                }
+                let mut closed = nfa.eps_closure(&moved);
+                if !anchored_start {
+                    // Re-inject the start closure so a match may begin at
+                    // the next byte.
+                    closed = merge_sorted(&closed, &start_closure);
+                }
+                let target = intern(
+                    closed,
+                    &mut subsets,
+                    &mut trans,
+                    &mut accept_at_eof,
+                    &mut worklist,
+                    &mut subset_ids,
+                )?;
+                trans[id as usize * n_classes + class] = target;
+            }
+        }
+
+        Ok(Self { class_of, n_classes, trans, start, accept_at_eof, anchored_start, anchored_end })
+    }
+
+    /// Counts non-overlapping, leftmost-shortest matches in `haystack` in a
+    /// single pass.
+    pub fn count_matches(&self, haystack: &[u8]) -> usize {
+        let mut count = 0usize;
+        let mut cur = self.start;
+        if self.anchored_end {
+            // Matches may only complete at end-of-input: just run and test.
+            for &b in haystack {
+                if cur == DEAD {
+                    return 0;
+                }
+                cur = self.step(cur, b);
+            }
+            return usize::from(cur != DEAD && self.accept_at_eof[cur as usize]);
+        }
+        for &b in haystack {
+            cur = self.step(cur, b);
+            if cur == MATCH {
+                count += 1;
+                if self.anchored_start {
+                    // Start-anchored patterns match at most once per payload.
+                    return count;
+                }
+                cur = self.start;
+            } else if cur == DEAD {
+                if self.anchored_start {
+                    return count;
+                }
+                // Unanchored automata re-inject start and cannot die.
+                debug_assert!(false, "unanchored scan reached DEAD");
+                cur = self.start;
+            }
+        }
+        count
+    }
+
+    /// Whether at least one match occurs in `haystack` (early exit).
+    pub fn is_match(&self, haystack: &[u8]) -> bool {
+        if self.anchored_end {
+            return self.count_matches(haystack) > 0;
+        }
+        let mut cur = self.start;
+        for &b in haystack {
+            cur = self.step(cur, b);
+            if cur == MATCH {
+                return true;
+            }
+            if cur == DEAD {
+                return false; // only reachable when start-anchored
+            }
+        }
+        false
+    }
+
+    #[inline]
+    fn step(&self, state: u32, b: u8) -> u32 {
+        self.trans[state as usize * self.n_classes + self.class_of[b as usize] as usize]
+    }
+
+    /// Number of materialised DFA states (excludes MATCH/DEAD sentinels).
+    pub fn state_count(&self) -> usize {
+        self.accept_at_eof.len()
+    }
+
+    /// Number of byte equivalence classes.
+    pub fn class_count(&self) -> usize {
+        self.n_classes
+    }
+}
+
+/// Computes byte equivalence classes: two bytes are equivalent if every NFA
+/// transition class treats them identically. Returns `(byte → class,
+/// class count, representative byte per class)`.
+fn byte_classes(nfa: &Nfa) -> (Vec<u16>, usize, Vec<u8>) {
+    // Signature of a byte: the set of transition-classes containing it.
+    let all_classes: Vec<&ClassSet> =
+        nfa.states.iter().flat_map(|s| s.on_byte.iter().map(|(c, _)| c)).collect();
+    let mut sig_ids: HashMap<Vec<bool>, u16> = HashMap::new();
+    let mut class_of = vec![0u16; 256];
+    let mut reps: Vec<u8> = Vec::new();
+    for b in 0u16..256 {
+        let byte = b as u8;
+        let sig: Vec<bool> = all_classes.iter().map(|c| c.contains(byte)).collect();
+        let next_id = sig_ids.len() as u16;
+        let id = *sig_ids.entry(sig).or_insert_with(|| {
+            reps.push(byte);
+            next_id
+        });
+        class_of[b as usize] = id;
+    }
+    let n = sig_ids.len();
+    (class_of, n, reps)
+}
+
+/// Union of two sorted, deduped index lists.
+fn merge_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn dfa(pattern: &str) -> ScanDfa {
+        let parsed = parse(pattern).unwrap();
+        let nfa = Nfa::from_ast(&parsed.ast);
+        ScanDfa::build(&nfa, parsed.anchored_start, parsed.anchored_end).unwrap()
+    }
+
+    #[test]
+    fn counts_disjoint_occurrences() {
+        let d = dfa("ab");
+        assert_eq!(d.count_matches(b"ab ab ab"), 3);
+        assert_eq!(d.count_matches(b"xxab"), 1);
+        assert_eq!(d.count_matches(b"a b"), 0);
+        assert_eq!(d.count_matches(b""), 0);
+    }
+
+    #[test]
+    fn non_overlapping_counting() {
+        let d = dfa("aa");
+        // "aaaa" = two non-overlapping "aa".
+        assert_eq!(d.count_matches(b"aaaa"), 2);
+        assert_eq!(d.count_matches(b"aaa"), 1);
+    }
+
+    #[test]
+    fn shortest_match_semantics() {
+        let d = dfa("a+b?");
+        // Shortest match "a" fires at the first 'a'.
+        assert_eq!(d.count_matches(b"aaa"), 3);
+    }
+
+    #[test]
+    fn anchored_start() {
+        let d = dfa("^hdr");
+        assert_eq!(d.count_matches(b"hdr rest"), 1);
+        assert_eq!(d.count_matches(b"xx hdr"), 0);
+    }
+
+    #[test]
+    fn anchored_end() {
+        let d = dfa("tail$");
+        assert_eq!(d.count_matches(b"xx tail"), 1);
+        assert_eq!(d.count_matches(b"tail xx"), 0);
+        assert_eq!(d.count_matches(b"tail"), 1);
+    }
+
+    #[test]
+    fn fully_anchored() {
+        let d = dfa("^only$");
+        assert_eq!(d.count_matches(b"only"), 1);
+        assert_eq!(d.count_matches(b"only!"), 0);
+        assert_eq!(d.count_matches(b"!only"), 0);
+    }
+
+    #[test]
+    fn alternation_counting() {
+        let d = dfa("cat|dog");
+        assert_eq!(d.count_matches(b"cat dog cat"), 3);
+    }
+
+    #[test]
+    fn classes_and_repeats() {
+        let d = dfa(r"[0-9]{3}-[0-9]{4}");
+        assert_eq!(d.count_matches(b"call 555-1234 or 867-5309"), 2);
+        assert_eq!(d.count_matches(b"55-1234"), 0);
+    }
+
+    #[test]
+    fn is_match_early_exit() {
+        let d = dfa("needle");
+        assert!(d.is_match(b"hay needle hay"));
+        assert!(!d.is_match(b"hay hay"));
+    }
+
+    #[test]
+    fn dot_any_byte() {
+        let d = dfa("a.c");
+        assert_eq!(d.count_matches(b"a\x00c abc a-c"), 3);
+    }
+
+    #[test]
+    fn byte_class_compression_small() {
+        let d = dfa("abc");
+        // 'a', 'b', 'c', everything-else = 4 classes.
+        assert_eq!(d.class_count(), 4);
+    }
+
+    #[test]
+    fn overlapping_alternatives_count_once_per_end() {
+        let d = dfa("ab|b");
+        // "ab": 'b' completes both alternatives at the same position -> 1.
+        assert_eq!(d.count_matches(b"ab"), 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! Thompson construction: [`Ast`](crate::parser::Ast) → non-deterministic
+//! finite automaton with byte-class transitions and epsilon edges.
+
+use crate::classes::ClassSet;
+use crate::parser::Ast;
+
+/// A state of the NFA.
+#[derive(Debug, Clone, Default)]
+pub struct State {
+    /// Byte-class transitions `(class, target)`.
+    pub on_byte: Vec<(ClassSet, usize)>,
+    /// Epsilon transitions.
+    pub eps: Vec<usize>,
+}
+
+/// A Thompson NFA with a single start and a single accept state.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// Flat arena of states.
+    pub states: Vec<State>,
+    /// Index of the start state.
+    pub start: usize,
+    /// Index of the accept state.
+    pub accept: usize,
+}
+
+impl Nfa {
+    /// Compiles an AST into an NFA.
+    pub fn from_ast(ast: &Ast) -> Self {
+        let mut b = Builder { states: Vec::new() };
+        let start = b.push();
+        let accept = b.push();
+        b.compile(ast, start, accept);
+        Nfa { states: b.states, start, accept }
+    }
+
+    /// Epsilon-closure of a set of states, returned as a sorted, deduped
+    /// state list.
+    pub fn eps_closure(&self, seed: &[usize]) -> Vec<usize> {
+        let mut seen = vec![false; self.states.len()];
+        let mut stack: Vec<usize> = seed.to_vec();
+        for &s in seed {
+            seen[s] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &t in &self.states[s].eps {
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        (0..self.states.len()).filter(|&s| seen[s]).collect()
+    }
+
+    /// Whether the NFA accepts the empty string (start closure contains the
+    /// accept state). Such patterns are rejected at [`Regex::compile`]
+    /// because a streaming match counter would loop forever on them.
+    ///
+    /// [`Regex::compile`]: crate::Regex::compile
+    pub fn matches_empty(&self) -> bool {
+        self.eps_closure(&[self.start]).contains(&self.accept)
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the NFA has no states (never true for built NFAs).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+struct Builder {
+    states: Vec<State>,
+}
+
+impl Builder {
+    fn push(&mut self) -> usize {
+        self.states.push(State::default());
+        self.states.len() - 1
+    }
+
+    fn eps(&mut self, from: usize, to: usize) {
+        self.states[from].eps.push(to);
+    }
+
+    /// Wires `ast` so that entering at `from` and matching leads to `to`.
+    fn compile(&mut self, ast: &Ast, from: usize, to: usize) {
+        match ast {
+            Ast::Empty => self.eps(from, to),
+            Ast::Class(cls) => self.states[from].on_byte.push((*cls, to)),
+            Ast::Concat(items) => {
+                let mut cur = from;
+                for (i, item) in items.iter().enumerate() {
+                    let next = if i + 1 == items.len() { to } else { self.push() };
+                    self.compile(item, cur, next);
+                    cur = next;
+                }
+            }
+            Ast::Alt(alts) => {
+                for alt in alts {
+                    let (a, b) = (self.push(), self.push());
+                    self.eps(from, a);
+                    self.compile(alt, a, b);
+                    self.eps(b, to);
+                }
+            }
+            Ast::Repeat { node, min, max } => self.compile_repeat(node, *min, *max, from, to),
+        }
+    }
+
+    fn compile_repeat(&mut self, node: &Ast, min: u32, max: Option<u32>, from: usize, to: usize) {
+        match max {
+            None => {
+                // min mandatory copies, then a Kleene loop.
+                let mut cur = from;
+                for _ in 0..min {
+                    let next = self.push();
+                    self.compile(node, cur, next);
+                    cur = next;
+                }
+                // loop: cur --node--> cur, cur --eps--> to
+                let (entry, back) = (self.push(), self.push());
+                self.eps(cur, entry);
+                self.compile(node, entry, back);
+                self.eps(back, entry);
+                self.eps(cur, to);
+                self.eps(back, to);
+            }
+            Some(max) => {
+                // min mandatory copies then (max-min) optional copies.
+                let mut cur = from;
+                for _ in 0..min {
+                    let next = self.push();
+                    self.compile(node, cur, next);
+                    cur = next;
+                }
+                for _ in min..max {
+                    let next = self.push();
+                    self.compile(node, cur, next);
+                    self.eps(cur, to);
+                    cur = next;
+                }
+                self.eps(cur, to);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Naive NFA simulation for testing the construction directly.
+    fn accepts(nfa: &Nfa, input: &[u8]) -> bool {
+        let mut cur = nfa.eps_closure(&[nfa.start]);
+        for &b in input {
+            let mut next = Vec::new();
+            for &s in &cur {
+                for (cls, t) in &nfa.states[s].on_byte {
+                    if cls.contains(b) && !next.contains(t) {
+                        next.push(*t);
+                    }
+                }
+            }
+            cur = nfa.eps_closure(&next);
+            if cur.is_empty() {
+                return false;
+            }
+        }
+        cur.contains(&nfa.accept)
+    }
+
+    fn nfa(pattern: &str) -> Nfa {
+        Nfa::from_ast(&parse(pattern).unwrap().ast)
+    }
+
+    #[test]
+    fn literal() {
+        let n = nfa("abc");
+        assert!(accepts(&n, b"abc"));
+        assert!(!accepts(&n, b"ab"));
+        assert!(!accepts(&n, b"abd"));
+    }
+
+    #[test]
+    fn alternation() {
+        let n = nfa("cat|dog");
+        assert!(accepts(&n, b"cat"));
+        assert!(accepts(&n, b"dog"));
+        assert!(!accepts(&n, b"cow"));
+    }
+
+    #[test]
+    fn star_plus_question() {
+        let n = nfa("ab*c");
+        assert!(accepts(&n, b"ac"));
+        assert!(accepts(&n, b"abbbc"));
+        let n = nfa("ab+c");
+        assert!(!accepts(&n, b"ac"));
+        assert!(accepts(&n, b"abc"));
+        let n = nfa("ab?c");
+        assert!(accepts(&n, b"ac"));
+        assert!(accepts(&n, b"abc"));
+        assert!(!accepts(&n, b"abbc"));
+    }
+
+    #[test]
+    fn bounded_repeat() {
+        let n = nfa("a{2,4}");
+        assert!(!accepts(&n, b"a"));
+        assert!(accepts(&n, b"aa"));
+        assert!(accepts(&n, b"aaaa"));
+        assert!(!accepts(&n, b"aaaaa"));
+    }
+
+    #[test]
+    fn open_repeat() {
+        let n = nfa("a{3,}");
+        assert!(!accepts(&n, b"aa"));
+        assert!(accepts(&n, b"aaa"));
+        assert!(accepts(&n, b"aaaaaaa"));
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(nfa("a*").matches_empty());
+        assert!(!nfa("a+").matches_empty());
+        assert!(nfa("a|").matches_empty());
+    }
+
+    #[test]
+    fn nested_groups() {
+        let n = nfa("(ab|cd)+e");
+        assert!(accepts(&n, b"abe"));
+        assert!(accepts(&n, b"abcde"));
+        assert!(accepts(&n, b"cdabe"));
+        assert!(!accepts(&n, b"e"));
+    }
+}

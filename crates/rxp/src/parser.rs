@@ -1,0 +1,499 @@
+//! Recursive-descent regex parser producing an [`Ast`].
+//!
+//! Grammar (classic three-level precedence):
+//!
+//! ```text
+//! alternation := concat ('|' concat)*
+//! concat      := repeat*
+//! repeat      := atom ('*' | '+' | '?' | '{n}' | '{n,}' | '{n,m}')?
+//! atom        := literal | '.' | class | '(' alternation ')' | escape
+//! ```
+//!
+//! Supported syntax mirrors what the L7-filter patterns shipped with the
+//! paper's artifact rely on. `^` is honoured as a leading anchor and `$` as
+//! a trailing anchor; a `(?i)` prefix sets global case-insensitivity.
+
+use crate::classes::{predefined, ClassSet};
+
+/// Maximum total expansion of bounded repetitions (`{n,m}`), to bound
+/// compile cost.
+const MAX_REPEAT: u32 = 256;
+
+/// Abstract syntax tree of a parsed regex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// Matches one byte from the class.
+    Class(ClassSet),
+    /// Matches each node in sequence.
+    Concat(Vec<Ast>),
+    /// Matches any one alternative.
+    Alt(Vec<Ast>),
+    /// Matches `node` between `min` and `max` times (`None` = unbounded).
+    Repeat { node: Box<Ast>, min: u32, max: Option<u32> },
+}
+
+/// A parsed pattern: the AST plus anchor/case flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Parsed {
+    /// Body of the pattern.
+    pub ast: Ast,
+    /// Pattern began with `^`.
+    pub anchored_start: bool,
+    /// Pattern ended with `$`.
+    pub anchored_end: bool,
+    /// Pattern began with `(?i)`.
+    pub case_insensitive: bool,
+}
+
+/// Error produced by [`parse`] for malformed patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegexError {
+    /// Byte offset in the pattern where parsing failed.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseRegexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "regex parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseRegexError {}
+
+/// Parses `pattern` into a [`Parsed`] AST.
+///
+/// # Errors
+///
+/// Returns [`ParseRegexError`] on malformed syntax, out-of-range repetition
+/// bounds, or unsupported constructs (backreferences, lookaround).
+pub fn parse(pattern: &str) -> Result<Parsed, ParseRegexError> {
+    let bytes = pattern.as_bytes();
+    let mut pos = 0usize;
+    let case_insensitive = bytes.starts_with(b"(?i)");
+    if case_insensitive {
+        pos = 4;
+    }
+    let anchored_start = bytes.get(pos) == Some(&b'^');
+    if anchored_start {
+        pos += 1;
+    }
+    let mut end = bytes.len();
+    // `$` is a trailing anchor only if not escaped.
+    let anchored_end = end > pos && bytes[end - 1] == b'$' && !is_escaped(bytes, end - 1);
+    if anchored_end {
+        end -= 1;
+    }
+    let mut p = Parser { bytes: &bytes[..end], pos, case_insensitive };
+    let ast = p.alternation()?;
+    if p.pos != p.bytes.len() {
+        return Err(p.err("unexpected trailing characters (unbalanced ')'?)"));
+    }
+    Ok(Parsed { ast, anchored_start, anchored_end, case_insensitive })
+}
+
+fn is_escaped(bytes: &[u8], idx: usize) -> bool {
+    let mut backslashes = 0;
+    let mut i = idx;
+    while i > 0 && bytes[i - 1] == b'\\' {
+        backslashes += 1;
+        i -= 1;
+    }
+    backslashes % 2 == 1
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    case_insensitive: bool,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> ParseRegexError {
+        ParseRegexError { at: self.pos, message: message.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn alternation(&mut self) -> Result<Ast, ParseRegexError> {
+        let mut alts = vec![self.concat()?];
+        while self.peek() == Some(b'|') {
+            self.bump();
+            alts.push(self.concat()?);
+        }
+        Ok(if alts.len() == 1 { alts.pop().expect("nonempty") } else { Ast::Alt(alts) })
+    }
+
+    fn concat(&mut self) -> Result<Ast, ParseRegexError> {
+        let mut items = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            items.push(self.repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Ast::Empty,
+            1 => items.pop().expect("nonempty"),
+            _ => Ast::Concat(items),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Ast, ParseRegexError> {
+        let atom = self.atom()?;
+        let Some(b) = self.peek() else { return Ok(atom) };
+        let (min, max) = match b {
+            b'*' => {
+                self.bump();
+                (0, None)
+            }
+            b'+' => {
+                self.bump();
+                (1, None)
+            }
+            b'?' => {
+                self.bump();
+                (0, Some(1))
+            }
+            b'{' => {
+                let save = self.pos;
+                match self.brace_bounds() {
+                    Some(bounds) => bounds,
+                    None => {
+                        // Not a valid bound spec: treat '{' literally.
+                        self.pos = save;
+                        return Ok(atom);
+                    }
+                }
+            }
+            _ => return Ok(atom),
+        };
+        if let Some(max) = max {
+            if max < min {
+                return Err(self.err("repetition max below min"));
+            }
+            if max > MAX_REPEAT {
+                return Err(self.err("repetition bound too large"));
+            }
+        } else if min > MAX_REPEAT {
+            return Err(self.err("repetition bound too large"));
+        }
+        Ok(Ast::Repeat { node: Box::new(atom), min, max })
+    }
+
+    /// Parses `{n}`, `{n,}` or `{n,m}` after the opening brace. Returns
+    /// `None` (without consuming definitively) if the contents do not form a
+    /// valid bound.
+    fn brace_bounds(&mut self) -> Option<(u32, Option<u32>)> {
+        debug_assert_eq!(self.peek(), Some(b'{'));
+        self.bump();
+        let n = self.number()?;
+        match self.peek() {
+            Some(b'}') => {
+                self.bump();
+                Some((n, Some(n)))
+            }
+            Some(b',') => {
+                self.bump();
+                if self.peek() == Some(b'}') {
+                    self.bump();
+                    Some((n, None))
+                } else {
+                    let m = self.number()?;
+                    if self.peek() == Some(b'}') {
+                        self.bump();
+                        Some((n, Some(m)))
+                    } else {
+                        None
+                    }
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn number(&mut self) -> Option<u32> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        if self.pos == start {
+            return None;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos]).ok()?.parse().ok()
+    }
+
+    fn atom(&mut self) -> Result<Ast, ParseRegexError> {
+        let Some(b) = self.peek() else { return Err(self.err("expected atom")) };
+        match b {
+            b'(' => {
+                self.bump();
+                // Non-capturing group marker is accepted and ignored.
+                if self.bytes[self.pos..].starts_with(b"?:") {
+                    self.pos += 2;
+                } else if self.peek() == Some(b'?') {
+                    return Err(self.err("unsupported group extension (lookaround?)"));
+                }
+                let inner = self.alternation()?;
+                if self.bump() != Some(b')') {
+                    return Err(self.err("unbalanced '('"));
+                }
+                Ok(inner)
+            }
+            b'[' => self.class(),
+            b'.' => {
+                self.bump();
+                Ok(Ast::Class(ClassSet::any()))
+            }
+            b'\\' => {
+                self.bump();
+                let cls = self.escape()?;
+                Ok(Ast::Class(self.fold(cls)))
+            }
+            b'*' | b'+' | b'?' => Err(self.err("quantifier with nothing to repeat")),
+            b')' => Err(self.err("unbalanced ')'")),
+            _ => {
+                self.bump();
+                Ok(Ast::Class(self.fold(ClassSet::single(b))))
+            }
+        }
+    }
+
+    fn fold(&self, cls: ClassSet) -> ClassSet {
+        if self.case_insensitive {
+            cls.case_fold()
+        } else {
+            cls
+        }
+    }
+
+    fn escape(&mut self) -> Result<ClassSet, ParseRegexError> {
+        let Some(b) = self.bump() else { return Err(self.err("dangling backslash")) };
+        if let Some(cls) = predefined(b) {
+            return Ok(cls);
+        }
+        Ok(match b {
+            b'n' => ClassSet::single(b'\n'),
+            b'r' => ClassSet::single(b'\r'),
+            b't' => ClassSet::single(b'\t'),
+            b'0' => ClassSet::single(0),
+            b'x' => {
+                let hi = self.hex_digit()?;
+                let lo = self.hex_digit()?;
+                ClassSet::single(hi * 16 + lo)
+            }
+            // Any other escaped byte is itself (covers \. \\ \[ \$ etc.).
+            other => ClassSet::single(other),
+        })
+    }
+
+    fn hex_digit(&mut self) -> Result<u8, ParseRegexError> {
+        let Some(b) = self.bump() else { return Err(self.err("truncated \\x escape")) };
+        match b {
+            b'0'..=b'9' => Ok(b - b'0'),
+            b'a'..=b'f' => Ok(b - b'a' + 10),
+            b'A'..=b'F' => Ok(b - b'A' + 10),
+            _ => Err(self.err("invalid hex digit in \\x escape")),
+        }
+    }
+
+    fn class(&mut self) -> Result<Ast, ParseRegexError> {
+        debug_assert_eq!(self.peek(), Some(b'['));
+        self.bump();
+        let negated = self.peek() == Some(b'^');
+        if negated {
+            self.bump();
+        }
+        let mut set = ClassSet::empty();
+        let mut first = true;
+        loop {
+            let Some(b) = self.peek() else { return Err(self.err("unterminated class")) };
+            if b == b']' && !first {
+                self.bump();
+                break;
+            }
+            first = false;
+            let lo = match b {
+                b'\\' => {
+                    self.bump();
+                    let esc = self.escape()?;
+                    if esc.len() != 1 {
+                        // Predefined class inside []: union it in; no ranges.
+                        set = set.union(&esc);
+                        continue;
+                    }
+                    esc.first_byte().expect("single-byte escape")
+                }
+                _ => {
+                    self.bump();
+                    b
+                }
+            };
+            // Range?
+            if self.peek() == Some(b'-')
+                && self.bytes.get(self.pos + 1).is_some_and(|&nb| nb != b']')
+            {
+                self.bump(); // '-'
+                let hi_b = self.bump().expect("checked above");
+                let hi = if hi_b == b'\\' {
+                    let esc = self.escape()?;
+                    if esc.len() != 1 {
+                        return Err(self.err("class range with multi-byte escape"));
+                    }
+                    esc.first_byte().expect("single-byte escape")
+                } else {
+                    hi_b
+                };
+                if hi < lo {
+                    return Err(self.err("inverted class range"));
+                }
+                set = set.union(&ClassSet::range(lo, hi));
+            } else {
+                set.insert(lo);
+            }
+        }
+        let set = if negated { set.negate() } else { set };
+        Ok(Ast::Class(self.fold(set)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Parsed {
+        parse(s).unwrap_or_else(|e| panic!("parse {s:?}: {e}"))
+    }
+
+    #[test]
+    fn literal_concat() {
+        let parsed = p("abc");
+        match parsed.ast {
+            Ast::Concat(items) => assert_eq!(items.len(), 3),
+            other => panic!("unexpected ast {other:?}"),
+        }
+    }
+
+    #[test]
+    fn alternation_and_grouping() {
+        let parsed = p("ab|cd|(ef)");
+        match parsed.ast {
+            Ast::Alt(alts) => assert_eq!(alts.len(), 3),
+            other => panic!("unexpected ast {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(matches!(p("a*").ast, Ast::Repeat { min: 0, max: None, .. }));
+        assert!(matches!(p("a+").ast, Ast::Repeat { min: 1, max: None, .. }));
+        assert!(matches!(p("a?").ast, Ast::Repeat { min: 0, max: Some(1), .. }));
+        assert!(matches!(p("a{3}").ast, Ast::Repeat { min: 3, max: Some(3), .. }));
+        assert!(matches!(p("a{2,}").ast, Ast::Repeat { min: 2, max: None, .. }));
+        assert!(matches!(p("a{2,5}").ast, Ast::Repeat { min: 2, max: Some(5), .. }));
+    }
+
+    #[test]
+    fn literal_brace_without_bounds() {
+        // "{x}" is not a valid bound; brace is literal.
+        let parsed = p("a{x}");
+        assert!(matches!(parsed.ast, Ast::Concat(_)));
+    }
+
+    #[test]
+    fn anchors_detected() {
+        let parsed = p("^http$");
+        assert!(parsed.anchored_start);
+        assert!(parsed.anchored_end);
+        let parsed = p(r"cost\$");
+        assert!(!parsed.anchored_end);
+    }
+
+    #[test]
+    fn case_flag() {
+        let parsed = p("(?i)ssh");
+        assert!(parsed.case_insensitive);
+        // First atom's class should include both cases.
+        match parsed.ast {
+            Ast::Concat(items) => match &items[0] {
+                Ast::Class(c) => {
+                    assert!(c.contains(b's') && c.contains(b'S'));
+                }
+                other => panic!("unexpected ast {other:?}"),
+            },
+            other => panic!("unexpected ast {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classes_with_ranges_and_negation() {
+        match p("[a-f0-9]").ast {
+            Ast::Class(c) => {
+                assert!(c.contains(b'c') && c.contains(b'7'));
+                assert!(!c.contains(b'g'));
+            }
+            other => panic!("unexpected ast {other:?}"),
+        }
+        match p("[^a]").ast {
+            Ast::Class(c) => {
+                assert!(!c.contains(b'a'));
+                assert!(c.contains(b'b'));
+            }
+            other => panic!("unexpected ast {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_with_leading_bracket_literal() {
+        match p("[]a]").ast {
+            Ast::Class(c) => {
+                assert!(c.contains(b']') && c.contains(b'a'));
+            }
+            other => panic!("unexpected ast {other:?}"),
+        }
+    }
+
+    #[test]
+    fn escapes() {
+        match p(r"\x41").ast {
+            Ast::Class(c) => assert!(c.contains(b'A')),
+            other => panic!("unexpected ast {other:?}"),
+        }
+        match p(r"\d").ast {
+            Ast::Class(c) => assert!(c.contains(b'3') && !c.contains(b'a')),
+            other => panic!("unexpected ast {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("(ab").is_err());
+        assert!(parse("ab)").is_err());
+        assert!(parse("*a").is_err());
+        assert!(parse("[abc").is_err());
+        assert!(parse("[z-a]").is_err());
+        assert!(parse(r"\x4").is_err());
+        assert!(parse("a{5,2}").is_err());
+        assert!(parse("a{9999}").is_err());
+        assert!(parse("(?=x)").is_err());
+    }
+
+    #[test]
+    fn dot_matches_any_byte() {
+        match p(".").ast {
+            Ast::Class(c) => assert_eq!(c.len(), 256),
+            other => panic!("unexpected ast {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The public compiled-regex type tying parser → NFA → scanning DFA.
+
+use crate::dfa::{DfaTooComplexError, ScanDfa};
+use crate::nfa::Nfa;
+use crate::parser::{parse, ParseRegexError};
+
+/// A compiled regular expression specialised for streaming match counting
+/// over packet payloads.
+///
+/// # Example
+///
+/// ```
+/// use yala_rxp::Regex;
+/// let re = Regex::compile(r"(?i)ssh-[12]\.[0-9]").unwrap();
+/// assert_eq!(re.count_matches(b"SSH-2.0-OpenSSH banner ssh-1.5"), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    dfa: ScanDfa,
+}
+
+/// Error produced by [`Regex::compile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileRegexError {
+    /// The pattern is syntactically invalid.
+    Parse(ParseRegexError),
+    /// The pattern matches the empty string, which a streaming counter
+    /// cannot enumerate (it would match at every offset).
+    MatchesEmpty,
+    /// Subset construction exceeded the state budget.
+    TooComplex(DfaTooComplexError),
+}
+
+impl std::fmt::Display for CompileRegexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Parse(e) => write!(f, "{e}"),
+            Self::MatchesEmpty => write!(f, "pattern matches the empty string"),
+            Self::TooComplex(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileRegexError {}
+
+impl From<ParseRegexError> for CompileRegexError {
+    fn from(e: ParseRegexError) -> Self {
+        Self::Parse(e)
+    }
+}
+
+impl From<DfaTooComplexError> for CompileRegexError {
+    fn from(e: DfaTooComplexError) -> Self {
+        Self::TooComplex(e)
+    }
+}
+
+impl Regex {
+    /// Compiles `pattern` into a scanning DFA.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileRegexError`] if the pattern is malformed, matches
+    /// the empty string, or expands past the DFA state budget.
+    pub fn compile(pattern: &str) -> Result<Self, CompileRegexError> {
+        let parsed = parse(pattern)?;
+        let nfa = Nfa::from_ast(&parsed.ast);
+        if nfa.matches_empty() {
+            return Err(CompileRegexError::MatchesEmpty);
+        }
+        let dfa = ScanDfa::build(&nfa, parsed.anchored_start, parsed.anchored_end)?;
+        Ok(Self { pattern: pattern.to_string(), dfa })
+    }
+
+    /// Counts non-overlapping, leftmost-shortest matches in `haystack`.
+    pub fn count_matches(&self, haystack: &[u8]) -> usize {
+        self.dfa.count_matches(haystack)
+    }
+
+    /// Whether `haystack` contains at least one match.
+    pub fn is_match(&self, haystack: &[u8]) -> bool {
+        self.dfa.is_match(haystack)
+    }
+
+    /// The original pattern string.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Number of DFA states — a proxy for how much accelerator memory the
+    /// compiled rule would occupy.
+    pub fn state_count(&self) -> usize {
+        self.dfa.state_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_and_count() {
+        let re = Regex::compile("abc+").unwrap();
+        assert_eq!(re.count_matches(b"abc abcc ab"), 2);
+        assert_eq!(re.pattern(), "abc+");
+    }
+
+    #[test]
+    fn empty_matching_rejected() {
+        assert!(matches!(Regex::compile("a*"), Err(CompileRegexError::MatchesEmpty)));
+        assert!(matches!(Regex::compile("x|"), Err(CompileRegexError::MatchesEmpty)));
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        assert!(matches!(Regex::compile("(ab"), Err(CompileRegexError::Parse(_))));
+    }
+
+    #[test]
+    fn case_insensitive_flag() {
+        let re = Regex::compile("(?i)http").unwrap();
+        assert!(re.is_match(b"HTTP/1.1"));
+        assert!(re.is_match(b"http/1.1"));
+        assert!(re.is_match(b"HtTp/1.1"));
+    }
+}

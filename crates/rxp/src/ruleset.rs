@@ -1,0 +1,234 @@
+//! Multi-pattern rulesets: the software analogue of a compiled RXP ruleset.
+//!
+//! The paper's regex NFs all use the same L7-filter rule set ([5] in the
+//! paper). [`l7_default_ruleset`] ships a representative subset of
+//! application-protocol signatures in the style of L7-filter, chosen so the
+//! traffic generator can plant matches at a controlled MTBR.
+
+use crate::regex::{CompileRegexError, Regex};
+
+/// One named rule of a ruleset.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Protocol/attack name, e.g. `"http"`.
+    pub name: String,
+    /// Compiled pattern.
+    pub regex: Regex,
+}
+
+/// A compiled multi-pattern ruleset.
+///
+/// # Example
+///
+/// ```
+/// use yala_rxp::l7_default_ruleset;
+/// let rules = l7_default_ruleset();
+/// let report = rules.scan(b"GET /index.html HTTP/1.1\r\nHost: a\r\n");
+/// assert!(report.total_matches >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ruleset {
+    rules: Vec<Rule>,
+}
+
+/// Result of scanning one payload against a [`Ruleset`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanReport {
+    /// Match count per rule, in ruleset order.
+    pub per_rule: Vec<usize>,
+    /// Sum of all per-rule counts.
+    pub total_matches: usize,
+    /// Payload length scanned.
+    pub bytes_scanned: usize,
+}
+
+impl ScanReport {
+    /// Match-to-byte ratio of this payload in matches per megabyte — the
+    /// traffic attribute of §5.1.1 (paper reports matches/MB).
+    pub fn mtbr_per_mb(&self) -> f64 {
+        if self.bytes_scanned == 0 {
+            return 0.0;
+        }
+        self.total_matches as f64 / self.bytes_scanned as f64 * 1_000_000.0
+    }
+}
+
+impl Ruleset {
+    /// Compiles `(name, pattern)` pairs into a ruleset.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pattern's [`CompileRegexError`] with its name.
+    pub fn compile<'a, I>(patterns: I) -> Result<Self, (String, CompileRegexError)>
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        let mut rules = Vec::new();
+        for (name, pattern) in patterns {
+            let regex =
+                Regex::compile(pattern).map_err(|e| (name.to_string(), e))?;
+            rules.push(Rule { name: name.to_string(), regex });
+        }
+        Ok(Self { rules })
+    }
+
+    /// Scans `payload` against every rule, counting matches.
+    pub fn scan(&self, payload: &[u8]) -> ScanReport {
+        let per_rule: Vec<usize> =
+            self.rules.iter().map(|r| r.regex.count_matches(payload)).collect();
+        let total_matches = per_rule.iter().sum();
+        ScanReport { per_rule, total_matches, bytes_scanned: payload.len() }
+    }
+
+    /// The rules in order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the ruleset has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Total DFA states across rules — proxy for accelerator rule memory.
+    pub fn total_states(&self) -> usize {
+        self.rules.iter().map(|r| r.regex.state_count()).sum()
+    }
+}
+
+/// Seed strings that trigger exactly one match of the corresponding default
+/// rule when embedded in an otherwise non-matching payload. Used by the
+/// traffic generator to plant matches at a target MTBR.
+pub fn match_seeds() -> Vec<(&'static str, &'static [u8])> {
+    vec![
+        ("http", b"GET /idx.html HTTP/1.1"),
+        ("ssh", b"SSH-2.0-OpenSSH_8.9"),
+        ("smtp", b"220 mail ESMTP ready"),
+        ("ftp", b"230 Login successful"),
+        ("sip", b"INVITE sip:bob@example SIP/2.0"),
+        ("bittorrent", b"\x13BitTorrent protocol"),
+        ("dns_mdns", b"_services._dns-sd._udp"),
+        ("tls_hello", b"\x16\x03\x01\x02\x00\x01"),
+        ("sqli", b"' OR 1=1 --"),
+        ("xss", b"<script>alert(1)</script>"),
+        ("shell", b"/bin/sh -i 2>&1"),
+        ("rtsp", b"RTSP/1.0 200 OK"),
+    ]
+}
+
+/// A representative L7-filter-style ruleset: application-protocol
+/// signatures plus a few intrusion patterns.
+///
+/// # Panics
+///
+/// Panics only if the built-in patterns fail to compile (covered by tests).
+pub fn l7_default_ruleset() -> Ruleset {
+    Ruleset::compile(vec![
+        // Protocol signatures (L7-filter style).
+        ("http", r"(?i)(get|post|head|put|delete) /[!-~]* http/1\.[01]"),
+        ("ssh", r"(?i)ssh-[12]\.[0-9]"),
+        ("smtp", r"(?i)220 [!-~]+ e?smtp"),
+        ("ftp", r"(?i)2(20|30) [ -~]*(ftp|login)"),
+        ("sip", r"(?i)(invite|register) sip:[!-~]+ sip/2\.0"),
+        ("bittorrent", r"(?i)\x13bittorrent protocol"),
+        ("dns_mdns", r"_[a-z-]+\._(udp|tcp)"),
+        ("tls_hello", r"\x16\x03[\x00-\x03].[\x00-\xff]\x01"),
+        // Intrusion patterns (NIDS style).
+        ("sqli", r"(?i)' or 1=1"),
+        ("xss", r"(?i)<script>[ -~]*</script>"),
+        ("shell", r"/bin/(sh|bash) -i"),
+        ("rtsp", r"(?i)rtsp/1\.0 [0-9]{3}"),
+    ])
+    .expect("built-in ruleset must compile")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ruleset_compiles() {
+        let rs = l7_default_ruleset();
+        assert_eq!(rs.len(), 12);
+        assert!(rs.total_states() > 0);
+    }
+
+    #[test]
+    fn every_seed_triggers_its_rule_exactly_once() {
+        let rs = l7_default_ruleset();
+        for (name, seed) in match_seeds() {
+            let report = rs.scan(seed);
+            let idx = rs.rules().iter().position(|r| r.name == name).unwrap_or_else(|| {
+                panic!("seed references unknown rule {name}")
+            });
+            assert_eq!(
+                report.per_rule[idx], 1,
+                "seed for {name} should match once, got {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_do_not_cross_fire_excessively() {
+        // A seed may legitimately trip at most its own rule plus one other
+        // (e.g. protocol banners overlap), but never many.
+        let rs = l7_default_ruleset();
+        for (name, seed) in match_seeds() {
+            let report = rs.scan(seed);
+            assert!(
+                report.total_matches <= 2,
+                "seed {name} fired {} rules",
+                report.total_matches
+            );
+        }
+    }
+
+    #[test]
+    fn random_bytes_rarely_match() {
+        let rs = l7_default_ruleset();
+        // Deterministic pseudo-random filler, printable-range biased like
+        // the traffic generator's filler.
+        let mut x = 0x12345678u32;
+        let payload: Vec<u8> = (0..4096)
+            .map(|_| {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                (x >> 24) as u8
+            })
+            .collect();
+        let report = rs.scan(&payload);
+        assert_eq!(report.total_matches, 0, "noise should not match: {report:?}");
+    }
+
+    #[test]
+    fn mtbr_computation() {
+        let report = ScanReport { per_rule: vec![2, 1], total_matches: 3, bytes_scanned: 1500 };
+        assert!((report.mtbr_per_mb() - 2000.0).abs() < 1e-9);
+        let empty = ScanReport { per_rule: vec![], total_matches: 0, bytes_scanned: 0 };
+        assert_eq!(empty.mtbr_per_mb(), 0.0);
+    }
+
+    #[test]
+    fn planting_seeds_scales_matches_linearly() {
+        let rs = l7_default_ruleset();
+        let seed = b"' OR 1=1 --";
+        let mut payload = Vec::new();
+        for i in 0..5 {
+            payload.extend_from_slice(format!("fill{i}ernoise____").as_bytes());
+            payload.extend_from_slice(seed);
+        }
+        let report = rs.scan(&payload);
+        let idx = rs.rules().iter().position(|r| r.name == "sqli").unwrap();
+        assert_eq!(report.per_rule[idx], 5);
+    }
+
+    #[test]
+    fn compile_error_carries_rule_name() {
+        let err = Ruleset::compile(vec![("bad", "(unclosed")]).unwrap_err();
+        assert_eq!(err.0, "bad");
+    }
+}

@@ -1,0 +1,56 @@
+//! # yala-sim — a mechanistic SoC-SmartNIC simulator
+//!
+//! The Yala paper measures network functions on an NVIDIA BlueField-2
+//! SmartNIC. This crate is the hardware substitute (see `DESIGN.md`): a
+//! fluid-model simulator of the NIC's shared resources that produces the
+//! same contention phenomenology the paper's models are built on:
+//!
+//! * [`memory`] — shared last-level cache with pressure-proportional
+//!   occupancy, miss-ratio curves, and DRAM-bandwidth queueing (piecewise
+//!   throughput drop vs. competing cache-access rate; Fig. 3a/5/6 shapes).
+//! * [`accel`] — hardware accelerators (regex / compression / crypto)
+//!   scheduled round-robin across per-NF request queues; reduces exactly to
+//!   the paper's Eq. 1 when all queues are backlogged and reproduces
+//!   Fig. 4's linear-decline-then-equilibrium curves.
+//! * [`solver`] — the co-run fixed point coupling everything through
+//!   throughput feedback, emitting per-NF throughput, Table 11 performance
+//!   [`counters`], per-resource packet times, and ground-truth bottlenecks.
+//! * [`spec`] — NIC hardware presets ([`NicSpec::bluefield2`],
+//!   [`NicSpec::pensando`]).
+//!
+//! Execution patterns follow §4.2 of the paper: [`ExecutionPattern::Pipeline`]
+//! NFs run at the rate of their slowest stage; run-to-completion NFs add
+//! per-stage times.
+//!
+//! # Example
+//!
+//! ```
+//! use yala_sim::{ExecutionPattern, NicSpec, Simulator, StageDemand, WorkloadSpec};
+//!
+//! let mut sim = Simulator::new(NicSpec::bluefield2());
+//! let nf = WorkloadSpec::new(
+//!     "flowstats",
+//!     2,
+//!     ExecutionPattern::RunToCompletion,
+//!     vec![StageDemand::CpuMem {
+//!         cycles_per_pkt: 2_000.0,
+//!         cache_refs_per_pkt: 40.0,
+//!         write_frac: 0.3,
+//!         wss_bytes: 1.0e6,
+//!     }],
+//! );
+//! let solo = sim.solo(&nf);
+//! assert!(solo.throughput_pps > 0.0);
+//! ```
+
+pub mod accel;
+pub mod counters;
+pub mod memory;
+pub mod solver;
+pub mod spec;
+pub mod workload;
+
+pub use counters::CounterSample;
+pub use solver::{CoRunReport, NfOutcome, Simulator};
+pub use spec::{AccelSpec, NicSpec, ResourceKind};
+pub use workload::{ExecutionPattern, StageDemand, WorkloadSpec};

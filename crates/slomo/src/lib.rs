@@ -1,0 +1,217 @@
+//! # yala-slomo — the SLOMO baseline (SIGCOMM'20)
+//!
+//! SLOMO is the state-of-the-art *memory-only* contention-aware performance
+//! predictor the paper compares against (§7.1): a gradient-boosting
+//! regressor over the competitors' aggregate performance counters
+//! (Table 11), trained under synthetic memory contention at a fixed traffic
+//! profile, with *sensitivity extrapolation* to adapt to moderate traffic
+//! shifts.
+//!
+//! Faithful to the paper's baseline setup:
+//!
+//! * Training co-runs the target with `mem-bench` swept over (CAR, WSS)
+//!   levels; features are mem-bench's solo counter vector.
+//! * Prediction aggregates the competitors' solo counters and queries the
+//!   GBR. Accelerator contention is invisible to it — by design, this is
+//!   the gap Yala closes (Fig. 2a).
+//! * When the test traffic profile differs from the training one,
+//!   [`SlomoModel::predict_extrapolated`] rescales by the solo-throughput
+//!   ratio (Section 6 of the SLOMO paper, as used in §7.1 here). This works
+//!   for small deviations and degrades for large ones (Fig. 7b).
+
+use yala_ml::{Dataset, GbrParams, GradientBoostingRegressor};
+use yala_sim::{CounterSample, Simulator, WorkloadSpec};
+
+
+/// A (CAR, WSS, compute-intensity) contention level for the training sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemLevel {
+    /// mem-bench target cache-access rate, refs/s.
+    pub car: f64,
+    /// mem-bench working-set size, bytes.
+    pub wss: f64,
+    /// mem-bench compute cycles per iteration (decorrelates IPC/IRT from
+    /// CAR so the GBR learns the causal counters).
+    pub cycles: f64,
+}
+
+impl MemLevel {
+    /// The mem-bench workload realising this level.
+    pub fn bench(&self) -> WorkloadSpec {
+        yala_nf::bench::mem_bench_with_cycles(self.car, self.wss, self.cycles)
+    }
+}
+
+/// The default training grid: 10 CAR levels × 6 working-set sizes, with
+/// rotating compute intensity.
+pub fn default_mem_grid() -> Vec<MemLevel> {
+    let mut grid = Vec::new();
+    for i in 0..10 {
+        let car = 2.0e7 + i as f64 * 3.0e7; // 20 M .. 290 M refs/s
+        for (j, wss_mb) in [0.5f64, 1.0, 2.0, 4.0, 8.0, 12.0].into_iter().enumerate() {
+            let cycles = [60.0, 600.0, 2_400.0][(i + j) % 3];
+            grid.push(MemLevel { car, wss: wss_mb * 1e6, cycles });
+        }
+    }
+    grid
+}
+
+/// Measures mem-bench's solo counter vector at a contention level — the
+/// feature vector SLOMO-style models use for that level.
+pub fn bench_features(sim: &mut Simulator, level: MemLevel) -> CounterSample {
+    sim.solo(&level.bench()).counters
+}
+
+/// A trained SLOMO model for one target NF.
+#[derive(Debug, Clone)]
+pub struct SlomoModel {
+    gbr: GradientBoostingRegressor,
+    /// Solo throughput at the training traffic profile.
+    solo_tput_train: f64,
+}
+
+impl SlomoModel {
+    /// Trains SLOMO for `target` (a workload profiled at the training
+    /// traffic profile) by sweeping mem-bench over `grid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid` is empty.
+    pub fn train(
+        sim: &mut Simulator,
+        target: &WorkloadSpec,
+        grid: &[MemLevel],
+        seed: u64,
+    ) -> Self {
+        assert!(!grid.is_empty(), "empty training grid");
+        let solo_tput_train = sim.solo(target).throughput_pps;
+        let mut ds = Dataset::new(7);
+        // Include the uncontended point so the model anchors at solo.
+        ds.push(&CounterSample::default().as_features(), solo_tput_train);
+        for &level in grid {
+            let features = bench_features(sim, level);
+            let report = sim.co_run(&[target.clone(), level.bench()]);
+            ds.push(&features.as_features(), report.outcomes[0].throughput_pps);
+        }
+        let params =
+            GbrParams { n_estimators: 300, learning_rate: 0.05, ..GbrParams::default() };
+        let gbr = GradientBoostingRegressor::fit(&ds, &params, seed);
+        Self { gbr, solo_tput_train }
+    }
+
+    /// Predicts the target's throughput when co-located with competitors
+    /// whose aggregate solo counters are `competitors`.
+    pub fn predict(&self, competitors: &CounterSample) -> f64 {
+        self.gbr.predict(&competitors.as_features()).max(0.0)
+    }
+
+    /// Prediction with sensitivity extrapolation: rescales the fixed-profile
+    /// prediction by the ratio of solo throughputs between the test and
+    /// training traffic profiles.
+    pub fn predict_extrapolated(
+        &self,
+        competitors: &CounterSample,
+        solo_tput_test: f64,
+    ) -> f64 {
+        assert!(solo_tput_test > 0.0, "solo throughput must be positive");
+        self.predict(competitors) * solo_tput_test / self.solo_tput_train
+    }
+
+    /// Solo throughput captured at training time.
+    pub fn solo_tput_train(&self) -> f64 {
+        self.solo_tput_train
+    }
+}
+
+/// Aggregates the solo counters of a competitor set into SLOMO's feature
+/// vector.
+pub fn aggregate_competitors(counters: &[CounterSample]) -> CounterSample {
+    CounterSample::aggregate(counters.iter())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yala_ml::metrics;
+    use yala_nf::bench::mem_bench;
+    use yala_nf::NfKind;
+    use yala_sim::NicSpec;
+    use yala_traffic::TrafficProfile;
+
+    fn sim() -> Simulator {
+        Simulator::with_noise(NicSpec::bluefield2(), 0.005, 42)
+    }
+
+    #[test]
+    fn accurate_under_memory_only_contention() {
+        // Paper §2.2.1: "<10% average prediction error for memory-only
+        // contention" — our SLOMO must reproduce that.
+        let mut sim = sim();
+        let target = NfKind::FlowStats.workload(TrafficProfile::default(), 1);
+        let model = SlomoModel::train(&mut sim, &target, &default_mem_grid(), 7);
+        // Held-out memory contention levels (off-grid).
+        let mut truth = Vec::new();
+        let mut pred = Vec::new();
+        for &(car, wss) in
+            &[(4.5e7, 3.0e6), (1.1e8, 5.0e6), (2.2e8, 9.0e6), (7.0e7, 0.8e6)]
+        {
+            let level = MemLevel { car, wss, cycles: 600.0 };
+            let features = bench_features(&mut sim, level);
+            let report = sim.co_run(&[target.clone(), mem_bench(car, wss)]);
+            truth.push(report.outcomes[0].throughput_pps);
+            pred.push(model.predict(&features));
+        }
+        let mape = metrics::mape(&truth, &pred);
+        assert!(mape < 10.0, "SLOMO memory-only MAPE {mape}");
+    }
+
+    #[test]
+    fn blind_to_regex_contention() {
+        // The motivating failure (Fig. 2a): regex contention changes the
+        // truth but not SLOMO's features/prediction.
+        let mut sim = sim();
+        let target = NfKind::FlowMonitor.workload(TrafficProfile::default(), 1);
+        let model = SlomoModel::train(&mut sim, &target, &default_mem_grid(), 7);
+        let regex_hog = yala_nf::bench::regex_bench(5.0e6, 1446.0, 2000.0);
+        let truth = sim
+            .co_run(&[target.clone(), regex_hog])
+            .outcomes[0]
+            .throughput_pps;
+        // SLOMO sees (almost) no memory contentiousness from regex-bench.
+        let features = sim
+            .solo(&yala_nf::bench::regex_bench(5.0e6, 1446.0, 2000.0))
+            .counters;
+        let pred = model.predict(&features);
+        let err = metrics::ape(truth, pred);
+        assert!(
+            err > 15.0,
+            "SLOMO should be badly wrong under regex contention, err {err}"
+        );
+    }
+
+    #[test]
+    fn extrapolation_scales_with_solo() {
+        let mut sim = sim();
+        let target = NfKind::FlowStats.workload(TrafficProfile::default(), 1);
+        let model = SlomoModel::train(&mut sim, &target, &default_mem_grid(), 7);
+        let c = CounterSample::default();
+        let base = model.predict(&c);
+        let scaled = model.predict_extrapolated(&c, model.solo_tput_train() * 0.5);
+        assert!((scaled - base * 0.5).abs() / base < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_is_elementwise_sum() {
+        let a = CounterSample { l2crd: 1.0, ..Default::default() };
+        let b = CounterSample { l2crd: 2.0, ..Default::default() };
+        assert_eq!(aggregate_competitors(&[a, b]).l2crd, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training grid")]
+    fn empty_grid_panics() {
+        let mut sim = sim();
+        let target = NfKind::Acl.workload(TrafficProfile::default(), 1);
+        SlomoModel::train(&mut sim, &target, &[], 0);
+    }
+}

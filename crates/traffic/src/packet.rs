@@ -1,0 +1,55 @@
+//! Packets: a 5-tuple header plus an owned payload.
+
+use crate::flow::FiveTuple;
+use serde::{Deserialize, Serialize};
+
+/// Bytes of framing we model per packet: Ethernet (14) + IPv4 (20) +
+/// TCP (20) = 54.
+pub const HEADER_BYTES: u32 = 54;
+
+/// A synthetic packet.
+///
+/// # Example
+///
+/// ```
+/// use yala_traffic::{FiveTuple, Packet};
+/// let p = Packet::new(FiveTuple::new(1, 2, 3, 4, 6), vec![0u8; 100]);
+/// assert_eq!(p.payload_len(), 100);
+/// assert_eq!(p.wire_len(), 154);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Flow identity (parsed header fields).
+    pub five_tuple: FiveTuple,
+    /// Application payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Creates a packet from a flow identity and payload.
+    pub fn new(five_tuple: FiveTuple, payload: Vec<u8>) -> Self {
+        Self { five_tuple, payload }
+    }
+
+    /// Payload length in bytes.
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Total wire length (headers + payload).
+    pub fn wire_len(&self) -> u32 {
+        HEADER_BYTES + self.payload.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_len_includes_headers() {
+        let p = Packet::new(FiveTuple::new(0, 0, 0, 0, 6), vec![1, 2, 3]);
+        assert_eq!(p.wire_len(), HEADER_BYTES + 3);
+        assert_eq!(p.payload_len(), 3);
+    }
+}

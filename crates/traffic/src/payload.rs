@@ -1,0 +1,185 @@
+//! Payload synthesis with a controlled match-to-byte ratio — the exrex
+//! substitute.
+//!
+//! The generator fills payloads with bytes from a "safe" alphabet that the
+//! default ruleset cannot match, then plants whole match seeds (from
+//! [`yala_rxp::ruleset::match_seeds`]) so the *expected* number of ruleset
+//! matches per byte equals the requested MTBR.
+
+use rand::Rng;
+use yala_rxp::ruleset::match_seeds;
+
+/// Filler alphabet chosen to be inert against the default ruleset: no
+/// digits, no `<'/_$` metacharacters, no protocol keywords can form.
+const FILLER: &[u8] = b"qwzjkvyxubnmfdgh QWZJKVYXUBNM";
+
+/// Synthesises payloads at a target MTBR against the default ruleset.
+///
+/// # Example
+///
+/// ```
+/// use yala_traffic::PayloadSynthesizer;
+/// use yala_rxp::l7_default_ruleset;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let synth = PayloadSynthesizer::new();
+/// let mut rng = StdRng::seed_from_u64(1);
+/// // 1 MB of payload at 300 matches/MB should contain ~300 matches.
+/// let rules = l7_default_ruleset();
+/// let mut matches = 0;
+/// let mut bytes = 0;
+/// for _ in 0..700 {
+///     let p = synth.generate(&mut rng, 1446, 300.0);
+///     let r = rules.scan(&p);
+///     matches += r.total_matches;
+///     bytes += r.bytes_scanned;
+/// }
+/// let mtbr = matches as f64 / bytes as f64 * 1e6;
+/// assert!((mtbr - 300.0).abs() < 60.0, "measured {mtbr}");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PayloadSynthesizer {
+    seeds: Vec<Vec<u8>>,
+}
+
+impl PayloadSynthesizer {
+    /// Creates a synthesizer planting the default ruleset's match seeds.
+    pub fn new() -> Self {
+        Self { seeds: match_seeds().into_iter().map(|(_, s)| s.to_vec()).collect() }
+    }
+
+    /// Generates one payload of `len` bytes whose expected ruleset match
+    /// count is `mtbr / 1e6 * len` (Poisson-thinned Bernoulli planting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mtbr` is negative.
+    pub fn generate<R: Rng>(&self, rng: &mut R, len: usize, mtbr: f64) -> Vec<u8> {
+        assert!(mtbr >= 0.0, "negative MTBR");
+        let mut out = Vec::with_capacity(len);
+        self.fill(rng, &mut out, len);
+        let expected = mtbr / 1_000_000.0 * len as f64;
+        let count = poisson(rng, expected);
+        for _ in 0..count {
+            let seed = &self.seeds[rng.gen_range(0..self.seeds.len())];
+            if seed.len() + 2 >= len {
+                continue; // payload too small to hold a separated seed
+            }
+            // Plant at a random offset, keeping one filler byte on each side
+            // so adjacent seeds cannot merge into unintended matches.
+            let at = rng.gen_range(1..len - seed.len() - 1);
+            out[at..at + seed.len()].copy_from_slice(seed);
+        }
+        out
+    }
+
+    fn fill<R: Rng>(&self, rng: &mut R, out: &mut Vec<u8>, len: usize) {
+        for _ in 0..len {
+            out.push(FILLER[rng.gen_range(0..FILLER.len())]);
+        }
+    }
+}
+
+/// Sample from Poisson(lambda) — Knuth's method for small lambda, normal
+/// approximation above 30 (plenty for per-packet match counts).
+fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        let sample: f64 = lambda + lambda.sqrt() * standard_normal(rng);
+        return sample.round().max(0.0) as usize;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Box-Muller standard normal sample.
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use yala_rxp::l7_default_ruleset;
+
+    #[test]
+    fn zero_mtbr_payload_never_matches() {
+        let synth = PayloadSynthesizer::new();
+        let rules = l7_default_ruleset();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let p = synth.generate(&mut rng, 1446, 0.0);
+            assert_eq!(rules.scan(&p).total_matches, 0);
+        }
+    }
+
+    #[test]
+    fn payload_has_requested_length() {
+        let synth = PayloadSynthesizer::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        for len in [10usize, 100, 1446] {
+            assert_eq!(synth.generate(&mut rng, len, 500.0).len(), len);
+        }
+    }
+
+    #[test]
+    fn measured_mtbr_tracks_target() {
+        let synth = PayloadSynthesizer::new();
+        let rules = l7_default_ruleset();
+        for target in [200.0f64, 600.0, 1000.0] {
+            let mut rng = StdRng::seed_from_u64(target as u64);
+            let mut matches = 0usize;
+            let mut bytes = 0usize;
+            for _ in 0..400 {
+                let p = synth.generate(&mut rng, 1446, target);
+                let r = rules.scan(&p);
+                matches += r.total_matches;
+                bytes += r.bytes_scanned;
+            }
+            let measured = matches as f64 / bytes as f64 * 1e6;
+            let rel_err = (measured - target).abs() / target;
+            assert!(rel_err < 0.25, "target {target}, measured {measured}");
+        }
+    }
+
+    #[test]
+    fn tiny_payloads_do_not_panic() {
+        let synth = PayloadSynthesizer::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for len in 1..30 {
+            let p = synth.generate(&mut rng, len, 1200.0);
+            assert_eq!(p.len(), len);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for lambda in [0.5f64, 3.0, 50.0] {
+            let n = 4000;
+            let total: usize = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+            let mean = total as f64 / n as f64;
+            assert!((mean - lambda).abs() < lambda.max(1.0) * 0.1, "λ={lambda} mean={mean}");
+        }
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+}

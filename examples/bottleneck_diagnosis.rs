@@ -1,0 +1,42 @@
+//! Bottleneck diagnosis (§7.5.2): as FlowMonitor's traffic MTBR rises, its
+//! bottleneck shifts from the memory subsystem to the regex accelerator.
+//! Yala's per-resource models pinpoint the shift without touching the NF.
+//!
+//! Run with `cargo run --release --example bottleneck_diagnosis`.
+
+use yala::core::profiler::{mem_bench_contender, regex_bench_contender, MemLevel};
+use yala::core::{TrainConfig, YalaModel};
+use yala::diagnosis::diagnose_yala;
+use yala::nf::NfKind;
+use yala::sim::{NicSpec, Simulator};
+use yala::traffic::TrafficProfile;
+
+fn main() {
+    let mut sim = Simulator::with_noise(NicSpec::bluefield2(), 0.005, 11);
+    println!("training Yala model for FlowMonitor ...");
+    let model = YalaModel::train(&mut sim, NfKind::FlowMonitor, &TrainConfig::default());
+
+    // Fixed contention: moderate memory pressure + a heavy regex tenant.
+    let mem_level = MemLevel { car: 1.0e8, wss: 5e6, cycles: 60.0 };
+    let contenders = vec![
+        mem_bench_contender(&mut sim, mem_level),
+        regex_bench_contender(&mut sim, 1e12, 1446.0, 6_000.0),
+    ];
+
+    println!("\n{:>8} {:>14} {:>14}", "MTBR", "predicted", "ground truth");
+    for mtbr in [0.0, 200.0, 400.0, 600.0, 800.0, 1_000.0, 1_100.0] {
+        let traffic = TrafficProfile::new(16_000, 1500, mtbr);
+        let workload = NfKind::FlowMonitor.workload(traffic, 3);
+        let solo = sim.solo(&workload).throughput_pps;
+        let verdict = diagnose_yala(&model, solo, &traffic, &contenders);
+        let truth = sim
+            .co_run(&[
+                workload,
+                mem_level.bench(),
+                yala::nf::bench::regex_bench(1e12, 1446.0, 6_000.0),
+            ])
+            .outcomes[0]
+            .bottleneck;
+        println!("{mtbr:>8.0} {:>14} {:>14}", verdict.bottleneck.to_string(), truth.to_string());
+    }
+}

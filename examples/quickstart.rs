@@ -1,0 +1,50 @@
+//! Quickstart: train Yala for one NF and predict its throughput in a
+//! proposed co-location, then check the prediction against ground truth.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use yala::core::profiler::{mem_bench_contender, MemLevel};
+use yala::core::{TrainConfig, YalaModel};
+use yala::nf::NfKind;
+use yala::sim::{NicSpec, Simulator};
+use yala::traffic::TrafficProfile;
+
+fn main() {
+    // The simulated BlueField-2 stands in for the paper's testbed.
+    let mut sim = Simulator::with_noise(NicSpec::bluefield2(), 0.005, 42);
+
+    // Offline: profile FlowMonitor and train its Yala model (adaptive
+    // traffic profiling + white-box regex model + pattern detection).
+    println!("training Yala model for FlowMonitor ...");
+    let model = YalaModel::train(&mut sim, NfKind::FlowMonitor, &TrainConfig::default());
+    println!(
+        "  pattern: {}, accelerator models: {}, profiling cost: {} measurements",
+        model.pattern,
+        model.accels.len(),
+        model.profiling_cost
+    );
+
+    // Online: an operator wants to co-locate FlowMonitor (64K flows,
+    // 1024 B packets, 800 matches/MB) with a memory-hungry neighbour.
+    let traffic = TrafficProfile::new(64_000, 1024, 800.0);
+    let workload = NfKind::FlowMonitor.workload(traffic, 7);
+    let solo = sim.solo(&workload).throughput_pps;
+    let neighbour_level = MemLevel { car: 1.4e8, wss: 9e6, cycles: 600.0 };
+    let neighbour = mem_bench_contender(&mut sim, neighbour_level);
+
+    let predicted = model.predict(solo, &traffic, std::slice::from_ref(&neighbour));
+
+    // Ground truth from the simulator (on hardware: deploy and measure).
+    let truth = sim
+        .co_run(&[workload, neighbour_level.bench()])
+        .outcomes[0]
+        .throughput_pps;
+
+    println!("solo throughput:      {:>10.0} pps", solo);
+    println!("predicted co-located: {:>10.0} pps", predicted);
+    println!("measured  co-located: {:>10.0} pps", truth);
+    println!(
+        "prediction error:     {:>9.1}%",
+        ((predicted - truth) / truth * 100.0).abs()
+    );
+}

@@ -1,0 +1,95 @@
+//! Cross-crate integration tests: the full pipeline from packets through
+//! NFs, the simulator, model training, prediction, and the use cases.
+
+use yala::core::profiler::{mem_bench_contender, MemLevel};
+use yala::core::{TrainConfig, YalaModel};
+use yala::ml::metrics;
+use yala::nf::NfKind;
+use yala::sim::{NicSpec, ResourceKind, Simulator};
+use yala::traffic::TrafficProfile;
+
+#[test]
+fn packets_flow_through_every_nf() {
+    // Every NF must process a realistic packet stream without panicking
+    // and produce a consistent workload description.
+    let profile = TrafficProfile::new(2_000, 1024, 600.0);
+    for kind in NfKind::ALL {
+        let w = kind.workload(profile, 1);
+        assert_eq!(w.name, kind.name());
+        assert!(w.cache_refs_per_pkt() > 0.0, "{kind} must touch memory");
+        assert_eq!(w.uses(ResourceKind::Regex), kind.uses_regex(), "{kind}");
+    }
+}
+
+#[test]
+fn simulator_reproduces_contention_phenomenology() {
+    let mut sim = Simulator::new(NicSpec::bluefield2());
+    let target = NfKind::FlowStats.workload(TrafficProfile::default(), 2);
+    let solo = sim.solo(&target).throughput_pps;
+    // Fig. 3a: monotone degradation with competing CAR.
+    let mut last = solo;
+    for car in [4e7, 1.0e8, 1.8e8, 2.6e8] {
+        let t = sim
+            .co_run(&[target.clone(), yala::nf::bench::mem_bench(car, 8e6)])
+            .outcomes[0]
+            .throughput_pps;
+        assert!(t <= last * 1.01, "CAR {car}: {t} vs {last}");
+        last = t;
+    }
+    assert!(last < solo * 0.9, "heavy contention must bite");
+}
+
+#[test]
+fn yala_end_to_end_beats_memory_only_view_under_regex_contention() {
+    let mut sim = Simulator::with_noise(NicSpec::bluefield2(), 0.005, 5);
+    let model = YalaModel::train(&mut sim, NfKind::Nids, &TrainConfig::default());
+    let profile = TrafficProfile::default();
+    let target = NfKind::Nids.workload(profile, 3);
+    let solo = sim.solo(&target).throughput_pps;
+    let bench = yala::nf::bench::regex_bench(3e6, 1446.0, 1_800.0);
+    let truth = sim.co_run(&[target, bench]).outcomes[0].throughput_pps;
+    let contender =
+        yala::core::profiler::regex_bench_contender(&mut sim, 3e6, 1446.0, 1_800.0);
+    let pred = model.predict(solo, &profile, std::slice::from_ref(&contender));
+    assert!(
+        metrics::ape(truth, pred) < 15.0,
+        "Yala should track regex contention: pred {pred}, truth {truth}"
+    );
+}
+
+#[test]
+fn traffic_awareness_transfers_across_profiles() {
+    // Train once, predict at profiles never used for co-run training.
+    let mut sim = Simulator::with_noise(NicSpec::bluefield2(), 0.005, 6);
+    let model = YalaModel::train(&mut sim, NfKind::Nat, &TrainConfig::default());
+    let mut errs = Vec::new();
+    for (flows, level) in [
+        (6_000u32, MemLevel { car: 9e7, wss: 6e6, cycles: 600.0 }),
+        (90_000, MemLevel { car: 1.6e8, wss: 3e6, cycles: 60.0 }),
+        (250_000, MemLevel { car: 6e7, wss: 12e6, cycles: 2_400.0 }),
+    ] {
+        let profile = TrafficProfile::new(flows, 1500, 0.0);
+        let w = NfKind::Nat.workload(profile, 9);
+        let solo = sim.solo(&w).throughput_pps;
+        let truth = sim.co_run(&[w, level.bench()]).outcomes[0].throughput_pps;
+        let c = mem_bench_contender(&mut sim, level);
+        errs.push(metrics::ape(truth, model.predict(solo, &profile, &[c])));
+    }
+    let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+    assert!(mean < 15.0, "traffic-aware prediction errors too high: {errs:?}");
+}
+
+#[test]
+fn pensando_pipeline_works_without_regex_engine() {
+    let mut sim = Simulator::with_noise(NicSpec::pensando(), 0.005, 7);
+    let model = YalaModel::train(&mut sim, NfKind::Firewall, &TrainConfig::default());
+    assert!(model.accels.is_empty(), "no accelerators on the Pensando preset");
+    let profile = TrafficProfile::new(80_000, 512, 0.0);
+    let w = NfKind::Firewall.workload(profile, 1);
+    let solo = sim.solo(&w).throughput_pps;
+    let level = MemLevel { car: 1.2e8, wss: 7e6, cycles: 600.0 };
+    let truth = sim.co_run(&[w, level.bench()]).outcomes[0].throughput_pps;
+    let c = mem_bench_contender(&mut sim, level);
+    let pred = model.predict(solo, &profile, &[c]);
+    assert!(metrics::ape(truth, pred) < 20.0, "pred {pred} truth {truth}");
+}

@@ -1,0 +1,91 @@
+//! Property-based tests on core invariants: solver work conservation and
+//! monotonicity, composition bounds, ML sanity, regex counting.
+
+use proptest::prelude::*;
+use yala::core::composition::{compose_min, compose_rtc, compose_sum};
+use yala::ml::{Dataset, LinearRegression};
+use yala::rxp::Regex;
+use yala::sim::accel::{self, AccelInput};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Round-robin grants never exceed offers and conserve accelerator work.
+    #[test]
+    fn accel_waterfill_is_work_conserving(
+        specs in prop::collection::vec((1u32..4, 1e-8f64..1e-5, 0f64..1e8), 1..6)
+    ) {
+        let inputs: Vec<AccelInput> = specs
+            .iter()
+            .map(|&(q, s, o)| AccelInput { queues: q, service_s: s, offered_rps: o })
+            .collect();
+        let state = accel::solve(&inputs);
+        let mut busy = 0.0;
+        for (w, o) in inputs.iter().zip(&state.outcomes) {
+            prop_assert!(o.granted_rps <= w.offered_rps * 1.0001 + 1e-9);
+            prop_assert!(o.capacity_rps >= o.granted_rps - 1e-6);
+            prop_assert!(o.sojourn_s >= w.service_s - 1e-15);
+            busy += o.granted_rps * w.service_s;
+        }
+        prop_assert!(busy <= 1.0 + 1e-6, "accelerator over-committed: {busy}");
+    }
+
+    /// Composition outputs are bounded by solo and ordered
+    /// sum ≤ rtc ≤ min for any per-resource predictions.
+    #[test]
+    fn composition_orderings(
+        t_solo in 1e3f64..1e7,
+        fractions in prop::collection::vec(0.01f64..1.0, 1..4)
+    ) {
+        let per: Vec<f64> = fractions.iter().map(|f| f * t_solo).collect();
+        let s = compose_sum(t_solo, &per);
+        let r = compose_rtc(t_solo, &per);
+        let m = compose_min(t_solo, &per);
+        prop_assert!(s <= r + 1e-6 * t_solo, "sum {s} > rtc {r}");
+        prop_assert!(r <= m + 1e-6 * t_solo, "rtc {r} > min {m}");
+        prop_assert!(m <= t_solo + 1e-9);
+        prop_assert!(s >= 0.0);
+    }
+
+    /// OLS on exactly-linear data recovers the coefficients.
+    #[test]
+    fn ols_recovers_exact_lines(
+        slope in -100f64..100.0,
+        icpt in -100f64..100.0
+    ) {
+        let mut ds = Dataset::new(1);
+        for i in 0..20 {
+            let x = i as f64 * 0.7;
+            ds.push(&[x], slope * x + icpt);
+        }
+        let m = LinearRegression::fit(&ds).expect("well-posed");
+        prop_assert!((m.coefficients()[0] - slope).abs() < 1e-6);
+        prop_assert!((m.intercept() - icpt).abs() < 1e-6);
+    }
+
+    /// Literal match counting equals the straightforward count of
+    /// non-overlapping occurrences.
+    #[test]
+    fn regex_literal_counting(
+        needle in "[a-c]{2,4}",
+        haystack in prop::collection::vec(prop::sample::select(b"abcxyz".to_vec()), 0..200)
+    ) {
+        let re = Regex::compile(&needle).expect("literal pattern");
+        let expected = {
+            // Reference: scan left to right, non-overlapping.
+            let n = needle.as_bytes();
+            let mut count = 0usize;
+            let mut i = 0usize;
+            while i + n.len() <= haystack.len() {
+                if &haystack[i..i + n.len()] == n {
+                    count += 1;
+                    i += n.len();
+                } else {
+                    i += 1;
+                }
+            }
+            count
+        };
+        prop_assert_eq!(re.count_matches(&haystack), expected);
+    }
+}
