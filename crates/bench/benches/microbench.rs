@@ -1,13 +1,61 @@
 //! Criterion microbenchmarks of the performance-critical substrates:
-//! the co-run solver, the accelerator water-filling, regex scanning, and
-//! GBR training/prediction.
+//! the profiling dataplane (scalar vs batched), the co-run solver, the
+//! accelerator water-filling, regex scanning, and GBR training/prediction.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use yala_ml::{Dataset, GbrParams, GradientBoostingRegressor};
 use yala_nf::bench::{mem_bench, regex_bench, synthetic_nf1};
+use yala_nf::runtime::{build_workload_legacy, Profiler};
+use yala_nf::NfKind;
 use yala_rxp::l7_default_ruleset;
 use yala_sim::{accel, ExecutionPattern, NicSpec, Simulator};
+use yala_traffic::TrafficProfile;
+
+/// The headline comparison: profiling throughput of the legacy scalar
+/// dataplane (owned `Packet` per generated packet, per-byte payload
+/// synthesis, fresh tracker per packet) vs the batched zero-allocation
+/// dataplane (`PacketBatch` arena + pooled synthesis + `process_batch`).
+/// Identical NF logic and cost accounting; only the dataplane differs.
+/// A small flow set keeps table warm-up (identical on both sides) from
+/// diluting the per-packet comparison.
+fn bench_profiling_dataplane(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiling");
+    group.sample_size(10);
+    let packets = 2_048;
+    // Header-only NF: the dataplane itself dominates.
+    let flowstats = TrafficProfile::new(256, 1024, 0.0);
+    group.bench_function("scalar_flowstats_2048pkts", |b| {
+        b.iter(|| {
+            let mut nf = NfKind::FlowStats.build();
+            black_box(build_workload_legacy(nf.as_mut(), flowstats, packets, 1))
+        })
+    });
+    group.bench_function("batched_flowstats_2048pkts", |b| {
+        let mut profiler = Profiler::new();
+        b.iter(|| {
+            let mut nf = NfKind::FlowStats.build();
+            black_box(profiler.profile(nf.as_mut(), flowstats, packets, 1))
+        })
+    });
+    // Regex NF: payload scanning (identical on both sides) shrinks the
+    // relative gap; reported for completeness.
+    let flowmonitor = TrafficProfile::new(256, 1024, 600.0);
+    group.bench_function("scalar_flowmonitor_2048pkts", |b| {
+        b.iter(|| {
+            let mut nf = NfKind::FlowMonitor.build();
+            black_box(build_workload_legacy(nf.as_mut(), flowmonitor, packets, 1))
+        })
+    });
+    group.bench_function("batched_flowmonitor_2048pkts", |b| {
+        let mut profiler = Profiler::new();
+        b.iter(|| {
+            let mut nf = NfKind::FlowMonitor.build();
+            black_box(profiler.profile(nf.as_mut(), flowmonitor, packets, 1))
+        })
+    });
+    group.finish();
+}
 
 fn bench_solver(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver");
@@ -39,7 +87,9 @@ fn bench_waterfill(c: &mut Criterion) {
 
 fn bench_regex_scan(c: &mut Criterion) {
     let rules = l7_default_ruleset();
-    let payload: Vec<u8> = (0..1446u32).map(|i| b"qwzjkvyxubnm"[i as usize % 12]).collect();
+    let payload: Vec<u8> = (0..1446u32)
+        .map(|i| b"qwzjkvyxubnm"[i as usize % 12])
+        .collect();
     c.bench_function("ruleset_scan_1446B", |b| {
         b.iter(|| black_box(rules.scan(&payload)));
     });
@@ -59,7 +109,13 @@ fn bench_gbr(c: &mut Criterion) {
     let mut group = c.benchmark_group("gbr");
     group.sample_size(10);
     group.bench_function("fit_200x10", |b| {
-        b.iter(|| black_box(GradientBoostingRegressor::fit(&ds, &GbrParams::default(), 1)));
+        b.iter(|| {
+            black_box(GradientBoostingRegressor::fit(
+                &ds,
+                &GbrParams::default(),
+                1,
+            ))
+        });
     });
     let model = GradientBoostingRegressor::fit(&ds, &GbrParams::default(), 1);
     group.bench_function("predict", |b| {
@@ -68,5 +124,12 @@ fn bench_gbr(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_solver, bench_waterfill, bench_regex_scan, bench_gbr);
+criterion_group!(
+    benches,
+    bench_profiling_dataplane,
+    bench_solver,
+    bench_waterfill,
+    bench_regex_scan,
+    bench_gbr
+);
 criterion_main!(benches);

@@ -16,13 +16,19 @@ fn main() {
     let profile = TrafficProfile::default();
     let n_combos = scaled(25, 92);
     println!("Figure 1: throughput drop under co-location (profile: 16K flows, 1500B)");
-    println!("{:<16} {:>8} {:>8} {:>8}", "NF", "median%", "95%ile", "99%ile");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8}",
+        "NF", "median%", "95%ile", "99%ile"
+    );
     let mut rows = Vec::new();
     for target in NfKind::TABLE2_NINE {
         let tw = cached_workload(target, profile, target as usize as u64);
         let solo = sim.solo(&tw).throughput_pps;
-        let others: Vec<NfKind> =
-            NfKind::TABLE2_NINE.iter().copied().filter(|k| *k != target).collect();
+        let others: Vec<NfKind> = NfKind::TABLE2_NINE
+            .iter()
+            .copied()
+            .filter(|k| *k != target)
+            .collect();
         let mut drops = Vec::new();
         for _ in 0..n_combos {
             let n = rng.gen_range(1..=3usize);

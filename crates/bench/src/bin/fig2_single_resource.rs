@@ -95,11 +95,7 @@ fn main() {
 
 /// Measures per-resource responses with single-resource co-runs, composes
 /// them three ways, and returns (sum, min, pattern) MAPEs vs joint truth.
-pub fn composition_errors(
-    sim: &mut Simulator,
-    nf: &WorkloadSpec,
-    n: usize,
-) -> (f64, f64, f64) {
+pub fn composition_errors(sim: &mut Simulator, nf: &WorkloadSpec, n: usize) -> (f64, f64, f64) {
     let solo = sim.solo(nf).throughput_pps;
     let mut rng = StdRng::seed_from_u64(17);
     let (mut truths, mut sums, mut mins, mut pats) =
@@ -117,9 +113,7 @@ pub fn composition_errors(
         let mut all = vec![nf.clone(), mem, rgx];
         if nf.uses(yala_sim::ResourceKind::Compression) {
             let cmp = yala_nf::bench::compression_bench(rng.gen_range(2e5..2e6), 1446.0);
-            singles.push(
-                sim.co_run(&[nf.clone(), cmp.clone()]).outcomes[0].throughput_pps,
-            );
+            singles.push(sim.co_run(&[nf.clone(), cmp.clone()]).outcomes[0].throughput_pps);
             all.push(cmp);
         }
         let truth = sim.co_run(&all).outcomes[0].throughput_pps;

@@ -39,7 +39,11 @@ fn main() {
     println!("\nFigure 3(b): SLOMO error, default profile vs shifted profiles");
     println!("{:<16} {:>16} {:>16}", "NF", "default med%", "other med%");
     let n_profiles = scaled(25, 100);
-    for kind in [NfKind::FlowStats, NfKind::FlowClassifier, NfKind::FlowTracker] {
+    for kind in [
+        NfKind::FlowStats,
+        NfKind::FlowClassifier,
+        NfKind::FlowTracker,
+    ] {
         let train_profile = TrafficProfile::default();
         let target = cached_workload(kind, train_profile, kind as usize as u64);
         let model = SlomoModel::train(&mut sim, &target, &default_mem_grid(), 7);
@@ -48,22 +52,19 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(kind as usize as u64);
         for i in 0..n_profiles {
             let level = yala_core::profiler::MemLevel::random(&mut rng);
-            let features: CounterSample =
-                yala_core::profiler::bench_counters(&mut sim, level);
+            let features: CounterSample = yala_core::profiler::bench_counters(&mut sim, level);
             // Default-profile test point.
-            let t_def = sim
-                .co_run(&[target.clone(), level.bench()])
-                .outcomes[0]
-                .throughput_pps;
+            let t_def = sim.co_run(&[target.clone(), level.bench()]).outcomes[0].throughput_pps;
             err_default.push(metrics::ape(t_def, model.predict(&features)));
             // Shifted profile (random flow count up to 500K).
             let shifted = TrafficProfile::random(&mut rng, 500_000);
             let sw = cached_workload(kind, shifted, i as u64);
             let solo_shifted = sim.solo(&sw).throughput_pps;
-            let t_shift =
-                sim.co_run(&[sw, level.bench()]).outcomes[0].throughput_pps;
-            err_other
-                .push(metrics::ape(t_shift, model.predict_extrapolated(&features, solo_shifted)));
+            let t_shift = sim.co_run(&[sw, level.bench()]).outcomes[0].throughput_pps;
+            err_other.push(metrics::ape(
+                t_shift,
+                model.predict_extrapolated(&features, solo_shifted),
+            ));
         }
         let (d, o) = (metrics::median(&err_default), metrics::median(&err_other));
         println!("{:<16} {d:>16.1} {o:>16.1}", kind.name());

@@ -13,7 +13,10 @@ fn main() {
     let mut rows = Vec::new();
     for mtbr in [194.0, 220.0, 417.0, 628.0] {
         println!("-- regex-NF MTBR = {mtbr} matches/MB --");
-        println!("{:>12} {:>14} {:>14}", "arrival Mrps", "regex-NF Mpps", "bench Mpps");
+        println!(
+            "{:>12} {:>14} {:>14}",
+            "arrival Mrps", "regex-NF Mpps", "bench Mpps"
+        );
         for step in 0..11 {
             let arrival = (step as f64 * 8e6).max(1e5);
             let nf = regex_nf("regex-nf", 64.0, mtbr);
@@ -27,5 +30,9 @@ fn main() {
             rows.push(format!("{mtbr},{arrival},{t_nf:.4},{t_b:.4}"));
         }
     }
-    write_csv("fig4_regex_equilibrium", "mtbr,arrival_rps,nf_mpps,bench_mpps", &rows);
+    write_csv(
+        "fig4_regex_equilibrium",
+        "mtbr,arrival_rps,nf_mpps,bench_mpps",
+        &rows,
+    );
 }

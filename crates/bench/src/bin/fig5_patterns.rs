@@ -5,7 +5,7 @@
 
 use yala_bench::write_csv;
 use yala_nf::bench::{mem_bench, regex_bench, synthetic_nf1};
-use yala_sim::{ExecutionPattern, Simulator, NicSpec, WorkloadSpec};
+use yala_sim::{ExecutionPattern, NicSpec, Simulator, WorkloadSpec};
 
 fn run_grid(sim: &mut Simulator, nf: WorkloadSpec, label: &str, rows: &mut Vec<String>) {
     println!("-- {label} --");
@@ -39,12 +39,21 @@ fn main() {
     let mut sim = Simulator::new(NicSpec::bluefield2());
     println!("Figure 5: execution-pattern contention response (Kpps cells)");
     let mut rows = Vec::new();
-    run_grid(&mut sim, synthetic_nf1(ExecutionPattern::Pipeline), "pipeline", &mut rows);
+    run_grid(
+        &mut sim,
+        synthetic_nf1(ExecutionPattern::Pipeline),
+        "pipeline",
+        &mut rows,
+    );
     run_grid(
         &mut sim,
         synthetic_nf1(ExecutionPattern::RunToCompletion),
         "run-to-completion",
         &mut rows,
     );
-    write_csv("fig5_patterns", "pattern,car,kmatches_per_s,tput_pps", &rows);
+    write_csv(
+        "fig5_patterns",
+        "pattern,car,kmatches_per_s,tput_pps",
+        &rows,
+    );
 }

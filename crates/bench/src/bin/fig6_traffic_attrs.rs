@@ -19,14 +19,13 @@ fn main() {
         print!(" {:>10}", format!("wss{wss_mb}MB"));
     }
     println!();
-    for flows in [1_000u32, 5_000, 10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 70_000] {
+    for flows in [
+        1_000u32, 5_000, 10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 70_000,
+    ] {
         print!("{flows:>10}");
         for wss_mb in [0.5f64, 5.0, 10.0] {
             let w = cached_workload(NfKind::FlowStats, TrafficProfile::new(flows, 1500, 0.0), 3);
-            let t = sim
-                .co_run(&[w, mem_bench(1.2e8, wss_mb * 1e6)])
-                .outcomes[0]
-                .throughput_pps;
+            let t = sim.co_run(&[w, mem_bench(1.2e8, wss_mb * 1e6)]).outcomes[0].throughput_pps;
             print!(" {:>10.3}", t / 1e6);
             rows.push(format!("a,{flows},{wss_mb},{t:.0}"));
         }
@@ -44,10 +43,7 @@ fn main() {
         for s in sizes {
             let w = cached_workload(NfKind::FlowStats, TrafficProfile::new(16_000, s, 0.0), 3);
             let solo = sim.solo(&w).throughput_pps;
-            let t = sim
-                .co_run(&[w, mem_bench(1.2e8, wss_mb * 1e6)])
-                .outcomes[0]
-                .throughput_pps;
+            let t = sim.co_run(&[w, mem_bench(1.2e8, wss_mb * 1e6)]).outcomes[0].throughput_pps;
             print!(" {:>8.3}", t / solo);
             rows.push(format!("b,{wss_mb},{s},{:.4}", t / solo));
         }

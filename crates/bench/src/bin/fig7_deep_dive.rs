@@ -40,7 +40,11 @@ fn main() {
             let mtbr = rng.gen_range(lo..hi);
             let rate = rng.gen_range(2e5..4e6);
             let truth = sim
-                .co_run(&[target.clone(), level.bench(), regex_bench(rate, 1446.0, mtbr)])
+                .co_run(&[
+                    target.clone(),
+                    level.bench(),
+                    regex_bench(rate, 1446.0, mtbr),
+                ])
                 .outcomes[0]
                 .throughput_pps;
             let feats = bench_counters(&mut sim, level);
@@ -48,7 +52,10 @@ fn main() {
             let contenders: Vec<Contender> =
                 vec![Contender::memory_only("mem-bench", feats), rb.clone()];
             let agg = CounterSample::aggregate([&feats, &rb.counters]);
-            ey.push(metrics::ape(truth, yala.predict(solo, &profile, &contenders)));
+            ey.push(metrics::ape(
+                truth,
+                yala.predict(solo, &profile, &contenders),
+            ));
             es.push(metrics::ape(truth, slomo.predict(&agg)));
         }
         println!(
@@ -56,7 +63,11 @@ fn main() {
             metrics::median(&ey),
             metrics::median(&es)
         );
-        rows.push(format!("a,{label},{:.2},{:.2}", metrics::median(&ey), metrics::median(&es)));
+        rows.push(format!(
+            "a,{label},{:.2},{:.2}",
+            metrics::median(&ey),
+            metrics::median(&es)
+        ));
     }
 
     // ---- (b) memory-only, flow-count deviation ----
@@ -80,8 +91,14 @@ fn main() {
             let truth = sim.co_run(&[w, level.bench()]).outcomes[0].throughput_pps;
             let feats = bench_counters(&mut sim, level);
             let contender = mem_bench_contender(&mut sim, level);
-            ey.push(metrics::ape(truth, yala.predict(solo_t, &tprofile, &[contender])));
-            es.push(metrics::ape(truth, slomo.predict_extrapolated(&feats, solo_t)));
+            ey.push(metrics::ape(
+                truth,
+                yala.predict(solo_t, &tprofile, &[contender]),
+            ));
+            es.push(metrics::ape(
+                truth,
+                slomo.predict_extrapolated(&feats, solo_t),
+            ));
             esx.push(metrics::ape(truth, slomo.predict(&feats)));
         }
         println!(
@@ -97,5 +114,9 @@ fn main() {
             metrics::median(&esx)
         ));
     }
-    write_csv("fig7_deep_dive", "panel,range,yala,slomo,slomo_noext", &rows);
+    write_csv(
+        "fig7_deep_dive",
+        "panel,range,yala,slomo,slomo_noext",
+        &rows,
+    );
 }

@@ -22,8 +22,11 @@ fn main() {
     let mut all_s = Vec::new();
     let mut all_y = Vec::new();
     for target in NfKind::TABLE2_NINE {
-        let others: Vec<NfKind> =
-            NfKind::TABLE2_NINE.iter().copied().filter(|k| *k != target).collect();
+        let others: Vec<NfKind> = NfKind::TABLE2_NINE
+            .iter()
+            .copied()
+            .filter(|k| *k != target)
+            .collect();
         let (mut truths, mut slomos, mut yalas) = (Vec::new(), Vec::new(), Vec::new());
         for &profile in &profiles {
             for _ in 0..combos_per_profile {
@@ -42,7 +45,13 @@ fn main() {
         println!("{}", fmt_row(target.name(), s, y));
         rows.push(format!(
             "{},{:.2},{:.1},{:.1},{:.2},{:.1},{:.1}",
-            target.name(), s.mape, s.acc5, s.acc10, y.mape, y.acc5, y.acc10
+            target.name(),
+            s.mape,
+            s.acc5,
+            s.acc10,
+            y.mape,
+            y.acc5,
+            y.acc10
         ));
         all_t.extend_from_slice(&truths);
         all_s.extend_from_slice(&slomos);

@@ -32,7 +32,11 @@ fn main() {
             let rate = rng.gen_range(2e5..4e6);
             let mtbr = rng.gen_range(300.0..2_500.0);
             let truth = sim
-                .co_run(&[target.clone(), level.bench(), regex_bench(rate, 1446.0, mtbr)])
+                .co_run(&[
+                    target.clone(),
+                    level.bench(),
+                    regex_bench(rate, 1446.0, mtbr),
+                ])
                 .outcomes[0]
                 .throughput_pps;
             let mem_feats = yala_core::profiler::bench_counters(&mut sim, level);
@@ -52,7 +56,13 @@ fn main() {
         println!("{}", fmt_row(kind.name(), s, y));
         rows.push(format!(
             "{},{:.2},{:.1},{:.1},{:.2},{:.1},{:.1}",
-            kind.name(), s.mape, s.acc5, s.acc10, y.mape, y.acc5, y.acc10
+            kind.name(),
+            s.mape,
+            s.acc5,
+            s.acc10,
+            y.mape,
+            y.acc5,
+            y.acc10
         ));
     }
     write_csv(

@@ -18,7 +18,11 @@ fn errors(sim: &mut Simulator, nf: &WorkloadSpec, n: usize) -> (f64, f64, f64) {
         (Vec::new(), Vec::new(), Vec::new(), Vec::new());
     for _ in 0..n {
         let level = yala_core::profiler::MemLevel::random(&mut rng);
-        let rgx = regex_bench(rng.gen_range(2e5..3e6), 1446.0, rng.gen_range(500.0..2_500.0));
+        let rgx = regex_bench(
+            rng.gen_range(2e5..3e6),
+            1446.0,
+            rng.gen_range(500.0..2_500.0),
+        );
         let mut singles = vec![
             sim.co_run(&[nf.clone(), level.bench()]).outcomes[0].throughput_pps,
             sim.co_run(&[nf.clone(), rgx.clone()]).outcomes[0].throughput_pps,
@@ -26,8 +30,7 @@ fn errors(sim: &mut Simulator, nf: &WorkloadSpec, n: usize) -> (f64, f64, f64) {
         let mut all = vec![nf.clone(), level.bench(), rgx];
         if nf.uses(yala_sim::ResourceKind::Compression) {
             let cmp = compression_bench(rng.gen_range(2e5..2e6), 1446.0);
-            singles
-                .push(sim.co_run(&[nf.clone(), cmp.clone()]).outcomes[0].throughput_pps);
+            singles.push(sim.co_run(&[nf.clone(), cmp.clone()]).outcomes[0].throughput_pps);
             all.push(cmp);
         }
         truths.push(sim.co_run(&all).outcomes[0].throughput_pps);
@@ -46,15 +49,24 @@ fn main() {
     let mut sim = Simulator::with_noise(NicSpec::bluefield2(), NOISE_SIGMA, 41);
     let n = scaled(15, 50);
     println!("Table 4: composition MAPE (%) by execution pattern");
-    println!("{:<6} {:<18} {:>8} {:>8} {:>8}", "NF", "pattern", "sum", "min", "Yala");
+    println!(
+        "{:<6} {:<18} {:>8} {:>8} {:>8}",
+        "NF", "pattern", "sum", "min", "Yala"
+    );
     let mut rows = Vec::new();
-    let builders: [(&str, fn(ExecutionPattern) -> WorkloadSpec); 2] =
-        [("NF1", synthetic_nf1), ("NF2", synthetic_nf2)];
+    type Builder = fn(ExecutionPattern) -> WorkloadSpec;
+    let builders: [(&str, Builder); 2] = [("NF1", synthetic_nf1), ("NF2", synthetic_nf2)];
     for (name, build) in builders {
-        for pattern in [ExecutionPattern::Pipeline, ExecutionPattern::RunToCompletion] {
+        for pattern in [
+            ExecutionPattern::Pipeline,
+            ExecutionPattern::RunToCompletion,
+        ] {
             let nf = build(pattern);
             let (s, m, p) = errors(&mut sim, &nf, n);
-            println!("{name:<6} {:<18} {s:>8.1} {m:>8.1} {p:>8.1}", pattern.to_string());
+            println!(
+                "{name:<6} {:<18} {s:>8.1} {m:>8.1} {p:>8.1}",
+                pattern.to_string()
+            );
             rows.push(format!("{name},{pattern},{s:.2},{m:.2},{p:.2}"));
         }
     }

@@ -23,8 +23,7 @@ fn main() {
             let profile = TrafficProfile::random(&mut rng, 500_000);
             let level = MemLevel::random(&mut rng);
             let (w, _, solo) = zoo.solo(kind, profile);
-            let truth =
-                zoo.sim.co_run(&[w, level.bench()]).outcomes[0].throughput_pps;
+            let truth = zoo.sim.co_run(&[w, level.bench()]).outcomes[0].throughput_pps;
             let feats = bench_counters(&mut zoo.sim, level);
             let contender = mem_bench_contender(&mut zoo.sim, level);
             truths.push(truth);
@@ -35,7 +34,13 @@ fn main() {
         println!("{}", fmt_row(kind.name(), s, y));
         rows.push(format!(
             "{},{:.2},{:.1},{:.1},{:.2},{:.1},{:.1}",
-            kind.name(), s.mape, s.acc5, s.acc10, y.mape, y.acc5, y.acc10
+            kind.name(),
+            s.mape,
+            s.acc5,
+            s.acc10,
+            y.mape,
+            y.acc5,
+            y.acc10
         ));
     }
     write_csv(

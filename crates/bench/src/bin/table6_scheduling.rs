@@ -5,10 +5,11 @@
 
 use rand::rngs::StdRng;
 use rand::{seq::SliceRandom, Rng, SeedableRng};
-use yala_bench::{scaled, write_csv, Zoo};
+use yala_bench::{scaled, write_csv, Zoo, NOISE_SIGMA};
+use yala_core::Engine;
 use yala_nf::NfKind;
 use yala_placement::{
-    place_sequence, prepare, Arrival, OraclePredictor, Placed, SlomoPredictor, Strategy,
+    place_sequence, prepare_all, Arrival, OraclePredictor, Placed, SlomoPredictor, Strategy,
     YalaPredictor,
 };
 use yala_sim::NicSpec;
@@ -16,6 +17,7 @@ use yala_traffic::TrafficProfile;
 
 fn main() {
     eprintln!("training model zoo for scheduling...");
+    let engine = Engine::auto();
     let mut zoo = Zoo::train(&NfKind::TABLE2_NINE, 6);
     let n_sequences = scaled(5, 100);
     let n_arrivals = scaled(60, 500);
@@ -24,22 +26,33 @@ fn main() {
     let mut totals: Vec<(&str, f64, f64)> = Vec::new(); // (strategy, wastage, violations)
     let mut acc: Vec<(f64, f64)> = vec![(0.0, 0.0); 4];
     for seq in 0..n_sequences {
-        // Build one arrival sequence.
-        let arrivals: Vec<Placed> = (0..n_arrivals)
-            .map(|i| {
+        // Build one arrival sequence, then profile + solo-measure every
+        // arrival across the worker pool (the per-arrival packet replay is
+        // the expensive part; scenarios are independent and deterministic).
+        let specs: Vec<Arrival> = (0..n_arrivals)
+            .map(|_| {
                 let kind = *NfKind::TABLE2_NINE.choose(&mut rng).expect("nonempty");
-                let arrival = Arrival {
+                Arrival {
                     kind,
                     traffic: TrafficProfile::default(),
                     sla_drop: rng.gen_range(0.05..0.20),
-                };
-                prepare(&mut zoo.sim, arrival, (seq * n_arrivals + i) as u64)
+                }
             })
             .collect();
+        let arrivals: Vec<Placed> = prepare_all(
+            &NicSpec::bluefield2(),
+            NOISE_SIGMA,
+            &specs,
+            (seq * n_arrivals) as u64,
+            &engine,
+        );
         // Oracle reference plan.
         let mut oracle = OraclePredictor::new(NicSpec::bluefield2());
-        let reference =
-            place_sequence(&mut zoo.sim, &arrivals, Strategy::ContentionAware(&mut oracle));
+        let reference = place_sequence(
+            &mut zoo.sim,
+            &arrivals,
+            Strategy::ContentionAware(&mut oracle),
+        );
         let ref_nics = reference.nics.len();
 
         let mono = place_sequence(&mut zoo.sim, &arrivals, Strategy::Monopolization);
@@ -52,11 +65,17 @@ fn main() {
             seq as u64 + 900,
         );
         let mut slomo_pred = SlomoPredictor::new(zoo.slomo_models());
-        let slomo =
-            place_sequence(&mut gt_sim, &arrivals, Strategy::ContentionAware(&mut slomo_pred));
+        let slomo = place_sequence(
+            &mut gt_sim,
+            &arrivals,
+            Strategy::ContentionAware(&mut slomo_pred),
+        );
         let mut yala_pred = YalaPredictor::new(zoo.yala_models());
-        let yala =
-            place_sequence(&mut gt_sim, &arrivals, Strategy::ContentionAware(&mut yala_pred));
+        let yala = place_sequence(
+            &mut gt_sim,
+            &arrivals,
+            Strategy::ContentionAware(&mut yala_pred),
+        );
         for (i, out) in [&mono, &greedy, &slomo, &yala].iter().enumerate() {
             acc[i].0 += out.wastage_vs(ref_nics) * 100.0;
             acc[i].1 += out.violation_rate() * 100.0;
@@ -72,7 +91,10 @@ fn main() {
     }
     let names = ["Monopolization", "Greedy", "SLOMO", "Yala"];
     println!("Table 6: scheduling over {n_sequences} sequences x {n_arrivals} arrivals");
-    println!("{:<16} {:>14} {:>16}", "Approach", "Wastage (%)", "SLA Viol. (%)");
+    println!(
+        "{:<16} {:>14} {:>16}",
+        "Approach", "Wastage (%)", "SLA Viol. (%)"
+    );
     let mut rows = Vec::new();
     for (i, name) in names.iter().enumerate() {
         let w = acc[i].0 / n_sequences as f64;
@@ -81,5 +103,9 @@ fn main() {
         rows.push(format!("{name},{w:.2},{v:.2}"));
         totals.push((name, w, v));
     }
-    write_csv("table6_scheduling", "strategy,wastage_pct,violations_pct", &rows);
+    write_csv(
+        "table6_scheduling",
+        "strategy,wastage_pct,violations_pct",
+        &rows,
+    );
 }

@@ -20,8 +20,16 @@ fn main() {
     println!("{:<16} {:>8} {:>8}", "NF", "SLOMO", "Yala");
     let mut rows = Vec::new();
     let cfg = TrainConfig::default();
-    let mem_level = MemLevel { car: 1.0e8, wss: 5e6, cycles: 60.0 };
-    for kind in [NfKind::FlowStats, NfKind::FlowMonitor, NfKind::IpCompGateway] {
+    let mem_level = MemLevel {
+        car: 1.0e8,
+        wss: 5e6,
+        cycles: 60.0,
+    };
+    for kind in [
+        NfKind::FlowStats,
+        NfKind::FlowMonitor,
+        NfKind::IpCompGateway,
+    ] {
         let model = YalaModel::train(&mut sim, kind, &cfg);
         let (mut yala_v, mut slomo_v, mut truth_v) = (Vec::new(), Vec::new(), Vec::new());
         for i in 0..steps {
@@ -46,9 +54,16 @@ fn main() {
         let yc = correctness(&yala_v, &truth_v);
         let sc = correctness(&slomo_v, &truth_v);
         let shifts = truth_v.windows(2).filter(|w| w[0] != w[1]).count();
-        println!("{:<16} {sc:>8.1} {yc:>8.1}   (bottleneck shifts: {shifts})", kind.name());
+        println!(
+            "{:<16} {sc:>8.1} {yc:>8.1}   (bottleneck shifts: {shifts})",
+            kind.name()
+        );
         rows.push(format!("{},{sc:.1},{yc:.1},{shifts}", kind.name()));
         let _ = ResourceKind::CpuMem;
     }
-    write_csv("table7_diagnosis", "nf,slomo_correct,yala_correct,shifts", &rows);
+    write_csv(
+        "table7_diagnosis",
+        "nf,slomo_correct,yala_correct,shifts",
+        &rows,
+    );
 }

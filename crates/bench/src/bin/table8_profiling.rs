@@ -6,7 +6,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use yala_bench::{scaled, write_csv, NOISE_SIGMA};
-use yala_core::adaptive::{adaptive_profile, full_profile, random_profile, AdaptiveConfig, TrafficRanges};
+use yala_core::adaptive::{
+    adaptive_profile, full_profile, random_profile, AdaptiveConfig, TrafficRanges,
+};
 use yala_core::memory_model::MemoryModel;
 use yala_core::profiler::{bench_counters, cached_workload, MemLevel};
 use yala_core::TrainConfig;
@@ -34,7 +36,10 @@ fn test_model(
         truths.push(truth);
         preds.push(model.predict(&feats, Some(&profile)));
     }
-    (metrics::mape(&truths, &preds), metrics::bounded_accuracy(&truths, &preds, 10.0))
+    (
+        metrics::mape(&truths, &preds),
+        metrics::bounded_accuracy(&truths, &preds, 10.0),
+    )
 }
 
 fn main() {
@@ -58,25 +63,42 @@ fn main() {
         NfKind::FlowStats,
         NfKind::IpTunnel,
     ];
-    let kinds: &[NfKind] = if yala_bench::full_scale() { &kinds } else { &kinds[..3] };
+    let kinds: &[NfKind] = if yala_bench::full_scale() {
+        &kinds
+    } else {
+        &kinds[..3]
+    };
     for &kind in kinds {
         let full = full_profile(&mut sim, kind, ranges, [6, 4, 4], scaled(20, 40), 1);
         let full_model = MemoryModel::fit(&full.dataset, &gbr, 1);
         let rand_run = random_profile(&mut sim, kind, ranges, quota, 2);
         let rand_model = MemoryModel::fit(&rand_run.dataset, &gbr, 1);
-        let adaptive =
-            adaptive_profile(&mut sim, kind, ranges, &AdaptiveConfig::default());
+        let adaptive = adaptive_profile(&mut sim, kind, ranges, &AdaptiveConfig::default());
         let adp_model = MemoryModel::fit(&adaptive.dataset, &gbr, 1);
         let f = test_model(&mut sim, kind, &full_model, n_test, 100);
         let r = test_model(&mut sim, kind, &rand_model, n_test, 100);
         let a = test_model(&mut sim, kind, &adp_model, n_test, 100);
         println!(
             "{:<16} {:>7} | {:>6.1}/{:<6.1} {:>6.1}/{:<6.1} {:>6.1}/{:<6.1}",
-            kind.name(), quota, f.0, f.1, r.0, r.1, a.0, a.1
+            kind.name(),
+            quota,
+            f.0,
+            f.1,
+            r.0,
+            r.1,
+            a.0,
+            a.1
         );
         rows.push(format!(
             "{},{},{:.2},{:.1},{:.2},{:.1},{:.2},{:.1}",
-            kind.name(), full.measurements, f.0, f.1, r.0, r.1, a.0, a.1
+            kind.name(),
+            full.measurements,
+            f.0,
+            f.1,
+            r.0,
+            r.1,
+            a.0,
+            a.1
         ));
     }
 
@@ -87,7 +109,10 @@ fn main() {
         let q = (quota as f64 * factor) as usize;
         let r = random_profile(&mut sim, NfKind::FlowClassifier, ranges, q, 3);
         let rm = MemoryModel::fit(&r.dataset, &gbr, 1);
-        let cfg = AdaptiveConfig { quota: q, ..AdaptiveConfig::default() };
+        let cfg = AdaptiveConfig {
+            quota: q,
+            ..AdaptiveConfig::default()
+        };
         let a = adaptive_profile(&mut sim, NfKind::FlowClassifier, ranges, &cfg);
         let am = MemoryModel::fit(&a.dataset, &gbr, 1);
         let (rmape, _) = test_model(&mut sim, NfKind::FlowClassifier, &rm, n_test, 200);

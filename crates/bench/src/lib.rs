@@ -10,8 +10,9 @@
 //! ground-truth co-runs.
 
 use std::collections::HashMap;
+use yala_core::engine::scenario_seed;
 use yala_core::profiler::cached_workload;
-use yala_core::{Contender, TrainConfig, YalaModel};
+use yala_core::{Contender, Engine, TrainConfig, YalaModel};
 use yala_ml::metrics;
 use yala_nf::NfKind;
 use yala_sim::{CounterSample, NicSpec, Simulator, WorkloadSpec};
@@ -24,7 +25,9 @@ pub const NOISE_SIGMA: f64 = 0.005;
 /// Scale knob for experiment sizes: `YALA_SCALE=full` runs paper-sized
 /// sweeps; anything else (default) runs reduced-but-representative ones.
 pub fn full_scale() -> bool {
-    std::env::var("YALA_SCALE").map(|v| v == "full").unwrap_or(false)
+    std::env::var("YALA_SCALE")
+        .map(|v| v == "full")
+        .unwrap_or(false)
 }
 
 /// Picks `n` if quick, `n_full` under `YALA_SCALE=full`.
@@ -67,6 +70,9 @@ pub fn accuracy(truth: &[f64], pred: &[f64]) -> Accuracy {
     }
 }
 
+/// Solo-profile cache entry: `(workload, solo counters, solo throughput)`.
+type SoloEntry = (WorkloadSpec, CounterSample, f64);
+
 /// Trained models and caches for one NIC.
 pub struct Zoo {
     /// The simulator standing in for the testbed.
@@ -74,38 +80,85 @@ pub struct Zoo {
     yala: Vec<(NfKind, YalaModel)>,
     slomo: Vec<(NfKind, SlomoModel)>,
     /// Cache: (kind, profile) → (workload, solo counters, solo tput).
-    solo_cache: HashMap<(NfKind, u32, u32, u64), (WorkloadSpec, CounterSample, f64)>,
+    solo_cache: HashMap<(NfKind, u32, u32, u64), SoloEntry>,
 }
 
 impl Zoo {
-    /// Trains Yala + SLOMO models for `kinds` on a noisy BlueField-2.
+    /// Trains Yala + SLOMO models for `kinds` on a noisy BlueField-2,
+    /// dispatching per-NF training across all cores.
     pub fn train(kinds: &[NfKind], seed: u64) -> Self {
         Self::train_on(NicSpec::bluefield2(), kinds, seed)
     }
 
-    /// Trains on an explicit NIC spec (e.g. Pensando for Table 9).
+    /// Trains on an explicit NIC spec (e.g. Pensando for Table 9) with the
+    /// auto-sized parallel engine.
     pub fn train_on(spec: NicSpec, kinds: &[NfKind], seed: u64) -> Self {
-        let mut sim = Simulator::with_noise(spec, NOISE_SIGMA, seed);
-        let cfg = TrainConfig::default();
-        let mut yala = Vec::new();
-        let mut slomo = Vec::new();
-        for &kind in kinds {
-            eprintln!("  training models for {kind} ...");
-            yala.push((kind, YalaModel::train(&mut sim, kind, &cfg)));
-            let target = cached_workload(kind, TrafficProfile::default(), kind as usize as u64);
-            slomo.push((kind, SlomoModel::train(&mut sim, &target, &default_mem_grid(), seed)));
+        Self::train_on_with(spec, kinds, seed, &Engine::auto())
+    }
+
+    /// Trains with an explicit scenario engine. Each NF's Yala and SLOMO
+    /// training is one independent scenario on a private deterministically
+    /// seeded simulator, so the trained zoo is bit-identical whatever the
+    /// engine's thread count — `Engine::sequential()` reproduces the
+    /// parallel result exactly.
+    pub fn train_on_with(spec: NicSpec, kinds: &[NfKind], seed: u64, engine: &Engine) -> Self {
+        eprintln!(
+            "  training {} NF model pairs across {} worker(s) ...",
+            kinds.len(),
+            engine.threads()
+        );
+        let cfg = TrainConfig {
+            seed,
+            ..TrainConfig::default()
+        };
+        let yala = YalaModel::train_all(&spec, NOISE_SIGMA, kinds, &cfg, engine);
+        // SLOMO's (CAR, WSS) sweep parallelises *within* each target: every
+        // grid level is an independent scenario, so even a single NF's
+        // training scales with cores.
+        let grid = default_mem_grid();
+        let slomo = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| {
+                let target = cached_workload(kind, TrafficProfile::default(), kind as usize as u64);
+                let model = SlomoModel::train_with_engine(
+                    &spec,
+                    NOISE_SIGMA,
+                    &target,
+                    &grid,
+                    scenario_seed(seed, i),
+                    engine,
+                );
+                (kind, model)
+            })
+            .collect();
+        let sim = Simulator::with_noise(spec, NOISE_SIGMA, seed);
+        Self {
+            sim,
+            yala,
+            slomo,
+            solo_cache: HashMap::new(),
         }
-        Self { sim, yala, slomo, solo_cache: HashMap::new() }
     }
 
     /// The trained Yala model for `kind`.
     pub fn yala(&self, kind: NfKind) -> &YalaModel {
-        &self.yala.iter().find(|(k, _)| *k == kind).expect("trained").1
+        &self
+            .yala
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .expect("trained")
+            .1
     }
 
     /// The trained SLOMO model for `kind`.
     pub fn slomo(&self, kind: NfKind) -> &SlomoModel {
-        &self.slomo.iter().find(|(k, _)| *k == kind).expect("trained").1
+        &self
+            .slomo
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .expect("trained")
+            .1
     }
 
     /// All trained Yala models (for the placement predictor).
@@ -120,12 +173,13 @@ impl Zoo {
 
     /// Workload + solo counters + solo throughput of an NF at a profile
     /// (cached; this is the offline per-NF contentiousness profiling).
-    pub fn solo(
-        &mut self,
-        kind: NfKind,
-        profile: TrafficProfile,
-    ) -> (WorkloadSpec, CounterSample, f64) {
-        let key = (kind, profile.flow_count, profile.packet_size, profile.mtbr.to_bits());
+    pub fn solo(&mut self, kind: NfKind, profile: TrafficProfile) -> SoloEntry {
+        let key = (
+            kind,
+            profile.flow_count,
+            profile.packet_size,
+            profile.mtbr.to_bits(),
+        );
         if let Some(hit) = self.solo_cache.get(&key) {
             return hit.clone();
         }
@@ -176,7 +230,13 @@ pub fn fmt_row(name: &str, slomo: Accuracy, yala: Accuracy) -> String {
 pub fn row_header() -> String {
     format!(
         "{:<16} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6}\n{}",
-        "NF", "S-MAPE", "S-5%", "S-10%", "Y-MAPE", "Y-5%", "Y-10%",
+        "NF",
+        "S-MAPE",
+        "S-5%",
+        "S-10%",
+        "Y-MAPE",
+        "Y-5%",
+        "Y-10%",
         "-".repeat(64)
     )
 }

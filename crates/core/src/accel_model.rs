@@ -207,9 +207,8 @@ mod tests {
     #[test]
     fn infers_flowmonitor_regex_model() {
         let mut sim = sim();
-        let mut workload_at = |mtbr: f64| {
-            NfKind::FlowMonitor.workload(TrafficProfile::new(16_000, 1500, mtbr), 11)
-        };
+        let mut workload_at =
+            |mtbr: f64| NfKind::FlowMonitor.workload(TrafficProfile::new(16_000, 1500, mtbr), 11);
         let model = infer_service_model(
             &mut sim,
             ResourceKind::Regex,
@@ -220,7 +219,11 @@ mod tests {
         // Under a sufficiently heavy bench the NF is backlogged on its
         // single queue, so the inference recovers the true queue count and
         // per-request service law.
-        assert!(model.queues > 0.8 && model.queues < 1.3, "queues {}", model.queues);
+        assert!(
+            model.queues > 0.8 && model.queues < 1.3,
+            "queues {}",
+            model.queues
+        );
         let hw = |mtbr: f64| 5e-9 + 1446.0 * 0.08e-9 + mtbr * 1446.0 / 1e6 * 180e-9;
         // t̂(m) should track the true per-request time within ~15%.
         for mtbr in [100.0, 600.0, 1000.0] {
@@ -234,8 +237,7 @@ mod tests {
     #[test]
     fn returns_none_for_non_users() {
         let mut sim = sim();
-        let mut workload_at =
-            |_: f64| NfKind::FlowStats.workload(TrafficProfile::default(), 3);
+        let mut workload_at = |_: f64| NfKind::FlowStats.workload(TrafficProfile::default(), 3);
         let model = infer_service_model(
             &mut sim,
             ResourceKind::Regex,
@@ -252,7 +254,10 @@ mod tests {
         let mut sim = sim();
         let mut workload_at = |mtbr: f64| {
             let w = yala_nf::bench::regex_nf("target", 1446.0, mtbr);
-            WorkloadSpec { name: "target".into(), ..w }
+            WorkloadSpec {
+                name: "target".into(),
+                ..w
+            }
         };
         let model = infer_service_model(
             &mut sim,

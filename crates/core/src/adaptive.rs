@@ -3,13 +3,21 @@
 //! spending the profiling quota where solo throughput changes fastest.
 //! Random and full profiling are provided for the Table 8 / Fig. 8
 //! comparisons.
+//!
+//! One NF's adaptive run is inherently sequential (each probe depends on
+//! the quota spent so far), but runs for *different NFs* are independent:
+//! [`adaptive_profile_all`] dispatches them across the
+//! [`Engine`](crate::engine::Engine) worker pool with deterministic
+//! per-scenario simulators, so profiling a fleet scales with core count
+//! while staying bit-identical to the sequential sweep.
 
+use crate::engine::{scenario_seed, simulator_for, Engine};
 use crate::profiler::{measure_traffic_sample, MemLevel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use yala_ml::Dataset;
 use yala_nf::NfKind;
-use yala_sim::Simulator;
+use yala_sim::{NicSpec, Simulator};
 use yala_traffic::TrafficProfile;
 
 /// Inclusive ranges of the three traffic attributes.
@@ -25,7 +33,11 @@ pub struct TrafficRanges {
 
 impl Default for TrafficRanges {
     fn default() -> Self {
-        Self { flows: (1_000, 500_000), pkt: (64, 1500), mtbr: (0.0, 1_200.0) }
+        Self {
+            flows: (1_000, 500_000),
+            pkt: (64, 1500),
+            mtbr: (0.0, 1_200.0),
+        }
     }
 }
 
@@ -61,7 +73,13 @@ pub struct AdaptiveConfig {
 
 impl Default for AdaptiveConfig {
     fn default() -> Self {
-        Self { quota: 240, eps0: 0.03, eps1: 0.02, m: 6, seed: 17 }
+        Self {
+            quota: 240,
+            eps0: 0.03,
+            eps1: 0.02,
+            m: 6,
+            seed: 17,
+        }
     }
 }
 
@@ -95,15 +113,25 @@ pub fn adaptive_profile(
         eps1: cfg.eps1,
         spread_at: 0,
     };
-    let default_vec =
-        [TrafficProfile::default().flow_count as f64, 1500.0, TrafficProfile::default().mtbr];
+    let default_vec = [
+        TrafficProfile::default().flow_count as f64,
+        1500.0,
+        TrafficProfile::default().mtbr,
+    ];
     let t_default = state.solo(default_vec);
 
     // Anchor the contention response at the default profile with a small
     // structured sweep (the §4.1.2 base data the traffic dimensions extend).
     for car in [4.0e7, 9.0e7, 1.5e8, 2.2e8, 2.9e8] {
         for wss in [2.0e6, 8.0e6, 20.0e6] {
-            state.sample_at(default_vec, MemLevel { car, wss, cycles: 600.0 });
+            state.sample_at(
+                default_vec,
+                MemLevel {
+                    car,
+                    wss,
+                    cycles: 600.0,
+                },
+            );
         }
     }
 
@@ -137,7 +165,31 @@ pub fn adaptive_profile(
             state.sample_contended(default_vec);
         }
     }
-    ProfilingRun { dataset: state.dataset, measurements: state.measurements, kept }
+    ProfilingRun {
+        dataset: state.dataset,
+        measurements: state.measurements,
+        kept,
+    }
+}
+
+/// Adaptive profiling of many NFs, one independent simulator scenario per
+/// NF, dispatched across `engine`'s worker pool. Scenario `i` runs
+/// [`adaptive_profile`] for `kinds[i]` on a private simulator seeded
+/// `scenario_seed(cfg.seed, i)` (noise-free when `noise_sigma` is 0), so
+/// the output is a pure function of the inputs: the same `Vec` whether
+/// `engine` is sequential or parallel.
+pub fn adaptive_profile_all(
+    spec: &NicSpec,
+    noise_sigma: f64,
+    kinds: &[NfKind],
+    ranges: TrafficRanges,
+    cfg: &AdaptiveConfig,
+    engine: &Engine,
+) -> Vec<ProfilingRun> {
+    engine.run(kinds.len(), |i| {
+        let mut sim = simulator_for(spec, noise_sigma, scenario_seed(cfg.seed, i));
+        adaptive_profile(&mut sim, kinds[i], ranges, cfg)
+    })
 }
 
 struct State<'a> {
@@ -269,7 +321,11 @@ pub fn random_profile(
             measure_traffic_sample(sim, kind, profile_from_vec(v), level, kind as usize as u64);
         dataset.push(&x, t);
     }
-    ProfilingRun { dataset, measurements: quota, kept: [true; 3] }
+    ProfilingRun {
+        dataset,
+        measurements: quota,
+        kept: [true; 3],
+    }
 }
 
 /// Full (dense-grid) profiling: the paper's reference point costing 3200×
@@ -283,7 +339,10 @@ pub fn full_profile(
     levels_per_point: usize,
     seed: u64,
 ) -> ProfilingRun {
-    assert!(steps.iter().all(|&s| s >= 2), "need at least 2 steps per attribute");
+    assert!(
+        steps.iter().all(|&s| s >= 2),
+        "need at least 2 steps per attribute"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut dataset = Dataset::new(10);
     let mut measurements = 0usize;
@@ -315,7 +374,11 @@ pub fn full_profile(
             }
         }
     }
-    ProfilingRun { dataset, measurements, kept: [true; 3] }
+    ProfilingRun {
+        dataset,
+        measurements,
+        kept: [true; 3],
+    }
 }
 
 #[cfg(test)]
@@ -332,27 +395,43 @@ mod tests {
         // FlowStats is flow-count sensitive but packet-size/MTBR
         // insensitive (§5.2's own example).
         let mut sim = sim();
-        let cfg = AdaptiveConfig { quota: 40, ..Default::default() };
+        let cfg = AdaptiveConfig {
+            quota: 40,
+            ..Default::default()
+        };
         let run = adaptive_profile(&mut sim, NfKind::FlowStats, TrafficRanges::default(), &cfg);
         assert!(run.kept[0], "flow count must be kept");
         assert!(!run.kept[2], "MTBR must be pruned for a header-only NF");
-        assert!(run.measurements <= cfg.quota + 8, "quota respected (±pruning probes)");
+        assert!(
+            run.measurements <= cfg.quota + 8,
+            "quota respected (±pruning probes)"
+        );
         assert!(run.dataset.len() > 10);
     }
 
     #[test]
     fn keeps_mtbr_for_regex_nf() {
         let mut sim = sim();
-        let cfg = AdaptiveConfig { quota: 40, ..Default::default() };
-        let run =
-            adaptive_profile(&mut sim, NfKind::FlowMonitor, TrafficRanges::default(), &cfg);
+        let cfg = AdaptiveConfig {
+            quota: 40,
+            ..Default::default()
+        };
+        let run = adaptive_profile(
+            &mut sim,
+            NfKind::FlowMonitor,
+            TrafficRanges::default(),
+            &cfg,
+        );
         assert!(run.kept[2], "MTBR must be kept for a regex NF");
     }
 
     #[test]
     fn insensitive_nf_spends_quota_at_default() {
         let mut sim = sim();
-        let cfg = AdaptiveConfig { quota: 25, ..Default::default() };
+        let cfg = AdaptiveConfig {
+            quota: 25,
+            ..Default::default()
+        };
         let run = adaptive_profile(&mut sim, NfKind::Acl, TrafficRanges::default(), &cfg);
         assert_eq!(run.kept, [false, false, false]);
         assert!(run.dataset.len() >= 20);
@@ -363,7 +442,10 @@ mod tests {
         // FlowStats's knee is at small flow counts (LLC saturation);
         // adaptive sampling should place more mass there than uniform.
         let mut sim = sim();
-        let cfg = AdaptiveConfig { quota: 100, ..Default::default() };
+        let cfg = AdaptiveConfig {
+            quota: 100,
+            ..Default::default()
+        };
         let run = adaptive_profile(&mut sim, NfKind::FlowStats, TrafficRanges::default(), &cfg);
         let flows: Vec<f64> = (0..run.dataset.len())
             .map(|i| run.dataset.feature(i, 7))

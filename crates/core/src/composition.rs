@@ -33,13 +33,19 @@ pub fn compose(pattern: ExecutionPattern, t_solo: f64, per_resource: &[f64]) -> 
 /// Eq. 2 / "min composition": the largest per-resource drop wins.
 pub fn compose_min(t_solo: f64, per_resource: &[f64]) -> f64 {
     validate(t_solo, per_resource);
-    per_resource.iter().fold(t_solo, |acc, &t| acc.min(t.min(t_solo))).max(0.0)
+    per_resource
+        .iter()
+        .fold(t_solo, |acc, &t| acc.min(t.min(t_solo)))
+        .max(0.0)
 }
 
 /// "Sum composition": per-resource drops add (§2.2.1 baseline).
 pub fn compose_sum(t_solo: f64, per_resource: &[f64]) -> f64 {
     validate(t_solo, per_resource);
-    let total_drop: f64 = per_resource.iter().map(|&t| (t_solo - t.min(t_solo)).max(0.0)).sum();
+    let total_drop: f64 = per_resource
+        .iter()
+        .map(|&t| (t_solo - t.min(t_solo)).max(0.0))
+        .sum();
     (t_solo - total_drop).max(0.0)
 }
 
@@ -57,7 +63,10 @@ pub fn compose_rtc(t_solo: f64, per_resource: &[f64]) -> f64 {
 
 fn validate(t_solo: f64, per_resource: &[f64]) {
     assert!(t_solo > 0.0, "solo throughput must be positive");
-    assert!(!per_resource.is_empty(), "need at least one per-resource prediction");
+    assert!(
+        !per_resource.is_empty(),
+        "need at least one per-resource prediction"
+    );
 }
 
 /// Detects an NF's execution pattern from four throughput measurements
@@ -89,13 +98,20 @@ mod tests {
     #[test]
     fn pipeline_takes_worst_resource() {
         // solo 100, memory-contended 80, regex-contended 60.
-        assert_eq!(compose(ExecutionPattern::Pipeline, 100.0, &[80.0, 60.0]), 60.0);
+        assert_eq!(
+            compose(ExecutionPattern::Pipeline, 100.0, &[80.0, 60.0]),
+            60.0
+        );
     }
 
     #[test]
     fn sum_adds_drops() {
         assert_eq!(compose_sum(100.0, &[80.0, 60.0]), 40.0);
-        assert_eq!(compose_sum(100.0, &[50.0, 30.0, 90.0]), 0.0, "clamped at zero");
+        assert_eq!(
+            compose_sum(100.0, &[50.0, 30.0, 90.0]),
+            0.0,
+            "clamped at zero"
+        );
     }
 
     #[test]
@@ -111,7 +127,10 @@ mod tests {
 
     #[test]
     fn uncontended_resources_change_nothing() {
-        for pattern in [ExecutionPattern::Pipeline, ExecutionPattern::RunToCompletion] {
+        for pattern in [
+            ExecutionPattern::Pipeline,
+            ExecutionPattern::RunToCompletion,
+        ] {
             let t = compose(pattern, 100.0, &[100.0, 100.0]);
             assert!((t - 100.0).abs() < 1e-9, "{pattern}: {t}");
         }
@@ -119,7 +138,10 @@ mod tests {
 
     #[test]
     fn single_resource_reduces_to_that_resource() {
-        for pattern in [ExecutionPattern::Pipeline, ExecutionPattern::RunToCompletion] {
+        for pattern in [
+            ExecutionPattern::Pipeline,
+            ExecutionPattern::RunToCompletion,
+        ] {
             let t = compose(pattern, 100.0, &[70.0]);
             assert!((t - 70.0).abs() < 1e-6, "{pattern}: {t}");
         }
@@ -136,7 +158,10 @@ mod tests {
     #[test]
     fn detect_pattern_pipeline_case() {
         // Ground truth behaves like min: both = worst single.
-        assert_eq!(detect_pattern(100.0, 80.0, 60.0, 60.5), ExecutionPattern::Pipeline);
+        assert_eq!(
+            detect_pattern(100.0, 80.0, 60.0, 60.5),
+            ExecutionPattern::Pipeline
+        );
     }
 
     #[test]

@@ -39,7 +39,11 @@ pub struct Contender {
 impl Contender {
     /// A memory-only contender (e.g. mem-bench or a header-only NF).
     pub fn memory_only(name: impl Into<String>, counters: CounterSample) -> Self {
-        Self { name: name.into(), counters, accel: Vec::new() }
+        Self {
+            name: name.into(),
+            counters,
+            accel: Vec::new(),
+        }
     }
 
     /// Adds accelerator presence (builder style).
@@ -50,7 +54,11 @@ impl Contender {
 
     /// Total round-time pressure this contender puts on accelerator `kind`.
     pub fn pressure_on(&self, kind: ResourceKind) -> f64 {
-        self.accel.iter().filter(|a| a.kind == kind).map(|a| a.pressure_s()).sum()
+        self.accel
+            .iter()
+            .filter(|a| a.kind == kind)
+            .map(|a| a.pressure_s())
+            .sum()
     }
 }
 
@@ -71,7 +79,11 @@ mod tests {
 
     #[test]
     fn pressure_is_queues_times_service() {
-        let a = AccelContention { kind: ResourceKind::Regex, queues: 2.0, service_s: 3e-7 };
+        let a = AccelContention {
+            kind: ResourceKind::Regex,
+            queues: 2.0,
+            service_s: 3e-7,
+        };
         assert!((a.pressure_s() - 6e-7).abs() < 1e-18);
     }
 
@@ -108,10 +120,14 @@ mod tests {
 
     #[test]
     fn aggregate_counters_sums() {
-        let mut a = CounterSample::default();
-        a.l2crd = 5.0;
-        let mut b = CounterSample::default();
-        b.l2crd = 7.0;
+        let a = CounterSample {
+            l2crd: 5.0,
+            ..Default::default()
+        };
+        let b = CounterSample {
+            l2crd: 7.0,
+            ..Default::default()
+        };
         let cs = [
             Contender::memory_only("a", a),
             Contender::memory_only("b", b),

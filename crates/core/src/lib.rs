@@ -17,6 +17,10 @@
 //! * [`adaptive`] — adaptive profiling (Algorithm 1): prune insensitive
 //!   traffic attributes, then binary-search sampling where solo throughput
 //!   moves (§5.2); random/full profiling for cost comparisons.
+//! * [`engine`] — the parallel scenario engine: independent simulator
+//!   scenarios (training sweeps, fleet profiling, arrival preparation)
+//!   dispatched across a std-thread worker pool with deterministic
+//!   per-scenario seeding — bit-identical to the sequential path.
 //! * [`profiler`] — the offline profiling sweeps driving the simulator with
 //!   the synthetic benches (§6).
 //! * [`predictor`] — [`YalaModel`]: train once offline, then predict for
@@ -45,6 +49,7 @@ pub mod accel_model;
 pub mod adaptive;
 pub mod composition;
 pub mod contender;
+pub mod engine;
 pub mod memory_model;
 pub mod predictor;
 pub mod profiler;
@@ -53,5 +58,6 @@ pub use accel_model::{AccelServiceModel, InferConfig};
 pub use adaptive::{AdaptiveConfig, ProfilingRun, TrafficRanges};
 pub use composition::{compose, compose_min, compose_rtc, compose_sum, detect_pattern};
 pub use contender::{AccelContention, Contender};
+pub use engine::Engine;
 pub use memory_model::MemoryModel;
 pub use predictor::{Composition, TrainConfig, YalaModel};

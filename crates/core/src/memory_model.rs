@@ -32,7 +32,10 @@ impl MemoryModel {
             w if w == N_COUNTER_FEATURES + N_TRAFFIC_FEATURES => true,
             w => panic!("memory model expects 7 or 10 features, got {w}"),
         };
-        Self { gbr: GradientBoostingRegressor::fit(ds, params, seed), traffic_aware }
+        Self {
+            gbr: GradientBoostingRegressor::fit(ds, params, seed),
+            traffic_aware,
+        }
     }
 
     /// Whether the model consumes traffic attributes.

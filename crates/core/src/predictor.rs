@@ -46,7 +46,11 @@ impl Default for TrainConfig {
             infer: InferConfig::default(),
             // More, slower stages than sklearn's default: the profiling
             // sets are small (quota-bound), so shrinkage buys smoothness.
-            gbr: GbrParams { n_estimators: 300, learning_rate: 0.05, ..GbrParams::default() },
+            gbr: GbrParams {
+                n_estimators: 300,
+                learning_rate: 0.05,
+                ..GbrParams::default()
+            },
             seed: 23,
         }
     }
@@ -80,6 +84,26 @@ impl YalaModel {
         Self::finish(sim, kind, memory, run.kept, run.measurements, cfg)
     }
 
+    /// Trains one model per NF kind, one independent simulator scenario per
+    /// kind, dispatched across `engine`'s worker pool — the fleet-training
+    /// entry point (placement and the evaluation tables train 9+ models).
+    /// Scenario `i` trains `kinds[i]` on a private simulator seeded
+    /// `scenario_seed(cfg.seed, i)`, so the result is bit-identical across
+    /// thread counts; wall-clock scales with cores.
+    pub fn train_all(
+        spec: &yala_sim::NicSpec,
+        noise_sigma: f64,
+        kinds: &[NfKind],
+        cfg: &TrainConfig,
+        engine: &crate::engine::Engine,
+    ) -> Vec<(NfKind, YalaModel)> {
+        engine.run(kinds.len(), |i| {
+            let seed = crate::engine::scenario_seed(cfg.seed, i);
+            let mut sim = crate::engine::simulator_for(spec, noise_sigma, seed);
+            (kinds[i], YalaModel::train(&mut sim, kinds[i], cfg))
+        })
+    }
+
     /// Trains the fixed-traffic variant (memory model with 7 features at
     /// one profile) — used by the §7.3 multi-resource-only experiments.
     pub fn train_fixed(
@@ -110,8 +134,10 @@ impl YalaModel {
                 continue;
             }
             let mut workload_at = |mtbr: f64| {
-                let mut p = TrafficProfile::default();
-                p.mtbr = mtbr;
+                let p = TrafficProfile {
+                    mtbr,
+                    ..TrafficProfile::default()
+                };
                 kind.workload(p, kind as usize as u64)
             };
             if let Some(m) = infer_service_model(sim, kind_a, &mut workload_at, &cfg.infer) {
@@ -145,7 +171,12 @@ impl YalaModel {
             return ExecutionPattern::RunToCompletion;
         };
         let target = kind.workload(TrafficProfile::default(), kind as usize as u64);
-        let mem = MemLevel { car: 1.5e8, wss: 8e6, cycles: 60.0 }.bench();
+        let mem = MemLevel {
+            car: 1.5e8,
+            wss: 8e6,
+            cycles: 60.0,
+        }
+        .bench();
         let acc_bench = match accel.kind {
             ResourceKind::Regex => yala_nf::bench::regex_bench(1e12, 1446.0, 1_500.0),
             ResourceKind::Compression => yala_nf::bench::compression_bench(1e12, 1446.0),
@@ -199,7 +230,12 @@ impl YalaModel {
         traffic: &TrafficProfile,
         contenders: &[Contender],
     ) -> f64 {
-        self.predict_with(Composition::ExecutionPattern, solo_tput, traffic, contenders)
+        self.predict_with(
+            Composition::ExecutionPattern,
+            solo_tput,
+            traffic,
+            contenders,
+        )
     }
 
     /// Prediction with an explicit composition variant (for ablations).
@@ -210,8 +246,11 @@ impl YalaModel {
         traffic: &TrafficProfile,
         contenders: &[Contender],
     ) -> f64 {
-        let per: Vec<f64> =
-            self.per_resource(solo_tput, traffic, contenders).iter().map(|(_, t)| *t).collect();
+        let per: Vec<f64> = self
+            .per_resource(solo_tput, traffic, contenders)
+            .iter()
+            .map(|(_, t)| *t)
+            .collect();
         match composition {
             Composition::ExecutionPattern => compose(self.pattern, solo_tput, &per),
             Composition::Sum => compose_sum(solo_tput, &per),
@@ -222,11 +261,7 @@ impl YalaModel {
     /// This NF's contender description when *it* is the competitor: its
     /// solo counters plus its fitted accelerator pressure at its traffic's
     /// MTBR.
-    pub fn as_contender(
-        &self,
-        counters: yala_sim::CounterSample,
-        mtbr: f64,
-    ) -> Contender {
+    pub fn as_contender(&self, counters: yala_sim::CounterSample, mtbr: f64) -> Contender {
         let mut c = Contender::memory_only(self.name.clone(), counters);
         for am in &self.accels {
             c = c.with_accel(crate::contender::AccelContention {
@@ -265,9 +300,12 @@ mod tests {
         let traffic = TrafficProfile::new(40_000, 1024, 0.0);
         let target = NfKind::FlowStats.workload(traffic, 5);
         let solo = sim.solo(&target).throughput_pps;
-        let level = MemLevel { car: 1.3e8, wss: 7e6, cycles: 600.0 };
-        let truth =
-            sim.co_run(&[target, level.bench()]).outcomes[0].throughput_pps;
+        let level = MemLevel {
+            car: 1.3e8,
+            wss: 7e6,
+            cycles: 600.0,
+        };
+        let truth = sim.co_run(&[target, level.bench()]).outcomes[0].throughput_pps;
         let contender = mem_bench_contender(&mut sim, level);
         let pred = model.predict(solo, &traffic, std::slice::from_ref(&contender));
         let err = metrics::ape(truth, pred);
@@ -305,16 +343,21 @@ mod tests {
         let solo = sim.solo(&target).throughput_pps;
 
         let regex_hog = yala_nf::bench::regex_bench(1e12, 1446.0, 2_000.0);
-        let truth =
-            sim.co_run(&[target, regex_hog]).outcomes[0].throughput_pps;
+        let truth = sim.co_run(&[target, regex_hog]).outcomes[0].throughput_pps;
         let contender = crate::profiler::regex_bench_contender(&mut sim, 1e12, 1446.0, 2_000.0);
         let pred = model.predict(solo, &traffic, std::slice::from_ref(&contender));
         let err = metrics::ape(truth, pred);
-        assert!(err < 15.0, "Yala must see regex contention: {err} ({pred} vs {truth})");
+        assert!(
+            err < 15.0,
+            "Yala must see regex contention: {err} ({pred} vs {truth})"
+        );
 
         // A memory-only view would predict ~solo.
         let mem_only = model.per_resource(solo, &traffic, std::slice::from_ref(&contender))[0].1;
-        assert!(metrics::ape(truth, mem_only) > 20.0, "memory-only view must miss");
+        assert!(
+            metrics::ape(truth, mem_only) > 20.0,
+            "memory-only view must miss"
+        );
     }
 
     #[test]
@@ -331,7 +374,11 @@ mod tests {
         let model = YalaModel::train(&mut sim, NfKind::FlowMonitor, &quick_cfg());
         let traffic = TrafficProfile::default();
         let solo = 1e6;
-        let mem_level = MemLevel { car: 1.5e8, wss: 8e6, cycles: 60.0 };
+        let mem_level = MemLevel {
+            car: 1.5e8,
+            wss: 8e6,
+            cycles: 60.0,
+        };
         let contenders = vec![
             mem_bench_contender(&mut sim, mem_level),
             crate::profiler::regex_bench_contender(&mut sim, 1e12, 1446.0, 1_000.0),
@@ -340,6 +387,9 @@ mod tests {
         let min = model.predict_with(Composition::Min, solo, &traffic, &contenders);
         let rtc = model.predict_with(Composition::ExecutionPattern, solo, &traffic, &contenders);
         assert!(sum <= rtc + 1.0, "sum over-subtracts: {sum} vs {rtc}");
-        assert!(rtc <= min + 1.0, "rtc compounds more than min: {rtc} vs {min}");
+        assert!(
+            rtc <= min + 1.0,
+            "rtc compounds more than min: {rtc} vs {min}"
+        );
     }
 }

@@ -24,7 +24,11 @@ pub struct MemLevel {
 impl MemLevel {
     /// The zero-contention level.
     pub fn idle() -> Self {
-        Self { car: 1.0, wss: 0.0, cycles: 0.0 }
+        Self {
+            car: 1.0,
+            wss: 0.0,
+            cycles: 0.0,
+        }
     }
 
     /// The mem-bench workload realising this level.
@@ -52,7 +56,11 @@ pub fn default_mem_grid() -> Vec<MemLevel> {
         for &wss_mb in &[0.5f64, 2.0, 6.0, 12.0, 24.0] {
             // Rotate intensity variants across the grid.
             let cycles = [60.0, 600.0, 2_400.0][(i as usize + wss_mb as usize) % 3];
-            grid.push(MemLevel { car, wss: wss_mb * 1e6, cycles });
+            grid.push(MemLevel {
+                car,
+                wss: wss_mb * 1e6,
+                cycles,
+            });
         }
     }
     grid
@@ -70,21 +78,36 @@ pub fn bench_counters(sim: &mut Simulator, level: MemLevel) -> CounterSample {
 /// Builds (or fetches from a per-thread cache) the profiled workload of an
 /// NF at a traffic point. Workload construction replays hundreds of packets
 /// through the real NF, so repeated measurements at the same traffic point
-/// (ubiquitous in profiling sweeps) would otherwise dominate runtime.
+/// (ubiquitous in profiling sweeps) would otherwise dominate runtime. Cache
+/// misses profile through a per-thread reusable [`yala_nf::Profiler`], so
+/// even a sweep of all-distinct traffic points performs no per-packet
+/// allocation.
 pub fn cached_workload(kind: NfKind, traffic: TrafficProfile, seed: u64) -> WorkloadSpec {
     use std::cell::RefCell;
     use std::collections::HashMap;
     type Key = (NfKind, u32, u32, u64, u64);
     thread_local! {
         static CACHE: RefCell<HashMap<Key, WorkloadSpec>> = RefCell::new(HashMap::new());
+        static PROFILER: RefCell<yala_nf::Profiler> =
+            RefCell::new(yala_nf::Profiler::new());
     }
-    let key = (kind, traffic.flow_count, traffic.packet_size, traffic.mtbr.to_bits(), seed);
+    let key = (
+        kind,
+        traffic.flow_count,
+        traffic.packet_size,
+        traffic.mtbr.to_bits(),
+        seed,
+    );
     CACHE.with(|c| {
         let mut map = c.borrow_mut();
         if map.len() > 8_192 {
             map.clear();
         }
-        map.entry(key).or_insert_with(|| kind.workload(traffic, seed)).clone()
+        map.entry(key)
+            .or_insert_with(|| {
+                PROFILER.with(|p| kind.workload_with(&mut p.borrow_mut(), traffic, seed))
+            })
+            .clone()
     })
 }
 
@@ -195,8 +218,16 @@ mod tests {
         let mut sim = sim();
         let target = NfKind::FlowStats.workload(TrafficProfile::default(), 1);
         let grid = vec![
-            MemLevel { car: 3e7, wss: 4e6, cycles: 60.0 },
-            MemLevel { car: 2.5e8, wss: 12e6, cycles: 60.0 },
+            MemLevel {
+                car: 3e7,
+                wss: 4e6,
+                cycles: 60.0,
+            },
+            MemLevel {
+                car: 2.5e8,
+                wss: 12e6,
+                cycles: 60.0,
+            },
         ];
         let ds = memory_dataset_fixed(&mut sim, &target, &grid);
         assert_eq!(ds.len(), 3);
@@ -214,7 +245,11 @@ mod tests {
             &mut sim,
             NfKind::FlowStats,
             t,
-            MemLevel { car: 1e8, wss: 6e6, cycles: 60.0 },
+            MemLevel {
+                car: 1e8,
+                wss: 6e6,
+                cycles: 60.0,
+            },
             3,
         );
         assert_eq!(&x[7..], &[8_000.0, 512.0, 300.0]);

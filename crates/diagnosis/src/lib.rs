@@ -33,21 +33,26 @@ pub fn diagnose_yala(
         .into_iter()
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite predictions"))
         .expect("at least the memory resource");
-    Diagnosis { bottleneck: kind, limiting_tput: tput }
+    Diagnosis {
+        bottleneck: kind,
+        limiting_tput: tput,
+    }
 }
 
 /// SLOMO's diagnosis: with a memory-only model, every degradation is
 /// attributed to the memory subsystem.
 pub fn diagnose_slomo(predicted_tput: f64) -> Diagnosis {
-    Diagnosis { bottleneck: ResourceKind::CpuMem, limiting_tput: predicted_tput }
+    Diagnosis {
+        bottleneck: ResourceKind::CpuMem,
+        limiting_tput: predicted_tput,
+    }
 }
 
 /// Accuracy of a batch of diagnoses against ground truth.
 pub fn correctness(predicted: &[ResourceKind], truth: &[ResourceKind]) -> f64 {
     assert_eq!(predicted.len(), truth.len(), "length mismatch");
     assert!(!predicted.is_empty(), "empty diagnosis batch");
-    100.0
-        * predicted.iter().zip(truth).filter(|(p, t)| p == t).count() as f64
+    100.0 * predicted.iter().zip(truth).filter(|(p, t)| p == t).count() as f64
         / predicted.len() as f64
 }
 
@@ -83,16 +88,19 @@ mod tests {
         let model = YalaModel::train(&mut sim, NfKind::FlowMonitor, &TrainConfig::default());
 
         // Regime A: low MTBR, heavy memory contention -> memory-bound.
-        let mem_heavy = yala_core::profiler::MemLevel { car: 2.0e8, wss: 12e6, cycles: 60.0 };
+        let mem_heavy = yala_core::profiler::MemLevel {
+            car: 2.0e8,
+            wss: 12e6,
+            cycles: 60.0,
+        };
         let traffic_a = TrafficProfile::new(16_000, 1500, 80.0);
         let target_a = NfKind::FlowMonitor.workload(traffic_a, 2);
-        let truth_a = sim
-            .co_run(&[target_a.clone(), mem_heavy.bench()])
-            .outcomes[0]
-            .bottleneck;
+        let truth_a = sim.co_run(&[target_a.clone(), mem_heavy.bench()]).outcomes[0].bottleneck;
         assert_eq!(truth_a, ResourceKind::CpuMem, "regime A setup");
         let solo_a = sim.solo(&target_a).throughput_pps;
-        let contenders_a = vec![yala_core::profiler::mem_bench_contender(&mut sim, mem_heavy)];
+        let contenders_a = vec![yala_core::profiler::mem_bench_contender(
+            &mut sim, mem_heavy,
+        )];
         let verdict_a = diagnose_yala(&model, solo_a, &traffic_a, &contenders_a).bottleneck;
         assert_eq!(verdict_a, truth_a, "Yala must call regime A memory-bound");
 
@@ -101,14 +109,12 @@ mod tests {
         let traffic_b = TrafficProfile::new(16_000, 1500, 1_000.0);
         let target_b = NfKind::FlowMonitor.workload(traffic_b, 2);
         let regex_heavy = yala_nf::bench::regex_bench(1e12, 1446.0, 10_000.0);
-        let truth_b = sim
-            .co_run(&[target_b.clone(), regex_heavy])
-            .outcomes[0]
-            .bottleneck;
+        let truth_b = sim.co_run(&[target_b.clone(), regex_heavy]).outcomes[0].bottleneck;
         assert_eq!(truth_b, ResourceKind::Regex, "regime B setup");
         let solo_b = sim.solo(&target_b).throughput_pps;
-        let contenders_b =
-            vec![yala_core::profiler::regex_bench_contender(&mut sim, 1e12, 1446.0, 10_000.0)];
+        let contenders_b = vec![yala_core::profiler::regex_bench_contender(
+            &mut sim, 1e12, 1446.0, 10_000.0,
+        )];
         let verdict_b = diagnose_yala(&model, solo_b, &traffic_b, &contenders_b).bottleneck;
         assert_eq!(verdict_b, truth_b, "Yala must call regime B regex-bound");
 

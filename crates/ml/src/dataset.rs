@@ -34,7 +34,11 @@ impl Dataset {
     /// Panics if `n_features` is zero.
     pub fn new(n_features: usize) -> Self {
         assert!(n_features > 0, "dataset must have at least one feature");
-        Self { n_features, features: Vec::new(), targets: Vec::new() }
+        Self {
+            n_features,
+            features: Vec::new(),
+            targets: Vec::new(),
+        }
     }
 
     /// Builds a dataset from parallel slices of rows and targets.
@@ -44,7 +48,10 @@ impl Dataset {
     /// Panics if rows have inconsistent widths or `rows.len() != targets.len()`.
     pub fn from_rows(rows: &[Vec<f64>], targets: &[f64]) -> Self {
         assert_eq!(rows.len(), targets.len(), "rows/targets length mismatch");
-        assert!(!rows.is_empty(), "cannot infer feature count from zero rows");
+        assert!(
+            !rows.is_empty(),
+            "cannot infer feature count from zero rows"
+        );
         let mut ds = Dataset::new(rows[0].len());
         for (row, &t) in rows.iter().zip(targets) {
             ds.push(row, t);

@@ -97,7 +97,12 @@ impl GradientBoostingRegressor {
             }
             stages.push(tree);
         }
-        Self { base, learning_rate: params.learning_rate, stages, n_features: ds.n_features() }
+        Self {
+            base,
+            learning_rate: params.learning_rate,
+            stages,
+            n_features: ds.n_features(),
+        }
     }
 
     /// Predicted value for one feature vector.
@@ -178,7 +183,10 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let ds = grid_ds(|a, b| a * b);
-        let params = GbrParams { subsample: 0.7, ..GbrParams::default() };
+        let params = GbrParams {
+            subsample: 0.7,
+            ..GbrParams::default()
+        };
         let m1 = GradientBoostingRegressor::fit(&ds, &params, 99);
         let m2 = GradientBoostingRegressor::fit(&ds, &params, 99);
         assert_eq!(m1.predict(&[7.0, 7.0]), m2.predict(&[7.0, 7.0]));
@@ -187,7 +195,11 @@ mod tests {
     #[test]
     fn different_seed_changes_subsampled_fit() {
         let ds = grid_ds(|a, b| a * b + (a - b).abs());
-        let params = GbrParams { subsample: 0.5, n_estimators: 30, ..GbrParams::default() };
+        let params = GbrParams {
+            subsample: 0.5,
+            n_estimators: 30,
+            ..GbrParams::default()
+        };
         let m1 = GradientBoostingRegressor::fit(&ds, &params, 1);
         let m2 = GradientBoostingRegressor::fit(&ds, &params, 2);
         // Extremely unlikely to be bit-identical across all probe points.
@@ -200,12 +212,18 @@ mod tests {
         let ds = grid_ds(|a, b| (a * 0.7).sin() * 10.0 + b);
         let small = GradientBoostingRegressor::fit(
             &ds,
-            &GbrParams { n_estimators: 5, ..GbrParams::default() },
+            &GbrParams {
+                n_estimators: 5,
+                ..GbrParams::default()
+            },
             3,
         );
         let large = GradientBoostingRegressor::fit(
             &ds,
-            &GbrParams { n_estimators: 200, ..GbrParams::default() },
+            &GbrParams {
+                n_estimators: 200,
+                ..GbrParams::default()
+            },
             3,
         );
         let sse = |m: &GradientBoostingRegressor| -> f64 {
@@ -219,7 +237,10 @@ mod tests {
         let ds = grid_ds(|a, _| a);
         let model = GradientBoostingRegressor::fit(
             &ds,
-            &GbrParams { n_estimators: 0, ..GbrParams::default() },
+            &GbrParams {
+                n_estimators: 0,
+                ..GbrParams::default()
+            },
             0,
         );
         assert_eq!(model.n_stages(), 0);

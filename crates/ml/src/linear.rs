@@ -91,7 +91,10 @@ impl LinearRegression {
             xtx[a * p + a] += lambda;
         }
         let beta = solve_dense(&mut xtx, &mut xty, p).ok_or(FitLinearError)?;
-        Ok(Self { intercept: beta[0], coefficients: beta[1..].to_vec() })
+        Ok(Self {
+            intercept: beta[0],
+            coefficients: beta[1..].to_vec(),
+        })
     }
 
     /// Predicted value for a feature vector.
@@ -101,7 +104,13 @@ impl LinearRegression {
     /// Panics if `x.len()` differs from the fitted feature count.
     pub fn predict(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.coefficients.len(), "feature width mismatch");
-        self.intercept + self.coefficients.iter().zip(x).map(|(c, v)| c * v).sum::<f64>()
+        self.intercept
+            + self
+                .coefficients
+                .iter()
+                .zip(x)
+                .map(|(c, v)| c * v)
+                .sum::<f64>()
     }
 
     /// The fitted intercept term.
@@ -230,7 +239,9 @@ mod tests {
         }
         let m = LinearRegression::fit(&ds).unwrap();
         let rss = |slope: f64, icpt: f64| -> f64 {
-            ds.rows().map(|(x, y)| (y - (slope * x[0] + icpt)).powi(2)).sum()
+            ds.rows()
+                .map(|(x, y)| (y - (slope * x[0] + icpt)).powi(2))
+                .sum()
         };
         let best = rss(m.coefficients()[0], m.intercept());
         assert!(best <= rss(m.coefficients()[0] + 0.01, m.intercept()));

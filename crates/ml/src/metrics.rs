@@ -40,7 +40,10 @@ pub fn mape(truth: &[f64], pred: &[f64]) -> f64 {
 ///
 /// Panics if `truth == 0`.
 pub fn ape(truth: f64, pred: f64) -> f64 {
-    assert!(truth != 0.0, "absolute percentage error undefined for zero truth");
+    assert!(
+        truth != 0.0,
+        "absolute percentage error undefined for zero truth"
+    );
     100.0 * ((pred - truth) / truth).abs()
 }
 
@@ -65,14 +68,24 @@ pub fn bounded_accuracy(truth: &[f64], pred: &[f64], bound_pct: f64) -> f64 {
 pub fn mae(truth: &[f64], pred: &[f64]) -> f64 {
     assert_eq!(truth.len(), pred.len(), "length mismatch");
     assert!(!truth.is_empty(), "mae of empty slice");
-    truth.iter().zip(pred).map(|(t, p)| (t - p).abs()).sum::<f64>() / truth.len() as f64
+    truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / truth.len() as f64
 }
 
 /// Root mean squared error.
 pub fn rmse(truth: &[f64], pred: &[f64]) -> f64 {
     assert_eq!(truth.len(), pred.len(), "length mismatch");
     assert!(!truth.is_empty(), "rmse of empty slice");
-    (truth.iter().zip(pred).map(|(t, p)| (t - p).powi(2)).sum::<f64>() / truth.len() as f64)
+    (truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| (t - p).powi(2))
+        .sum::<f64>()
+        / truth.len() as f64)
         .sqrt()
 }
 

@@ -21,7 +21,11 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        Self { max_depth: 3, min_samples_leaf: 1, min_impurity_decrease: 1e-12 }
+        Self {
+            max_depth: 3,
+            min_samples_leaf: 1,
+            min_impurity_decrease: 1e-12,
+        }
     }
 }
 
@@ -70,7 +74,10 @@ impl RegressionTree {
     /// Panics if `ds` is empty.
     pub fn fit(ds: &Dataset, params: &TreeParams) -> Self {
         assert!(!ds.is_empty(), "cannot fit a tree on an empty dataset");
-        let mut tree = Self { nodes: Vec::new(), n_features: ds.n_features() };
+        let mut tree = Self {
+            nodes: Vec::new(),
+            n_features: ds.n_features(),
+        };
         let indices: Vec<usize> = (0..ds.len()).collect();
         tree.build(ds, indices, params, 0);
         tree
@@ -104,8 +111,12 @@ impl RegressionTree {
         self.nodes.push(Node::Leaf { value: mean }); // placeholder, patched below
         let left = self.build(ds, left_idx, params, depth + 1);
         let right = self.build(ds, right_idx, params, depth + 1);
-        self.nodes[node] =
-            Node::Split { feature: best.feature, threshold: best.threshold, left, right };
+        self.nodes[node] = Node::Split {
+            feature: best.feature,
+            threshold: best.threshold,
+            left,
+            right,
+        };
         node
     }
 
@@ -125,8 +136,17 @@ impl RegressionTree {
         loop {
             match &self.nodes[at] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    at = if x[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -139,7 +159,10 @@ impl RegressionTree {
 
     /// Number of leaf nodes.
     pub fn leaf_count(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
     }
 }
 
@@ -207,7 +230,10 @@ fn best_split(ds: &Dataset, indices: &[usize], params: &TreeParams) -> Option<Sp
             if better {
                 best = Some((
                     sse,
-                    SplitChoice { feature, threshold: 0.5 * (x_here + x_next) },
+                    SplitChoice {
+                        feature,
+                        threshold: 0.5 * (x_here + x_next),
+                    },
                 ));
             }
         }
@@ -238,7 +264,10 @@ mod tests {
         let mut ds = Dataset::new(1);
         ds.push(&[0.0], 2.0);
         ds.push(&[1.0], 4.0);
-        let params = TreeParams { max_depth: 0, ..TreeParams::default() };
+        let params = TreeParams {
+            max_depth: 0,
+            ..TreeParams::default()
+        };
         let tree = RegressionTree::fit(&ds, &params);
         assert_eq!(tree.node_count(), 1);
         assert_eq!(tree.predict(&[0.5]), 3.0);
@@ -262,7 +291,10 @@ mod tests {
             ds.push(&[i as f64], if i == 9 { 100.0 } else { 0.0 });
         }
         // A leaf of 5 forbids isolating the outlier at x=9.
-        let params = TreeParams { min_samples_leaf: 5, ..TreeParams::default() };
+        let params = TreeParams {
+            min_samples_leaf: 5,
+            ..TreeParams::default()
+        };
         let tree = RegressionTree::fit(&ds, &params);
         // Only one split possible: 5|5.
         assert!(tree.leaf_count() <= 2);
@@ -277,7 +309,10 @@ mod tests {
             let x1 = i as f64;
             ds.push(&[noise, x1], if x1 < 25.0 { 0.0 } else { 10.0 });
         }
-        let params = TreeParams { max_depth: 1, ..TreeParams::default() };
+        let params = TreeParams {
+            max_depth: 1,
+            ..TreeParams::default()
+        };
         let tree = RegressionTree::fit(&ds, &params);
         assert_eq!(tree.predict(&[0.9, 0.0]), 0.0);
         assert_eq!(tree.predict(&[0.1, 40.0]), 10.0);
@@ -292,11 +327,17 @@ mod tests {
         }
         let shallow = RegressionTree::fit(
             &ds,
-            &TreeParams { max_depth: 2, ..TreeParams::default() },
+            &TreeParams {
+                max_depth: 2,
+                ..TreeParams::default()
+            },
         );
         let deep = RegressionTree::fit(
             &ds,
-            &TreeParams { max_depth: 6, ..TreeParams::default() },
+            &TreeParams {
+                max_depth: 6,
+                ..TreeParams::default()
+            },
         );
         let sse = |t: &RegressionTree| -> f64 {
             ds.rows().map(|(x, y)| (t.predict(x) - y).powi(2)).sum()

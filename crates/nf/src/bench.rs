@@ -221,7 +221,9 @@ mod tests {
     fn regex_bench_mtbr_to_matches() {
         let w = regex_bench(1e6, 1_000_000.0, 600.0);
         match &w.stages[1] {
-            StageDemand::Accelerator { matches_per_req, .. } => {
+            StageDemand::Accelerator {
+                matches_per_req, ..
+            } => {
                 assert!((*matches_per_req - 600.0).abs() < 1e-9)
             }
             other => panic!("unexpected stage {other:?}"),
@@ -234,7 +236,10 @@ mod tests {
         assert!(!m.uses(ResourceKind::Regex));
         let r = regex_bench(1e6, 1446.0, 600.0);
         assert!(r.uses(ResourceKind::Regex));
-        assert!(r.cache_refs_per_pkt() < 5.0, "regex-bench touches memory negligibly");
+        assert!(
+            r.cache_refs_per_pkt() < 5.0,
+            "regex-bench touches memory negligibly"
+        );
         let c = compression_bench(1e6, 1446.0);
         assert!(c.uses(ResourceKind::Compression));
         assert!(!c.uses(ResourceKind::Regex));
@@ -250,7 +255,11 @@ mod tests {
         let nf2 = synthetic_nf2(ExecutionPattern::Pipeline);
         assert_eq!(
             nf2.resources(),
-            vec![ResourceKind::CpuMem, ResourceKind::Regex, ResourceKind::Compression]
+            vec![
+                ResourceKind::CpuMem,
+                ResourceKind::Regex,
+                ResourceKind::Compression
+            ]
         );
     }
 

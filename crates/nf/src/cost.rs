@@ -74,6 +74,17 @@ impl CostTracker {
         Self::default()
     }
 
+    /// Zeroes the tracker for reuse, retaining the accelerator-request
+    /// buffer's capacity — the batched dataplane charges a whole batch into
+    /// one tracker and resets it between batches instead of allocating a
+    /// fresh one per packet.
+    pub fn reset(&mut self) {
+        self.cycles = 0.0;
+        self.reads = 0.0;
+        self.writes = 0.0;
+        self.accel.clear();
+    }
+
     /// Charges pure compute cycles.
     pub fn compute(&mut self, cycles: f64) {
         debug_assert!(cycles >= 0.0);
@@ -101,12 +112,79 @@ impl CostTracker {
     /// Records a request submitted to a hardware accelerator.
     pub fn accel_request(&mut self, kind: ResourceKind, bytes: f64, matches: f64) {
         debug_assert!(kind != ResourceKind::CpuMem, "CpuMem is not an accelerator");
-        self.accel.push(AccelRequest { kind, bytes, matches });
+        self.accel.push(AccelRequest {
+            kind,
+            bytes,
+            matches,
+        });
     }
 
     /// Total cache references (reads + writes).
     pub fn refs(&self) -> f64 {
         self.reads + self.writes
+    }
+}
+
+/// Running totals of measured cost across a profiling sample, absorbed
+/// batch by batch from a reused [`CostTracker`]. All divisions happen here,
+/// once, at aggregation time — with guarded denominators, so an NF that
+/// reports zero cache references or zero-byte accelerator requests yields
+/// zeros rather than NaN (see `runtime::build_workload`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CostAggregate {
+    /// Packets absorbed so far.
+    pub packets: f64,
+    /// Total compute cycles.
+    pub cycles: f64,
+    /// Total cache-line reads.
+    pub reads: f64,
+    /// Total cache-line writes.
+    pub writes: f64,
+    /// Per accelerator kind: `(kind, requests, bytes, matches)` totals.
+    pub accel: Vec<(ResourceKind, f64, f64, f64)>,
+}
+
+impl CostAggregate {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Zeroes the aggregate for reuse, retaining buffer capacity.
+    pub fn reset(&mut self) {
+        self.packets = 0.0;
+        self.cycles = 0.0;
+        self.reads = 0.0;
+        self.writes = 0.0;
+        self.accel.clear();
+    }
+
+    /// Folds in the cost of `packets` packets charged to `cost`.
+    pub fn absorb(&mut self, cost: &CostTracker, packets: usize) {
+        self.packets += packets as f64;
+        self.cycles += cost.cycles;
+        self.reads += cost.reads;
+        self.writes += cost.writes;
+        for req in &cost.accel {
+            match self.accel.iter_mut().find(|(k, ..)| *k == req.kind) {
+                Some((_, n, b, m)) => {
+                    *n += 1.0;
+                    *b += req.bytes;
+                    *m += req.matches;
+                }
+                None => self.accel.push((req.kind, 1.0, req.bytes, req.matches)),
+            }
+        }
+    }
+}
+
+/// Division that yields 0 instead of NaN/∞ on a zero denominator — the
+/// guard for per-request and per-reference averages of silent NFs.
+pub fn safe_div(num: f64, den: f64) -> f64 {
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
     }
 }
 
@@ -140,5 +218,50 @@ mod tests {
         assert_eq!(c.accel.len(), 1);
         assert_eq!(c.accel[0].kind, ResourceKind::Regex);
         assert_eq!(c.accel[0].matches, 2.0);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_capacity() {
+        let mut c = CostTracker::new();
+        c.compute(10.0);
+        c.read_lines(1.0);
+        c.write_lines(1.0);
+        for _ in 0..16 {
+            c.accel_request(ResourceKind::Regex, 100.0, 1.0);
+        }
+        let cap = c.accel.capacity();
+        c.reset();
+        assert_eq!(c, CostTracker::new());
+        assert_eq!(c.accel.capacity(), cap, "reset must not shed capacity");
+    }
+
+    #[test]
+    fn aggregate_folds_batches() {
+        let mut agg = CostAggregate::new();
+        let mut c = CostTracker::new();
+        c.compute(10.0);
+        c.read_lines(4.0);
+        c.accel_request(ResourceKind::Regex, 100.0, 1.0);
+        c.accel_request(ResourceKind::Regex, 300.0, 0.0);
+        c.accel_request(ResourceKind::Compression, 50.0, 0.0);
+        agg.absorb(&c, 2);
+        c.reset();
+        c.compute(5.0);
+        c.write_lines(1.0);
+        agg.absorb(&c, 1);
+        assert_eq!(agg.packets, 3.0);
+        assert_eq!(agg.cycles, 15.0);
+        assert_eq!(agg.reads, 4.0);
+        assert_eq!(agg.writes, 1.0);
+        assert_eq!(agg.accel.len(), 2);
+        assert_eq!(agg.accel[0], (ResourceKind::Regex, 2.0, 400.0, 1.0));
+        assert_eq!(agg.accel[1], (ResourceKind::Compression, 1.0, 50.0, 0.0));
+    }
+
+    #[test]
+    fn safe_div_guards_zero_denominator() {
+        assert_eq!(safe_div(5.0, 2.0), 2.5);
+        assert_eq!(safe_div(5.0, 0.0), 0.0);
+        assert_eq!(safe_div(0.0, 0.0), 0.0);
     }
 }

@@ -6,8 +6,10 @@
 //! encapsulation, and payload scanning through the [`yala_rxp`] regex
 //! engine. NFs charge hardware costs (cycles, cache-line references,
 //! accelerator requests) to a [`cost::CostTracker`] while they work, and
-//! the [`runtime::build_workload`] harness turns a profiled run into a
-//! [`yala_sim::WorkloadSpec`] for the SmartNIC simulator.
+//! the [`runtime::Profiler`] harness streams a profiled run — batch by
+//! batch through one reusable [`PacketBatch`] arena, with no per-packet
+//! allocation — into a [`yala_sim::WorkloadSpec`] for the SmartNIC
+//! simulator.
 //!
 //! That measurement path is what makes traffic attributes *causal* here,
 //! as on real hardware: more flows grow the tables (working-set size →
@@ -41,5 +43,5 @@ pub mod runtime;
 pub mod table;
 
 pub use registry::NfKind;
-pub use runtime::{build_workload, NetworkFunction, Verdict};
-pub use yala_traffic::Packet;
+pub use runtime::{build_workload, NetworkFunction, Profiler, Verdict};
+pub use yala_traffic::{Packet, PacketBatch, PacketView};

@@ -5,11 +5,11 @@
 
 use crate::cost::{CostTracker, ACL_RULE_CYCLES, PARSE_CYCLES};
 use crate::runtime::{NetworkFunction, Verdict};
-use crate::Packet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use yala_sim::ExecutionPattern;
 use yala_traffic::FiveTuple;
+use yala_traffic::PacketView;
 
 /// One ACL rule: masked match on the 5-tuple.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,8 +31,8 @@ impl AclRule {
     pub fn matches(&self, ft: &FiveTuple) -> bool {
         prefix_match(self.src, ft.src_ip)
             && prefix_match(self.dst, ft.dst_ip)
-            && self.dst_port.map_or(true, |p| p == ft.dst_port)
-            && self.proto.map_or(true, |p| p == ft.proto)
+            && self.dst_port.is_none_or(|p| p == ft.dst_port)
+            && self.proto.is_none_or(|p| p == ft.proto)
     }
 }
 
@@ -61,7 +61,9 @@ impl Acl {
                 src: (rng.gen(), rng.gen_range(8..=24)),
                 dst: (rng.gen(), rng.gen_range(8..=24)),
                 dst_port: rng.gen_bool(0.5).then(|| rng.gen_range(1..1024)),
-                proto: rng.gen_bool(0.3).then(|| if rng.gen_bool(0.5) { 6 } else { 17 }),
+                proto: rng
+                    .gen_bool(0.3)
+                    .then(|| if rng.gen_bool(0.5) { 6 } else { 17 }),
                 permit: false,
             })
             .collect();
@@ -103,7 +105,7 @@ impl NetworkFunction for Acl {
         ExecutionPattern::RunToCompletion
     }
 
-    fn process(&mut self, pkt: &Packet, cost: &mut CostTracker) -> Verdict {
+    fn process(&mut self, pkt: PacketView<'_>, cost: &mut CostTracker) -> Verdict {
         cost.compute(PARSE_CYCLES);
         cost.read_lines(1.0);
         let (permit, inspected) = self.evaluate(&pkt.five_tuple);
@@ -127,6 +129,7 @@ impl NetworkFunction for Acl {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use yala_traffic::Packet;
 
     #[test]
     fn deny_rule_drops() {
@@ -139,26 +142,47 @@ mod tests {
         };
         let mut acl = Acl::from_rules(vec![rule]);
         let bad = Packet::new(FiveTuple::new(0x0a121212, 9, 1000, 22, 6), vec![]);
-        assert_eq!(acl.process(&bad, &mut CostTracker::new()), Verdict::Drop);
+        assert_eq!(
+            acl.process(bad.view(), &mut CostTracker::new()),
+            Verdict::Drop
+        );
         assert_eq!(acl.denied(), 1);
         let good = Packet::new(FiveTuple::new(0x0b121212, 9, 1000, 22, 6), vec![]);
-        assert_eq!(acl.process(&good, &mut CostTracker::new()), Verdict::Forward);
+        assert_eq!(
+            acl.process(good.view(), &mut CostTracker::new()),
+            Verdict::Forward
+        );
     }
 
     #[test]
     fn first_match_wins() {
-        let permit_all = AclRule { src: (0, 0), dst: (0, 0), dst_port: None, proto: None, permit: true };
-        let deny_all = AclRule { permit: false, ..permit_all };
+        let permit_all = AclRule {
+            src: (0, 0),
+            dst: (0, 0),
+            dst_port: None,
+            proto: None,
+            permit: true,
+        };
+        let deny_all = AclRule {
+            permit: false,
+            ..permit_all
+        };
         let mut acl = Acl::from_rules(vec![permit_all, deny_all]);
         let pkt = Packet::new(FiveTuple::new(1, 2, 3, 4, 6), vec![]);
-        assert_eq!(acl.process(&pkt, &mut CostTracker::new()), Verdict::Forward);
+        assert_eq!(
+            acl.process(pkt.view(), &mut CostTracker::new()),
+            Verdict::Forward
+        );
     }
 
     #[test]
     fn default_permit_on_no_match() {
         let mut acl = Acl::from_rules(vec![]);
         let pkt = Packet::new(FiveTuple::new(1, 2, 3, 4, 6), vec![]);
-        assert_eq!(acl.process(&pkt, &mut CostTracker::new()), Verdict::Forward);
+        assert_eq!(
+            acl.process(pkt.view(), &mut CostTracker::new()),
+            Verdict::Forward
+        );
     }
 
     #[test]

@@ -8,9 +8,9 @@ use crate::cost::{CostTracker, HASH_CYCLES, PARSE_CYCLES, PROBE_CYCLES, UPDATE_C
 use crate::nfs::acl::{Acl, AclRule};
 use crate::runtime::{NetworkFunction, Verdict};
 use crate::table::FlowTable;
-use crate::Packet;
 use yala_sim::ExecutionPattern;
 use yala_traffic::FiveTuple;
+use yala_traffic::PacketView;
 
 /// Per-flow firewall record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,7 +68,7 @@ impl NetworkFunction for Firewall {
         ExecutionPattern::RunToCompletion
     }
 
-    fn process(&mut self, pkt: &Packet, cost: &mut CostTracker) -> Verdict {
+    fn process(&mut self, pkt: PacketView<'_>, cost: &mut CostTracker) -> Verdict {
         cost.compute(PARSE_CYCLES + HASH_CYCLES);
         cost.read_lines(1.0);
         let key = pkt.five_tuple.hash64();
@@ -90,7 +90,13 @@ impl NetworkFunction for Firewall {
                 let (permit, inspected) = self.policy.evaluate(&pkt.five_tuple);
                 cost.compute(6.0 * inspected as f64);
                 cost.read_lines((inspected as f64 / 4.0).ceil());
-                let p = self.flow_table.insert(key, FwEntry { permitted: permit, hits: 1 });
+                let p = self.flow_table.insert(
+                    key,
+                    FwEntry {
+                        permitted: permit,
+                        hits: 1,
+                    },
+                );
                 cost.compute(PROBE_CYCLES * p as f64 + UPDATE_CYCLES);
                 cost.write_lines(p as f64 * 2.0);
                 permit
@@ -111,7 +117,13 @@ impl NetworkFunction for Firewall {
     fn warm(&mut self, flows: &[FiveTuple]) {
         for f in flows {
             let (permit, _) = self.policy.evaluate(f);
-            self.flow_table.insert(f.hash64(), FwEntry { permitted: permit, hits: 0 });
+            self.flow_table.insert(
+                f.hash64(),
+                FwEntry {
+                    permitted: permit,
+                    hits: 0,
+                },
+            );
         }
     }
 }
@@ -119,6 +131,7 @@ impl NetworkFunction for Firewall {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use yala_traffic::Packet;
 
     #[test]
     fn policy_decision_is_cached_per_flow() {
@@ -131,8 +144,14 @@ mod tests {
         };
         let mut fw = Firewall::with_policy(vec![deny_ssh]);
         let bad = Packet::new(FiveTuple::new(1, 2, 3, 22, 6), vec![]);
-        assert_eq!(fw.process(&bad, &mut CostTracker::new()), Verdict::Drop);
-        assert_eq!(fw.process(&bad, &mut CostTracker::new()), Verdict::Drop);
+        assert_eq!(
+            fw.process(bad.view(), &mut CostTracker::new()),
+            Verdict::Drop
+        );
+        assert_eq!(
+            fw.process(bad.view(), &mut CostTracker::new()),
+            Verdict::Drop
+        );
         assert_eq!(fw.denied(), 2);
         assert_eq!(fw.flow_count(), 1, "single cached entry");
     }
@@ -142,21 +161,23 @@ mod tests {
         let mut fw = Firewall::new(128, 3);
         let pkt = Packet::new(FiveTuple::new(1, 2, 3, 80, 6), vec![]);
         let mut slow = CostTracker::new();
-        fw.process(&pkt, &mut slow);
+        fw.process(pkt.view(), &mut slow);
         let mut fast = CostTracker::new();
-        fw.process(&pkt, &mut fast);
+        fw.process(pkt.view(), &mut fast);
         assert!(fast.cycles < slow.cycles);
     }
 
     #[test]
     fn flow_walk_is_memory_heavy() {
         let mut fw = Firewall::new(64, 1);
-        let flows: Vec<FiveTuple> = (0..50_000u32).map(|i| FiveTuple::new(i, 2, 3, 80, 6)).collect();
+        let flows: Vec<FiveTuple> = (0..50_000u32)
+            .map(|i| FiveTuple::new(i, 2, 3, 80, 6))
+            .collect();
         fw.warm(&flows);
         // 50K × 128 B ≈ 6.4 MB ≥ Pensando LLC pressure territory.
         assert!(fw.wss_bytes() > 6e6);
         let mut cost = CostTracker::new();
-        fw.process(&Packet::new(flows[17], vec![]), &mut cost);
+        fw.process(Packet::new(flows[17], vec![]).view(), &mut cost);
         assert!(cost.accel.is_empty(), "firewall uses no accelerators");
         assert!(cost.refs() >= 4.0);
     }

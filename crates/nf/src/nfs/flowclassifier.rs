@@ -5,9 +5,9 @@
 use crate::cost::{CostTracker, HASH_CYCLES, PARSE_CYCLES, PROBE_CYCLES, UPDATE_CYCLES};
 use crate::runtime::{NetworkFunction, Verdict};
 use crate::table::FlowTable;
-use crate::Packet;
 use yala_sim::ExecutionPattern;
 use yala_traffic::FiveTuple;
+use yala_traffic::PacketView;
 
 /// Number of traffic classes.
 pub const N_CLASSES: u8 = 8;
@@ -22,7 +22,10 @@ pub struct FlowClassifier {
 impl FlowClassifier {
     /// Creates an empty classifier.
     pub fn new() -> Self {
-        Self { cache: FlowTable::with_entry_bytes(1024, 80.0), class_counts: [0; 8] }
+        Self {
+            cache: FlowTable::with_entry_bytes(1024, 80.0),
+            class_counts: [0; 8],
+        }
     }
 
     /// The classification rule: protocol and destination port buckets.
@@ -65,7 +68,7 @@ impl NetworkFunction for FlowClassifier {
         ExecutionPattern::RunToCompletion
     }
 
-    fn process(&mut self, pkt: &Packet, cost: &mut CostTracker) -> Verdict {
+    fn process(&mut self, pkt: PacketView<'_>, cost: &mut CostTracker) -> Verdict {
         cost.compute(PARSE_CYCLES + HASH_CYCLES);
         cost.read_lines(1.0);
         let key = pkt.five_tuple.hash64();
@@ -103,6 +106,7 @@ impl NetworkFunction for FlowClassifier {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use yala_traffic::Packet;
 
     #[test]
     fn classification_is_deterministic() {
@@ -117,10 +121,10 @@ mod tests {
         let mut fc = FlowClassifier::new();
         let pkt = Packet::new(FiveTuple::new(1, 2, 3, 443, 6), vec![]);
         let mut c1 = CostTracker::new();
-        fc.process(&pkt, &mut c1);
+        fc.process(pkt.view(), &mut c1);
         assert_eq!(fc.cached_flows(), 1);
         let mut c2 = CostTracker::new();
-        fc.process(&pkt, &mut c2);
+        fc.process(pkt.view(), &mut c2);
         assert_eq!(fc.cached_flows(), 1, "no duplicate cache entry");
         assert!(c2.cycles < c1.cycles, "cache hit must be cheaper");
         assert_eq!(fc.class_counts()[1], 2);
@@ -129,7 +133,9 @@ mod tests {
     #[test]
     fn warm_fills_cache() {
         let mut fc = FlowClassifier::new();
-        let flows: Vec<FiveTuple> = (0..5000u32).map(|i| FiveTuple::new(i, 2, 3, 80, 6)).collect();
+        let flows: Vec<FiveTuple> = (0..5000u32)
+            .map(|i| FiveTuple::new(i, 2, 3, 80, 6))
+            .collect();
         fc.warm(&flows);
         assert_eq!(fc.cached_flows(), 5000);
         assert!(fc.wss_bytes() > 5000.0 * 70.0);

@@ -7,10 +7,10 @@
 use crate::cost::{CostTracker, HASH_CYCLES, PARSE_CYCLES, PROBE_CYCLES, UPDATE_CYCLES};
 use crate::runtime::{NetworkFunction, Verdict};
 use crate::table::FlowTable;
-use crate::Packet;
 use yala_rxp::{l7_default_ruleset, Ruleset};
 use yala_sim::{ExecutionPattern, ResourceKind};
 use yala_traffic::FiveTuple;
+use yala_traffic::PacketView;
 
 /// Per-flow monitoring record.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -36,7 +36,10 @@ impl FlowMonitor {
 
     /// Creates a FlowMonitor with a custom ruleset.
     pub fn with_ruleset(rules: Ruleset) -> Self {
-        Self { table: FlowTable::with_entry_bytes(1024, 64.0), rules }
+        Self {
+            table: FlowTable::with_entry_bytes(1024, 64.0),
+            rules,
+        }
     }
 
     /// The record for a flow.
@@ -60,13 +63,13 @@ impl NetworkFunction for FlowMonitor {
         ExecutionPattern::RunToCompletion
     }
 
-    fn process(&mut self, pkt: &Packet, cost: &mut CostTracker) -> Verdict {
+    fn process(&mut self, pkt: PacketView<'_>, cost: &mut CostTracker) -> Verdict {
         cost.compute(PARSE_CYCLES + HASH_CYCLES);
         cost.read_lines(1.0);
         // Offload the payload scan to the regex accelerator. The match
         // count is *measured* by really scanning — this is what makes MTBR
         // a causal traffic attribute in the reproduction.
-        let report = self.rules.scan(&pkt.payload);
+        let report = self.rules.scan(pkt.payload);
         cost.accel_request(
             ResourceKind::Regex,
             pkt.payload_len() as f64,
@@ -91,7 +94,10 @@ impl NetworkFunction for FlowMonitor {
             None => {
                 let p = self.table.insert(
                     key,
-                    MonitorEntry { packets: 1, matches: report.total_matches as u64 },
+                    MonitorEntry {
+                        packets: 1,
+                        matches: report.total_matches as u64,
+                    },
                 );
                 cost.compute(PROBE_CYCLES * p as f64 + UPDATE_CYCLES);
                 cost.write_lines(p as f64);
@@ -114,6 +120,7 @@ impl NetworkFunction for FlowMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use yala_traffic::Packet;
 
     #[test]
     fn records_matches_per_flow() {
@@ -121,11 +128,11 @@ mod tests {
         let flow = FiveTuple::new(1, 2, 3, 4, 6);
         let benign = Packet::new(flow, b"nothing to see here qqqq".to_vec());
         let mut cost = CostTracker::new();
-        nf.process(&benign, &mut cost);
+        nf.process(benign.view(), &mut cost);
         assert_eq!(nf.entry(&flow).unwrap().matches, 0);
 
         let hostile = Packet::new(flow, b"xx ' OR 1=1 -- yy".to_vec());
-        nf.process(&hostile, &mut CostTracker::new());
+        nf.process(hostile.view(), &mut CostTracker::new());
         let e = nf.entry(&flow).unwrap();
         assert_eq!(e.packets, 2);
         assert_eq!(e.matches, 1);
@@ -136,7 +143,7 @@ mod tests {
         let mut nf = FlowMonitor::new();
         let pkt = Packet::new(FiveTuple::new(1, 2, 3, 4, 6), vec![b'q'; 500]);
         let mut cost = CostTracker::new();
-        nf.process(&pkt, &mut cost);
+        nf.process(pkt.view(), &mut cost);
         assert_eq!(cost.accel.len(), 1);
         assert_eq!(cost.accel[0].kind, ResourceKind::Regex);
         assert_eq!(cost.accel[0].bytes, 500.0);
@@ -152,7 +159,7 @@ mod tests {
         }
         let pkt = Packet::new(FiveTuple::new(1, 2, 3, 4, 6), payload);
         let mut cost = CostTracker::new();
-        nf.process(&pkt, &mut cost);
+        nf.process(pkt.view(), &mut cost);
         assert_eq!(cost.accel[0].matches, 3.0);
     }
 }

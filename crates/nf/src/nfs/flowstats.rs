@@ -8,7 +8,7 @@ use crate::cost::{CostTracker, HASH_CYCLES, PARSE_CYCLES, PROBE_CYCLES, UPDATE_C
 use crate::runtime::{NetworkFunction, Verdict};
 use crate::table::FlowTable;
 use yala_sim::ExecutionPattern;
-use yala_traffic::{FiveTuple, Packet};
+use yala_traffic::{FiveTuple, PacketView};
 
 /// Per-flow statistics record.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -32,7 +32,7 @@ pub struct FlowStatsEntry {
 /// let mut nf = FlowStats::new();
 /// let pkt = Packet::new(FiveTuple::new(1, 2, 3, 4, 6), vec![0; 100]);
 /// let mut cost = CostTracker::new();
-/// nf.process(&pkt, &mut cost);
+/// nf.process(pkt.view(), &mut cost);
 /// assert_eq!(nf.stats(&pkt.five_tuple).unwrap().packets, 1);
 /// ```
 #[derive(Debug, Clone)]
@@ -43,7 +43,9 @@ pub struct FlowStats {
 impl FlowStats {
     /// Creates an empty FlowStats instance.
     pub fn new() -> Self {
-        Self { table: FlowTable::with_entry_bytes(1024, 64.0) }
+        Self {
+            table: FlowTable::with_entry_bytes(1024, 64.0),
+        }
     }
 
     /// Looks up the statistics recorded for a flow.
@@ -72,7 +74,7 @@ impl NetworkFunction for FlowStats {
         ExecutionPattern::RunToCompletion
     }
 
-    fn process(&mut self, pkt: &Packet, cost: &mut CostTracker) -> Verdict {
+    fn process(&mut self, pkt: PacketView<'_>, cost: &mut CostTracker) -> Verdict {
         cost.compute(PARSE_CYCLES + HASH_CYCLES);
         cost.read_lines(1.0); // header line
         let key = pkt.five_tuple.hash64();
@@ -88,9 +90,13 @@ impl NetworkFunction for FlowStats {
                 cost.write_lines(1.0);
             }
             None => {
-                let probes = self
-                    .table
-                    .insert(key, FlowStatsEntry { packets: 1, bytes: payload });
+                let probes = self.table.insert(
+                    key,
+                    FlowStatsEntry {
+                        packets: 1,
+                        bytes: payload,
+                    },
+                );
                 cost.compute(PROBE_CYCLES * probes as f64 + UPDATE_CYCLES);
                 cost.write_lines(probes as f64);
             }
@@ -112,6 +118,7 @@ impl NetworkFunction for FlowStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use yala_traffic::Packet;
 
     fn pkt(port: u16, len: usize) -> Packet {
         Packet::new(FiveTuple::new(1, 2, port, 80, 6), vec![0u8; len])
@@ -121,9 +128,9 @@ mod tests {
     fn counts_per_flow() {
         let mut nf = FlowStats::new();
         let mut cost = CostTracker::new();
-        nf.process(&pkt(1, 10), &mut cost);
-        nf.process(&pkt(1, 20), &mut cost);
-        nf.process(&pkt(2, 30), &mut cost);
+        nf.process(pkt(1, 10).view(), &mut cost);
+        nf.process(pkt(1, 20).view(), &mut cost);
+        nf.process(pkt(2, 30).view(), &mut cost);
         let a = nf.stats(&pkt(1, 0).five_tuple).unwrap();
         assert_eq!(a.packets, 2);
         assert_eq!(a.bytes, 30);
@@ -136,7 +143,7 @@ mod tests {
     fn charges_costs() {
         let mut nf = FlowStats::new();
         let mut cost = CostTracker::new();
-        nf.process(&pkt(1, 10), &mut cost);
+        nf.process(pkt(1, 10).view(), &mut cost);
         assert!(cost.cycles > 0.0);
         assert!(cost.reads >= 2.0);
         assert!(cost.writes >= 1.0);
@@ -146,8 +153,9 @@ mod tests {
     #[test]
     fn warm_populates_wss() {
         let mut nf = FlowStats::new();
-        let flows: Vec<FiveTuple> =
-            (0..10_000u32).map(|i| FiveTuple::new(i, 2, 3, 4, 6)).collect();
+        let flows: Vec<FiveTuple> = (0..10_000u32)
+            .map(|i| FiveTuple::new(i, 2, 3, 4, 6))
+            .collect();
         nf.warm(&flows);
         assert_eq!(nf.flow_count(), 10_000);
         // 10K flows at 64 B/entry → at least 640 KB footprint.
@@ -158,8 +166,7 @@ mod tests {
     fn wss_scales_with_flow_count() {
         let footprint = |n: u32| -> f64 {
             let mut nf = FlowStats::new();
-            let flows: Vec<FiveTuple> =
-                (0..n).map(|i| FiveTuple::new(i, 2, 3, 4, 6)).collect();
+            let flows: Vec<FiveTuple> = (0..n).map(|i| FiveTuple::new(i, 2, 3, 4, 6)).collect();
             nf.warm(&flows);
             nf.wss_bytes()
         };

@@ -5,9 +5,9 @@
 use crate::cost::{CostTracker, HASH_CYCLES, PARSE_CYCLES, PROBE_CYCLES, UPDATE_CYCLES};
 use crate::runtime::{NetworkFunction, Verdict};
 use crate::table::FlowTable;
-use crate::Packet;
 use yala_sim::ExecutionPattern;
 use yala_traffic::FiveTuple;
+use yala_traffic::PacketView;
 
 /// Connection lifecycle states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,7 +47,11 @@ pub struct FlowTracker {
 impl FlowTracker {
     /// Creates an empty tracker.
     pub fn new() -> Self {
-        Self { table: FlowTable::with_entry_bytes(1024, 96.0), clock: 0, established_total: 0 }
+        Self {
+            table: FlowTable::with_entry_bytes(1024, 96.0),
+            clock: 0,
+            established_total: 0,
+        }
     }
 
     /// Tracking record for a flow.
@@ -76,7 +80,7 @@ impl NetworkFunction for FlowTracker {
         ExecutionPattern::RunToCompletion
     }
 
-    fn process(&mut self, pkt: &Packet, cost: &mut CostTracker) -> Verdict {
+    fn process(&mut self, pkt: PacketView<'_>, cost: &mut CostTracker) -> Verdict {
         self.clock += 1;
         cost.compute(PARSE_CYCLES + HASH_CYCLES);
         cost.read_lines(1.0);
@@ -90,8 +94,7 @@ impl NetworkFunction for FlowTracker {
                 e.packets += 1;
                 let idle = now - e.last_seen;
                 e.last_seen = now;
-                let newly_established =
-                    e.state == TrackState::New && e.packets > ESTABLISH_AFTER;
+                let newly_established = e.state == TrackState::New && e.packets > ESTABLISH_AFTER;
                 if idle > AGE_AFTER {
                     e.state = TrackState::Aging;
                 } else if newly_established {
@@ -104,7 +107,11 @@ impl NetworkFunction for FlowTracker {
             None => {
                 let p = self.table.insert(
                     key,
-                    TrackEntry { state: TrackState::New, packets: 1, last_seen: now },
+                    TrackEntry {
+                        state: TrackState::New,
+                        packets: 1,
+                        last_seen: now,
+                    },
                 );
                 cost.compute(PROBE_CYCLES * p as f64 + UPDATE_CYCLES);
                 cost.write_lines(p as f64);
@@ -121,7 +128,11 @@ impl NetworkFunction for FlowTracker {
         for f in flows {
             self.table.insert(
                 f.hash64(),
-                TrackEntry { state: TrackState::New, packets: 1, last_seen: 0 },
+                TrackEntry {
+                    state: TrackState::New,
+                    packets: 1,
+                    last_seen: 0,
+                },
             );
         }
     }
@@ -130,6 +141,7 @@ impl NetworkFunction for FlowTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use yala_traffic::Packet;
 
     fn pkt() -> Packet {
         Packet::new(FiveTuple::new(1, 2, 3, 4, 6), vec![0; 10])
@@ -139,28 +151,34 @@ mod tests {
     fn establishes_after_enough_packets() {
         let mut ft = FlowTracker::new();
         for _ in 0..3 {
-            ft.process(&pkt(), &mut CostTracker::new());
+            ft.process(pkt().view(), &mut CostTracker::new());
         }
         assert_eq!(ft.entry(&pkt().five_tuple).unwrap().state, TrackState::New);
-        ft.process(&pkt(), &mut CostTracker::new());
-        assert_eq!(ft.entry(&pkt().five_tuple).unwrap().state, TrackState::Established);
+        ft.process(pkt().view(), &mut CostTracker::new());
+        assert_eq!(
+            ft.entry(&pkt().five_tuple).unwrap().state,
+            TrackState::Established
+        );
         assert_eq!(ft.established_total(), 1);
     }
 
     #[test]
     fn aging_on_long_idle() {
         let mut ft = FlowTracker::new();
-        ft.process(&pkt(), &mut CostTracker::new());
+        ft.process(pkt().view(), &mut CostTracker::new());
         ft.clock += AGE_AFTER + 10;
-        ft.process(&pkt(), &mut CostTracker::new());
-        assert_eq!(ft.entry(&pkt().five_tuple).unwrap().state, TrackState::Aging);
+        ft.process(pkt().view(), &mut CostTracker::new());
+        assert_eq!(
+            ft.entry(&pkt().five_tuple).unwrap().state,
+            TrackState::Aging
+        );
     }
 
     #[test]
     fn tracks_packet_counts() {
         let mut ft = FlowTracker::new();
         for _ in 0..7 {
-            ft.process(&pkt(), &mut CostTracker::new());
+            ft.process(pkt().view(), &mut CostTracker::new());
         }
         assert_eq!(ft.entry(&pkt().five_tuple).unwrap().packets, 7);
     }

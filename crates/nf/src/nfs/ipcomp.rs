@@ -5,9 +5,9 @@
 
 use crate::cost::{CostTracker, PARSE_CYCLES};
 use crate::runtime::{NetworkFunction, Verdict};
-use crate::Packet;
 use yala_rxp::{l7_default_ruleset, Ruleset};
 use yala_sim::{ExecutionPattern, ResourceKind};
+use yala_traffic::PacketView;
 
 /// The IPComp gateway NF.
 #[derive(Debug, Clone)]
@@ -20,7 +20,11 @@ pub struct IpCompGateway {
 impl IpCompGateway {
     /// Creates the gateway with the default classification ruleset.
     pub fn new() -> Self {
-        Self { rules: l7_default_ruleset(), compressed: 0, bypassed: 0 }
+        Self {
+            rules: l7_default_ruleset(),
+            compressed: 0,
+            bypassed: 0,
+        }
     }
 
     /// Packets routed through compression.
@@ -49,12 +53,12 @@ impl NetworkFunction for IpCompGateway {
         ExecutionPattern::RunToCompletion
     }
 
-    fn process(&mut self, pkt: &Packet, cost: &mut CostTracker) -> Verdict {
+    fn process(&mut self, pkt: PacketView<'_>, cost: &mut CostTracker) -> Verdict {
         cost.compute(PARSE_CYCLES);
         cost.read_lines(1.0);
         let bytes = pkt.payload_len() as f64;
         // Classify with the regex engine (protocol detection).
-        let report = self.rules.scan(&pkt.payload);
+        let report = self.rules.scan(pkt.payload);
         cost.accel_request(ResourceKind::Regex, bytes, report.total_matches as f64);
         cost.compute(90.0);
         cost.read_lines(1.0);
@@ -91,6 +95,7 @@ impl NetworkFunction for IpCompGateway {
 mod tests {
     use super::*;
     use yala_traffic::FiveTuple;
+    use yala_traffic::Packet;
 
     fn pkt(payload: Vec<u8>) -> Packet {
         Packet::new(FiveTuple::new(1, 2, 3, 4, 6), payload)
@@ -100,7 +105,7 @@ mod tests {
     fn compresses_plain_traffic() {
         let mut gw = IpCompGateway::new();
         let mut cost = CostTracker::new();
-        gw.process(&pkt(vec![b'q'; 800]), &mut cost);
+        gw.process(pkt(vec![b'q'; 800]).view(), &mut cost);
         assert_eq!(gw.compressed(), 1);
         assert_eq!(cost.accel.len(), 2, "regex then compression");
         assert_eq!(cost.accel[0].kind, ResourceKind::Regex);
@@ -113,7 +118,7 @@ mod tests {
         let mut payload = b"\x16\x03\x01\x02\x00\x01".to_vec();
         payload.extend_from_slice(&[b'q'; 100]);
         let mut cost = CostTracker::new();
-        gw.process(&pkt(payload), &mut cost);
+        gw.process(pkt(payload).view(), &mut cost);
         assert_eq!(gw.bypassed(), 1);
         assert_eq!(gw.compressed(), 0);
         assert_eq!(cost.accel.len(), 1, "no compression request for TLS");
@@ -122,10 +127,10 @@ mod tests {
     #[test]
     fn uses_both_accelerators_across_traffic() {
         let mut gw = IpCompGateway::new();
-        gw.process(&pkt(vec![b'q'; 100]), &mut CostTracker::new());
+        gw.process(pkt(vec![b'q'; 100]).view(), &mut CostTracker::new());
         let mut tls = b"\x16\x03\x01\x02\x00\x01".to_vec();
         tls.extend_from_slice(&[b'q'; 50]);
-        gw.process(&pkt(tls), &mut CostTracker::new());
+        gw.process(pkt(tls).view(), &mut CostTracker::new());
         assert_eq!(gw.compressed(), 1);
         assert_eq!(gw.bypassed(), 1);
     }

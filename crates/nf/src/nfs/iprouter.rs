@@ -8,7 +8,7 @@ use crate::runtime::{NetworkFunction, Verdict};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use yala_sim::ExecutionPattern;
-use yala_traffic::Packet;
+use yala_traffic::PacketView;
 
 /// Modelled bytes per trie node (two child indices + next hop).
 const NODE_BYTES: f64 = 24.0;
@@ -29,7 +29,9 @@ impl IpRouter {
     /// Builds a router with `n_routes` random prefixes (lengths 8–24) plus
     /// a default route, deterministic in `seed`.
     pub fn new(n_routes: usize, seed: u64) -> Self {
-        let mut router = Self { nodes: vec![Node::default()] };
+        let mut router = Self {
+            nodes: vec![Node::default()],
+        };
         router.nodes[0].next_hop = Some(0); // default route
         let mut rng = StdRng::seed_from_u64(seed);
         for hop in 1..=n_routes as u32 {
@@ -96,7 +98,7 @@ impl NetworkFunction for IpRouter {
         ExecutionPattern::RunToCompletion
     }
 
-    fn process(&mut self, pkt: &Packet, cost: &mut CostTracker) -> Verdict {
+    fn process(&mut self, pkt: PacketView<'_>, cost: &mut CostTracker) -> Verdict {
         cost.compute(PARSE_CYCLES);
         cost.read_lines(1.0);
         let (_hop, steps) = self.lookup(pkt.five_tuple.dst_ip);
@@ -118,6 +120,7 @@ impl NetworkFunction for IpRouter {
 mod tests {
     use super::*;
     use yala_traffic::FiveTuple;
+    use yala_traffic::Packet;
 
     #[test]
     fn longest_prefix_wins() {
@@ -155,7 +158,7 @@ mod tests {
         let mut cost = CostTracker::new();
         for i in 0..1000u32 {
             let pkt = Packet::new(FiveTuple::new(i, i.wrapping_mul(7), 1, 2, 6), vec![0; 64]);
-            r.process(&pkt, &mut cost);
+            r.process(pkt.view(), &mut cost);
         }
         assert_eq!(r.wss_bytes(), w0);
     }
@@ -164,6 +167,9 @@ mod tests {
     fn forwards_everything() {
         let mut r = IpRouter::new(10, 3);
         let pkt = Packet::new(FiveTuple::new(1, 2, 3, 4, 6), vec![0; 10]);
-        assert_eq!(r.process(&pkt, &mut CostTracker::new()), Verdict::Forward);
+        assert_eq!(
+            r.process(pkt.view(), &mut CostTracker::new()),
+            Verdict::Forward
+        );
     }
 }

@@ -6,9 +6,9 @@
 use crate::cost::{CostTracker, LINE_BYTES, PARSE_CYCLES, PER_BYTE_CYCLES};
 use crate::runtime::{NetworkFunction, Verdict};
 use crate::table::FlowTable;
-use crate::Packet;
 use yala_sim::ExecutionPattern;
 use yala_traffic::FiveTuple;
+use yala_traffic::PacketView;
 
 /// The IPTunnel NF: wraps packets toward a tunnel endpoint chosen per flow.
 #[derive(Debug, Clone)]
@@ -62,7 +62,7 @@ impl NetworkFunction for IpTunnel {
         ExecutionPattern::RunToCompletion
     }
 
-    fn process(&mut self, pkt: &Packet, cost: &mut CostTracker) -> Verdict {
+    fn process(&mut self, pkt: PacketView<'_>, cost: &mut CostTracker) -> Verdict {
         cost.compute(PARSE_CYCLES);
         cost.read_lines(1.0);
         // Pick the tunnel endpoint (tiny per-flow cache).
@@ -101,6 +101,7 @@ impl NetworkFunction for IpTunnel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use yala_traffic::Packet;
 
     fn pkt(len: usize) -> Packet {
         Packet::new(FiveTuple::new(9, 8, 7, 6, 17), vec![0u8; len])
@@ -120,10 +121,13 @@ mod tests {
     fn cost_scales_with_packet_size() {
         let mut nf = IpTunnel::new(4);
         let mut small = CostTracker::new();
-        nf.process(&pkt(64), &mut small);
+        nf.process(pkt(64).view(), &mut small);
         let mut large = CostTracker::new();
-        nf.process(&pkt(1446), &mut large);
-        assert!(large.cycles > small.cycles * 3.0, "checksum cost must scale");
+        nf.process(pkt(1446).view(), &mut large);
+        assert!(
+            large.cycles > small.cycles * 3.0,
+            "checksum cost must scale"
+        );
         assert!(large.refs() > small.refs() * 3.0, "copy refs must scale");
     }
 
@@ -131,7 +135,7 @@ mod tests {
     fn counts_encapsulations() {
         let mut nf = IpTunnel::new(2);
         for _ in 0..5 {
-            nf.process(&pkt(100), &mut CostTracker::new());
+            nf.process(pkt(100).view(), &mut CostTracker::new());
         }
         assert_eq!(nf.encapsulated(), 5);
     }

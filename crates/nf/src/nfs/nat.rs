@@ -6,9 +6,9 @@
 use crate::cost::{CostTracker, HASH_CYCLES, PARSE_CYCLES, PROBE_CYCLES, UPDATE_CYCLES};
 use crate::runtime::{NetworkFunction, Verdict};
 use crate::table::FlowTable;
-use crate::Packet;
 use yala_sim::ExecutionPattern;
 use yala_traffic::FiveTuple;
+use yala_traffic::PacketView;
 
 /// External address the NAT translates to.
 const NAT_IP: u32 = 0xc0a8_0101;
@@ -55,7 +55,10 @@ impl Nat {
     fn allocate(&mut self, flow: FiveTuple) -> (NatBinding, usize) {
         let port = self.next_port;
         self.next_port = self.next_port.wrapping_add(1).max(10_000);
-        let binding = NatBinding { external_port: port, inner: flow };
+        let binding = NatBinding {
+            external_port: port,
+            inner: flow,
+        };
         let p1 = self.out_table.insert(flow.hash64(), binding);
         let p2 = self.in_table.insert(port as u64, binding);
         (binding, p1 + p2)
@@ -77,7 +80,7 @@ impl NetworkFunction for Nat {
         ExecutionPattern::RunToCompletion
     }
 
-    fn process(&mut self, pkt: &Packet, cost: &mut CostTracker) -> Verdict {
+    fn process(&mut self, pkt: PacketView<'_>, cost: &mut CostTracker) -> Verdict {
         cost.compute(PARSE_CYCLES + HASH_CYCLES);
         cost.read_lines(1.0);
         let key = pkt.five_tuple.hash64();
@@ -116,6 +119,7 @@ impl NetworkFunction for Nat {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use yala_traffic::Packet;
 
     fn flow(p: u16) -> FiveTuple {
         FiveTuple::new(0x0a000001, 0x08080808, p, 443, 6)
@@ -125,9 +129,9 @@ mod tests {
     fn binding_is_stable_per_flow() {
         let mut nat = Nat::new();
         let pkt = Packet::new(flow(1234), vec![0; 10]);
-        nat.process(&pkt, &mut CostTracker::new());
+        nat.process(pkt.view(), &mut CostTracker::new());
         let b1 = nat.binding(&flow(1234)).unwrap();
-        nat.process(&pkt, &mut CostTracker::new());
+        nat.process(pkt.view(), &mut CostTracker::new());
         let b2 = nat.binding(&flow(1234)).unwrap();
         assert_eq!(b1, b2);
     }
@@ -136,11 +140,15 @@ mod tests {
     fn distinct_flows_get_distinct_ports() {
         let mut nat = Nat::new();
         for p in 0..100u16 {
-            nat.process(&Packet::new(flow(p), vec![0; 10]), &mut CostTracker::new());
+            nat.process(
+                Packet::new(flow(p), vec![0; 10]).view(),
+                &mut CostTracker::new(),
+            );
         }
         assert_eq!(nat.binding_count(), 100);
-        let mut ports: Vec<u16> =
-            (0..100u16).map(|p| nat.binding(&flow(p)).unwrap().external_port).collect();
+        let mut ports: Vec<u16> = (0..100u16)
+            .map(|p| nat.binding(&flow(p)).unwrap().external_port)
+            .collect();
         ports.sort_unstable();
         ports.dedup();
         assert_eq!(ports.len(), 100, "external ports must be unique");
@@ -159,9 +167,9 @@ mod tests {
     fn miss_is_costlier_than_hit() {
         let mut nat = Nat::new();
         let mut miss = CostTracker::new();
-        nat.process(&Packet::new(flow(1), vec![0; 10]), &mut miss);
+        nat.process(Packet::new(flow(1), vec![0; 10]).view(), &mut miss);
         let mut hit = CostTracker::new();
-        nat.process(&Packet::new(flow(1), vec![0; 10]), &mut hit);
+        nat.process(Packet::new(flow(1), vec![0; 10]).view(), &mut hit);
         assert!(miss.cycles > hit.cycles);
         assert!(miss.writes > hit.writes);
     }

@@ -6,10 +6,10 @@
 use crate::cost::{CostTracker, HASH_CYCLES, PARSE_CYCLES, PROBE_CYCLES, UPDATE_CYCLES};
 use crate::runtime::{NetworkFunction, Verdict};
 use crate::table::FlowTable;
-use crate::Packet;
 use yala_rxp::{l7_default_ruleset, Ruleset};
 use yala_sim::{ExecutionPattern, ResourceKind};
 use yala_traffic::FiveTuple;
+use yala_traffic::PacketView;
 
 /// Per-flow connection record.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -64,7 +64,7 @@ impl NetworkFunction for Nids {
         ExecutionPattern::Pipeline
     }
 
-    fn process(&mut self, pkt: &Packet, cost: &mut CostTracker) -> Verdict {
+    fn process(&mut self, pkt: PacketView<'_>, cost: &mut CostTracker) -> Verdict {
         // Stage 1 (CPU): parse + connection tracking.
         cost.compute(PARSE_CYCLES + HASH_CYCLES);
         cost.read_lines(1.0);
@@ -79,7 +79,7 @@ impl NetworkFunction for Nids {
             cost.write_lines(p as f64);
         }
         // Stage 2 (regex accelerator): signature scan.
-        let report = self.rules.scan(&pkt.payload);
+        let report = self.rules.scan(pkt.payload);
         cost.accel_request(
             ResourceKind::Regex,
             pkt.payload_len() as f64,
@@ -118,13 +118,14 @@ impl NetworkFunction for Nids {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use yala_traffic::Packet;
 
     #[test]
     fn alerts_and_drops_on_signature() {
         let mut nids = Nids::new();
         let flow = FiveTuple::new(1, 2, 3, 4, 6);
         let attack = Packet::new(flow, b"GET /x<script>alert(1)</script> qq".to_vec());
-        let verdict = nids.process(&attack, &mut CostTracker::new());
+        let verdict = nids.process(attack.view(), &mut CostTracker::new());
         assert_eq!(verdict, Verdict::Drop);
         assert!(nids.alerts() >= 1);
         assert!(nids.conn(&flow).unwrap().alerts >= 1);
@@ -135,7 +136,10 @@ mod tests {
         let mut nids = Nids::new();
         let flow = FiveTuple::new(1, 2, 3, 4, 6);
         let benign = Packet::new(flow, vec![b'q'; 200]);
-        assert_eq!(nids.process(&benign, &mut CostTracker::new()), Verdict::Forward);
+        assert_eq!(
+            nids.process(benign.view(), &mut CostTracker::new()),
+            Verdict::Forward
+        );
         assert_eq!(nids.alerts(), 0);
         assert_eq!(nids.conn(&flow).unwrap().packets, 1);
     }
@@ -150,10 +154,10 @@ mod tests {
         let mut nids = Nids::new();
         let flow = FiveTuple::new(1, 2, 3, 4, 6);
         let mut benign_cost = CostTracker::new();
-        nids.process(&Packet::new(flow, vec![b'q'; 100]), &mut benign_cost);
+        nids.process(Packet::new(flow, vec![b'q'; 100]).view(), &mut benign_cost);
         let mut attack_cost = CostTracker::new();
         nids.process(
-            &Packet::new(flow, b"xxxx ' OR 1=1 -- qqqqqqqqqq".to_vec()),
+            Packet::new(flow, b"xxxx ' OR 1=1 -- qqqqqqqqqq".to_vec()).view(),
             &mut attack_cost,
         );
         assert!(attack_cost.cycles > benign_cost.cycles);

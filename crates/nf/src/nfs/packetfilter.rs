@@ -4,9 +4,9 @@
 
 use crate::cost::{CostTracker, PARSE_CYCLES};
 use crate::runtime::{NetworkFunction, Verdict};
-use crate::Packet;
 use yala_rxp::{l7_default_ruleset, Ruleset};
 use yala_sim::{ExecutionPattern, ResourceKind};
+use yala_traffic::PacketView;
 
 /// The PacketFilter NF.
 #[derive(Debug, Clone)]
@@ -19,7 +19,11 @@ pub struct PacketFilter {
 impl PacketFilter {
     /// Creates a filter with the default ruleset (any match ⇒ drop).
     pub fn new() -> Self {
-        Self { rules: l7_default_ruleset(), dropped: 0, passed: 0 }
+        Self {
+            rules: l7_default_ruleset(),
+            dropped: 0,
+            passed: 0,
+        }
     }
 
     /// Packets dropped so far.
@@ -48,10 +52,10 @@ impl NetworkFunction for PacketFilter {
         ExecutionPattern::Pipeline
     }
 
-    fn process(&mut self, pkt: &Packet, cost: &mut CostTracker) -> Verdict {
+    fn process(&mut self, pkt: PacketView<'_>, cost: &mut CostTracker) -> Verdict {
         cost.compute(PARSE_CYCLES);
         cost.read_lines(1.0);
-        let report = self.rules.scan(&pkt.payload);
+        let report = self.rules.scan(pkt.payload);
         cost.accel_request(
             ResourceKind::Regex,
             pkt.payload_len() as f64,
@@ -79,13 +83,14 @@ impl NetworkFunction for PacketFilter {
 mod tests {
     use super::*;
     use yala_traffic::FiveTuple;
+    use yala_traffic::Packet;
 
     #[test]
     fn drops_matching_payloads() {
         let mut pf = PacketFilter::new();
         let flow = FiveTuple::new(1, 2, 3, 4, 6);
         let v = pf.process(
-            &Packet::new(flow, b"qq SSH-2.0-OpenSSH_8.9 qq".to_vec()),
+            Packet::new(flow, b"qq SSH-2.0-OpenSSH_8.9 qq".to_vec()).view(),
             &mut CostTracker::new(),
         );
         assert_eq!(v, Verdict::Drop);
@@ -96,7 +101,10 @@ mod tests {
     fn passes_clean_payloads() {
         let mut pf = PacketFilter::new();
         let flow = FiveTuple::new(1, 2, 3, 4, 6);
-        let v = pf.process(&Packet::new(flow, vec![b'q'; 64]), &mut CostTracker::new());
+        let v = pf.process(
+            Packet::new(flow, vec![b'q'; 64]).view(),
+            &mut CostTracker::new(),
+        );
         assert_eq!(v, Verdict::Forward);
         assert_eq!(pf.passed(), 1);
     }

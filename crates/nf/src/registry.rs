@@ -3,10 +3,10 @@
 //! simulator [`WorkloadSpec`].
 
 use crate::nfs::{
-    Acl, Firewall, FlowClassifier, FlowMonitor, FlowStats, FlowTracker, IpCompGateway,
-    IpRouter, IpTunnel, Nat, Nids, PacketFilter,
+    Acl, Firewall, FlowClassifier, FlowMonitor, FlowStats, FlowTracker, IpCompGateway, IpRouter,
+    IpTunnel, Nat, Nids, PacketFilter,
 };
-use crate::runtime::{build_workload, NetworkFunction, DEFAULT_SAMPLE_PACKETS};
+use crate::runtime::{NetworkFunction, Profiler, DEFAULT_SAMPLE_PACKETS};
 use serde::{Deserialize, Serialize};
 use yala_sim::WorkloadSpec;
 use yala_traffic::TrafficProfile;
@@ -152,10 +152,22 @@ impl NfKind {
     }
 
     /// Profiles this NF under `profile` into a simulator workload
-    /// (builds, warms, replays packets, measures demand).
+    /// (builds, warms, streams batches, measures demand).
     pub fn workload(self, profile: TrafficProfile, seed: u64) -> WorkloadSpec {
+        self.workload_with(&mut Profiler::new(), profile, seed)
+    }
+
+    /// Like [`Self::workload`], but reuses a caller-held [`Profiler`] so
+    /// repeated profiling (the adaptive sweeps measure thousands of
+    /// traffic points) keeps its arena and cost buffers warm.
+    pub fn workload_with(
+        self,
+        profiler: &mut Profiler,
+        profile: TrafficProfile,
+        seed: u64,
+    ) -> WorkloadSpec {
         let mut nf = self.build();
-        build_workload(nf.as_mut(), profile, DEFAULT_SAMPLE_PACKETS, seed)
+        profiler.profile(nf.as_mut(), profile, DEFAULT_SAMPLE_PACKETS, seed)
     }
 }
 
@@ -207,8 +219,12 @@ mod tests {
 
     #[test]
     fn flow_sensitive_nfs_grow_wss_with_flows() {
-        for kind in [NfKind::FlowStats, NfKind::Nat, NfKind::FlowTracker, NfKind::FlowClassifier]
-        {
+        for kind in [
+            NfKind::FlowStats,
+            NfKind::Nat,
+            NfKind::FlowTracker,
+            NfKind::FlowClassifier,
+        ] {
             let small = kind.workload(TrafficProfile::new(2_000, 512, 0.0), 1);
             let large = kind.workload(TrafficProfile::new(64_000, 512, 0.0), 1);
             assert!(
@@ -238,11 +254,11 @@ mod tests {
             w.stages
                 .iter()
                 .find_map(|s| match s {
-                    yala_sim::StageDemand::Accelerator { kind, matches_per_req, .. }
-                        if *kind == ResourceKind::Regex =>
-                    {
-                        Some(*matches_per_req)
-                    }
+                    yala_sim::StageDemand::Accelerator {
+                        kind,
+                        matches_per_req,
+                        ..
+                    } if *kind == ResourceKind::Regex => Some(*matches_per_req),
                     _ => None,
                 })
                 .expect("flowmonitor has a regex stage")

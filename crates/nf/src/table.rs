@@ -46,7 +46,11 @@ impl<V> FlowTable<V> {
         let cap = capacity.max(8).next_power_of_two();
         let mut slots = Vec::with_capacity(cap);
         slots.resize_with(cap, || None);
-        Self { slots, len: 0, entry_bytes }
+        Self {
+            slots,
+            len: 0,
+            entry_bytes,
+        }
     }
 
     /// Number of live entries.

@@ -16,6 +16,7 @@
 //!   an oracle-checked first fit measures the same thing — how many NICs a
 //!   perfect predictor needs).
 
+use yala_core::engine::{scenario_seed, simulator_for, Engine};
 use yala_core::{Contender, YalaModel};
 use yala_nf::NfKind;
 use yala_sim::{CounterSample, NicSpec, Simulator, WorkloadSpec};
@@ -96,7 +97,10 @@ impl PlacementOutcome {
     /// reference` (can be negative for plans that over-pack and violate
     /// SLAs, as SLOMO does in the paper).
     pub fn wastage_vs(&self, reference_nics: usize) -> f64 {
-        assert!(reference_nics > 0, "reference plan must use at least one NIC");
+        assert!(
+            reference_nics > 0,
+            "reference plan must use at least one NIC"
+        );
         (self.nics.len() as f64 - reference_nics as f64) / reference_nics as f64
     }
 }
@@ -115,6 +119,30 @@ pub fn prepare(sim: &mut Simulator, arrival: Arrival, seed: u64) -> Placed {
         solo_tput: outcome.throughput_pps,
         counters: outcome.counters,
     }
+}
+
+/// Prepares a whole arrival sequence, one independent scenario per
+/// arrival, dispatched across `engine`'s worker pool. Arrival `i` is
+/// profiled (packet replay through the real NF) and solo-measured on a
+/// private simulator seeded `scenario_seed(base_seed, i)`; its workload
+/// seed is `base_seed + i`, matching the sequential convention. The
+/// returned sequence — and therefore every placement decision derived
+/// from it — is bit-identical whatever the engine's thread count.
+pub fn prepare_all(
+    spec: &NicSpec,
+    noise_sigma: f64,
+    arrivals: &[Arrival],
+    base_seed: u64,
+    engine: &Engine,
+) -> Vec<Placed> {
+    engine.run(arrivals.len(), |i| {
+        let mut sim = simulator_for(spec, noise_sigma, scenario_seed(base_seed, i));
+        prepare(
+            &mut sim,
+            arrivals[i].clone(),
+            base_seed.wrapping_add(i as u64),
+        )
+    })
 }
 
 /// Runs one online placement episode: arrivals are placed one by one.
@@ -144,9 +172,8 @@ pub fn place_sequence(
                 }
                 let mut candidate = nic.clone();
                 candidate.push(nf.clone());
-                (0..candidate.len()).all(|i| {
-                    pred.predict(i, &candidate) >= candidate[i].sla_floor()
-                })
+                (0..candidate.len())
+                    .all(|i| pred.predict(i, &candidate) >= candidate[i].sla_floor())
             }),
         };
         match slot {
@@ -157,8 +184,7 @@ pub fn place_sequence(
     // Ground-truth evaluation.
     let mut violations = 0usize;
     for nic in &nics {
-        let workloads: Vec<WorkloadSpec> =
-            nic.iter().map(|p| p.workload.clone()).collect();
+        let workloads: Vec<WorkloadSpec> = nic.iter().map(|p| p.workload.clone()).collect();
         let report = sim.co_run(&workloads);
         for (p, o) in nic.iter().zip(&report.outcomes) {
             if o.throughput_pps < p.sla_floor() {
@@ -166,7 +192,11 @@ pub fn place_sequence(
             }
         }
     }
-    PlacementOutcome { nics, violations, placed: arrivals.len() }
+    PlacementOutcome {
+        nics,
+        violations,
+        placed: arrivals.len(),
+    }
 }
 
 fn fits(nic: &[Placed], nf: &Placed, max_cores: u32) -> bool {
@@ -185,7 +215,12 @@ impl<'a> YalaPredictor<'a> {
     }
 
     fn model(&self, kind: NfKind) -> &YalaModel {
-        &self.models.iter().find(|(k, _)| *k == kind).expect("model trained").1
+        &self
+            .models
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .expect("model trained")
+            .1
     }
 }
 
@@ -201,7 +236,8 @@ impl PlacementPredictor for YalaPredictor<'_> {
                     .as_contender(p.counters, p.arrival.traffic.mtbr)
             })
             .collect();
-        self.model(t.arrival.kind).predict(t.solo_tput, &t.arrival.traffic, &contenders)
+        self.model(t.arrival.kind)
+            .predict(t.solo_tput, &t.arrival.traffic, &contenders)
     }
 }
 
@@ -227,8 +263,12 @@ impl PlacementPredictor for SlomoPredictor<'_> {
                 .filter(|(i, _)| *i != target)
                 .map(|(_, p)| &p.counters),
         );
-        let model =
-            &self.models.iter().find(|(k, _)| *k == t.arrival.kind).expect("model trained").1;
+        let model = &self
+            .models
+            .iter()
+            .find(|(k, _)| *k == t.arrival.kind)
+            .expect("model trained")
+            .1;
         model.predict_extrapolated(&agg, t.solo_tput)
     }
 }
@@ -241,14 +281,15 @@ pub struct OraclePredictor {
 impl OraclePredictor {
     /// Builds an oracle around a fresh simulator for the given NIC.
     pub fn new(spec: NicSpec) -> Self {
-        Self { sim: Simulator::new(spec) }
+        Self {
+            sim: Simulator::new(spec),
+        }
     }
 }
 
 impl PlacementPredictor for OraclePredictor {
     fn predict(&mut self, target: usize, residents: &[Placed]) -> f64 {
-        let workloads: Vec<WorkloadSpec> =
-            residents.iter().map(|p| p.workload.clone()).collect();
+        let workloads: Vec<WorkloadSpec> = residents.iter().map(|p| p.workload.clone()).collect();
         self.sim.co_run(&workloads).outcomes[target].throughput_pps
     }
 }
@@ -264,7 +305,12 @@ mod tests {
     }
 
     fn arrivals(sim: &mut Simulator, n: usize) -> Vec<Placed> {
-        let kinds = [NfKind::FlowStats, NfKind::Acl, NfKind::IpRouter, NfKind::Nat];
+        let kinds = [
+            NfKind::FlowStats,
+            NfKind::Acl,
+            NfKind::IpRouter,
+            NfKind::Nat,
+        ];
         let mut rng = StdRng::seed_from_u64(3);
         (0..n)
             .map(|i| {
@@ -310,9 +356,40 @@ mod tests {
 
     #[test]
     fn wastage_accounting() {
-        let out = PlacementOutcome { nics: vec![vec![], vec![], vec![]], violations: 1, placed: 10 };
+        let out = PlacementOutcome {
+            nics: vec![vec![], vec![], vec![]],
+            violations: 1,
+            placed: 10,
+        };
         assert!((out.wastage_vs(2) - 0.5).abs() < 1e-12);
         assert!((out.violation_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prepare_all_parallel_matches_sequential_loop() {
+        let spec = NicSpec::bluefield2();
+        let kinds = [NfKind::FlowStats, NfKind::Acl, NfKind::Nat];
+        let arrivals: Vec<Arrival> = (0..6)
+            .map(|i| Arrival {
+                kind: kinds[i % kinds.len()],
+                traffic: TrafficProfile::new(4_000 + 1_000 * i as u32, 512, 0.0),
+                sla_drop: 0.1,
+            })
+            .collect();
+        let par = prepare_all(&spec, 0.0, &arrivals, 40, &Engine::with_threads(4));
+        let seq = prepare_all(&spec, 0.0, &arrivals, 40, &Engine::sequential());
+        assert_eq!(par.len(), 6);
+        for (p, s) in par.iter().zip(&seq) {
+            assert_eq!(p.workload, s.workload);
+            assert_eq!(p.solo_tput, s.solo_tput);
+            assert_eq!(p.counters, s.counters);
+        }
+        // ...and the placement decisions derived from them are identical.
+        let mut sim = sim();
+        let g1 = place_sequence(&mut sim, &par, Strategy::Greedy);
+        let g2 = place_sequence(&mut sim, &seq, Strategy::Greedy);
+        assert_eq!(g1.nics.len(), g2.nics.len());
+        assert_eq!(g1.violations, g2.violations);
     }
 
     #[test]

@@ -28,7 +28,9 @@ impl ClassSet {
     /// The set of all 256 byte values (regex `.` in DOTALL mode; payload
     /// scanning treats `.` as any byte, as hardware scan engines do).
     pub fn any() -> Self {
-        Self { bits: [u64::MAX; 4] }
+        Self {
+            bits: [u64::MAX; 4],
+        }
     }
 
     /// A single byte.

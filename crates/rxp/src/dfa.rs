@@ -70,11 +70,11 @@ impl ScanDfa {
         let mut worklist: Vec<u32> = Vec::new();
 
         let intern = |subset: Vec<usize>,
-                          subsets: &mut Vec<Vec<usize>>,
-                          trans: &mut Vec<u32>,
-                          accept_at_eof: &mut Vec<bool>,
-                          worklist: &mut Vec<u32>,
-                          subset_ids: &mut HashMap<Vec<usize>, u32>|
+                      subsets: &mut Vec<Vec<usize>>,
+                      trans: &mut Vec<u32>,
+                      accept_at_eof: &mut Vec<bool>,
+                      worklist: &mut Vec<u32>,
+                      subset_ids: &mut HashMap<Vec<usize>, u32>|
          -> Result<u32, DfaTooComplexError> {
             if subset.is_empty() {
                 return Ok(DEAD);
@@ -92,7 +92,7 @@ impl ScanDfa {
             subset_ids.insert(subset.clone(), id);
             accept_at_eof.push(subset.contains(&nfa.accept));
             subsets.push(subset);
-            trans.extend(std::iter::repeat(DEAD).take(n_classes));
+            trans.extend(std::iter::repeat_n(DEAD, n_classes));
             worklist.push(id);
             Ok(id)
         };
@@ -105,7 +105,10 @@ impl ScanDfa {
             &mut worklist,
             &mut subset_ids,
         )?;
-        debug_assert!(start != MATCH, "empty-matching patterns are rejected earlier");
+        debug_assert!(
+            start != MATCH,
+            "empty-matching patterns are rejected earlier"
+        );
 
         while let Some(id) = worklist.pop() {
             let subset = subsets[id as usize].clone();
@@ -137,7 +140,15 @@ impl ScanDfa {
             }
         }
 
-        Ok(Self { class_of, n_classes, trans, start, accept_at_eof, anchored_start, anchored_end })
+        Ok(Self {
+            class_of,
+            n_classes,
+            trans,
+            start,
+            accept_at_eof,
+            anchored_start,
+            anchored_end,
+        })
     }
 
     /// Counts non-overlapping, leftmost-shortest matches in `haystack` in a
@@ -215,8 +226,11 @@ impl ScanDfa {
 /// class count, representative byte per class)`.
 fn byte_classes(nfa: &Nfa) -> (Vec<u16>, usize, Vec<u8>) {
     // Signature of a byte: the set of transition-classes containing it.
-    let all_classes: Vec<&ClassSet> =
-        nfa.states.iter().flat_map(|s| s.on_byte.iter().map(|(c, _)| c)).collect();
+    let all_classes: Vec<&ClassSet> = nfa
+        .states
+        .iter()
+        .flat_map(|s| s.on_byte.iter().map(|(c, _)| c))
+        .collect();
     let mut sig_ids: HashMap<Vec<bool>, u16> = HashMap::new();
     let mut class_of = vec![0u16; 256];
     let mut reps: Vec<u8> = Vec::new();

@@ -31,7 +31,11 @@ impl Nfa {
         let start = b.push();
         let accept = b.push();
         b.compile(ast, start, accept);
-        Nfa { states: b.states, start, accept }
+        Nfa {
+            states: b.states,
+            start,
+            accept,
+        }
     }
 
     /// Epsilon-closure of a set of states, returned as a sorted, deduped
@@ -95,7 +99,11 @@ impl Builder {
             Ast::Concat(items) => {
                 let mut cur = from;
                 for (i, item) in items.iter().enumerate() {
-                    let next = if i + 1 == items.len() { to } else { self.push() };
+                    let next = if i + 1 == items.len() {
+                        to
+                    } else {
+                        self.push()
+                    };
                     self.compile(item, cur, next);
                     cur = next;
                 }

@@ -31,7 +31,11 @@ pub enum Ast {
     /// Matches any one alternative.
     Alt(Vec<Ast>),
     /// Matches `node` between `min` and `max` times (`None` = unbounded).
-    Repeat { node: Box<Ast>, min: u32, max: Option<u32> },
+    Repeat {
+        node: Box<Ast>,
+        min: u32,
+        max: Option<u32>,
+    },
 }
 
 /// A parsed pattern: the AST plus anchor/case flags.
@@ -87,12 +91,21 @@ pub fn parse(pattern: &str) -> Result<Parsed, ParseRegexError> {
     if anchored_end {
         end -= 1;
     }
-    let mut p = Parser { bytes: &bytes[..end], pos, case_insensitive };
+    let mut p = Parser {
+        bytes: &bytes[..end],
+        pos,
+        case_insensitive,
+    };
     let ast = p.alternation()?;
     if p.pos != p.bytes.len() {
         return Err(p.err("unexpected trailing characters (unbalanced ')'?)"));
     }
-    Ok(Parsed { ast, anchored_start, anchored_end, case_insensitive })
+    Ok(Parsed {
+        ast,
+        anchored_start,
+        anchored_end,
+        case_insensitive,
+    })
 }
 
 fn is_escaped(bytes: &[u8], idx: usize) -> bool {
@@ -113,7 +126,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: &str) -> ParseRegexError {
-        ParseRegexError { at: self.pos, message: message.to_string() }
+        ParseRegexError {
+            at: self.pos,
+            message: message.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -132,7 +148,11 @@ impl<'a> Parser<'a> {
             self.bump();
             alts.push(self.concat()?);
         }
-        Ok(if alts.len() == 1 { alts.pop().expect("nonempty") } else { Ast::Alt(alts) })
+        Ok(if alts.len() == 1 {
+            alts.pop().expect("nonempty")
+        } else {
+            Ast::Alt(alts)
+        })
     }
 
     fn concat(&mut self) -> Result<Ast, ParseRegexError> {
@@ -152,7 +172,9 @@ impl<'a> Parser<'a> {
 
     fn repeat(&mut self) -> Result<Ast, ParseRegexError> {
         let atom = self.atom()?;
-        let Some(b) = self.peek() else { return Ok(atom) };
+        let Some(b) = self.peek() else {
+            return Ok(atom);
+        };
         let (min, max) = match b {
             b'*' => {
                 self.bump();
@@ -189,7 +211,11 @@ impl<'a> Parser<'a> {
         } else if min > MAX_REPEAT {
             return Err(self.err("repetition bound too large"));
         }
-        Ok(Ast::Repeat { node: Box::new(atom), min, max })
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+        })
     }
 
     /// Parses `{n}`, `{n,}` or `{n,m}` after the opening brace. Returns
@@ -231,11 +257,16 @@ impl<'a> Parser<'a> {
         if self.pos == start {
             return None;
         }
-        std::str::from_utf8(&self.bytes[start..self.pos]).ok()?.parse().ok()
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
     }
 
     fn atom(&mut self) -> Result<Ast, ParseRegexError> {
-        let Some(b) = self.peek() else { return Err(self.err("expected atom")) };
+        let Some(b) = self.peek() else {
+            return Err(self.err("expected atom"));
+        };
         match b {
             b'(' => {
                 self.bump();
@@ -279,7 +310,9 @@ impl<'a> Parser<'a> {
     }
 
     fn escape(&mut self) -> Result<ClassSet, ParseRegexError> {
-        let Some(b) = self.bump() else { return Err(self.err("dangling backslash")) };
+        let Some(b) = self.bump() else {
+            return Err(self.err("dangling backslash"));
+        };
         if let Some(cls) = predefined(b) {
             return Ok(cls);
         }
@@ -299,7 +332,9 @@ impl<'a> Parser<'a> {
     }
 
     fn hex_digit(&mut self) -> Result<u8, ParseRegexError> {
-        let Some(b) = self.bump() else { return Err(self.err("truncated \\x escape")) };
+        let Some(b) = self.bump() else {
+            return Err(self.err("truncated \\x escape"));
+        };
         match b {
             b'0'..=b'9' => Ok(b - b'0'),
             b'a'..=b'f' => Ok(b - b'a' + 10),
@@ -318,7 +353,9 @@ impl<'a> Parser<'a> {
         let mut set = ClassSet::empty();
         let mut first = true;
         loop {
-            let Some(b) = self.peek() else { return Err(self.err("unterminated class")) };
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated class"));
+            };
             if b == b']' && !first {
                 self.bump();
                 break;
@@ -396,12 +433,54 @@ mod tests {
 
     #[test]
     fn quantifiers() {
-        assert!(matches!(p("a*").ast, Ast::Repeat { min: 0, max: None, .. }));
-        assert!(matches!(p("a+").ast, Ast::Repeat { min: 1, max: None, .. }));
-        assert!(matches!(p("a?").ast, Ast::Repeat { min: 0, max: Some(1), .. }));
-        assert!(matches!(p("a{3}").ast, Ast::Repeat { min: 3, max: Some(3), .. }));
-        assert!(matches!(p("a{2,}").ast, Ast::Repeat { min: 2, max: None, .. }));
-        assert!(matches!(p("a{2,5}").ast, Ast::Repeat { min: 2, max: Some(5), .. }));
+        assert!(matches!(
+            p("a*").ast,
+            Ast::Repeat {
+                min: 0,
+                max: None,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p("a+").ast,
+            Ast::Repeat {
+                min: 1,
+                max: None,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p("a?").ast,
+            Ast::Repeat {
+                min: 0,
+                max: Some(1),
+                ..
+            }
+        ));
+        assert!(matches!(
+            p("a{3}").ast,
+            Ast::Repeat {
+                min: 3,
+                max: Some(3),
+                ..
+            }
+        ));
+        assert!(matches!(
+            p("a{2,}").ast,
+            Ast::Repeat {
+                min: 2,
+                max: None,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p("a{2,5}").ast,
+            Ast::Repeat {
+                min: 2,
+                max: Some(5),
+                ..
+            }
+        ));
     }
 
     #[test]

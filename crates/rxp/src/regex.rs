@@ -70,7 +70,10 @@ impl Regex {
             return Err(CompileRegexError::MatchesEmpty);
         }
         let dfa = ScanDfa::build(&nfa, parsed.anchored_start, parsed.anchored_end)?;
-        Ok(Self { pattern: pattern.to_string(), dfa })
+        Ok(Self {
+            pattern: pattern.to_string(),
+            dfa,
+        })
     }
 
     /// Counts non-overlapping, leftmost-shortest matches in `haystack`.
@@ -108,13 +111,22 @@ mod tests {
 
     #[test]
     fn empty_matching_rejected() {
-        assert!(matches!(Regex::compile("a*"), Err(CompileRegexError::MatchesEmpty)));
-        assert!(matches!(Regex::compile("x|"), Err(CompileRegexError::MatchesEmpty)));
+        assert!(matches!(
+            Regex::compile("a*"),
+            Err(CompileRegexError::MatchesEmpty)
+        ));
+        assert!(matches!(
+            Regex::compile("x|"),
+            Err(CompileRegexError::MatchesEmpty)
+        ));
     }
 
     #[test]
     fn parse_errors_propagate() {
-        assert!(matches!(Regex::compile("(ab"), Err(CompileRegexError::Parse(_))));
+        assert!(matches!(
+            Regex::compile("(ab"),
+            Err(CompileRegexError::Parse(_))
+        ));
     }
 
     #[test]

@@ -65,19 +65,28 @@ impl Ruleset {
     {
         let mut rules = Vec::new();
         for (name, pattern) in patterns {
-            let regex =
-                Regex::compile(pattern).map_err(|e| (name.to_string(), e))?;
-            rules.push(Rule { name: name.to_string(), regex });
+            let regex = Regex::compile(pattern).map_err(|e| (name.to_string(), e))?;
+            rules.push(Rule {
+                name: name.to_string(),
+                regex,
+            });
         }
         Ok(Self { rules })
     }
 
     /// Scans `payload` against every rule, counting matches.
     pub fn scan(&self, payload: &[u8]) -> ScanReport {
-        let per_rule: Vec<usize> =
-            self.rules.iter().map(|r| r.regex.count_matches(payload)).collect();
+        let per_rule: Vec<usize> = self
+            .rules
+            .iter()
+            .map(|r| r.regex.count_matches(payload))
+            .collect();
         let total_matches = per_rule.iter().sum();
-        ScanReport { per_rule, total_matches, bytes_scanned: payload.len() }
+        ScanReport {
+            per_rule,
+            total_matches,
+            bytes_scanned: payload.len(),
+        }
     }
 
     /// The rules in order.
@@ -130,7 +139,10 @@ pub fn match_seeds() -> Vec<(&'static str, &'static [u8])> {
 pub fn l7_default_ruleset() -> Ruleset {
     Ruleset::compile(vec![
         // Protocol signatures (L7-filter style).
-        ("http", r"(?i)(get|post|head|put|delete) /[!-~]* http/1\.[01]"),
+        (
+            "http",
+            r"(?i)(get|post|head|put|delete) /[!-~]* http/1\.[01]",
+        ),
         ("ssh", r"(?i)ssh-[12]\.[0-9]"),
         ("smtp", r"(?i)220 [!-~]+ e?smtp"),
         ("ftp", r"(?i)2(20|30) [ -~]*(ftp|login)"),
@@ -163,9 +175,11 @@ mod tests {
         let rs = l7_default_ruleset();
         for (name, seed) in match_seeds() {
             let report = rs.scan(seed);
-            let idx = rs.rules().iter().position(|r| r.name == name).unwrap_or_else(|| {
-                panic!("seed references unknown rule {name}")
-            });
+            let idx = rs
+                .rules()
+                .iter()
+                .position(|r| r.name == name)
+                .unwrap_or_else(|| panic!("seed references unknown rule {name}"));
             assert_eq!(
                 report.per_rule[idx], 1,
                 "seed for {name} should match once, got {report:?}"
@@ -201,14 +215,25 @@ mod tests {
             })
             .collect();
         let report = rs.scan(&payload);
-        assert_eq!(report.total_matches, 0, "noise should not match: {report:?}");
+        assert_eq!(
+            report.total_matches, 0,
+            "noise should not match: {report:?}"
+        );
     }
 
     #[test]
     fn mtbr_computation() {
-        let report = ScanReport { per_rule: vec![2, 1], total_matches: 3, bytes_scanned: 1500 };
+        let report = ScanReport {
+            per_rule: vec![2, 1],
+            total_matches: 3,
+            bytes_scanned: 1500,
+        };
         assert!((report.mtbr_per_mb() - 2000.0).abs() < 1e-9);
-        let empty = ScanReport { per_rule: vec![], total_matches: 0, bytes_scanned: 0 };
+        let empty = ScanReport {
+            per_rule: vec![],
+            total_matches: 0,
+            bytes_scanned: 0,
+        };
         assert_eq!(empty.mtbr_per_mb(), 0.0);
     }
 

@@ -57,13 +57,20 @@ pub struct AccelState {
 /// Panics if any input has zero queues or non-positive service time.
 pub fn solve(inputs: &[AccelInput]) -> AccelState {
     for w in inputs {
-        assert!(w.queues > 0, "accelerator user must open at least one queue");
+        assert!(
+            w.queues > 0,
+            "accelerator user must open at least one queue"
+        );
         assert!(w.service_s > 0.0, "service time must be positive");
         assert!(w.offered_rps >= 0.0, "offered rate cannot be negative");
     }
     let grants = grant_rates(inputs, None);
-    let utilization: f64 =
-        inputs.iter().zip(&grants).map(|(w, &g)| g * w.service_s).sum::<f64>().min(1.0);
+    let utilization: f64 = inputs
+        .iter()
+        .zip(&grants)
+        .map(|(w, &g)| g * w.service_s)
+        .sum::<f64>()
+        .min(1.0);
 
     let outcomes = (0..inputs.len())
         .map(|i| {
@@ -75,11 +82,18 @@ pub fn solve(inputs: &[AccelInput]) -> AccelState {
             // capacity is one round interval (floor: its own service).
             let per_queue = capacity_rps / inputs[i].queues as f64;
             let sojourn_s = (1.0 / per_queue).max(inputs[i].service_s);
-            AccelOutcome { granted_rps: grants[i], capacity_rps, sojourn_s }
+            AccelOutcome {
+                granted_rps: grants[i],
+                capacity_rps,
+                sojourn_s,
+            }
         })
         .collect();
 
-    AccelState { outcomes, utilization }
+    AccelState {
+        outcomes,
+        utilization,
+    }
 }
 
 /// Computes granted request rates under fluid round-robin. When
@@ -145,7 +159,11 @@ mod tests {
     use super::*;
 
     fn user(queues: u32, service_s: f64, offered: f64) -> AccelInput {
-        AccelInput { queues, service_s, offered_rps: offered }
+        AccelInput {
+            queues,
+            service_s,
+            offered_rps: offered,
+        }
     }
 
     #[test]
@@ -196,7 +214,12 @@ mod tests {
         }
         // Equilibrium: both backlogged -> each gets half.
         let eq = 0.5 / t_service;
-        assert!((caps[11] - eq).abs() < eq * 0.01, "cap {} vs eq {}", caps[11], eq);
+        assert!(
+            (caps[11] - eq).abs() < eq * 0.01,
+            "cap {} vs eq {}",
+            caps[11],
+            eq
+        );
         // The early decline is steeper than the late (flattening).
         let early = caps[0] - caps[3];
         let late = caps[8] - caps[11];

@@ -44,7 +44,9 @@ impl CounterSample {
     /// The 7-dimensional feature vector used by SLOMO-style models, in
     /// Table 11 order.
     pub fn as_features(&self) -> [f64; 7] {
-        [self.ipc, self.irt, self.l2crd, self.l2cwr, self.memrd, self.memwr, self.wss]
+        [
+            self.ipc, self.irt, self.l2crd, self.l2cwr, self.memrd, self.memwr, self.wss,
+        ]
     }
 
     /// Element-wise sum — used to aggregate the contentiousness of a set of
@@ -71,7 +73,11 @@ mod tests {
 
     #[test]
     fn car_is_read_plus_write() {
-        let c = CounterSample { l2crd: 3.0, l2cwr: 4.0, ..Default::default() };
+        let c = CounterSample {
+            l2crd: 3.0,
+            l2cwr: 4.0,
+            ..Default::default()
+        };
         assert_eq!(c.car(), 7.0);
     }
 
@@ -91,8 +97,16 @@ mod tests {
 
     #[test]
     fn aggregate_sums() {
-        let a = CounterSample { ipc: 1.0, wss: 10.0, ..Default::default() };
-        let b = CounterSample { ipc: 0.5, wss: 20.0, ..Default::default() };
+        let a = CounterSample {
+            ipc: 1.0,
+            wss: 10.0,
+            ..Default::default()
+        };
+        let b = CounterSample {
+            ipc: 0.5,
+            wss: 20.0,
+            ..Default::default()
+        };
         let s = CounterSample::aggregate([&a, &b]);
         assert_eq!(s.ipc, 1.5);
         assert_eq!(s.wss, 30.0);

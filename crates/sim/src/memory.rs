@@ -116,18 +116,17 @@ pub fn solve(spec: &NicSpec, inputs: &[MemInput]) -> MemState {
         })
         .collect();
 
-    MemState { outcomes, dram_utilization: util, dram_queue_factor: queue_factor }
+    MemState {
+        outcomes,
+        dram_utilization: util,
+        dram_queue_factor: queue_factor,
+    }
 }
 
 /// Allocates `capacity` bytes among workloads by pressure weight
 /// `w_i = D_i * refs_i^alpha`, capping each at its demand `D_i` and
 /// redistributing the excess until stable.
-fn pressure_allocate(
-    capacity: f64,
-    demands: &[f64],
-    inputs: &[MemInput],
-    alpha: f64,
-) -> Vec<f64> {
+fn pressure_allocate(capacity: f64, demands: &[f64], inputs: &[MemInput], alpha: f64) -> Vec<f64> {
     let n = demands.len();
     let mut alloc = vec![0.0f64; n];
     let mut open: Vec<usize> = (0..n).filter(|&i| demands[i] > 0.0).collect();
@@ -146,8 +145,7 @@ fn pressure_allocate(
             break;
         }
         let mut any_capped = false;
-        let shares: Vec<f64> =
-            weights.iter().map(|w| remaining * w / total_w).collect();
+        let shares: Vec<f64> = weights.iter().map(|w| remaining * w / total_w).collect();
         let mut next_open = Vec::with_capacity(open.len());
         for (k, &i) in open.iter().enumerate() {
             if shares[k] >= demands[i] {
@@ -186,7 +184,11 @@ mod tests {
     }
 
     fn input(refs: f64, wss: f64) -> MemInput {
-        MemInput { refs_per_s: refs, wss_bytes: wss, write_frac: 0.3 }
+        MemInput {
+            refs_per_s: refs,
+            wss_bytes: wss,
+            write_frac: 0.3,
+        }
     }
 
     #[test]
@@ -209,9 +211,7 @@ mod tests {
             assert!(o.occupancy_bytes < 5e6);
         }
         // Symmetric inputs -> symmetric outcomes.
-        assert!(
-            (st.outcomes[0].miss_ratio - st.outcomes[1].miss_ratio).abs() < 1e-9
-        );
+        assert!((st.outcomes[0].miss_ratio - st.outcomes[1].miss_ratio).abs() < 1e-9);
     }
 
     #[test]
@@ -289,7 +289,12 @@ mod tests {
         let s = spec();
         let st = solve(
             &s,
-            &[input(1e8, 4e6), input(2e8, 5e6), input(5e7, 3e6), input(9e7, 7e6)],
+            &[
+                input(1e8, 4e6),
+                input(2e8, 5e6),
+                input(5e7, 3e6),
+                input(9e7, 7e6),
+            ],
         );
         let total: f64 = st.outcomes.iter().map(|o| o.occupancy_bytes).sum();
         assert!(total <= s.llc_bytes * 1.0 + 1.0);

@@ -112,14 +112,22 @@ pub struct Simulator {
 impl Simulator {
     /// Noise-free simulator (exact fixed-point outputs).
     pub fn new(spec: NicSpec) -> Self {
-        Self { spec, noise_sigma: 0.0, rng: StdRng::seed_from_u64(0) }
+        Self {
+            spec,
+            noise_sigma: 0.0,
+            rng: StdRng::seed_from_u64(0),
+        }
     }
 
     /// Simulator with multiplicative Gaussian measurement noise of relative
     /// standard deviation `sigma` applied to throughputs and counters.
     pub fn with_noise(spec: NicSpec, sigma: f64, seed: u64) -> Self {
         assert!((0.0..0.3).contains(&sigma), "noise sigma out of sane range");
-        Self { spec, noise_sigma: sigma, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            spec,
+            noise_sigma: sigma,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The NIC spec in use.
@@ -150,18 +158,20 @@ impl Simulator {
             };
         }
         // Initial iterate: uncontended throughput estimates.
-        let mut tput: Vec<f64> =
-            workloads.iter().map(|w| self.uncontended_estimate(w)).collect();
+        let mut tput: Vec<f64> = workloads
+            .iter()
+            .map(|w| self.uncontended_estimate(w))
+            .collect();
 
         let mut equil = self.evaluate(workloads, &tput);
         for _ in 0..MAX_ITERS {
             let mut max_delta = 0.0f64;
-            for i in 0..n {
-                let new = equil.tput[i].max(MIN_PPS);
-                let old = tput[i];
+            for (slot, new) in tput.iter_mut().zip(&equil.tput) {
+                let new = new.max(MIN_PPS);
+                let old = *slot;
                 let next = old * (1.0 - DAMPING) + new * DAMPING;
                 max_delta = max_delta.max((next - old).abs() / old.max(MIN_PPS));
-                tput[i] = next;
+                *slot = next;
             }
             equil = self.evaluate(workloads, &tput);
             if max_delta < TOL {
@@ -198,7 +208,11 @@ impl Simulator {
         let mut names = std::collections::HashSet::new();
         let mut total_cores = 0u32;
         for w in workloads {
-            assert!(names.insert(w.name.as_str()), "duplicate workload name {}", w.name);
+            assert!(
+                names.insert(w.name.as_str()),
+                "duplicate workload name {}",
+                w.name
+            );
             total_cores += w.cores;
             for s in &w.stages {
                 if let StageDemand::Accelerator { kind, .. } = s {
@@ -225,12 +239,23 @@ impl Simulator {
         let mut accel_time = 0.0f64;
         for s in &w.stages {
             match s {
-                StageDemand::CpuMem { cycles_per_pkt, cache_refs_per_pkt, .. } => {
+                StageDemand::CpuMem {
+                    cycles_per_pkt,
+                    cache_refs_per_pkt,
+                    ..
+                } => {
                     cpu_time += cycles_per_pkt / self.spec.freq_hz + cache_refs_per_pkt * stall;
                 }
-                StageDemand::Accelerator { kind, reqs_per_pkt, bytes_per_req, matches_per_req, .. } => {
+                StageDemand::Accelerator {
+                    kind,
+                    reqs_per_pkt,
+                    bytes_per_req,
+                    matches_per_req,
+                    ..
+                } => {
                     let spec = self.spec.accel(*kind).expect("validated");
-                    accel_time += reqs_per_pkt * spec.service_time(*bytes_per_req, *matches_per_req);
+                    accel_time +=
+                        reqs_per_pkt * spec.service_time(*bytes_per_req, *matches_per_req);
                 }
             }
         }
@@ -325,7 +350,13 @@ impl Simulator {
             bottleneck.push(bn);
         }
 
-        Equilibrium { tput: new_tput, mem, accel_utilization, resource_times, bottleneck }
+        Equilibrium {
+            tput: new_tput,
+            mem,
+            accel_utilization,
+            resource_times,
+            bottleneck,
+        }
     }
 
     /// Pattern-based composition of stage times into end-to-end throughput.
@@ -342,11 +373,17 @@ impl Simulator {
         let mut accel_caps: Vec<(ResourceKind, f64)> = Vec::new();
         for s in &w.stages {
             match s {
-                StageDemand::CpuMem { cycles_per_pkt, cache_refs_per_pkt, .. } => {
+                StageDemand::CpuMem {
+                    cycles_per_pkt,
+                    cache_refs_per_pkt,
+                    ..
+                } => {
                     let t = cycles_per_pkt / self.spec.freq_hz + cache_refs_per_pkt * stall_per_ref;
                     stage_time.push((ResourceKind::CpuMem, t));
                 }
-                StageDemand::Accelerator { kind, reqs_per_pkt, .. } => {
+                StageDemand::Accelerator {
+                    kind, reqs_per_pkt, ..
+                } => {
                     let o = accel_outcome(*kind);
                     stage_time.push((*kind, reqs_per_pkt * o.sojourn_s));
                     accel_caps.push((*kind, o.capacity_rps / reqs_per_pkt.max(1e-12)));
@@ -528,7 +565,11 @@ mod tests {
         let mut sim = Simulator::new(NicSpec::bluefield2());
         let o = sim.solo(&cpu_nf("a", 2_000.0, 40.0, 1e6));
         // 2 cores / (0.8us + 40 * ~6ns) ≈ 1.9 Mpps.
-        assert!(o.throughput_pps > 1.0e6 && o.throughput_pps < 3.0e6, "{}", o.throughput_pps);
+        assert!(
+            o.throughput_pps > 1.0e6 && o.throughput_pps < 3.0e6,
+            "{}",
+            o.throughput_pps
+        );
         assert_eq!(o.bottleneck, ResourceKind::CpuMem);
     }
 
@@ -551,7 +592,10 @@ mod tests {
         for car in [2e7, 6e7, 1.2e8, 2.0e8, 3.0e8] {
             let report = sim.co_run(&[cpu_nf("a", 2_000.0, 40.0, 4e6), mem_bench(car, 8e6)]);
             let t = report.outcome("a").throughput_pps;
-            assert!(t <= last * 1.001, "tput must fall as CAR rises: {t} after {last}");
+            assert!(
+                t <= last * 1.001,
+                "tput must fall as CAR rises: {t} after {last}"
+            );
             last = t;
         }
     }
@@ -564,8 +608,10 @@ mod tests {
         let a = regex_nf("a", ExecutionPattern::Pipeline, 1.0);
         let b = regex_nf("b", ExecutionPattern::Pipeline, 1.0);
         let report = sim.co_run(&[a, b]);
-        let (ta, tb) =
-            (report.outcome("a").throughput_pps, report.outcome("b").throughput_pps);
+        let (ta, tb) = (
+            report.outcome("a").throughput_pps,
+            report.outcome("b").throughput_pps,
+        );
         assert!((ta - tb).abs() / ta < 0.01, "{ta} vs {tb}");
     }
 
@@ -620,7 +666,10 @@ mod tests {
             r.outcome("p").throughput_pps
         };
         let drop = (t_low_mem - t_high_mem) / t_low_mem;
-        assert!(drop < 0.05, "pipeline regex-bound NF dropped {drop} with memory contention");
+        assert!(
+            drop < 0.05,
+            "pipeline regex-bound NF dropped {drop} with memory contention"
+        );
     }
 
     #[test]
@@ -643,15 +692,22 @@ mod tests {
         let nf = || {
             let mut w = regex_nf("r", ExecutionPattern::RunToCompletion, 1.0);
             // More memory-heavy so the memory share is visible.
-            if let StageDemand::CpuMem { cache_refs_per_pkt, wss_bytes, .. } = &mut w.stages[0] {
+            if let StageDemand::CpuMem {
+                cache_refs_per_pkt,
+                wss_bytes,
+                ..
+            } = &mut w.stages[0]
+            {
                 *cache_refs_per_pkt = 80.0;
                 *wss_bytes = 4e6;
             }
             w
         };
         let base = sim.co_run(&[nf(), hog.clone()]).outcome("r").throughput_pps;
-        let with_mem =
-            sim.co_run(&[nf(), hog, mem_bench(1.5e8, 8e6)]).outcome("r").throughput_pps;
+        let with_mem = sim
+            .co_run(&[nf(), hog, mem_bench(1.5e8, 8e6)])
+            .outcome("r")
+            .throughput_pps;
         assert!(
             with_mem < base * 0.95,
             "RTC should drop further with memory contention: {with_mem} vs {base}"
@@ -693,9 +749,15 @@ mod tests {
         let solo = sim.solo(&cpu_nf("a", 2_000.0, 40.0, 4e6));
         let report = sim.co_run(&[cpu_nf("a", 2_000.0, 40.0, 4e6), mem_bench(2.5e8, 8e6)]);
         let contended = report.outcome("a");
-        assert!(contended.counters.ipc < solo.counters.ipc, "IPC falls under contention");
+        assert!(
+            contended.counters.ipc < solo.counters.ipc,
+            "IPC falls under contention"
+        );
         assert!(contended.miss_ratio > solo.miss_ratio, "miss ratio rises");
-        assert!(contended.counters.car() < solo.counters.car(), "CAR falls with tput");
+        assert!(
+            contended.counters.car() < solo.counters.car(),
+            "CAR falls with tput"
+        );
         assert_eq!(contended.counters.wss, 4e6);
     }
 
@@ -724,8 +786,9 @@ mod tests {
     #[should_panic(expected = "cores")]
     fn over_allocating_cores_panics() {
         let mut sim = Simulator::new(NicSpec::bluefield2());
-        let ws: Vec<WorkloadSpec> =
-            (0..5).map(|i| cpu_nf(&format!("w{i}"), 1000.0, 10.0, 1e5)).collect();
+        let ws: Vec<WorkloadSpec> = (0..5)
+            .map(|i| cpu_nf(&format!("w{i}"), 1000.0, 10.0, 1e5))
+            .collect();
         sim.co_run(&ws); // 5 * 2 = 10 > 8 cores
     }
 

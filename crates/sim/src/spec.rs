@@ -23,8 +23,11 @@ pub enum ResourceKind {
 
 impl ResourceKind {
     /// All accelerator kinds (everything except `CpuMem`).
-    pub const ACCELERATORS: [ResourceKind; 3] =
-        [ResourceKind::Regex, ResourceKind::Compression, ResourceKind::Crypto];
+    pub const ACCELERATORS: [ResourceKind; 3] = [
+        ResourceKind::Regex,
+        ResourceKind::Compression,
+        ResourceKind::Crypto,
+    ];
 }
 
 impl std::fmt::Display for ResourceKind {
@@ -117,13 +120,21 @@ impl NicSpec {
             miss_slope: 1.2,
             occupancy_alpha: 0.5,
             port_bps: 100e9,
-            regex: Some(AccelSpec { base_s: 5e-9, per_byte_s: 0.08e-9, per_match_s: 180e-9 }),
+            regex: Some(AccelSpec {
+                base_s: 5e-9,
+                per_byte_s: 0.08e-9,
+                per_match_s: 180e-9,
+            }),
             compression: Some(AccelSpec {
                 base_s: 10e-9,
                 per_byte_s: 0.25e-9,
                 per_match_s: 0.0,
             }),
-            crypto: Some(AccelSpec { base_s: 20e-9, per_byte_s: 0.10e-9, per_match_s: 0.0 }),
+            crypto: Some(AccelSpec {
+                base_s: 20e-9,
+                per_byte_s: 0.10e-9,
+                per_match_s: 0.0,
+            }),
         }
     }
 
@@ -151,7 +162,11 @@ impl NicSpec {
                 per_byte_s: 0.20e-9,
                 per_match_s: 0.0,
             }),
-            crypto: Some(AccelSpec { base_s: 15e-9, per_byte_s: 0.08e-9, per_match_s: 0.0 }),
+            crypto: Some(AccelSpec {
+                base_s: 15e-9,
+                per_byte_s: 0.08e-9,
+                per_match_s: 0.0,
+            }),
         }
     }
 
@@ -195,7 +210,11 @@ mod tests {
 
     #[test]
     fn service_time_is_affine() {
-        let a = AccelSpec { base_s: 1e-9, per_byte_s: 2e-9, per_match_s: 3e-9 };
+        let a = AccelSpec {
+            base_s: 1e-9,
+            per_byte_s: 2e-9,
+            per_match_s: 3e-9,
+        };
         assert!((a.service_time(10.0, 2.0) - (1e-9 + 20e-9 + 6e-9)).abs() < 1e-18);
     }
 

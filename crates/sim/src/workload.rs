@@ -123,7 +123,9 @@ impl WorkloadSpec {
         self.stages
             .iter()
             .map(|s| match s {
-                StageDemand::CpuMem { cache_refs_per_pkt, .. } => *cache_refs_per_pkt,
+                StageDemand::CpuMem {
+                    cache_refs_per_pkt, ..
+                } => *cache_refs_per_pkt,
                 _ => 0.0,
             })
             .sum()
@@ -145,7 +147,12 @@ impl WorkloadSpec {
         let mut refs = 0.0;
         let mut writes = 0.0;
         for s in &self.stages {
-            if let StageDemand::CpuMem { cache_refs_per_pkt, write_frac, .. } = s {
+            if let StageDemand::CpuMem {
+                cache_refs_per_pkt,
+                write_frac,
+                ..
+            } = s
+            {
                 refs += cache_refs_per_pkt;
                 writes += cache_refs_per_pkt * write_frac;
             }
@@ -216,7 +223,10 @@ mod tests {
         assert!((w.write_frac() - 0.375).abs() < 1e-12);
         assert!(w.uses(ResourceKind::Regex));
         assert!(!w.uses(ResourceKind::Compression));
-        assert_eq!(w.resources(), vec![ResourceKind::CpuMem, ResourceKind::Regex]);
+        assert_eq!(
+            w.resources(),
+            vec![ResourceKind::CpuMem, ResourceKind::Regex]
+        );
     }
 
     #[test]
@@ -241,12 +251,7 @@ mod tests {
 
     #[test]
     fn zero_ref_workload_write_frac_is_zero() {
-        let w = WorkloadSpec::new(
-            "a",
-            1,
-            ExecutionPattern::Pipeline,
-            vec![regex_stage()],
-        );
+        let w = WorkloadSpec::new("a", 1, ExecutionPattern::Pipeline, vec![regex_stage()]);
         assert_eq!(w.write_frac(), 0.0);
         assert_eq!(w.cache_refs_per_pkt(), 0.0);
     }

@@ -19,9 +19,9 @@
 //!   ratio (Section 6 of the SLOMO paper, as used in §7.1 here). This works
 //!   for small deviations and degrades for large ones (Fig. 7b).
 
+use yala_core::engine::{scenario_seed, simulator_for, Engine};
 use yala_ml::{Dataset, GbrParams, GradientBoostingRegressor};
-use yala_sim::{CounterSample, Simulator, WorkloadSpec};
-
+use yala_sim::{CounterSample, NicSpec, Simulator, WorkloadSpec};
 
 /// A (CAR, WSS, compute-intensity) contention level for the training sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,7 +50,11 @@ pub fn default_mem_grid() -> Vec<MemLevel> {
         let car = 2.0e7 + i as f64 * 3.0e7; // 20 M .. 290 M refs/s
         for (j, wss_mb) in [0.5f64, 1.0, 2.0, 4.0, 8.0, 12.0].into_iter().enumerate() {
             let cycles = [60.0, 600.0, 2_400.0][(i + j) % 3];
-            grid.push(MemLevel { car, wss: wss_mb * 1e6, cycles });
+            grid.push(MemLevel {
+                car,
+                wss: wss_mb * 1e6,
+                cycles,
+            });
         }
     }
     grid
@@ -77,12 +81,7 @@ impl SlomoModel {
     /// # Panics
     ///
     /// Panics if `grid` is empty.
-    pub fn train(
-        sim: &mut Simulator,
-        target: &WorkloadSpec,
-        grid: &[MemLevel],
-        seed: u64,
-    ) -> Self {
+    pub fn train(sim: &mut Simulator, target: &WorkloadSpec, grid: &[MemLevel], seed: u64) -> Self {
         assert!(!grid.is_empty(), "empty training grid");
         let solo_tput_train = sim.solo(target).throughput_pps;
         let mut ds = Dataset::new(7);
@@ -93,10 +92,69 @@ impl SlomoModel {
             let report = sim.co_run(&[target.clone(), level.bench()]);
             ds.push(&features.as_features(), report.outcomes[0].throughput_pps);
         }
-        let params =
-            GbrParams { n_estimators: 300, learning_rate: 0.05, ..GbrParams::default() };
+        let params = GbrParams {
+            n_estimators: 300,
+            learning_rate: 0.05,
+            ..GbrParams::default()
+        };
         let gbr = GradientBoostingRegressor::fit(&ds, &params, seed);
-        Self { gbr, solo_tput_train }
+        Self {
+            gbr,
+            solo_tput_train,
+        }
+    }
+
+    /// Trains SLOMO with the (CAR, WSS) sweep dispatched across `engine`'s
+    /// worker pool: the solo anchor and each grid level are independent
+    /// co-run scenarios, each measured on a private simulator seeded
+    /// `scenario_seed(seed, scenario)` (noise-free when `noise_sigma` is
+    /// 0). The assembled dataset — and therefore the fitted model — is a
+    /// pure function of the inputs: bit-identical whether `engine` is
+    /// sequential or parallel, while the sweep's wall-clock scales with
+    /// core count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid` is empty.
+    pub fn train_with_engine(
+        spec: &NicSpec,
+        noise_sigma: f64,
+        target: &WorkloadSpec,
+        grid: &[MemLevel],
+        seed: u64,
+        engine: &Engine,
+    ) -> Self {
+        assert!(!grid.is_empty(), "empty training grid");
+        // Scenario 0 anchors at solo; scenario i+1 measures grid[i].
+        let rows: Vec<([f64; 7], f64)> = engine.run(grid.len() + 1, |i| {
+            let mut sim = simulator_for(spec, noise_sigma, scenario_seed(seed, i));
+            if i == 0 {
+                (
+                    CounterSample::default().as_features(),
+                    sim.solo(target).throughput_pps,
+                )
+            } else {
+                let level = grid[i - 1];
+                let features = bench_features(&mut sim, level);
+                let report = sim.co_run(&[target.clone(), level.bench()]);
+                (features.as_features(), report.outcomes[0].throughput_pps)
+            }
+        });
+        let solo_tput_train = rows[0].1;
+        let mut ds = Dataset::new(7);
+        for (x, t) in &rows {
+            ds.push(x, *t);
+        }
+        let params = GbrParams {
+            n_estimators: 300,
+            learning_rate: 0.05,
+            ..GbrParams::default()
+        };
+        let gbr = GradientBoostingRegressor::fit(&ds, &params, seed);
+        Self {
+            gbr,
+            solo_tput_train,
+        }
     }
 
     /// Predicts the target's throughput when co-located with competitors
@@ -108,11 +166,7 @@ impl SlomoModel {
     /// Prediction with sensitivity extrapolation: rescales the fixed-profile
     /// prediction by the ratio of solo throughputs between the test and
     /// training traffic profiles.
-    pub fn predict_extrapolated(
-        &self,
-        competitors: &CounterSample,
-        solo_tput_test: f64,
-    ) -> f64 {
+    pub fn predict_extrapolated(&self, competitors: &CounterSample, solo_tput_test: f64) -> f64 {
         assert!(solo_tput_test > 0.0, "solo throughput must be positive");
         self.predict(competitors) * solo_tput_test / self.solo_tput_train
     }
@@ -152,10 +206,17 @@ mod tests {
         // Held-out memory contention levels (off-grid).
         let mut truth = Vec::new();
         let mut pred = Vec::new();
-        for &(car, wss) in
-            &[(4.5e7, 3.0e6), (1.1e8, 5.0e6), (2.2e8, 9.0e6), (7.0e7, 0.8e6)]
-        {
-            let level = MemLevel { car, wss, cycles: 600.0 };
+        for &(car, wss) in &[
+            (4.5e7, 3.0e6),
+            (1.1e8, 5.0e6),
+            (2.2e8, 9.0e6),
+            (7.0e7, 0.8e6),
+        ] {
+            let level = MemLevel {
+                car,
+                wss,
+                cycles: 600.0,
+            };
             let features = bench_features(&mut sim, level);
             let report = sim.co_run(&[target.clone(), mem_bench(car, wss)]);
             truth.push(report.outcomes[0].throughput_pps);
@@ -173,10 +234,7 @@ mod tests {
         let target = NfKind::FlowMonitor.workload(TrafficProfile::default(), 1);
         let model = SlomoModel::train(&mut sim, &target, &default_mem_grid(), 7);
         let regex_hog = yala_nf::bench::regex_bench(5.0e6, 1446.0, 2000.0);
-        let truth = sim
-            .co_run(&[target.clone(), regex_hog])
-            .outcomes[0]
-            .throughput_pps;
+        let truth = sim.co_run(&[target.clone(), regex_hog]).outcomes[0].throughput_pps;
         // SLOMO sees (almost) no memory contentiousness from regex-bench.
         let features = sim
             .solo(&yala_nf::bench::regex_bench(5.0e6, 1446.0, 2000.0))
@@ -202,8 +260,14 @@ mod tests {
 
     #[test]
     fn aggregate_is_elementwise_sum() {
-        let a = CounterSample { l2crd: 1.0, ..Default::default() };
-        let b = CounterSample { l2crd: 2.0, ..Default::default() };
+        let a = CounterSample {
+            l2crd: 1.0,
+            ..Default::default()
+        };
+        let b = CounterSample {
+            l2crd: 2.0,
+            ..Default::default()
+        };
         assert_eq!(aggregate_competitors(&[a, b]).l2crd, 3.0);
     }
 
@@ -213,5 +277,60 @@ mod tests {
         let mut sim = sim();
         let target = NfKind::Acl.workload(TrafficProfile::default(), 1);
         SlomoModel::train(&mut sim, &target, &[], 0);
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_sequential() {
+        let spec = NicSpec::bluefield2();
+        let target = NfKind::FlowStats.workload(TrafficProfile::default(), 1);
+        let grid: Vec<MemLevel> = default_mem_grid().into_iter().step_by(4).collect();
+        let seq =
+            SlomoModel::train_with_engine(&spec, 0.005, &target, &grid, 7, &Engine::sequential());
+        let par = SlomoModel::train_with_engine(
+            &spec,
+            0.005,
+            &target,
+            &grid,
+            7,
+            &Engine::with_threads(4),
+        );
+        assert_eq!(seq.solo_tput_train(), par.solo_tput_train());
+        // The fitted models must agree bitwise on arbitrary queries.
+        let mut sim = sim();
+        for level in [
+            MemLevel {
+                car: 5e7,
+                wss: 2e6,
+                cycles: 60.0,
+            },
+            MemLevel {
+                car: 2.4e8,
+                wss: 10e6,
+                cycles: 2_400.0,
+            },
+        ] {
+            let f = bench_features(&mut sim, level);
+            assert_eq!(seq.predict(&f), par.predict(&f));
+        }
+    }
+
+    #[test]
+    fn engine_trained_model_predicts_like_sequential_training() {
+        // train_with_engine assembles the same (solo anchor + grid) dataset
+        // as train(); with a noise-free simulator the two paths measure
+        // identical rows and must fit bitwise-equal models.
+        let spec = NicSpec::bluefield2();
+        let target = NfKind::Acl.workload(TrafficProfile::default(), 2);
+        let grid: Vec<MemLevel> = default_mem_grid().into_iter().step_by(6).collect();
+        let engine_model =
+            SlomoModel::train_with_engine(&spec, 0.0, &target, &grid, 9, &Engine::with_threads(2));
+        let mut sim = Simulator::new(NicSpec::bluefield2());
+        let reference = SlomoModel::train(&mut sim, &target, &grid, 9);
+        assert_eq!(engine_model.solo_tput_train(), reference.solo_tput_train());
+        let probe = CounterSample {
+            l2crd: 1e8,
+            ..Default::default()
+        };
+        assert_eq!(engine_model.predict(&probe), reference.predict(&probe));
     }
 }

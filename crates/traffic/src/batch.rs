@@ -1,0 +1,212 @@
+//! The zero-allocation packet arena: one flat payload buffer plus
+//! per-packet metadata, reused across refills.
+//!
+//! The scalar dataplane materialised one [`Packet`](crate::Packet) — one
+//! heap `Vec<u8>` — per generated packet. Profiling replays hundreds of
+//! thousands of packets, so the allocator sat directly on the measurement
+//! hot path. A [`PacketBatch`] amortises that to zero: payloads live
+//! back-to-back in a single buffer, packets are described by
+//! `(five-tuple, offset, len)` records, and NFs process borrowed
+//! [`PacketView`]s instead of owned packets. Refilling a batch reuses both
+//! buffers at their high-water capacity.
+
+use crate::flow::FiveTuple;
+use crate::packet::HEADER_BYTES;
+
+/// A borrowed view of one packet inside a [`PacketBatch`] (or of an owned
+/// [`Packet`](crate::Packet)): the parsed flow identity plus the payload
+/// bytes in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketView<'a> {
+    /// Flow identity (parsed header fields).
+    pub five_tuple: FiveTuple,
+    /// Application payload bytes, borrowed from the arena.
+    pub payload: &'a [u8],
+}
+
+impl<'a> PacketView<'a> {
+    /// Payload length in bytes.
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Total wire length (headers + payload).
+    pub fn wire_len(&self) -> u32 {
+        HEADER_BYTES + self.payload.len() as u32
+    }
+}
+
+/// Per-packet record inside the arena.
+#[derive(Debug, Clone, Copy)]
+struct PacketMeta {
+    five_tuple: FiveTuple,
+    offset: u32,
+    len: u32,
+}
+
+/// A reusable batch of packets backed by one flat payload buffer.
+///
+/// # Example
+///
+/// ```
+/// use yala_traffic::{FiveTuple, PacketBatch};
+/// let mut batch = PacketBatch::new();
+/// batch.push(FiveTuple::new(1, 2, 3, 4, 6), b"hello");
+/// batch.push(FiveTuple::new(5, 6, 7, 8, 17), b"world!");
+/// assert_eq!(batch.len(), 2);
+/// assert_eq!(batch.get(1).payload, b"world!");
+/// assert_eq!(batch.iter().map(|p| p.payload_len()).sum::<usize>(), 11);
+/// batch.clear(); // keeps both buffers' capacity
+/// assert!(batch.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PacketBatch {
+    data: Vec<u8>,
+    metas: Vec<PacketMeta>,
+}
+
+impl PacketBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty batch pre-sized for `packets` packets of about
+    /// `payload_bytes` each, so the first fill does not reallocate.
+    pub fn with_capacity(packets: usize, payload_bytes: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(packets * payload_bytes),
+            metas: Vec::with_capacity(packets),
+        }
+    }
+
+    /// Number of packets currently in the batch.
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Whether the batch holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+
+    /// Total payload bytes across all packets.
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Empties the batch, retaining both buffers' capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.metas.clear();
+    }
+
+    /// The `i`-th packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> PacketView<'_> {
+        let m = &self.metas[i];
+        PacketView {
+            five_tuple: m.five_tuple,
+            payload: &self.data[m.offset as usize..(m.offset + m.len) as usize],
+        }
+    }
+
+    /// Iterates the packets in arrival order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = PacketView<'_>> {
+        self.metas.iter().map(|m| PacketView {
+            five_tuple: m.five_tuple,
+            payload: &self.data[m.offset as usize..(m.offset + m.len) as usize],
+        })
+    }
+
+    /// Appends a packet by copying `payload` into the arena.
+    pub fn push(&mut self, five_tuple: FiveTuple, payload: &[u8]) {
+        self.push_with(five_tuple, |buf| buf.extend_from_slice(payload));
+    }
+
+    /// Appends a packet whose payload is written directly into the arena by
+    /// `fill` (which must only *append* to the buffer). This is the
+    /// zero-copy entry point the packet generator uses.
+    pub fn push_with<F: FnOnce(&mut Vec<u8>)>(&mut self, five_tuple: FiveTuple, fill: F) {
+        let offset = self.data.len();
+        fill(&mut self.data);
+        debug_assert!(self.data.len() >= offset, "fill must append, not truncate");
+        // Offsets/lengths are stored as u32 to keep the metadata compact; a
+        // 4 GiB arena means a wildly misconfigured batch size, so fail loud
+        // rather than letting the cast wrap and views alias wrong bytes.
+        assert!(
+            self.data.len() <= u32::MAX as usize,
+            "packet arena exceeds u32 addressing; use smaller batches"
+        );
+        self.metas.push(PacketMeta {
+            five_tuple,
+            offset: offset as u32,
+            len: (self.data.len() - offset) as u32,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ft(n: u32) -> FiveTuple {
+        FiveTuple::new(n, n + 1, 80, 443, 6)
+    }
+
+    #[test]
+    fn push_and_view_roundtrip() {
+        let mut b = PacketBatch::new();
+        b.push(ft(1), &[1, 2, 3]);
+        b.push(ft(2), &[]);
+        b.push(ft(3), &[9; 100]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.payload_bytes(), 103);
+        assert_eq!(b.get(0).payload, &[1, 2, 3]);
+        assert_eq!(b.get(0).five_tuple, ft(1));
+        assert_eq!(b.get(1).payload_len(), 0);
+        assert_eq!(b.get(2).wire_len(), HEADER_BYTES + 100);
+    }
+
+    #[test]
+    fn iter_matches_get() {
+        let mut b = PacketBatch::new();
+        for i in 0..10u32 {
+            b.push(ft(i), &[i as u8; 5]);
+        }
+        let via_iter: Vec<_> = b.iter().collect();
+        assert_eq!(via_iter.len(), 10);
+        for (i, v) in via_iter.iter().enumerate() {
+            assert_eq!(*v, b.get(i));
+        }
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut b = PacketBatch::with_capacity(4, 64);
+        for i in 0..100u32 {
+            b.push(ft(i), &[0; 64]);
+        }
+        let data_cap = b.data.capacity();
+        let meta_cap = b.metas.capacity();
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.payload_bytes(), 0);
+        assert_eq!(b.data.capacity(), data_cap);
+        assert_eq!(b.metas.capacity(), meta_cap);
+    }
+
+    #[test]
+    fn push_with_writes_in_place() {
+        let mut b = PacketBatch::new();
+        b.push_with(ft(1), |buf| {
+            for i in 0..8u8 {
+                buf.push(i * 2);
+            }
+        });
+        assert_eq!(b.get(0).payload, &[0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+}

@@ -31,7 +31,13 @@ pub struct FiveTuple {
 impl FiveTuple {
     /// Creates a 5-tuple.
     pub fn new(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16, proto: u8) -> Self {
-        Self { src_ip, dst_ip, src_port, dst_port, proto }
+        Self {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto,
+        }
     }
 
     /// A fast 64-bit mix of the tuple — the hash NF flow tables key on.
@@ -76,7 +82,9 @@ pub fn generate_flows<R: Rng>(rng: &mut R, count: u32) -> Vec<FiveTuple> {
             0x0a00_0000 | rng.gen_range(0u32..1 << 20), // 10.0.0.0/12 clients
             0xc0a8_0000 | rng.gen_range(0u32..1 << 12), // 192.168.0.0/20 servers
             rng.gen_range(1024..u16::MAX),
-            *[80u16, 443, 22, 25, 53, 8080].get(rng.gen_range(0..6)).expect("in range"),
+            *[80u16, 443, 22, 25, 53, 8080]
+                .get(rng.gen_range(0..6))
+                .expect("in range"),
             if rng.gen_bool(0.8) { 6 } else { 17 },
         );
         if seen.insert(ft) {

@@ -8,6 +8,12 @@
 //! drawn uniformly (the paper's uniform flow-size distribution) and payloads
 //! with ruleset matches planted at the target MTBR (the exrex substitute).
 //!
+//! The measurement dataplane is batched and allocation-free:
+//! [`PacketGenerator::fill_batch`] writes packets into a reusable
+//! [`PacketBatch`] arena (flat payload buffer + per-packet offsets) that NFs
+//! consume as borrowed [`PacketView`]s. The owned-[`Packet`] scalar path
+//! remains as the reference implementation.
+//!
 //! # Example
 //!
 //! ```
@@ -19,12 +25,14 @@
 //! assert!(batch.iter().all(|p| p.wire_len() == 1500));
 //! ```
 
+pub mod batch;
 pub mod flow;
 pub mod packet;
 pub mod payload;
 pub mod pktgen;
 pub mod profile;
 
+pub use batch::{PacketBatch, PacketView};
 pub use flow::FiveTuple;
 pub use packet::Packet;
 pub use payload::PayloadSynthesizer;

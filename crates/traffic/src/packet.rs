@@ -1,5 +1,11 @@
 //! Packets: a 5-tuple header plus an owned payload.
+//!
+//! Owned packets are the legacy scalar representation; the batched
+//! dataplane processes borrowed [`PacketView`]s out of a
+//! [`PacketBatch`](crate::PacketBatch) arena instead. [`Packet::view`]
+//! bridges the two.
 
+use crate::batch::PacketView;
 use crate::flow::FiveTuple;
 use serde::{Deserialize, Serialize};
 
@@ -28,7 +34,10 @@ pub struct Packet {
 impl Packet {
     /// Creates a packet from a flow identity and payload.
     pub fn new(five_tuple: FiveTuple, payload: Vec<u8>) -> Self {
-        Self { five_tuple, payload }
+        Self {
+            five_tuple,
+            payload,
+        }
     }
 
     /// Payload length in bytes.
@@ -39,6 +48,14 @@ impl Packet {
     /// Total wire length (headers + payload).
     pub fn wire_len(&self) -> u32 {
         HEADER_BYTES + self.payload.len() as u32
+    }
+
+    /// A borrowed view of this packet, as the batched dataplane sees it.
+    pub fn view(&self) -> PacketView<'_> {
+        PacketView {
+            five_tuple: self.five_tuple,
+            payload: &self.payload,
+        }
     }
 }
 

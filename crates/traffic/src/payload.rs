@@ -6,12 +6,22 @@
 //! [`yala_rxp::ruleset::match_seeds`]) so the *expected* number of ruleset
 //! matches per byte equals the requested MTBR.
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use yala_rxp::ruleset::match_seeds;
 
 /// Filler alphabet chosen to be inert against the default ruleset: no
 /// digits, no `<'/_$` metacharacters, no protocol keywords can form.
 const FILLER: &[u8] = b"qwzjkvyxubnmfdgh QWZJKVYXUBNM";
+
+/// Size of the pre-generated filler pool backing [`PayloadSynthesizer::
+/// fill_pooled`]. Must comfortably exceed the largest payload (1446 B) so
+/// wrapped copies still look diverse.
+const POOL_BYTES: usize = 64 * 1024;
+
+/// Fixed seed for the pool contents: the pool is a process-wide constant,
+/// independent of any generator's traffic seed.
+const POOL_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Synthesises payloads at a target MTBR against the default ruleset.
 ///
@@ -37,19 +47,48 @@ const FILLER: &[u8] = b"qwzjkvyxubnmfdgh QWZJKVYXUBNM";
 /// let mtbr = matches as f64 / bytes as f64 * 1e6;
 /// assert!((mtbr - 300.0).abs() < 60.0, "measured {mtbr}");
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PayloadSynthesizer {
     seeds: Vec<Vec<u8>>,
+    /// Pre-generated inert filler bytes backing the pooled fast path
+    /// (process-wide constant; see [`shared_pool`]).
+    pool: &'static [u8],
+}
+
+impl Default for PayloadSynthesizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The process-wide filler pool: generated once from `POOL_SEED` on first
+/// use and shared by every synthesizer, so constructing a generator (which
+/// profiling sweeps do per traffic point) does not re-derive 64 KiB of
+/// byte-identical state.
+fn shared_pool() -> &'static [u8] {
+    static POOL: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    POOL.get_or_init(|| {
+        let mut pool_rng = StdRng::seed_from_u64(POOL_SEED);
+        (0..POOL_BYTES)
+            .map(|_| FILLER[pool_rng.gen_range(0..FILLER.len())])
+            .collect()
+    })
 }
 
 impl PayloadSynthesizer {
     /// Creates a synthesizer planting the default ruleset's match seeds.
     pub fn new() -> Self {
-        Self { seeds: match_seeds().into_iter().map(|(_, s)| s.to_vec()).collect() }
+        Self {
+            seeds: match_seeds().into_iter().map(|(_, s)| s.to_vec()).collect(),
+            pool: shared_pool(),
+        }
     }
 
     /// Generates one payload of `len` bytes whose expected ruleset match
     /// count is `mtbr / 1e6 * len` (Poisson-thinned Bernoulli planting).
+    ///
+    /// This is the legacy scalar path (one RNG draw *per byte*, one fresh
+    /// `Vec` per payload); the batched dataplane uses [`Self::fill_pooled`].
     ///
     /// # Panics
     ///
@@ -57,7 +96,40 @@ impl PayloadSynthesizer {
     pub fn generate<R: Rng>(&self, rng: &mut R, len: usize, mtbr: f64) -> Vec<u8> {
         assert!(mtbr >= 0.0, "negative MTBR");
         let mut out = Vec::with_capacity(len);
-        self.fill(rng, &mut out, len);
+        for _ in 0..len {
+            out.push(FILLER[rng.gen_range(0..FILLER.len())]);
+        }
+        self.plant(rng, &mut out, 0, len, mtbr);
+        out
+    }
+
+    /// Appends one `len`-byte payload to `out` by copying from the inert
+    /// filler pool at a random offset (wrapping), then planting match seeds
+    /// exactly as [`Self::generate`] does. One RNG draw per *packet*
+    /// instead of one per byte, and no allocation once `out` has capacity —
+    /// this is what makes the batched measurement path fast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mtbr` is negative.
+    pub fn fill_pooled<R: Rng>(&self, rng: &mut R, out: &mut Vec<u8>, len: usize, mtbr: f64) {
+        assert!(mtbr >= 0.0, "negative MTBR");
+        let start = out.len();
+        let mut at = rng.gen_range(0..self.pool.len());
+        let mut remaining = len;
+        while remaining > 0 {
+            let take = remaining.min(self.pool.len() - at);
+            out.extend_from_slice(&self.pool[at..at + take]);
+            remaining -= take;
+            at = 0; // wrap to the pool's start
+        }
+        self.plant(rng, out, start, len, mtbr);
+    }
+
+    /// Plants match seeds into `out[start..start + len]` so the expected
+    /// ruleset match count is `mtbr / 1e6 * len` (Poisson-thinned Bernoulli
+    /// planting).
+    fn plant<R: Rng>(&self, rng: &mut R, out: &mut [u8], start: usize, len: usize, mtbr: f64) {
         let expected = mtbr / 1_000_000.0 * len as f64;
         let count = poisson(rng, expected);
         for _ in 0..count {
@@ -67,15 +139,8 @@ impl PayloadSynthesizer {
             }
             // Plant at a random offset, keeping one filler byte on each side
             // so adjacent seeds cannot merge into unintended matches.
-            let at = rng.gen_range(1..len - seed.len() - 1);
+            let at = start + rng.gen_range(1..len - seed.len() - 1);
             out[at..at + seed.len()].copy_from_slice(seed);
-        }
-        out
-    }
-
-    fn fill<R: Rng>(&self, rng: &mut R, out: &mut Vec<u8>, len: usize) {
-        for _ in 0..len {
-            out.push(FILLER[rng.gen_range(0..FILLER.len())]);
         }
     }
 }
@@ -173,7 +238,10 @@ mod tests {
             let n = 4000;
             let total: usize = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
             let mean = total as f64 / n as f64;
-            assert!((mean - lambda).abs() < lambda.max(1.0) * 0.1, "λ={lambda} mean={mean}");
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.1,
+                "λ={lambda} mean={mean}"
+            );
         }
     }
 
@@ -181,5 +249,66 @@ mod tests {
     fn poisson_zero_lambda() {
         let mut rng = StdRng::seed_from_u64(7);
         assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn pooled_fill_is_inert_at_zero_mtbr() {
+        let synth = PayloadSynthesizer::new();
+        let rules = l7_default_ruleset();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            out.clear();
+            synth.fill_pooled(&mut rng, &mut out, 1446, 0.0);
+            assert_eq!(out.len(), 1446);
+            assert_eq!(rules.scan(&out).total_matches, 0, "pool must be inert");
+        }
+    }
+
+    #[test]
+    fn pooled_fill_appends_exact_lengths() {
+        let synth = PayloadSynthesizer::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut out = Vec::new();
+        for len in [1usize, 10, 100, 1446, 70_000] {
+            let before = out.len();
+            synth.fill_pooled(&mut rng, &mut out, len, 400.0);
+            assert_eq!(out.len(), before + len, "len {len}");
+        }
+    }
+
+    #[test]
+    fn pooled_mtbr_tracks_target() {
+        let synth = PayloadSynthesizer::new();
+        let rules = l7_default_ruleset();
+        for target in [200.0f64, 600.0, 1000.0] {
+            let mut rng = StdRng::seed_from_u64(100 + target as u64);
+            let mut matches = 0usize;
+            let mut bytes = 0usize;
+            let mut p = Vec::new();
+            for _ in 0..400 {
+                p.clear();
+                synth.fill_pooled(&mut rng, &mut p, 1446, target);
+                let r = rules.scan(&p);
+                matches += r.total_matches;
+                bytes += r.bytes_scanned;
+            }
+            let measured = matches as f64 / bytes as f64 * 1e6;
+            let rel_err = (measured - target).abs() / target;
+            assert!(rel_err < 0.25, "target {target}, measured {measured}");
+        }
+    }
+
+    #[test]
+    fn pooled_fill_is_deterministic() {
+        let synth = PayloadSynthesizer::new();
+        let gen_with = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut out = Vec::new();
+            synth.fill_pooled(&mut rng, &mut out, 512, 700.0);
+            out
+        };
+        assert_eq!(gen_with(42), gen_with(42));
+        assert_ne!(gen_with(42), gen_with(43));
     }
 }

@@ -40,7 +40,11 @@ impl Default for TrafficProfile {
     /// The paper's default profile: 16 K flows, 1500 B packets,
     /// 600 matches/MB.
     fn default() -> Self {
-        Self { flow_count: 16_000, packet_size: 1500, mtbr: 600.0 }
+        Self {
+            flow_count: 16_000,
+            packet_size: 1500,
+            mtbr: 600.0,
+        }
     }
 }
 
@@ -84,7 +88,9 @@ impl TrafficProfile {
 
     /// Bytes of payload per packet once headers are subtracted.
     pub fn payload_size(&self) -> u32 {
-        self.packet_size.saturating_sub(crate::packet::HEADER_BYTES).max(1)
+        self.packet_size
+            .saturating_sub(crate::packet::HEADER_BYTES)
+            .max(1)
     }
 }
 

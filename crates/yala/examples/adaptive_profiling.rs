@@ -4,7 +4,10 @@
 //!
 //! Run with `cargo run --release --example adaptive_profiling`.
 
-use yala::core::adaptive::{adaptive_profile, random_profile, AdaptiveConfig, TrafficRanges};
+use yala::core::adaptive::{
+    adaptive_profile, adaptive_profile_all, random_profile, AdaptiveConfig, TrafficRanges,
+};
+use yala::core::Engine;
 use yala::nf::NfKind;
 use yala::sim::{NicSpec, Simulator};
 
@@ -13,9 +16,27 @@ fn main() {
     let ranges = TrafficRanges::default();
     let cfg = AdaptiveConfig::default();
 
-    println!("{:<16} {:>8} {:>8} {:>8} {:>8}", "NF", "flows?", "pkt?", "MTBR?", "samples");
-    for kind in [NfKind::FlowStats, NfKind::FlowMonitor, NfKind::IpTunnel, NfKind::Acl] {
-        let run = adaptive_profile(&mut sim, kind, ranges, &cfg);
+    // Profile all four NFs in parallel: one deterministic simulator
+    // scenario per NF, dispatched across the worker pool.
+    let kinds = [
+        NfKind::FlowStats,
+        NfKind::FlowMonitor,
+        NfKind::IpTunnel,
+        NfKind::Acl,
+    ];
+    let runs = adaptive_profile_all(
+        &NicSpec::bluefield2(),
+        0.005,
+        &kinds,
+        ranges,
+        &cfg,
+        &Engine::auto(),
+    );
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8}",
+        "NF", "flows?", "pkt?", "MTBR?", "samples"
+    );
+    for (kind, run) in kinds.iter().zip(&runs) {
         println!(
             "{:<16} {:>8} {:>8} {:>8} {:>8}",
             kind.name(),
@@ -32,7 +53,11 @@ fn main() {
     let random = random_profile(&mut sim, NfKind::FlowStats, ranges, cfg.quota, 3);
     let low_share = |ds: &yala::ml::Dataset| {
         let n = ds.len() as f64;
-        (0..ds.len()).filter(|&i| ds.feature(i, 7) < 100_000.0).count() as f64 / n * 100.0
+        (0..ds.len())
+            .filter(|&i| ds.feature(i, 7) < 100_000.0)
+            .count() as f64
+            / n
+            * 100.0
     };
     println!(
         "\nFlowStats samples below 100K flows: adaptive {:.0}%, random {:.0}%",

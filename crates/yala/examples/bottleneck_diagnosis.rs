@@ -17,7 +17,11 @@ fn main() {
     let model = YalaModel::train(&mut sim, NfKind::FlowMonitor, &TrainConfig::default());
 
     // Fixed contention: moderate memory pressure + a heavy regex tenant.
-    let mem_level = MemLevel { car: 1.0e8, wss: 5e6, cycles: 60.0 };
+    let mem_level = MemLevel {
+        car: 1.0e8,
+        wss: 5e6,
+        cycles: 60.0,
+    };
     let contenders = vec![
         mem_bench_contender(&mut sim, mem_level),
         regex_bench_contender(&mut sim, 1e12, 1446.0, 6_000.0),
@@ -37,6 +41,10 @@ fn main() {
             ])
             .outcomes[0]
             .bottleneck;
-        println!("{mtbr:>8.0} {:>14} {:>14}", verdict.bottleneck.to_string(), truth.to_string());
+        println!(
+            "{mtbr:>8.0} {:>14} {:>14}",
+            verdict.bottleneck.to_string(),
+            truth.to_string()
+        );
     }
 }

@@ -1,0 +1,72 @@
+//! NF placement (§7.5.1): place a stream of arriving NFs onto SmartNICs
+//! with Greedy vs Yala-guided contention-aware scheduling and compare NICs
+//! used and SLA violations.
+//!
+//! Run with `cargo run --release --example nf_placement`.
+
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+use yala::core::{Engine, TrainConfig, YalaModel};
+use yala::nf::NfKind;
+use yala::placement::{place_sequence, prepare_all, Arrival, Strategy, YalaPredictor};
+use yala::sim::{NicSpec, Simulator};
+use yala::traffic::TrafficProfile;
+
+fn main() {
+    let engine = Engine::auto();
+    let mut sim = Simulator::with_noise(NicSpec::bluefield2(), 0.005, 1);
+    let kinds = [
+        NfKind::FlowStats,
+        NfKind::Nat,
+        NfKind::Acl,
+        NfKind::IpRouter,
+        NfKind::Nids,
+    ];
+
+    println!(
+        "training Yala models for {} NF types across {} worker(s) ...",
+        kinds.len(),
+        engine.threads()
+    );
+    let cfg = TrainConfig::default();
+    let models: Vec<(NfKind, YalaModel)> =
+        YalaModel::train_all(&NicSpec::bluefield2(), 0.005, &kinds, &cfg, &engine);
+
+    // 40 arrivals with 5-20% SLA headroom each, profiled in parallel.
+    let mut rng = StdRng::seed_from_u64(2);
+    let specs: Vec<Arrival> = (0..40)
+        .map(|_| Arrival {
+            kind: *kinds.choose(&mut rng).expect("nonempty"),
+            traffic: TrafficProfile::default(),
+            sla_drop: rng.gen_range(0.05..0.20),
+        })
+        .collect();
+    let arrivals = prepare_all(&NicSpec::bluefield2(), 0.005, &specs, 0, &engine);
+
+    let greedy = place_sequence(&mut sim, &arrivals, Strategy::Greedy);
+    let mut predictor = YalaPredictor::new(&models);
+    let yala = place_sequence(
+        &mut sim,
+        &arrivals,
+        Strategy::ContentionAware(&mut predictor),
+    );
+
+    println!(
+        "\n{:<10} {:>8} {:>16}",
+        "strategy", "NICs", "SLA violations"
+    );
+    println!(
+        "{:<10} {:>8} {:>13}/{}",
+        "greedy",
+        greedy.nics.len(),
+        greedy.violations,
+        greedy.placed
+    );
+    println!(
+        "{:<10} {:>8} {:>13}/{}",
+        "yala",
+        yala.nics.len(),
+        yala.violations,
+        yala.placed
+    );
+}

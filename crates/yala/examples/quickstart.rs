@@ -29,16 +29,17 @@ fn main() {
     let traffic = TrafficProfile::new(64_000, 1024, 800.0);
     let workload = NfKind::FlowMonitor.workload(traffic, 7);
     let solo = sim.solo(&workload).throughput_pps;
-    let neighbour_level = MemLevel { car: 1.4e8, wss: 9e6, cycles: 600.0 };
+    let neighbour_level = MemLevel {
+        car: 1.4e8,
+        wss: 9e6,
+        cycles: 600.0,
+    };
     let neighbour = mem_bench_contender(&mut sim, neighbour_level);
 
     let predicted = model.predict(solo, &traffic, std::slice::from_ref(&neighbour));
 
     // Ground truth from the simulator (on hardware: deploy and measure).
-    let truth = sim
-        .co_run(&[workload, neighbour_level.bench()])
-        .outcomes[0]
-        .throughput_pps;
+    let truth = sim.co_run(&[workload, neighbour_level.bench()]).outcomes[0].throughput_pps;
 
     println!("solo throughput:      {:>10.0} pps", solo);
     println!("predicted co-located: {:>10.0} pps", predicted);

@@ -1,0 +1,151 @@
+//! Parity guarantees of the batched dataplane and the parallel scenario
+//! engine:
+//!
+//! 1. `build_workload` via `process_batch` produces **byte-identical**
+//!    `WorkloadSpec`s to the per-packet path, for every NF kind, across
+//!    traffic profiles and batch sizes.
+//! 2. The parallel engine reproduces the sequential sweeps **exactly**:
+//!    same seeds → same profiling datasets, same trained models, same
+//!    placement preparation.
+
+use yala::core::adaptive::{adaptive_profile_all, AdaptiveConfig, TrafficRanges};
+use yala::core::{Engine, TrainConfig, YalaModel};
+use yala::nf::runtime::{build_workload_per_packet, Profiler, DEFAULT_SAMPLE_PACKETS};
+use yala::nf::NfKind;
+use yala::placement::{prepare_all, Arrival};
+use yala::sim::NicSpec;
+use yala::traffic::TrafficProfile;
+
+/// `process_batch` must change *nothing* about the measured demand: the
+/// batched workload equals the per-packet oracle bit for bit, for every NF
+/// in the registry and for traffic profiles exercising all three
+/// attributes.
+#[test]
+fn batched_workloads_match_per_packet_oracle_for_every_nf() {
+    let profiles = [
+        TrafficProfile::new(2_000, 1024, 600.0),
+        TrafficProfile::new(16_000, 512, 0.0),
+        TrafficProfile::new(500, 1500, 1_100.0),
+    ];
+    for kind in NfKind::ALL {
+        for (p_idx, &profile) in profiles.iter().enumerate() {
+            let seed = 31 * (p_idx as u64 + 1);
+            let batched = kind.workload(profile, seed);
+            let mut nf = kind.build();
+            let oracle =
+                build_workload_per_packet(nf.as_mut(), profile, DEFAULT_SAMPLE_PACKETS, seed);
+            assert_eq!(batched, oracle, "{kind} diverges at profile {profile:?}");
+        }
+    }
+}
+
+/// The arena refill size is a pure performance knob: any batch size yields
+/// the same workload.
+#[test]
+fn batch_size_is_invisible_in_the_measurement() {
+    let profile = TrafficProfile::new(3_000, 900, 700.0);
+    for kind in [NfKind::FlowStats, NfKind::Nids, NfKind::IpCompGateway] {
+        let reference = kind.workload(profile, 5);
+        for batch in [1usize, 17, 600] {
+            let mut profiler = Profiler::new().with_batch_packets(batch);
+            let w = kind.workload_with(&mut profiler, profile, 5);
+            assert_eq!(w, reference, "{kind} diverges at batch size {batch}");
+        }
+    }
+}
+
+/// A reused profiler must not leak state between NFs or profiles.
+#[test]
+fn profiler_reuse_is_stateless_across_calls() {
+    let mut profiler = Profiler::new();
+    let a1 = NfKind::FlowMonitor.workload_with(
+        &mut profiler,
+        TrafficProfile::new(4_000, 1500, 900.0),
+        1,
+    );
+    let _interleaved =
+        NfKind::Nat.workload_with(&mut profiler, TrafficProfile::new(64_000, 256, 0.0), 2);
+    let a2 = NfKind::FlowMonitor.workload_with(
+        &mut profiler,
+        TrafficProfile::new(4_000, 1500, 900.0),
+        1,
+    );
+    assert_eq!(a1, a2, "profiler reuse must be invisible");
+}
+
+/// Parallel adaptive profiling is bit-identical to the sequential sweep:
+/// the same datasets (features and targets), measurements, and pruning
+/// decisions.
+#[test]
+fn parallel_adaptive_profiling_matches_sequential() {
+    let spec = NicSpec::bluefield2();
+    let kinds = [
+        NfKind::FlowStats,
+        NfKind::FlowMonitor,
+        NfKind::Acl,
+        NfKind::IpTunnel,
+    ];
+    let ranges = TrafficRanges::default();
+    let cfg = AdaptiveConfig {
+        quota: 60,
+        ..AdaptiveConfig::default()
+    };
+    let seq = adaptive_profile_all(&spec, 0.005, &kinds, ranges, &cfg, &Engine::sequential());
+    let par = adaptive_profile_all(&spec, 0.005, &kinds, ranges, &cfg, &Engine::with_threads(4));
+    assert_eq!(seq.len(), par.len());
+    for (kind, (s, p)) in kinds.iter().zip(seq.iter().zip(&par)) {
+        assert_eq!(s.kept, p.kept, "{kind} pruning diverged");
+        assert_eq!(s.measurements, p.measurements, "{kind} cost diverged");
+        assert_eq!(s.dataset, p.dataset, "{kind} dataset diverged");
+    }
+}
+
+/// Parallel fleet training yields bitwise-equal models: predictions agree
+/// exactly on arbitrary queries.
+#[test]
+fn parallel_model_training_matches_sequential() {
+    let spec = NicSpec::bluefield2();
+    let kinds = [NfKind::FlowStats, NfKind::Acl];
+    let cfg = TrainConfig {
+        adaptive: AdaptiveConfig {
+            quota: 50,
+            ..AdaptiveConfig::default()
+        },
+        ..TrainConfig::default()
+    };
+    let seq = YalaModel::train_all(&spec, 0.005, &kinds, &cfg, &Engine::sequential());
+    let par = YalaModel::train_all(&spec, 0.005, &kinds, &cfg, &Engine::with_threads(2));
+    for ((k1, m1), (k2, m2)) in seq.iter().zip(&par) {
+        assert_eq!(k1, k2);
+        assert_eq!(m1.pattern, m2.pattern, "{k1} pattern diverged");
+        assert_eq!(m1.kept_attributes, m2.kept_attributes);
+        assert_eq!(m1.profiling_cost, m2.profiling_cost);
+        let traffic = TrafficProfile::new(40_000, 1024, 300.0);
+        let pred1 = m1.predict(1e6, &traffic, &[]);
+        let pred2 = m2.predict(1e6, &traffic, &[]);
+        assert_eq!(pred1, pred2, "{k1} predictions diverged");
+    }
+}
+
+/// Parallel placement preparation reproduces the sequential arrival loop
+/// exactly — workloads, solo measurements, counters.
+#[test]
+fn parallel_placement_preparation_matches_sequential() {
+    let spec = NicSpec::bluefield2();
+    let kinds = [NfKind::FlowStats, NfKind::Nat, NfKind::Acl, NfKind::Nids];
+    let arrivals: Vec<Arrival> = (0..8)
+        .map(|i| Arrival {
+            kind: kinds[i % kinds.len()],
+            traffic: TrafficProfile::new(2_000 + 500 * i as u32, 768, 200.0),
+            sla_drop: 0.05 + 0.01 * i as f64,
+        })
+        .collect();
+    let seq = prepare_all(&spec, 0.005, &arrivals, 77, &Engine::sequential());
+    let par = prepare_all(&spec, 0.005, &arrivals, 77, &Engine::with_threads(3));
+    for (s, p) in seq.iter().zip(&par) {
+        assert_eq!(s.workload, p.workload);
+        assert_eq!(s.solo_tput, p.solo_tput);
+        assert_eq!(s.counters, p.counters);
+        assert_eq!(s.sla_floor(), p.sla_floor());
+    }
+}

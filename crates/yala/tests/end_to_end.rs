@@ -48,8 +48,7 @@ fn yala_end_to_end_beats_memory_only_view_under_regex_contention() {
     let solo = sim.solo(&target).throughput_pps;
     let bench = yala::nf::bench::regex_bench(3e6, 1446.0, 1_800.0);
     let truth = sim.co_run(&[target, bench]).outcomes[0].throughput_pps;
-    let contender =
-        yala::core::profiler::regex_bench_contender(&mut sim, 3e6, 1446.0, 1_800.0);
+    let contender = yala::core::profiler::regex_bench_contender(&mut sim, 3e6, 1446.0, 1_800.0);
     let pred = model.predict(solo, &profile, std::slice::from_ref(&contender));
     assert!(
         metrics::ape(truth, pred) < 15.0,
@@ -64,9 +63,30 @@ fn traffic_awareness_transfers_across_profiles() {
     let model = YalaModel::train(&mut sim, NfKind::Nat, &TrainConfig::default());
     let mut errs = Vec::new();
     for (flows, level) in [
-        (6_000u32, MemLevel { car: 9e7, wss: 6e6, cycles: 600.0 }),
-        (90_000, MemLevel { car: 1.6e8, wss: 3e6, cycles: 60.0 }),
-        (250_000, MemLevel { car: 6e7, wss: 12e6, cycles: 2_400.0 }),
+        (
+            6_000u32,
+            MemLevel {
+                car: 9e7,
+                wss: 6e6,
+                cycles: 600.0,
+            },
+        ),
+        (
+            90_000,
+            MemLevel {
+                car: 1.6e8,
+                wss: 3e6,
+                cycles: 60.0,
+            },
+        ),
+        (
+            250_000,
+            MemLevel {
+                car: 6e7,
+                wss: 12e6,
+                cycles: 2_400.0,
+            },
+        ),
     ] {
         let profile = TrafficProfile::new(flows, 1500, 0.0);
         let w = NfKind::Nat.workload(profile, 9);
@@ -76,20 +96,33 @@ fn traffic_awareness_transfers_across_profiles() {
         errs.push(metrics::ape(truth, model.predict(solo, &profile, &[c])));
     }
     let mean = errs.iter().sum::<f64>() / errs.len() as f64;
-    assert!(mean < 15.0, "traffic-aware prediction errors too high: {errs:?}");
+    assert!(
+        mean < 15.0,
+        "traffic-aware prediction errors too high: {errs:?}"
+    );
 }
 
 #[test]
 fn pensando_pipeline_works_without_regex_engine() {
     let mut sim = Simulator::with_noise(NicSpec::pensando(), 0.005, 7);
     let model = YalaModel::train(&mut sim, NfKind::Firewall, &TrainConfig::default());
-    assert!(model.accels.is_empty(), "no accelerators on the Pensando preset");
+    assert!(
+        model.accels.is_empty(),
+        "no accelerators on the Pensando preset"
+    );
     let profile = TrafficProfile::new(80_000, 512, 0.0);
     let w = NfKind::Firewall.workload(profile, 1);
     let solo = sim.solo(&w).throughput_pps;
-    let level = MemLevel { car: 1.2e8, wss: 7e6, cycles: 600.0 };
+    let level = MemLevel {
+        car: 1.2e8,
+        wss: 7e6,
+        cycles: 600.0,
+    };
     let truth = sim.co_run(&[w, level.bench()]).outcomes[0].throughput_pps;
     let c = mem_bench_contender(&mut sim, level);
     let pred = model.predict(solo, &profile, &[c]);
-    assert!(metrics::ape(truth, pred) < 20.0, "pred {pred} truth {truth}");
+    assert!(
+        metrics::ape(truth, pred) < 20.0,
+        "pred {pred} truth {truth}"
+    );
 }

@@ -1,0 +1,135 @@
+//! Property-style tests on core invariants: solver work conservation and
+//! monotonicity, composition bounds, ML sanity, regex counting.
+//!
+//! These were originally `proptest` properties; the offline build
+//! environment has no crates.io access, so each property now runs a seeded
+//! loop of randomized cases (same invariants, deterministic replay — the
+//! failing case is recoverable from the seed and iteration index).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use yala::core::composition::{compose_min, compose_rtc, compose_sum};
+use yala::ml::{Dataset, LinearRegression};
+use yala::rxp::Regex;
+use yala::sim::accel::{self, AccelInput};
+
+/// Cases per property, matching the original proptest config.
+const CASES: usize = 64;
+
+/// Round-robin grants never exceed offers and conserve accelerator work.
+#[test]
+fn accel_waterfill_is_work_conserving() {
+    let mut rng = StdRng::seed_from_u64(0xACCE1);
+    for case in 0..CASES {
+        let n = rng.gen_range(1..6usize);
+        let inputs: Vec<AccelInput> = (0..n)
+            .map(|_| AccelInput {
+                queues: rng.gen_range(1u32..4),
+                service_s: rng.gen_range(1e-8f64..1e-5),
+                offered_rps: rng.gen_range(0f64..1e8),
+            })
+            .collect();
+        let state = accel::solve(&inputs);
+        let mut busy = 0.0;
+        for (w, o) in inputs.iter().zip(&state.outcomes) {
+            assert!(
+                o.granted_rps <= w.offered_rps * 1.0001 + 1e-9,
+                "case {case}: grant {} exceeds offer {}",
+                o.granted_rps,
+                w.offered_rps
+            );
+            assert!(o.capacity_rps >= o.granted_rps - 1e-6, "case {case}");
+            assert!(o.sojourn_s >= w.service_s - 1e-15, "case {case}");
+            busy += o.granted_rps * w.service_s;
+        }
+        assert!(
+            busy <= 1.0 + 1e-6,
+            "case {case}: accelerator over-committed: {busy}"
+        );
+    }
+}
+
+/// Composition outputs are bounded by solo and ordered
+/// sum ≤ rtc ≤ min for any per-resource predictions.
+#[test]
+fn composition_orderings() {
+    let mut rng = StdRng::seed_from_u64(0xC0BB);
+    for case in 0..CASES {
+        let t_solo = rng.gen_range(1e3f64..1e7);
+        let n = rng.gen_range(1..4usize);
+        let per: Vec<f64> = (0..n)
+            .map(|_| rng.gen_range(0.01f64..1.0) * t_solo)
+            .collect();
+        let s = compose_sum(t_solo, &per);
+        let r = compose_rtc(t_solo, &per);
+        let m = compose_min(t_solo, &per);
+        assert!(s <= r + 1e-6 * t_solo, "case {case}: sum {s} > rtc {r}");
+        assert!(r <= m + 1e-6 * t_solo, "case {case}: rtc {r} > min {m}");
+        assert!(m <= t_solo + 1e-9, "case {case}");
+        assert!(s >= 0.0, "case {case}");
+    }
+}
+
+/// OLS on exactly-linear data recovers the coefficients.
+#[test]
+fn ols_recovers_exact_lines() {
+    let mut rng = StdRng::seed_from_u64(0x015);
+    for case in 0..CASES {
+        let slope = rng.gen_range(-100f64..100.0);
+        let icpt = rng.gen_range(-100f64..100.0);
+        let mut ds = Dataset::new(1);
+        for i in 0..20 {
+            let x = i as f64 * 0.7;
+            ds.push(&[x], slope * x + icpt);
+        }
+        let m = LinearRegression::fit(&ds).expect("well-posed");
+        assert!(
+            (m.coefficients()[0] - slope).abs() < 1e-6,
+            "case {case}: slope {} vs {slope}",
+            m.coefficients()[0]
+        );
+        assert!(
+            (m.intercept() - icpt).abs() < 1e-6,
+            "case {case}: intercept {} vs {icpt}",
+            m.intercept()
+        );
+    }
+}
+
+/// Literal match counting equals the straightforward count of
+/// non-overlapping occurrences.
+#[test]
+fn regex_literal_counting() {
+    let mut rng = StdRng::seed_from_u64(0x11735);
+    for case in 0..CASES {
+        // Needle: a literal of 2-4 chars over [a-c].
+        let needle: String = (0..rng.gen_range(2..=4usize))
+            .map(|_| (b'a' + rng.gen_range(0u8..3)) as char)
+            .collect();
+        // Haystack: 0-200 bytes over a slightly larger alphabet.
+        let haystack: Vec<u8> = (0..rng.gen_range(0..200usize))
+            .map(|_| b"abcxyz"[rng.gen_range(0..6usize)])
+            .collect();
+        let re = Regex::compile(&needle).expect("literal pattern");
+        let expected = {
+            // Reference: scan left to right, non-overlapping.
+            let n = needle.as_bytes();
+            let mut count = 0usize;
+            let mut i = 0usize;
+            while i + n.len() <= haystack.len() {
+                if &haystack[i..i + n.len()] == n {
+                    count += 1;
+                    i += n.len();
+                } else {
+                    i += 1;
+                }
+            }
+            count
+        };
+        assert_eq!(
+            re.count_matches(&haystack),
+            expected,
+            "case {case}: needle {needle:?}"
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! A minimal, dependency-free benchmark harness exposing the criterion API
+//! subset the workspace's benches use (`Criterion`, `benchmark_group`,
+//! `bench_function`, `Bencher::iter`, the `criterion_group!` /
+//! `criterion_main!` macros). The offline build environment cannot fetch
+//! the real criterion; this harness keeps `cargo bench` functional and
+//! reports real median wall-clock timings so relative comparisons (e.g.
+//! scalar vs. batched profiling) are meaningful.
+//!
+//! Methodology: each benchmark is warmed up, then timed over a fixed
+//! number of samples; each sample runs enough iterations to amortise timer
+//! overhead. The *median* per-iteration time is reported (robust to
+//! scheduler noise). No statistics files are written.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time per measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+/// Warm-up budget before sampling starts.
+const WARMUP_TARGET: Duration = Duration::from_millis(100);
+
+/// Re-export so benches can `use criterion::black_box` like upstream.
+pub use std::hint::black_box;
+
+/// Times one benchmark's closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    per_iter_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean time per call for the
+    /// current sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Estimate a batch size that fills the sample target.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        self.per_iter_ns = start.elapsed().as_nanos() as f64 / batch as f64;
+    }
+}
+
+/// One benchmark's summarised result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id (`group/name` or bare name).
+    pub id: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+}
+
+/// The harness entry point handed to `criterion_group!` functions.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        let m = run_one(name, sample_size, f);
+        self.results.push(m);
+        self
+    }
+
+    /// Opens a named group; group settings apply to its benches only.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+/// Scoped benchmark group (named prefix + per-group sample size).
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "need at least two samples");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let id = format!("{}/{name}", self.name);
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        let m = run_one(&id, samples, f);
+        self.parent.results.push(m);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; results already live on
+    /// the parent `Criterion`).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) -> Measurement {
+    let mut b = Bencher::default();
+    // Warm-up: run until the budget is spent so caches/branch predictors
+    // settle before sampling.
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < WARMUP_TARGET {
+        f(&mut b);
+    }
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        f(&mut b);
+        times.push(b.per_iter_ns);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median_ns = times[times.len() / 2];
+    println!("{id:<40} median {:>12} /iter", format_ns(median_ns));
+    Measurement {
+        id: id.to_string(),
+        median_ns,
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function, like upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        group.finish();
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].id, "g/spin");
+        assert!(c.results()[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert!(format_ns(5.0).ends_with("ns"));
+        assert!(format_ns(5.0e3).ends_with("µs"));
+        assert!(format_ns(5.0e6).ends_with("ms"));
+        assert!(format_ns(5.0e9).ends_with('s'));
+    }
+}

@@ -1,0 +1,7 @@
+//! Vendored serde facade: re-exports the no-op derives so workspace types
+//! can keep their `#[derive(Serialize, Deserialize)]` annotations without a
+//! crates.io dependency. Swap this path dependency for the real `serde`
+//! (with `features = ["derive"]`) in a networked environment and nothing
+//! else changes.
+
+pub use serde_derive::{Deserialize, Serialize};

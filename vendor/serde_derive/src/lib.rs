@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored serde facade.
+//!
+//! The workspace derives serde traits on its public data types so that a
+//! real serde can be dropped in when the build environment has registry
+//! access. Offline, the derives must still *parse* — so these macros accept
+//! the input and expand to nothing. No serialization code is generated and
+//! none is used anywhere in the workspace.
+
+use proc_macro::TokenStream;
+
+/// Accepts any derive input and emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts any derive input and emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
