@@ -85,14 +85,31 @@ fn bench_waterfill(c: &mut Criterion) {
     });
 }
 
+/// Per-rule baseline (12 DFA passes per payload) vs the fused
+/// multi-pattern DFA (one pass) on a representative 1500 B payload with
+/// planted matches. The fused path is what every regex NF now runs.
 fn bench_regex_scan(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use yala_rxp::ScanReport;
+    use yala_traffic::PayloadSynthesizer;
+
     let rules = l7_default_ruleset();
-    let payload: Vec<u8> = (0..1446u32)
-        .map(|i| b"qwzjkvyxubnm"[i as usize % 12])
-        .collect();
-    c.bench_function("ruleset_scan_1446B", |b| {
-        b.iter(|| black_box(rules.scan(&payload)));
+    let synth = PayloadSynthesizer::new();
+    let mut rng = StdRng::seed_from_u64(0x5CA9);
+    let payload = synth.generate(&mut rng, 1500, 600.0);
+    let mut group = c.benchmark_group("ruleset_scan");
+    group.bench_function("per_rule_1500B", |b| {
+        b.iter(|| black_box(rules.scan_per_rule(&payload)));
     });
+    group.bench_function("fused_1500B", |b| {
+        let mut report = ScanReport::with_rules(rules.len());
+        b.iter(|| {
+            rules.scan_into(&payload, &mut report);
+            black_box(report.total_matches)
+        });
+    });
+    group.finish();
 }
 
 fn bench_gbr(c: &mut Criterion) {

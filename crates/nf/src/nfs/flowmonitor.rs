@@ -7,7 +7,7 @@
 use crate::cost::{CostTracker, HASH_CYCLES, PARSE_CYCLES, PROBE_CYCLES, UPDATE_CYCLES};
 use crate::runtime::{NetworkFunction, Verdict};
 use crate::table::FlowTable;
-use yala_rxp::{l7_default_ruleset, Ruleset};
+use yala_rxp::{l7_default_ruleset, Ruleset, ScanReport};
 use yala_sim::{ExecutionPattern, ResourceKind};
 use yala_traffic::FiveTuple;
 use yala_traffic::PacketView;
@@ -26,6 +26,8 @@ pub struct MonitorEntry {
 pub struct FlowMonitor {
     table: FlowTable<MonitorEntry>,
     rules: Ruleset,
+    /// Reusable scan scratch: keeps the per-packet hot loop allocation-free.
+    scratch: ScanReport,
 }
 
 impl FlowMonitor {
@@ -38,6 +40,7 @@ impl FlowMonitor {
     pub fn with_ruleset(rules: Ruleset) -> Self {
         Self {
             table: FlowTable::with_entry_bytes(1024, 64.0),
+            scratch: ScanReport::with_rules(rules.len()),
             rules,
         }
     }
@@ -69,11 +72,12 @@ impl NetworkFunction for FlowMonitor {
         // Offload the payload scan to the regex accelerator. The match
         // count is *measured* by really scanning — this is what makes MTBR
         // a causal traffic attribute in the reproduction.
-        let report = self.rules.scan(pkt.payload);
+        self.rules.scan_into(pkt.payload, &mut self.scratch);
+        let total_matches = self.scratch.total_matches;
         cost.accel_request(
             ResourceKind::Regex,
             pkt.payload_len() as f64,
-            report.total_matches as f64,
+            total_matches as f64,
         );
         // Submit/poll descriptor cost.
         cost.compute(90.0);
@@ -87,7 +91,7 @@ impl NetworkFunction for FlowMonitor {
         match hit {
             Some(e) => {
                 e.packets += 1;
-                e.matches += report.total_matches as u64;
+                e.matches += total_matches as u64;
                 cost.compute(UPDATE_CYCLES);
                 cost.write_lines(1.0);
             }
@@ -96,7 +100,7 @@ impl NetworkFunction for FlowMonitor {
                     key,
                     MonitorEntry {
                         packets: 1,
-                        matches: report.total_matches as u64,
+                        matches: total_matches as u64,
                     },
                 );
                 cost.compute(PROBE_CYCLES * p as f64 + UPDATE_CYCLES);

@@ -5,7 +5,7 @@
 
 use crate::cost::{CostTracker, PARSE_CYCLES};
 use crate::runtime::{NetworkFunction, Verdict};
-use yala_rxp::{l7_default_ruleset, Ruleset};
+use yala_rxp::{l7_default_ruleset, Ruleset, ScanReport};
 use yala_sim::{ExecutionPattern, ResourceKind};
 use yala_traffic::PacketView;
 
@@ -13,6 +13,10 @@ use yala_traffic::PacketView;
 #[derive(Debug, Clone)]
 pub struct IpCompGateway {
     rules: Ruleset,
+    /// Reusable scan scratch: keeps the per-packet hot loop allocation-free.
+    scratch: ScanReport,
+    /// Index of the `tls_hello` rule (hoisted out of the per-packet path).
+    tls_idx: usize,
     compressed: u64,
     bypassed: u64,
 }
@@ -20,8 +24,16 @@ pub struct IpCompGateway {
 impl IpCompGateway {
     /// Creates the gateway with the default classification ruleset.
     pub fn new() -> Self {
+        let rules = l7_default_ruleset();
+        let tls_idx = rules
+            .rules()
+            .iter()
+            .position(|r| r.name == "tls_hello")
+            .expect("default ruleset has tls_hello");
         Self {
-            rules: l7_default_ruleset(),
+            scratch: ScanReport::with_rules(rules.len()),
+            tls_idx,
+            rules,
             compressed: 0,
             bypassed: 0,
         }
@@ -58,19 +70,17 @@ impl NetworkFunction for IpCompGateway {
         cost.read_lines(1.0);
         let bytes = pkt.payload_len() as f64;
         // Classify with the regex engine (protocol detection).
-        let report = self.rules.scan(pkt.payload);
-        cost.accel_request(ResourceKind::Regex, bytes, report.total_matches as f64);
+        self.rules.scan_into(pkt.payload, &mut self.scratch);
+        cost.accel_request(
+            ResourceKind::Regex,
+            bytes,
+            self.scratch.total_matches as f64,
+        );
         cost.compute(90.0);
         cost.read_lines(1.0);
         cost.write_lines(1.0);
         // TLS/compressed protocols bypass; everything else is compressed.
-        let tls_idx = self
-            .rules
-            .rules()
-            .iter()
-            .position(|r| r.name == "tls_hello")
-            .expect("default ruleset has tls_hello");
-        if report.per_rule[tls_idx] > 0 {
+        if self.scratch.per_rule[self.tls_idx] > 0 {
             self.bypassed += 1;
         } else {
             cost.accel_request(ResourceKind::Compression, bytes, 0.0);

@@ -6,7 +6,7 @@
 use crate::cost::{CostTracker, HASH_CYCLES, PARSE_CYCLES, PROBE_CYCLES, UPDATE_CYCLES};
 use crate::runtime::{NetworkFunction, Verdict};
 use crate::table::FlowTable;
-use yala_rxp::{l7_default_ruleset, Ruleset};
+use yala_rxp::{l7_default_ruleset, Ruleset, ScanReport};
 use yala_sim::{ExecutionPattern, ResourceKind};
 use yala_traffic::FiveTuple;
 use yala_traffic::PacketView;
@@ -25,15 +25,19 @@ pub struct ConnState {
 pub struct Nids {
     table: FlowTable<ConnState>,
     rules: Ruleset,
+    /// Reusable scan scratch: keeps the per-packet hot loop allocation-free.
+    scratch: ScanReport,
     alerts: u64,
 }
 
 impl Nids {
     /// Creates a NIDS with the default ruleset.
     pub fn new() -> Self {
+        let rules = l7_default_ruleset();
         Self {
             table: FlowTable::with_entry_bytes(1024, 96.0),
-            rules: l7_default_ruleset(),
+            scratch: ScanReport::with_rules(rules.len()),
+            rules,
             alerts: 0,
         }
     }
@@ -79,11 +83,12 @@ impl NetworkFunction for Nids {
             cost.write_lines(p as f64);
         }
         // Stage 2 (regex accelerator): signature scan.
-        let report = self.rules.scan(pkt.payload);
+        self.rules.scan_into(pkt.payload, &mut self.scratch);
+        let total_matches = self.scratch.total_matches;
         cost.accel_request(
             ResourceKind::Regex,
             pkt.payload_len() as f64,
-            report.total_matches as f64,
+            total_matches as f64,
         );
         cost.compute(90.0);
         cost.read_lines(1.0);
@@ -94,9 +99,9 @@ impl NetworkFunction for Nids {
         entry.packets += 1;
         cost.compute(UPDATE_CYCLES);
         cost.write_lines(1.0);
-        if report.total_matches > 0 {
-            entry.alerts += report.total_matches as u64;
-            self.alerts += report.total_matches as u64;
+        if total_matches > 0 {
+            entry.alerts += total_matches as u64;
+            self.alerts += total_matches as u64;
             cost.compute(150.0); // alert formatting
             cost.write_lines(1.0);
             return Verdict::Drop;

@@ -4,7 +4,7 @@
 
 use crate::cost::{CostTracker, PARSE_CYCLES};
 use crate::runtime::{NetworkFunction, Verdict};
-use yala_rxp::{l7_default_ruleset, Ruleset};
+use yala_rxp::{l7_default_ruleset, Ruleset, ScanReport};
 use yala_sim::{ExecutionPattern, ResourceKind};
 use yala_traffic::PacketView;
 
@@ -12,6 +12,8 @@ use yala_traffic::PacketView;
 #[derive(Debug, Clone)]
 pub struct PacketFilter {
     rules: Ruleset,
+    /// Reusable scan scratch: keeps the per-packet hot loop allocation-free.
+    scratch: ScanReport,
     dropped: u64,
     passed: u64,
 }
@@ -19,8 +21,10 @@ pub struct PacketFilter {
 impl PacketFilter {
     /// Creates a filter with the default ruleset (any match ⇒ drop).
     pub fn new() -> Self {
+        let rules = l7_default_ruleset();
         Self {
-            rules: l7_default_ruleset(),
+            scratch: ScanReport::with_rules(rules.len()),
+            rules,
             dropped: 0,
             passed: 0,
         }
@@ -55,16 +59,17 @@ impl NetworkFunction for PacketFilter {
     fn process(&mut self, pkt: PacketView<'_>, cost: &mut CostTracker) -> Verdict {
         cost.compute(PARSE_CYCLES);
         cost.read_lines(1.0);
-        let report = self.rules.scan(pkt.payload);
+        self.rules.scan_into(pkt.payload, &mut self.scratch);
+        let total_matches = self.scratch.total_matches;
         cost.accel_request(
             ResourceKind::Regex,
             pkt.payload_len() as f64,
-            report.total_matches as f64,
+            total_matches as f64,
         );
         cost.compute(70.0);
         cost.read_lines(1.0);
         cost.write_lines(1.0);
-        if report.total_matches > 0 {
+        if total_matches > 0 {
             self.dropped += 1;
             Verdict::Drop
         } else {

@@ -40,10 +40,16 @@ pub struct ScanDfa {
     /// Byte → equivalence-class index.
     class_of: Vec<u16>,
     n_classes: usize,
-    /// Row-major transition table: `trans[state * n_classes + class]`.
+    /// Row-major transition table indexed by *premultiplied* state id:
+    /// `trans[state_id * n_classes + class]`. Stored targets are themselves
+    /// premultiplied (`target_id * n_classes`), so the per-byte step is a
+    /// single add + load — no multiply on the hot path. The `MATCH` / `DEAD`
+    /// sentinels are stored unscaled and never indexed.
     trans: Vec<u32>,
+    /// Premultiplied start state id.
     start: u32,
-    /// Per-state accept flag, used only for end-anchored patterns.
+    /// Per-state accept flag, used only for end-anchored patterns
+    /// (indexed by the *unscaled* state id).
     accept_at_eof: Vec<bool>,
     anchored_start: bool,
     anchored_end: bool,
@@ -60,7 +66,7 @@ impl ScanDfa {
         anchored_start: bool,
         anchored_end: bool,
     ) -> Result<Self, DfaTooComplexError> {
-        let (class_of, n_classes, class_reps) = byte_classes(nfa);
+        let (class_of, n_classes, class_reps) = byte_classes(&nfa.states);
         let start_closure = nfa.eps_closure(&[nfa.start]);
 
         let mut subset_ids: HashMap<Vec<usize>, u32> = HashMap::new();
@@ -110,14 +116,17 @@ impl ScanDfa {
             "empty-matching patterns are rejected earlier"
         );
 
+        let mut seen = StampSet::new(nfa.len());
+        let mut moved: Vec<usize> = Vec::new();
         while let Some(id) = worklist.pop() {
             let subset = subsets[id as usize].clone();
             for class in 0..n_classes {
                 let rep = class_reps[class];
-                let mut moved: Vec<usize> = Vec::new();
+                seen.begin();
+                moved.clear();
                 for &s in &subset {
                     for (cls, t) in &nfa.states[s].on_byte {
-                        if cls.contains(rep) && !moved.contains(t) {
+                        if cls.contains(rep) && seen.insert(*t) {
                             moved.push(*t);
                         }
                     }
@@ -140,11 +149,21 @@ impl ScanDfa {
             }
         }
 
+        // Premultiply state ids by the class count (the regex-automata
+        // trick): the scan loop then indexes `trans[state + class]` with no
+        // multiply. Sentinels stay unscaled — they are tested, not indexed.
+        let nc = n_classes as u32;
+        for t in trans.iter_mut() {
+            if *t != MATCH && *t != DEAD {
+                *t *= nc;
+            }
+        }
+
         Ok(Self {
             class_of,
             n_classes,
             trans,
-            start,
+            start: start * nc,
             accept_at_eof,
             anchored_start,
             anchored_end,
@@ -164,7 +183,7 @@ impl ScanDfa {
                 }
                 cur = self.step(cur, b);
             }
-            return usize::from(cur != DEAD && self.accept_at_eof[cur as usize]);
+            return usize::from(cur != DEAD && self.accept_at_eof[cur as usize / self.n_classes]);
         }
         for &b in haystack {
             cur = self.step(cur, b);
@@ -205,9 +224,11 @@ impl ScanDfa {
         false
     }
 
+    /// One byte step. `state` is a premultiplied id (never a sentinel);
+    /// returns the premultiplied target or a sentinel.
     #[inline]
     fn step(&self, state: u32, b: u8) -> u32 {
-        self.trans[state as usize * self.n_classes + self.class_of[b as usize] as usize]
+        self.trans[state as usize + self.class_of[b as usize] as usize]
     }
 
     /// Number of materialised DFA states (excludes MATCH/DEAD sentinels).
@@ -221,13 +242,57 @@ impl ScanDfa {
     }
 }
 
-/// Computes byte equivalence classes: two bytes are equivalent if every NFA
-/// transition class treats them identically. Returns `(byte → class,
-/// class count, representative byte per class)`.
-fn byte_classes(nfa: &Nfa) -> (Vec<u16>, usize, Vec<u8>) {
+/// Constant-time "have I seen this index during the current pass" set,
+/// cleared in O(1) by bumping an epoch stamp. Replaces the O(n²)
+/// `Vec::contains` scans in subset construction (also used by the fused
+/// multi-pattern builder, where subsets are much larger).
+#[derive(Debug, Clone)]
+pub(crate) struct StampSet {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl StampSet {
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            stamp: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    /// Starts a new pass; all indices become "unseen".
+    pub(crate) fn begin(&mut self) {
+        self.epoch += 1;
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Marks `i` seen; returns `true` if it was not already seen this pass.
+    #[inline]
+    pub(crate) fn insert(&mut self, i: usize) -> bool {
+        if self.stamp[i] == self.epoch {
+            false
+        } else {
+            self.stamp[i] = self.epoch;
+            true
+        }
+    }
+
+    /// Whether `i` has been seen this pass.
+    #[inline]
+    pub(crate) fn contains(&self, i: usize) -> bool {
+        self.stamp[i] == self.epoch
+    }
+}
+
+/// Computes byte equivalence classes over a state arena: two bytes are
+/// equivalent if every NFA transition class treats them identically.
+/// Returns `(byte → class, class count, representative byte per class)`.
+pub(crate) fn byte_classes(states: &[crate::nfa::State]) -> (Vec<u16>, usize, Vec<u8>) {
     // Signature of a byte: the set of transition-classes containing it.
-    let all_classes: Vec<&ClassSet> = nfa
-        .states
+    let all_classes: Vec<&ClassSet> = states
         .iter()
         .flat_map(|s| s.on_byte.iter().map(|(c, _)| c))
         .collect();
@@ -249,7 +314,7 @@ fn byte_classes(nfa: &Nfa) -> (Vec<u16>, usize, Vec<u8>) {
 }
 
 /// Union of two sorted, deduped index lists.
-fn merge_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+pub(crate) fn merge_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {

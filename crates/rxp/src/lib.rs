@@ -14,10 +14,15 @@
 //!   character classes, escapes, alternation, grouping, `* + ?` and bounded
 //!   `{n,m}` repetition, leading `^` / trailing `$` anchors, and a global
 //!   `(?i)` case-insensitivity flag (the subset L7-filter patterns use).
-//! * [`nfa`] — Thompson construction.
+//! * [`nfa`] — Thompson construction, plus the rule-tagged
+//!   [`MergedNfa`](nfa::MergedNfa) union feeding multi-pattern fusion.
 //! * [`dfa`] — subset construction over byte classes into a *scanning DFA*
 //!   that counts non-overlapping, leftmost-shortest matches in a single
 //!   O(len) pass — the same streaming behaviour as a hardware scan engine.
+//! * [`fused`] — the fused multi-pattern DFA: the whole ruleset compiled
+//!   into one automaton (as real RXP hardware does), emitting per-rule
+//!   match counts in a single pass, with transparent per-rule fallback
+//!   under the state budget.
 //! * [`Regex`] — the compiled form; [`Ruleset`] — a multi-pattern set with
 //!   per-rule match counting and an L7-filter-style default set.
 //!
@@ -32,6 +37,7 @@
 
 pub mod classes;
 pub mod dfa;
+pub mod fused;
 pub mod nfa;
 pub mod parser;
 pub mod regex;
@@ -39,4 +45,5 @@ pub mod ruleset;
 
 pub use crate::regex::{CompileRegexError, Regex};
 pub use classes::ClassSet;
+pub use fused::{FusedDfa, FusedScanner};
 pub use ruleset::{l7_default_ruleset, Rule, Ruleset, ScanReport};

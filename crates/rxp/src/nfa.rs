@@ -77,6 +77,120 @@ impl Nfa {
     }
 }
 
+/// Metadata of one rule inside a [`MergedNfa`].
+#[derive(Debug, Clone)]
+pub struct MergedRule {
+    /// Start state in the merged arena.
+    pub start: usize,
+    /// Accept state in the merged arena (the rule tag target: reaching it
+    /// means *this* rule matched).
+    pub accept: usize,
+    /// Rule pattern began with `^`.
+    pub anchored_start: bool,
+    /// Rule pattern ended with `$`.
+    pub anchored_end: bool,
+    /// Epsilon-closure of the rule's start state (sorted, merged-arena ids).
+    pub start_closure: Vec<usize>,
+}
+
+/// The union of several rule NFAs in a single state arena, with per-state
+/// rule tags — the input to fused multi-pattern subset construction.
+///
+/// Each rule keeps its own start/accept pair and anchor flags; states of
+/// different rules are disjoint, so a subset of merged states decomposes
+/// uniquely into per-rule subsets. This is what lets the fused DFA apply
+/// each rule's match/reset semantics independently while scanning once.
+#[derive(Debug, Clone)]
+pub struct MergedNfa {
+    /// Combined state arena (rule sub-arenas are contiguous and disjoint).
+    pub states: Vec<State>,
+    /// Per-rule metadata, in the order the rules were merged.
+    pub rules: Vec<MergedRule>,
+    /// Rule tag per state: which rule owns each merged state.
+    pub rule_of: Vec<u16>,
+    /// Whether each state belongs to its owning rule's start closure
+    /// (such states survive that rule's post-match reset).
+    pub in_start_closure: Vec<bool>,
+    /// Sorted union of the start closures of every rule — the initial
+    /// fused subset (all rules are live at offset 0).
+    pub init: Vec<usize>,
+    /// Sorted union of the start closures of the *unanchored-start* rules —
+    /// re-injected after every byte so their matches may begin anywhere.
+    pub reinject: Vec<usize>,
+}
+
+impl MergedNfa {
+    /// Merges rule NFAs (with their anchor flags) into one tagged arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u16::MAX` rules are merged (callers group far
+    /// below that).
+    pub fn merge(rules: &[(&Nfa, bool, bool)]) -> Self {
+        assert!(rules.len() <= u16::MAX as usize, "too many rules to merge");
+        let total: usize = rules.iter().map(|(n, _, _)| n.len()).sum();
+        let mut states: Vec<State> = Vec::with_capacity(total);
+        let mut rule_of: Vec<u16> = Vec::with_capacity(total);
+        let mut in_start_closure = vec![false; total];
+        let mut merged_rules: Vec<MergedRule> = Vec::with_capacity(rules.len());
+        let mut init: Vec<usize> = Vec::new();
+        let mut reinject: Vec<usize> = Vec::new();
+        for (i, &(nfa, anchored_start, anchored_end)) in rules.iter().enumerate() {
+            let off = states.len();
+            for s in &nfa.states {
+                let mut shifted = s.clone();
+                for (_, t) in shifted.on_byte.iter_mut() {
+                    *t += off;
+                }
+                for t in shifted.eps.iter_mut() {
+                    *t += off;
+                }
+                states.push(shifted);
+                rule_of.push(i as u16);
+            }
+            let start_closure: Vec<usize> = nfa
+                .eps_closure(&[nfa.start])
+                .into_iter()
+                .map(|s| s + off)
+                .collect();
+            for &s in &start_closure {
+                in_start_closure[s] = true;
+            }
+            // Sub-arenas are appended in order, so closures concatenate
+            // into already-sorted `init` / `reinject` lists.
+            init.extend_from_slice(&start_closure);
+            if !anchored_start {
+                reinject.extend_from_slice(&start_closure);
+            }
+            merged_rules.push(MergedRule {
+                start: nfa.start + off,
+                accept: nfa.accept + off,
+                anchored_start,
+                anchored_end,
+                start_closure,
+            });
+        }
+        Self {
+            states,
+            rules: merged_rules,
+            rule_of,
+            in_start_closure,
+            init,
+            reinject,
+        }
+    }
+
+    /// Number of merged states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the merged arena is empty (no rules merged).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
 struct Builder {
     states: Vec<State>,
 }

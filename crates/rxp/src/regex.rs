@@ -56,6 +56,38 @@ impl From<DfaTooComplexError> for CompileRegexError {
     }
 }
 
+/// A compiled rule plus the intermediate artefacts the fused multi-pattern
+/// builder needs: the Thompson NFA and the anchor flags. Produced by
+/// [`compile_parts`] so [`Ruleset`](crate::Ruleset) parses each pattern
+/// exactly once for both its per-rule DFA and the fused automaton.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledParts {
+    pub regex: Regex,
+    pub nfa: Nfa,
+    pub anchored_start: bool,
+    pub anchored_end: bool,
+}
+
+/// Compiles `pattern`, returning the [`Regex`] together with its NFA and
+/// anchors (see [`CompiledParts`]).
+pub(crate) fn compile_parts(pattern: &str) -> Result<CompiledParts, CompileRegexError> {
+    let parsed = parse(pattern)?;
+    let nfa = Nfa::from_ast(&parsed.ast);
+    if nfa.matches_empty() {
+        return Err(CompileRegexError::MatchesEmpty);
+    }
+    let dfa = ScanDfa::build(&nfa, parsed.anchored_start, parsed.anchored_end)?;
+    Ok(CompiledParts {
+        regex: Regex {
+            pattern: pattern.to_string(),
+            dfa,
+        },
+        nfa,
+        anchored_start: parsed.anchored_start,
+        anchored_end: parsed.anchored_end,
+    })
+}
+
 impl Regex {
     /// Compiles `pattern` into a scanning DFA.
     ///
@@ -64,16 +96,7 @@ impl Regex {
     /// Returns [`CompileRegexError`] if the pattern is malformed, matches
     /// the empty string, or expands past the DFA state budget.
     pub fn compile(pattern: &str) -> Result<Self, CompileRegexError> {
-        let parsed = parse(pattern)?;
-        let nfa = Nfa::from_ast(&parsed.ast);
-        if nfa.matches_empty() {
-            return Err(CompileRegexError::MatchesEmpty);
-        }
-        let dfa = ScanDfa::build(&nfa, parsed.anchored_start, parsed.anchored_end)?;
-        Ok(Self {
-            pattern: pattern.to_string(),
-            dfa,
-        })
+        Ok(compile_parts(pattern)?.regex)
     }
 
     /// Counts non-overlapping, leftmost-shortest matches in `haystack`.

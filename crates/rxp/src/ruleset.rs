@@ -5,7 +5,10 @@
 //! application-protocol signatures in the style of L7-filter, chosen so the
 //! traffic generator can plant matches at a controlled MTBR.
 
-use crate::regex::{CompileRegexError, Regex};
+use crate::dfa::MAX_DFA_STATES;
+use crate::fused::{FusedScanner, RuleNfa};
+use crate::regex::{compile_parts, CompileRegexError, Regex};
+use std::sync::Arc;
 
 /// One named rule of a ruleset.
 #[derive(Debug, Clone)]
@@ -18,6 +21,16 @@ pub struct Rule {
 
 /// A compiled multi-pattern ruleset.
 ///
+/// Scanning runs on a *fused* multi-pattern DFA (see [`crate::fused`]):
+/// all rules whose fusion fits the state budget share one automaton and
+/// one O(len) pass; the rest transparently scan with their standalone
+/// per-rule DFAs. [`Ruleset::scan`] / [`Ruleset::scan_into`] behave
+/// identically whichever strategy was chosen.
+///
+/// The compiled form is immutable and internally reference-counted, so
+/// cloning a `Ruleset` (every regex NF holds one) is O(1) and shares the
+/// fused tables.
+///
 /// # Example
 ///
 /// ```
@@ -28,11 +41,17 @@ pub struct Rule {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Ruleset {
+    inner: Arc<RulesetInner>,
+}
+
+#[derive(Debug)]
+struct RulesetInner {
     rules: Vec<Rule>,
+    fused: FusedScanner,
 }
 
 /// Result of scanning one payload against a [`Ruleset`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ScanReport {
     /// Match count per rule, in ruleset order.
     pub per_rule: Vec<usize>,
@@ -43,6 +62,25 @@ pub struct ScanReport {
 }
 
 impl ScanReport {
+    /// An empty report sized for `n_rules` rules — the reusable scratch
+    /// for [`Ruleset::scan_into`].
+    pub fn with_rules(n_rules: usize) -> Self {
+        Self {
+            per_rule: vec![0; n_rules],
+            total_matches: 0,
+            bytes_scanned: 0,
+        }
+    }
+
+    /// Clears the report and resizes it for `n_rules` rules, reusing the
+    /// allocation.
+    pub fn reset(&mut self, n_rules: usize) {
+        self.per_rule.clear();
+        self.per_rule.resize(n_rules, 0);
+        self.total_matches = 0;
+        self.bytes_scanned = 0;
+    }
+
     /// Match-to-byte ratio of this payload in matches per megabyte — the
     /// traffic attribute of §5.1.1 (paper reports matches/MB).
     pub fn mtbr_per_mb(&self) -> f64 {
@@ -63,20 +101,78 @@ impl Ruleset {
     where
         I: IntoIterator<Item = (&'a str, &'a str)>,
     {
+        Self::compile_with_budget(patterns, MAX_DFA_STATES)
+    }
+
+    /// Compiles with an explicit fused-automaton state budget (exposed for
+    /// tests and tuning; [`Ruleset::compile`] uses
+    /// [`MAX_DFA_STATES`](crate::dfa::MAX_DFA_STATES), and budgets are
+    /// honoured up to [`MAX_FUSED_BUDGET`](crate::fused::MAX_FUSED_BUDGET)).
+    /// Rules that cannot fuse within the budget transparently fall back to
+    /// per-rule scanning.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pattern's [`CompileRegexError`] with its name.
+    pub fn compile_with_budget<'a, I>(
+        patterns: I,
+        budget: usize,
+    ) -> Result<Self, (String, CompileRegexError)>
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
         let mut rules = Vec::new();
+        let mut nfas = Vec::new();
         for (name, pattern) in patterns {
-            let regex = Regex::compile(pattern).map_err(|e| (name.to_string(), e))?;
+            let parts = compile_parts(pattern).map_err(|e| (name.to_string(), e))?;
             rules.push(Rule {
                 name: name.to_string(),
-                regex,
+                regex: parts.regex,
+            });
+            nfas.push(RuleNfa {
+                nfa: parts.nfa,
+                anchored_start: parts.anchored_start,
+                anchored_end: parts.anchored_end,
             });
         }
-        Ok(Self { rules })
+        let fused = FusedScanner::build_with_budget(&nfas, budget);
+        Ok(Self {
+            inner: Arc::new(RulesetInner { rules, fused }),
+        })
     }
 
     /// Scans `payload` against every rule, counting matches.
+    ///
+    /// Allocates a fresh [`ScanReport`]; hot paths should reuse a scratch
+    /// report via [`Ruleset::scan_into`].
     pub fn scan(&self, payload: &[u8]) -> ScanReport {
+        let mut report = ScanReport::with_rules(self.len());
+        self.scan_into(payload, &mut report);
+        report
+    }
+
+    /// Scans `payload` into a caller-owned report, allocation-free once
+    /// the report has capacity. One fused pass per group plus per-rule
+    /// passes for any fallback rules.
+    pub fn scan_into(&self, payload: &[u8], report: &mut ScanReport) {
+        report.reset(self.len());
+        for group in self.inner.fused.groups() {
+            group.scan_into(payload, &mut report.per_rule);
+        }
+        for &ri in self.inner.fused.fallback_rules() {
+            report.per_rule[ri as usize] =
+                self.inner.rules[ri as usize].regex.count_matches(payload);
+        }
+        report.total_matches = report.per_rule.iter().sum();
+        report.bytes_scanned = payload.len();
+    }
+
+    /// Reference scan that runs every rule's standalone DFA — one pass per
+    /// rule. This is the oracle the fused-parity suite and the
+    /// `ruleset_scan` benches compare against; it is *not* the hot path.
+    pub fn scan_per_rule(&self, payload: &[u8]) -> ScanReport {
         let per_rule: Vec<usize> = self
+            .inner
             .rules
             .iter()
             .map(|r| r.regex.count_matches(payload))
@@ -91,22 +187,33 @@ impl Ruleset {
 
     /// The rules in order.
     pub fn rules(&self) -> &[Rule] {
-        &self.rules
+        &self.inner.rules
     }
 
     /// Number of rules.
     pub fn len(&self) -> usize {
-        self.rules.len()
+        self.inner.rules.len()
     }
 
     /// Whether the ruleset has no rules.
     pub fn is_empty(&self) -> bool {
-        self.rules.is_empty()
+        self.inner.rules.is_empty()
     }
 
-    /// Total DFA states across rules — proxy for accelerator rule memory.
+    /// Total DFA states across per-rule automata — proxy for accelerator
+    /// rule memory.
     pub fn total_states(&self) -> usize {
-        self.rules.iter().map(|r| r.regex.state_count()).sum()
+        self.inner.rules.iter().map(|r| r.regex.state_count()).sum()
+    }
+
+    /// Number of rules covered by fused automata (the rest scan per-rule).
+    pub fn fused_rule_count(&self) -> usize {
+        self.inner.fused.fused_rule_count()
+    }
+
+    /// Total product states across the fused automata.
+    pub fn fused_state_count(&self) -> usize {
+        self.inner.fused.state_count()
     }
 }
 
@@ -133,10 +240,18 @@ pub fn match_seeds() -> Vec<(&'static str, &'static [u8])> {
 /// A representative L7-filter-style ruleset: application-protocol
 /// signatures plus a few intrusion patterns.
 ///
+/// Compiled once per process (the fused automaton build is not free) and
+/// returned as an O(1) clone sharing the compiled tables.
+///
 /// # Panics
 ///
 /// Panics only if the built-in patterns fail to compile (covered by tests).
 pub fn l7_default_ruleset() -> Ruleset {
+    static DEFAULT: std::sync::OnceLock<Ruleset> = std::sync::OnceLock::new();
+    DEFAULT.get_or_init(build_l7_default_ruleset).clone()
+}
+
+fn build_l7_default_ruleset() -> Ruleset {
     Ruleset::compile(vec![
         // Protocol signatures (L7-filter style).
         (

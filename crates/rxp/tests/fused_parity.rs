@@ -1,0 +1,230 @@
+//! Fused-vs-oracle parity: the fused multi-pattern scan must produce
+//! *byte-for-byte identical* [`ScanReport`]s to the per-rule reference
+//! scan (`Ruleset::scan_per_rule`, one standalone DFA pass per rule) on
+//! every input — seeds, planted-match payloads across MTBR levels, every
+//! anchor flavour, and payload lengths 0–4096. The fused path is only a
+//! performance strategy; any observable difference is a bug.
+
+use yala_rxp::ruleset::match_seeds;
+use yala_rxp::{l7_default_ruleset, Ruleset, ScanReport};
+
+/// Deterministic LCG so the corpus is reproducible without pulling the
+/// traffic crate (which depends on this one).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Filler alphabet inert against the default ruleset (mirrors the traffic
+/// generator's choice).
+const FILLER: &[u8] = b"qwzjkvyxubnmfdgh QWZJKVYXUBNM";
+
+/// Builds a payload of `len` filler bytes with `planted` whole match seeds
+/// embedded at random non-overlapping-ish offsets (one filler byte of
+/// separation, like the traffic generator).
+fn payload_with_seeds(rng: &mut Lcg, len: usize, planted: usize) -> Vec<u8> {
+    let mut out: Vec<u8> = (0..len).map(|_| FILLER[rng.below(FILLER.len())]).collect();
+    let seeds = match_seeds();
+    for _ in 0..planted {
+        let seed = seeds[rng.below(seeds.len())].1;
+        if seed.len() + 2 >= len {
+            continue;
+        }
+        let at = 1 + rng.below(len - seed.len() - 2);
+        out[at..at + seed.len()].copy_from_slice(seed);
+    }
+    out
+}
+
+/// Asserts fused == oracle on one payload, also exercising the reusable
+/// scratch-report path.
+fn assert_parity(rs: &Ruleset, scratch: &mut ScanReport, payload: &[u8], what: &str) {
+    let oracle = rs.scan_per_rule(payload);
+    let fused = rs.scan(payload);
+    assert_eq!(fused, oracle, "scan() diverged from oracle on {what}");
+    rs.scan_into(payload, scratch);
+    assert_eq!(
+        *scratch, oracle,
+        "scan_into() diverged from oracle on {what}"
+    );
+}
+
+#[test]
+fn default_ruleset_fuses_fully() {
+    let rs = l7_default_ruleset();
+    assert_eq!(
+        rs.fused_rule_count(),
+        rs.len(),
+        "every default rule should fuse within the state budget"
+    );
+    assert!(rs.fused_state_count() > 0);
+}
+
+#[test]
+fn parity_on_match_seed_corpus() {
+    let rs = l7_default_ruleset();
+    let mut scratch = ScanReport::default();
+    for (name, seed) in match_seeds() {
+        assert_parity(&rs, &mut scratch, seed, name);
+        // Seed embedded mid-payload, front, and back.
+        let mut rng = Lcg(0xC0FFEE ^ seed.len() as u64);
+        for len in [64usize, 256, 1500] {
+            let mut p = payload_with_seeds(&mut rng, len, 0);
+            let at = (len - seed.len()) / 2;
+            p[at..at + seed.len()].copy_from_slice(seed);
+            assert_parity(&rs, &mut scratch, &p, name);
+            p[..seed.len()].copy_from_slice(seed);
+            assert_parity(&rs, &mut scratch, &p, name);
+            let tail = len - seed.len();
+            p[tail..].copy_from_slice(seed);
+            assert_parity(&rs, &mut scratch, &p, name);
+        }
+    }
+}
+
+#[test]
+fn parity_across_mtbr_levels() {
+    let rs = l7_default_ruleset();
+    let mut scratch = ScanReport::default();
+    let mut rng = Lcg(42);
+    for &mtbr in &[0.0f64, 100.0, 1000.0, 10_000.0] {
+        for len in [60usize, 256, 1446, 4096] {
+            for _ in 0..25 {
+                let planted = (mtbr / 1e6 * len as f64).ceil() as usize;
+                let p = payload_with_seeds(&mut rng, len, planted);
+                assert_parity(&rs, &mut scratch, &p, &format!("mtbr={mtbr} len={len}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn parity_on_payload_length_sweep() {
+    let rs = l7_default_ruleset();
+    let mut scratch = ScanReport::default();
+    let mut rng = Lcg(7);
+    for len in 0..=128 {
+        let p = payload_with_seeds(&mut rng, len, usize::from(len > 24));
+        assert_parity(&rs, &mut scratch, &p, &format!("len={len}"));
+    }
+    for len in (256..=4096).step_by(193) {
+        let p = payload_with_seeds(&mut rng, len, 2);
+        assert_parity(&rs, &mut scratch, &p, &format!("len={len}"));
+    }
+}
+
+/// Every anchor flavour, including overlapping and resetting rules, on
+/// crafted and random payloads.
+#[test]
+fn parity_on_anchor_flavours() {
+    let rs = Ruleset::compile(vec![
+        ("head", r"^GET [a-z]+"),
+        ("tail", r"[0-9]{3}$"),
+        ("exact", r"^HELLO$"),
+        ("plain", r"abc"),
+        ("overlap_a", r"ab"),
+        ("overlap_b", r"b"),
+        ("reset", r"aa"),
+        ("ci", r"(?i)foo(bar)?"),
+        ("alt", r"cat|dog|bird"),
+        ("class", r"[xyz]{2,4}w"),
+    ])
+    .unwrap();
+    let mut scratch = ScanReport::default();
+    let crafted: &[&[u8]] = &[
+        b"",
+        b"GET abc 123",
+        b"HELLO",
+        b"HELLO ",
+        b" HELLO",
+        b"ab",
+        b"bab",
+        b"aaaa",
+        b"aaaaaa",
+        b"GET zzz FOOBAR cat dog xyzw 999",
+        b"abcabcabc",
+        b"xyzxyzw 123",
+        b"foofoobar",
+        b"catdogbird",
+        b"GET a",
+        b"123",
+        b"12",
+    ];
+    for p in crafted {
+        assert_parity(&rs, &mut scratch, p, &format!("crafted {:?}", p));
+    }
+    // Random payloads over a small alphabet rich in rule bytes, so anchors,
+    // overlaps, and resets all fire frequently.
+    let alpha = b"abcdogGET xyzw123HELOfr";
+    let mut rng = Lcg(1234);
+    for len in 0..200usize {
+        let p: Vec<u8> = (0..len).map(|_| alpha[rng.below(alpha.len())]).collect();
+        assert_parity(&rs, &mut scratch, &p, &format!("random len={len}"));
+    }
+    for _ in 0..50 {
+        let len = 500 + rng.below(3596);
+        let p: Vec<u8> = (0..len).map(|_| alpha[rng.below(alpha.len())]).collect();
+        assert_parity(&rs, &mut scratch, &p, &format!("random long len={len}"));
+    }
+}
+
+/// A budget too small to fuse anything must fall back to per-rule scanning
+/// with identical reports — the strategy is invisible through the API.
+#[test]
+fn parity_under_forced_fallback() {
+    let patterns = vec![
+        ("http", r"(?i)(get|post) /[!-~]* http/1\.[01]"),
+        ("ssh", r"(?i)ssh-[12]\.[0-9]"),
+        ("sqli", r"(?i)' or 1=1"),
+        ("tail", r"[0-9]{3}$"),
+        ("head", r"^SSH"),
+    ];
+    let fused = Ruleset::compile(patterns.clone()).unwrap();
+    let unfused = Ruleset::compile_with_budget(patterns.clone(), 1).unwrap();
+    assert!(fused.fused_rule_count() > 0);
+    assert_eq!(unfused.fused_rule_count(), 0, "budget 1 fuses nothing");
+    // A mid-size budget splits: some rules fused, some fall back.
+    let split = Ruleset::compile_with_budget(patterns, 40).unwrap();
+    let mut rng = Lcg(99);
+    let mut scratch = ScanReport::default();
+    for _ in 0..60 {
+        let len = rng.below(2048);
+        let mut p = payload_with_seeds(&mut rng, len, 1);
+        if len > 40 {
+            p[..20].copy_from_slice(b"GET /idx http/1.1 qq");
+        }
+        let oracle = fused.scan_per_rule(&p);
+        for (rs, what) in [(&fused, "fused"), (&unfused, "unfused"), (&split, "split")] {
+            assert_eq!(rs.scan(&p), oracle, "{what} diverged");
+            rs.scan_into(&p, &mut scratch);
+            assert_eq!(scratch, oracle, "{what} scan_into diverged");
+        }
+    }
+}
+
+/// The scratch report must give identical results regardless of what it
+/// held before (stale counts, wrong size).
+#[test]
+fn scratch_reuse_is_stateless() {
+    let rs = l7_default_ruleset();
+    let payload = b"GET /idx.html HTTP/1.1 qq SSH-2.0-OpenSSH_8.9";
+    let expected = rs.scan(payload);
+    let mut scratch = ScanReport {
+        per_rule: vec![777; 3],
+        total_matches: 99,
+        bytes_scanned: 12345,
+    };
+    rs.scan_into(payload, &mut scratch);
+    assert_eq!(scratch, expected);
+}

@@ -10,8 +10,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use yala::core::composition::{compose_min, compose_rtc, compose_sum};
 use yala::ml::{Dataset, LinearRegression};
-use yala::rxp::Regex;
+use yala::rxp::{l7_default_ruleset, Regex, ScanReport};
 use yala::sim::accel::{self, AccelInput};
+use yala::traffic::PayloadSynthesizer;
 
 /// Cases per property, matching the original proptest config.
 const CASES: usize = 64;
@@ -131,5 +132,29 @@ fn regex_literal_counting() {
             expected,
             "case {case}: needle {needle:?}"
         );
+    }
+}
+
+/// The fused ruleset scan agrees with the per-rule oracle on real
+/// traffic-generator payloads across the MTBR range the profiling sweeps
+/// use (the rxp crate's parity suite covers synthetic corpora; this pins
+/// the integration with the dataplane's actual payload synthesis).
+#[test]
+fn fused_scan_matches_oracle_on_generated_traffic() {
+    let synth = PayloadSynthesizer::new();
+    let rules = l7_default_ruleset();
+    let mut scratch = ScanReport::default();
+    let mut rng = StdRng::seed_from_u64(0xF05ED);
+    for &mtbr in &[0.0f64, 100.0, 1000.0, 10_000.0] {
+        for case in 0..CASES {
+            let len = [60, 256, 1024, 1446][case % 4];
+            let payload = synth.generate(&mut rng, len, mtbr);
+            let oracle = rules.scan_per_rule(&payload);
+            rules.scan_into(&payload, &mut scratch);
+            assert_eq!(
+                scratch, oracle,
+                "case {case}: fused scan diverged at mtbr {mtbr}, len {len}"
+            );
+        }
     }
 }
