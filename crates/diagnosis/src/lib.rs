@@ -11,6 +11,25 @@ use yala_core::{Contender, YalaModel};
 use yala_sim::ResourceKind;
 use yala_traffic::TrafficProfile;
 
+/// Selects the limiting `(resource, throughput)` pair from per-resource
+/// predictions. Non-finite predictions (a pathological model extrapolation
+/// can produce NaN) are ignored; if *every* entry is non-finite the
+/// comparison falls back to [`f64::total_cmp`] over all entries, so the
+/// function never panics on NaN.
+///
+/// # Panics
+///
+/// Panics only if `per` is empty (every NF uses at least the memory
+/// subsystem).
+pub fn limiting_resource(per: &[(ResourceKind, f64)]) -> (ResourceKind, f64) {
+    per.iter()
+        .copied()
+        .filter(|(_, t)| t.is_finite())
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .or_else(|| per.iter().copied().min_by(|a, b| a.1.total_cmp(&b.1)))
+        .expect("at least the memory resource")
+}
+
 /// A diagnosis verdict: the predicted bottleneck resource.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Diagnosis {
@@ -29,14 +48,42 @@ pub fn diagnose_yala(
     contenders: &[Contender],
 ) -> Diagnosis {
     let per = model.per_resource(solo_tput, traffic, contenders);
-    let (kind, tput) = per
-        .into_iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite predictions"))
-        .expect("at least the memory resource");
+    let (kind, tput) = limiting_resource(&per);
     Diagnosis {
         bottleneck: kind,
         limiting_tput: tput,
     }
+}
+
+/// Diagnosis-guided victim selection for reactive migration: given the
+/// bottleneck resource of a (predicted) SLA violator and the contender
+/// descriptions of its co-residents, returns the index of the co-resident
+/// exerting the most pressure on that resource — the one whose eviction
+/// most relieves the violator. Pressure is the cache-access rate for the
+/// CPU/memory subsystem and the Eq. 1 round-time contribution
+/// (`queues · service time`) for accelerators. Returns `None` for an
+/// empty slate; NaN pressures rank below every finite pressure.
+pub fn select_victim(bottleneck: ResourceKind, co_residents: &[Contender]) -> Option<usize> {
+    let pressure = |c: &Contender| -> f64 {
+        let p = match bottleneck {
+            ResourceKind::CpuMem => c.counters.car(),
+            accel => c.pressure_on(accel),
+        };
+        if p.is_finite() {
+            p
+        } else {
+            f64::NEG_INFINITY
+        }
+    };
+    let mut best: Option<(usize, f64)> = None;
+    for (i, c) in co_residents.iter().enumerate() {
+        let p = pressure(c);
+        // Strict > keeps the earliest of tied candidates: deterministic.
+        if best.is_none_or(|(_, bp)| p > bp) {
+            best = Some((i, p));
+        }
+    }
+    best.map(|(i, _)| i)
 }
 
 /// SLOMO's diagnosis: with a memory-only model, every degradation is
@@ -67,6 +114,70 @@ mod tests {
     fn slomo_always_says_memory() {
         let d = diagnose_slomo(1e6);
         assert_eq!(d.bottleneck, ResourceKind::CpuMem);
+    }
+
+    #[test]
+    fn limiting_resource_ignores_non_finite_entries() {
+        use ResourceKind::*;
+        let per = [(CpuMem, f64::NAN), (Regex, 2e6), (Compression, 3e6)];
+        assert_eq!(limiting_resource(&per), (Regex, 2e6));
+        let per = [(CpuMem, f64::INFINITY), (Regex, 5e6)];
+        assert_eq!(limiting_resource(&per), (Regex, 5e6));
+        // All non-finite: total order, no panic.
+        let per = [(CpuMem, f64::NAN), (Regex, f64::NAN)];
+        let (kind, tput) = limiting_resource(&per);
+        assert!(tput.is_nan());
+        assert!(kind == CpuMem || kind == Regex);
+    }
+
+    #[test]
+    fn select_victim_tracks_the_bottleneck_resource() {
+        use yala_core::AccelContention;
+        use yala_sim::CounterSample;
+        let mem_hog = Contender::memory_only(
+            "mem-hog",
+            CounterSample {
+                l2crd: 3e8,
+                l2cwr: 1e8,
+                ..CounterSample::default()
+            },
+        );
+        let regex_hog = Contender::memory_only(
+            "regex-hog",
+            CounterSample {
+                l2crd: 1e6,
+                ..CounterSample::default()
+            },
+        )
+        .with_accel(AccelContention {
+            kind: ResourceKind::Regex,
+            queues: 16.0,
+            service_s: 2e-6,
+        });
+        let slate = [mem_hog, regex_hog];
+        assert_eq!(select_victim(ResourceKind::CpuMem, &slate), Some(0));
+        assert_eq!(select_victim(ResourceKind::Regex, &slate), Some(1));
+        assert_eq!(select_victim(ResourceKind::CpuMem, &[]), None);
+    }
+
+    #[test]
+    fn select_victim_survives_nan_pressure() {
+        use yala_sim::CounterSample;
+        let nan = Contender::memory_only(
+            "nan",
+            CounterSample {
+                l2crd: f64::NAN,
+                ..CounterSample::default()
+            },
+        );
+        let ok = Contender::memory_only(
+            "ok",
+            CounterSample {
+                l2crd: 1e6,
+                ..CounterSample::default()
+            },
+        );
+        assert_eq!(select_victim(ResourceKind::CpuMem, &[nan, ok]), Some(1));
     }
 
     #[test]

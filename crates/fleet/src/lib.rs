@@ -1,0 +1,106 @@
+//! # yala-fleet — event-driven cluster orchestration over simulated hours
+//!
+//! The paper's scheduling evaluation (§7.5.1) is one-shot: a fixed
+//! arrival sequence placed once, violations counted at the end. A real
+//! operator fleet is not one-shot — NFs come and go (Poisson arrivals,
+//! exponential lifetimes), their traffic *drifts* (flow counts, packet
+//! sizes, and match rates move over an NF's lifetime), and yesterday's
+//! safe co-location is today's SLA violation. This crate closes that
+//! loop: a deterministic discrete-event simulator of a fleet of hundreds
+//! of NICs in which the predictor runs *continuously* —
+//!
+//! * [`trace`] — scenario generation: arrivals, lifetimes, per-NF drift
+//!   trajectories (interpolated through [`yala_traffic::TrafficProfile::lerp`]),
+//!   all a pure function of one seed.
+//! * [`timeline`] — the offline profiling bill, paid once: every drift
+//!   re-profile any policy will need, built in parallel on the
+//!   [`yala_core::engine::Engine`] and shared across policy runs.
+//! * [`policy`] — placement rules (monopolization / greedy /
+//!   contention-aware behind any [`yala_placement::PlacementPredictor`])
+//!   plus the reactive half: predicted-violation migration with
+//!   diagnosis-guided victim selection ([`yala_diagnosis::select_victim`]).
+//! * [`sim`] — the event loop: departures, arrivals, and periodic SLA
+//!   audits (ground-truth co-runs fanned across engine workers with
+//!   per-`(epoch, NIC)` seeding) in a statically ordered event list.
+//! * [`report`] — the [`FleetReport`] time series: NICs in use,
+//!   SLA-violation minutes, migrations, wasted cores vs. the oracle
+//!   packing bound. Same `(config, policy)` ⇒ bit-identical report.
+//!
+//! ```
+//! use yala_core::Engine;
+//! use yala_fleet::{run_fleet, FleetConfig, FleetPolicy, FleetTrace, ProfiledTrace};
+//!
+//! let mut cfg = FleetConfig::small(7);
+//! cfg.duration_s = 1_200; // keep the doctest cheap: two audit epochs
+//! cfg.mean_interarrival_s = 240.0;
+//! cfg.audit_period_s = 600;
+//! let profiled = ProfiledTrace::build(FleetTrace::generate(cfg), &Engine::sequential());
+//! let report = run_fleet(&profiled, FleetPolicy::Greedy, "greedy", &Engine::sequential());
+//! assert_eq!(report.samples.len(), 2);
+//! ```
+
+pub mod policy;
+pub mod report;
+pub mod sim;
+pub mod timeline;
+pub mod trace;
+
+pub use policy::{Diagnoser, FleetPolicy};
+pub use report::{FleetReport, FleetSample};
+pub use sim::run_fleet;
+pub use timeline::{NfTimeline, ProfiledTrace};
+pub use trace::{FleetConfig, FleetTrace, NfRecord, MS_PER_S};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yala_core::Engine;
+
+    fn tiny_profiled(seed: u64) -> ProfiledTrace {
+        let mut cfg = FleetConfig::small(seed);
+        cfg.duration_s = 1_800;
+        cfg.mean_interarrival_s = 200.0;
+        cfg.mean_lifetime_s = 900.0;
+        cfg.audit_period_s = 600;
+        ProfiledTrace::build(FleetTrace::generate(cfg), &Engine::sequential())
+    }
+
+    #[test]
+    fn monopolization_smoke() {
+        let p = tiny_profiled(21);
+        let engine = Engine::sequential();
+        let r = run_fleet(&p, FleetPolicy::Monopolization, "mono", &engine);
+        assert_eq!(r.samples.len(), 3);
+        assert_eq!(r.total_arrivals as usize, p.trace.records.len());
+        assert_eq!(r.migrations, 0, "monopolization never migrates");
+        assert_eq!(
+            r.violation_minutes, 0.0,
+            "solo NFs cannot violate their own solo-referenced SLA"
+        );
+        for s in &r.samples {
+            assert_eq!(s.active_nfs, s.nics_in_use, "one NF per NIC");
+        }
+    }
+
+    #[test]
+    fn greedy_packs_tighter_than_monopolization() {
+        let p = tiny_profiled(22);
+        let engine = Engine::sequential();
+        let mono = run_fleet(&p, FleetPolicy::Monopolization, "mono", &engine);
+        let greedy = run_fleet(&p, FleetPolicy::Greedy, "greedy", &engine);
+        assert!(greedy.nic_minutes < mono.nic_minutes);
+        assert!(greedy.wasted_core_minutes < mono.wasted_core_minutes);
+        assert_eq!(greedy.total_arrivals, mono.total_arrivals);
+    }
+
+    #[test]
+    fn runs_are_bit_identical() {
+        let p1 = tiny_profiled(23);
+        let p2 = tiny_profiled(23);
+        let engine = Engine::sequential();
+        let a = run_fleet(&p1, FleetPolicy::Greedy, "greedy", &engine);
+        let b = run_fleet(&p2, FleetPolicy::Greedy, "greedy", &engine);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+}

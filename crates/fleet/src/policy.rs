@@ -1,0 +1,104 @@
+//! Fleet policies: how arrivals are placed and how the control loop
+//! reacts to (predicted) SLA violations.
+//!
+//! Placement mirrors the one-shot strategies of §7.5.1 — monopolization,
+//! greedy most-available-cores, contention-aware first-fit behind a
+//! [`PlacementPredictor`] — adapted to a *fixed* fleet: strategies pack
+//! into already-occupied NICs first and power on an empty NIC only when
+//! nothing occupied is feasible (otherwise a mostly-empty fleet would
+//! turn every strategy into monopolization).
+//!
+//! The reactive half is new to the fleet: at each audit epoch the
+//! contention-aware policies re-evaluate every NIC through the
+//! predictor's [`PlacementPredictor::reevaluate`] hook and, on a
+//! predicted violation, drain one resident — chosen by diagnosis
+//! ([`yala_diagnosis::select_victim`]) as the co-resident pressing
+//! hardest on the violator's bottleneck resource — and re-place it
+//! elsewhere under the same predictor.
+
+use yala_core::{Contender, YalaModel};
+use yala_diagnosis::diagnose_yala;
+use yala_nf::NfKind;
+use yala_placement::{Placed, PlacementPredictor};
+use yala_sim::ResourceKind;
+
+/// How the migration loop diagnoses a predicted violator's bottleneck.
+pub enum Diagnoser<'a> {
+    /// Yala's per-resource models: the bottleneck is the resource whose
+    /// model predicts the lowest throughput, and contenders carry their
+    /// fitted accelerator pressure — victim selection can tell a regex
+    /// hog from a cache hog.
+    Yala(&'a [(NfKind, YalaModel)]),
+    /// A memory-only worldview (SLOMO's): every violation is blamed on
+    /// the memory subsystem, so the victim is always the highest-CAR
+    /// co-resident — wrong whenever the real bottleneck is an
+    /// accelerator.
+    MemoryOnly,
+}
+
+impl Diagnoser<'_> {
+    fn model(&self, kind: NfKind) -> Option<&YalaModel> {
+        match self {
+            Diagnoser::Yala(models) => Some(
+                &models
+                    .iter()
+                    .find(|(k, _)| *k == kind)
+                    .expect("model trained")
+                    .1,
+            ),
+            Diagnoser::MemoryOnly => None,
+        }
+    }
+
+    /// Contender descriptions for every resident except `exclude`.
+    pub fn contenders(&self, residents: &[Placed], exclude: usize) -> Vec<Contender> {
+        residents
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != exclude)
+            .map(|(_, p)| match self.model(p.arrival.kind) {
+                Some(m) => m.as_contender(p.counters, p.arrival.traffic.mtbr),
+                None => Contender::memory_only(p.workload.name.clone(), p.counters),
+            })
+            .collect()
+    }
+
+    /// The predicted bottleneck of `residents[violator]` under this
+    /// diagnoser's worldview; `co` must be the violator's contender
+    /// slate from [`Self::contenders`] (built once by the caller, which
+    /// also feeds it to victim selection).
+    pub fn bottleneck(
+        &self,
+        residents: &[Placed],
+        violator: usize,
+        co: &[Contender],
+    ) -> ResourceKind {
+        match self {
+            Diagnoser::MemoryOnly => ResourceKind::CpuMem,
+            Diagnoser::Yala(_) => {
+                let v = &residents[violator];
+                let model = self.model(v.arrival.kind).expect("yala diagnoser");
+                diagnose_yala(model, v.solo_tput, &v.arrival.traffic, co).bottleneck
+            }
+        }
+    }
+}
+
+/// A fleet policy: placement rule + (for contention-aware) the reactive
+/// migration machinery.
+pub enum FleetPolicy<'a> {
+    /// One NF per NIC; no migration (nothing to migrate away from).
+    Monopolization,
+    /// Pack onto the occupied NIC with the most available cores,
+    /// prediction-free; no migration.
+    Greedy,
+    /// Place and migrate only where `predictor` foresees no SLA
+    /// violation; diagnose predicted violators with `diagnoser` to pick
+    /// migration victims.
+    ContentionAware {
+        /// Judges candidate and drifted co-locations.
+        predictor: &'a mut dyn PlacementPredictor,
+        /// Attributes predicted violations to a bottleneck resource.
+        diagnoser: Diagnoser<'a>,
+    },
+}

@@ -1,0 +1,221 @@
+//! The fleet's output: a per-epoch time series plus scenario totals,
+//! comparable across policies because every policy replays the same
+//! profiled trace. `FleetReport` derives `PartialEq` and serializes to a
+//! canonical JSON string — the determinism contract is *bit-identical
+//! reports* for identical `(config, policy)`.
+
+/// One audit epoch's observation of the fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetSample {
+    /// Epoch time, seconds since scenario start.
+    pub t_s: u64,
+    /// NFs currently placed.
+    pub active_nfs: u32,
+    /// NICs with at least one resident.
+    pub nics_in_use: u32,
+    /// Residents below their SLA floor at ground truth this epoch.
+    pub violating_nfs: u32,
+    /// Migrations executed this epoch.
+    pub migrations: u32,
+    /// Idle cores summed over occupied NICs.
+    pub wasted_cores: u32,
+    /// Bin-packing lower bound on NICs for the active set: what a perfect
+    /// packer (the oracle reference) could not go below.
+    pub oracle_lb_nics: u32,
+}
+
+/// Scenario totals and time series for one policy run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Policy label (e.g. `"yala"`, `"greedy"`).
+    pub policy: String,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Fleet size.
+    pub nics: usize,
+    /// Scenario duration, seconds.
+    pub duration_s: u64,
+    /// Audit period, seconds.
+    pub audit_period_s: u64,
+    /// NFs that arrived on-trace.
+    pub total_arrivals: u32,
+    /// Arrivals that found no feasible NIC (fleet exhausted).
+    pub rejected: u32,
+    /// Total migrations executed.
+    pub migrations: u32,
+    /// Profile snapshots consumed (arrivals + drift re-profiles).
+    pub profile_snapshots: u32,
+    /// NF-minutes spent below the SLA floor (each violating resident
+    /// contributes one audit period per violating epoch).
+    pub violation_minutes: f64,
+    /// NIC-minutes powered (integral of occupied NICs over time).
+    pub nic_minutes: f64,
+    /// Integral of the oracle packing bound over time: the NIC-minutes a
+    /// perfect packer would need for the same active set.
+    pub oracle_lb_nic_minutes: f64,
+    /// Core-minutes idle on occupied NICs.
+    pub wasted_core_minutes: f64,
+    /// Largest number of NICs simultaneously occupied.
+    pub peak_nics: u32,
+    /// Per-epoch observations, ascending in time.
+    pub samples: Vec<FleetSample>,
+}
+
+impl FleetReport {
+    /// Mean NICs in use across epochs.
+    pub fn mean_nics(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples
+            .iter()
+            .map(|s| s.nics_in_use as f64)
+            .sum::<f64>()
+            / self.samples.len() as f64
+    }
+
+    /// Resource wastage vs. the oracle packing bound:
+    /// `(nic_minutes - oracle_lb) / oracle_lb`.
+    pub fn wastage_vs_oracle(&self) -> f64 {
+        if self.oracle_lb_nic_minutes == 0.0 {
+            0.0
+        } else {
+            (self.nic_minutes - self.oracle_lb_nic_minutes) / self.oracle_lb_nic_minutes
+        }
+    }
+
+    /// Fraction of audited NF-epochs in violation.
+    pub fn violation_rate(&self) -> f64 {
+        let audited: u64 = self.samples.iter().map(|s| s.active_nfs as u64).sum();
+        if audited == 0 {
+            return 0.0;
+        }
+        let violating: u64 = self.samples.iter().map(|s| s.violating_nfs as u64).sum();
+        violating as f64 / audited as f64
+    }
+
+    /// Canonical JSON rendering (hand-rolled; the offline workspace has
+    /// no serde_json). Floats are printed with `{:.3}` — identical
+    /// reports produce identical strings.
+    pub fn to_json(&self) -> String {
+        let samples: Vec<String> = self
+            .samples
+            .iter()
+            .map(|s| {
+                format!(
+                    "      {{\"t_s\": {}, \"active\": {}, \"nics\": {}, \"violating\": {}, \
+                     \"migrations\": {}, \"wasted_cores\": {}, \"oracle_lb\": {}}}",
+                    s.t_s,
+                    s.active_nfs,
+                    s.nics_in_use,
+                    s.violating_nfs,
+                    s.migrations,
+                    s.wasted_cores,
+                    s.oracle_lb_nics
+                )
+            })
+            .collect();
+        format!(
+            "  {{\n    \"policy\": \"{}\",\n    \"seed\": {},\n    \"nics\": {},\n    \
+             \"duration_s\": {},\n    \"audit_period_s\": {},\n    \"total_arrivals\": {},\n    \
+             \"rejected\": {},\n    \"migrations\": {},\n    \"profile_snapshots\": {},\n    \
+             \"violation_minutes\": {:.3},\n    \"nic_minutes\": {:.3},\n    \
+             \"oracle_lb_nic_minutes\": {:.3},\n    \"wasted_core_minutes\": {:.3},\n    \
+             \"wastage_vs_oracle\": {:.4},\n    \"violation_rate\": {:.5},\n    \
+             \"mean_nics\": {:.3},\n    \"peak_nics\": {},\n    \"samples\": [\n{}\n    ]\n  }}",
+            self.policy,
+            self.seed,
+            self.nics,
+            self.duration_s,
+            self.audit_period_s,
+            self.total_arrivals,
+            self.rejected,
+            self.migrations,
+            self.profile_snapshots,
+            self.violation_minutes,
+            self.nic_minutes,
+            self.oracle_lb_nic_minutes,
+            self.wasted_core_minutes,
+            self.wastage_vs_oracle(),
+            self.violation_rate(),
+            self.mean_nics(),
+            self.peak_nics,
+            samples.join(",\n")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> FleetReport {
+        FleetReport {
+            policy: "test".into(),
+            seed: 1,
+            nics: 8,
+            duration_s: 1_200,
+            audit_period_s: 600,
+            total_arrivals: 4,
+            rejected: 0,
+            migrations: 1,
+            profile_snapshots: 6,
+            violation_minutes: 10.0,
+            nic_minutes: 40.0,
+            oracle_lb_nic_minutes: 20.0,
+            wasted_core_minutes: 60.0,
+            peak_nics: 3,
+            samples: vec![
+                FleetSample {
+                    t_s: 600,
+                    active_nfs: 2,
+                    nics_in_use: 1,
+                    violating_nfs: 1,
+                    migrations: 1,
+                    wasted_cores: 4,
+                    oracle_lb_nics: 1,
+                },
+                FleetSample {
+                    t_s: 1_200,
+                    active_nfs: 4,
+                    nics_in_use: 3,
+                    violating_nfs: 0,
+                    migrations: 0,
+                    wasted_cores: 16,
+                    oracle_lb_nics: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn summary_math() {
+        let r = report();
+        assert!((r.mean_nics() - 2.0).abs() < 1e-12);
+        assert!((r.wastage_vs_oracle() - 1.0).abs() < 1e-12);
+        assert!((r.violation_rate() - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_is_stable_and_well_formed() {
+        let r = report();
+        let j = r.to_json();
+        assert_eq!(j, r.clone().to_json(), "identical reports, identical JSON");
+        assert!(j.contains("\"policy\": \"test\""));
+        assert!(j.contains("\"violation_minutes\": 10.000"));
+        assert_eq!(j.matches("\"t_s\"").count(), 2);
+        // Balanced braces/brackets.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn empty_report_edges() {
+        let mut r = report();
+        r.samples.clear();
+        r.oracle_lb_nic_minutes = 0.0;
+        assert_eq!(r.mean_nics(), 0.0);
+        assert_eq!(r.wastage_vs_oracle(), 0.0);
+        assert_eq!(r.violation_rate(), 0.0);
+    }
+}

@@ -1,0 +1,347 @@
+//! The fleet event loop: a deterministic discrete-event simulation of an
+//! operator fleet over simulated hours.
+//!
+//! Events — departures, arrivals, audit epochs — are known up front from
+//! the trace, so the "queue" is a statically sorted list with a total
+//! order `(time_ms, class, index)`; at equal times departures free
+//! capacity before arrivals claim it, and the audit observes the settled
+//! state. Ground-truth audits co-run every occupied NIC on private,
+//! per-`(epoch, nic)`-seeded simulators dispatched across the engine's
+//! workers, so the loop is bit-identical for any thread count.
+
+use crate::policy::{Diagnoser, FleetPolicy};
+use crate::report::{FleetReport, FleetSample};
+use crate::timeline::ProfiledTrace;
+use crate::trace::MS_PER_S;
+use yala_core::engine::{scenario_seed, simulator_for, Engine};
+use yala_diagnosis::select_victim;
+use yala_placement::{Placed, PlacementPredictor};
+use yala_sim::{CoRunReport, WorkloadSpec};
+
+/// Salt separating the audit seed stream from the timeline stream.
+const AUDIT_SALT: u64 = 0xAD17_0CA5;
+
+/// Event classes, in processing order at equal timestamps.
+const CLASS_DEPARTURE: u8 = 0;
+const CLASS_ARRIVAL: u8 = 1;
+const CLASS_AUDIT: u8 = 2;
+
+/// Runs one policy over a profiled trace and returns its report.
+/// `label` names the run in the report (e.g. `"yala"`); `engine`
+/// parallelizes the per-NIC ground-truth audits.
+pub fn run_fleet(
+    profiled: &ProfiledTrace,
+    mut policy: FleetPolicy<'_>,
+    label: &str,
+    engine: &Engine,
+) -> FleetReport {
+    let cfg = &profiled.trace.config;
+    let records = &profiled.trace.records;
+    let max_cores = cfg.spec.cores;
+    let horizon_ms = cfg.duration_s * MS_PER_S;
+    let period_ms = cfg.audit_period_s * MS_PER_S;
+
+    // The static event list: (time, class, index). Index is the NF id for
+    // departures/arrivals and the epoch number for audits.
+    let mut events: Vec<(u64, u8, u32)> = Vec::with_capacity(2 * records.len() + 64);
+    for r in records {
+        events.push((r.arrival_ms, CLASS_ARRIVAL, r.id));
+        if r.departure_ms <= horizon_ms {
+            events.push((r.departure_ms, CLASS_DEPARTURE, r.id));
+        }
+    }
+    for epoch in 1..=cfg.epochs() {
+        events.push((epoch * period_ms, CLASS_AUDIT, epoch as u32));
+    }
+    events.sort_unstable();
+
+    // Mutable fleet state.
+    let mut residents: Vec<Vec<u32>> = vec![Vec::new(); cfg.nics];
+    let mut location: Vec<Option<usize>> = vec![None; records.len()];
+    let mut cursor: Vec<usize> = vec![0; records.len()];
+
+    // Report accumulators.
+    let period_min = cfg.audit_period_s as f64 / 60.0;
+    let mut samples: Vec<FleetSample> = Vec::with_capacity(cfg.epochs() as usize);
+    let mut rejected = 0u32;
+    let mut migrations_total = 0u32;
+    let mut violation_minutes = 0.0f64;
+    let mut nic_minutes = 0.0f64;
+    let mut oracle_lb_nic_minutes = 0.0f64;
+    let mut wasted_core_minutes = 0.0f64;
+    let mut peak_nics = 0u32;
+
+    for &(t_ms, class, index) in &events {
+        match class {
+            CLASS_DEPARTURE => {
+                let id = index as usize;
+                if let Some(nic) = location[id].take() {
+                    residents[nic].retain(|&r| r != index);
+                }
+            }
+            CLASS_ARRIVAL => {
+                let id = index as usize;
+                let nf = profiled.timelines[id].snapshots[0].1.clone();
+                let slot = match &mut policy {
+                    FleetPolicy::Monopolization => choose_empty(&residents, None),
+                    FleetPolicy::Greedy => {
+                        choose_greedy(profiled, &residents, &cursor, &nf, max_cores, None)
+                            .or_else(|| choose_empty(&residents, None))
+                    }
+                    FleetPolicy::ContentionAware { predictor, .. } => choose_contention_aware(
+                        profiled, &residents, &cursor, *predictor, &nf, max_cores, None,
+                    )
+                    .or_else(|| choose_empty(&residents, None)),
+                };
+                match slot {
+                    Some(nic) => {
+                        residents[nic].push(index);
+                        location[id] = Some(nic);
+                        cursor[id] = 0;
+                    }
+                    None => rejected += 1,
+                }
+            }
+            CLASS_AUDIT => {
+                let epoch = index as u64;
+                // 1. Drift: bring every placed NF to its snapshot in
+                // force at this epoch (re-profiles are epoch-aligned).
+                for (id, loc) in location.iter().enumerate() {
+                    if loc.is_some() {
+                        cursor[id] = profiled.timelines[id].index_at(t_ms);
+                    }
+                }
+                // 2. Ground truth: co-run every occupied NIC on a private
+                // deterministically seeded simulator, across the engine.
+                let occupied: Vec<usize> = (0..cfg.nics)
+                    .filter(|&n| !residents[n].is_empty())
+                    .collect();
+                let audit_base = scenario_seed(cfg.seed ^ AUDIT_SALT, epoch as usize);
+                let reports: Vec<CoRunReport> = engine.run(occupied.len(), |j| {
+                    let nic = occupied[j];
+                    let mut sim =
+                        simulator_for(&cfg.spec, cfg.noise_sigma, scenario_seed(audit_base, j));
+                    let workloads: Vec<WorkloadSpec> = residents[nic]
+                        .iter()
+                        .map(|&id| snapshot(profiled, &cursor, id).workload.clone())
+                        .collect();
+                    sim.co_run(&workloads)
+                });
+                let mut violating = 0u32;
+                for (&nic, report) in occupied.iter().zip(&reports) {
+                    for (&id, outcome) in residents[nic].iter().zip(&report.outcomes) {
+                        if outcome.throughput_pps < snapshot(profiled, &cursor, id).sla_floor() {
+                            violating += 1;
+                        }
+                    }
+                }
+                // 3. React: predicted-violation migration (contention-
+                // aware policies only).
+                let mut epoch_migrations = 0u32;
+                if let FleetPolicy::ContentionAware {
+                    predictor,
+                    diagnoser,
+                } = &mut policy
+                {
+                    epoch_migrations = migrate(
+                        profiled,
+                        &mut residents,
+                        &mut location,
+                        &cursor,
+                        *predictor,
+                        diagnoser,
+                        max_cores,
+                        cfg.max_migrations_per_audit,
+                    );
+                    migrations_total += epoch_migrations;
+                }
+                // 4. Observe.
+                let active: u32 = residents.iter().map(|r| r.len() as u32).sum();
+                let nics_in_use = residents.iter().filter(|r| !r.is_empty()).count() as u32;
+                let used_cores: u32 = residents
+                    .iter()
+                    .flatten()
+                    .map(|&id| snapshot(profiled, &cursor, id).workload.cores)
+                    .sum();
+                let wasted_cores = nics_in_use * max_cores - used_cores;
+                let oracle_lb_nics = used_cores.div_ceil(max_cores);
+                peak_nics = peak_nics.max(nics_in_use);
+                violation_minutes += violating as f64 * period_min;
+                nic_minutes += nics_in_use as f64 * period_min;
+                oracle_lb_nic_minutes += oracle_lb_nics as f64 * period_min;
+                wasted_core_minutes += wasted_cores as f64 * period_min;
+                samples.push(FleetSample {
+                    t_s: t_ms / MS_PER_S,
+                    active_nfs: active,
+                    nics_in_use,
+                    violating_nfs: violating,
+                    migrations: epoch_migrations,
+                    wasted_cores,
+                    oracle_lb_nics,
+                });
+            }
+            _ => unreachable!("unknown event class"),
+        }
+    }
+
+    FleetReport {
+        policy: label.to_string(),
+        seed: cfg.seed,
+        nics: cfg.nics,
+        duration_s: cfg.duration_s,
+        audit_period_s: cfg.audit_period_s,
+        total_arrivals: records.len() as u32,
+        rejected,
+        migrations: migrations_total,
+        profile_snapshots: profiled.snapshot_count() as u32,
+        violation_minutes,
+        nic_minutes,
+        oracle_lb_nic_minutes,
+        wasted_core_minutes,
+        peak_nics,
+        samples,
+    }
+}
+
+/// The profile snapshot currently in force for NF `id`.
+fn snapshot<'a>(profiled: &'a ProfiledTrace, cursor: &[usize], id: u32) -> &'a Placed {
+    &profiled.timelines[id as usize].snapshots[cursor[id as usize]].1
+}
+
+/// Cores used on a NIC under the current snapshots.
+fn cores_used(profiled: &ProfiledTrace, cursor: &[usize], nic: &[u32]) -> u32 {
+    nic.iter()
+        .map(|&id| snapshot(profiled, cursor, id).workload.cores)
+        .sum()
+}
+
+/// First empty NIC (lowest index), skipping `exclude`.
+fn choose_empty(residents: &[Vec<u32>], exclude: Option<usize>) -> Option<usize> {
+    residents
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| Some(*i) != exclude)
+        .find(|(_, r)| r.is_empty())
+        .map(|(i, _)| i)
+}
+
+/// Greedy: the occupied NIC with the most available cores among those
+/// where `nf` fits (ties break to the lowest index).
+fn choose_greedy(
+    profiled: &ProfiledTrace,
+    residents: &[Vec<u32>],
+    cursor: &[usize],
+    nf: &Placed,
+    max_cores: u32,
+    exclude: Option<usize>,
+) -> Option<usize> {
+    let mut best: Option<(usize, u32)> = None;
+    for (i, nic) in residents.iter().enumerate() {
+        if Some(i) == exclude || nic.is_empty() {
+            continue;
+        }
+        let used = cores_used(profiled, cursor, nic);
+        if used + nf.workload.cores > max_cores {
+            continue;
+        }
+        let avail = max_cores - used;
+        if best.is_none_or(|(_, b)| avail > b) {
+            best = Some((i, avail));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Contention-aware: the first occupied NIC where `nf` fits and the
+/// predictor foresees no SLA violation for anyone (the candidate NIC
+/// including `nf`).
+#[allow(clippy::too_many_arguments)]
+fn choose_contention_aware(
+    profiled: &ProfiledTrace,
+    residents: &[Vec<u32>],
+    cursor: &[usize],
+    predictor: &mut dyn PlacementPredictor,
+    nf: &Placed,
+    max_cores: u32,
+    exclude: Option<usize>,
+) -> Option<usize> {
+    for (i, nic) in residents.iter().enumerate() {
+        if Some(i) == exclude || nic.is_empty() {
+            continue;
+        }
+        if cores_used(profiled, cursor, nic) + nf.workload.cores > max_cores {
+            continue;
+        }
+        let mut candidate: Vec<Placed> = nic
+            .iter()
+            .map(|&id| snapshot(profiled, cursor, id).clone())
+            .collect();
+        candidate.push(nf.clone());
+        let safe = (0..candidate.len())
+            .all(|t| predictor.predict(t, &candidate) >= candidate[t].sla_floor());
+        if safe {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// One audit epoch's reactive migrations: for each NIC with a predicted
+/// violator, drain the diagnosis-selected victim and re-place it under
+/// the predictor (or onto an empty NIC). Returns migrations executed;
+/// stops at `budget`.
+#[allow(clippy::too_many_arguments)]
+fn migrate(
+    profiled: &ProfiledTrace,
+    residents: &mut [Vec<u32>],
+    location: &mut [Option<usize>],
+    cursor: &[usize],
+    predictor: &mut dyn PlacementPredictor,
+    diagnoser: &Diagnoser<'_>,
+    max_cores: u32,
+    budget: usize,
+) -> u32 {
+    let mut moved = 0u32;
+    for nic in 0..residents.len() {
+        if moved as usize >= budget {
+            break;
+        }
+        if residents[nic].len() < 2 {
+            continue;
+        }
+        let placed: Vec<Placed> = residents[nic]
+            .iter()
+            .map(|&id| snapshot(profiled, cursor, id).clone())
+            .collect();
+        let Some(&violator) = predictor.reevaluate(&placed).first() else {
+            continue;
+        };
+        // Diagnose the violator's bottleneck and pick the co-resident
+        // pressing hardest on it.
+        let co = diagnoser.contenders(&placed, violator);
+        let bottleneck = diagnoser.bottleneck(&placed, violator, &co);
+        let co_positions: Vec<usize> = (0..placed.len()).filter(|&i| i != violator).collect();
+        let victim_pos = co_positions[select_victim(bottleneck, &co).expect("≥1 co-resident")];
+        let victim_id = residents[nic][victim_pos];
+        let victim = placed[victim_pos].clone();
+        // Drain-and-replace: a safe occupied NIC first, else power on an
+        // empty one; if the fleet is exhausted the victim stays put.
+        let dst = choose_contention_aware(
+            profiled,
+            residents,
+            cursor,
+            predictor,
+            &victim,
+            max_cores,
+            Some(nic),
+        )
+        .or_else(|| choose_empty(residents, Some(nic)));
+        if let Some(dst) = dst {
+            residents[nic].remove(victim_pos);
+            residents[dst].push(victim_id);
+            location[victim_id as usize] = Some(dst);
+            moved += 1;
+        }
+    }
+    moved
+}

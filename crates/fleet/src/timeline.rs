@@ -1,0 +1,207 @@
+//! Pre-computed profiling timelines: every `(NF, epoch)` profile snapshot
+//! the event loop will ever need, built once per scenario and shared by
+//! all policy runs.
+//!
+//! Profiling — packet replay through the real NF plus a solo measurement
+//! — is the fleet's dominant cost (milliseconds per traffic point, vs.
+//! tens of microseconds for a ground-truth co-run). It is also a pure
+//! function of `(kind, traffic, seed)`: placement never affects it. So
+//! the drift trajectory of each NF is discretized to audit epochs here,
+//! re-profiling only when traffic has moved beyond the config threshold,
+//! and the policies replay the same snapshots — any difference between
+//! two policies' reports is then attributable to their decisions alone.
+
+use crate::trace::{FleetTrace, MS_PER_S};
+use yala_core::engine::{scenario_seed, simulator_for, Engine};
+use yala_placement::{prepare, reprofile, Arrival, Placed};
+use yala_traffic::TrafficProfile;
+
+/// Salt separating the timeline's seed stream from the audit stream.
+const TIMELINE_SALT: u64 = 0xF1EE_7717;
+
+/// One NF's profile snapshots over its lifetime, ascending in time. The
+/// first entry is the arrival profile; later entries are re-profiles at
+/// audit epochs where drift crossed the threshold.
+#[derive(Debug, Clone)]
+pub struct NfTimeline {
+    /// `(time_ms, profile)` pairs, ascending and starting at arrival.
+    pub snapshots: Vec<(u64, Placed)>,
+}
+
+impl NfTimeline {
+    /// The snapshot in force at `t_ms` (the last one taken at or before
+    /// `t_ms`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_ms` precedes the arrival snapshot.
+    pub fn at(&self, t_ms: u64) -> &Placed {
+        self.snapshots
+            .iter()
+            .rev()
+            .find(|(ts, _)| *ts <= t_ms)
+            .map(|(_, p)| p)
+            .expect("queried before arrival")
+    }
+
+    /// Index of the snapshot in force at `t_ms`, for cursor-style replay.
+    pub fn index_at(&self, t_ms: u64) -> usize {
+        self.snapshots
+            .iter()
+            .rposition(|(ts, _)| *ts <= t_ms)
+            .expect("queried before arrival")
+    }
+}
+
+/// A scenario trace plus its profile timelines: everything a policy run
+/// needs, fully deterministic in `(config, engine-thread-count)` — the
+/// per-NF builds are dispatched across the engine but seeded per scenario
+/// index, so any thread count yields bit-identical timelines.
+#[derive(Debug, Clone)]
+pub struct ProfiledTrace {
+    /// The generating trace.
+    pub trace: FleetTrace,
+    /// One timeline per trace record, same order.
+    pub timelines: Vec<NfTimeline>,
+}
+
+impl ProfiledTrace {
+    /// Profiles the whole trace: one independent scenario per NF (its
+    /// arrival profile plus its drift re-profiles, sequentially on a
+    /// private simulator), dispatched across `engine`'s workers.
+    pub fn build(trace: FleetTrace, engine: &Engine) -> Self {
+        let cfg = trace.config.clone();
+        let horizon_ms = cfg.duration_s * MS_PER_S;
+        let period_ms = cfg.audit_period_s * MS_PER_S;
+        let timelines = engine.run(trace.records.len(), |i| {
+            let rec = &trace.records[i];
+            let mut sim = simulator_for(
+                &cfg.spec,
+                cfg.noise_sigma,
+                scenario_seed(cfg.seed ^ TIMELINE_SALT, i),
+            );
+            let workload_seed = cfg.seed.wrapping_add(rec.id as u64);
+            let first = prepare(
+                &mut sim,
+                Arrival {
+                    kind: rec.kind,
+                    traffic: rec.traffic_at(rec.arrival_ms),
+                    sla_drop: rec.sla_drop,
+                },
+                workload_seed,
+            );
+            let mut snapshots = vec![(rec.arrival_ms, first)];
+            let mut last_traffic = rec.start;
+            // Walk the audit epochs inside the NF's on-trace lifetime.
+            let mut epoch_ms = (rec.arrival_ms / period_ms + 1) * period_ms;
+            while epoch_ms < rec.departure_ms && epoch_ms <= horizon_ms {
+                let now = rec.traffic_at(epoch_ms);
+                if drifted(&last_traffic, &now, cfg.reprofile_threshold) {
+                    let prev = &snapshots.last().expect("arrival snapshot").1;
+                    snapshots.push((epoch_ms, reprofile(&mut sim, prev, now, workload_seed)));
+                    last_traffic = now;
+                }
+                epoch_ms += period_ms;
+            }
+            NfTimeline { snapshots }
+        });
+        Self { trace, timelines }
+    }
+
+    /// Total profile snapshots across all NFs (arrivals + re-profiles):
+    /// the scenario's offline profiling bill.
+    pub fn snapshot_count(&self) -> usize {
+        self.timelines.iter().map(|t| t.snapshots.len()).sum()
+    }
+}
+
+/// Whether any traffic attribute moved by more than `threshold` relative
+/// to the last profiled value.
+fn drifted(last: &TrafficProfile, now: &TrafficProfile, threshold: f64) -> bool {
+    let rel = |a: f64, b: f64| (b - a).abs() / a.abs().max(1.0);
+    rel(last.flow_count as f64, now.flow_count as f64) > threshold
+        || rel(last.packet_size as f64, now.packet_size as f64) > threshold
+        || rel(last.mtbr, now.mtbr) > threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::FleetConfig;
+
+    fn small_profiled(seed: u64) -> ProfiledTrace {
+        let mut cfg = FleetConfig::small(seed);
+        // Keep the unit test cheap: a short horizon and few arrivals.
+        cfg.duration_s = 1_800;
+        cfg.mean_interarrival_s = 120.0;
+        cfg.mean_lifetime_s = 900.0;
+        cfg.audit_period_s = 300;
+        ProfiledTrace::build(FleetTrace::generate(cfg), &Engine::sequential())
+    }
+
+    #[test]
+    fn timelines_start_at_arrival_and_stay_ordered() {
+        let p = small_profiled(2);
+        assert_eq!(p.timelines.len(), p.trace.records.len());
+        for (rec, tl) in p.trace.records.iter().zip(&p.timelines) {
+            assert_eq!(tl.snapshots[0].0, rec.arrival_ms);
+            assert_eq!(tl.snapshots[0].1.arrival.kind, rec.kind);
+            for w in tl.snapshots.windows(2) {
+                assert!(w[0].0 < w[1].0, "snapshots ascend");
+            }
+            // Identity (workload name) is stable across re-profiles.
+            for (_, s) in &tl.snapshots {
+                assert_eq!(s.workload.name, tl.snapshots[0].1.workload.name);
+            }
+        }
+        // Instance names are unique fleet-wide (needed for co-runs).
+        let mut names: Vec<&str> = p
+            .timelines
+            .iter()
+            .map(|t| t.snapshots[0].1.workload.name.as_str())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), p.timelines.len());
+    }
+
+    #[test]
+    fn at_returns_last_snapshot_in_force() {
+        let p = small_profiled(8);
+        let tl = p
+            .timelines
+            .iter()
+            .find(|t| t.snapshots.len() >= 2)
+            .expect("drift produces at least one re-profile");
+        let (t1, _) = tl.snapshots[1];
+        assert_eq!(
+            tl.at(t1 - 1).arrival.traffic,
+            tl.snapshots[0].1.arrival.traffic
+        );
+        assert_eq!(tl.at(t1).arrival.traffic, tl.snapshots[1].1.arrival.traffic);
+        assert_eq!(tl.index_at(t1), 1);
+    }
+
+    #[test]
+    fn build_is_thread_count_invariant() {
+        let cfg = {
+            let mut c = FleetConfig::small(13);
+            c.duration_s = 1_200;
+            c.mean_interarrival_s = 150.0;
+            c.audit_period_s = 300;
+            c
+        };
+        let seq = ProfiledTrace::build(FleetTrace::generate(cfg.clone()), &Engine::sequential());
+        let par = ProfiledTrace::build(FleetTrace::generate(cfg), &Engine::with_threads(4));
+        assert_eq!(seq.snapshot_count(), par.snapshot_count());
+        for (a, b) in seq.timelines.iter().zip(&par.timelines) {
+            assert_eq!(a.snapshots.len(), b.snapshots.len());
+            for ((ta, pa), (tb, pb)) in a.snapshots.iter().zip(&b.snapshots) {
+                assert_eq!(ta, tb);
+                assert_eq!(pa.solo_tput, pb.solo_tput);
+                assert_eq!(pa.counters, pb.counters);
+                assert_eq!(pa.workload, pb.workload);
+            }
+        }
+    }
+}

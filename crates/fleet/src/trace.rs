@@ -1,0 +1,255 @@
+//! Scenario traces: Poisson NF arrivals, exponential lifetimes, and
+//! per-NF traffic-drift trajectories. Everything the event loop will
+//! consume is generated up front as a pure function of the config seed,
+//! so a trace — and every report derived from it — is reproducible
+//! bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use yala_nf::NfKind;
+use yala_sim::NicSpec;
+use yala_traffic::TrafficProfile;
+
+/// Milliseconds per second: fleet time is integer milliseconds so event
+/// ordering is exact (no float-comparison ties).
+pub const MS_PER_S: u64 = 1_000;
+
+/// Parameters of one fleet scenario.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Hardware of every NIC in the fleet (homogeneous).
+    pub spec: NicSpec,
+    /// Fleet size: NICs available to the operator.
+    pub nics: usize,
+    /// Simulated duration in seconds.
+    pub duration_s: u64,
+    /// Mean inter-arrival time of the Poisson NF arrival process, seconds.
+    pub mean_interarrival_s: f64,
+    /// Mean NF lifetime (exponential), seconds.
+    pub mean_lifetime_s: f64,
+    /// SLA audit period, seconds. Audits are the fleet's control-loop
+    /// tick: ground truth is sampled, drifted NFs are re-profiled, and
+    /// migration policies react.
+    pub audit_period_s: u64,
+    /// NF kinds arriving (uniformly chosen).
+    pub kinds: Vec<NfKind>,
+    /// SLA drop tolerance range (uniform), e.g. `(0.05, 0.20)`.
+    pub sla_drop_range: (f64, f64),
+    /// Whether per-NF traffic drifts over the NF's lifetime (start and end
+    /// profiles are drawn independently and interpolated); with drift off,
+    /// traffic is constant at the start profile.
+    pub drift: bool,
+    /// Largest flow count drawn for a traffic profile.
+    pub max_flows: u32,
+    /// Relative change in any traffic attribute (flows, packet size,
+    /// MTBR) that triggers a re-profile at the next audit epoch.
+    pub reprofile_threshold: f64,
+    /// Migration budget per audit epoch (drains are operationally
+    /// expensive; a real operator rate-limits them).
+    pub max_migrations_per_audit: usize,
+    /// Measurement noise sigma for profiling and ground-truth audits.
+    pub noise_sigma: f64,
+    /// Master seed: every random stream in the scenario derives from it.
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// A small smoke-test scenario: a couple of simulated hours on a
+    /// 16-NIC fleet. Benchmarks override the fields they sweep.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            spec: NicSpec::bluefield2(),
+            nics: 16,
+            duration_s: 2 * 3_600,
+            mean_interarrival_s: 180.0,
+            mean_lifetime_s: 1_200.0,
+            audit_period_s: 600,
+            kinds: vec![NfKind::FlowStats, NfKind::Acl, NfKind::Nat],
+            sla_drop_range: (0.05, 0.20),
+            drift: true,
+            max_flows: 128_000,
+            reprofile_threshold: 0.10,
+            max_migrations_per_audit: 8,
+            noise_sigma: 0.005,
+            seed,
+        }
+    }
+
+    /// Number of audit epochs in the scenario.
+    pub fn epochs(&self) -> u64 {
+        self.duration_s / self.audit_period_s
+    }
+}
+
+/// One NF's life in the scenario: when it arrives and departs, what it
+/// is, how its traffic drifts, and how tight its SLA is.
+#[derive(Debug, Clone)]
+pub struct NfRecord {
+    /// Dense instance id (index into the trace).
+    pub id: u32,
+    /// Which NF.
+    pub kind: NfKind,
+    /// Arrival time, milliseconds.
+    pub arrival_ms: u64,
+    /// Departure time, milliseconds (may exceed the scenario horizon;
+    /// such NFs simply never depart on-trace).
+    pub departure_ms: u64,
+    /// Traffic profile at arrival.
+    pub start: TrafficProfile,
+    /// Traffic profile reached at departure (equals `start` when drift is
+    /// disabled).
+    pub end: TrafficProfile,
+    /// Maximum tolerated throughput drop vs. solo.
+    pub sla_drop: f64,
+}
+
+impl NfRecord {
+    /// The instantaneous traffic profile at time `t_ms`: linear
+    /// interpolation along the drift trajectory, clamped to the lifetime.
+    pub fn traffic_at(&self, t_ms: u64) -> TrafficProfile {
+        let span = self.departure_ms.saturating_sub(self.arrival_ms).max(1);
+        let frac = t_ms.saturating_sub(self.arrival_ms) as f64 / span as f64;
+        self.start.lerp(&self.end, frac)
+    }
+}
+
+/// A fully materialized scenario: config plus every NF's record, in
+/// arrival order.
+#[derive(Debug, Clone)]
+pub struct FleetTrace {
+    /// The generating config.
+    pub config: FleetConfig,
+    /// NF records in arrival order; `records[i].id == i`.
+    pub records: Vec<NfRecord>,
+}
+
+impl FleetTrace {
+    /// Generates the scenario from `config.seed`: Poisson arrivals over
+    /// the horizon, exponential lifetimes (floored at one minute so every
+    /// NF survives at least a fraction of an audit period), uniform NF
+    /// kinds, random start/end traffic, uniform SLA tightness.
+    pub fn generate(config: FleetConfig) -> Self {
+        assert!(!config.kinds.is_empty(), "at least one NF kind");
+        assert!(config.audit_period_s > 0, "audit period must be positive");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let horizon_ms = config.duration_s * MS_PER_S;
+        let mut records = Vec::new();
+        let mut t_ms = 0.0f64;
+        loop {
+            t_ms += exponential_ms(&mut rng, config.mean_interarrival_s);
+            let arrival_ms = t_ms as u64;
+            if arrival_ms >= horizon_ms {
+                break;
+            }
+            let lifetime_ms = exponential_ms(&mut rng, config.mean_lifetime_s).max(60_000.0);
+            let kind = *config.kinds.choose(&mut rng).expect("nonempty kinds");
+            let start = TrafficProfile::random(&mut rng, config.max_flows);
+            let end = if config.drift {
+                TrafficProfile::random(&mut rng, config.max_flows)
+            } else {
+                start
+            };
+            let sla_drop = rng.gen_range(config.sla_drop_range.0..config.sla_drop_range.1);
+            records.push(NfRecord {
+                id: records.len() as u32,
+                kind,
+                arrival_ms,
+                departure_ms: arrival_ms + lifetime_ms as u64,
+                start,
+                end,
+                sla_drop,
+            });
+        }
+        Self { config, records }
+    }
+}
+
+/// An exponential draw with the given mean, in milliseconds. Uses the
+/// inverse CDF over `1 - u` so `u = 0` is safe.
+fn exponential_ms<R: Rng>(rng: &mut R, mean_s: f64) -> f64 {
+    let u: f64 = rng.gen();
+    -(1.0 - u).ln() * mean_s * MS_PER_S as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = FleetTrace::generate(FleetConfig::small(5));
+        let b = FleetTrace::generate(FleetConfig::small(5));
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.arrival_ms, y.arrival_ms);
+            assert_eq!(x.departure_ms, y.departure_ms);
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.start, y.start);
+            assert_eq!(x.end, y.end);
+            assert_eq!(x.sla_drop, y.sla_drop);
+        }
+        let c = FleetTrace::generate(FleetConfig::small(6));
+        let identical = a.records.len() == c.records.len()
+            && a.records
+                .iter()
+                .zip(&c.records)
+                .all(|(x, y)| x.arrival_ms == y.arrival_ms);
+        assert!(!identical, "different seeds must differ");
+    }
+
+    #[test]
+    fn arrival_counts_track_the_poisson_mean() {
+        let mut cfg = FleetConfig::small(11);
+        cfg.duration_s = 24 * 3_600;
+        cfg.mean_interarrival_s = 144.0;
+        let trace = FleetTrace::generate(cfg);
+        let expected = 24.0 * 3_600.0 / 144.0; // 600
+        let n = trace.records.len() as f64;
+        assert!(
+            (n - expected).abs() < 5.0 * expected.sqrt(),
+            "got {n} arrivals, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn records_are_ordered_and_well_formed() {
+        let trace = FleetTrace::generate(FleetConfig::small(3));
+        let horizon = trace.config.duration_s * MS_PER_S;
+        let mut last = 0;
+        for (i, r) in trace.records.iter().enumerate() {
+            assert_eq!(r.id as usize, i);
+            assert!(r.arrival_ms >= last);
+            assert!(r.arrival_ms < horizon);
+            assert!(r.departure_ms >= r.arrival_ms + 60_000);
+            assert!(r.sla_drop >= 0.05 && r.sla_drop < 0.20);
+            last = r.arrival_ms;
+        }
+    }
+
+    #[test]
+    fn traffic_drifts_from_start_to_end() {
+        let trace = FleetTrace::generate(FleetConfig::small(9));
+        let r = trace
+            .records
+            .iter()
+            .find(|r| r.start != r.end)
+            .expect("drift enabled: some record must have distinct start/end profiles");
+        assert_eq!(r.traffic_at(r.arrival_ms), r.start);
+        assert_eq!(r.traffic_at(r.departure_ms), r.end);
+        assert_eq!(r.traffic_at(r.departure_ms + 999), r.end, "clamped");
+        let mid = r.traffic_at((r.arrival_ms + r.departure_ms) / 2);
+        assert!(mid != r.start || mid != r.end);
+    }
+
+    #[test]
+    fn drift_disabled_freezes_traffic() {
+        let mut cfg = FleetConfig::small(4);
+        cfg.drift = false;
+        let trace = FleetTrace::generate(cfg);
+        for r in &trace.records {
+            assert_eq!(r.start, r.end);
+            assert_eq!(r.traffic_at((r.arrival_ms + r.departure_ms) / 2), r.start);
+        }
+    }
+}

@@ -60,6 +60,19 @@ pub trait PlacementPredictor {
     /// Predicted throughput of `residents[target]` when all `residents`
     /// share one NIC.
     fn predict(&mut self, target: usize, residents: &[Placed]) -> f64;
+
+    /// Re-evaluates an already-populated NIC — e.g. after traffic drift
+    /// has shifted some residents' profiles — and returns the indices of
+    /// residents predicted to violate their SLA floor, in ascending
+    /// order. A fleet orchestrator calls this each audit epoch to decide
+    /// whether to migrate. The default issues one [`Self::predict`] per
+    /// resident; implementations that can evaluate a whole NIC at once
+    /// (the oracle's single co-run) may override it.
+    fn reevaluate(&mut self, residents: &[Placed]) -> Vec<usize> {
+        (0..residents.len())
+            .filter(|&i| self.predict(i, residents) < residents[i].sla_floor())
+            .collect()
+    }
 }
 
 /// The placement strategies of Table 6.
@@ -143,6 +156,31 @@ pub fn prepare_all(
             base_seed.wrapping_add(i as u64),
         )
     })
+}
+
+/// Re-profiles a placed NF after its traffic has drifted to `traffic`:
+/// re-derives the workload (packet replay at the new profile), solo
+/// throughput, and counter vector, keeping the instance's identity (its
+/// workload name) and SLA contract. The SLA floor therefore tracks the
+/// drifted traffic — a drop tolerance is relative to solo performance *at
+/// current traffic*, matching how operators express NF SLAs.
+pub fn reprofile(
+    sim: &mut Simulator,
+    placed: &Placed,
+    traffic: TrafficProfile,
+    seed: u64,
+) -> Placed {
+    let mut arrival = placed.arrival.clone();
+    arrival.traffic = traffic;
+    let mut workload = arrival.kind.workload(traffic, seed);
+    workload.name = placed.workload.name.clone();
+    let outcome = sim.solo(&workload);
+    Placed {
+        arrival,
+        workload,
+        solo_tput: outcome.throughput_pps,
+        counters: outcome.counters,
+    }
 }
 
 /// Runs one online placement episode: arrivals are placed one by one.
@@ -292,6 +330,24 @@ impl PlacementPredictor for OraclePredictor {
         let workloads: Vec<WorkloadSpec> = residents.iter().map(|p| p.workload.clone()).collect();
         self.sim.co_run(&workloads).outcomes[target].throughput_pps
     }
+
+    /// One co-run yields every resident's ground-truth throughput, so the
+    /// oracle audits a whole NIC with a single fixed-point solve instead
+    /// of `residents.len()` of them.
+    fn reevaluate(&mut self, residents: &[Placed]) -> Vec<usize> {
+        if residents.is_empty() {
+            return Vec::new();
+        }
+        let workloads: Vec<WorkloadSpec> = residents.iter().map(|p| p.workload.clone()).collect();
+        let report = self.sim.co_run(&workloads);
+        residents
+            .iter()
+            .zip(&report.outcomes)
+            .enumerate()
+            .filter(|(_, (p, o))| o.throughput_pps < p.sla_floor())
+            .map(|(i, _)| i)
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -390,6 +446,55 @@ mod tests {
         let g2 = place_sequence(&mut sim, &seq, Strategy::Greedy);
         assert_eq!(g1.nics.len(), g2.nics.len());
         assert_eq!(g1.violations, g2.violations);
+    }
+
+    #[test]
+    fn reprofile_keeps_identity_and_tracks_traffic() {
+        let mut s = sim();
+        let placed = prepare(
+            &mut s,
+            Arrival {
+                kind: NfKind::FlowStats,
+                traffic: TrafficProfile::new(4_000, 512, 0.0),
+                sla_drop: 0.1,
+            },
+            7,
+        );
+        let drifted = TrafficProfile::new(200_000, 1500, 0.0);
+        let re = reprofile(&mut s, &placed, drifted, 7);
+        assert_eq!(re.workload.name, placed.workload.name, "identity kept");
+        assert_eq!(re.arrival.traffic, drifted);
+        assert_eq!(re.arrival.sla_drop, placed.arrival.sla_drop);
+        // 50x the flows at triple the packet size: the workload and its
+        // solo reference must actually change.
+        assert_ne!(re.solo_tput, placed.solo_tput);
+        assert_ne!(re.counters, placed.counters);
+        // Re-profiling back at the original traffic restores the solo
+        // reference (noise-free simulator, same workload seed).
+        let back = reprofile(&mut s, &re, placed.arrival.traffic, 7);
+        assert_eq!(back.solo_tput, placed.solo_tput);
+    }
+
+    #[test]
+    fn oracle_reevaluate_matches_default_hook() {
+        // The oracle's single-co-run override must agree with the default
+        // per-resident predict() loop (both are ground truth on a
+        // noise-free simulator).
+        let mut s = sim();
+        let a = arrivals(&mut s, 6);
+        struct DefaultOracle(Simulator);
+        impl PlacementPredictor for DefaultOracle {
+            fn predict(&mut self, target: usize, residents: &[Placed]) -> f64 {
+                let ws: Vec<WorkloadSpec> = residents.iter().map(|p| p.workload.clone()).collect();
+                self.0.co_run(&ws).outcomes[target].throughput_pps
+            }
+        }
+        let mut oracle = OraclePredictor::new(NicSpec::bluefield2());
+        let mut default_oracle = DefaultOracle(Simulator::new(NicSpec::bluefield2()));
+        for chunk in a.chunks(3) {
+            assert_eq!(oracle.reevaluate(chunk), default_oracle.reevaluate(chunk));
+        }
+        assert!(oracle.reevaluate(&[]).is_empty());
     }
 
     #[test]

@@ -307,6 +307,15 @@ impl FusedScanner {
     /// here because compilation happens once per ruleset (the default set
     /// is additionally cached process-wide) and never on a scan path.
     pub fn build_with_budget(rules: &[RuleNfa], budget: usize) -> Self {
+        // Rule ids are u16 throughout the scanner; a larger ruleset would
+        // silently wrap `0..rules.len() as u16` below and never scan the
+        // truncated rules.
+        assert!(
+            rules.len() <= u16::MAX as usize,
+            "ruleset too large: {} rules exceeds the {} supported per scanner",
+            rules.len(),
+            u16::MAX
+        );
         let mut groups = Vec::new();
         let mut fallback: Vec<u16> = Vec::new();
         let try_group = |ids: &[u16]| -> Result<FusedDfa, DfaTooComplexError> {

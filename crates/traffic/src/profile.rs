@@ -86,6 +86,45 @@ impl TrafficProfile {
         out
     }
 
+    /// Linear interpolation between two profiles at `t ∈ [0, 1]`
+    /// (clamped): the drift trajectories of a live fleet move an NF's
+    /// traffic smoothly from one profile to another over its lifetime.
+    /// `t = 0` returns `self` exactly and `t = 1` returns `other`
+    /// exactly; every attribute is monotone in `t`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use yala_traffic::TrafficProfile;
+    /// let a = TrafficProfile::new(4_000, 512, 100.0);
+    /// let b = TrafficProfile::new(64_000, 1500, 1100.0);
+    /// assert_eq!(a.lerp(&b, 0.0), a);
+    /// assert_eq!(a.lerp(&b, 1.0), b);
+    /// assert_eq!(a.lerp(&b, 0.5).flow_count, 34_000);
+    /// ```
+    pub fn lerp(&self, other: &TrafficProfile, t: f64) -> TrafficProfile {
+        let t = if t.is_finite() {
+            t.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        // Pin the endpoints: `a + (b - a) * 1.0` can miss `b` by an ulp.
+        let mix = |a: f64, b: f64| {
+            if t <= 0.0 {
+                a
+            } else if t >= 1.0 {
+                b
+            } else {
+                a + (b - a) * t
+            }
+        };
+        TrafficProfile::new(
+            mix(self.flow_count as f64, other.flow_count as f64).round() as u32,
+            mix(self.packet_size as f64, other.packet_size as f64).round() as u32,
+            mix(self.mtbr, other.mtbr),
+        )
+    }
+
     /// Bytes of payload per packet once headers are subtracted.
     pub fn payload_size(&self) -> u32 {
         self.packet_size
@@ -134,6 +173,47 @@ mod tests {
             for j in i + 1..9 {
                 assert_ne!(grid[i], grid[j]);
             }
+        }
+    }
+
+    #[test]
+    fn lerp_endpoints_are_exact() {
+        let a = TrafficProfile::new(4_000, 512, 100.0);
+        let b = TrafficProfile::new(64_000, 1500, 1_100.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(b.lerp(&a, 0.0), b);
+        assert_eq!(b.lerp(&a, 1.0), a);
+        // Out-of-range and non-finite t clamp to the endpoints.
+        assert_eq!(a.lerp(&b, -3.0), a);
+        assert_eq!(a.lerp(&b, 7.5), b);
+        assert_eq!(a.lerp(&b, f64::NAN), a);
+    }
+
+    #[test]
+    fn lerp_is_monotone_in_t() {
+        let a = TrafficProfile::new(1_000, 64, 0.0);
+        let b = TrafficProfile::new(500_000, 1500, 1_200.0);
+        let mut prev = a;
+        for step in 1..=100 {
+            let p = a.lerp(&b, step as f64 / 100.0);
+            assert!(p.flow_count >= prev.flow_count);
+            assert!(p.packet_size >= prev.packet_size);
+            assert!(p.mtbr >= prev.mtbr);
+            prev = p;
+        }
+        assert_eq!(prev, b);
+    }
+
+    #[test]
+    fn lerp_stays_in_supported_ranges() {
+        let a = TrafficProfile::new(1, MIN_PACKET_SIZE, 0.0);
+        let b = TrafficProfile::new(MAX_FLOW_COUNT, MAX_PACKET_SIZE, MAX_MTBR);
+        for step in 0..=20 {
+            let p = a.lerp(&b, step as f64 / 20.0);
+            assert!(p.flow_count >= 1 && p.flow_count <= MAX_FLOW_COUNT);
+            assert!(p.packet_size >= MIN_PACKET_SIZE && p.packet_size <= MAX_PACKET_SIZE);
+            assert!(p.mtbr >= 0.0 && p.mtbr <= MAX_MTBR);
         }
     }
 

@@ -15,12 +15,15 @@
 //! * [`slomo`] — the SLOMO baseline and naive composition baselines.
 //! * [`placement`] — the contention-aware scheduling use case (§7.5.1).
 //! * [`diagnosis`] — the performance-diagnosis use case (§7.5.2).
+//! * [`fleet`] — the live-cluster orchestrator: traffic drift, periodic
+//!   SLA audits, and reactive migration over simulated hours.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory
 //! and hardware-substitution notes.
 
 pub use yala_core as core;
 pub use yala_diagnosis as diagnosis;
+pub use yala_fleet as fleet;
 pub use yala_ml as ml;
 pub use yala_nf as nf;
 pub use yala_placement as placement;
