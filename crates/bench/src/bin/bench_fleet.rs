@@ -29,7 +29,7 @@ fn main() {
     };
 
     let mut cfg = FleetConfig::small(42);
-    cfg.nics = 200;
+    cfg.portfolio = vec![(yala_sim::NicSpec::bluefield2(), 200)];
     cfg.duration_s = 24 * 3_600;
     cfg.mean_interarrival_s = 144.0; // ~600 arrivals over the day
     cfg.mean_lifetime_s = 9_000.0; // ~60 NFs active at steady state
@@ -41,7 +41,7 @@ fn main() {
 
     println!(
         "bench_fleet: {} NICs, {} h, audit every {} s, {} NF kinds{}",
-        cfg.nics,
+        cfg.nics(),
         cfg.duration_s / 3_600,
         cfg.audit_period_s,
         kinds.len(),
@@ -72,7 +72,7 @@ fn main() {
     );
     let greedy = run_fleet(&profiled, FleetPolicy::Greedy, "greedy", &engine);
     let slomo = {
-        let mut predictor = SlomoPredictor::new(zoo.slomo_models());
+        let mut predictor = SlomoPredictor::new(zoo.slomo_bank());
         run_fleet(
             &profiled,
             FleetPolicy::ContentionAware {
@@ -84,12 +84,12 @@ fn main() {
         )
     };
     let yala = {
-        let mut predictor = YalaPredictor::new(zoo.yala_models());
+        let mut predictor = YalaPredictor::new(zoo.yala_bank());
         run_fleet(
             &profiled,
             FleetPolicy::ContentionAware {
                 predictor: &mut predictor,
-                diagnoser: Diagnoser::Yala(zoo.yala_models()),
+                diagnoser: Diagnoser::Yala(zoo.yala_bank()),
             },
             "yala",
             &engine,

@@ -40,7 +40,7 @@ fn main() {
             })
             .collect();
         let arrivals: Vec<Placed> = prepare_all(
-            &NicSpec::bluefield2(),
+            &[NicSpec::bluefield2()],
             NOISE_SIGMA,
             &specs,
             (seq * n_arrivals) as u64,
@@ -64,13 +64,13 @@ fn main() {
             yala_bench::NOISE_SIGMA,
             seq as u64 + 900,
         );
-        let mut slomo_pred = SlomoPredictor::new(zoo.slomo_models());
+        let mut slomo_pred = SlomoPredictor::new(zoo.slomo_bank());
         let slomo = place_sequence(
             &mut gt_sim,
             &arrivals,
             Strategy::ContentionAware(&mut slomo_pred),
         );
-        let mut yala_pred = YalaPredictor::new(zoo.yala_models());
+        let mut yala_pred = YalaPredictor::new(zoo.yala_bank());
         let yala = place_sequence(
             &mut gt_sim,
             &arrivals,

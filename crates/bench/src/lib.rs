@@ -10,13 +10,12 @@
 //! ground-truth co-runs.
 
 use std::collections::HashMap;
-use yala_core::engine::scenario_seed;
 use yala_core::profiler::cached_workload;
-use yala_core::{Contender, Engine, TrainConfig, YalaModel};
+use yala_core::{Contender, Engine, ModelBank, TrainConfig, YalaModel};
 use yala_ml::metrics;
 use yala_nf::NfKind;
-use yala_sim::{CounterSample, NicSpec, Simulator, WorkloadSpec};
-use yala_slomo::{default_mem_grid, SlomoModel};
+use yala_sim::{CounterSample, NicModelId, NicSpec, Simulator, WorkloadSpec};
+use yala_slomo::{default_mem_grid, train_slomo_bank, SlomoModel};
 use yala_traffic::TrafficProfile;
 
 /// Measurement noise used across experiments (≈ real counter jitter).
@@ -73,12 +72,16 @@ pub fn accuracy(truth: &[f64], pred: &[f64]) -> Accuracy {
 /// Solo-profile cache entry: `(workload, solo counters, solo throughput)`.
 type SoloEntry = (WorkloadSpec, CounterSample, f64);
 
-/// Trained models and caches for one NIC.
+/// Trained model banks and caches for a NIC portfolio. The primary
+/// simulator/accessors answer for the *first* portfolio model (the
+/// homogeneous experiments' testbed); the banks cover every model.
 pub struct Zoo {
-    /// The simulator standing in for the testbed.
+    /// The simulator standing in for the (first-model) testbed.
     pub sim: Simulator,
-    yala: Vec<(NfKind, YalaModel)>,
-    slomo: Vec<(NfKind, SlomoModel)>,
+    /// The first portfolio model — the homogeneous experiments' hardware.
+    model: NicModelId,
+    yala: ModelBank<YalaModel>,
+    slomo: ModelBank<SlomoModel>,
     /// Cache: (kind, profile) → (workload, solo counters, solo tput).
     solo_cache: HashMap<(NfKind, u32, u32, u64), SoloEntry>,
 }
@@ -93,81 +96,73 @@ impl Zoo {
     /// Trains on an explicit NIC spec (e.g. Pensando for Table 9) with the
     /// auto-sized parallel engine.
     pub fn train_on(spec: NicSpec, kinds: &[NfKind], seed: u64) -> Self {
-        Self::train_on_with(spec, kinds, seed, &Engine::auto())
+        Self::train_portfolio(&[spec], kinds, seed, &Engine::auto())
     }
 
-    /// Trains with an explicit scenario engine. Each NF's Yala and SLOMO
-    /// training is one independent scenario on a private deterministically
-    /// seeded simulator, so the trained zoo is bit-identical whatever the
-    /// engine's thread count — `Engine::sequential()` reproduces the
-    /// parallel result exactly.
+    /// Trains with an explicit scenario engine on a single NIC model.
     pub fn train_on_with(spec: NicSpec, kinds: &[NfKind], seed: u64, engine: &Engine) -> Self {
+        Self::train_portfolio(&[spec], kinds, seed, engine)
+    }
+
+    /// Trains per-model Yala and SLOMO banks for a NIC-model portfolio.
+    /// Each admitted `(model, NF)` cell is one independent scenario on a
+    /// private deterministically seeded simulator, so the trained zoo is
+    /// bit-identical whatever the engine's thread count — and a
+    /// single-spec portfolio reproduces the old homogeneous zoo exactly.
+    pub fn train_portfolio(
+        specs: &[NicSpec],
+        kinds: &[NfKind],
+        seed: u64,
+        engine: &Engine,
+    ) -> Self {
         eprintln!(
-            "  training {} NF model pairs across {} worker(s) ...",
+            "  training model pairs for {} NF kinds x {} NIC model(s) across {} worker(s) ...",
             kinds.len(),
+            specs.len(),
             engine.threads()
         );
         let cfg = TrainConfig {
             seed,
             ..TrainConfig::default()
         };
-        let yala = YalaModel::train_all(&spec, NOISE_SIGMA, kinds, &cfg, engine);
+        let yala = ModelBank::train_yala(specs, NOISE_SIGMA, kinds, &cfg, engine);
         // SLOMO's (CAR, WSS) sweep parallelises *within* each target: every
         // grid level is an independent scenario, so even a single NF's
         // training scales with cores.
-        let grid = default_mem_grid();
-        let slomo = kinds
-            .iter()
-            .enumerate()
-            .map(|(i, &kind)| {
-                let target = cached_workload(kind, TrafficProfile::default(), kind as usize as u64);
-                let model = SlomoModel::train_with_engine(
-                    &spec,
-                    NOISE_SIGMA,
-                    &target,
-                    &grid,
-                    scenario_seed(seed, i),
-                    engine,
-                );
-                (kind, model)
-            })
-            .collect();
-        let sim = Simulator::with_noise(spec, NOISE_SIGMA, seed);
+        let slomo = train_slomo_bank(specs, NOISE_SIGMA, kinds, &default_mem_grid(), seed, engine);
+        let model = specs[0].model();
+        let sim = Simulator::with_noise(specs[0].clone(), NOISE_SIGMA, seed);
         Self {
             sim,
+            model,
             yala,
             slomo,
             solo_cache: HashMap::new(),
         }
     }
 
-    /// The trained Yala model for `kind`.
+    /// The first portfolio model's identity.
+    pub fn model(&self) -> NicModelId {
+        self.model
+    }
+
+    /// The trained Yala model for `kind` on the first portfolio model.
     pub fn yala(&self, kind: NfKind) -> &YalaModel {
-        &self
-            .yala
-            .iter()
-            .find(|(k, _)| *k == kind)
-            .expect("trained")
-            .1
+        self.yala.expect(self.model, kind)
     }
 
-    /// The trained SLOMO model for `kind`.
+    /// The trained SLOMO model for `kind` on the first portfolio model.
     pub fn slomo(&self, kind: NfKind) -> &SlomoModel {
-        &self
-            .slomo
-            .iter()
-            .find(|(k, _)| *k == kind)
-            .expect("trained")
-            .1
+        self.slomo.expect(self.model, kind)
     }
 
-    /// All trained Yala models (for the placement predictor).
-    pub fn yala_models(&self) -> &[(NfKind, YalaModel)] {
+    /// The per-model Yala bank (for placement predictors and diagnosers).
+    pub fn yala_bank(&self) -> &ModelBank<YalaModel> {
         &self.yala
     }
 
-    /// All trained SLOMO models.
-    pub fn slomo_models(&self) -> &[(NfKind, SlomoModel)] {
+    /// The per-model SLOMO bank.
+    pub fn slomo_bank(&self) -> &ModelBank<SlomoModel> {
         &self.slomo
     }
 

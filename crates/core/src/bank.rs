@@ -1,0 +1,293 @@
+//! Per-NIC-model model banks: trained predictors keyed by
+//! `(NicModelId, NfKind)`.
+//!
+//! A heterogeneous fleet mixes NIC hardware models (the paper's primary
+//! BlueField-2 testbed plus the §8/Table 9 Pensando generalisation), and a
+//! predictor trained against one model's memory subsystem and accelerator
+//! service times is wrong on another's. The [`ModelBank`] is the registry
+//! every layer above the simulator consults: *which* trained model applies
+//! to *this* NF on *this* NIC model. Which `(model, NF)` cells exist is
+//! governed by the per-model profiling matrix
+//! ([`NfKind::profiled_on`]) — e.g. the Pensando-only Firewall is trained
+//! there and nowhere else, and regex NFs are never trained on regex-less
+//! hardware.
+//!
+//! Training seeds are assigned by the cell's position in the flattened
+//! model-major matrix, so the first portfolio entry's cells get the exact
+//! seeds the old homogeneous `train_all` path used — an all-BlueField-2
+//! bank is bit-identical to the pre-heterogeneity models.
+
+use crate::engine::{scenario_seed, simulator_for, Engine};
+use crate::predictor::{TrainConfig, YalaModel};
+use yala_nf::NfKind;
+use yala_sim::{NicModelId, NicSpec};
+
+/// Trained models keyed by `(NicModelId, NfKind)`, one value per cell of
+/// the per-model profiling matrix. Generic in the model type so the same
+/// container serves Yala ([`YalaModel`]) and baseline (SLOMO) banks.
+#[derive(Debug, Clone)]
+pub struct ModelBank<M> {
+    entries: Vec<(NicModelId, NfKind, M)>,
+}
+
+impl<M> Default for ModelBank<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> ModelBank<M> {
+    /// An empty bank.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Inserts (or replaces) the model for one `(NIC model, NF)` cell.
+    pub fn insert(&mut self, model: NicModelId, kind: NfKind, value: M) {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|(m, k, _)| *m == model && *k == kind)
+        {
+            e.2 = value;
+        } else {
+            self.entries.push((model, kind, value));
+        }
+    }
+
+    /// The trained model for `kind` on NICs of `model`, if that cell was
+    /// trained.
+    pub fn get(&self, model: NicModelId, kind: NfKind) -> Option<&M> {
+        self.entries
+            .iter()
+            .find(|(m, k, _)| *m == model && *k == kind)
+            .map(|(_, _, v)| v)
+    }
+
+    /// Like [`Self::get`] but panics with a diagnostic when the cell is
+    /// missing — the placement layers only query cells the profiling
+    /// matrix admitted, so a miss is a wiring bug, not a runtime state.
+    pub fn expect(&self, model: NicModelId, kind: NfKind) -> &M {
+        self.get(model, kind)
+            .unwrap_or_else(|| panic!("no model trained for {kind} on NIC model {model}"))
+    }
+
+    /// Whether the `(model, kind)` cell exists.
+    pub fn contains(&self, model: NicModelId, kind: NfKind) -> bool {
+        self.get(model, kind).is_some()
+    }
+
+    /// All cells, in training (model-major) order.
+    pub fn iter(&self) -> impl Iterator<Item = (NicModelId, NfKind, &M)> {
+        self.entries.iter().map(|(m, k, v)| (*m, *k, v))
+    }
+
+    /// Distinct NIC models present, in first-seen (portfolio) order.
+    pub fn models(&self) -> Vec<NicModelId> {
+        let mut out: Vec<NicModelId> = Vec::new();
+        for (m, _, _) in &self.entries {
+            if !out.contains(m) {
+                out.push(*m);
+            }
+        }
+        out
+    }
+
+    /// The NF kinds trained for `model`, in training order.
+    pub fn kinds_for(&self, model: NicModelId) -> Vec<NfKind> {
+        self.entries
+            .iter()
+            .filter(|(m, _, _)| *m == model)
+            .map(|(_, k, _)| *k)
+            .collect()
+    }
+
+    /// Number of trained cells.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the bank holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Wraps a legacy homogeneous `(kind, model)` list as a single-model
+    /// bank.
+    pub fn from_single(model: NicModelId, entries: Vec<(NfKind, M)>) -> Self {
+        Self {
+            entries: entries.into_iter().map(|(k, v)| (model, k, v)).collect(),
+        }
+    }
+
+    /// Builds a bank by training every admitted `(spec, kind)` cell of the
+    /// profiling matrix, dispatched across `engine`'s workers. Cells are
+    /// enumerated model-major (`specs[0]`'s kinds first, in `kinds`
+    /// order), and `train` receives the cell's flattened index — the
+    /// scenario-seed index — so results are bit-identical across thread
+    /// counts, and the first spec's cells reproduce the homogeneous
+    /// single-spec training exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two specs share a model name (the portfolio must list
+    /// each hardware model once).
+    pub fn train_matrix<F>(specs: &[NicSpec], kinds: &[NfKind], engine: &Engine, train: F) -> Self
+    where
+        M: Send,
+        F: Fn(&NicSpec, NfKind, usize) -> M + Sync,
+    {
+        let cells = matrix_cells(specs, kinds);
+        let trained = engine.run(cells.len(), |i| {
+            let (s, kind) = cells[i];
+            train(&specs[s], kind, i)
+        });
+        Self {
+            entries: cells
+                .iter()
+                .zip(trained)
+                .map(|(&(s, kind), v)| (specs[s].model(), kind, v))
+                .collect(),
+        }
+    }
+}
+
+/// The admitted `(spec index, kind)` cells of the per-model profiling
+/// matrix for a portfolio, enumerated model-major (`specs[0]`'s kinds
+/// first, in `kinds` order) — the single source of the cell ordering
+/// (and the duplicate-model check) behind every bank trainer, so the
+/// cell-index seeding contract cannot drift between the Yala and
+/// baseline banks.
+///
+/// # Panics
+///
+/// Panics if two specs share a model name.
+pub fn matrix_cells(specs: &[NicSpec], kinds: &[NfKind]) -> Vec<(usize, NfKind)> {
+    let mut seen: Vec<NicModelId> = Vec::new();
+    for spec in specs {
+        assert!(
+            !seen.contains(&spec.model()),
+            "duplicate NIC model {} in training portfolio",
+            spec.name
+        );
+        seen.push(spec.model());
+    }
+    specs
+        .iter()
+        .enumerate()
+        .flat_map(|(s, spec)| {
+            kinds
+                .iter()
+                .copied()
+                .filter(|k| k.profiled_on(spec))
+                .map(move |k| (s, k))
+        })
+        .collect()
+}
+
+impl ModelBank<YalaModel> {
+    /// Trains the Yala bank for a NIC-model portfolio: one [`YalaModel`]
+    /// per admitted `(model, kind)` cell, each on a private simulator
+    /// seeded `scenario_seed(cfg.seed, cell_index)`. With a single-spec
+    /// portfolio this reproduces the old homogeneous `train_all` results
+    /// bit for bit.
+    pub fn train_yala(
+        specs: &[NicSpec],
+        noise_sigma: f64,
+        kinds: &[NfKind],
+        cfg: &TrainConfig,
+        engine: &Engine,
+    ) -> Self {
+        Self::train_matrix(specs, kinds, engine, |spec, kind, i| {
+            let mut sim = simulator_for(spec, noise_sigma, scenario_seed(cfg.seed, i));
+            YalaModel::train(&mut sim, kind, cfg)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_expect_and_iter() {
+        let bf2 = NicSpec::bluefield2().model();
+        let pen = NicSpec::pensando().model();
+        let mut bank: ModelBank<u32> = ModelBank::new();
+        assert!(bank.is_empty());
+        bank.insert(bf2, NfKind::FlowStats, 1);
+        bank.insert(pen, NfKind::FlowStats, 2);
+        bank.insert(bf2, NfKind::Nids, 3);
+        bank.insert(bf2, NfKind::FlowStats, 10); // replace
+        assert_eq!(bank.len(), 3);
+        assert_eq!(bank.get(bf2, NfKind::FlowStats), Some(&10));
+        assert_eq!(bank.get(pen, NfKind::Nids), None);
+        assert_eq!(*bank.expect(pen, NfKind::FlowStats), 2);
+        assert_eq!(bank.models(), vec![bf2, pen]);
+        assert_eq!(bank.kinds_for(bf2), vec![NfKind::FlowStats, NfKind::Nids]);
+        assert!(bank.contains(bf2, NfKind::Nids));
+    }
+
+    #[test]
+    #[should_panic(expected = "no model trained")]
+    fn expect_panics_on_missing_cell() {
+        let bank: ModelBank<u32> = ModelBank::new();
+        bank.expect(NicSpec::bluefield2().model(), NfKind::Acl);
+    }
+
+    #[test]
+    fn matrix_respects_profiling_matrix_and_indexing() {
+        let specs = [NicSpec::bluefield2(), NicSpec::pensando()];
+        let kinds = [NfKind::FlowStats, NfKind::Nids, NfKind::Firewall];
+        // Record which (spec, kind, index) triples training saw.
+        let bank = ModelBank::train_matrix(&specs, &kinds, &Engine::sequential(), |s, k, i| {
+            (s.name.clone(), k, i)
+        });
+        let cells: Vec<_> = bank.iter().map(|(_, _, v)| v.clone()).collect();
+        // BF-2 trains FlowStats + Nids (no Firewall: Pensando-only NF);
+        // Pensando trains FlowStats + Firewall (no Nids: no regex engine).
+        assert_eq!(
+            cells,
+            vec![
+                ("bluefield2".to_string(), NfKind::FlowStats, 0),
+                ("bluefield2".to_string(), NfKind::Nids, 1),
+                ("pensando".to_string(), NfKind::FlowStats, 2),
+                ("pensando".to_string(), NfKind::Firewall, 3),
+            ]
+        );
+        // First spec's cells use indices 0..: the homogeneous seed layout.
+        let bf2 = specs[0].model();
+        assert_eq!(bank.kinds_for(bf2), vec![NfKind::FlowStats, NfKind::Nids]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate NIC model")]
+    fn duplicate_models_rejected() {
+        let specs = [NicSpec::bluefield2(), NicSpec::bluefield2()];
+        ModelBank::train_matrix(&specs, &[NfKind::Acl], &Engine::sequential(), |_, _, i| i);
+    }
+
+    #[test]
+    fn from_single_wraps_legacy_lists() {
+        let bf2 = NicSpec::bluefield2().model();
+        let bank = ModelBank::from_single(bf2, vec![(NfKind::Acl, 7u8), (NfKind::Nat, 8)]);
+        assert_eq!(bank.get(bf2, NfKind::Nat), Some(&8));
+        assert_eq!(bank.models(), vec![bf2]);
+    }
+
+    #[test]
+    fn parallel_matrix_training_is_bit_identical() {
+        let specs = [NicSpec::bluefield2(), NicSpec::pensando()];
+        let kinds = [NfKind::FlowStats, NfKind::Acl, NfKind::Nat];
+        let job = |s: &NicSpec, k: NfKind, i: usize| {
+            scenario_seed(s.cores as u64, i).wrapping_add(k as u64)
+        };
+        let seq = ModelBank::train_matrix(&specs, &kinds, &Engine::sequential(), job);
+        let par = ModelBank::train_matrix(&specs, &kinds, &Engine::with_threads(4), job);
+        let a: Vec<_> = seq.iter().map(|(m, k, v)| (m, k, *v)).collect();
+        let b: Vec<_> = par.iter().map(|(m, k, v)| (m, k, *v)).collect();
+        assert_eq!(a, b);
+    }
+}

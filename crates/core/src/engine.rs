@@ -33,6 +33,18 @@ pub fn scenario_seed(base: u64, index: usize) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Base seed for the NIC model at `index` in a portfolio's spec list:
+/// model 0 keeps `base` unchanged — so an all-first-model (homogeneous)
+/// portfolio reproduces the single-spec seed streams bit for bit — while
+/// later models get decorrelated streams via a salted SplitMix64 step.
+pub fn model_seed_base(base: u64, index: usize) -> u64 {
+    if index == 0 {
+        base
+    } else {
+        scenario_seed(base ^ 0x5EED_4A1C_0DE7_713B, index)
+    }
+}
+
 /// Builds the private simulator for one scenario: noise-free when
 /// `noise_sigma` is zero, otherwise seeded measurement noise.
 pub fn simulator_for(spec: &NicSpec, noise_sigma: f64, seed: u64) -> Simulator {
@@ -182,6 +194,14 @@ mod tests {
         assert_eq!(seeds.len(), 1_000, "seed collisions");
         assert_eq!(scenario_seed(7, 3), scenario_seed(7, 3));
         assert_ne!(scenario_seed(7, 3), scenario_seed(8, 3));
+    }
+
+    #[test]
+    fn model_seed_base_keeps_model_zero_and_decorrelates_the_rest() {
+        assert_eq!(model_seed_base(42, 0), 42, "homogeneous parity");
+        let seeds: HashSet<u64> = (0..16).map(|m| model_seed_base(42, m)).collect();
+        assert_eq!(seeds.len(), 16, "model streams must not collide");
+        assert_eq!(model_seed_base(42, 3), model_seed_base(42, 3));
     }
 
     #[test]

@@ -47,6 +47,7 @@
 
 pub mod accel_model;
 pub mod adaptive;
+pub mod bank;
 pub mod composition;
 pub mod contender;
 pub mod engine;
@@ -56,6 +57,7 @@ pub mod profiler;
 
 pub use accel_model::{AccelServiceModel, InferConfig};
 pub use adaptive::{AdaptiveConfig, ProfilingRun, TrafficRanges};
+pub use bank::ModelBank;
 pub use composition::{compose, compose_min, compose_rtc, compose_sum, detect_pattern};
 pub use contender::{AccelContention, Contender};
 pub use engine::Engine;

@@ -84,12 +84,19 @@ impl YalaModel {
         Self::finish(sim, kind, memory, run.kept, run.measurements, cfg)
     }
 
-    /// Trains one model per NF kind, one independent simulator scenario per
-    /// kind, dispatched across `engine`'s worker pool — the fleet-training
-    /// entry point (placement and the evaluation tables train 9+ models).
-    /// Scenario `i` trains `kinds[i]` on a private simulator seeded
-    /// `scenario_seed(cfg.seed, i)`, so the result is bit-identical across
-    /// thread counts; wall-clock scales with cores.
+    /// Trains one model per NF kind on a single NIC model — the
+    /// homogeneous convenience wrapper around the per-model
+    /// [`crate::bank::ModelBank`], which is the actual training path
+    /// (kind `i` trains on a private simulator seeded
+    /// `scenario_seed(cfg.seed, i)`, bit-identical across engine thread
+    /// counts). Heterogeneous deployments call
+    /// [`crate::bank::ModelBank::train_yala`] with the full portfolio
+    /// instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a kind is outside `spec`'s profiling matrix
+    /// ([`NfKind::profiled_on`]), e.g. a regex NF on a regex-less NIC.
     pub fn train_all(
         spec: &yala_sim::NicSpec,
         noise_sigma: f64,
@@ -97,11 +104,18 @@ impl YalaModel {
         cfg: &TrainConfig,
         engine: &crate::engine::Engine,
     ) -> Vec<(NfKind, YalaModel)> {
-        engine.run(kinds.len(), |i| {
-            let seed = crate::engine::scenario_seed(cfg.seed, i);
-            let mut sim = crate::engine::simulator_for(spec, noise_sigma, seed);
-            (kinds[i], YalaModel::train(&mut sim, kinds[i], cfg))
-        })
+        let bank = crate::bank::ModelBank::train_yala(
+            std::slice::from_ref(spec),
+            noise_sigma,
+            kinds,
+            cfg,
+            engine,
+        );
+        let model = spec.model();
+        kinds
+            .iter()
+            .map(|&k| (k, bank.expect(model, k).clone()))
+            .collect()
     }
 
     /// Trains the fixed-traffic variant (memory model with 7 features at

@@ -103,4 +103,89 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.to_json(), b.to_json());
     }
+
+    #[test]
+    fn mixed_portfolio_respects_capabilities_end_to_end() {
+        use yala_nf::NfKind;
+        use yala_sim::NicSpec;
+        let mut cfg = FleetConfig::mixed(27, 8);
+        cfg.duration_s = 1_800;
+        cfg.mean_interarrival_s = 150.0;
+        cfg.mean_lifetime_s = 900.0;
+        cfg.audit_period_s = 600;
+        // A regex NF in the mix: feasible on BlueField-2 only.
+        cfg.kinds = vec![NfKind::FlowStats, NfKind::Nids];
+        let p = ProfiledTrace::build(FleetTrace::generate(cfg), &Engine::sequential());
+        // Regex NFs carry a BF-2 baseline but no Pensando baseline.
+        let (bf2, pen) = (NicSpec::bluefield2().model(), NicSpec::pensando().model());
+        for (rec, tl) in p.trace.records.iter().zip(&p.timelines) {
+            let first = &tl.snapshots[0].1;
+            assert!(first.supported_on(bf2));
+            assert_eq!(first.supported_on(pen), rec.kind != NfKind::Nids);
+        }
+        // The audit co-runs every occupied NIC on its own hardware: a
+        // capability-infeasible placement would panic in the solver, so a
+        // completed run is itself the ground-truth feasibility check.
+        let r = run_fleet(&p, FleetPolicy::Greedy, "greedy", &Engine::sequential());
+        assert_eq!(r.nics, 8);
+        assert_eq!(r.total_arrivals as usize, p.trace.records.len());
+    }
+
+    #[test]
+    fn empirical_trace_replay_is_deterministic() {
+        use crate::trace::NfRecord;
+        use yala_nf::NfKind;
+        use yala_traffic::TrafficProfile;
+        // A non-Poisson flash crowd no exponential generator produces:
+        // six NFs in two simultaneous waves with linear drift.
+        let mut cfg = FleetConfig::small(77);
+        cfg.duration_s = 1_800;
+        cfg.audit_period_s = 600;
+        let records: Vec<NfRecord> = (0..6)
+            .map(|i| NfRecord {
+                id: i,
+                kind: if i % 2 == 0 {
+                    NfKind::FlowStats
+                } else {
+                    NfKind::Nat
+                },
+                arrival_ms: if i < 3 { 30_000 } else { 630_000 },
+                departure_ms: 1_700_000,
+                start: TrafficProfile::new(8_000, 512, 0.0),
+                end: TrafficProfile::new(96_000, 1500, 0.0),
+                sla_drop: 0.10,
+            })
+            .collect();
+        let build = || {
+            ProfiledTrace::build(
+                FleetTrace::from_records(cfg.clone(), records.clone()),
+                &Engine::sequential(),
+            )
+        };
+        let a = run_fleet(
+            &build(),
+            FleetPolicy::Greedy,
+            "greedy",
+            &Engine::sequential(),
+        );
+        let b = run_fleet(
+            &build(),
+            FleetPolicy::Greedy,
+            "greedy",
+            &Engine::with_threads(4),
+        );
+        assert_eq!(a, b, "empirical replay must be bit-identical");
+        assert_eq!(a.total_arrivals, 6);
+        assert!(
+            a.profile_snapshots > 6,
+            "drifting empirical records re-profile"
+        );
+        let c = run_fleet(
+            &build(),
+            FleetPolicy::Monopolization,
+            "mono",
+            &Engine::sequential(),
+        );
+        assert_eq!(c.violation_minutes, 0.0);
+    }
 }

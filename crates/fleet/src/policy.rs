@@ -16,19 +16,22 @@
 //! hardest on the violator's bottleneck resource — and re-place it
 //! elsewhere under the same predictor.
 
-use yala_core::{Contender, YalaModel};
+use yala_core::{Contender, ModelBank, YalaModel};
 use yala_diagnosis::diagnose_yala;
 use yala_nf::NfKind;
 use yala_placement::{Placed, PlacementPredictor};
-use yala_sim::ResourceKind;
+use yala_sim::{NicModelId, ResourceKind};
 
 /// How the migration loop diagnoses a predicted violator's bottleneck.
+/// Every verdict is relative to a NIC *model*: the diagnoser consults
+/// the trained models — and the residents' solo baselines — for the
+/// hardware of the NIC under audit.
 pub enum Diagnoser<'a> {
     /// Yala's per-resource models: the bottleneck is the resource whose
     /// model predicts the lowest throughput, and contenders carry their
     /// fitted accelerator pressure — victim selection can tell a regex
     /// hog from a cache hog.
-    Yala(&'a [(NfKind, YalaModel)]),
+    Yala(&'a ModelBank<YalaModel>),
     /// A memory-only worldview (SLOMO's): every violation is blamed on
     /// the memory subsystem, so the victim is always the highest-CAR
     /// co-resident — wrong whenever the real bottleneck is an
@@ -37,38 +40,42 @@ pub enum Diagnoser<'a> {
 }
 
 impl Diagnoser<'_> {
-    fn model(&self, kind: NfKind) -> Option<&YalaModel> {
+    fn model(&self, nic_model: NicModelId, kind: NfKind) -> Option<&YalaModel> {
         match self {
-            Diagnoser::Yala(models) => Some(
-                &models
-                    .iter()
-                    .find(|(k, _)| *k == kind)
-                    .expect("model trained")
-                    .1,
-            ),
+            Diagnoser::Yala(bank) => Some(bank.expect(nic_model, kind)),
             Diagnoser::MemoryOnly => None,
         }
     }
 
-    /// Contender descriptions for every resident except `exclude`.
-    pub fn contenders(&self, residents: &[Placed], exclude: usize) -> Vec<Contender> {
+    /// Contender descriptions for every resident except `exclude`, as
+    /// seen on NICs of `nic_model`.
+    pub fn contenders(
+        &self,
+        nic_model: NicModelId,
+        residents: &[Placed],
+        exclude: usize,
+    ) -> Vec<Contender> {
         residents
             .iter()
             .enumerate()
             .filter(|(i, _)| *i != exclude)
-            .map(|(_, p)| match self.model(p.arrival.kind) {
-                Some(m) => m.as_contender(p.counters, p.arrival.traffic.mtbr),
-                None => Contender::memory_only(p.workload.name.clone(), p.counters),
+            .map(|(_, p)| {
+                let counters = p.solo(nic_model).counters;
+                match self.model(nic_model, p.arrival.kind) {
+                    Some(m) => m.as_contender(counters, p.arrival.traffic.mtbr),
+                    None => Contender::memory_only(p.workload.name.clone(), counters),
+                }
             })
             .collect()
     }
 
-    /// The predicted bottleneck of `residents[violator]` under this
-    /// diagnoser's worldview; `co` must be the violator's contender
-    /// slate from [`Self::contenders`] (built once by the caller, which
-    /// also feeds it to victim selection).
+    /// The predicted bottleneck of `residents[violator]` on `nic_model`
+    /// under this diagnoser's worldview; `co` must be the violator's
+    /// contender slate from [`Self::contenders`] (built once by the
+    /// caller, which also feeds it to victim selection).
     pub fn bottleneck(
         &self,
+        nic_model: NicModelId,
         residents: &[Placed],
         violator: usize,
         co: &[Contender],
@@ -77,8 +84,10 @@ impl Diagnoser<'_> {
             Diagnoser::MemoryOnly => ResourceKind::CpuMem,
             Diagnoser::Yala(_) => {
                 let v = &residents[violator];
-                let model = self.model(v.arrival.kind).expect("yala diagnoser");
-                diagnose_yala(model, v.solo_tput, &v.arrival.traffic, co).bottleneck
+                let model = self
+                    .model(nic_model, v.arrival.kind)
+                    .expect("yala diagnoser");
+                diagnose_yala(model, v.solo(nic_model).solo_tput, &v.arrival.traffic, co).bottleneck
             }
         }
     }

@@ -8,6 +8,13 @@
 //! state. Ground-truth audits co-run every occupied NIC on private,
 //! per-`(epoch, nic)`-seeded simulators dispatched across the engine's
 //! workers, so the loop is bit-identical for any thread count.
+//!
+//! The fleet may be heterogeneous: each NIC carries the hardware model of
+//! its portfolio entry, placement only considers NICs whose model the NF
+//! was profiled on (capability feasibility), predictors and SLA floors
+//! are keyed by the model of the NIC under evaluation, and migration may
+//! move an NF *across* models — the victim's SLA floor on the
+//! destination hardware is its solo baseline there.
 
 use crate::policy::{Diagnoser, FleetPolicy};
 use crate::report::{FleetReport, FleetSample};
@@ -16,7 +23,7 @@ use crate::trace::MS_PER_S;
 use yala_core::engine::{scenario_seed, simulator_for, Engine};
 use yala_diagnosis::select_victim;
 use yala_placement::{Placed, PlacementPredictor};
-use yala_sim::{CoRunReport, WorkloadSpec};
+use yala_sim::{CoRunReport, NicModelId, WorkloadSpec};
 
 /// Salt separating the audit seed stream from the timeline stream.
 const AUDIT_SALT: u64 = 0xAD17_0CA5;
@@ -25,6 +32,37 @@ const AUDIT_SALT: u64 = 0xAD17_0CA5;
 const CLASS_DEPARTURE: u8 = 0;
 const CLASS_ARRIVAL: u8 = 1;
 const CLASS_AUDIT: u8 = 2;
+
+/// Per-NIC hardware facts expanded from the portfolio: the model and
+/// core count of every NIC index, plus the portfolio position used to
+/// build ground-truth simulators.
+struct NicMap {
+    model: Vec<NicModelId>,
+    cores: Vec<u32>,
+    spec_pos: Vec<usize>,
+}
+
+impl NicMap {
+    /// Expands the portfolio through the config's own NIC→model mapping
+    /// ([`crate::trace::FleetConfig::nic_model_pos`]), so the expansion
+    /// order invariant lives in exactly one place.
+    fn new(cfg: &crate::trace::FleetConfig) -> Self {
+        let n = cfg.nics();
+        let mut map = Self {
+            model: Vec::with_capacity(n),
+            cores: Vec::with_capacity(n),
+            spec_pos: Vec::with_capacity(n),
+        };
+        for nic in 0..n {
+            let pos = cfg.nic_model_pos(nic);
+            let spec = &cfg.portfolio[pos].0;
+            map.model.push(spec.model());
+            map.cores.push(spec.cores);
+            map.spec_pos.push(pos);
+        }
+        map
+    }
+}
 
 /// Runs one policy over a profiled trace and returns its report.
 /// `label` names the run in the report (e.g. `"yala"`); `engine`
@@ -37,7 +75,8 @@ pub fn run_fleet(
 ) -> FleetReport {
     let cfg = &profiled.trace.config;
     let records = &profiled.trace.records;
-    let max_cores = cfg.spec.cores;
+    let nic_count = cfg.nics();
+    let nics_map = NicMap::new(cfg);
     let horizon_ms = cfg.duration_s * MS_PER_S;
     let period_ms = cfg.audit_period_s * MS_PER_S;
 
@@ -56,7 +95,7 @@ pub fn run_fleet(
     events.sort_unstable();
 
     // Mutable fleet state.
-    let mut residents: Vec<Vec<u32>> = vec![Vec::new(); cfg.nics];
+    let mut residents: Vec<Vec<u32>> = vec![Vec::new(); nic_count];
     let mut location: Vec<Option<usize>> = vec![None; records.len()];
     let mut cursor: Vec<usize> = vec![0; records.len()];
 
@@ -70,6 +109,9 @@ pub fn run_fleet(
     let mut oracle_lb_nic_minutes = 0.0f64;
     let mut wasted_core_minutes = 0.0f64;
     let mut peak_nics = 0u32;
+    // The packing bound divides by the fleet's largest NIC: optimistic on
+    // a mixed portfolio, exact on a homogeneous one.
+    let lb_cores = nics_map.cores.iter().copied().max().unwrap_or(1);
 
     for &(t_ms, class, index) in &events {
         match class {
@@ -83,18 +125,19 @@ pub fn run_fleet(
                 let id = index as usize;
                 let nf = profiled.timelines[id].snapshots[0].1.clone();
                 let slot = match &mut policy {
-                    FleetPolicy::Monopolization => choose_empty(&residents, None),
+                    FleetPolicy::Monopolization => choose_empty(&residents, &nics_map, &nf, None),
                     FleetPolicy::Greedy => {
-                        choose_greedy(profiled, &residents, &cursor, &nf, max_cores, None)
-                            .or_else(|| choose_empty(&residents, None))
+                        choose_greedy(profiled, &residents, &cursor, &nics_map, &nf, None)
+                            .or_else(|| choose_empty(&residents, &nics_map, &nf, None))
                     }
                     FleetPolicy::ContentionAware { predictor, .. } => choose_contention_aware(
-                        profiled, &residents, &cursor, *predictor, &nf, max_cores, None,
+                        profiled, &residents, &cursor, &nics_map, *predictor, &nf, None,
                     )
-                    .or_else(|| choose_empty(&residents, None)),
+                    .or_else(|| choose_empty(&residents, &nics_map, &nf, None)),
                 };
                 match slot {
                     Some(nic) => {
+                        debug_assert!(nf.supported_on(nics_map.model[nic]));
                         residents[nic].push(index);
                         location[id] = Some(nic);
                         cursor[id] = 0;
@@ -112,15 +155,17 @@ pub fn run_fleet(
                     }
                 }
                 // 2. Ground truth: co-run every occupied NIC on a private
-                // deterministically seeded simulator, across the engine.
-                let occupied: Vec<usize> = (0..cfg.nics)
+                // deterministically seeded simulator — built from the
+                // hardware of *that* NIC — across the engine.
+                let occupied: Vec<usize> = (0..nic_count)
                     .filter(|&n| !residents[n].is_empty())
                     .collect();
                 let audit_base = scenario_seed(cfg.seed ^ AUDIT_SALT, epoch as usize);
                 let reports: Vec<CoRunReport> = engine.run(occupied.len(), |j| {
                     let nic = occupied[j];
+                    let spec = &cfg.portfolio[nics_map.spec_pos[nic]].0;
                     let mut sim =
-                        simulator_for(&cfg.spec, cfg.noise_sigma, scenario_seed(audit_base, j));
+                        simulator_for(spec, cfg.noise_sigma, scenario_seed(audit_base, j));
                     let workloads: Vec<WorkloadSpec> = residents[nic]
                         .iter()
                         .map(|&id| snapshot(profiled, &cursor, id).workload.clone())
@@ -129,8 +174,10 @@ pub fn run_fleet(
                 });
                 let mut violating = 0u32;
                 for (&nic, report) in occupied.iter().zip(&reports) {
+                    let model = nics_map.model[nic];
                     for (&id, outcome) in residents[nic].iter().zip(&report.outcomes) {
-                        if outcome.throughput_pps < snapshot(profiled, &cursor, id).sla_floor() {
+                        if outcome.throughput_pps < snapshot(profiled, &cursor, id).sla_floor(model)
+                        {
                             violating += 1;
                         }
                     }
@@ -148,9 +195,9 @@ pub fn run_fleet(
                         &mut residents,
                         &mut location,
                         &cursor,
+                        &nics_map,
                         *predictor,
                         diagnoser,
-                        max_cores,
                         cfg.max_migrations_per_audit,
                     );
                     migrations_total += epoch_migrations;
@@ -158,13 +205,17 @@ pub fn run_fleet(
                 // 4. Observe.
                 let active: u32 = residents.iter().map(|r| r.len() as u32).sum();
                 let nics_in_use = residents.iter().filter(|r| !r.is_empty()).count() as u32;
-                let used_cores: u32 = residents
-                    .iter()
-                    .flatten()
-                    .map(|&id| snapshot(profiled, &cursor, id).workload.cores)
-                    .sum();
-                let wasted_cores = nics_in_use * max_cores - used_cores;
-                let oracle_lb_nics = used_cores.div_ceil(max_cores);
+                let mut used_cores = 0u32;
+                let mut wasted_cores = 0u32;
+                for (nic, res) in residents.iter().enumerate() {
+                    if res.is_empty() {
+                        continue;
+                    }
+                    let used = cores_used(profiled, &cursor, res);
+                    used_cores += used;
+                    wasted_cores += nics_map.cores[nic] - used;
+                }
+                let oracle_lb_nics = used_cores.div_ceil(lb_cores);
                 peak_nics = peak_nics.max(nics_in_use);
                 violation_minutes += violating as f64 * period_min;
                 nic_minutes += nics_in_use as f64 * period_min;
@@ -187,7 +238,7 @@ pub fn run_fleet(
     FleetReport {
         policy: label.to_string(),
         seed: cfg.seed,
-        nics: cfg.nics,
+        nics: nic_count,
         duration_s: cfg.duration_s,
         audit_period_s: cfg.audit_period_s,
         total_arrivals: records.len() as u32,
@@ -215,36 +266,42 @@ fn cores_used(profiled: &ProfiledTrace, cursor: &[usize], nic: &[u32]) -> u32 {
         .sum()
 }
 
-/// First empty NIC (lowest index), skipping `exclude`.
-fn choose_empty(residents: &[Vec<u32>], exclude: Option<usize>) -> Option<usize> {
+/// First empty NIC (lowest index) whose model supports `nf`, skipping
+/// `exclude`.
+fn choose_empty(
+    residents: &[Vec<u32>],
+    nics_map: &NicMap,
+    nf: &Placed,
+    exclude: Option<usize>,
+) -> Option<usize> {
     residents
         .iter()
         .enumerate()
-        .filter(|(i, _)| Some(*i) != exclude)
+        .filter(|(i, _)| Some(*i) != exclude && nf.supported_on(nics_map.model[*i]))
         .find(|(_, r)| r.is_empty())
         .map(|(i, _)| i)
 }
 
 /// Greedy: the occupied NIC with the most available cores among those
-/// where `nf` fits (ties break to the lowest index).
+/// where `nf` fits and is feasible (ties break to the lowest index).
 fn choose_greedy(
     profiled: &ProfiledTrace,
     residents: &[Vec<u32>],
     cursor: &[usize],
+    nics_map: &NicMap,
     nf: &Placed,
-    max_cores: u32,
     exclude: Option<usize>,
 ) -> Option<usize> {
     let mut best: Option<(usize, u32)> = None;
     for (i, nic) in residents.iter().enumerate() {
-        if Some(i) == exclude || nic.is_empty() {
+        if Some(i) == exclude || nic.is_empty() || !nf.supported_on(nics_map.model[i]) {
             continue;
         }
         let used = cores_used(profiled, cursor, nic);
-        if used + nf.workload.cores > max_cores {
+        if used + nf.workload.cores > nics_map.cores[i] {
             continue;
         }
-        let avail = max_cores - used;
+        let avail = nics_map.cores[i] - used;
         if best.is_none_or(|(_, b)| avail > b) {
             best = Some((i, avail));
         }
@@ -252,33 +309,35 @@ fn choose_greedy(
     best.map(|(i, _)| i)
 }
 
-/// Contention-aware: the first occupied NIC where `nf` fits and the
-/// predictor foresees no SLA violation for anyone (the candidate NIC
-/// including `nf`).
+/// Contention-aware: the first occupied NIC where `nf` is feasible,
+/// fits, and the predictor — consulted for that NIC's hardware model —
+/// foresees no SLA violation for anyone (the candidate NIC including
+/// `nf`).
 #[allow(clippy::too_many_arguments)]
 fn choose_contention_aware(
     profiled: &ProfiledTrace,
     residents: &[Vec<u32>],
     cursor: &[usize],
+    nics_map: &NicMap,
     predictor: &mut dyn PlacementPredictor,
     nf: &Placed,
-    max_cores: u32,
     exclude: Option<usize>,
 ) -> Option<usize> {
     for (i, nic) in residents.iter().enumerate() {
-        if Some(i) == exclude || nic.is_empty() {
+        if Some(i) == exclude || nic.is_empty() || !nf.supported_on(nics_map.model[i]) {
             continue;
         }
-        if cores_used(profiled, cursor, nic) + nf.workload.cores > max_cores {
+        if cores_used(profiled, cursor, nic) + nf.workload.cores > nics_map.cores[i] {
             continue;
         }
+        let model = nics_map.model[i];
         let mut candidate: Vec<Placed> = nic
             .iter()
             .map(|&id| snapshot(profiled, cursor, id).clone())
             .collect();
         candidate.push(nf.clone());
         let safe = (0..candidate.len())
-            .all(|t| predictor.predict(t, &candidate) >= candidate[t].sla_floor());
+            .all(|t| predictor.predict(model, t, &candidate) >= candidate[t].sla_floor(model));
         if safe {
             return Some(i);
         }
@@ -288,17 +347,21 @@ fn choose_contention_aware(
 
 /// One audit epoch's reactive migrations: for each NIC with a predicted
 /// violator, drain the diagnosis-selected victim and re-place it under
-/// the predictor (or onto an empty NIC). Returns migrations executed;
-/// stops at `budget`.
+/// the predictor (or onto an empty NIC). Every per-NIC judgement — the
+/// re-evaluation, the bottleneck diagnosis, the victim's contender slate
+/// — uses the model of the NIC under audit; the destination may be a NIC
+/// of a *different* model, where the victim's feasibility and SLA floor
+/// are judged against its solo baseline on that hardware. Returns
+/// migrations executed; stops at `budget`.
 #[allow(clippy::too_many_arguments)]
 fn migrate(
     profiled: &ProfiledTrace,
     residents: &mut [Vec<u32>],
     location: &mut [Option<usize>],
     cursor: &[usize],
+    nics_map: &NicMap,
     predictor: &mut dyn PlacementPredictor,
     diagnoser: &Diagnoser<'_>,
-    max_cores: u32,
     budget: usize,
 ) -> u32 {
     let mut moved = 0u32;
@@ -309,17 +372,18 @@ fn migrate(
         if residents[nic].len() < 2 {
             continue;
         }
+        let model = nics_map.model[nic];
         let placed: Vec<Placed> = residents[nic]
             .iter()
             .map(|&id| snapshot(profiled, cursor, id).clone())
             .collect();
-        let Some(&violator) = predictor.reevaluate(&placed).first() else {
+        let Some(&violator) = predictor.reevaluate(model, &placed).first() else {
             continue;
         };
         // Diagnose the violator's bottleneck and pick the co-resident
         // pressing hardest on it.
-        let co = diagnoser.contenders(&placed, violator);
-        let bottleneck = diagnoser.bottleneck(&placed, violator, &co);
+        let co = diagnoser.contenders(model, &placed, violator);
+        let bottleneck = diagnoser.bottleneck(model, &placed, violator, &co);
         let co_positions: Vec<usize> = (0..placed.len()).filter(|&i| i != violator).collect();
         let victim_pos = co_positions[select_victim(bottleneck, &co).expect("≥1 co-resident")];
         let victim_id = residents[nic][victim_pos];
@@ -330,12 +394,12 @@ fn migrate(
             profiled,
             residents,
             cursor,
+            nics_map,
             predictor,
             &victim,
-            max_cores,
             Some(nic),
         )
-        .or_else(|| choose_empty(residents, Some(nic)));
+        .or_else(|| choose_empty(residents, nics_map, &victim, Some(nic)));
         if let Some(dst) = dst {
             residents[nic].remove(victim_pos);
             residents[dst].push(victim_id);
@@ -344,4 +408,75 @@ fn migrate(
         }
     }
     moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{FleetConfig, FleetTrace, NfRecord};
+    use yala_nf::NfKind;
+    use yala_placement::OraclePredictor;
+    use yala_traffic::TrafficProfile;
+
+    #[test]
+    fn migration_crosses_nic_models_when_the_destination_requires_it() {
+        // Portfolio: one BlueField-2 NIC and one Pensando NIC. Two
+        // memory-heavy FlowStats instances with a 1% SLA share the BF-2
+        // NIC; the oracle predicts a violation, and the only escape NIC
+        // in the fleet is the *other hardware model* — the drain must
+        // move the victim across models, re-anchoring it to its Pensando
+        // solo baseline.
+        let mut cfg = FleetConfig::mixed(1, 2);
+        cfg.duration_s = 1_200;
+        cfg.audit_period_s = 600;
+        cfg.kinds = vec![NfKind::FlowStats];
+        cfg.noise_sigma = 0.0;
+        let heavy = TrafficProfile::new(200_000, 1_500, 0.0);
+        let records: Vec<NfRecord> = (0..2)
+            .map(|i| NfRecord {
+                id: i,
+                kind: NfKind::FlowStats,
+                arrival_ms: 0,
+                departure_ms: 1_100_000,
+                start: heavy,
+                end: heavy,
+                sla_drop: 0.01,
+            })
+            .collect();
+        let profiled = crate::timeline::ProfiledTrace::build(
+            FleetTrace::from_records(cfg, records),
+            &Engine::sequential(),
+        );
+        let cfg = &profiled.trace.config;
+        let nics_map = NicMap::new(cfg);
+        assert_ne!(nics_map.model[0], nics_map.model[1], "two hardware models");
+        // Hand-place both NFs on the BF-2 NIC (a blind packer would).
+        let mut residents: Vec<Vec<u32>> = vec![vec![0, 1], Vec::new()];
+        let mut location: Vec<Option<usize>> = vec![Some(0), Some(0)];
+        let cursor = vec![0usize, 0];
+        let mut oracle = OraclePredictor::for_models(&cfg.specs());
+        let moved = migrate(
+            &profiled,
+            &mut residents,
+            &mut location,
+            &cursor,
+            &nics_map,
+            &mut oracle,
+            &Diagnoser::MemoryOnly,
+            8,
+        );
+        assert_eq!(moved, 1, "the predicted violation must drain a victim");
+        assert_eq!(residents[0].len(), 1);
+        assert_eq!(residents[1].len(), 1, "victim landed on the Pensando NIC");
+        let victim = residents[1][0] as usize;
+        assert_eq!(location[victim], Some(1));
+        // The migrated NF is priced against its *destination-model* solo
+        // baseline, which differs from its BF-2 one.
+        let snap = snapshot(&profiled, &cursor, victim as u32);
+        assert!(snap.supported_on(nics_map.model[1]));
+        assert_ne!(
+            snap.solo(nics_map.model[0]).solo_tput,
+            snap.solo(nics_map.model[1]).solo_tput
+        );
+    }
 }

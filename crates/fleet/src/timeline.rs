@@ -12,8 +12,8 @@
 //! two policies' reports is then attributable to their decisions alone.
 
 use crate::trace::{FleetTrace, MS_PER_S};
-use yala_core::engine::{scenario_seed, simulator_for, Engine};
-use yala_placement::{prepare, reprofile, Arrival, Placed};
+use yala_core::engine::Engine;
+use yala_placement::{prepare_on, reprofile_on, sims_for, Arrival, Placed};
 use yala_traffic::TrafficProfile;
 
 /// Salt separating the timeline's seed stream from the audit stream.
@@ -67,22 +67,30 @@ pub struct ProfiledTrace {
 
 impl ProfiledTrace {
     /// Profiles the whole trace: one independent scenario per NF (its
-    /// arrival profile plus its drift re-profiles, sequentially on a
-    /// private simulator), dispatched across `engine`'s workers.
+    /// arrival profile plus its drift re-profiles, sequentially on
+    /// private per-NIC-model simulators), dispatched across `engine`'s
+    /// workers. Each NF holds one simulator per portfolio model that
+    /// admits its kind ([`yala_nf::NfKind::profiled_on`]), so every
+    /// snapshot carries the per-model solo baselines placement needs;
+    /// the first portfolio model's seed stream is the old homogeneous
+    /// stream, so a single-model portfolio profiles bit-identically.
     pub fn build(trace: FleetTrace, engine: &Engine) -> Self {
         let cfg = trace.config.clone();
+        let specs = cfg.specs();
         let horizon_ms = cfg.duration_s * MS_PER_S;
         let period_ms = cfg.audit_period_s * MS_PER_S;
         let timelines = engine.run(trace.records.len(), |i| {
             let rec = &trace.records[i];
-            let mut sim = simulator_for(
-                &cfg.spec,
+            let mut sims = sims_for(
+                &specs,
+                rec.kind,
                 cfg.noise_sigma,
-                scenario_seed(cfg.seed ^ TIMELINE_SALT, i),
+                cfg.seed ^ TIMELINE_SALT,
+                i,
             );
             let workload_seed = cfg.seed.wrapping_add(rec.id as u64);
-            let first = prepare(
-                &mut sim,
+            let first = prepare_on(
+                &mut sims,
                 Arrival {
                     kind: rec.kind,
                     traffic: rec.traffic_at(rec.arrival_ms),
@@ -98,7 +106,7 @@ impl ProfiledTrace {
                 let now = rec.traffic_at(epoch_ms);
                 if drifted(&last_traffic, &now, cfg.reprofile_threshold) {
                     let prev = &snapshots.last().expect("arrival snapshot").1;
-                    snapshots.push((epoch_ms, reprofile(&mut sim, prev, now, workload_seed)));
+                    snapshots.push((epoch_ms, reprofile_on(&mut sims, prev, now, workload_seed)));
                     last_traffic = now;
                 }
                 epoch_ms += period_ms;
@@ -198,8 +206,7 @@ mod tests {
             assert_eq!(a.snapshots.len(), b.snapshots.len());
             for ((ta, pa), (tb, pb)) in a.snapshots.iter().zip(&b.snapshots) {
                 assert_eq!(ta, tb);
-                assert_eq!(pa.solo_tput, pb.solo_tput);
-                assert_eq!(pa.counters, pb.counters);
+                assert_eq!(pa.solos, pb.solos);
                 assert_eq!(pa.workload, pb.workload);
             }
         }

@@ -18,10 +18,12 @@ pub const MS_PER_S: u64 = 1_000;
 /// Parameters of one fleet scenario.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
-    /// Hardware of every NIC in the fleet (homogeneous).
-    pub spec: NicSpec,
-    /// Fleet size: NICs available to the operator.
-    pub nics: usize,
+    /// The NIC hardware portfolio: `(model spec, NIC count)` per hardware
+    /// model, expanded in order to NIC indices — NICs `0..count₀` are the
+    /// first model, the next `count₁` the second, and so on. A
+    /// single-entry portfolio is the old homogeneous fleet; model names
+    /// must be distinct.
+    pub portfolio: Vec<(NicSpec, usize)>,
     /// Simulated duration in seconds.
     pub duration_s: u64,
     /// Mean inter-arrival time of the Poisson NF arrival process, seconds.
@@ -59,8 +61,7 @@ impl FleetConfig {
     /// 16-NIC fleet. Benchmarks override the fields they sweep.
     pub fn small(seed: u64) -> Self {
         Self {
-            spec: NicSpec::bluefield2(),
-            nics: 16,
+            portfolio: vec![(NicSpec::bluefield2(), 16)],
             duration_s: 2 * 3_600,
             mean_interarrival_s: 180.0,
             mean_lifetime_s: 1_200.0,
@@ -74,6 +75,49 @@ impl FleetConfig {
             noise_sigma: 0.005,
             seed,
         }
+    }
+
+    /// A mixed 50/50 BlueField-2 + Pensando portfolio of `nics` total
+    /// NICs (BlueField-2 gets the odd one), otherwise the
+    /// [`Self::small`] defaults — the heterogeneous smoke scenario.
+    pub fn mixed(seed: u64, nics: usize) -> Self {
+        let mut cfg = Self::small(seed);
+        cfg.portfolio = vec![
+            (NicSpec::bluefield2(), nics - nics / 2),
+            (NicSpec::pensando(), nics / 2),
+        ];
+        cfg
+    }
+
+    /// Total NICs across the portfolio.
+    pub fn nics(&self) -> usize {
+        self.portfolio.iter().map(|(_, n)| n).sum()
+    }
+
+    /// The portfolio's model specs, in portfolio order.
+    pub fn specs(&self) -> Vec<NicSpec> {
+        self.portfolio.iter().map(|(s, _)| s.clone()).collect()
+    }
+
+    /// The portfolio position (model index) of NIC `nic`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nic` is outside the fleet.
+    pub fn nic_model_pos(&self, nic: usize) -> usize {
+        let mut base = 0usize;
+        for (m, (_, count)) in self.portfolio.iter().enumerate() {
+            if nic < base + count {
+                return m;
+            }
+            base += count;
+        }
+        panic!("NIC {nic} outside a {}-NIC fleet", self.nics());
+    }
+
+    /// The hardware spec of NIC `nic`.
+    pub fn nic_spec(&self, nic: usize) -> &NicSpec {
+        &self.portfolio[self.nic_model_pos(nic)].0
     }
 
     /// Number of audit epochs in the scenario.
@@ -125,13 +169,63 @@ pub struct FleetTrace {
 }
 
 impl FleetTrace {
+    /// Builds a trace from explicit records — the entry point for
+    /// *empirical* arrival traces (diurnal load, flash crowds, recorded
+    /// production arrivals) that no Poisson generator reproduces. The
+    /// event loop consumes arbitrary records; this constructor only
+    /// validates the invariants it relies on:
+    ///
+    /// * `records[i].id == i` (dense ids, used as indices),
+    /// * arrivals ascend and fall inside the scenario horizon,
+    /// * every departure is strictly after its arrival (the event loop
+    ///   orders same-timestamp departures *before* arrivals, so a
+    ///   zero-lifetime record would fire its no-op departure first and
+    ///   then occupy a NIC until the horizon),
+    /// * the config names at least one NF kind and a positive audit
+    ///   period, and every portfolio model name is distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant fails.
+    pub fn from_records(config: FleetConfig, records: Vec<NfRecord>) -> Self {
+        assert!(!config.kinds.is_empty(), "at least one NF kind");
+        assert!(config.audit_period_s > 0, "audit period must be positive");
+        assert!(!config.portfolio.is_empty(), "empty NIC portfolio");
+        for (i, (spec, _)) in config.portfolio.iter().enumerate() {
+            assert!(
+                config.portfolio[..i]
+                    .iter()
+                    .all(|(s, _)| s.name != spec.name),
+                "duplicate NIC model {} in portfolio",
+                spec.name
+            );
+        }
+        let horizon_ms = config.duration_s * MS_PER_S;
+        let mut last_arrival = 0u64;
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.id as usize, i, "record ids must be dense (0..n)");
+            assert!(
+                r.arrival_ms >= last_arrival,
+                "arrivals must ascend (record {i})"
+            );
+            assert!(
+                r.arrival_ms < horizon_ms,
+                "record {i} arrives after the horizon"
+            );
+            assert!(
+                r.departure_ms > r.arrival_ms,
+                "record {i} must depart strictly after it arrives"
+            );
+            last_arrival = r.arrival_ms;
+        }
+        Self { config, records }
+    }
+
     /// Generates the scenario from `config.seed`: Poisson arrivals over
     /// the horizon, exponential lifetimes (floored at one minute so every
     /// NF survives at least a fraction of an audit period), uniform NF
     /// kinds, random start/end traffic, uniform SLA tightness.
     pub fn generate(config: FleetConfig) -> Self {
-        assert!(!config.kinds.is_empty(), "at least one NF kind");
-        assert!(config.audit_period_s > 0, "audit period must be positive");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let horizon_ms = config.duration_s * MS_PER_S;
         let mut records = Vec::new();
@@ -161,7 +255,7 @@ impl FleetTrace {
                 sla_drop,
             });
         }
-        Self { config, records }
+        Self::from_records(config, records)
     }
 }
 
@@ -240,6 +334,112 @@ mod tests {
         assert_eq!(r.traffic_at(r.departure_ms + 999), r.end, "clamped");
         let mid = r.traffic_at((r.arrival_ms + r.departure_ms) / 2);
         assert!(mid != r.start || mid != r.end);
+    }
+
+    #[test]
+    fn from_records_accepts_generated_and_empirical_records() {
+        let gen = FleetTrace::generate(FleetConfig::small(17));
+        let rebuilt = FleetTrace::from_records(gen.config.clone(), gen.records.clone());
+        assert_eq!(rebuilt.records.len(), gen.records.len());
+        // A non-Poisson flash crowd: five NFs arriving in the same
+        // millisecond, constant traffic, staggered departures.
+        let cfg = FleetConfig::small(0);
+        let records: Vec<NfRecord> = (0..5)
+            .map(|i| NfRecord {
+                id: i,
+                kind: NfKind::FlowStats,
+                arrival_ms: 60_000,
+                departure_ms: 60_000 + (i as u64 + 1) * 600_000,
+                start: TrafficProfile::default(),
+                end: TrafficProfile::default(),
+                sla_drop: 0.1,
+            })
+            .collect();
+        let trace = FleetTrace::from_records(cfg, records);
+        assert_eq!(trace.records.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn from_records_rejects_sparse_ids() {
+        let cfg = FleetConfig::small(0);
+        let r = NfRecord {
+            id: 3,
+            kind: NfKind::Acl,
+            arrival_ms: 0,
+            departure_ms: 1,
+            start: TrafficProfile::default(),
+            end: TrafficProfile::default(),
+            sla_drop: 0.1,
+        };
+        FleetTrace::from_records(cfg, vec![r]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly after")]
+    fn from_records_rejects_zero_lifetime_records() {
+        // The event loop orders same-timestamp departures before
+        // arrivals, so a zero-lifetime NF would be placed after its
+        // no-op departure and squat on a NIC until the horizon.
+        let cfg = FleetConfig::small(0);
+        let r = NfRecord {
+            id: 0,
+            kind: NfKind::Acl,
+            arrival_ms: 5_000,
+            departure_ms: 5_000,
+            start: TrafficProfile::default(),
+            end: TrafficProfile::default(),
+            sla_drop: 0.1,
+        };
+        FleetTrace::from_records(cfg, vec![r]);
+    }
+
+    #[test]
+    #[should_panic(expected = "after the horizon")]
+    fn from_records_rejects_off_horizon_arrivals() {
+        let cfg = FleetConfig::small(0);
+        let r = NfRecord {
+            id: 0,
+            kind: NfKind::Acl,
+            arrival_ms: cfg.duration_s * MS_PER_S,
+            departure_ms: cfg.duration_s * MS_PER_S + 1,
+            start: TrafficProfile::default(),
+            end: TrafficProfile::default(),
+            sla_drop: 0.1,
+        };
+        FleetTrace::from_records(cfg, vec![r]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate NIC model")]
+    fn duplicate_portfolio_models_rejected() {
+        let mut cfg = FleetConfig::small(0);
+        cfg.portfolio = vec![(NicSpec::bluefield2(), 4), (NicSpec::bluefield2(), 4)];
+        FleetTrace::from_records(cfg, Vec::new());
+    }
+
+    #[test]
+    fn portfolio_expansion_maps_nics_to_models() {
+        let cfg = FleetConfig::mixed(1, 7);
+        assert_eq!(cfg.nics(), 7);
+        assert_eq!(cfg.portfolio[0].1, 4, "BF-2 gets the odd NIC");
+        for nic in 0..4 {
+            assert_eq!(cfg.nic_model_pos(nic), 0);
+            assert_eq!(cfg.nic_spec(nic).name, "bluefield2");
+        }
+        for nic in 4..7 {
+            assert_eq!(cfg.nic_model_pos(nic), 1);
+            assert_eq!(cfg.nic_spec(nic).name, "pensando");
+        }
+        let specs = cfg.specs();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[1].name, "pensando");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn nic_beyond_fleet_panics() {
+        FleetConfig::small(0).nic_model_pos(16);
     }
 
     #[test]

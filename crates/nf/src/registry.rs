@@ -8,7 +8,7 @@ use crate::nfs::{
 };
 use crate::runtime::{NetworkFunction, Profiler, DEFAULT_SAMPLE_PACKETS};
 use serde::{Deserialize, Serialize};
-use yala_sim::WorkloadSpec;
+use yala_sim::{NicSpec, ResourceKind, WorkloadSpec};
 use yala_traffic::TrafficProfile;
 
 /// The NFs of Table 1 (plus the Pensando Firewall of §8).
@@ -117,6 +117,42 @@ impl NfKind {
         !matches!(self, NfKind::IpRouter | NfKind::Acl)
     }
 
+    /// Capability feasibility: whether every accelerator this NF submits
+    /// work to exists on `spec`. An NF whose workload issues Regex
+    /// requests is infeasible on a regex-less NIC (e.g. the Pensando
+    /// preset) — placement must reject such co-locations up front rather
+    /// than let the co-run solver panic at ground truth.
+    pub fn feasible_on(self, spec: &NicSpec) -> bool {
+        (!self.uses_regex() || spec.has_accel(ResourceKind::Regex))
+            && (!self.uses_compression() || spec.has_accel(ResourceKind::Compression))
+    }
+
+    /// The per-model profiling matrix: whether this NF is profiled and
+    /// trained on NICs of `spec`'s model. Capability-infeasible pairs are
+    /// never profiled; on top of that, the Firewall — a Pensando-SSDK NF
+    /// the paper only evaluates in the §8/Table 9 sweep — is profiled on
+    /// Pensando-model NICs only (this used to be a *global* exclusion in
+    /// the registry tests; heterogeneous fleets make it per-model).
+    pub fn profiled_on(self, spec: &NicSpec) -> bool {
+        if !self.feasible_on(spec) {
+            return false;
+        }
+        match self {
+            NfKind::Firewall => spec.name == "pensando",
+            _ => true,
+        }
+    }
+
+    /// The NF kinds profiled/trained for one NIC model: `kinds` filtered
+    /// through [`Self::profiled_on`].
+    pub fn profiled_kinds(kinds: &[NfKind], spec: &NicSpec) -> Vec<NfKind> {
+        kinds
+            .iter()
+            .copied()
+            .filter(|k| k.profiled_on(spec))
+            .collect()
+    }
+
     /// The programming framework the paper implements the NF in (Table 1).
     pub fn framework(self) -> &'static str {
         match self {
@@ -191,23 +227,60 @@ mod tests {
 
     #[test]
     fn regex_metadata_matches_measured_stages() {
+        // The profiling matrix replaces the old global Firewall skip: each
+        // NIC model profiles exactly the kinds `profiled_on` admits, and
+        // every profiled workload's measured stages match the metadata.
         let profile = TrafficProfile::new(2_000, 1024, 600.0);
-        for kind in NfKind::ALL {
-            if kind == NfKind::Firewall {
-                continue; // Pensando NF, not profiled on BF-2 traffic mixes
+        for spec in [NicSpec::bluefield2(), NicSpec::pensando()] {
+            for kind in NfKind::profiled_kinds(&NfKind::ALL, &spec) {
+                let w = kind.workload(profile, 7);
+                assert_eq!(
+                    w.uses(ResourceKind::Regex),
+                    kind.uses_regex(),
+                    "{kind} regex usage mismatch on {}",
+                    spec.name
+                );
+                assert_eq!(
+                    w.uses(ResourceKind::Compression),
+                    kind.uses_compression(),
+                    "{kind} compression usage mismatch on {}",
+                    spec.name
+                );
             }
-            let w = kind.workload(profile, 7);
-            assert_eq!(
-                w.uses(ResourceKind::Regex),
-                kind.uses_regex(),
-                "{kind} regex usage mismatch"
-            );
-            assert_eq!(
-                w.uses(ResourceKind::Compression),
-                kind.uses_compression(),
-                "{kind} compression usage mismatch"
-            );
         }
+    }
+
+    #[test]
+    fn profiling_matrix_is_capability_and_model_aware() {
+        let bf2 = NicSpec::bluefield2();
+        let pen = NicSpec::pensando();
+        // Regex NFs: feasible (and profiled) only where the engine exists.
+        for kind in [
+            NfKind::FlowMonitor,
+            NfKind::Nids,
+            NfKind::IpCompGateway,
+            NfKind::PacketFilter,
+        ] {
+            assert!(kind.feasible_on(&bf2), "{kind} feasible on bf2");
+            assert!(!kind.feasible_on(&pen), "{kind} infeasible on pensando");
+            assert!(!kind.profiled_on(&pen));
+        }
+        // The Firewall is the Pensando NF: profiled there, not on BF-2 —
+        // even though it is capability-feasible anywhere (CPU/mem only).
+        assert!(NfKind::Firewall.feasible_on(&bf2));
+        assert!(NfKind::Firewall.profiled_on(&pen));
+        assert!(!NfKind::Firewall.profiled_on(&bf2));
+        // Memory-only NFs are profiled everywhere.
+        assert!(NfKind::FlowStats.profiled_on(&bf2));
+        assert!(NfKind::FlowStats.profiled_on(&pen));
+        // The matrix filter keeps order and drops the right kinds.
+        let on_pen = NfKind::profiled_kinds(&NfKind::ALL, &pen);
+        assert!(on_pen.contains(&NfKind::Firewall));
+        assert!(!on_pen.contains(&NfKind::Nids));
+        let on_bf2 = NfKind::profiled_kinds(&NfKind::ALL, &bf2);
+        assert!(on_bf2.contains(&NfKind::Nids));
+        assert!(!on_bf2.contains(&NfKind::Firewall));
+        assert_eq!(on_bf2.len(), 11);
     }
 
     #[test]

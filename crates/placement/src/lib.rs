@@ -15,11 +15,22 @@
 //!   (the paper's exhaustive-search optimum is infeasible at 500 arrivals;
 //!   an oracle-checked first fit measures the same thing — how many NICs a
 //!   perfect predictor needs).
+//!
+//! ## Heterogeneous fleets
+//!
+//! Clusters mix NIC hardware models (BlueField-2 with an RXP regex engine;
+//! Pensando without one), so everything a placement decision consumes is
+//! keyed by [`NicModelId`]: a [`Placed`] NF carries one solo baseline
+//! *per model* it was profiled on (solo throughput, counters, and hence
+//! the SLA floor all differ per hardware), predictors answer for an
+//! explicit model, and capability feasibility is a first-class gate — an
+//! NF whose workload submits Regex requests is never profiled on (and is
+//! rejected by every strategy for) a regex-less NIC.
 
-use yala_core::engine::{scenario_seed, simulator_for, Engine};
-use yala_core::{Contender, YalaModel};
+use yala_core::engine::{model_seed_base, scenario_seed, simulator_for, Engine};
+use yala_core::{Contender, ModelBank, YalaModel};
 use yala_nf::NfKind;
-use yala_sim::{CounterSample, NicSpec, Simulator, WorkloadSpec};
+use yala_sim::{CounterSample, NicModelId, NicSpec, Simulator, WorkloadSpec};
 use yala_slomo::SlomoModel;
 use yala_traffic::TrafficProfile;
 
@@ -34,43 +45,85 @@ pub struct Arrival {
     pub sla_drop: f64,
 }
 
-/// An NF instance placed on a NIC.
+/// One NIC model's solo baseline for a placed NF: what the NF achieves
+/// alone on that hardware, and how contentious it looks there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoloMeasure {
+    /// Solo throughput on this model (SLA reference).
+    pub solo_tput: f64,
+    /// Solo counter vector on this model (contentiousness).
+    pub counters: CounterSample,
+}
+
+/// An NF instance placed on (or prepared for) a NIC, with one solo
+/// baseline per NIC model it is feasible on. The profiled workload (the
+/// NF's per-packet demand) is hardware-independent; the solo throughput,
+/// counters, and therefore the SLA floor are per-model.
 #[derive(Debug, Clone)]
 pub struct Placed {
     /// The arrival it satisfies.
     pub arrival: Arrival,
-    /// Its profiled workload.
+    /// Its profiled workload (packet replay through the real NF —
+    /// identical on every model).
     pub workload: WorkloadSpec,
-    /// Its solo throughput (SLA reference).
-    pub solo_tput: f64,
-    /// Its solo counter vector (contentiousness).
-    pub counters: CounterSample,
+    /// Per-model solo baselines, in portfolio order. Models on which the
+    /// NF is capability-infeasible (or outside the profiling matrix) are
+    /// absent — absence *is* the placement-time feasibility gate.
+    pub solos: Vec<(NicModelId, SoloMeasure)>,
 }
 
 impl Placed {
-    /// The lowest throughput this instance may run at without violating
-    /// its SLA.
-    pub fn sla_floor(&self) -> f64 {
-        self.solo_tput * (1.0 - self.arrival.sla_drop)
+    /// The solo baseline on `model`, if the NF was profiled there.
+    pub fn try_solo(&self, model: NicModelId) -> Option<&SoloMeasure> {
+        self.solos.iter().find(|(m, _)| *m == model).map(|(_, s)| s)
+    }
+
+    /// The solo baseline on `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the NF was not profiled on `model` — strategies must
+    /// check [`Self::supported_on`] before pricing a co-location.
+    pub fn solo(&self, model: NicModelId) -> &SoloMeasure {
+        self.try_solo(model).unwrap_or_else(|| {
+            panic!(
+                "{} has no solo baseline on NIC model {model}",
+                self.workload.name
+            )
+        })
+    }
+
+    /// Whether this NF may be placed on NICs of `model` (it was profiled
+    /// there, which the profiling matrix only allows when every
+    /// accelerator it submits to exists on that hardware).
+    pub fn supported_on(&self, model: NicModelId) -> bool {
+        self.try_solo(model).is_some()
+    }
+
+    /// The lowest throughput this instance may run at on `model` without
+    /// violating its SLA. The floor is per-model: the same drop tolerance
+    /// anchors to that hardware's solo throughput.
+    pub fn sla_floor(&self, model: NicModelId) -> f64 {
+        self.solo(model).solo_tput * (1.0 - self.arrival.sla_drop)
     }
 }
 
 /// A predictor that judges whether a candidate co-location is SLA-safe.
 pub trait PlacementPredictor {
     /// Predicted throughput of `residents[target]` when all `residents`
-    /// share one NIC.
-    fn predict(&mut self, target: usize, residents: &[Placed]) -> f64;
+    /// share one NIC of hardware `model`.
+    fn predict(&mut self, model: NicModelId, target: usize, residents: &[Placed]) -> f64;
 
-    /// Re-evaluates an already-populated NIC — e.g. after traffic drift
-    /// has shifted some residents' profiles — and returns the indices of
-    /// residents predicted to violate their SLA floor, in ascending
-    /// order. A fleet orchestrator calls this each audit epoch to decide
-    /// whether to migrate. The default issues one [`Self::predict`] per
-    /// resident; implementations that can evaluate a whole NIC at once
-    /// (the oracle's single co-run) may override it.
-    fn reevaluate(&mut self, residents: &[Placed]) -> Vec<usize> {
+    /// Re-evaluates an already-populated NIC of hardware `model` — e.g.
+    /// after traffic drift has shifted some residents' profiles — and
+    /// returns the indices of residents predicted to violate their SLA
+    /// floor, in ascending order. A fleet orchestrator calls this each
+    /// audit epoch to decide whether to migrate. The default issues one
+    /// [`Self::predict`] per resident; implementations that can evaluate
+    /// a whole NIC at once (the oracle's single co-run) may override it.
+    fn reevaluate(&mut self, model: NicModelId, residents: &[Placed]) -> Vec<usize> {
         (0..residents.len())
-            .filter(|&i| self.predict(i, residents) < residents[i].sla_floor())
+            .filter(|&i| self.predict(model, i, residents) < residents[i].sla_floor(model))
             .collect()
     }
 }
@@ -94,10 +147,14 @@ pub struct PlacementOutcome {
     pub violations: usize,
     /// Total NFs placed.
     pub placed: usize,
+    /// Arrivals rejected as capability-infeasible on the episode's NIC
+    /// model (no solo baseline there — e.g. a regex NF on a regex-less
+    /// NIC).
+    pub rejected: usize,
 }
 
 impl PlacementOutcome {
-    /// Fraction of NFs whose SLA is violated at ground truth.
+    /// Fraction of placed NFs whose SLA is violated at ground truth.
     pub fn violation_rate(&self) -> f64 {
         if self.placed == 0 {
             0.0
@@ -118,52 +175,144 @@ impl PlacementOutcome {
     }
 }
 
-/// Prepares a [`Placed`] record for an arrival (profiles the workload and
-/// measures solo throughput/counters).
-pub fn prepare(sim: &mut Simulator, arrival: Arrival, seed: u64) -> Placed {
+/// Solo-measures `workload` on each `(model, simulator)` pair, in order.
+fn solo_measures(
+    sims: &mut [(NicModelId, Simulator)],
+    workload: &WorkloadSpec,
+) -> Vec<(NicModelId, SoloMeasure)> {
+    sims.iter_mut()
+        .map(|(model, sim)| {
+            let outcome = sim.solo(workload);
+            (
+                *model,
+                SoloMeasure {
+                    solo_tput: outcome.throughput_pps,
+                    counters: outcome.counters,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Prepares a [`Placed`] record for an arrival against a set of per-model
+/// simulators: the workload is profiled once (packet replay is
+/// hardware-independent) and then solo-measured on each simulator in
+/// order, producing one baseline per NIC model. Callers pass one
+/// simulator per model the NF is admitted on
+/// ([`NfKind::profiled_on`]); the resulting `solos` order follows `sims`.
+pub fn prepare_on(sims: &mut [(NicModelId, Simulator)], arrival: Arrival, seed: u64) -> Placed {
     let mut workload = arrival.kind.workload(arrival.traffic, seed);
     // Co-runs require unique names; instances of the same NF type must not
     // collide.
+    workload.name = format!("{}-{seed}", workload.name);
+    let solos = solo_measures(sims, &workload);
+    Placed {
+        arrival,
+        workload,
+        solos,
+    }
+}
+
+/// Single-model convenience: prepares a [`Placed`] record with one solo
+/// baseline — the model of `sim`'s spec. Identical measurements to the
+/// homogeneous pre-portfolio path.
+pub fn prepare(sim: &mut Simulator, arrival: Arrival, seed: u64) -> Placed {
+    let mut workload = arrival.kind.workload(arrival.traffic, seed);
     workload.name = format!("{}-{seed}", workload.name);
     let outcome = sim.solo(&workload);
     Placed {
         arrival,
         workload,
-        solo_tput: outcome.throughput_pps,
-        counters: outcome.counters,
+        solos: vec![(
+            sim.spec().model(),
+            SoloMeasure {
+                solo_tput: outcome.throughput_pps,
+                counters: outcome.counters,
+            },
+        )],
     }
 }
 
-/// Prepares a whole arrival sequence, one independent scenario per
-/// arrival, dispatched across `engine`'s worker pool. Arrival `i` is
-/// profiled (packet replay through the real NF) and solo-measured on a
-/// private simulator seeded `scenario_seed(base_seed, i)`; its workload
-/// seed is `base_seed + i`, matching the sequential convention. The
-/// returned sequence — and therefore every placement decision derived
-/// from it — is bit-identical whatever the engine's thread count.
+/// Prepares a whole arrival sequence against a NIC-model portfolio, one
+/// independent scenario per arrival, dispatched across `engine`'s worker
+/// pool. Arrival `i` is profiled (packet replay through the real NF) and
+/// solo-measured per admitted model on private simulators seeded
+/// `scenario_seed(model_seed_base(base_seed, m), i)` — model 0's stream
+/// is exactly the old single-spec stream, so a one-spec portfolio
+/// reproduces the homogeneous preparation bit for bit. The returned
+/// sequence — and therefore every placement decision derived from it —
+/// is bit-identical whatever the engine's thread count.
 pub fn prepare_all(
-    spec: &NicSpec,
+    specs: &[NicSpec],
     noise_sigma: f64,
     arrivals: &[Arrival],
     base_seed: u64,
     engine: &Engine,
 ) -> Vec<Placed> {
     engine.run(arrivals.len(), |i| {
-        let mut sim = simulator_for(spec, noise_sigma, scenario_seed(base_seed, i));
-        prepare(
-            &mut sim,
+        let mut sims = sims_for(specs, arrivals[i].kind, noise_sigma, base_seed, i);
+        prepare_on(
+            &mut sims,
             arrivals[i].clone(),
             base_seed.wrapping_add(i as u64),
         )
     })
 }
 
-/// Re-profiles a placed NF after its traffic has drifted to `traffic`:
-/// re-derives the workload (packet replay at the new profile), solo
-/// throughput, and counter vector, keeping the instance's identity (its
-/// workload name) and SLA contract. The SLA floor therefore tracks the
-/// drifted traffic — a drop tolerance is relative to solo performance *at
-/// current traffic*, matching how operators express NF SLAs.
+/// The per-model simulators for scenario `i` of an arrival of `kind`:
+/// one per portfolio spec that admits the kind, seeded per
+/// `(model position, scenario index)`.
+pub fn sims_for(
+    specs: &[NicSpec],
+    kind: NfKind,
+    noise_sigma: f64,
+    base_seed: u64,
+    scenario: usize,
+) -> Vec<(NicModelId, Simulator)> {
+    specs
+        .iter()
+        .enumerate()
+        .filter(|(_, spec)| kind.profiled_on(spec))
+        .map(|(m, spec)| {
+            (
+                spec.model(),
+                simulator_for(
+                    spec,
+                    noise_sigma,
+                    scenario_seed(model_seed_base(base_seed, m), scenario),
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Re-profiles a placed NF after its traffic has drifted to `traffic`
+/// against the same per-model simulators used at preparation: re-derives
+/// the workload (packet replay at the new profile) and every model's solo
+/// baseline, keeping the instance's identity (its workload name) and SLA
+/// contract. The SLA floors therefore track the drifted traffic — a drop
+/// tolerance is relative to solo performance *at current traffic*,
+/// matching how operators express NF SLAs. The returned record carries
+/// baselines exactly for the models in `sims`.
+pub fn reprofile_on(
+    sims: &mut [(NicModelId, Simulator)],
+    placed: &Placed,
+    traffic: TrafficProfile,
+    seed: u64,
+) -> Placed {
+    let mut arrival = placed.arrival.clone();
+    arrival.traffic = traffic;
+    let mut workload = arrival.kind.workload(traffic, seed);
+    workload.name = placed.workload.name.clone();
+    let solos = solo_measures(sims, &workload);
+    Placed {
+        arrival,
+        workload,
+        solos,
+    }
+}
+
+/// Single-model convenience around [`reprofile_on`].
 pub fn reprofile(
     sim: &mut Simulator,
     placed: &Placed,
@@ -178,22 +327,35 @@ pub fn reprofile(
     Placed {
         arrival,
         workload,
-        solo_tput: outcome.throughput_pps,
-        counters: outcome.counters,
+        solos: vec![(
+            sim.spec().model(),
+            SoloMeasure {
+                solo_tput: outcome.throughput_pps,
+                counters: outcome.counters,
+            },
+        )],
     }
 }
 
-/// Runs one online placement episode: arrivals are placed one by one.
-/// Ground truth (violations) is evaluated once at the end by co-running
-/// every NIC in the simulator.
+/// Runs one online placement episode on a homogeneous bank of NICs of
+/// `sim`'s model: arrivals are placed one by one; capability-infeasible
+/// arrivals (no solo baseline on the model) are rejected up front, never
+/// silently mispredicted. Ground truth (violations) is evaluated once at
+/// the end by co-running every NIC in the simulator.
 pub fn place_sequence(
     sim: &mut Simulator,
     arrivals: &[Placed],
     mut strategy: Strategy<'_>,
 ) -> PlacementOutcome {
+    let model = sim.spec().model();
     let max_cores = sim.spec().cores;
     let mut nics: Vec<Vec<Placed>> = Vec::new();
+    let mut rejected = 0usize;
     for nf in arrivals {
+        if !nf.supported_on(model) {
+            rejected += 1;
+            continue;
+        }
         let slot = match &mut strategy {
             Strategy::Monopolization => None,
             Strategy::Greedy => nics
@@ -211,7 +373,7 @@ pub fn place_sequence(
                 let mut candidate = nic.clone();
                 candidate.push(nf.clone());
                 (0..candidate.len())
-                    .all(|i| pred.predict(i, &candidate) >= candidate[i].sla_floor())
+                    .all(|i| pred.predict(model, i, &candidate) >= candidate[i].sla_floor(model))
             }),
         };
         match slot {
@@ -221,11 +383,13 @@ pub fn place_sequence(
     }
     // Ground-truth evaluation.
     let mut violations = 0usize;
+    let mut placed = 0usize;
     for nic in &nics {
         let workloads: Vec<WorkloadSpec> = nic.iter().map(|p| p.workload.clone()).collect();
         let report = sim.co_run(&workloads);
+        placed += nic.len();
         for (p, o) in nic.iter().zip(&report.outcomes) {
-            if o.throughput_pps < p.sla_floor() {
+            if o.throughput_pps < p.sla_floor(model) {
                 violations += 1;
             }
         }
@@ -233,7 +397,8 @@ pub fn place_sequence(
     PlacementOutcome {
         nics,
         violations,
-        placed: arrivals.len(),
+        placed,
+        rejected,
     }
 }
 
@@ -241,110 +406,121 @@ fn fits(nic: &[Placed], nf: &Placed, max_cores: u32) -> bool {
     nic.iter().map(|p| p.workload.cores).sum::<u32>() + nf.workload.cores <= max_cores
 }
 
-/// Yala as a placement predictor.
+/// Yala as a placement predictor: per-NIC-model trained models from a
+/// [`ModelBank`].
 pub struct YalaPredictor<'a> {
-    models: &'a [(NfKind, YalaModel)],
+    bank: &'a ModelBank<YalaModel>,
 }
 
 impl<'a> YalaPredictor<'a> {
-    /// Wraps trained per-NF models.
-    pub fn new(models: &'a [(NfKind, YalaModel)]) -> Self {
-        Self { models }
-    }
-
-    fn model(&self, kind: NfKind) -> &YalaModel {
-        &self
-            .models
-            .iter()
-            .find(|(k, _)| *k == kind)
-            .expect("model trained")
-            .1
+    /// Wraps a trained per-model bank.
+    pub fn new(bank: &'a ModelBank<YalaModel>) -> Self {
+        Self { bank }
     }
 }
 
 impl PlacementPredictor for YalaPredictor<'_> {
-    fn predict(&mut self, target: usize, residents: &[Placed]) -> f64 {
+    fn predict(&mut self, model: NicModelId, target: usize, residents: &[Placed]) -> f64 {
         let t = &residents[target];
         let contenders: Vec<Contender> = residents
             .iter()
             .enumerate()
             .filter(|(i, _)| *i != target)
             .map(|(_, p)| {
-                self.model(p.arrival.kind)
-                    .as_contender(p.counters, p.arrival.traffic.mtbr)
+                self.bank
+                    .expect(model, p.arrival.kind)
+                    .as_contender(p.solo(model).counters, p.arrival.traffic.mtbr)
             })
             .collect();
-        self.model(t.arrival.kind)
-            .predict(t.solo_tput, &t.arrival.traffic, &contenders)
+        self.bank.expect(model, t.arrival.kind).predict(
+            t.solo(model).solo_tput,
+            &t.arrival.traffic,
+            &contenders,
+        )
     }
 }
 
-/// SLOMO as a placement predictor (memory-only view + extrapolation).
+/// SLOMO as a placement predictor (memory-only view + extrapolation),
+/// with per-NIC-model trained models.
 pub struct SlomoPredictor<'a> {
-    models: &'a [(NfKind, SlomoModel)],
+    bank: &'a ModelBank<SlomoModel>,
 }
 
 impl<'a> SlomoPredictor<'a> {
-    /// Wraps trained per-NF SLOMO models.
-    pub fn new(models: &'a [(NfKind, SlomoModel)]) -> Self {
-        Self { models }
+    /// Wraps a trained per-model bank.
+    pub fn new(bank: &'a ModelBank<SlomoModel>) -> Self {
+        Self { bank }
     }
 }
 
 impl PlacementPredictor for SlomoPredictor<'_> {
-    fn predict(&mut self, target: usize, residents: &[Placed]) -> f64 {
+    fn predict(&mut self, model: NicModelId, target: usize, residents: &[Placed]) -> f64 {
         let t = &residents[target];
         let agg = CounterSample::aggregate(
             residents
                 .iter()
                 .enumerate()
                 .filter(|(i, _)| *i != target)
-                .map(|(_, p)| &p.counters),
+                .map(|(_, p)| &p.solo(model).counters),
         );
-        let model = &self
-            .models
-            .iter()
-            .find(|(k, _)| *k == t.arrival.kind)
-            .expect("model trained")
-            .1;
-        model.predict_extrapolated(&agg, t.solo_tput)
+        self.bank
+            .expect(model, t.arrival.kind)
+            .predict_extrapolated(&agg, t.solo(model).solo_tput)
     }
 }
 
-/// Ground-truth simulation as the predictor: the oracle/reference plan.
+/// Ground-truth simulation as the predictor: the oracle/reference plan,
+/// with one private noise-free simulator per NIC model it may be asked
+/// about.
 pub struct OraclePredictor {
-    sim: Simulator,
+    sims: Vec<(NicModelId, Simulator)>,
 }
 
 impl OraclePredictor {
-    /// Builds an oracle around a fresh simulator for the given NIC.
+    /// Builds an oracle around a fresh simulator for one NIC model.
     pub fn new(spec: NicSpec) -> Self {
+        Self::for_models(std::slice::from_ref(&spec))
+    }
+
+    /// Builds an oracle covering every model of a portfolio.
+    pub fn for_models(specs: &[NicSpec]) -> Self {
         Self {
-            sim: Simulator::new(spec),
+            sims: specs
+                .iter()
+                .map(|s| (s.model(), Simulator::new(s.clone())))
+                .collect(),
         }
+    }
+
+    fn sim(&mut self, model: NicModelId) -> &mut Simulator {
+        self.sims
+            .iter_mut()
+            .find(|(m, _)| *m == model)
+            .map(|(_, s)| s)
+            .unwrap_or_else(|| panic!("oracle has no simulator for NIC model {model}"))
     }
 }
 
 impl PlacementPredictor for OraclePredictor {
-    fn predict(&mut self, target: usize, residents: &[Placed]) -> f64 {
+    fn predict(&mut self, model: NicModelId, target: usize, residents: &[Placed]) -> f64 {
         let workloads: Vec<WorkloadSpec> = residents.iter().map(|p| p.workload.clone()).collect();
-        self.sim.co_run(&workloads).outcomes[target].throughput_pps
+        self.sim(model).co_run(&workloads).outcomes[target].throughput_pps
     }
 
     /// One co-run yields every resident's ground-truth throughput, so the
     /// oracle audits a whole NIC with a single fixed-point solve instead
     /// of `residents.len()` of them.
-    fn reevaluate(&mut self, residents: &[Placed]) -> Vec<usize> {
+    fn reevaluate(&mut self, model: NicModelId, residents: &[Placed]) -> Vec<usize> {
         if residents.is_empty() {
             return Vec::new();
         }
         let workloads: Vec<WorkloadSpec> = residents.iter().map(|p| p.workload.clone()).collect();
-        let report = self.sim.co_run(&workloads);
+        let report = self.sim(model).co_run(&workloads);
         residents
             .iter()
             .zip(&report.outcomes)
             .enumerate()
-            .filter(|(_, (p, o))| o.throughput_pps < p.sla_floor())
+            .filter(|(_, (p, o))| o.throughput_pps < p.sla_floor(model))
             .map(|(i, _)| i)
             .collect()
     }
@@ -358,6 +534,10 @@ mod tests {
 
     fn sim() -> Simulator {
         Simulator::new(NicSpec::bluefield2())
+    }
+
+    fn bf2() -> NicModelId {
+        NicSpec::bluefield2().model()
     }
 
     fn arrivals(sim: &mut Simulator, n: usize) -> Vec<Placed> {
@@ -387,6 +567,7 @@ mod tests {
         let out = place_sequence(&mut s, &a, Strategy::Monopolization);
         assert_eq!(out.nics.len(), 8);
         assert_eq!(out.violations, 0);
+        assert_eq!(out.rejected, 0);
     }
 
     #[test]
@@ -416,6 +597,7 @@ mod tests {
             nics: vec![vec![], vec![], vec![]],
             violations: 1,
             placed: 10,
+            rejected: 0,
         };
         assert!((out.wastage_vs(2) - 0.5).abs() < 1e-12);
         assert!((out.violation_rate() - 0.1).abs() < 1e-12);
@@ -423,7 +605,7 @@ mod tests {
 
     #[test]
     fn prepare_all_parallel_matches_sequential_loop() {
-        let spec = NicSpec::bluefield2();
+        let specs = [NicSpec::bluefield2()];
         let kinds = [NfKind::FlowStats, NfKind::Acl, NfKind::Nat];
         let arrivals: Vec<Arrival> = (0..6)
             .map(|i| Arrival {
@@ -432,13 +614,12 @@ mod tests {
                 sla_drop: 0.1,
             })
             .collect();
-        let par = prepare_all(&spec, 0.0, &arrivals, 40, &Engine::with_threads(4));
-        let seq = prepare_all(&spec, 0.0, &arrivals, 40, &Engine::sequential());
+        let par = prepare_all(&specs, 0.0, &arrivals, 40, &Engine::with_threads(4));
+        let seq = prepare_all(&specs, 0.0, &arrivals, 40, &Engine::sequential());
         assert_eq!(par.len(), 6);
         for (p, s) in par.iter().zip(&seq) {
             assert_eq!(p.workload, s.workload);
-            assert_eq!(p.solo_tput, s.solo_tput);
-            assert_eq!(p.counters, s.counters);
+            assert_eq!(p.solos, s.solos);
         }
         // ...and the placement decisions derived from them are identical.
         let mut sim = sim();
@@ -446,6 +627,56 @@ mod tests {
         let g2 = place_sequence(&mut sim, &seq, Strategy::Greedy);
         assert_eq!(g1.nics.len(), g2.nics.len());
         assert_eq!(g1.violations, g2.violations);
+    }
+
+    #[test]
+    fn prepare_all_profiles_per_model_and_skips_infeasible() {
+        let specs = [NicSpec::bluefield2(), NicSpec::pensando()];
+        let arrivals = vec![
+            Arrival {
+                kind: NfKind::FlowStats, // memory-only: both models
+                traffic: TrafficProfile::default(),
+                sla_drop: 0.1,
+            },
+            Arrival {
+                kind: NfKind::Nids, // regex: BlueField-2 only
+                traffic: TrafficProfile::default(),
+                sla_drop: 0.1,
+            },
+        ];
+        let placed = prepare_all(&specs, 0.0, &arrivals, 7, &Engine::sequential());
+        let (bf2, pen) = (specs[0].model(), specs[1].model());
+        assert!(placed[0].supported_on(bf2) && placed[0].supported_on(pen));
+        assert!(placed[1].supported_on(bf2) && !placed[1].supported_on(pen));
+        // The two hardware models measure different solo baselines.
+        assert_ne!(placed[0].solo(bf2).solo_tput, placed[0].solo(pen).solo_tput);
+        // Model 0's baseline matches the homogeneous single-spec path.
+        let homog = prepare_all(&specs[..1], 0.0, &arrivals, 7, &Engine::sequential());
+        assert_eq!(placed[0].solo(bf2), homog[0].solo(bf2));
+        assert_eq!(placed[1].solo(bf2), homog[1].solo(bf2));
+    }
+
+    #[test]
+    fn infeasible_arrivals_are_rejected_not_placed() {
+        let mut pen_sim = Simulator::new(NicSpec::pensando());
+        let specs = [NicSpec::bluefield2(), NicSpec::pensando()];
+        let arrivals: Vec<Arrival> = [NfKind::Nids, NfKind::FlowStats, NfKind::PacketFilter]
+            .iter()
+            .map(|&kind| Arrival {
+                kind,
+                traffic: TrafficProfile::default(),
+                sla_drop: 0.1,
+            })
+            .collect();
+        let placed = prepare_all(&specs, 0.0, &arrivals, 3, &Engine::sequential());
+        let out = place_sequence(&mut pen_sim, &placed, Strategy::Greedy);
+        assert_eq!(out.rejected, 2, "both regex NFs rejected on Pensando");
+        assert_eq!(out.placed, 1);
+        for nic in &out.nics {
+            for p in nic {
+                assert!(p.supported_on(NicSpec::pensando().model()));
+            }
+        }
     }
 
     #[test]
@@ -460,6 +691,7 @@ mod tests {
             },
             7,
         );
+        let model = bf2();
         let drifted = TrafficProfile::new(200_000, 1500, 0.0);
         let re = reprofile(&mut s, &placed, drifted, 7);
         assert_eq!(re.workload.name, placed.workload.name, "identity kept");
@@ -467,12 +699,12 @@ mod tests {
         assert_eq!(re.arrival.sla_drop, placed.arrival.sla_drop);
         // 50x the flows at triple the packet size: the workload and its
         // solo reference must actually change.
-        assert_ne!(re.solo_tput, placed.solo_tput);
-        assert_ne!(re.counters, placed.counters);
+        assert_ne!(re.solo(model).solo_tput, placed.solo(model).solo_tput);
+        assert_ne!(re.solo(model).counters, placed.solo(model).counters);
         // Re-profiling back at the original traffic restores the solo
         // reference (noise-free simulator, same workload seed).
         let back = reprofile(&mut s, &re, placed.arrival.traffic, 7);
-        assert_eq!(back.solo_tput, placed.solo_tput);
+        assert_eq!(back.solo(model).solo_tput, placed.solo(model).solo_tput);
     }
 
     #[test]
@@ -484,7 +716,7 @@ mod tests {
         let a = arrivals(&mut s, 6);
         struct DefaultOracle(Simulator);
         impl PlacementPredictor for DefaultOracle {
-            fn predict(&mut self, target: usize, residents: &[Placed]) -> f64 {
+            fn predict(&mut self, _model: NicModelId, target: usize, residents: &[Placed]) -> f64 {
                 let ws: Vec<WorkloadSpec> = residents.iter().map(|p| p.workload.clone()).collect();
                 self.0.co_run(&ws).outcomes[target].throughput_pps
             }
@@ -492,9 +724,12 @@ mod tests {
         let mut oracle = OraclePredictor::new(NicSpec::bluefield2());
         let mut default_oracle = DefaultOracle(Simulator::new(NicSpec::bluefield2()));
         for chunk in a.chunks(3) {
-            assert_eq!(oracle.reevaluate(chunk), default_oracle.reevaluate(chunk));
+            assert_eq!(
+                oracle.reevaluate(bf2(), chunk),
+                default_oracle.reevaluate(bf2(), chunk)
+            );
         }
-        assert!(oracle.reevaluate(&[]).is_empty());
+        assert!(oracle.reevaluate(bf2(), &[]).is_empty());
     }
 
     #[test]

@@ -52,5 +52,5 @@ pub mod workload;
 
 pub use counters::CounterSample;
 pub use solver::{CoRunReport, NfOutcome, Simulator};
-pub use spec::{AccelSpec, NicSpec, ResourceKind};
+pub use spec::{AccelSpec, NicModelId, NicSpec, ResourceKind};
 pub use workload::{ExecutionPattern, StageDemand, WorkloadSpec};

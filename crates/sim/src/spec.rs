@@ -3,6 +3,7 @@
 //! (NVIDIA BlueField-2, AMD Pensando).
 
 use serde::{Deserialize, Serialize};
+use std::sync::{Mutex, OnceLock};
 
 /// The kinds of shared resources an on-NIC NF can contend on.
 ///
@@ -39,6 +40,78 @@ impl std::fmt::Display for ResourceKind {
             Self::Crypto => "crypto",
         };
         f.write_str(s)
+    }
+}
+
+/// Interned identity of a NIC hardware *model* (e.g. `"bluefield2"`,
+/// `"pensando"`): the key every layer above the simulator uses to select
+/// per-model trained predictors, solo baselines, and capability checks in
+/// a heterogeneous fleet.
+///
+/// Identity is the model *name*: two [`NicSpec`]s with the same name
+/// intern to the same id, so `NicModelId` is `Copy + Eq + Hash + Ord` and
+/// cheap to thread through placement and orchestration state. Ordering
+/// and `Display` follow the name (not the interning order), so sorted
+/// output is deterministic regardless of which model was interned first.
+#[derive(Clone, Copy, Eq)]
+pub struct NicModelId(u32);
+
+fn intern_table() -> &'static Mutex<Vec<&'static str>> {
+    static TABLE: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+impl NicModelId {
+    /// Interns `name` and returns its stable id. Repeated calls with the
+    /// same name return the same id for the life of the process.
+    pub fn intern(name: &str) -> Self {
+        let mut table = intern_table().lock().expect("intern table poisoned");
+        if let Some(i) = table.iter().position(|&n| n == name) {
+            return Self(i as u32);
+        }
+        table.push(Box::leak(name.to_string().into_boxed_str()));
+        Self(table.len() as u32 - 1)
+    }
+
+    /// The interned model name.
+    pub fn as_str(self) -> &'static str {
+        intern_table().lock().expect("intern table poisoned")[self.0 as usize]
+    }
+}
+
+impl PartialEq for NicModelId {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl std::hash::Hash for NicModelId {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl PartialOrd for NicModelId {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for NicModelId {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl std::fmt::Debug for NicModelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NicModelId({:?})", self.as_str())
+    }
+}
+
+impl std::fmt::Display for NicModelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -184,6 +257,30 @@ impl NicSpec {
             ResourceKind::CpuMem => panic!("CpuMem is not an accelerator"),
         }
     }
+
+    /// This spec's interned model identity (derived from [`Self::name`]).
+    pub fn model(&self) -> NicModelId {
+        NicModelId::intern(&self.name)
+    }
+
+    /// Capability query: whether this NIC can serve work on `kind`.
+    /// Every NIC has the CPU/memory path; accelerators are present only
+    /// when the spec carries their service parameters.
+    pub fn has_accel(&self, kind: ResourceKind) -> bool {
+        match kind {
+            ResourceKind::CpuMem => true,
+            ResourceKind::Regex => self.regex.is_some(),
+            ResourceKind::Compression => self.compression.is_some(),
+            ResourceKind::Crypto => self.crypto.is_some(),
+        }
+    }
+
+    /// Whether every resource `workload` touches exists on this NIC — the
+    /// feasibility predicate capability-aware placement must uphold (an
+    /// NF submitting regex requests is infeasible on a regex-less NIC).
+    pub fn supports(&self, workload: &crate::workload::WorkloadSpec) -> bool {
+        workload.resources().iter().all(|&r| self.has_accel(r))
+    }
 }
 
 #[cfg(test)]
@@ -228,5 +325,66 @@ mod tests {
     fn display_names() {
         assert_eq!(ResourceKind::Regex.to_string(), "regex");
         assert_eq!(ResourceKind::CpuMem.to_string(), "cpu-mem");
+    }
+
+    #[test]
+    fn model_ids_intern_by_name() {
+        let bf2 = NicSpec::bluefield2();
+        let pen = NicSpec::pensando();
+        assert_eq!(bf2.model(), NicSpec::bluefield2().model());
+        assert_ne!(bf2.model(), pen.model());
+        assert_eq!(bf2.model().as_str(), "bluefield2");
+        assert_eq!(pen.model().to_string(), "pensando");
+        // Identity follows the name, not the struct: a tweaked spec with
+        // the same name is the same model.
+        let mut tweaked = NicSpec::bluefield2();
+        tweaked.cores = 4;
+        assert_eq!(tweaked.model(), bf2.model());
+    }
+
+    #[test]
+    fn model_id_orders_by_name_not_intern_order() {
+        // "zeta" interned before "alpha" must still sort after it.
+        let z = NicModelId::intern("zeta-test-model");
+        let a = NicModelId::intern("alpha-test-model");
+        assert!(a < z);
+        let mut v = vec![z, a];
+        v.sort();
+        assert_eq!(v, vec![a, z]);
+    }
+
+    #[test]
+    fn capability_queries() {
+        use crate::workload::{ExecutionPattern, StageDemand, WorkloadSpec};
+        let bf2 = NicSpec::bluefield2();
+        let pen = NicSpec::pensando();
+        assert!(bf2.has_accel(ResourceKind::CpuMem));
+        assert!(bf2.has_accel(ResourceKind::Regex));
+        assert!(pen.has_accel(ResourceKind::CpuMem));
+        assert!(!pen.has_accel(ResourceKind::Regex));
+        assert!(pen.has_accel(ResourceKind::Compression));
+
+        let regex_w = WorkloadSpec::new(
+            "r",
+            1,
+            ExecutionPattern::RunToCompletion,
+            vec![
+                StageDemand::CpuMem {
+                    cycles_per_pkt: 100.0,
+                    cache_refs_per_pkt: 5.0,
+                    write_frac: 0.1,
+                    wss_bytes: 1e4,
+                },
+                StageDemand::Accelerator {
+                    kind: ResourceKind::Regex,
+                    queues: 1,
+                    reqs_per_pkt: 1.0,
+                    bytes_per_req: 1446.0,
+                    matches_per_req: 0.5,
+                },
+            ],
+        );
+        assert!(bf2.supports(&regex_w));
+        assert!(!pen.supports(&regex_w));
     }
 }

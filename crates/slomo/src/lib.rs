@@ -20,7 +20,9 @@
 //!   for small deviations and degrades for large ones (Fig. 7b).
 
 use yala_core::engine::{scenario_seed, simulator_for, Engine};
+use yala_core::ModelBank;
 use yala_ml::{Dataset, GbrParams, GradientBoostingRegressor};
+use yala_nf::NfKind;
 use yala_sim::{CounterSample, NicSpec, Simulator, WorkloadSpec};
 
 /// A (CAR, WSS, compute-intensity) contention level for the training sweep.
@@ -175,6 +177,53 @@ impl SlomoModel {
     pub fn solo_tput_train(&self) -> f64 {
         self.solo_tput_train
     }
+}
+
+/// Trains a per-NIC-model SLOMO bank: one model per `(NIC model, NF)`
+/// cell of the profiling matrix ([`NfKind::profiled_on`]), each at the
+/// SLOMO training traffic profile (the default), with the `(CAR, WSS)`
+/// sweep of every cell dispatched across `engine`'s workers. Cells are
+/// enumerated model-major and seeded `scenario_seed(seed, cell_index)`,
+/// so a single-spec portfolio reproduces the homogeneous per-kind
+/// training exactly and the bank is bit-identical across thread counts.
+///
+/// # Panics
+///
+/// Panics if two specs share a model name.
+pub fn train_slomo_bank(
+    specs: &[NicSpec],
+    noise_sigma: f64,
+    kinds: &[NfKind],
+    grid: &[MemLevel],
+    seed: u64,
+    engine: &Engine,
+) -> ModelBank<SlomoModel> {
+    let mut bank = ModelBank::new();
+    // The shared model-major cell enumeration keeps the cell-index
+    // seeding in lockstep with the Yala bank; cells run sequentially
+    // here because each one's (CAR, WSS) sweep already fans out across
+    // the engine.
+    for (cell, &(s, kind)) in yala_core::bank::matrix_cells(specs, kinds)
+        .iter()
+        .enumerate()
+    {
+        let spec = &specs[s];
+        let target = yala_core::profiler::cached_workload(
+            kind,
+            yala_traffic::TrafficProfile::default(),
+            kind as usize as u64,
+        );
+        let model = SlomoModel::train_with_engine(
+            spec,
+            noise_sigma,
+            &target,
+            grid,
+            scenario_seed(seed, cell),
+            engine,
+        );
+        bank.insert(spec.model(), kind, model);
+    }
+    bank
 }
 
 /// Aggregates the solo counters of a competitor set into SLOMO's feature

@@ -6,7 +6,7 @@
 
 use rand::rngs::StdRng;
 use rand::{seq::SliceRandom, Rng, SeedableRng};
-use yala::core::{Engine, TrainConfig, YalaModel};
+use yala::core::{Engine, ModelBank, TrainConfig};
 use yala::nf::NfKind;
 use yala::placement::{place_sequence, prepare_all, Arrival, Strategy, YalaPredictor};
 use yala::sim::{NicSpec, Simulator};
@@ -29,8 +29,7 @@ fn main() {
         engine.threads()
     );
     let cfg = TrainConfig::default();
-    let models: Vec<(NfKind, YalaModel)> =
-        YalaModel::train_all(&NicSpec::bluefield2(), 0.005, &kinds, &cfg, &engine);
+    let bank = ModelBank::train_yala(&[NicSpec::bluefield2()], 0.005, &kinds, &cfg, &engine);
 
     // 40 arrivals with 5-20% SLA headroom each, profiled in parallel.
     let mut rng = StdRng::seed_from_u64(2);
@@ -41,10 +40,10 @@ fn main() {
             sla_drop: rng.gen_range(0.05..0.20),
         })
         .collect();
-    let arrivals = prepare_all(&NicSpec::bluefield2(), 0.005, &specs, 0, &engine);
+    let arrivals = prepare_all(&[NicSpec::bluefield2()], 0.005, &specs, 0, &engine);
 
     let greedy = place_sequence(&mut sim, &arrivals, Strategy::Greedy);
-    let mut predictor = YalaPredictor::new(&models);
+    let mut predictor = YalaPredictor::new(&bank);
     let yala = place_sequence(
         &mut sim,
         &arrivals,

@@ -140,12 +140,24 @@ fn parallel_placement_preparation_matches_sequential() {
             sla_drop: 0.05 + 0.01 * i as f64,
         })
         .collect();
-    let seq = prepare_all(&spec, 0.005, &arrivals, 77, &Engine::sequential());
-    let par = prepare_all(&spec, 0.005, &arrivals, 77, &Engine::with_threads(3));
+    let model = spec.model();
+    let seq = prepare_all(
+        std::slice::from_ref(&spec),
+        0.005,
+        &arrivals,
+        77,
+        &Engine::sequential(),
+    );
+    let par = prepare_all(
+        std::slice::from_ref(&spec),
+        0.005,
+        &arrivals,
+        77,
+        &Engine::with_threads(3),
+    );
     for (s, p) in seq.iter().zip(&par) {
         assert_eq!(s.workload, p.workload);
-        assert_eq!(s.solo_tput, p.solo_tput);
-        assert_eq!(s.counters, p.counters);
-        assert_eq!(s.sla_floor(), p.sla_floor());
+        assert_eq!(s.solos, p.solos);
+        assert_eq!(s.sla_floor(model), p.sla_floor(model));
     }
 }

@@ -1,12 +1,15 @@
 //! End-to-end fleet-orchestrator tests: determinism of the event loop
-//! (bit-identical reports across runs and engine thread counts) and the
+//! (bit-identical reports across runs and engine thread counts), the
 //! policy ordering the paper's story predicts — monopolization never
 //! violates but wastes the fleet, greedy packs tightest but bleeds
 //! SLA-violation minutes, and the contention-aware predictor holds SLAs
-//! with far fewer NICs than monopolization.
+//! with far fewer NICs than monopolization — and backward parity: an
+//! all-BlueField-2 portfolio must reproduce the pre-heterogeneity
+//! homogeneous `FleetReport`s bit for bit (golden fixture captured from
+//! the last homogeneous-only commit).
 
 use std::sync::OnceLock;
-use yala::core::{Engine, TrainConfig, YalaModel};
+use yala::core::{Engine, ModelBank, TrainConfig, YalaModel};
 use yala::fleet::{
     run_fleet, Diagnoser, FleetConfig, FleetPolicy, FleetReport, FleetTrace, ProfiledTrace,
 };
@@ -19,7 +22,7 @@ const NOISE: f64 = 0.005;
 
 fn config(seed: u64) -> FleetConfig {
     let mut cfg = FleetConfig::small(seed);
-    cfg.nics = 20;
+    cfg.portfolio = vec![(NicSpec::bluefield2(), 20)];
     cfg.kinds = KINDS.to_vec();
     // Memory-heavy traffic and tight SLAs: packing blindly must hurt.
     cfg.max_flows = 200_000;
@@ -30,33 +33,33 @@ fn config(seed: u64) -> FleetConfig {
 
 struct Fixture {
     profiled: ProfiledTrace,
-    models: Vec<(NfKind, YalaModel)>,
+    bank: ModelBank<YalaModel>,
 }
 
 fn fixture() -> &'static Fixture {
     static FIXTURE: OnceLock<Fixture> = OnceLock::new();
     FIXTURE.get_or_init(|| {
         let engine = Engine::auto();
-        let models = YalaModel::train_all(
-            &NicSpec::bluefield2(),
+        let bank = ModelBank::train_yala(
+            &[NicSpec::bluefield2()],
             NOISE,
             &KINDS,
             &TrainConfig::default(),
             &engine,
         );
         let profiled = ProfiledTrace::build(FleetTrace::generate(config(31)), &engine);
-        Fixture { profiled, models }
+        Fixture { profiled, bank }
     })
 }
 
 fn run_yala(profiled: &ProfiledTrace, engine: &Engine) -> FleetReport {
     let fx = fixture();
-    let mut predictor = YalaPredictor::new(&fx.models);
+    let mut predictor = YalaPredictor::new(&fx.bank);
     run_fleet(
         profiled,
         FleetPolicy::ContentionAware {
             predictor: &mut predictor,
-            diagnoser: Diagnoser::Yala(&fx.models),
+            diagnoser: Diagnoser::Yala(&fx.bank),
         },
         "yala",
         engine,
@@ -78,6 +81,38 @@ fn reports_are_bit_identical_across_runs_and_thread_counts() {
     let c = run_yala(&rebuilt, &seq);
     assert_eq!(a, c, "profiling fan-out must not affect the report");
     assert_eq!(a.to_json(), c.to_json());
+}
+
+#[test]
+fn all_bluefield2_portfolio_reproduces_the_pre_refactor_golden_reports() {
+    // The golden fixture was captured on the last commit before the
+    // heterogeneous-portfolio refactor: the homogeneous 20-NIC
+    // BlueField-2 scenario at seed 31 (sequential engine, three
+    // policies). The per-model type spine — NicModelId, ModelBank,
+    // per-model Placed solos, portfolio timelines, model-keyed audits —
+    // must change *nothing* when the portfolio holds a single model.
+    let fx = fixture();
+    let engine = Engine::sequential();
+    let mono = run_fleet(
+        &fx.profiled,
+        FleetPolicy::Monopolization,
+        "monopolization",
+        &engine,
+    );
+    let greedy = run_fleet(&fx.profiled, FleetPolicy::Greedy, "greedy", &engine);
+    let yala = run_yala(&fx.profiled, &engine);
+    let got = format!(
+        "[\n{},\n{},\n{}\n]\n",
+        mono.to_json(),
+        greedy.to_json(),
+        yala.to_json()
+    );
+    let golden = include_str!("fixtures/fleet_bf2_golden.json");
+    assert_eq!(
+        got, golden,
+        "all-BlueField-2 portfolio must be bit-identical to the \
+         pre-refactor homogeneous FleetReports"
+    );
 }
 
 #[test]
