@@ -11,17 +11,20 @@
 //! same in both modes.
 
 use std::time::Instant;
-use yala_bench::Zoo;
-use yala_core::Engine;
+use yala_bench::{json_f64, read_record, BenchArgs, RegressionCheck, Zoo};
 use yala_fleet::{
     run_fleet, Diagnoser, FleetConfig, FleetPolicy, FleetReport, FleetTrace, ProfiledTrace,
 };
 use yala_nf::NfKind;
 use yala_placement::{SlomoPredictor, YalaPredictor};
 
+/// The committed record this binary regenerates (and `--check`s against).
+const RECORD: &str = "BENCH_fleet.json";
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let engine = Engine::auto();
+    let args = BenchArgs::parse();
+    let quick = args.quick;
+    let engine = args.engine();
     let kinds: Vec<NfKind> = if quick {
         vec![NfKind::FlowStats, NfKind::Acl, NfKind::Nat, NfKind::Nids]
     } else {
@@ -78,6 +81,7 @@ fn main() {
             FleetPolicy::ContentionAware {
                 predictor: &mut predictor,
                 diagnoser: Diagnoser::MemoryOnly,
+                online: None,
             },
             "slomo",
             &engine,
@@ -90,6 +94,7 @@ fn main() {
             FleetPolicy::ContentionAware {
                 predictor: &mut predictor,
                 diagnoser: Diagnoser::Yala(zoo.yala_bank()),
+                online: None,
             },
             "yala",
             &engine,
@@ -151,11 +156,52 @@ fn main() {
         profiled.snapshot_count(),
         policies_json.join(",\n")
     );
-    match std::fs::write("BENCH_fleet.json", &json) {
-        Ok(()) => println!("  wrote BENCH_fleet.json"),
-        Err(e) => eprintln!("  could not write BENCH_fleet.json: {e}"),
+    if let Some(path) = args.record_path(RECORD) {
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("  wrote {path}"),
+            Err(e) => eprintln!("  could not write {path}: {e}"),
+        }
     }
     let _ = report_sanity(&mono);
+
+    // Regression gate: the recomputed quick-mode headline metrics must
+    // not be worse than the committed record's (small tolerance so an
+    // intentional scenario change fails loudly and prompts regeneration).
+    if args.check {
+        let committed = read_record(RECORD);
+        let mut check = RegressionCheck::new();
+        check.exact(
+            "arrivals",
+            arrivals as f64,
+            json_f64(&committed, "", "arrivals").unwrap_or(-1.0),
+        );
+        for r in [&slomo, &yala] {
+            let anchor = format!("\"policy\": \"{}\"", r.policy);
+            let key = |k: &str| json_f64(&committed, &anchor, k).unwrap_or(-1.0);
+            check.no_worse(
+                &format!("{}.violation_minutes", r.policy),
+                r.violation_minutes,
+                key("violation_minutes"),
+                0.05,
+                1.0,
+            );
+            check.no_worse(
+                &format!("{}.nic_minutes", r.policy),
+                r.nic_minutes,
+                key("nic_minutes"),
+                0.05,
+                0.0,
+            );
+            check.no_worse(
+                &format!("{}.rejected", r.policy),
+                r.rejected as f64,
+                key("rejected"),
+                0.0,
+                0.0,
+            );
+        }
+        check.finish(RECORD);
+    }
 }
 
 /// Cheap structural sanity on the serialized report (keeps the JSON

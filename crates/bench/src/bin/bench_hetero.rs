@@ -16,15 +16,18 @@
 //! (CI) for fewer trained NF kinds and a coarser audit cadence.
 
 use std::time::Instant;
-use yala_bench::Zoo;
-use yala_core::Engine;
+use yala_bench::{json_f64, read_record, BenchArgs, RegressionCheck, Zoo};
 use yala_fleet::{run_fleet, Diagnoser, FleetConfig, FleetPolicy, FleetTrace, ProfiledTrace};
 use yala_nf::NfKind;
 use yala_placement::YalaPredictor;
 
+/// The committed record this binary regenerates (and `--check`s against).
+const RECORD: &str = "BENCH_hetero.json";
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let engine = Engine::auto();
+    let args = BenchArgs::parse();
+    let quick = args.quick;
+    let engine = args.engine();
     let kinds: Vec<NfKind> = if quick {
         vec![
             NfKind::FlowStats,
@@ -118,6 +121,7 @@ fn main() {
             FleetPolicy::ContentionAware {
                 predictor: &mut predictor,
                 diagnoser: Diagnoser::Yala(zoo.yala_bank()),
+                online: None,
             },
             "yala",
             &engine,
@@ -195,8 +199,45 @@ fn main() {
         profiled.snapshot_count(),
         policies_json.join(",\n")
     );
-    match std::fs::write("BENCH_hetero.json", &json) {
-        Ok(()) => println!("  wrote BENCH_hetero.json"),
-        Err(e) => eprintln!("  could not write BENCH_hetero.json: {e}"),
+    if let Some(path) = args.record_path(RECORD) {
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("  wrote {path}"),
+            Err(e) => eprintln!("  could not write {path}: {e}"),
+        }
+    }
+
+    // Regression gate against the committed record (see bench_fleet).
+    if args.check {
+        let committed = read_record(RECORD);
+        let mut check = RegressionCheck::new();
+        check.exact(
+            "arrivals",
+            arrivals as f64,
+            json_f64(&committed, "", "arrivals").unwrap_or(-1.0),
+        );
+        let anchor = "\"policy\": \"yala\"";
+        let key = |k: &str| json_f64(&committed, anchor, k).unwrap_or(-1.0);
+        check.no_worse(
+            "yala.violation_minutes",
+            yala.violation_minutes,
+            key("violation_minutes"),
+            0.05,
+            1.0,
+        );
+        check.no_worse(
+            "yala.nic_minutes",
+            yala.nic_minutes,
+            key("nic_minutes"),
+            0.05,
+            0.0,
+        );
+        check.no_worse(
+            "yala.rejected",
+            yala.rejected as f64,
+            key("rejected"),
+            0.0,
+            0.0,
+        );
+        check.finish(RECORD);
     }
 }

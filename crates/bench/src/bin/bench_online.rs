@@ -1,0 +1,249 @@
+//! Records the online-refinement comparison to `BENCH_online.json`:
+//! *frozen* (train-once) Yala vs *online* Yala — same offline bank, same
+//! drift-heavy scenario — where the online policy feeds every SLA audit's
+//! ground-truth co-run outcomes back into its predictor
+//! ([`yala_placement::PlacementPredictor::absorb`]) and the frozen policy
+//! keeps the paper's train-once setup.
+//!
+//! The decay is engineered the way it happens in production: the bank is
+//! trained while flow counts live below `STALE_FLOW_CEILING`, then the
+//! fleet's traffic drifts far beyond it. The stale memory curve
+//! extrapolates flat past its training range, predicts ≈solo throughput
+//! for badly contended high-flow co-locations, and the frozen policy
+//! packs (and fails to migrate) its way into SLA violations. The online
+//! policy absorbs the audited outcomes at the drifted operating points
+//! and re-fits the affected cells, so its predictions — and therefore its
+//! placements and migrations — recover mid-episode.
+//!
+//! The scenario is deterministic: same seed ⇒ bit-identical
+//! `FleetReport`s *and* refinement stream, so the committed JSON is
+//! byte-reproducible across runs and engine thread counts (the CI
+//! determinism gate diffs a default-engine run against a `--threads`-
+//! pinned one). Pass `--quick` (CI) for fewer trained NF kinds and a
+//! coarser audit cadence.
+
+use std::time::Instant;
+use yala_bench::{json_f64, read_record, BenchArgs, RegressionCheck, NOISE_SIGMA};
+use yala_core::adaptive::TrafficRanges;
+use yala_core::{ModelBank, TrainConfig};
+use yala_fleet::{
+    run_fleet, Diagnoser, FleetConfig, FleetPolicy, FleetTrace, OnlineRefine, ProfiledTrace,
+};
+use yala_nf::NfKind;
+use yala_placement::YalaPredictor;
+use yala_sim::NicSpec;
+
+/// The committed record this binary regenerates (and `--check`s against).
+const RECORD: &str = "BENCH_online.json";
+
+/// Largest flow count seen while the offline bank was trained; the live
+/// fleet drifts to [`DRIFTED_FLOW_CEILING`].
+const STALE_FLOW_CEILING: u32 = 48_000;
+
+/// Largest flow count the drift-heavy scenario reaches.
+const DRIFTED_FLOW_CEILING: u32 = 300_000;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let quick = args.quick;
+    let engine = args.engine();
+    let kinds: Vec<NfKind> = if quick {
+        vec![NfKind::FlowStats, NfKind::Acl, NfKind::Nat, NfKind::Nids]
+    } else {
+        NfKind::TABLE2_NINE.to_vec()
+    };
+
+    let mut cfg = FleetConfig::small(97);
+    cfg.portfolio = vec![(NicSpec::bluefield2(), 200)];
+    cfg.duration_s = 24 * 3_600;
+    cfg.mean_interarrival_s = 144.0; // ~600 arrivals over the day
+    cfg.mean_lifetime_s = 12_000.0; // long lives: drift has room to bite
+    cfg.audit_period_s = if quick { 1_800 } else { 600 };
+    cfg.reprofile_threshold = if quick { 0.20 } else { 0.10 };
+    cfg.kinds = kinds.clone();
+    cfg.max_flows = DRIFTED_FLOW_CEILING;
+    cfg.sla_drop_range = (0.05, 0.15);
+    let online_knobs = OnlineRefine {
+        min_observations: 96,
+    };
+
+    println!(
+        "bench_online: {} NICs, {} h, audit every {} s, {} NF kinds, \
+         trained at ≤{}k flows / drifting to ≤{}k{}",
+        cfg.nics(),
+        cfg.duration_s / 3_600,
+        cfg.audit_period_s,
+        kinds.len(),
+        STALE_FLOW_CEILING / 1_000,
+        DRIFTED_FLOW_CEILING / 1_000,
+        if quick { " [quick]" } else { "" }
+    );
+
+    // The stale offline bank: adaptive profiling confined to the
+    // pre-drift flow regime.
+    let t0 = Instant::now();
+    let train_cfg = TrainConfig {
+        ranges: TrafficRanges {
+            flows: (1_000, STALE_FLOW_CEILING),
+            ..TrafficRanges::default()
+        },
+        seed: 6,
+        ..TrainConfig::default()
+    };
+    let bank = ModelBank::train_yala(
+        &[NicSpec::bluefield2()],
+        NOISE_SIGMA,
+        &kinds,
+        &train_cfg,
+        &engine,
+    );
+    let train_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let trace = FleetTrace::generate(cfg);
+    let arrivals = trace.records.len();
+    let profiled = ProfiledTrace::build(trace, &engine);
+    let profile_s = t0.elapsed().as_secs_f64();
+    println!(
+        "  scenario: {arrivals} arrivals, {} profile snapshots \
+         (train {train_s:.1} s, profile {profile_s:.1} s)",
+        profiled.snapshot_count()
+    );
+
+    let t0 = Instant::now();
+    let greedy = run_fleet(&profiled, FleetPolicy::Greedy, "greedy", &engine);
+    let frozen = {
+        let mut predictor = YalaPredictor::new(&bank);
+        run_fleet(
+            &profiled,
+            FleetPolicy::ContentionAware {
+                predictor: &mut predictor,
+                diagnoser: Diagnoser::Yala(&bank),
+                online: None,
+            },
+            "yala-frozen",
+            &engine,
+        )
+    };
+    let mut online_predictor = YalaPredictor::new(&bank);
+    let online = run_fleet(
+        &profiled,
+        FleetPolicy::ContentionAware {
+            predictor: &mut online_predictor,
+            diagnoser: Diagnoser::Yala(&bank),
+            online: Some(online_knobs),
+        },
+        "yala-online",
+        &engine,
+    );
+    println!("  policy runs: {:.1} s", t0.elapsed().as_secs_f64());
+
+    println!(
+        "  {:<16} {:>10} {:>10} {:>10} {:>9} {:>6} {:>9}",
+        "policy", "mean NICs", "peak", "NIC-min", "viol-min", "migr", "rejected"
+    );
+    let reports = [&greedy, &frozen, &online];
+    for r in reports {
+        println!(
+            "  {:<16} {:>10.1} {:>10} {:>10.0} {:>9.0} {:>6} {:>9}",
+            r.policy,
+            r.mean_nics(),
+            r.peak_nics,
+            r.nic_minutes,
+            r.violation_minutes,
+            r.migrations,
+            r.rejected,
+        );
+    }
+    println!(
+        "  refinement: {} absorb passes, {} observations absorbed",
+        online_predictor.refine_passes(),
+        online_predictor.absorbed()
+    );
+
+    // The acceptance bar: the stale frozen model must actually decay
+    // (violations appear), refinement must actually run, and online-Yala
+    // must end the day with *strictly* fewer SLA-violation minutes than
+    // frozen-Yala. Deterministic scenario: holds always or never.
+    assert!(
+        frozen.violation_minutes > 0.0,
+        "the stale frozen bank should decay under drift"
+    );
+    assert!(
+        online_predictor.refine_passes() > 0 && online_predictor.absorbed() > 0,
+        "the online policy must absorb audit observations"
+    );
+    assert!(
+        online.violation_minutes < frozen.violation_minutes,
+        "online-Yala ({}) must strictly beat frozen-Yala ({}) on violation minutes",
+        online.violation_minutes,
+        frozen.violation_minutes
+    );
+    println!(
+        "  dominance: online {:.0} viol-min vs frozen {:.0} ({}x) — OK",
+        online.violation_minutes,
+        frozen.violation_minutes,
+        (frozen.violation_minutes / online.violation_minutes).round()
+    );
+
+    let kinds_json: Vec<String> = kinds.iter().map(|k| format!("\"{k}\"")).collect();
+    let policies_json: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+    let json = format!(
+        "{{\n\"bench\": \"online\",\n\"quick\": {quick},\n\"nics\": {},\n\"arrivals\": {arrivals},\n\
+         \"duration_s\": {},\n\"audit_period_s\": {},\n\"seed\": {},\n\"kinds\": [{}],\n\
+         \"trained_flow_ceiling\": {STALE_FLOW_CEILING},\n\"drifted_flow_ceiling\": {DRIFTED_FLOW_CEILING},\n\
+         \"min_observations\": {},\n\"refine_passes\": {},\n\"absorbed_observations\": {},\n\
+         \"profile_snapshots\": {},\n\"policies\": [\n{}\n]\n}}\n",
+        frozen.nics,
+        frozen.duration_s,
+        frozen.audit_period_s,
+        frozen.seed,
+        kinds_json.join(", "),
+        online_knobs.min_observations,
+        online_predictor.refine_passes(),
+        online_predictor.absorbed(),
+        profiled.snapshot_count(),
+        policies_json.join(",\n")
+    );
+    if let Some(path) = args.record_path(RECORD) {
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("  wrote {path}"),
+            Err(e) => eprintln!("  could not write {path}: {e}"),
+        }
+    }
+
+    // Regression gate against the committed record (see bench_fleet).
+    if args.check {
+        let committed = read_record(RECORD);
+        let mut check = RegressionCheck::new();
+        check.exact(
+            "arrivals",
+            arrivals as f64,
+            json_f64(&committed, "", "arrivals").unwrap_or(-1.0),
+        );
+        let anchor = "\"policy\": \"yala-online\"";
+        let key = |k: &str| json_f64(&committed, anchor, k).unwrap_or(-1.0);
+        check.no_worse(
+            "yala-online.violation_minutes",
+            online.violation_minutes,
+            key("violation_minutes"),
+            0.05,
+            1.0,
+        );
+        check.no_worse(
+            "yala-online.nic_minutes",
+            online.nic_minutes,
+            key("nic_minutes"),
+            0.05,
+            0.0,
+        );
+        check.no_worse(
+            "yala-online.rejected",
+            online.rejected as f64,
+            key("rejected"),
+            0.0,
+            0.0,
+        );
+        check.finish(RECORD);
+    }
+}

@@ -10,11 +10,15 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
+use yala_bench::{json_f64, read_record, BenchArgs, RegressionCheck};
 use yala_rxp::{l7_default_ruleset, Ruleset, ScanReport};
 use yala_traffic::PayloadSynthesizer;
 
 /// Payload size for the headline numbers (MTU-ish, as in the paper).
 const PAYLOAD_LEN: usize = 1500;
+
+/// The committed record this binary regenerates (and `--check`s against).
+const RECORD: &str = "BENCH_rxp.json";
 
 /// Median of per-batch average nanoseconds per scan.
 fn median_ns(mut samples: Vec<f64>) -> f64 {
@@ -43,7 +47,8 @@ struct Row {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args = BenchArgs::parse();
+    let quick = args.quick;
     let (batches, iters, payloads) = if quick { (5, 50, 8) } else { (9, 400, 32) };
 
     let rules = l7_default_ruleset();
@@ -132,8 +137,36 @@ fn main() {
         rules.fused_state_count(),
         row_json.join(",\n")
     );
-    match std::fs::write("BENCH_rxp.json", &json) {
-        Ok(()) => println!("  wrote BENCH_rxp.json"),
-        Err(e) => eprintln!("  could not write BENCH_rxp.json: {e}"),
+    if let Some(path) = args.record_path(RECORD) {
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("  wrote {path}"),
+            Err(e) => eprintln!("  could not write {path}: {e}"),
+        }
+    }
+
+    // Regression gate. Unlike the fleet records this one is wall-clock
+    // timing, so the committed absolute ns are machine-specific; what
+    // must not regress is the *structure* (every rule still fuses) and
+    // the *relative* win (fused vs per-rule speedup). A broken fused path
+    // (silent per-rule fallback) collapses the speedup to ~1x and fails.
+    if args.check {
+        let committed = read_record(RECORD);
+        let mut check = RegressionCheck::new();
+        check.exact(
+            "rules",
+            rules.len() as f64,
+            json_f64(&committed, "", "rules").unwrap_or(-1.0),
+        );
+        check.at_least(
+            "fused_rules",
+            rules.fused_rule_count() as f64,
+            json_f64(&committed, "", "fused_rules").unwrap_or(f64::INFINITY),
+        );
+        check.at_least(
+            "geomean_speedup",
+            geomean_speedup,
+            json_f64(&committed, "", "geomean_speedup").unwrap_or(f64::INFINITY) * 0.5,
+        );
+        check.finish(RECORD);
     }
 }

@@ -244,6 +244,177 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
     let _ = std::fs::write(format!("results/{name}.csv"), body);
 }
 
+/// Common CLI flags of the `bench_*` record binaries:
+///
+/// * `--quick` — CI-sized run (fewer kinds / coarser cadence).
+/// * `--threads N` — pin the scenario engine to `N` workers instead of
+///   auto-sizing; the records are bit-identical either way, which the CI
+///   determinism gate enforces by diffing a default-engine run against a
+///   pinned-engine one.
+/// * `--out PATH` — write the record to `PATH` instead of the committed
+///   default (used by CI to compare runs in temp files).
+/// * `--check` — regression gate: recompute quick-mode results, diff the
+///   headline metrics against the *committed* record within tolerance,
+///   and exit nonzero on regression instead of overwriting anything.
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    /// CI-sized run (implied by `--check`).
+    pub quick: bool,
+    /// Regression-gate mode.
+    pub check: bool,
+    /// Explicit engine worker count.
+    pub threads: Option<usize>,
+    /// Alternative record path.
+    pub out: Option<String>,
+}
+
+impl BenchArgs {
+    /// Parses the common flags from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown flag or a malformed `--threads` value, so a
+    /// typo in a CI step fails loudly instead of silently running the
+    /// default configuration.
+    pub fn parse() -> Self {
+        let mut out = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => out.quick = true,
+                "--check" => {
+                    out.check = true;
+                    out.quick = true;
+                }
+                "--threads" => {
+                    let v = args.next().expect("--threads needs a value");
+                    out.threads = Some(v.parse().expect("--threads needs an integer"));
+                }
+                "--out" => out.out = Some(args.next().expect("--out needs a path")),
+                other => panic!("unknown bench flag {other}"),
+            }
+        }
+        out
+    }
+
+    /// The scenario engine the flags select.
+    pub fn engine(&self) -> Engine {
+        match self.threads {
+            Some(n) => Engine::with_threads(n),
+            None => Engine::auto(),
+        }
+    }
+
+    /// Where this run's record goes: `--out` if given, else the committed
+    /// default. In `--check` mode the committed default is never
+    /// overwritten — the record is written only when `--out` is explicit.
+    pub fn record_path<'a>(&'a self, default: &'a str) -> Option<&'a str> {
+        match (&self.out, self.check) {
+            (Some(p), _) => Some(p),
+            (None, true) => None,
+            (None, false) => Some(default),
+        }
+    }
+}
+
+/// Extracts the first JSON number for `"key":` after the first occurrence
+/// of `anchor` in `text` (pass `""` to search from the start). Good
+/// enough for the workspace's own canonical, hand-rolled records — this
+/// is not a general JSON parser.
+pub fn json_f64(text: &str, anchor: &str, key: &str) -> Option<f64> {
+    let from = text.find(anchor)? + anchor.len();
+    let needle = format!("\"{key}\":");
+    let at = text[from..].find(&needle)? + from + needle.len();
+    let tail = text[at..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || ".+-eE".contains(c)))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// Collects `--check` regression verdicts: each probe prints its
+/// comparison and failures accumulate for one final exit decision.
+#[derive(Debug, Default)]
+pub struct RegressionCheck {
+    failures: Vec<String>,
+}
+
+impl RegressionCheck {
+    /// An empty check.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Asserts a lower-is-better metric did not regress past the
+    /// committed value: `got ≤ committed · (1 + rel_tol) + abs_slack`.
+    pub fn no_worse(
+        &mut self,
+        label: &str,
+        got: f64,
+        committed: f64,
+        rel_tol: f64,
+        abs_slack: f64,
+    ) {
+        let bound = committed * (1.0 + rel_tol) + abs_slack;
+        let ok = got <= bound;
+        println!(
+            "  check {label}: {got:.3} vs committed {committed:.3} (bound {bound:.3}) {}",
+            if ok { "OK" } else { "REGRESSED" }
+        );
+        if !ok {
+            self.failures
+                .push(format!("{label}: {got:.3} > bound {bound:.3}"));
+        }
+    }
+
+    /// Asserts a higher-is-better metric stayed at or above `floor`.
+    pub fn at_least(&mut self, label: &str, got: f64, floor: f64) {
+        let ok = got >= floor;
+        println!(
+            "  check {label}: {got:.3} vs floor {floor:.3} {}",
+            if ok { "OK" } else { "REGRESSED" }
+        );
+        if !ok {
+            self.failures
+                .push(format!("{label}: {got:.3} < floor {floor:.3}"));
+        }
+    }
+
+    /// Asserts an exact scenario invariant (e.g. arrival counts): a
+    /// mismatch means the committed record describes a *different*
+    /// scenario and must be regenerated, not tolerated.
+    pub fn exact(&mut self, label: &str, got: f64, committed: f64) {
+        let ok = got == committed;
+        println!(
+            "  check {label}: {got} vs committed {committed} {}",
+            if ok { "OK" } else { "MISMATCH" }
+        );
+        if !ok {
+            self.failures
+                .push(format!("{label}: {got} != committed {committed}"));
+        }
+    }
+
+    /// Exits nonzero (after printing the verdict) if any probe failed.
+    pub fn finish(self, record: &str) {
+        if self.failures.is_empty() {
+            println!("  --check: no regressions vs {record}");
+        } else {
+            eprintln!(
+                "  --check FAILED vs {record}:\n    {}\n  (intentional change? regenerate the record and commit it)",
+                self.failures.join("\n    ")
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Reads a committed record for `--check`, failing loudly if missing.
+pub fn read_record(path: &str) -> String {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("--check needs the committed {path}: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,5 +432,64 @@ mod tests {
     #[test]
     fn scaled_respects_env_default() {
         assert_eq!(scaled(3, 10), if full_scale() { 10 } else { 3 });
+    }
+
+    #[test]
+    fn json_f64_extracts_anchored_numbers() {
+        let text = r#"{
+            "arrivals": 579,
+            "policies": [
+                {"policy": "greedy", "violation_minutes": 58230.000},
+                {"policy": "yala", "violation_minutes": 270.000, "mean_nics": 56.25}
+            ]
+        }"#;
+        assert_eq!(json_f64(text, "", "arrivals"), Some(579.0));
+        assert_eq!(
+            json_f64(text, "\"policy\": \"yala\"", "violation_minutes"),
+            Some(270.0)
+        );
+        assert_eq!(
+            json_f64(text, "\"policy\": \"greedy\"", "violation_minutes"),
+            Some(58230.0)
+        );
+        assert_eq!(json_f64(text, "\"policy\": \"oracle\"", "anything"), None);
+        assert_eq!(json_f64(text, "", "missing_key"), None);
+    }
+
+    #[test]
+    fn record_path_respects_check_and_out() {
+        let plain = BenchArgs::default();
+        assert_eq!(plain.record_path("BENCH_x.json"), Some("BENCH_x.json"));
+        let check = BenchArgs {
+            check: true,
+            quick: true,
+            ..BenchArgs::default()
+        };
+        assert_eq!(
+            check.record_path("BENCH_x.json"),
+            None,
+            "--check must not clobber the committed record"
+        );
+        let out = BenchArgs {
+            check: true,
+            quick: true,
+            out: Some("/tmp/r.json".into()),
+            ..BenchArgs::default()
+        };
+        assert_eq!(out.record_path("BENCH_x.json"), Some("/tmp/r.json"));
+    }
+
+    #[test]
+    fn regression_check_accumulates_failures() {
+        let mut ok = RegressionCheck::new();
+        ok.no_worse("viol", 100.0, 100.0, 0.05, 1.0);
+        ok.at_least("speedup", 9.9, 5.0);
+        ok.exact("arrivals", 579.0, 579.0);
+        assert!(ok.failures.is_empty());
+        let mut bad = RegressionCheck::new();
+        bad.no_worse("viol", 200.0, 100.0, 0.05, 1.0);
+        bad.at_least("speedup", 2.0, 5.0);
+        bad.exact("arrivals", 579.0, 600.0);
+        assert_eq!(bad.failures.len(), 3);
     }
 }

@@ -18,6 +18,7 @@
 //! bank is bit-identical to the pre-heterogeneity models.
 
 use crate::engine::{scenario_seed, simulator_for, Engine};
+use crate::observe::{ObservationBuffer, Refinable};
 use crate::predictor::{TrainConfig, YalaModel};
 use yala_nf::NfKind;
 use yala_sim::{NicModelId, NicSpec};
@@ -25,7 +26,11 @@ use yala_sim::{NicModelId, NicSpec};
 /// Trained models keyed by `(NicModelId, NfKind)`, one value per cell of
 /// the per-model profiling matrix. Generic in the model type so the same
 /// container serves Yala ([`YalaModel`]) and baseline (SLOMO) banks.
-#[derive(Debug, Clone)]
+///
+/// A bank is *versioned, refinable state*, not a train-once value: cells
+/// can absorb in-production audit observations through [`Self::refine`]
+/// while untouched cells stay bit-identical.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelBank<M> {
     entries: Vec<(NicModelId, NfKind, M)>,
 }
@@ -154,6 +159,48 @@ impl<M> ModelBank<M> {
     }
 }
 
+impl<M: Refinable + Clone + Send + Sync> ModelBank<M> {
+    /// Absorbs a buffer of audit observations: each *affected* cell —
+    /// visited in the bank's model-major training order — re-fits from
+    /// its own observations (in buffer append order), dispatched across
+    /// `engine`'s workers. Untouched cells are not cloned or re-fitted
+    /// and stay bit-identical. Returns total observations absorbed.
+    ///
+    /// Observations for cells the bank does not hold are *ignored*:
+    /// refinement can sharpen a trained model but never resurrect a cell
+    /// the profiling matrix excluded (e.g. a regex NF on regex-less
+    /// hardware). Cell refits are pure functions of `(cell state,
+    /// observation slice)`, so the refined bank is bit-identical across
+    /// engine thread counts.
+    pub fn refine(&mut self, buffer: &ObservationBuffer, engine: &Engine) -> usize {
+        if buffer.is_empty() {
+            return 0;
+        }
+        let affected: Vec<usize> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, (m, k, _))| buffer.iter().any(|o| o.model == *m && o.kind == *k))
+            .map(|(i, _)| i)
+            .collect();
+        if affected.is_empty() {
+            return 0;
+        }
+        let refined: Vec<(M, usize)> = engine.run(affected.len(), |j| {
+            let (m, k, v) = &self.entries[affected[j]];
+            let mut model = v.clone();
+            let absorbed = model.refine(&buffer.for_cell(*m, *k));
+            (model, absorbed)
+        });
+        let mut total = 0;
+        for (&i, (model, absorbed)) in affected.iter().zip(refined) {
+            self.entries[i].2 = model;
+            total += absorbed;
+        }
+        total
+    }
+}
+
 /// The admitted `(spec index, kind)` cells of the per-model profiling
 /// matrix for a portfolio, enumerated model-major (`specs[0]`'s kinds
 /// first, in `kinds` order) — the single source of the cell ordering
@@ -275,6 +322,104 @@ mod tests {
         let bank = ModelBank::from_single(bf2, vec![(NfKind::Acl, 7u8), (NfKind::Nat, 8)]);
         assert_eq!(bank.get(bf2, NfKind::Nat), Some(&8));
         assert_eq!(bank.models(), vec![bf2]);
+    }
+
+    /// Toy refinable cell: counts absorbed observations and folds their
+    /// measured values so refits are order-sensitive and comparable.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Cell {
+        absorbed: usize,
+        folded: f64,
+    }
+
+    impl Refinable for Cell {
+        fn refine(&mut self, observations: &[&crate::observe::Observation]) -> usize {
+            for o in observations {
+                self.absorbed += 1;
+                self.folded = self.folded * 0.5 + o.measured_tput;
+            }
+            observations.len()
+        }
+    }
+
+    fn observation(model: NicModelId, kind: NfKind, measured: f64) -> crate::observe::Observation {
+        crate::observe::Observation {
+            model,
+            kind,
+            traffic: yala_traffic::TrafficProfile::default(),
+            competitors: yala_sim::CounterSample::default(),
+            accel_pressure: Vec::new(),
+            solo_tput: 1e6,
+            measured_tput: measured,
+        }
+    }
+
+    #[test]
+    fn refine_touches_only_affected_cells_and_never_resurrects() {
+        let bf2 = NicSpec::bluefield2().model();
+        let pen = NicSpec::pensando().model();
+        let zero = Cell {
+            absorbed: 0,
+            folded: 0.0,
+        };
+        let mut bank: ModelBank<Cell> = ModelBank::new();
+        bank.insert(bf2, NfKind::FlowStats, zero.clone());
+        bank.insert(bf2, NfKind::Nids, zero.clone());
+        bank.insert(pen, NfKind::FlowStats, zero.clone());
+        let mut buf = ObservationBuffer::new();
+        buf.push(observation(bf2, NfKind::FlowStats, 1.0));
+        buf.push(observation(bf2, NfKind::FlowStats, 2.0));
+        // Nids is capability-infeasible on Pensando: the bank holds no
+        // such cell, and refinement must not create one.
+        buf.push(observation(pen, NfKind::Nids, 3.0));
+        let absorbed = bank.refine(&buf, &Engine::sequential());
+        assert_eq!(absorbed, 2, "only the trained cell's samples count");
+        assert_eq!(bank.expect(bf2, NfKind::FlowStats).absorbed, 2);
+        assert_eq!(bank.expect(bf2, NfKind::Nids), &zero, "untouched");
+        assert_eq!(bank.expect(pen, NfKind::FlowStats), &zero, "untouched");
+        assert!(
+            !bank.contains(pen, NfKind::Nids),
+            "refine must never resurrect an excluded cell"
+        );
+        assert_eq!(bank.len(), 3);
+        // Empty buffer: strict no-op.
+        let frozen = bank.clone();
+        assert_eq!(bank.refine(&ObservationBuffer::new(), &Engine::auto()), 0);
+        assert_eq!(bank, frozen);
+    }
+
+    #[test]
+    fn refine_is_bit_identical_across_thread_counts() {
+        let bf2 = NicSpec::bluefield2().model();
+        let pen = NicSpec::pensando().model();
+        let mut bank: ModelBank<Cell> = ModelBank::new();
+        for (m, k) in [
+            (bf2, NfKind::FlowStats),
+            (bf2, NfKind::Acl),
+            (pen, NfKind::FlowStats),
+            (pen, NfKind::Nat),
+        ] {
+            bank.insert(
+                m,
+                k,
+                Cell {
+                    absorbed: 0,
+                    folded: 0.1,
+                },
+            );
+        }
+        let mut buf = ObservationBuffer::new();
+        for i in 0..24 {
+            let model = if i % 2 == 0 { bf2 } else { pen };
+            let kind = [NfKind::FlowStats, NfKind::Acl, NfKind::Nat][i % 3];
+            buf.push(observation(model, kind, 0.3 + i as f64));
+        }
+        let mut seq = bank.clone();
+        let mut par = bank;
+        let a = seq.refine(&buf, &Engine::sequential());
+        let b = par.refine(&buf, &Engine::with_threads(4));
+        assert_eq!(a, b);
+        assert_eq!(seq, par, "refined bank must not depend on thread count");
     }
 
     #[test]

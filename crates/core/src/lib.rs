@@ -23,8 +23,12 @@
 //!   per-scenario seeding — bit-identical to the sequential path.
 //! * [`profiler`] — the offline profiling sweeps driving the simulator with
 //!   the synthetic benches (§6).
-//! * [`predictor`] — [`YalaModel`]: train once offline, then predict for
-//!   any proposed co-location.
+//! * [`predictor`] — [`YalaModel`]: train offline, then predict for any
+//!   proposed co-location.
+//! * [`observe`] — the online-refinement loop: audited in-production
+//!   `(context, outcome)` pairs buffered into an [`ObservationBuffer`]
+//!   and absorbed back into the trained banks ([`bank::ModelBank::refine`]),
+//!   turning train-once values into versioned, refinable state.
 //!
 //! # Example
 //!
@@ -52,6 +56,7 @@ pub mod composition;
 pub mod contender;
 pub mod engine;
 pub mod memory_model;
+pub mod observe;
 pub mod predictor;
 pub mod profiler;
 
@@ -62,4 +67,5 @@ pub use composition::{compose, compose_min, compose_rtc, compose_sum, detect_pat
 pub use contender::{AccelContention, Contender};
 pub use engine::Engine;
 pub use memory_model::MemoryModel;
+pub use observe::{Observation, ObservationBuffer, Refinable};
 pub use predictor::{Composition, TrainConfig, YalaModel};

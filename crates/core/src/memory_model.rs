@@ -12,11 +12,20 @@ pub const N_COUNTER_FEATURES: usize = 7;
 /// Number of traffic-attribute features (flows, packet size, MTBR).
 pub const N_TRAFFIC_FEATURES: usize = 3;
 
-/// The trained memory model.
+/// The trained memory model. It retains its training dataset and fit
+/// hyper-parameters so audited in-production observations can be
+/// *absorbed* later ([`Self::absorb_rows`]): refinement re-fits the GBR
+/// on the extended dataset with the original parameters and seed, so a
+/// refined model is a pure function of `(training data, absorbed rows)`
+/// — bit-identical wherever and whenever the refit runs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MemoryModel {
     gbr: GradientBoostingRegressor,
     traffic_aware: bool,
+    dataset: Dataset,
+    params: GbrParams,
+    seed: u64,
+    refits: u32,
 }
 
 impl MemoryModel {
@@ -35,12 +44,45 @@ impl MemoryModel {
         Self {
             gbr: GradientBoostingRegressor::fit(ds, params, seed),
             traffic_aware,
+            dataset: ds.clone(),
+            params: *params,
+            seed,
+            refits: 0,
         }
     }
 
     /// Whether the model consumes traffic attributes.
     pub fn is_traffic_aware(&self) -> bool {
         self.traffic_aware
+    }
+
+    /// Absorbs observation rows into the training set and re-fits.
+    /// Returns the number of rows absorbed; an empty `rows` is a strict
+    /// no-op (no refit, version unchanged), so absorbing nothing leaves
+    /// the model bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows`' feature width differs from the model's.
+    pub fn absorb_rows(&mut self, rows: &Dataset) -> usize {
+        if rows.is_empty() {
+            return 0;
+        }
+        self.dataset.extend_from(rows);
+        self.gbr = GradientBoostingRegressor::fit(&self.dataset, &self.params, self.seed);
+        self.refits += 1;
+        rows.len()
+    }
+
+    /// How many refit passes the model has absorbed (0 = the offline
+    /// train-once state).
+    pub fn refits(&self) -> u32 {
+        self.refits
+    }
+
+    /// Training rows currently backing the fit (offline + absorbed).
+    pub fn n_samples(&self) -> usize {
+        self.dataset.len()
     }
 
     /// Predicts the target's throughput under memory contention described
@@ -146,6 +188,58 @@ mod tests {
         ds.push(&[1.0; 10], 2.0);
         let model = MemoryModel::fit(&ds, &GbrParams::default(), 0);
         model.predict(&CounterSample::default(), None);
+    }
+
+    #[test]
+    fn absorb_rows_refits_toward_new_evidence() {
+        // Offline data says throughput is flat at 2e6; production
+        // observations at high CAR say it collapses. The refit must pull
+        // the prediction toward the observed regime.
+        let mut ds = Dataset::new(7);
+        for i in 0..30 {
+            ds.push(&counters(1e7 + i as f64 * 1e6, 4e6).as_features(), 2e6);
+        }
+        let mut model = MemoryModel::fit(&ds, &GbrParams::default(), 3);
+        let before = model.predict(&counters(3e8, 4e6), None);
+        let mut obs = Dataset::new(7);
+        for i in 0..30 {
+            obs.push(&counters(2.9e8 + i as f64 * 1e6, 4e6).as_features(), 4e5);
+        }
+        assert_eq!(model.absorb_rows(&obs), 30);
+        assert_eq!(model.refits(), 1);
+        assert_eq!(model.n_samples(), 60);
+        let after = model.predict(&counters(3e8, 4e6), None);
+        assert!(
+            after < before * 0.5,
+            "refit must track the observed collapse: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn absorb_empty_is_a_bitwise_noop() {
+        let mut ds = Dataset::new(7);
+        ds.push(&[0.0; 7], 1.0);
+        ds.push(&[1.0; 7], 2.0);
+        let mut model = MemoryModel::fit(&ds, &GbrParams::default(), 0);
+        let frozen = model.clone();
+        assert_eq!(model.absorb_rows(&Dataset::new(7)), 0);
+        assert_eq!(model, frozen, "empty absorb must not refit");
+        assert_eq!(model.refits(), 0);
+    }
+
+    #[test]
+    fn absorb_is_deterministic() {
+        let mut ds = Dataset::new(7);
+        for i in 0..20 {
+            ds.push(&counters(1e7 * (i + 1) as f64, 4e6).as_features(), 1e6);
+        }
+        let mut obs = Dataset::new(7);
+        obs.push(&counters(2e8, 8e6).as_features(), 3e5);
+        let mut a = MemoryModel::fit(&ds, &GbrParams::default(), 5);
+        let mut b = MemoryModel::fit(&ds, &GbrParams::default(), 5);
+        a.absorb_rows(&obs);
+        b.absorb_rows(&obs);
+        assert_eq!(a, b, "same state + same rows = bit-identical refit");
     }
 
     #[test]

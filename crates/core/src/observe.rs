@@ -1,0 +1,199 @@
+//! In-production observations and the online-refinement contract.
+//!
+//! The fleet's SLA audits measure ground-truth co-run outcomes anyway —
+//! every audit epoch yields `(prediction context, measured throughput)`
+//! pairs for free, exactly the non-intrusive telemetry DRST-style
+//! continuous model maintenance feeds on. This module is the channel that
+//! carries those pairs back into the trained predictors:
+//!
+//! * [`Observation`] — one audited data point: which NF on which NIC
+//!   hardware model, its traffic at the time, the competitors' aggregate
+//!   memory contentiousness and accelerator pressure, its solo baseline,
+//!   and the measured outcome.
+//! * [`ObservationBuffer`] — an append-only batch of observations,
+//!   harvested in deterministic (NIC index, resident index) order so a
+//!   refinement pass is a pure function of the scenario.
+//! * [`Refinable`] — the incremental-update contract a model type
+//!   implements to absorb a cell's observations. Refinement must be
+//!   deterministic: the same model state plus the same observation slice
+//!   yields a bit-identical refined model, whatever thread runs it.
+//!
+//! Refinement flows through [`crate::bank::ModelBank::refine`], which
+//! fans the *affected* cells over the scenario engine in model-major
+//! training order and never touches (or creates) cells the profiling
+//! matrix excluded — an observation can sharpen a trained model, never
+//! resurrect a capability-infeasible one.
+
+use yala_nf::NfKind;
+use yala_sim::{CounterSample, NicModelId, ResourceKind};
+use yala_traffic::TrafficProfile;
+
+/// One audited ground-truth data point for a placed NF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Hardware model of the NIC the NF was audited on.
+    pub model: NicModelId,
+    /// Which NF.
+    pub kind: NfKind,
+    /// The NF's traffic profile at audit time.
+    pub traffic: TrafficProfile,
+    /// Aggregate solo counters of its co-residents (the memory model's
+    /// feature view of the competition).
+    pub competitors: CounterSample,
+    /// Total co-resident round-time pressure per accelerator
+    /// (`Σ_j n_j·t_j`, Eq. 1), for the resources where it is non-zero.
+    pub accel_pressure: Vec<(ResourceKind, f64)>,
+    /// The NF's solo throughput at `traffic` on `model` (the prediction
+    /// anchor and SLA reference).
+    pub solo_tput: f64,
+    /// Measured end-to-end throughput in the audited co-run.
+    pub measured_tput: f64,
+}
+
+impl Observation {
+    /// Total competitor pressure on accelerator `kind`.
+    pub fn pressure_on(&self, kind: ResourceKind) -> f64 {
+        self.accel_pressure
+            .iter()
+            .filter(|(k, _)| *k == kind)
+            .map(|(_, p)| *p)
+            .sum()
+    }
+}
+
+/// An append-only batch of audit observations, the unit of online
+/// refinement. Order is meaningful: refits consume observations in
+/// append order, so a deterministically harvested buffer yields
+/// bit-identical refined models.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObservationBuffer {
+    samples: Vec<Observation>,
+}
+
+impl ObservationBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one observation.
+    pub fn push(&mut self, obs: Observation) {
+        self.samples.push(obs);
+    }
+
+    /// Number of buffered observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the buffer holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Drops all buffered observations (after an absorb pass).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+
+    /// All observations, in append order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Observation> {
+        self.samples.iter()
+    }
+
+    /// The observations for one `(NIC model, NF)` cell, in append order.
+    pub fn for_cell(&self, model: NicModelId, kind: NfKind) -> Vec<&Observation> {
+        self.samples
+            .iter()
+            .filter(|o| o.model == model && o.kind == kind)
+            .collect()
+    }
+
+    /// Distinct `(model, kind)` cells present, in first-seen order.
+    pub fn cells(&self) -> Vec<(NicModelId, NfKind)> {
+        let mut out: Vec<(NicModelId, NfKind)> = Vec::new();
+        for o in &self.samples {
+            if !out.contains(&(o.model, o.kind)) {
+                out.push((o.model, o.kind));
+            }
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a ObservationBuffer {
+    type Item = &'a Observation;
+    type IntoIter = std::slice::Iter<'a, Observation>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+/// The incremental-update contract: absorb one cell's observations into
+/// the trained state. Returns the number of observations actually
+/// absorbed (a model may skip samples it cannot attribute, e.g. a
+/// pipeline NF whose memory curve was not the binding resource).
+///
+/// Implementations must be deterministic — same state, same slice,
+/// bit-identical result — and must treat an empty slice as a strict
+/// no-op (no refit, version unchanged).
+pub trait Refinable {
+    /// Absorbs `observations` (all for this model's own cell) and re-fits
+    /// whatever internal curves they inform.
+    fn refine(&mut self, observations: &[&Observation]) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yala_sim::NicSpec;
+
+    fn obs(model: NicModelId, kind: NfKind, measured: f64) -> Observation {
+        Observation {
+            model,
+            kind,
+            traffic: TrafficProfile::default(),
+            competitors: CounterSample::default(),
+            accel_pressure: vec![(ResourceKind::Regex, 2e-6)],
+            solo_tput: 1e6,
+            measured_tput: measured,
+        }
+    }
+
+    #[test]
+    fn buffer_groups_by_cell_in_append_order() {
+        let bf2 = NicSpec::bluefield2().model();
+        let pen = NicSpec::pensando().model();
+        let mut buf = ObservationBuffer::new();
+        assert!(buf.is_empty());
+        buf.push(obs(bf2, NfKind::FlowStats, 1.0));
+        buf.push(obs(pen, NfKind::FlowStats, 2.0));
+        buf.push(obs(bf2, NfKind::Nids, 3.0));
+        buf.push(obs(bf2, NfKind::FlowStats, 4.0));
+        assert_eq!(buf.len(), 4);
+        assert_eq!(
+            buf.cells(),
+            vec![
+                (bf2, NfKind::FlowStats),
+                (pen, NfKind::FlowStats),
+                (bf2, NfKind::Nids)
+            ]
+        );
+        let cell: Vec<f64> = buf
+            .for_cell(bf2, NfKind::FlowStats)
+            .iter()
+            .map(|o| o.measured_tput)
+            .collect();
+        assert_eq!(cell, vec![1.0, 4.0], "append order preserved");
+        buf.clear();
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn pressure_on_filters_by_resource() {
+        let o = obs(NicSpec::bluefield2().model(), NfKind::Nids, 1.0);
+        assert!((o.pressure_on(ResourceKind::Regex) - 2e-6).abs() < 1e-18);
+        assert_eq!(o.pressure_on(ResourceKind::Compression), 0.0);
+    }
+}

@@ -4,12 +4,15 @@
 use crate::accel_model::{infer_service_model, AccelServiceModel, InferConfig};
 use crate::adaptive::{adaptive_profile, AdaptiveConfig, TrafficRanges};
 use crate::composition::{compose, compose_min, compose_sum, detect_pattern};
-use crate::contender::{aggregate_counters, Contender};
-use crate::memory_model::MemoryModel;
+use crate::contender::{aggregate_counters, AccelContention, Contender};
+use crate::memory_model::{
+    traffic_aware_features, MemoryModel, N_COUNTER_FEATURES, N_TRAFFIC_FEATURES,
+};
+use crate::observe::{Observation, Refinable};
 use crate::profiler::{memory_dataset_fixed, MemLevel};
-use yala_ml::GbrParams;
+use yala_ml::{Dataset, GbrParams};
 use yala_nf::NfKind;
-use yala_sim::{ExecutionPattern, ResourceKind, Simulator};
+use yala_sim::{CounterSample, ExecutionPattern, ResourceKind, Simulator};
 use yala_traffic::TrafficProfile;
 
 /// Composition variants, for the §2.2.1 / Table 4 ablations.
@@ -57,7 +60,7 @@ impl Default for TrainConfig {
 }
 
 /// A trained Yala model for one NF.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct YalaModel {
     /// NF name.
     pub name: String,
@@ -285,6 +288,108 @@ impl YalaModel {
             });
         }
         c
+    }
+
+    /// How many online refit passes the memory curve has absorbed (0 =
+    /// the offline train-once state).
+    pub fn refits(&self) -> u32 {
+        self.memory.refits()
+    }
+
+    /// The end-to-end throughput an observation implies for the *memory
+    /// resource alone*, by inverting the composition law around the fixed
+    /// white-box accelerator predictions. Returns `None` when the sample
+    /// cannot be attributed to the memory curve:
+    ///
+    /// * a pipeline NF whose accelerator stage was the binding one — the
+    ///   observation only lower-bounds the memory throughput;
+    /// * a degenerate sample (non-positive solo or measured throughput).
+    ///
+    /// For a memory-only NF the measured outcome *is* the memory
+    /// component. Values are clamped into `[measured, solo]` — the
+    /// composition laws guarantee the memory component is no worse than
+    /// the end-to-end outcome and never better than solo.
+    fn implied_memory_tput(&self, o: &Observation) -> Option<f64> {
+        if o.solo_tput <= 0.0 || o.measured_tput <= 0.0 || !o.measured_tput.is_finite() {
+            return None;
+        }
+        let solo = o.solo_tput;
+        // Measurement noise can push an audited outcome above solo.
+        let measured = o.measured_tput.min(solo);
+        // Per-accelerator predictions under the observed pressure, from
+        // the fixed white-box models (one synthetic contender carrying
+        // the observation's total pressure Σ n_j·t_j).
+        let caps: Vec<f64> = self
+            .accels
+            .iter()
+            .map(|am| {
+                let synthetic = Contender::memory_only("audit", CounterSample::default())
+                    .with_accel(AccelContention {
+                        kind: am.kind,
+                        queues: 1.0,
+                        service_s: o.pressure_on(am.kind),
+                    });
+                let co = std::slice::from_ref(&synthetic);
+                let t = match self.pattern {
+                    ExecutionPattern::Pipeline => am.contended_cap(o.traffic.mtbr, co),
+                    ExecutionPattern::RunToCompletion => {
+                        am.rtc_end_to_end(solo, o.traffic.mtbr, self.cores, co)
+                    }
+                };
+                t.min(solo)
+            })
+            .collect();
+        if caps.is_empty() {
+            return Some(measured);
+        }
+        match self.pattern {
+            ExecutionPattern::Pipeline => {
+                // T = min(T_mem, T_accel...): memory is observable only
+                // when it was the binding stage.
+                let accel_floor = caps.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+                (measured < accel_floor * (1.0 - 1e-9)).then_some(measured)
+            }
+            ExecutionPattern::RunToCompletion => {
+                // Invert Eq. 3: 1/T = 1/T_mem + Σ_a 1/T_a − (r−1)/T_solo.
+                let inv_mem = 1.0 / measured
+                    - caps.iter().map(|&t| 1.0 / t.max(1e-12)).sum::<f64>()
+                    + caps.len() as f64 / solo;
+                if !inv_mem.is_finite() {
+                    return None;
+                }
+                // inv_mem ≤ 1/solo means the accelerators over-explain
+                // the drop: the memory component is at least solo-clean.
+                Some((1.0 / inv_mem.max(1e-300)).clamp(measured, solo))
+            }
+        }
+    }
+}
+
+impl Refinable for YalaModel {
+    /// Absorbs audited co-run outcomes into the black-box memory curve
+    /// (one deterministic refit over the extended training set); the
+    /// white-box accelerator models and the detected execution pattern
+    /// are physics-derived and stay fixed. Observations that cannot be
+    /// attributed to the memory resource are skipped; returns the number
+    /// absorbed. Absorbing zero rows is a strict no-op.
+    fn refine(&mut self, observations: &[&Observation]) -> usize {
+        let traffic_aware = self.memory.is_traffic_aware();
+        let mut rows = Dataset::new(if traffic_aware {
+            N_COUNTER_FEATURES + N_TRAFFIC_FEATURES
+        } else {
+            N_COUNTER_FEATURES
+        });
+        for o in observations {
+            let Some(t_mem) = self.implied_memory_tput(o) else {
+                continue;
+            };
+            if traffic_aware {
+                rows.push(&traffic_aware_features(&o.competitors, &o.traffic), t_mem);
+            } else {
+                rows.push(&o.competitors.as_features(), t_mem);
+            }
+        }
+        self.memory.absorb_rows(&rows)
     }
 }
 

@@ -22,6 +22,11 @@
 //! * [`sim`] — the event loop: departures, arrivals, and periodic SLA
 //!   audits (ground-truth co-runs fanned across engine workers with
 //!   per-`(epoch, NIC)` seeding) in a statically ordered event list.
+//!   Audits double as free telemetry: an online policy
+//!   ([`policy::OnlineRefine`]) harvests every multi-tenant outcome into
+//!   an observation buffer and feeds it back into its predictor
+//!   ([`yala_placement::PlacementPredictor::absorb`]) between the
+//!   ground-truth sample and the migration decisions.
 //! * [`report`] — the [`FleetReport`] time series: NICs in use,
 //!   SLA-violation minutes, migrations, wasted cores vs. the oracle
 //!   packing bound. Same `(config, policy)` ⇒ bit-identical report.
@@ -45,7 +50,7 @@ pub mod sim;
 pub mod timeline;
 pub mod trace;
 
-pub use policy::{Diagnoser, FleetPolicy};
+pub use policy::{Diagnoser, FleetPolicy, OnlineRefine};
 pub use report::{FleetReport, FleetSample};
 pub use sim::run_fleet;
 pub use timeline::{NfTimeline, ProfiledTrace};

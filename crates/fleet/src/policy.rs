@@ -93,6 +93,27 @@ impl Diagnoser<'_> {
     }
 }
 
+/// Online-refinement knobs for a contention-aware policy: the SLA audits
+/// already measure ground-truth co-run outcomes, so a policy may feed
+/// them back into its predictor ([`PlacementPredictor::absorb`])
+/// mid-episode. Refits are rate-limited by batch size — a refit re-fits
+/// whole model cells, so absorbing one sample at a time would burn the
+/// control loop's budget for no extra signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnlineRefine {
+    /// Buffered observations required before an absorb pass runs (the
+    /// buffer is drained on absorb). At most one pass per audit epoch.
+    pub min_observations: usize,
+}
+
+impl Default for OnlineRefine {
+    fn default() -> Self {
+        Self {
+            min_observations: 48,
+        }
+    }
+}
+
 /// A fleet policy: placement rule + (for contention-aware) the reactive
 /// migration machinery.
 pub enum FleetPolicy<'a> {
@@ -109,5 +130,9 @@ pub enum FleetPolicy<'a> {
         predictor: &'a mut dyn PlacementPredictor,
         /// Attributes predicted violations to a bottleneck resource.
         diagnoser: Diagnoser<'a>,
+        /// `Some` feeds audit ground truth back into the predictor
+        /// (online refinement); `None` keeps the predictor frozen at its
+        /// offline training (the paper's train-once setup).
+        online: Option<OnlineRefine>,
     },
 }

@@ -20,10 +20,12 @@ use crate::policy::{Diagnoser, FleetPolicy};
 use crate::report::{FleetReport, FleetSample};
 use crate::timeline::ProfiledTrace;
 use crate::trace::MS_PER_S;
+use yala_core::contender::{aggregate_counters, total_pressure};
 use yala_core::engine::{scenario_seed, simulator_for, Engine};
+use yala_core::{Observation, ObservationBuffer};
 use yala_diagnosis::select_victim;
 use yala_placement::{Placed, PlacementPredictor};
-use yala_sim::{CoRunReport, NicModelId, WorkloadSpec};
+use yala_sim::{CoRunReport, NicModelId, ResourceKind, WorkloadSpec};
 
 /// Salt separating the audit seed stream from the timeline stream.
 const AUDIT_SALT: u64 = 0xAD17_0CA5;
@@ -98,6 +100,8 @@ pub fn run_fleet(
     let mut residents: Vec<Vec<u32>> = vec![Vec::new(); nic_count];
     let mut location: Vec<Option<usize>> = vec![None; records.len()];
     let mut cursor: Vec<usize> = vec![0; records.len()];
+    // Audit ground truth pending absorption (online-refining policies).
+    let mut pending = ObservationBuffer::new();
 
     // Report accumulators.
     let period_min = cfg.audit_period_s as f64 / 60.0;
@@ -182,12 +186,42 @@ pub fn run_fleet(
                         }
                     }
                 }
-                // 3. React: predicted-violation migration (contention-
+                // 3. Learn: online-refining policies feed the audit's
+                // ground truth straight back into the predictor — the
+                // (context, outcome) pairs were measured anyway, so the
+                // refit is free telemetry. Runs *before* migration so the
+                // refreshed models inform this epoch's decisions. The
+                // harvest order (NIC index, resident index) and the
+                // batch-size rate limit are deterministic, so an
+                // online run is still bit-identical across thread counts.
+                if let FleetPolicy::ContentionAware {
+                    predictor,
+                    diagnoser,
+                    online: Some(online),
+                } = &mut policy
+                {
+                    harvest_observations(
+                        profiled,
+                        &residents,
+                        &cursor,
+                        &nics_map,
+                        &occupied,
+                        &reports,
+                        diagnoser,
+                        &mut pending,
+                    );
+                    if pending.len() >= online.min_observations.max(1) {
+                        predictor.absorb(&pending, engine);
+                        pending.clear();
+                    }
+                }
+                // 4. React: predicted-violation migration (contention-
                 // aware policies only).
                 let mut epoch_migrations = 0u32;
                 if let FleetPolicy::ContentionAware {
                     predictor,
                     diagnoser,
+                    ..
                 } = &mut policy
                 {
                     epoch_migrations = migrate(
@@ -202,7 +236,7 @@ pub fn run_fleet(
                     );
                     migrations_total += epoch_migrations;
                 }
-                // 4. Observe.
+                // 5. Observe.
                 let active: u32 = residents.iter().map(|r| r.len() as u32).sum();
                 let nics_in_use = residents.iter().filter(|r| !r.is_empty()).count() as u32;
                 let mut used_cores = 0u32;
@@ -257,6 +291,59 @@ pub fn run_fleet(
 /// The profile snapshot currently in force for NF `id`.
 fn snapshot<'a>(profiled: &'a ProfiledTrace, cursor: &[usize], id: u32) -> &'a Placed {
     &profiled.timelines[id as usize].snapshots[cursor[id as usize]].1
+}
+
+/// Harvests one audit epoch's ground truth into `out`: for every resident
+/// of every multi-tenant NIC, the prediction context (NIC model, NF kind,
+/// live traffic, the co-residents' aggregate counters and accelerator
+/// pressure as the diagnoser's worldview describes them, the per-model
+/// solo baseline) paired with the measured co-run outcome. Solo NICs are
+/// skipped — an uncontended outcome carries no contention signal the solo
+/// baseline doesn't already. Iteration order is (NIC index, resident
+/// index): deterministic, so the refinement stream is a pure function of
+/// the scenario.
+#[allow(clippy::too_many_arguments)]
+fn harvest_observations(
+    profiled: &ProfiledTrace,
+    residents: &[Vec<u32>],
+    cursor: &[usize],
+    nics_map: &NicMap,
+    occupied: &[usize],
+    reports: &[CoRunReport],
+    diagnoser: &Diagnoser<'_>,
+    out: &mut ObservationBuffer,
+) {
+    for (&nic, report) in occupied.iter().zip(reports) {
+        if residents[nic].len() < 2 {
+            continue;
+        }
+        let model = nics_map.model[nic];
+        let placed: Vec<Placed> = residents[nic]
+            .iter()
+            .map(|&id| snapshot(profiled, cursor, id).clone())
+            .collect();
+        for (target, outcome) in report.outcomes.iter().enumerate() {
+            let snap = &placed[target];
+            let co = diagnoser.contenders(model, &placed, target);
+            let accel_pressure: Vec<(ResourceKind, f64)> =
+                [ResourceKind::Regex, ResourceKind::Compression]
+                    .into_iter()
+                    .filter_map(|k| {
+                        let p = total_pressure(&co, k);
+                        (p > 0.0).then_some((k, p))
+                    })
+                    .collect();
+            out.push(Observation {
+                model,
+                kind: snap.arrival.kind,
+                traffic: snap.arrival.traffic,
+                competitors: aggregate_counters(&co),
+                accel_pressure,
+                solo_tput: snap.solo(model).solo_tput,
+                measured_tput: outcome.throughput_pps,
+            });
+        }
+    }
 }
 
 /// Cores used on a NIC under the current snapshots.

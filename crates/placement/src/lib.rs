@@ -28,7 +28,7 @@
 //! rejected by every strategy for) a regex-less NIC.
 
 use yala_core::engine::{model_seed_base, scenario_seed, simulator_for, Engine};
-use yala_core::{Contender, ModelBank, YalaModel};
+use yala_core::{Contender, ModelBank, ObservationBuffer, YalaModel};
 use yala_nf::NfKind;
 use yala_sim::{CounterSample, NicModelId, NicSpec, Simulator, WorkloadSpec};
 use yala_slomo::SlomoModel;
@@ -125,6 +125,17 @@ pub trait PlacementPredictor {
         (0..residents.len())
             .filter(|&i| self.predict(model, i, residents) < residents[i].sla_floor(model))
             .collect()
+    }
+
+    /// Absorbs audited ground-truth observations into whatever trained
+    /// state backs the predictor, re-fitting the affected model cells —
+    /// the online-refinement hook a fleet orchestrator calls with the
+    /// observations its SLA audits measured anyway. Returns observations
+    /// absorbed. The default is a no-op: prediction-free strategies have
+    /// nothing to refine, and the *oracle* deliberately stays the fixed
+    /// ground-truth reference (refining it would be circular).
+    fn absorb(&mut self, _buffer: &ObservationBuffer, _engine: &Engine) -> usize {
+        0
     }
 }
 
@@ -407,19 +418,44 @@ fn fits(nic: &[Placed], nf: &Placed, max_cores: u32) -> bool {
 }
 
 /// Yala as a placement predictor: per-NIC-model trained models from a
-/// [`ModelBank`].
-pub struct YalaPredictor<'a> {
-    bank: &'a ModelBank<YalaModel>,
+/// [`ModelBank`]. The predictor *owns* its bank (cloned from the trained
+/// reference at construction) so it can refine cells mid-episode from
+/// audit observations ([`PlacementPredictor::absorb`]) without mutating
+/// the caller's frozen copy.
+pub struct YalaPredictor {
+    bank: ModelBank<YalaModel>,
+    absorbed: usize,
+    refine_passes: usize,
 }
 
-impl<'a> YalaPredictor<'a> {
-    /// Wraps a trained per-model bank.
-    pub fn new(bank: &'a ModelBank<YalaModel>) -> Self {
-        Self { bank }
+impl YalaPredictor {
+    /// Clones a trained per-model bank into a refinable working copy.
+    pub fn new(bank: &ModelBank<YalaModel>) -> Self {
+        Self {
+            bank: bank.clone(),
+            absorbed: 0,
+            refine_passes: 0,
+        }
+    }
+
+    /// The predictor's current (possibly refined) bank.
+    pub fn bank(&self) -> &ModelBank<YalaModel> {
+        &self.bank
+    }
+
+    /// Observations absorbed across all [`PlacementPredictor::absorb`]
+    /// calls.
+    pub fn absorbed(&self) -> usize {
+        self.absorbed
+    }
+
+    /// Absorb passes that refined at least one cell.
+    pub fn refine_passes(&self) -> usize {
+        self.refine_passes
     }
 }
 
-impl PlacementPredictor for YalaPredictor<'_> {
+impl PlacementPredictor for YalaPredictor {
     fn predict(&mut self, model: NicModelId, target: usize, residents: &[Placed]) -> f64 {
         let t = &residents[target];
         let contenders: Vec<Contender> = residents
@@ -438,22 +474,54 @@ impl PlacementPredictor for YalaPredictor<'_> {
             &contenders,
         )
     }
-}
 
-/// SLOMO as a placement predictor (memory-only view + extrapolation),
-/// with per-NIC-model trained models.
-pub struct SlomoPredictor<'a> {
-    bank: &'a ModelBank<SlomoModel>,
-}
-
-impl<'a> SlomoPredictor<'a> {
-    /// Wraps a trained per-model bank.
-    pub fn new(bank: &'a ModelBank<SlomoModel>) -> Self {
-        Self { bank }
+    fn absorb(&mut self, buffer: &ObservationBuffer, engine: &Engine) -> usize {
+        let n = self.bank.refine(buffer, engine);
+        if n > 0 {
+            self.absorbed += n;
+            self.refine_passes += 1;
+        }
+        n
     }
 }
 
-impl PlacementPredictor for SlomoPredictor<'_> {
+/// SLOMO as a placement predictor (memory-only view + extrapolation),
+/// with per-NIC-model trained models. Owns a refinable working copy of
+/// its bank, like [`YalaPredictor`].
+pub struct SlomoPredictor {
+    bank: ModelBank<SlomoModel>,
+    absorbed: usize,
+    refine_passes: usize,
+}
+
+impl SlomoPredictor {
+    /// Clones a trained per-model bank into a refinable working copy.
+    pub fn new(bank: &ModelBank<SlomoModel>) -> Self {
+        Self {
+            bank: bank.clone(),
+            absorbed: 0,
+            refine_passes: 0,
+        }
+    }
+
+    /// The predictor's current (possibly refined) bank.
+    pub fn bank(&self) -> &ModelBank<SlomoModel> {
+        &self.bank
+    }
+
+    /// Observations absorbed across all [`PlacementPredictor::absorb`]
+    /// calls.
+    pub fn absorbed(&self) -> usize {
+        self.absorbed
+    }
+
+    /// Absorb passes that refined at least one cell.
+    pub fn refine_passes(&self) -> usize {
+        self.refine_passes
+    }
+}
+
+impl PlacementPredictor for SlomoPredictor {
     fn predict(&mut self, model: NicModelId, target: usize, residents: &[Placed]) -> f64 {
         let t = &residents[target];
         let agg = CounterSample::aggregate(
@@ -467,11 +535,23 @@ impl PlacementPredictor for SlomoPredictor<'_> {
             .expect(model, t.arrival.kind)
             .predict_extrapolated(&agg, t.solo(model).solo_tput)
     }
+
+    fn absorb(&mut self, buffer: &ObservationBuffer, engine: &Engine) -> usize {
+        let n = self.bank.refine(buffer, engine);
+        if n > 0 {
+            self.absorbed += n;
+            self.refine_passes += 1;
+        }
+        n
+    }
 }
 
 /// Ground-truth simulation as the predictor: the oracle/reference plan,
 /// with one private noise-free simulator per NIC model it may be asked
-/// about.
+/// about. The oracle keeps the default no-op
+/// [`PlacementPredictor::absorb`]: it *is* the ground truth the
+/// observations were measured against, so it stays the fixed reference
+/// online refinement is compared to.
 pub struct OraclePredictor {
     sims: Vec<(NicModelId, Simulator)>,
 }

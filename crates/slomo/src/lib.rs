@@ -20,6 +20,7 @@
 //!   for small deviations and degrades for large ones (Fig. 7b).
 
 use yala_core::engine::{scenario_seed, simulator_for, Engine};
+use yala_core::observe::{Observation, Refinable};
 use yala_core::ModelBank;
 use yala_ml::{Dataset, GbrParams, GradientBoostingRegressor};
 use yala_nf::NfKind;
@@ -68,12 +69,19 @@ pub fn bench_features(sim: &mut Simulator, level: MemLevel) -> CounterSample {
     sim.solo(&level.bench()).counters
 }
 
-/// A trained SLOMO model for one target NF.
-#[derive(Debug, Clone)]
+/// A trained SLOMO model for one target NF. Like the Yala memory model,
+/// it retains its training dataset and fit parameters so in-production
+/// audit observations can be absorbed later ([`Refinable::refine`]) via
+/// a deterministic refit over the extended dataset.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SlomoModel {
     gbr: GradientBoostingRegressor,
     /// Solo throughput at the training traffic profile.
     solo_tput_train: f64,
+    dataset: Dataset,
+    params: GbrParams,
+    seed: u64,
+    refits: u32,
 }
 
 impl SlomoModel {
@@ -103,6 +111,10 @@ impl SlomoModel {
         Self {
             gbr,
             solo_tput_train,
+            dataset: ds,
+            params,
+            seed,
+            refits: 0,
         }
     }
 
@@ -156,6 +168,10 @@ impl SlomoModel {
         Self {
             gbr,
             solo_tput_train,
+            dataset: ds,
+            params,
+            seed,
+            refits: 0,
         }
     }
 
@@ -176,6 +192,49 @@ impl SlomoModel {
     /// Solo throughput captured at training time.
     pub fn solo_tput_train(&self) -> f64 {
         self.solo_tput_train
+    }
+
+    /// How many online refit passes the model has absorbed (0 = the
+    /// offline train-once state).
+    pub fn refits(&self) -> u32 {
+        self.refits
+    }
+}
+
+impl Refinable for SlomoModel {
+    /// Absorbs audited co-run outcomes. SLOMO's worldview is a fixed
+    /// profile with sensitivity extrapolation, so an observation at the
+    /// NF's live traffic is mapped back to the training profile by
+    /// inverting the extrapolation — `T_train = T_measured · solo_train /
+    /// solo_live` — and appended as a (competitor counters → throughput)
+    /// row; the GBR is then re-fitted once with the original parameters
+    /// and seed. Accelerator pressure stays invisible, faithful to the
+    /// baseline: the refit absorbs accel-induced drops into the memory
+    /// response (and inherits that attribution error). Returns rows
+    /// absorbed; an empty or all-degenerate slice is a strict no-op.
+    fn refine(&mut self, observations: &[&Observation]) -> usize {
+        let mut absorbed = 0usize;
+        for o in observations {
+            if o.solo_tput <= 0.0 || o.measured_tput <= 0.0 || !o.measured_tput.is_finite() {
+                continue;
+            }
+            // Measurement noise can push an audited outcome above solo;
+            // never teach the model a physically impossible regime.
+            let measured = o.measured_tput.min(o.solo_tput);
+            let implied_train = measured * self.solo_tput_train / o.solo_tput;
+            if !implied_train.is_finite() {
+                continue;
+            }
+            self.dataset
+                .push(&o.competitors.as_features(), implied_train);
+            absorbed += 1;
+        }
+        if absorbed == 0 {
+            return 0;
+        }
+        self.gbr = GradientBoostingRegressor::fit(&self.dataset, &self.params, self.seed);
+        self.refits += 1;
+        absorbed
     }
 }
 
@@ -326,6 +385,54 @@ mod tests {
         let mut sim = sim();
         let target = NfKind::Acl.workload(TrafficProfile::default(), 1);
         SlomoModel::train(&mut sim, &target, &[], 0);
+    }
+
+    #[test]
+    fn refine_absorbs_observations_and_empty_is_noop() {
+        let mut sim = Simulator::new(NicSpec::bluefield2());
+        let target = NfKind::FlowStats.workload(TrafficProfile::default(), 1);
+        let grid: Vec<MemLevel> = default_mem_grid().into_iter().step_by(5).collect();
+        let mut model = SlomoModel::train(&mut sim, &target, &grid, 7);
+        let frozen = model.clone();
+        // Empty refine: bit-identical no-op.
+        assert_eq!(model.refine(&[]), 0);
+        assert_eq!(model, frozen);
+        // Production says a heavy competitor really costs far more than
+        // the mem-bench sweep suggested: predictions must move toward it.
+        let heavy = CounterSample {
+            l2crd: 2.5e8,
+            l2cwr: 2.5e8,
+            wss: 1.2e7,
+            memrd: 2e7,
+            memwr: 2e7,
+            ipc: 0.5,
+            irt: 5e8,
+        };
+        let before = model.predict(&heavy);
+        let observed = before * 0.3;
+        let obs: Vec<yala_core::Observation> = (0..12)
+            .map(|_| yala_core::Observation {
+                model: NicSpec::bluefield2().model(),
+                kind: NfKind::FlowStats,
+                traffic: TrafficProfile::default(),
+                competitors: heavy,
+                accel_pressure: Vec::new(),
+                solo_tput: model.solo_tput_train(),
+                measured_tput: observed,
+            })
+            .collect();
+        let refs: Vec<&yala_core::Observation> = obs.iter().collect();
+        assert_eq!(model.refine(&refs), 12);
+        assert_eq!(model.refits(), 1);
+        let after = model.predict(&heavy);
+        assert!(
+            (after - observed).abs() < (before - observed).abs(),
+            "refit must move toward the observed outcome: {before} -> {after} vs {observed}"
+        );
+        // Deterministic: a second clone absorbing the same slice agrees.
+        let mut again = frozen;
+        again.refine(&refs);
+        assert_eq!(again, model);
     }
 
     #[test]

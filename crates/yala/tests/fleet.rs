@@ -60,6 +60,7 @@ fn run_yala(profiled: &ProfiledTrace, engine: &Engine) -> FleetReport {
         FleetPolicy::ContentionAware {
             predictor: &mut predictor,
             diagnoser: Diagnoser::Yala(&fx.bank),
+            online: None,
         },
         "yala",
         engine,

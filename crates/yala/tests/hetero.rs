@@ -79,6 +79,7 @@ fn fleet_strategies_never_place_accelerator_nfs_on_incapable_nics() {
             FleetPolicy::ContentionAware {
                 predictor: &mut oracle,
                 diagnoser: Diagnoser::MemoryOnly,
+                online: None,
             },
             "oracle",
             &engine,
