@@ -1,0 +1,171 @@
+//! Records the profile-cache payoff to `BENCH_cache.json`: the same
+//! 200-NIC simulated day profiled twice — once in exact mode (one
+//! measurement per snapshot, the pre-cache bill) and once in quantized
+//! mode (measurements shared across tenants and epochs through the
+//! process-wide [`ProfileCache`]) — under a template-clustered traffic
+//! model, the realistic multi-tenant shape where a handful of canonical
+//! NF configurations serve the whole fleet.
+//!
+//! The headline metric is the *computed-snapshot reduction*: exact-mode
+//! measurements divided by quantized-mode cache misses. It is a pure
+//! count ratio — deterministic in the seed, identical across thread
+//! counts and machines — so the committed record stays byte-stable while
+//! wall-clock speedups (which track the reduction closely, since
+//! measurement dominates the build) are printed to stdout only.
+
+use std::time::Instant;
+use yala_bench::{json_f64, read_record, BenchArgs, RegressionCheck};
+use yala_core::profile_cache::ProfileCache;
+use yala_fleet::{run_fleet, FleetConfig, FleetPolicy, FleetTrace, ProfiledTrace, TrafficModel};
+use yala_nf::NfKind;
+
+/// The committed record this binary regenerates (and `--check`s against).
+const RECORD: &str = "BENCH_cache.json";
+
+/// Canonical traffic templates in the fleet (a realistic configuration
+/// catalog: small, not a continuum).
+const TEMPLATES: u32 = 6;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let quick = args.quick;
+    let engine = args.engine();
+    let kinds = vec![NfKind::FlowStats, NfKind::Acl, NfKind::Nat, NfKind::Nids];
+
+    let mut cfg = FleetConfig::small(5150);
+    cfg.portfolio = vec![(yala_sim::NicSpec::bluefield2(), 200)];
+    cfg.duration_s = 24 * 3_600;
+    cfg.mean_interarrival_s = 144.0; // ~600 arrivals over the day
+    cfg.mean_lifetime_s = 9_000.0;
+    cfg.audit_period_s = if quick { 1_800 } else { 600 };
+    cfg.reprofile_threshold = if quick { 0.20 } else { 0.10 };
+    cfg.kinds = kinds.clone();
+    cfg.max_flows = 200_000;
+    cfg.sla_drop_range = (0.05, 0.15);
+    // Jitter at a quarter of the re-profile threshold: tenants spread
+    // around their template but stay inside its quantization bucket.
+    cfg.traffic_model = TrafficModel::Templates {
+        count: TEMPLATES,
+        jitter: cfg.reprofile_threshold / 4.0,
+    };
+
+    println!(
+        "bench_cache: {} NICs, {} h, audit every {} s, {} NF kinds, {} templates{}",
+        cfg.nics(),
+        cfg.duration_s / 3_600,
+        cfg.audit_period_s,
+        kinds.len(),
+        TEMPLATES,
+        if quick { " [quick]" } else { "" }
+    );
+
+    let trace = FleetTrace::generate(cfg);
+    let arrivals = trace.records.len();
+
+    // The pre-cache bill: every snapshot is measured.
+    let t0 = Instant::now();
+    let exact = ProfiledTrace::build(trace.clone(), &engine);
+    let exact_s = t0.elapsed().as_secs_f64();
+
+    // The cached bill: one measurement per distinct quantized key.
+    let cache = ProfileCache::new();
+    let t0 = Instant::now();
+    let cached = ProfiledTrace::build_cached_with(trace.clone(), &engine, &cache);
+    let cached_s = t0.elapsed().as_secs_f64();
+
+    // A warm rebuild of the same scenario: pure cache hits, no simulator
+    // runs at all — the steady-state cost of re-deriving timelines.
+    let t0 = Instant::now();
+    let rebuilt = ProfiledTrace::build_cached_with(trace, &engine, &cache);
+    let rebuild_s = t0.elapsed().as_secs_f64();
+
+    let reduction = exact.stats.misses as f64 / cached.stats.misses.max(1) as f64;
+    println!(
+        "  exact:   {} measurements in {exact_s:.1} s",
+        exact.stats.misses
+    );
+    println!(
+        "  cached:  {} measurements ({} hits, {} delta / {} full re-keys) in {cached_s:.1} s",
+        cached.stats.misses,
+        cached.stats.hits,
+        cached.stats.delta_reprofiles,
+        cached.stats.full_reprofiles
+    );
+    println!(
+        "  rebuild: {} measurements ({} hits) in {rebuild_s:.1} s",
+        rebuilt.stats.misses, rebuilt.stats.hits
+    );
+    println!(
+        "  computed-snapshot reduction: {reduction:.2}x (wall: {:.1}x build, {:.1}x rebuild)",
+        exact_s / cached_s.max(1e-9),
+        exact_s / rebuild_s.max(1e-9)
+    );
+
+    assert!(
+        reduction >= 5.0,
+        "profile cache must cut computed snapshots at least 5x (got {reduction:.2}x)"
+    );
+    assert_eq!(rebuilt.stats.misses, 0, "warm rebuild must be all hits");
+
+    // The cached timelines drive policy runs exactly like exact ones; the
+    // greedy report documents the scenario's scale either way.
+    let greedy_exact = run_fleet(&exact, FleetPolicy::Greedy, "greedy-exact", &engine);
+    let greedy_cached = run_fleet(&cached, FleetPolicy::Greedy, "greedy-cached", &engine);
+
+    let kinds_json: Vec<String> = kinds.iter().map(|k| format!("\"{k}\"")).collect();
+    let jitter_str = format!("{:.3}", cfg_jitter(quick));
+    let json = format!(
+        "{{\n\"bench\": \"cache\",\n\"quick\": {quick},\n\"nics\": {},\n\"arrivals\": {arrivals},\n\
+         \"duration_s\": {},\n\"audit_period_s\": {},\n\"seed\": {},\n\"kinds\": [{}],\n\
+         \"templates\": {TEMPLATES},\n\"jitter\": {},\n\
+         \"exact_snapshots\": {},\n\"exact_cache\": {},\n\
+         \"cached_snapshots\": {},\n\"cached_cache\": {},\n\
+         \"rebuild_cache\": {},\n\"computed_reduction\": {reduction:.2},\n\
+         \"policies\": [\n{},\n{}\n]\n}}\n",
+        greedy_exact.nics,
+        greedy_exact.duration_s,
+        greedy_exact.audit_period_s,
+        greedy_exact.seed,
+        kinds_json.join(", "),
+        jitter_str,
+        exact.snapshot_count(),
+        exact.stats.to_json(),
+        cached.snapshot_count(),
+        cached.stats.to_json(),
+        rebuilt.stats.to_json(),
+        greedy_exact.to_json(),
+        greedy_cached.to_json()
+    );
+    if let Some(path) = args.record_path(RECORD) {
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("  wrote {path}"),
+            Err(e) => eprintln!("  could not write {path}: {e}"),
+        }
+    }
+
+    // Regression gate: the scenario must not shrink and the reduction
+    // must stay at or above both the 5x floor and the committed record.
+    if args.check {
+        let committed = read_record(RECORD);
+        let mut check = RegressionCheck::new();
+        check.exact(
+            "arrivals",
+            arrivals as f64,
+            json_f64(&committed, "", "arrivals").unwrap_or(-1.0),
+        );
+        check.at_least("computed_reduction", reduction, 5.0);
+        check.no_worse(
+            "cached_cache.misses",
+            cached.stats.misses as f64,
+            json_f64(&committed, "\"cached_cache\"", "misses").unwrap_or(-1.0),
+            0.05,
+            0.0,
+        );
+        check.finish(RECORD);
+    }
+}
+
+/// The jitter knob as configured above, for the record.
+fn cfg_jitter(quick: bool) -> f64 {
+    (if quick { 0.20 } else { 0.10 }) / 4.0
+}

@@ -147,13 +147,14 @@ fn main() {
     let json = format!(
         "{{\n\"bench\": \"fleet\",\n\"quick\": {quick},\n\"nics\": {},\n\"arrivals\": {arrivals},\n\
          \"duration_s\": {},\n\"audit_period_s\": {},\n\"seed\": {},\n\"kinds\": [{}],\n\
-         \"profile_snapshots\": {},\n\"policies\": [\n{}\n]\n}}\n",
+         \"profile_snapshots\": {},\n\"profile_cache\": {},\n\"policies\": [\n{}\n]\n}}\n",
         mono.nics,
         mono.duration_s,
         mono.audit_period_s,
         mono.seed,
         kinds_json.join(", "),
         profiled.snapshot_count(),
+        profiled.stats.to_json(),
         policies_json.join(",\n")
     );
     if let Some(path) = args.record_path(RECORD) {

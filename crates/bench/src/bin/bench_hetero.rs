@@ -188,7 +188,8 @@ fn main() {
         "{{\n\"bench\": \"hetero\",\n\"quick\": {quick},\n\"portfolio\": [{}],\n\
          \"nics\": {},\n\"arrivals\": {arrivals},\n\"duration_s\": {},\n\
          \"audit_period_s\": {},\n\"seed\": {},\n\"kinds\": [{}],\n\
-         \"trained_cells\": {},\n\"profile_snapshots\": {},\n\"policies\": [\n{}\n]\n}}\n",
+         \"trained_cells\": {},\n\"profile_snapshots\": {},\n\"profile_cache\": {},\n\
+         \"policies\": [\n{}\n]\n}}\n",
         portfolio_json.join(", "),
         mono.nics,
         mono.duration_s,
@@ -197,6 +198,7 @@ fn main() {
         kinds_json.join(", "),
         zoo.yala_bank().len(),
         profiled.snapshot_count(),
+        profiled.stats.to_json(),
         policies_json.join(",\n")
     );
     if let Some(path) = args.record_path(RECORD) {

@@ -193,7 +193,7 @@ fn main() {
          \"duration_s\": {},\n\"audit_period_s\": {},\n\"seed\": {},\n\"kinds\": [{}],\n\
          \"trained_flow_ceiling\": {STALE_FLOW_CEILING},\n\"drifted_flow_ceiling\": {DRIFTED_FLOW_CEILING},\n\
          \"min_observations\": {},\n\"refine_passes\": {},\n\"absorbed_observations\": {},\n\
-         \"profile_snapshots\": {},\n\"policies\": [\n{}\n]\n}}\n",
+         \"profile_snapshots\": {},\n\"profile_cache\": {},\n\"policies\": [\n{}\n]\n}}\n",
         frozen.nics,
         frozen.duration_s,
         frozen.audit_period_s,
@@ -203,6 +203,7 @@ fn main() {
         online_predictor.refine_passes(),
         online_predictor.absorbed(),
         profiled.snapshot_count(),
+        profiled.stats.to_json(),
         policies_json.join(",\n")
     );
     if let Some(path) = args.record_path(RECORD) {

@@ -23,6 +23,10 @@
 //!   per-scenario seeding — bit-identical to the sequential path.
 //! * [`profiler`] — the offline profiling sweeps driving the simulator with
 //!   the synthetic benches (§6).
+//! * [`profile_cache`] — the process-wide profile cache: deterministic,
+//!   concurrency-safe memoization of `(kind, traffic, seed)` measurements,
+//!   with quantized traffic keys so near-identical tenants share one
+//!   measurement and a hit is bitwise the fresh result.
 //! * [`predictor`] — [`YalaModel`]: train offline, then predict for any
 //!   proposed co-location.
 //! * [`observe`] — the online-refinement loop: audited in-production
@@ -58,6 +62,7 @@ pub mod engine;
 pub mod memory_model;
 pub mod observe;
 pub mod predictor;
+pub mod profile_cache;
 pub mod profiler;
 
 pub use accel_model::{AccelServiceModel, InferConfig};
@@ -69,3 +74,6 @@ pub use engine::Engine;
 pub use memory_model::MemoryModel;
 pub use observe::{Observation, ObservationBuffer, Refinable};
 pub use predictor::{Composition, TrainConfig, YalaModel};
+pub use profile_cache::{
+    profile_seed, CacheStats, ProfileCache, ProfileEntry, ProfileKey, SoloProfile, TrafficKey,
+};

@@ -53,8 +53,8 @@ pub mod trace;
 pub use policy::{Diagnoser, FleetPolicy, OnlineRefine};
 pub use report::{FleetReport, FleetSample};
 pub use sim::run_fleet;
-pub use timeline::{NfTimeline, ProfiledTrace};
-pub use trace::{FleetConfig, FleetTrace, NfRecord, MS_PER_S};
+pub use timeline::{NfTimeline, ProfileStats, ProfiledTrace};
+pub use trace::{FleetConfig, FleetTrace, NfRecord, TrafficModel, MS_PER_S};
 
 #[cfg(test)]
 mod tests {

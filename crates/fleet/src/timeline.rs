@@ -10,11 +10,32 @@
 //! re-profiling only when traffic has moved beyond the config threshold,
 //! and the policies replay the same snapshots — any difference between
 //! two policies' reports is then attributable to their decisions alone.
+//!
+//! Every measurement routes through a [`ProfileCache`] in one of two
+//! modes:
+//!
+//! * **Exact** ([`ProfiledTrace::build`]): keys carry the exact traffic
+//!   attributes and the per-instance workload seed, so within one trace
+//!   every measurement is a distinct key and the build is a pure
+//!   pass-through — bit-identical to the pre-cache profiler. Rebuilding
+//!   the same trace against a shared cache ([`build_with_cache`]) hits
+//!   on every key and returns the same bytes without touching a
+//!   simulator.
+//! * **Quantized** ([`ProfiledTrace::build_cached`]): traffic is
+//!   quantized to drift-threshold-sized buckets and the key's seed is
+//!   derived from the key itself, so near-identical tenants — and the
+//!   same tenant drifting under the re-profile threshold — share one
+//!   measurement. A drift trigger delta-re-keys only the attributes
+//!   that moved, so a one-attribute drift lands on a neighboring key
+//!   that is often already measured.
+//!
+//! [`build_with_cache`]: ProfiledTrace::build_with_cache
 
 use crate::trace::{FleetTrace, MS_PER_S};
 use yala_core::engine::Engine;
-use yala_placement::{prepare_on, reprofile_on, sims_for, Arrival, Placed};
-use yala_traffic::TrafficProfile;
+use yala_core::profile_cache::{profile_seed, ProfileCache, ProfileKey, TrafficKey};
+use yala_placement::{measure_entry, placed_from_entry, sims_for, sims_for_key, Arrival, Placed};
+use yala_traffic::TrafficQuantizer;
 
 /// Salt separating the timeline's seed stream from the audit stream.
 const TIMELINE_SALT: u64 = 0xF1EE_7717;
@@ -53,33 +74,97 @@ impl NfTimeline {
     }
 }
 
+/// Profiling-cost accounting for one [`ProfiledTrace`] build: how the
+/// cache behaved (lookups/hits/misses/inserts) and how drift triggers
+/// split between delta re-keys (some traffic attributes kept their
+/// bucket) and full re-profiles (every attribute moved, or exact mode
+/// where no bucket sharing applies). All counts are deterministic in
+/// `(trace, cache-state-before)` — independent of engine thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProfileStats {
+    /// Cache lookups issued by this build.
+    pub lookups: u64,
+    /// Lookups served from an already-measured entry.
+    pub hits: u64,
+    /// Lookups that had to run the measurement.
+    pub misses: u64,
+    /// New entries inserted by this build (== `misses` against a cache
+    /// that never evicts).
+    pub inserts: u64,
+    /// Drift triggers where only a strict subset of traffic attributes
+    /// moved past threshold — the re-key reuses the unmoved buckets.
+    pub delta_reprofiles: u64,
+    /// Drift triggers that re-keyed every attribute (and, in exact mode,
+    /// every re-profile: exact keys share nothing).
+    pub full_reprofiles: u64,
+}
+
+impl ProfileStats {
+    /// Total re-profiles (drift triggers that produced a snapshot).
+    pub fn reprofiles(&self) -> u64 {
+        self.delta_reprofiles + self.full_reprofiles
+    }
+
+    /// Renders the stats as a flat JSON object, for bench records.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"lookups\": {}, \"hits\": {}, \"misses\": {}, \"inserts\": {}, \"delta_reprofiles\": {}, \"full_reprofiles\": {}}}",
+            self.lookups, self.hits, self.misses, self.inserts, self.delta_reprofiles, self.full_reprofiles
+        )
+    }
+}
+
 /// A scenario trace plus its profile timelines: everything a policy run
 /// needs, fully deterministic in `(config, engine-thread-count)` — the
 /// per-NF builds are dispatched across the engine but seeded per scenario
-/// index, so any thread count yields bit-identical timelines.
+/// index (exact mode) or per cache key (quantized mode), so any thread
+/// count yields bit-identical timelines.
 #[derive(Debug, Clone)]
 pub struct ProfiledTrace {
     /// The generating trace.
     pub trace: FleetTrace,
     /// One timeline per trace record, same order.
     pub timelines: Vec<NfTimeline>,
+    /// Profiling-cost accounting for the build that produced this value.
+    pub stats: ProfileStats,
 }
 
 impl ProfiledTrace {
-    /// Profiles the whole trace: one independent scenario per NF (its
-    /// arrival profile plus its drift re-profiles, sequentially on
-    /// private per-NIC-model simulators), dispatched across `engine`'s
-    /// workers. Each NF holds one simulator per portfolio model that
-    /// admits its kind ([`yala_nf::NfKind::profiled_on`]), so every
-    /// snapshot carries the per-model solo baselines placement needs;
-    /// the first portfolio model's seed stream is the old homogeneous
-    /// stream, so a single-model portfolio profiles bit-identically.
+    /// Profiles the whole trace in **exact mode**: one independent
+    /// scenario per NF (its arrival profile plus its drift re-profiles,
+    /// sequentially on private per-NIC-model simulators), dispatched
+    /// across `engine`'s workers. Each NF holds one simulator per
+    /// portfolio model that admits its kind
+    /// ([`yala_nf::NfKind::profiled_on`]), so every snapshot carries the
+    /// per-model solo baselines placement needs; the first portfolio
+    /// model's seed stream is the old homogeneous stream, so a
+    /// single-model portfolio profiles bit-identically.
+    ///
+    /// Equivalent to [`build_with_cache`] against a fresh private cache:
+    /// every key is distinct, every lookup misses, and the byte stream
+    /// is exactly the uncached profiler's.
+    ///
+    /// [`build_with_cache`]: ProfiledTrace::build_with_cache
     pub fn build(trace: FleetTrace, engine: &Engine) -> Self {
+        Self::build_with_cache(trace, engine, &ProfileCache::new())
+    }
+
+    /// Exact-mode build against a caller-owned cache. Keys are
+    /// `(kind, exact traffic, per-instance workload seed)`, so within
+    /// one trace every measurement is a fresh key and the build is a
+    /// pass-through; rebuilding the *same* trace against the same cache
+    /// hits on every key and reproduces the identical bytes without
+    /// running a single measurement. Sharing one cache across
+    /// *different* traces is only useful when they overlap in
+    /// `(seed, kind, traffic)` — the per-instance seed in the key keeps
+    /// unrelated traces from colliding.
+    pub fn build_with_cache(trace: FleetTrace, engine: &Engine, cache: &ProfileCache) -> Self {
         let cfg = trace.config.clone();
         let specs = cfg.specs();
         let horizon_ms = cfg.duration_s * MS_PER_S;
         let period_ms = cfg.audit_period_s * MS_PER_S;
-        let timelines = engine.run(trace.records.len(), |i| {
+        let before = cache.stats();
+        let built: Vec<(NfTimeline, u64)> = engine.run(trace.records.len(), |i| {
             let rec = &trace.records[i];
             let mut sims = sims_for(
                 &specs,
@@ -89,47 +174,205 @@ impl ProfiledTrace {
                 i,
             );
             let workload_seed = cfg.seed.wrapping_add(rec.id as u64);
-            let first = prepare_on(
-                &mut sims,
-                Arrival {
+            // The measurement closure threads the record's own simulators
+            // through the cache: on a miss the simulators advance exactly
+            // as the uncached profiler's would; on a hit they stay put and
+            // the cached bytes stand in for the measurement they replay.
+            let mut measure = |traffic| {
+                let key = ProfileKey {
                     kind: rec.kind,
-                    traffic: rec.traffic_at(rec.arrival_ms),
-                    sla_drop: rec.sla_drop,
-                },
-                workload_seed,
-            );
+                    traffic: TrafficKey::exact(&traffic),
+                    seed: workload_seed,
+                };
+                cache.get_or_measure(&key, || {
+                    measure_entry(&mut sims, rec.kind, traffic, workload_seed)
+                })
+            };
+            let arrival = Arrival {
+                kind: rec.kind,
+                traffic: rec.traffic_at(rec.arrival_ms),
+                sla_drop: rec.sla_drop,
+            };
+            let first = placed_from_entry(&measure(arrival.traffic), arrival, None);
+            let name = first.workload.name.clone();
             let mut snapshots = vec![(rec.arrival_ms, first)];
             let mut last_traffic = rec.start;
+            let mut reprofiles = 0u64;
             // Walk the audit epochs inside the NF's on-trace lifetime.
             let mut epoch_ms = (rec.arrival_ms / period_ms + 1) * period_ms;
             while epoch_ms < rec.departure_ms && epoch_ms <= horizon_ms {
                 let now = rec.traffic_at(epoch_ms);
-                if drifted(&last_traffic, &now, cfg.reprofile_threshold) {
+                if last_traffic.relative_change(&now) > cfg.reprofile_threshold {
                     let prev = &snapshots.last().expect("arrival snapshot").1;
-                    snapshots.push((epoch_ms, reprofile_on(&mut sims, prev, now, workload_seed)));
+                    let mut arr = prev.arrival.clone();
+                    arr.traffic = now;
+                    snapshots.push((epoch_ms, placed_from_entry(&measure(now), arr, Some(&name))));
+                    reprofiles += 1;
                     last_traffic = now;
                 }
                 epoch_ms += period_ms;
             }
-            NfTimeline { snapshots }
+            (NfTimeline { snapshots }, reprofiles)
         });
-        Self { trace, timelines }
+        let mut timelines = Vec::with_capacity(built.len());
+        let mut full_reprofiles = 0u64;
+        for (tl, n) in built {
+            timelines.push(tl);
+            full_reprofiles += n;
+        }
+        let stats = Self::stats_from(before, cache.stats(), 0, full_reprofiles);
+        Self {
+            trace,
+            timelines,
+            stats,
+        }
+    }
+
+    /// Profiles the whole trace in **quantized mode** against a fresh
+    /// private cache. See [`build_cached_with`] for the sharing
+    /// semantics; a fresh cache still pays one measurement per distinct
+    /// quantized key, which is already far fewer than one per snapshot
+    /// whenever tenants cluster around common traffic shapes.
+    ///
+    /// [`build_cached_with`]: ProfiledTrace::build_cached_with
+    pub fn build_cached(trace: FleetTrace, engine: &Engine) -> Self {
+        Self::build_cached_with(trace, engine, &ProfileCache::new())
+    }
+
+    /// Quantized-mode build against a caller-owned cache — the
+    /// fleet-scale profile-sharing path. Traffic is quantized with
+    /// bucket widths sized under the config's `reprofile_threshold`
+    /// ([`TrafficQuantizer`]), each key's measurement seed is derived
+    /// from the key itself ([`profile_seed`]), and the measurement runs
+    /// on fresh per-key simulators ([`sims_for_key`]) at the bucket's
+    /// representative profile — a pure function of the key. Any two
+    /// lookups of the same key, from any tenant, epoch, build, or
+    /// thread, therefore return bitwise-identical measurements, and the
+    /// cache may be shared process-wide ([`ProfileCache::global`]).
+    ///
+    /// Drift handling is **delta re-keying**: at each audit epoch the
+    /// per-attribute drift relative to the last *measured*
+    /// (representative) profile is compared against the threshold, and
+    /// only attributes past it re-bucket ([`TrafficQuantizer::delta_rekey`]) —
+    /// single-attribute drift moves to an adjacent key that is often
+    /// already measured. Snapshots carry the representative traffic, so
+    /// SLA floors track the profile that was actually measured.
+    pub fn build_cached_with(trace: FleetTrace, engine: &Engine, cache: &ProfileCache) -> Self {
+        let cfg = trace.config.clone();
+        let specs = cfg.specs();
+        let horizon_ms = cfg.duration_s * MS_PER_S;
+        let period_ms = cfg.audit_period_s * MS_PER_S;
+        let quantizer = TrafficQuantizer::new(cfg.reprofile_threshold);
+        let before = cache.stats();
+        let built: Vec<(NfTimeline, u64, u64)> = engine.run(trace.records.len(), |i| {
+            let rec = &trace.records[i];
+            // A keyed measurement is a pure function of the key: fresh
+            // simulators seeded from the key, measuring the bucket's
+            // representative profile with the key-derived seed.
+            let measure = |key: ProfileKey, rep| {
+                cache.get_or_measure(&key, || {
+                    let mut sims = sims_for_key(&specs, rec.kind, cfg.noise_sigma, key.seed);
+                    measure_entry(&mut sims, rec.kind, rep, key.seed)
+                })
+            };
+            let keyed = |qkey| {
+                let traffic = TrafficKey::Bucketed(qkey);
+                let seed = profile_seed(cfg.seed ^ TIMELINE_SALT, rec.kind, &traffic);
+                ProfileKey {
+                    kind: rec.kind,
+                    traffic,
+                    seed,
+                }
+            };
+            // Instances keep the exact path's naming convention
+            // (`<kind>-<workload seed>`), unique per record.
+            let name = format!(
+                "{}-{}",
+                rec.kind.name(),
+                cfg.seed.wrapping_add(rec.id as u64)
+            );
+            let (mut last_key, mut last_rep) =
+                quantizer.canonicalize(&rec.traffic_at(rec.arrival_ms));
+            let arrival = Arrival {
+                kind: rec.kind,
+                traffic: last_rep,
+                sla_drop: rec.sla_drop,
+            };
+            let first =
+                placed_from_entry(&measure(keyed(last_key), last_rep), arrival, Some(&name));
+            let mut snapshots = vec![(rec.arrival_ms, first)];
+            let (mut delta, mut full) = (0u64, 0u64);
+            let mut epoch_ms = (rec.arrival_ms / period_ms + 1) * period_ms;
+            while epoch_ms < rec.departure_ms && epoch_ms <= horizon_ms {
+                let now = rec.traffic_at(epoch_ms);
+                let rk = quantizer.delta_rekey(&last_key, &last_rep, &now);
+                // Re-profile only when drift past threshold actually
+                // lands in a different bucket; at clamped range edges a
+                // nominal trigger can re-quantize to the same key, and
+                // re-measuring it would be pure waste.
+                if rk.moved_count() > 0 && rk.key != last_key {
+                    if rk.is_full() {
+                        full += 1;
+                    } else {
+                        delta += 1;
+                    }
+                    let rep = quantizer.representative(&rk.key);
+                    let prev = &snapshots.last().expect("arrival snapshot").1;
+                    let mut arr = prev.arrival.clone();
+                    arr.traffic = rep;
+                    snapshots.push((
+                        epoch_ms,
+                        placed_from_entry(&measure(keyed(rk.key), rep), arr, Some(&name)),
+                    ));
+                    last_key = rk.key;
+                    last_rep = rep;
+                }
+                epoch_ms += period_ms;
+            }
+            (NfTimeline { snapshots }, delta, full)
+        });
+        let mut timelines = Vec::with_capacity(built.len());
+        let (mut delta_reprofiles, mut full_reprofiles) = (0u64, 0u64);
+        for (tl, d, f) in built {
+            timelines.push(tl);
+            delta_reprofiles += d;
+            full_reprofiles += f;
+        }
+        let stats = Self::stats_from(before, cache.stats(), delta_reprofiles, full_reprofiles);
+        Self {
+            trace,
+            timelines,
+            stats,
+        }
     }
 
     /// Total profile snapshots across all NFs (arrivals + re-profiles):
-    /// the scenario's offline profiling bill.
+    /// the scenario's offline profiling bill *before* cache sharing.
+    /// The bill actually paid is `stats.misses`.
     pub fn snapshot_count(&self) -> usize {
         self.timelines.iter().map(|t| t.snapshots.len()).sum()
     }
-}
 
-/// Whether any traffic attribute moved by more than `threshold` relative
-/// to the last profiled value.
-fn drifted(last: &TrafficProfile, now: &TrafficProfile, threshold: f64) -> bool {
-    let rel = |a: f64, b: f64| (b - a).abs() / a.abs().max(1.0);
-    rel(last.flow_count as f64, now.flow_count as f64) > threshold
-        || rel(last.packet_size as f64, now.packet_size as f64) > threshold
-        || rel(last.mtbr, now.mtbr) > threshold
+    /// Assembles build stats from the cache-counter delta plus the
+    /// trace-determined re-profile split. The delta is thread-count
+    /// invariant: the key set is trace-determined, misses count stub
+    /// creations (one per distinct new key, whichever thread gets
+    /// there), and hits are the remaining lookups.
+    fn stats_from(
+        before: yala_core::profile_cache::CacheStats,
+        after: yala_core::profile_cache::CacheStats,
+        delta_reprofiles: u64,
+        full_reprofiles: u64,
+    ) -> ProfileStats {
+        ProfileStats {
+            lookups: after.lookups - before.lookups,
+            hits: after.hits - before.hits,
+            misses: after.misses - before.misses,
+            inserts: after.entries - before.entries,
+            delta_reprofiles,
+            full_reprofiles,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -202,12 +445,63 @@ mod tests {
         let seq = ProfiledTrace::build(FleetTrace::generate(cfg.clone()), &Engine::sequential());
         let par = ProfiledTrace::build(FleetTrace::generate(cfg), &Engine::with_threads(4));
         assert_eq!(seq.snapshot_count(), par.snapshot_count());
+        assert_eq!(seq.stats, par.stats);
         for (a, b) in seq.timelines.iter().zip(&par.timelines) {
             assert_eq!(a.snapshots.len(), b.snapshots.len());
             for ((ta, pa), (tb, pb)) in a.snapshots.iter().zip(&b.snapshots) {
                 assert_eq!(ta, tb);
                 assert_eq!(pa.solos, pb.solos);
                 assert_eq!(pa.workload, pb.workload);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_mode_is_a_pass_through_that_hits_on_rebuild() {
+        let mut cfg = FleetConfig::small(5);
+        cfg.duration_s = 1_800;
+        cfg.mean_interarrival_s = 150.0;
+        cfg.audit_period_s = 300;
+        let cache = ProfileCache::new();
+        let engine = Engine::sequential();
+        let a = ProfiledTrace::build_with_cache(FleetTrace::generate(cfg.clone()), &engine, &cache);
+        // Fresh cache: every snapshot was a distinct key, nothing hit.
+        assert_eq!(a.stats.hits, 0);
+        assert_eq!(a.stats.misses, a.snapshot_count() as u64);
+        assert_eq!(a.stats.inserts, a.stats.misses);
+        // Same trace, same cache: everything hits, bytes are identical.
+        let b = ProfiledTrace::build_with_cache(FleetTrace::generate(cfg), &engine, &cache);
+        assert_eq!(b.stats.misses, 0);
+        assert_eq!(b.stats.hits, b.stats.lookups);
+        for (ta, tb) in a.timelines.iter().zip(&b.timelines) {
+            for ((sa, pa), (sb, pb)) in ta.snapshots.iter().zip(&tb.snapshots) {
+                assert_eq!(sa, sb);
+                assert_eq!(pa.workload, pb.workload);
+                assert_eq!(pa.solos, pb.solos);
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_mode_shares_profiles_and_stays_deterministic() {
+        let mut cfg = FleetConfig::small(9);
+        cfg.duration_s = 1_800;
+        cfg.mean_interarrival_s = 100.0;
+        cfg.audit_period_s = 300;
+        let seq =
+            ProfiledTrace::build_cached(FleetTrace::generate(cfg.clone()), &Engine::sequential());
+        let par = ProfiledTrace::build_cached(FleetTrace::generate(cfg), &Engine::with_threads(4));
+        assert_eq!(seq.stats, par.stats);
+        assert_eq!(
+            seq.stats.delta_reprofiles + seq.stats.full_reprofiles + seq.timelines.len() as u64,
+            seq.stats.lookups
+        );
+        for (a, b) in seq.timelines.iter().zip(&par.timelines) {
+            assert_eq!(a.snapshots.len(), b.snapshots.len());
+            for ((ta, pa), (tb, pb)) in a.snapshots.iter().zip(&b.snapshots) {
+                assert_eq!(ta, tb);
+                assert_eq!(pa.workload, pb.workload);
+                assert_eq!(pa.solos, pb.solos);
             }
         }
     }

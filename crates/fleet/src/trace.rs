@@ -9,11 +9,36 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use yala_nf::NfKind;
 use yala_sim::NicSpec;
-use yala_traffic::TrafficProfile;
+use yala_traffic::{TrafficProfile, TrafficQuantizer};
 
 /// Milliseconds per second: fleet time is integer milliseconds so event
 /// ordering is exact (no float-comparison ties).
 pub const MS_PER_S: u64 = 1_000;
+
+/// Salt decorrelating the template table's stream from the per-record
+/// generation stream.
+const TEMPLATE_SALT: u64 = 0x7E3A_917E;
+
+/// How per-NF traffic profiles are drawn at trace generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficModel {
+    /// Every profile drawn independently and uniformly at random — the
+    /// original fleet behavior, maximal traffic diversity.
+    Uniform,
+    /// Tenants cluster around `count` canonical traffic templates, each
+    /// drawn profile a template plus per-attribute relative jitter
+    /// uniform in `[-jitter, +jitter]`. This is the realistic
+    /// multi-tenant shape — fleets run a handful of NF configurations,
+    /// not a continuum — and what makes quantized profile caching pay:
+    /// with `jitter` below half the re-profile threshold, every tenant
+    /// of a template lands in the template's quantization bucket.
+    Templates {
+        /// Number of canonical templates.
+        count: u32,
+        /// Per-attribute relative jitter half-width.
+        jitter: f64,
+    },
+}
 
 /// Parameters of one fleet scenario.
 #[derive(Debug, Clone)]
@@ -42,6 +67,8 @@ pub struct FleetConfig {
     /// profiles are drawn independently and interpolated); with drift off,
     /// traffic is constant at the start profile.
     pub drift: bool,
+    /// How traffic profiles are drawn ([`TrafficModel`]).
+    pub traffic_model: TrafficModel,
     /// Largest flow count drawn for a traffic profile.
     pub max_flows: u32,
     /// Relative change in any traffic attribute (flows, packet size,
@@ -69,6 +96,7 @@ impl FleetConfig {
             kinds: vec![NfKind::FlowStats, NfKind::Acl, NfKind::Nat],
             sla_drop_range: (0.05, 0.20),
             drift: true,
+            traffic_model: TrafficModel::Uniform,
             max_flows: 128_000,
             reprofile_threshold: 0.10,
             max_migrations_per_audit: 8,
@@ -123,6 +151,29 @@ impl FleetConfig {
     /// Number of audit epochs in the scenario.
     pub fn epochs(&self) -> u64 {
         self.duration_s / self.audit_period_s
+    }
+
+    /// The canonical template table for [`TrafficModel::Templates`]:
+    /// `count` profiles from a stream decorrelated from the per-record
+    /// generation stream, canonicalized to quantization-bucket
+    /// representatives at the config's re-profile threshold — so an
+    /// unjittered tenant keys exactly onto its template's bucket. Empty
+    /// under [`TrafficModel::Uniform`].
+    pub fn traffic_templates(&self) -> Vec<TrafficProfile> {
+        match self.traffic_model {
+            TrafficModel::Uniform => Vec::new(),
+            TrafficModel::Templates { count, .. } => {
+                let quantizer = TrafficQuantizer::new(self.reprofile_threshold);
+                let mut rng = StdRng::seed_from_u64(self.seed ^ TEMPLATE_SALT);
+                (0..count)
+                    .map(|_| {
+                        quantizer
+                            .canonicalize(&TrafficProfile::random(&mut rng, self.max_flows))
+                            .1
+                    })
+                    .collect()
+            }
+        }
     }
 }
 
@@ -190,6 +241,13 @@ impl FleetTrace {
     pub fn from_records(config: FleetConfig, records: Vec<NfRecord>) -> Self {
         assert!(!config.kinds.is_empty(), "at least one NF kind");
         assert!(config.audit_period_s > 0, "audit period must be positive");
+        if let TrafficModel::Templates { count, jitter } = config.traffic_model {
+            assert!(count > 0, "template count must be positive");
+            assert!(
+                (0.0..1.0).contains(&jitter),
+                "template jitter must be in [0, 1)"
+            );
+        }
         assert!(!config.portfolio.is_empty(), "empty NIC portfolio");
         for (i, (spec, _)) in config.portfolio.iter().enumerate() {
             assert!(
@@ -228,6 +286,7 @@ impl FleetTrace {
     pub fn generate(config: FleetConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let horizon_ms = config.duration_s * MS_PER_S;
+        let templates = config.traffic_templates();
         let mut records = Vec::new();
         let mut t_ms = 0.0f64;
         loop {
@@ -238,11 +297,35 @@ impl FleetTrace {
             }
             let lifetime_ms = exponential_ms(&mut rng, config.mean_lifetime_s).max(60_000.0);
             let kind = *config.kinds.choose(&mut rng).expect("nonempty kinds");
-            let start = TrafficProfile::random(&mut rng, config.max_flows);
-            let end = if config.drift {
-                TrafficProfile::random(&mut rng, config.max_flows)
-            } else {
-                start
+            // Uniform mode must keep the pre-template draw order exactly:
+            // committed bench records pin traces byte-for-byte.
+            let (start, end) = match config.traffic_model {
+                TrafficModel::Uniform => {
+                    let start = TrafficProfile::random(&mut rng, config.max_flows);
+                    let end = if config.drift {
+                        TrafficProfile::random(&mut rng, config.max_flows)
+                    } else {
+                        start
+                    };
+                    (start, end)
+                }
+                TrafficModel::Templates { jitter, .. } => {
+                    let start = jittered(
+                        templates.choose(&mut rng).expect("nonempty template table"),
+                        jitter,
+                        &mut rng,
+                    );
+                    let end = if config.drift {
+                        jittered(
+                            templates.choose(&mut rng).expect("nonempty template table"),
+                            jitter,
+                            &mut rng,
+                        )
+                    } else {
+                        start
+                    };
+                    (start, end)
+                }
             };
             let sla_drop = rng.gen_range(config.sla_drop_range.0..config.sla_drop_range.1);
             records.push(NfRecord {
@@ -264,6 +347,19 @@ impl FleetTrace {
 fn exponential_ms<R: Rng>(rng: &mut R, mean_s: f64) -> f64 {
     let u: f64 = rng.gen();
     -(1.0 - u).ln() * mean_s * MS_PER_S as f64
+}
+
+/// A template profile with per-attribute relative jitter: each attribute
+/// moves by a uniform fraction of itself (floored at 1, matching the
+/// drift metric's denominator), so `jitter` composes directly with
+/// [`TrafficProfile::relative_change`] and the quantizer's bucket radius.
+fn jittered<R: Rng>(template: &TrafficProfile, jitter: f64, rng: &mut R) -> TrafficProfile {
+    let mut wiggle = |v: f64| v + rng.gen_range(-jitter..=jitter) * v.abs().max(1.0);
+    TrafficProfile::new(
+        wiggle(template.flow_count as f64).round() as u32,
+        wiggle(template.packet_size as f64).round() as u32,
+        wiggle(template.mtbr),
+    )
 }
 
 #[cfg(test)]
@@ -440,6 +536,48 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn nic_beyond_fleet_panics() {
         FleetConfig::small(0).nic_model_pos(16);
+    }
+
+    #[test]
+    fn template_traffic_clusters_on_bucket_representatives() {
+        let mut cfg = FleetConfig::small(21);
+        cfg.traffic_model = TrafficModel::Templates {
+            count: 4,
+            jitter: cfg.reprofile_threshold / 4.0,
+        };
+        let templates = cfg.traffic_templates();
+        assert_eq!(templates.len(), 4);
+        let quantizer = TrafficQuantizer::new(cfg.reprofile_threshold);
+        // Templates are bucket representatives: canonicalization is a
+        // no-op on them.
+        for t in &templates {
+            assert_eq!(quantizer.canonicalize(t).1, *t);
+        }
+        let template_keys: Vec<_> = templates.iter().map(|t| quantizer.key(t)).collect();
+        let trace = FleetTrace::generate(cfg);
+        assert!(!trace.records.is_empty());
+        // Jitter at threshold/4 stays within the safe same-key radius:
+        // every tenant's start profile keys onto some template's bucket.
+        for r in &trace.records {
+            let k = quantizer.key(&r.start);
+            assert!(
+                template_keys.contains(&k),
+                "start {:?} escaped its template bucket",
+                r.start
+            );
+        }
+        // And the draw is deterministic in the seed.
+        let mut cfg2 = FleetConfig::small(21);
+        cfg2.traffic_model = TrafficModel::Templates {
+            count: 4,
+            jitter: cfg2.reprofile_threshold / 4.0,
+        };
+        let again = FleetTrace::generate(cfg2);
+        assert_eq!(trace.records.len(), again.records.len());
+        for (a, b) in trace.records.iter().zip(&again.records) {
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.end, b.end);
+        }
     }
 
     #[test]

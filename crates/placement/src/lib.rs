@@ -28,6 +28,7 @@
 //! rejected by every strategy for) a regex-less NIC.
 
 use yala_core::engine::{model_seed_base, scenario_seed, simulator_for, Engine};
+use yala_core::profile_cache::{ProfileEntry, SoloProfile};
 use yala_core::{Contender, ModelBank, ObservationBuffer, YalaModel};
 use yala_nf::NfKind;
 use yala_sim::{CounterSample, NicModelId, NicSpec, Simulator, WorkloadSpec};
@@ -186,23 +187,85 @@ impl PlacementOutcome {
     }
 }
 
-/// Solo-measures `workload` on each `(model, simulator)` pair, in order.
-fn solo_measures(
-    sims: &mut [(NicModelId, Simulator)],
-    workload: &WorkloadSpec,
-) -> Vec<(NicModelId, SoloMeasure)> {
-    sims.iter_mut()
+/// The one profile-measurement body, generic over how the per-model
+/// simulators are held (a portfolio slice or a single borrowed sim).
+fn measure_entry_iter<'a, I>(
+    sims: I,
+    kind: NfKind,
+    traffic: TrafficProfile,
+    seed: u64,
+) -> ProfileEntry
+where
+    I: IntoIterator<Item = (NicModelId, &'a mut Simulator)>,
+{
+    let mut workload = kind.workload(traffic, seed);
+    // Co-runs require unique names; instances of the same NF type must not
+    // collide. Callers rebrand per instance where one entry is shared.
+    workload.name = format!("{}-{seed}", workload.name);
+    let solos = sims
+        .into_iter()
         .map(|(model, sim)| {
-            let outcome = sim.solo(workload);
+            let outcome = sim.solo(&workload);
             (
-                *model,
-                SoloMeasure {
+                model,
+                SoloProfile {
                     solo_tput: outcome.throughput_pps,
                     counters: outcome.counters,
                 },
             )
         })
-        .collect()
+        .collect();
+    ProfileEntry {
+        traffic,
+        workload,
+        solos,
+    }
+}
+
+/// THE single-sourced profile measurement: profiles `kind` at `traffic`
+/// (packet replay through the real NF, seeded by `seed`) and
+/// solo-measures the workload on every `(model, simulator)` pair, in
+/// order. Every profiling entry point — direct preparation
+/// ([`prepare_on`]), drift re-profiling ([`reprofile_on`]), the
+/// single-model conveniences, and profile-cache misses
+/// ([`yala_core::profile_cache::ProfileCache::get_or_measure`]) — runs
+/// this one body, so a cache hit is provably the same bytes as the
+/// fresh measurement it replaced.
+pub fn measure_entry(
+    sims: &mut [(NicModelId, Simulator)],
+    kind: NfKind,
+    traffic: TrafficProfile,
+    seed: u64,
+) -> ProfileEntry {
+    measure_entry_iter(sims.iter_mut().map(|(m, s)| (*m, s)), kind, traffic, seed)
+}
+
+/// Materializes a [`Placed`] record from a (possibly cached)
+/// [`ProfileEntry`]: the shared measurement bytes are copied verbatim;
+/// only the instance identity (`name`, if given) and the arrival
+/// metadata differ between instances sharing one entry.
+pub fn placed_from_entry(entry: &ProfileEntry, arrival: Arrival, name: Option<&str>) -> Placed {
+    let mut workload = entry.workload.clone();
+    if let Some(n) = name {
+        workload.name = n.to_string();
+    }
+    Placed {
+        arrival,
+        workload,
+        solos: entry
+            .solos
+            .iter()
+            .map(|(model, s)| {
+                (
+                    *model,
+                    SoloMeasure {
+                        solo_tput: s.solo_tput,
+                        counters: s.counters,
+                    },
+                )
+            })
+            .collect(),
+    }
 }
 
 /// Prepares a [`Placed`] record for an arrival against a set of per-model
@@ -212,36 +275,22 @@ fn solo_measures(
 /// simulator per model the NF is admitted on
 /// ([`NfKind::profiled_on`]); the resulting `solos` order follows `sims`.
 pub fn prepare_on(sims: &mut [(NicModelId, Simulator)], arrival: Arrival, seed: u64) -> Placed {
-    let mut workload = arrival.kind.workload(arrival.traffic, seed);
-    // Co-runs require unique names; instances of the same NF type must not
-    // collide.
-    workload.name = format!("{}-{seed}", workload.name);
-    let solos = solo_measures(sims, &workload);
-    Placed {
-        arrival,
-        workload,
-        solos,
-    }
+    let entry = measure_entry(sims, arrival.kind, arrival.traffic, seed);
+    placed_from_entry(&entry, arrival, None)
 }
 
 /// Single-model convenience: prepares a [`Placed`] record with one solo
 /// baseline — the model of `sim`'s spec. Identical measurements to the
 /// homogeneous pre-portfolio path.
 pub fn prepare(sim: &mut Simulator, arrival: Arrival, seed: u64) -> Placed {
-    let mut workload = arrival.kind.workload(arrival.traffic, seed);
-    workload.name = format!("{}-{seed}", workload.name);
-    let outcome = sim.solo(&workload);
-    Placed {
-        arrival,
-        workload,
-        solos: vec![(
-            sim.spec().model(),
-            SoloMeasure {
-                solo_tput: outcome.throughput_pps,
-                counters: outcome.counters,
-            },
-        )],
-    }
+    let model = sim.spec().model();
+    let entry = measure_entry_iter(
+        std::iter::once((model, sim)),
+        arrival.kind,
+        arrival.traffic,
+        seed,
+    );
+    placed_from_entry(&entry, arrival, None)
 }
 
 /// Prepares a whole arrival sequence against a NIC-model portfolio, one
@@ -297,6 +346,35 @@ pub fn sims_for(
         .collect()
 }
 
+/// The per-model simulators for a *keyed* (cache-shared) measurement:
+/// one per portfolio spec that admits `kind`, seeded purely from
+/// `key_seed` — no scenario index, no trace position. Two cache misses
+/// on the same key therefore measure on bit-identical simulator state,
+/// which is what makes a cached entry indistinguishable from a fresh
+/// one.
+pub fn sims_for_key(
+    specs: &[NicSpec],
+    kind: NfKind,
+    noise_sigma: f64,
+    key_seed: u64,
+) -> Vec<(NicModelId, Simulator)> {
+    specs
+        .iter()
+        .enumerate()
+        .filter(|(_, spec)| kind.profiled_on(spec))
+        .map(|(m, spec)| {
+            (
+                spec.model(),
+                simulator_for(
+                    spec,
+                    noise_sigma,
+                    scenario_seed(model_seed_base(key_seed, m), 0),
+                ),
+            )
+        })
+        .collect()
+}
+
 /// Re-profiles a placed NF after its traffic has drifted to `traffic`
 /// against the same per-model simulators used at preparation: re-derives
 /// the workload (packet replay at the new profile) and every model's solo
@@ -311,16 +389,13 @@ pub fn reprofile_on(
     traffic: TrafficProfile,
     seed: u64,
 ) -> Placed {
+    let entry = measure_entry(sims, placed.arrival.kind, traffic, seed);
     let mut arrival = placed.arrival.clone();
     arrival.traffic = traffic;
-    let mut workload = arrival.kind.workload(traffic, seed);
-    workload.name = placed.workload.name.clone();
-    let solos = solo_measures(sims, &workload);
-    Placed {
-        arrival,
-        workload,
-        solos,
-    }
+    // Rebranding after the measurement is byte-safe: the solver is
+    // numerically independent of workload names (they only key lookups
+    // and reports).
+    placed_from_entry(&entry, arrival, Some(&placed.workload.name))
 }
 
 /// Single-model convenience around [`reprofile_on`].
@@ -330,22 +405,16 @@ pub fn reprofile(
     traffic: TrafficProfile,
     seed: u64,
 ) -> Placed {
+    let model = sim.spec().model();
+    let entry = measure_entry_iter(
+        std::iter::once((model, sim)),
+        placed.arrival.kind,
+        traffic,
+        seed,
+    );
     let mut arrival = placed.arrival.clone();
     arrival.traffic = traffic;
-    let mut workload = arrival.kind.workload(traffic, seed);
-    workload.name = placed.workload.name.clone();
-    let outcome = sim.solo(&workload);
-    Placed {
-        arrival,
-        workload,
-        solos: vec![(
-            sim.spec().model(),
-            SoloMeasure {
-                solo_tput: outcome.throughput_pps,
-                counters: outcome.counters,
-            },
-        )],
-    }
+    placed_from_entry(&entry, arrival, Some(&placed.workload.name))
 }
 
 /// Runs one online placement episode on a homogeneous bank of NICs of

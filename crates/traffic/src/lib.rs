@@ -31,6 +31,7 @@ pub mod packet;
 pub mod payload;
 pub mod pktgen;
 pub mod profile;
+pub mod quantize;
 
 pub use batch::{PacketBatch, PacketView};
 pub use flow::FiveTuple;
@@ -38,3 +39,4 @@ pub use packet::Packet;
 pub use payload::PayloadSynthesizer;
 pub use pktgen::PacketGenerator;
 pub use profile::TrafficProfile;
+pub use quantize::{DeltaRekey, QuantizedTraffic, TrafficQuantizer};

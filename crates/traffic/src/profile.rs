@@ -131,6 +131,40 @@ impl TrafficProfile {
             .saturating_sub(crate::packet::HEADER_BYTES)
             .max(1)
     }
+
+    /// Per-attribute relative changes from `self` to `now`, in
+    /// `(flow count, packet size, MTBR)` order:
+    /// `|now - base| / max(|base|, 1)` per attribute. The unit floor in
+    /// the denominator keeps near-zero attributes (an MTBR of 0.01)
+    /// from flagging drift on every epoch.
+    pub fn relative_changes(&self, now: &TrafficProfile) -> [f64; 3] {
+        let rel = |a: f64, b: f64| (b - a).abs() / a.abs().max(1.0);
+        [
+            rel(self.flow_count as f64, now.flow_count as f64),
+            rel(self.packet_size as f64, now.packet_size as f64),
+            rel(self.mtbr, now.mtbr),
+        ]
+    }
+
+    /// The drift metric every threshold check in the workspace shares:
+    /// the largest per-attribute relative change from `self` to `now`.
+    /// Re-profile triggers compare this against a threshold, and
+    /// [`crate::TrafficQuantizer`] sizes its buckets from the same
+    /// metric — one source of truth for "how far has traffic moved".
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use yala_traffic::TrafficProfile;
+    /// let base = TrafficProfile::new(10_000, 1000, 100.0);
+    /// let now = TrafficProfile::new(11_000, 1000, 100.0);
+    /// assert!((base.relative_change(&now) - 0.1).abs() < 1e-12);
+    /// ```
+    pub fn relative_change(&self, now: &TrafficProfile) -> f64 {
+        self.relative_changes(now)
+            .into_iter()
+            .fold(0.0f64, f64::max)
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +249,28 @@ mod tests {
             assert!(p.packet_size >= MIN_PACKET_SIZE && p.packet_size <= MAX_PACKET_SIZE);
             assert!(p.mtbr >= 0.0 && p.mtbr <= MAX_MTBR);
         }
+    }
+
+    #[test]
+    fn relative_change_is_max_over_attributes() {
+        let base = TrafficProfile::new(10_000, 1000, 100.0);
+        let now = TrafficProfile::new(10_500, 1200, 101.0);
+        let rels = base.relative_changes(&now);
+        assert!((rels[0] - 0.05).abs() < 1e-12);
+        assert!((rels[1] - 0.2).abs() < 1e-12);
+        assert!((rels[2] - 0.01).abs() < 1e-12);
+        assert!((base.relative_change(&now) - 0.2).abs() < 1e-12);
+        assert_eq!(base.relative_change(&base), 0.0);
+    }
+
+    #[test]
+    fn relative_change_floors_small_denominators_at_one() {
+        // MTBR 0.2 -> 0.5 is a 0.3 *absolute* move, not a 1.5x relative
+        // one: the unit floor in the denominator keeps tiny attributes
+        // from dominating the drift metric.
+        let base = TrafficProfile::new(1_000, 64, 0.2);
+        let now = TrafficProfile::new(1_000, 64, 0.5);
+        assert!((base.relative_change(&now) - 0.3).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,418 @@
+//! Traffic quantization for profile caching: maps a [`TrafficProfile`]
+//! onto a lattice of buckets sized under the re-profile threshold, so
+//! sub-threshold drift lands on the same bucket (and therefore the same
+//! profile-cache key) while above-threshold drift is guaranteed to move.
+//!
+//! # The math
+//!
+//! Drift is measured by [`TrafficProfile::relative_change`]:
+//! `|now - base| / max(|base|, 1)` per attribute. That metric is
+//! *multiplicative* for attributes above 1 and *additive* below, so each
+//! attribute value `v` is warped through
+//!
+//! ```text
+//! u(v) = v            for v <= 1
+//! u(v) = 1 + ln(v)    for v  > 1
+//! ```
+//!
+//! under which a relative change of `r` moves `u` by at most
+//! `-ln(1 - r)` (and at least `ln(1 + r)` when `r` exceeds the
+//! threshold, measured from a bucket representative). Buckets are
+//! `round(u(v) / w)` with width `w = 2*ln(1 + t)` for threshold `t`;
+//! a bucket's *representative* is the profile at its center,
+//! `u^-1(k*w)`, projected back into the attribute's valid range. Because
+//! representatives sit at bucket centers:
+//!
+//! * drift of at most `t/2` from the representative stays in the bucket
+//!   (`-ln(1 - t/2) < ln(1 + t) = w/2` for every `t` in `(0, 1)`), and
+//! * drift beyond `t` always leaves it (`|Δu| > ln(1 + t) = w/2`).
+//!
+//! Both margins degrade only where the range clamp (`1..=MAX_FLOW_COUNT`
+//! etc.) pulls a representative off its bucket center — the outermost
+//! bucket of each attribute.
+
+use crate::profile::{TrafficProfile, MAX_FLOW_COUNT, MAX_MTBR, MAX_PACKET_SIZE, MIN_PACKET_SIZE};
+
+/// The bucketed image of a [`TrafficProfile`] under a
+/// [`TrafficQuantizer`]: one bucket index per traffic attribute, plus
+/// the quantizer's scale discriminant so keys produced under different
+/// thresholds never collide in a shared cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QuantizedTraffic {
+    /// Flow-count bucket.
+    pub flows: i64,
+    /// Packet-size bucket.
+    pub size: i64,
+    /// MTBR bucket.
+    pub mtbr: i64,
+    /// Threshold discriminant: `round(threshold * 1e6)`.
+    pub scale: u32,
+}
+
+/// Result of a delta re-key ([`TrafficQuantizer::delta_rekey`]): the new
+/// composite key plus which attributes actually moved past threshold —
+/// unmoved attributes keep their old bucket, so the re-profile replays
+/// only the dimensions that drifted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaRekey {
+    /// The new cache key: moved attributes re-bucketed at the current
+    /// traffic, unmoved attributes carried over.
+    pub key: QuantizedTraffic,
+    /// Per-attribute "moved past threshold" flags, in
+    /// `(flows, packet size, MTBR)` order.
+    pub moved: [bool; 3],
+}
+
+impl DeltaRekey {
+    /// How many attributes moved past threshold.
+    pub fn moved_count(&self) -> usize {
+        self.moved.iter().filter(|&&m| m).count()
+    }
+
+    /// Whether every attribute moved (a *full* re-profile: nothing of
+    /// the old key survives).
+    pub fn is_full(&self) -> bool {
+        self.moved.iter().all(|&m| m)
+    }
+}
+
+/// Quantizes traffic profiles into threshold-sized buckets (see the
+/// module docs for the guarantees).
+///
+/// # Example
+///
+/// ```
+/// use yala_traffic::{TrafficProfile, TrafficQuantizer};
+/// let q = TrafficQuantizer::new(0.10);
+/// let (key, rep) = q.canonicalize(&TrafficProfile::new(16_000, 1000, 600.0));
+/// // Sub-threshold drift from the representative keeps the key...
+/// let nearby = TrafficProfile::new(rep.flow_count + rep.flow_count / 25, rep.packet_size, rep.mtbr);
+/// assert_eq!(q.key(&nearby), key);
+/// // ...and the representative is its own fixed point.
+/// assert_eq!(q.key(&rep), key);
+/// assert_eq!(q.representative(&key), rep);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficQuantizer {
+    threshold: f64,
+    width: f64,
+    scale: u32,
+}
+
+/// Warp an attribute value into the space where the relative-change
+/// metric is (approximately) a fixed-size step: identity below 1,
+/// shifted log above.
+fn warp(v: f64) -> f64 {
+    if v <= 1.0 {
+        v
+    } else {
+        1.0 + v.ln()
+    }
+}
+
+/// Inverse of [`warp`].
+fn unwarp(u: f64) -> f64 {
+    if u <= 1.0 {
+        u
+    } else {
+        (u - 1.0).exp()
+    }
+}
+
+impl TrafficQuantizer {
+    /// A quantizer whose buckets are sized for re-profile threshold
+    /// `threshold` (e.g. `0.10` for the default fleet config).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < threshold < 1`.
+    pub fn new(threshold: f64) -> Self {
+        assert!(
+            threshold > 0.0 && threshold < 1.0,
+            "re-profile threshold must be in (0, 1), got {threshold}"
+        );
+        Self {
+            threshold,
+            width: 2.0 * (1.0 + threshold).ln(),
+            scale: (threshold * 1e6).round() as u32,
+        }
+    }
+
+    /// The threshold this quantizer was sized for.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Raw bucket index of one attribute value.
+    fn bucket(&self, v: f64) -> i64 {
+        (warp(v.max(0.0)) / self.width).round() as i64
+    }
+
+    /// Canonical `(bucket, representative)` of one attribute: the fixed
+    /// point of bucket -> clamped/rounded center -> bucket, so a
+    /// representative always re-quantizes to its own bucket even where
+    /// the range clamp pulls it off the exact center.
+    fn canon_attr(&self, v: f64, lo: f64, hi: f64, integral: bool) -> (i64, f64) {
+        let mut b = self.bucket(v);
+        let mut rep = 0.0;
+        for _ in 0..4 {
+            rep = unwarp(b as f64 * self.width).clamp(lo, hi);
+            if integral {
+                rep = rep.round().clamp(lo, hi);
+            }
+            let b2 = self.bucket(rep);
+            if b2 == b {
+                break;
+            }
+            b = b2;
+        }
+        (b, rep)
+    }
+
+    fn canon_flows(&self, v: f64) -> (i64, f64) {
+        self.canon_attr(v, 1.0, MAX_FLOW_COUNT as f64, true)
+    }
+
+    fn canon_size(&self, v: f64) -> (i64, f64) {
+        self.canon_attr(v, MIN_PACKET_SIZE as f64, MAX_PACKET_SIZE as f64, true)
+    }
+
+    fn canon_mtbr(&self, v: f64) -> (i64, f64) {
+        self.canon_attr(v, 0.0, MAX_MTBR, false)
+    }
+
+    /// The canonical cache key of `profile`.
+    pub fn key(&self, profile: &TrafficProfile) -> QuantizedTraffic {
+        QuantizedTraffic {
+            flows: self.canon_flows(profile.flow_count as f64).0,
+            size: self.canon_size(profile.packet_size as f64).0,
+            mtbr: self.canon_mtbr(profile.mtbr).0,
+            scale: self.scale,
+        }
+    }
+
+    /// The representative profile of `key`: the profile actually
+    /// measured for every lookup that lands on the key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` was produced by a quantizer with a different
+    /// threshold.
+    pub fn representative(&self, key: &QuantizedTraffic) -> TrafficProfile {
+        assert_eq!(
+            key.scale, self.scale,
+            "key quantized at a different threshold"
+        );
+        TrafficProfile::new(
+            self.canon_flows(unwarp(key.flows as f64 * self.width)).1 as u32,
+            self.canon_size(unwarp(key.size as f64 * self.width)).1 as u32,
+            self.canon_mtbr(unwarp(key.mtbr as f64 * self.width)).1,
+        )
+    }
+
+    /// Canonical `(key, representative)` pair for `profile`.
+    pub fn canonicalize(&self, profile: &TrafficProfile) -> (QuantizedTraffic, TrafficProfile) {
+        let key = self.key(profile);
+        (key, self.representative(&key))
+    }
+
+    /// Delta re-keying: given the last profiled key and its
+    /// representative, re-bucket *only* the attributes whose relative
+    /// change from the representative to `now` exceeds the threshold;
+    /// attributes still within threshold keep their old bucket (their
+    /// part of the old measurement is still valid by the drift
+    /// criterion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `last` was quantized at a different threshold.
+    pub fn delta_rekey(
+        &self,
+        last: &QuantizedTraffic,
+        last_rep: &TrafficProfile,
+        now: &TrafficProfile,
+    ) -> DeltaRekey {
+        assert_eq!(
+            last.scale, self.scale,
+            "key quantized at a different threshold"
+        );
+        let rels = last_rep.relative_changes(now);
+        let moved = [
+            rels[0] > self.threshold,
+            rels[1] > self.threshold,
+            rels[2] > self.threshold,
+        ];
+        let key = QuantizedTraffic {
+            flows: if moved[0] {
+                self.canon_flows(now.flow_count as f64).0
+            } else {
+                last.flows
+            },
+            size: if moved[1] {
+                self.canon_size(now.packet_size as f64).0
+            } else {
+                last.size
+            },
+            mtbr: if moved[2] {
+                self.canon_mtbr(now.mtbr).0
+            } else {
+                last.mtbr
+            },
+            scale: self.scale,
+        };
+        DeltaRekey { key, moved }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Random profiles far enough inside the clamped ranges that a
+    /// threshold-sized drift from a bucket representative cannot clamp —
+    /// the region where the bucket-margin guarantees are exact.
+    fn interior_profile<R: Rng>(rng: &mut R) -> TrafficProfile {
+        TrafficProfile::new(
+            rng.gen_range(2_000..350_000),
+            rng.gen_range(100..1_100),
+            rng.gen_range(2.0..800.0),
+        )
+    }
+
+    #[test]
+    fn representative_is_a_fixed_point() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &t in &[0.05, 0.10, 0.20] {
+            let q = TrafficQuantizer::new(t);
+            for _ in 0..200 {
+                let p = interior_profile(&mut rng);
+                let (key, rep) = q.canonicalize(&p);
+                assert_eq!(q.key(&rep), key, "rep must re-quantize to its key");
+                assert_eq!(q.representative(&key), rep);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_point_holds_at_the_clamped_edges() {
+        let q = TrafficQuantizer::new(0.10);
+        for p in [
+            TrafficProfile::new(1, MIN_PACKET_SIZE, 0.0),
+            TrafficProfile::new(MAX_FLOW_COUNT, MAX_PACKET_SIZE, MAX_MTBR),
+            TrafficProfile::new(1_000, 64, 0.5),
+        ] {
+            let (key, rep) = q.canonicalize(&p);
+            assert_eq!(q.key(&rep), key);
+        }
+    }
+
+    #[test]
+    fn half_threshold_drift_from_representative_keeps_the_key() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &t in &[0.10, 0.20] {
+            let q = TrafficQuantizer::new(t);
+            for _ in 0..300 {
+                let (key, rep) = q.canonicalize(&interior_profile(&mut rng));
+                let r = rng.gen_range(-t / 2.0..=t / 2.0);
+                let drifted = TrafficProfile::new(
+                    (rep.flow_count as f64 * (1.0 + r)).round() as u32,
+                    (rep.packet_size as f64 * (1.0 + r)).round() as u32,
+                    rep.mtbr + r * rep.mtbr.abs().max(1.0),
+                );
+                // Integer rounding of flows/packet size adds at most
+                // 0.5/attr to the relative change — still far inside
+                // the same-bucket radius.
+                assert!(rep.relative_change(&drifted) <= t / 2.0 + 0.01);
+                assert_eq!(q.key(&drifted), key, "sub-threshold drift re-keyed");
+            }
+        }
+    }
+
+    #[test]
+    fn above_threshold_drift_from_representative_moves_the_key() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &t in &[0.10, 0.20] {
+            let q = TrafficQuantizer::new(t);
+            for _ in 0..300 {
+                let (key, rep) = q.canonicalize(&interior_profile(&mut rng));
+                // Push each attribute just past the threshold, one at a
+                // time, in a random direction.
+                let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                let r = sign * (t * 1.05);
+                let flows = TrafficProfile::new(
+                    (rep.flow_count as f64 * (1.0 + r)).round() as u32,
+                    rep.packet_size,
+                    rep.mtbr,
+                );
+                assert_ne!(q.key(&flows).flows, key.flows, "flows drift kept key");
+                let mtbr = TrafficProfile::new(
+                    rep.flow_count,
+                    rep.packet_size,
+                    rep.mtbr + r * rep.mtbr.abs().max(1.0),
+                );
+                assert_ne!(q.key(&mtbr).mtbr, key.mtbr, "mtbr drift kept key");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_rekey_moves_only_drifted_attributes() {
+        let q = TrafficQuantizer::new(0.10);
+        let (key, rep) = q.canonicalize(&TrafficProfile::new(16_000, 1000, 600.0));
+        // Only flows move past threshold.
+        let now = TrafficProfile::new(
+            (rep.flow_count as f64 * 1.3).round() as u32,
+            rep.packet_size,
+            rep.mtbr * 1.02,
+        );
+        let d = q.delta_rekey(&key, &rep, &now);
+        assert_eq!(d.moved, [true, false, false]);
+        assert_eq!(d.moved_count(), 1);
+        assert!(!d.is_full());
+        assert_ne!(d.key.flows, key.flows);
+        assert_eq!(d.key.size, key.size);
+        assert_eq!(d.key.mtbr, key.mtbr, "unmoved attribute keeps its bucket");
+        // Everything moves: a full re-profile.
+        let all = TrafficProfile::new(
+            rep.flow_count * 2,
+            (rep.packet_size as f64 * 0.7).round() as u32,
+            rep.mtbr * 2.0,
+        );
+        let d = q.delta_rekey(&key, &rep, &all);
+        assert!(d.is_full());
+        assert_ne!(d.key, key);
+    }
+
+    #[test]
+    fn mtbr_zero_is_exact() {
+        let q = TrafficQuantizer::new(0.10);
+        let (key, rep) = q.canonicalize(&TrafficProfile::new(10_000, 512, 0.0));
+        assert_eq!(rep.mtbr, 0.0);
+        assert_eq!(key.mtbr, 0);
+        // Small absolute MTBR moves below threshold stay in bucket 0.
+        assert_eq!(q.key(&TrafficProfile::new(10_000, 512, 0.04)).mtbr, 0);
+    }
+
+    #[test]
+    fn keys_from_different_thresholds_never_collide() {
+        let p = TrafficProfile::default();
+        let a = TrafficQuantizer::new(0.10).key(&p);
+        let b = TrafficQuantizer::new(0.20).key(&p);
+        assert_ne!(a, b, "scale discriminant must separate thresholds");
+    }
+
+    #[test]
+    #[should_panic(expected = "different threshold")]
+    fn representative_rejects_foreign_keys() {
+        let key = TrafficQuantizer::new(0.10).key(&TrafficProfile::default());
+        TrafficQuantizer::new(0.20).representative(&key);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in")]
+    fn zero_threshold_rejected() {
+        TrafficQuantizer::new(0.0);
+    }
+}
