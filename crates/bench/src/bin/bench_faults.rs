@@ -1,0 +1,268 @@
+//! Records the fault-injection comparison to `BENCH_faults.json`: a
+//! failure-heavy simulated day — hard NIC failures on a per-NIC renewal
+//! process, announced maintenance drains, a 50/50 guaranteed/best-effort
+//! tenant mix — replayed under three policies: the QoS-aware
+//! contention-aware policy (`yala-qos`), the same predictor with QoS
+//! tiers ignored (`yala-blind`, the degradation baseline), and greedy
+//! packing for context.
+//!
+//! The headline metric is the *QoS shield ratio*: the blind baseline's
+//! guaranteed-class bad minutes (SLA violation while placed + downtime
+//! while parked) divided by the aware policy's. The acceptance bar is
+//! ≥ 5×: under identical fault schedules, tiered degradation must
+//! concentrate at least that much of the damage on the best-effort
+//! class. The scenario is deterministic: same seed ⇒ bit-identical
+//! `FleetReport`s, so the committed JSON is reproducible. Pass `--quick`
+//! (CI) for fewer trained NF kinds and a coarser audit cadence; the
+//! scenario scale (48 NICs, ~24 simulated hours, every NIC failing
+//! about twice) is the same in both modes.
+
+use std::time::Instant;
+use yala_bench::{json_f64, read_record, BenchArgs, RegressionCheck, Zoo};
+use yala_fleet::{
+    run_fleet, Diagnoser, FaultKind, FaultPlan, FleetConfig, FleetPolicy, FleetReport, FleetTrace,
+    ProfiledTrace,
+};
+use yala_nf::NfKind;
+use yala_placement::YalaPredictor;
+
+/// The committed record this binary regenerates (and `--check`s against).
+const RECORD: &str = "BENCH_faults.json";
+
+/// The acceptance bar on the QoS shield ratio (blind / aware guaranteed
+/// bad minutes).
+const SHIELD_BAR: f64 = 5.0;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let quick = args.quick;
+    let engine = args.engine();
+    let kinds: Vec<NfKind> = if quick {
+        vec![NfKind::FlowStats, NfKind::Acl, NfKind::Nat, NfKind::Nids]
+    } else {
+        NfKind::TABLE2_NINE.to_vec()
+    };
+
+    let mut cfg = FleetConfig::small(97);
+    cfg.portfolio = vec![(yala_sim::NicSpec::bluefield2(), 20)];
+    cfg.duration_s = 24 * 3_600;
+    cfg.mean_interarrival_s = 240.0; // ~360 arrivals over the day
+    cfg.mean_lifetime_s = 7_200.0; // ~30 NFs active at steady state
+    cfg.audit_period_s = if quick { 1_800 } else { 600 };
+    cfg.reprofile_threshold = if quick { 0.20 } else { 0.10 };
+    cfg.kinds = kinds.clone();
+    cfg.max_flows = 200_000;
+    cfg.sla_drop_range = (0.05, 0.15);
+    cfg.guaranteed_fraction = 0.5;
+    // A deliberately undersized fleet under a rough day: every NIC fails
+    // about three times, repairs take about an hour and a half, and six
+    // hour-long maintenance drains land on top — so evacuations
+    // regularly find the fleet too full and degradation policy decides
+    // who eats the shortfall.
+    cfg.faults = FaultPlan {
+        mtbf_s: 6.0 * 3_600.0,
+        mean_repair_s: 7_200.0,
+        drains: 8,
+        drain_notice_s: 1_800,
+        drain_offline_s: 3_600,
+    };
+
+    println!(
+        "bench_faults: {} NICs, {} h, audit every {} s, {} NF kinds, \
+         guaranteed fraction {:.2}{}",
+        cfg.nics(),
+        cfg.duration_s / 3_600,
+        cfg.audit_period_s,
+        kinds.len(),
+        cfg.guaranteed_fraction,
+        if quick { " [quick]" } else { "" }
+    );
+
+    let t0 = Instant::now();
+    let zoo = Zoo::train(&kinds, 6);
+    let train_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let trace = FleetTrace::generate(cfg);
+    let arrivals = trace.records.len();
+    let guaranteed_nfs = trace
+        .records
+        .iter()
+        .filter(|r| r.qos.is_guaranteed())
+        .count();
+    let fail_events = trace
+        .faults
+        .iter()
+        .filter(|f| f.kind == FaultKind::Fail)
+        .count();
+    let drain_events = trace
+        .faults
+        .iter()
+        .filter(|f| f.kind == FaultKind::DrainStart)
+        .count();
+    let profiled = ProfiledTrace::build(trace, &engine);
+    let profile_s = t0.elapsed().as_secs_f64();
+    println!(
+        "  scenario: {arrivals} arrivals ({guaranteed_nfs} guaranteed), \
+         {fail_events} failures + {drain_events} drains, {} profile snapshots \
+         (train {train_s:.1} s, profile {profile_s:.1} s)",
+        profiled.snapshot_count()
+    );
+
+    let t0 = Instant::now();
+    let run_aware = |aware: bool, label: &str| -> FleetReport {
+        let mut predictor = YalaPredictor::new(zoo.yala_bank());
+        run_fleet(
+            &profiled,
+            FleetPolicy::ContentionAware {
+                predictor: &mut predictor,
+                diagnoser: Diagnoser::Yala(zoo.yala_bank()),
+                online: None,
+                qos_aware: aware,
+            },
+            label,
+            &engine,
+        )
+    };
+    let aware = run_aware(true, "yala-qos");
+    let blind = run_aware(false, "yala-blind");
+    let greedy = run_fleet(&profiled, FleetPolicy::Greedy, "greedy", &engine);
+    println!("  policy runs: {:.1} s", t0.elapsed().as_secs_f64());
+
+    println!(
+        "  {:<12} {:>6} {:>6} | {:>9} {:>9} {:>5} {:>5} {:>6} | {:>9} {:>9} {:>5} {:>5}",
+        "policy",
+        "faults",
+        "drains",
+        "G bad-min",
+        "G down",
+        "Gshed",
+        "Gevac",
+        "Gredo",
+        "B bad-min",
+        "B down",
+        "Bshed",
+        "Bredo"
+    );
+    let reports = [&aware, &blind, &greedy];
+    for r in reports {
+        println!(
+            "  {:<12} {:>6} {:>6} | {:>9.0} {:>9.0} {:>5} {:>5} {:>6} | {:>9.0} {:>9.0} {:>5} {:>5}",
+            r.policy,
+            r.faults,
+            r.drains,
+            r.guaranteed.bad_minutes(),
+            r.guaranteed.downtime_minutes,
+            r.guaranteed.shed,
+            r.guaranteed.evacuations,
+            r.guaranteed.readmitted,
+            r.best_effort.bad_minutes(),
+            r.best_effort.downtime_minutes,
+            r.best_effort.shed,
+            r.best_effort.readmitted
+        );
+    }
+
+    // The fault schedule is part of the trace: every policy sees the
+    // same failures and drains.
+    assert_eq!(aware.faults, blind.faults);
+    assert_eq!(aware.drains, blind.drains);
+    assert_eq!(aware.faults as usize, fail_events);
+    assert!(aware.faults > 0, "a fault bench needs faults");
+
+    // The acceptance bar: under identical faults, the QoS-blind baseline
+    // must hurt the guaranteed class at least SHIELD_BAR times more than
+    // the QoS-aware policy. Deterministic scenario, so this either
+    // always holds or never does.
+    // Capped so the record stays finite JSON even when the aware policy
+    // keeps the guaranteed class perfectly clean.
+    let shield_ratio = shield(&blind, &aware).min(1_000.0);
+    assert!(
+        blind.guaranteed.bad_minutes() > 0.0,
+        "the blind baseline must damage the guaranteed class somewhere \
+         in a failure-heavy day"
+    );
+    assert!(
+        shield_ratio >= SHIELD_BAR,
+        "QoS-aware degradation must hold guaranteed bad minutes \
+         {SHIELD_BAR}x below the blind baseline (got {shield_ratio:.1}x: \
+         aware {:.0} vs blind {:.0})",
+        aware.guaranteed.bad_minutes(),
+        blind.guaranteed.bad_minutes()
+    );
+    println!(
+        "  shield: aware {:.0} guaranteed bad-min vs blind {:.0} — {:.1}x (bar {SHIELD_BAR}x) OK",
+        aware.guaranteed.bad_minutes(),
+        blind.guaranteed.bad_minutes(),
+        shield_ratio
+    );
+
+    let kinds_json: Vec<String> = kinds.iter().map(|k| format!("\"{k}\"")).collect();
+    let policies_json: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+    let json = format!(
+        "{{\n\"bench\": \"faults\",\n\"quick\": {quick},\n\"nics\": {},\n\"arrivals\": {arrivals},\n\
+         \"guaranteed_nfs\": {guaranteed_nfs},\n\"fail_events\": {fail_events},\n\
+         \"drain_events\": {drain_events},\n\"duration_s\": {},\n\"audit_period_s\": {},\n\
+         \"seed\": {},\n\"kinds\": [{}],\n\"shield_ratio\": {:.3},\n\"policies\": [\n{}\n]\n}}\n",
+        aware.nics,
+        aware.duration_s,
+        aware.audit_period_s,
+        aware.seed,
+        kinds_json.join(", "),
+        shield_ratio,
+        policies_json.join(",\n")
+    );
+    if let Some(path) = args.record_path(RECORD) {
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("  wrote {path}"),
+            Err(e) => eprintln!("  could not write {path}: {e}"),
+        }
+    }
+
+    // Regression gate: the recomputed quick-mode headline metrics must
+    // not be worse than the committed record's.
+    if args.check {
+        let committed = read_record(RECORD);
+        let mut check = RegressionCheck::new();
+        let key = |anchor: &str, k: &str| json_f64(&committed, anchor, k).unwrap_or(-1.0);
+        check.exact("arrivals", arrivals as f64, key("", "arrivals"));
+        check.exact("fail_events", fail_events as f64, key("", "fail_events"));
+        check.at_least("shield_ratio", shield_ratio, SHIELD_BAR);
+        check.at_least(
+            "shield_ratio_vs_committed",
+            shield_ratio,
+            key("", "shield_ratio") * 0.95,
+        );
+        check.no_worse(
+            "yala-qos.guaranteed.bad_minutes",
+            aware.guaranteed.bad_minutes(),
+            key("\"policy\": \"yala-qos\"", "bad_minutes"),
+            0.05,
+            1.0,
+        );
+        check.no_worse(
+            "yala-qos.rejected",
+            aware.rejected as f64,
+            key("\"policy\": \"yala-qos\"", "rejected"),
+            0.0,
+            0.0,
+        );
+        check.finish(RECORD);
+    }
+}
+
+/// Blind-over-aware guaranteed bad minutes; an aware policy that keeps
+/// the class perfectly clean scores infinity.
+fn shield(blind: &FleetReport, aware: &FleetReport) -> f64 {
+    let a = aware.guaranteed.bad_minutes();
+    let b = blind.guaranteed.bad_minutes();
+    if a == 0.0 {
+        if b > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    } else {
+        b / a
+    }
+}

@@ -82,6 +82,7 @@ fn main() {
                 predictor: &mut predictor,
                 diagnoser: Diagnoser::MemoryOnly,
                 online: None,
+                qos_aware: true,
             },
             "slomo",
             &engine,
@@ -95,6 +96,7 @@ fn main() {
                 predictor: &mut predictor,
                 diagnoser: Diagnoser::Yala(zoo.yala_bank()),
                 online: None,
+                qos_aware: true,
             },
             "yala",
             &engine,

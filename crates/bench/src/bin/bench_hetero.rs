@@ -122,6 +122,7 @@ fn main() {
                 predictor: &mut predictor,
                 diagnoser: Diagnoser::Yala(zoo.yala_bank()),
                 online: None,
+                qos_aware: true,
             },
             "yala",
             &engine,

@@ -120,6 +120,7 @@ fn main() {
                 predictor: &mut predictor,
                 diagnoser: Diagnoser::Yala(&bank),
                 online: None,
+                qos_aware: true,
             },
             "yala-frozen",
             &engine,
@@ -132,6 +133,7 @@ fn main() {
             predictor: &mut online_predictor,
             diagnoser: Diagnoser::Yala(&bank),
             online: Some(online_knobs),
+            qos_aware: true,
         },
         "yala-online",
         &engine,

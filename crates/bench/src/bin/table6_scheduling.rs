@@ -6,7 +6,7 @@
 use rand::rngs::StdRng;
 use rand::{seq::SliceRandom, Rng, SeedableRng};
 use yala_bench::{scaled, write_csv, Zoo, NOISE_SIGMA};
-use yala_core::Engine;
+use yala_core::{Engine, QosClass};
 use yala_nf::NfKind;
 use yala_placement::{
     place_sequence, prepare_all, Arrival, OraclePredictor, Placed, SlomoPredictor, Strategy,
@@ -36,6 +36,7 @@ fn main() {
                     kind,
                     traffic: TrafficProfile::default(),
                     sla_drop: rng.gen_range(0.05..0.20),
+                    qos: QosClass::Guaranteed,
                 }
             })
             .collect();

@@ -64,6 +64,7 @@ pub mod observe;
 pub mod predictor;
 pub mod profile_cache;
 pub mod profiler;
+pub mod qos;
 
 pub use accel_model::{AccelServiceModel, InferConfig};
 pub use adaptive::{AdaptiveConfig, ProfilingRun, TrafficRanges};
@@ -77,3 +78,4 @@ pub use predictor::{Composition, TrainConfig, YalaModel};
 pub use profile_cache::{
     profile_seed, CacheStats, ProfileCache, ProfileEntry, ProfileKey, SoloProfile, TrafficKey,
 };
+pub use qos::QosClass;

@@ -7,7 +7,7 @@
 //! memory-only, can only ever answer "memory" — which is exactly why it
 //! fails on NFs whose bottleneck shifts with traffic (Table 7).
 
-use yala_core::{Contender, YalaModel};
+use yala_core::{Contender, QosClass, YalaModel};
 use yala_sim::ResourceKind;
 use yala_traffic::TrafficProfile;
 
@@ -64,21 +64,62 @@ pub fn diagnose_yala(
 /// (`queues · service time`) for accelerators. Returns `None` for an
 /// empty slate; NaN pressures rank below every finite pressure.
 pub fn select_victim(bottleneck: ResourceKind, co_residents: &[Contender]) -> Option<usize> {
-    let pressure = |c: &Contender| -> f64 {
-        let p = match bottleneck {
-            ResourceKind::CpuMem => c.counters.car(),
-            accel => c.pressure_on(accel),
-        };
-        if p.is_finite() {
-            p
-        } else {
-            f64::NEG_INFINITY
-        }
-    };
     let mut best: Option<(usize, f64)> = None;
     for (i, c) in co_residents.iter().enumerate() {
-        let p = pressure(c);
+        let p = victim_pressure(bottleneck, c);
         // Strict > keeps the earliest of tied candidates: deterministic.
+        if best.is_none_or(|(_, bp)| p > bp) {
+            best = Some((i, p));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// A co-resident's pressure on `bottleneck`, NaN-safe: NaN ranks below
+/// every finite pressure so a pathological counter never wins a victim
+/// election.
+fn victim_pressure(bottleneck: ResourceKind, c: &Contender) -> f64 {
+    let p = match bottleneck {
+        ResourceKind::CpuMem => c.counters.car(),
+        accel => c.pressure_on(accel),
+    };
+    if p.is_finite() {
+        p
+    } else {
+        f64::NEG_INFINITY
+    }
+}
+
+/// QoS-class-aware victim selection: like [`select_victim`], but the
+/// election is held inside the lowest-precedence class present —
+/// best-effort co-residents always shed before guaranteed ones, and a
+/// guaranteed tenant is only ever selected when *no* best-effort
+/// co-resident remains on the slate. Within the chosen class the victim
+/// is still the max-pressure co-resident on the bottleneck.
+/// `classes` runs parallel to `co_residents`.
+///
+/// # Panics
+///
+/// Panics if `classes` and `co_residents` have different lengths.
+pub fn select_victim_qos(
+    bottleneck: ResourceKind,
+    co_residents: &[Contender],
+    classes: &[QosClass],
+) -> Option<usize> {
+    assert_eq!(
+        co_residents.len(),
+        classes.len(),
+        "one class per co-resident"
+    );
+    // The lowest-precedence (highest-ordinal) class on the slate is the
+    // one that yields.
+    let yielding = classes.iter().copied().max()?;
+    let mut best: Option<(usize, f64)> = None;
+    for (i, c) in co_residents.iter().enumerate() {
+        if classes[i] != yielding {
+            continue;
+        }
+        let p = victim_pressure(bottleneck, c);
         if best.is_none_or(|(_, bp)| p > bp) {
             best = Some((i, p));
         }
@@ -158,6 +199,84 @@ mod tests {
         assert_eq!(select_victim(ResourceKind::CpuMem, &slate), Some(0));
         assert_eq!(select_victim(ResourceKind::Regex, &slate), Some(1));
         assert_eq!(select_victim(ResourceKind::CpuMem, &[]), None);
+    }
+
+    #[test]
+    fn select_victim_qos_sheds_best_effort_first() {
+        use yala_sim::CounterSample;
+        let hog = |name: &str, car: f64| {
+            Contender::memory_only(
+                name,
+                CounterSample {
+                    l2crd: car,
+                    ..CounterSample::default()
+                },
+            )
+        };
+        // The guaranteed tenant presses hardest, but a best-effort
+        // co-resident is present: the best-effort one must yield.
+        let slate = [hog("g-hog", 9e8), hog("be-quiet", 1e6), hog("be-loud", 5e6)];
+        let classes = [
+            QosClass::Guaranteed,
+            QosClass::BestEffort,
+            QosClass::BestEffort,
+        ];
+        assert_eq!(
+            select_victim_qos(ResourceKind::CpuMem, &slate, &classes),
+            Some(2),
+            "max-pressure *best-effort* co-resident"
+        );
+        // All guaranteed: degenerates to the class-blind election.
+        let all_g = [QosClass::Guaranteed; 3];
+        assert_eq!(
+            select_victim_qos(ResourceKind::CpuMem, &slate, &all_g),
+            select_victim(ResourceKind::CpuMem, &slate)
+        );
+        // Empty slate.
+        assert_eq!(select_victim_qos(ResourceKind::CpuMem, &[], &[]), None);
+    }
+
+    #[test]
+    fn select_victim_qos_never_picks_guaranteed_while_best_effort_remains() {
+        // Property sweep: random pressures, random class assignments —
+        // whenever any best-effort co-resident exists, the victim is
+        // best-effort.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use yala_sim::CounterSample;
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let n = rng.gen_range(1..6);
+            let slate: Vec<Contender> = (0..n)
+                .map(|i| {
+                    Contender::memory_only(
+                        format!("c{i}"),
+                        CounterSample {
+                            l2crd: rng.gen_range(0.0..1e9),
+                            ..CounterSample::default()
+                        },
+                    )
+                })
+                .collect();
+            let classes: Vec<QosClass> = (0..n)
+                .map(|_| {
+                    if rng.gen_bool(0.5) {
+                        QosClass::Guaranteed
+                    } else {
+                        QosClass::BestEffort
+                    }
+                })
+                .collect();
+            let v =
+                select_victim_qos(ResourceKind::CpuMem, &slate, &classes).expect("nonempty slate");
+            if classes.contains(&QosClass::BestEffort) {
+                assert_eq!(
+                    classes[v],
+                    QosClass::BestEffort,
+                    "guaranteed tenant evicted while best-effort remained: {classes:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -51,10 +51,13 @@ pub mod timeline;
 pub mod trace;
 
 pub use policy::{Diagnoser, FleetPolicy, OnlineRefine};
-pub use report::{FleetReport, FleetSample};
+pub use report::{ClassStats, FleetReport, FleetSample};
 pub use sim::run_fleet;
 pub use timeline::{NfTimeline, ProfileStats, ProfiledTrace};
-pub use trace::{FleetConfig, FleetTrace, NfRecord, TrafficModel, MS_PER_S};
+pub use trace::{
+    FaultEvent, FaultKind, FaultPlan, FleetConfig, FleetTrace, NfRecord, TraceError, TrafficModel,
+    MS_PER_S,
+};
 
 #[cfg(test)]
 mod tests {
@@ -159,11 +162,12 @@ mod tests {
                 start: TrafficProfile::new(8_000, 512, 0.0),
                 end: TrafficProfile::new(96_000, 1500, 0.0),
                 sla_drop: 0.10,
+                qos: yala_core::QosClass::Guaranteed,
             })
             .collect();
         let build = || {
             ProfiledTrace::build(
-                FleetTrace::from_records(cfg.clone(), records.clone()),
+                FleetTrace::from_records(cfg.clone(), records.clone()).expect("valid records"),
                 &Engine::sequential(),
             )
         };

@@ -134,5 +134,13 @@ pub enum FleetPolicy<'a> {
         /// (online refinement); `None` keeps the predictor frozen at its
         /// offline training (the paper's train-once setup).
         online: Option<OnlineRefine>,
+        /// Whether placement, evacuation, and victim selection honor QoS
+        /// tiers: guaranteed NFs are evacuated first (best ordering of
+        /// scarce re-placement slots), best-effort NFs are shed/parked
+        /// first, and no guaranteed NF is ever picked as a migration
+        /// victim while a best-effort co-resident remains. With `false`
+        /// the policy is QoS-blind — the pre-tier behavior, kept as the
+        /// degradation baseline.
+        qos_aware: bool,
     },
 }

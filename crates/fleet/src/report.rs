@@ -4,6 +4,49 @@
 //! canonical JSON string — the determinism contract is *bit-identical
 //! reports* for identical `(config, policy)`.
 
+/// Degradation accounting for one QoS class: how much service the class
+/// lost (SLA-violation minutes while placed, downtime minutes while
+/// parked) and how the fault machinery handled it (evacuations, sheds,
+/// readmissions).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassStats {
+    /// NF-minutes below the SLA floor while placed.
+    pub violation_minutes: f64,
+    /// NF-minutes spent parked (alive but unserved).
+    pub downtime_minutes: f64,
+    /// NFs relocated to another NIC because of a failure or drain.
+    pub evacuations: u32,
+    /// Park events: NFs that could not be re-placed after a fault (or
+    /// were preempted to make room for a guaranteed NF).
+    pub shed: u32,
+    /// Parked NFs successfully re-placed at a later audit.
+    pub readmitted: u32,
+}
+
+impl ClassStats {
+    /// The class's total bad minutes — violation while placed plus
+    /// downtime while parked. The headline degradation metric: a
+    /// QoS-aware policy's job is to keep this low for the guaranteed
+    /// class.
+    pub fn bad_minutes(&self) -> f64 {
+        self.violation_minutes + self.downtime_minutes
+    }
+
+    /// Flat JSON object (hand-rolled; no serde_json in the workspace).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"violation_minutes\": {:.3}, \"downtime_minutes\": {:.3}, \
+             \"bad_minutes\": {:.3}, \"evacuations\": {}, \"shed\": {}, \"readmitted\": {}}}",
+            self.violation_minutes,
+            self.downtime_minutes,
+            self.bad_minutes(),
+            self.evacuations,
+            self.shed,
+            self.readmitted
+        )
+    }
+}
+
 /// One audit epoch's observation of the fleet.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FleetSample {
@@ -22,6 +65,10 @@ pub struct FleetSample {
     /// Bin-packing lower bound on NICs for the active set: what a perfect
     /// packer (the oracle reference) could not go below.
     pub oracle_lb_nics: u32,
+    /// NFs parked (shed, awaiting readmission) at this epoch.
+    pub parked: u32,
+    /// NICs offline (failed or under maintenance) at this epoch.
+    pub down_nics: u32,
 }
 
 /// Scenario totals and time series for one policy run.
@@ -57,6 +104,14 @@ pub struct FleetReport {
     pub wasted_core_minutes: f64,
     /// Largest number of NICs simultaneously occupied.
     pub peak_nics: u32,
+    /// Hard NIC failures that fired on-trace.
+    pub faults: u32,
+    /// Maintenance drains announced on-trace.
+    pub drains: u32,
+    /// Degradation accounting for the guaranteed class.
+    pub guaranteed: ClassStats,
+    /// Degradation accounting for the best-effort class.
+    pub best_effort: ClassStats,
     /// Per-epoch observations, ascending in time.
     pub samples: Vec<FleetSample>,
 }
@@ -104,14 +159,17 @@ impl FleetReport {
             .map(|s| {
                 format!(
                     "      {{\"t_s\": {}, \"active\": {}, \"nics\": {}, \"violating\": {}, \
-                     \"migrations\": {}, \"wasted_cores\": {}, \"oracle_lb\": {}}}",
+                     \"migrations\": {}, \"wasted_cores\": {}, \"oracle_lb\": {}, \
+                     \"parked\": {}, \"down\": {}}}",
                     s.t_s,
                     s.active_nfs,
                     s.nics_in_use,
                     s.violating_nfs,
                     s.migrations,
                     s.wasted_cores,
-                    s.oracle_lb_nics
+                    s.oracle_lb_nics,
+                    s.parked,
+                    s.down_nics
                 )
             })
             .collect();
@@ -122,7 +180,9 @@ impl FleetReport {
              \"violation_minutes\": {:.3},\n    \"nic_minutes\": {:.3},\n    \
              \"oracle_lb_nic_minutes\": {:.3},\n    \"wasted_core_minutes\": {:.3},\n    \
              \"wastage_vs_oracle\": {:.4},\n    \"violation_rate\": {:.5},\n    \
-             \"mean_nics\": {:.3},\n    \"peak_nics\": {},\n    \"samples\": [\n{}\n    ]\n  }}",
+             \"mean_nics\": {:.3},\n    \"peak_nics\": {},\n    \"faults\": {},\n    \
+             \"drains\": {},\n    \"guaranteed\": {},\n    \"best_effort\": {},\n    \
+             \"samples\": [\n{}\n    ]\n  }}",
             self.policy,
             self.seed,
             self.nics,
@@ -140,6 +200,10 @@ impl FleetReport {
             self.violation_rate(),
             self.mean_nics(),
             self.peak_nics,
+            self.faults,
+            self.drains,
+            self.guaranteed.to_json(),
+            self.best_effort.to_json(),
             samples.join(",\n")
         )
     }
@@ -165,6 +229,22 @@ mod tests {
             oracle_lb_nic_minutes: 20.0,
             wasted_core_minutes: 60.0,
             peak_nics: 3,
+            faults: 2,
+            drains: 1,
+            guaranteed: ClassStats {
+                violation_minutes: 10.0,
+                downtime_minutes: 0.0,
+                evacuations: 2,
+                shed: 0,
+                readmitted: 0,
+            },
+            best_effort: ClassStats {
+                violation_minutes: 0.0,
+                downtime_minutes: 20.0,
+                evacuations: 1,
+                shed: 2,
+                readmitted: 1,
+            },
             samples: vec![
                 FleetSample {
                     t_s: 600,
@@ -174,6 +254,8 @@ mod tests {
                     migrations: 1,
                     wasted_cores: 4,
                     oracle_lb_nics: 1,
+                    parked: 2,
+                    down_nics: 1,
                 },
                 FleetSample {
                     t_s: 1_200,
@@ -183,6 +265,8 @@ mod tests {
                     migrations: 0,
                     wasted_cores: 16,
                     oracle_lb_nics: 1,
+                    parked: 0,
+                    down_nics: 0,
                 },
             ],
         }
@@ -203,6 +287,10 @@ mod tests {
         assert_eq!(j, r.clone().to_json(), "identical reports, identical JSON");
         assert!(j.contains("\"policy\": \"test\""));
         assert!(j.contains("\"violation_minutes\": 10.000"));
+        assert!(j.contains("\"faults\": 2"));
+        assert!(j.contains("\"guaranteed\": {"));
+        assert!(j.contains("\"bad_minutes\": 10.000"));
+        assert!(j.contains("\"parked\": 2"));
         assert_eq!(j.matches("\"t_s\"").count(), 2);
         // Balanced braces/brackets.
         assert_eq!(j.matches('{').count(), j.matches('}').count());

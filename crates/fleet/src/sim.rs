@@ -17,23 +17,59 @@
 //! destination hardware is its solo baseline there.
 
 use crate::policy::{Diagnoser, FleetPolicy};
-use crate::report::{FleetReport, FleetSample};
+use crate::report::{ClassStats, FleetReport, FleetSample};
 use crate::timeline::ProfiledTrace;
-use crate::trace::MS_PER_S;
+use crate::trace::{FaultKind, MS_PER_S};
 use yala_core::contender::{aggregate_counters, total_pressure};
 use yala_core::engine::{scenario_seed, simulator_for, Engine};
-use yala_core::{Observation, ObservationBuffer};
-use yala_diagnosis::select_victim;
+use yala_core::{Observation, ObservationBuffer, QosClass};
+use yala_diagnosis::{select_victim, select_victim_qos};
 use yala_placement::{Placed, PlacementPredictor};
 use yala_sim::{CoRunReport, NicModelId, ResourceKind, WorkloadSpec};
 
 /// Salt separating the audit seed stream from the timeline stream.
 const AUDIT_SALT: u64 = 0xAD17_0CA5;
 
-/// Event classes, in processing order at equal timestamps.
+/// Event classes, in processing order at equal timestamps. Faults fire
+/// after departures (a departing NF is gone before its NIC fails) and
+/// before arrivals (a NIC that recovered this millisecond can admit
+/// them); fault-free traces have no fault events, so their event order
+/// is exactly the pre-fault one.
 const CLASS_DEPARTURE: u8 = 0;
-const CLASS_ARRIVAL: u8 = 1;
-const CLASS_AUDIT: u8 = 2;
+const CLASS_FAULT: u8 = 1;
+const CLASS_ARRIVAL: u8 = 2;
+const CLASS_AUDIT: u8 = 3;
+
+/// Hysteresis margin for re-admitting a parked NF: the predictor must
+/// clear the SLA floor by this relative slack, so a readmitted NF does
+/// not immediately bounce back out on the next prediction wobble.
+const READMIT_MARGIN: f64 = 0.05;
+
+/// Cap on the parked-NF retry backoff, in audit epochs (delays double
+/// per failed attempt: 1, 2, 4, 8, 8, ...).
+const BACKOFF_CAP_EPOCHS: u64 = 8;
+
+/// Operational state of a NIC under the fault machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NicState {
+    /// In service: admits placements.
+    Up,
+    /// Maintenance announced: residents keep running until the deadline
+    /// but no new placements are admitted.
+    Draining,
+    /// Failed or offline for maintenance: empty, admits nothing.
+    Down,
+}
+
+/// A shed NF waiting to re-enter the fleet: retried at audit epochs
+/// with exponential backoff.
+struct Parked {
+    id: u32,
+    /// Earliest time a retry may run (audits at or after this qualify).
+    next_retry_ms: u64,
+    /// Current backoff, in audit epochs; doubles per failed retry.
+    backoff_epochs: u64,
+}
 
 /// Per-NIC hardware facts expanded from the portfolio: the model and
 /// core count of every NIC index, plus the portfolio position used to
@@ -82,14 +118,19 @@ pub fn run_fleet(
     let horizon_ms = cfg.duration_s * MS_PER_S;
     let period_ms = cfg.audit_period_s * MS_PER_S;
 
-    // The static event list: (time, class, index). Index is the NF id for
-    // departures/arrivals and the epoch number for audits.
-    let mut events: Vec<(u64, u8, u32)> = Vec::with_capacity(2 * records.len() + 64);
+    // The static event list: (time, class, index). Index is the NF id
+    // for departures/arrivals, the position in the fault schedule for
+    // faults, and the epoch number for audits.
+    let mut events: Vec<(u64, u8, u32)> =
+        Vec::with_capacity(2 * records.len() + profiled.trace.faults.len() + 64);
     for r in records {
         events.push((r.arrival_ms, CLASS_ARRIVAL, r.id));
         if r.departure_ms <= horizon_ms {
             events.push((r.departure_ms, CLASS_DEPARTURE, r.id));
         }
+    }
+    for (i, f) in profiled.trace.faults.iter().enumerate() {
+        events.push((f.t_ms, CLASS_FAULT, i as u32));
     }
     for epoch in 1..=cfg.epochs() {
         events.push((epoch * period_ms, CLASS_AUDIT, epoch as u32));
@@ -100,6 +141,8 @@ pub fn run_fleet(
     let mut residents: Vec<Vec<u32>> = vec![Vec::new(); nic_count];
     let mut location: Vec<Option<usize>> = vec![None; records.len()];
     let mut cursor: Vec<usize> = vec![0; records.len()];
+    let mut state: Vec<NicState> = vec![NicState::Up; nic_count];
+    let mut parked: Vec<Parked> = Vec::new();
     // Audit ground truth pending absorption (online-refining policies).
     let mut pending = ObservationBuffer::new();
 
@@ -113,9 +156,30 @@ pub fn run_fleet(
     let mut oracle_lb_nic_minutes = 0.0f64;
     let mut wasted_core_minutes = 0.0f64;
     let mut peak_nics = 0u32;
-    // The packing bound divides by the fleet's largest NIC: optimistic on
-    // a mixed portfolio, exact on a homogeneous one.
-    let lb_cores = nics_map.cores.iter().copied().max().unwrap_or(1);
+    let mut faults_total = 0u32;
+    let mut drains_total = 0u32;
+    // Per-class degradation accounting, indexed by `QosClass as usize`.
+    let mut violation_min = [0.0f64; 2];
+    let mut downtime_min = [0.0f64; 2];
+    let mut evacuations = [0u32; 2];
+    let mut shed = [0u32; 2];
+    let mut readmitted = [0u32; 2];
+    // Per-model packing-bound facts: each NF's capability mask over
+    // portfolio positions, and each model's core count.
+    let model_cores: Vec<u32> = cfg.portfolio.iter().map(|(s, _)| s.cores).collect();
+    let models: Vec<NicModelId> = cfg.portfolio.iter().map(|(s, _)| s.model()).collect();
+    let masks: Vec<u32> = profiled
+        .timelines
+        .iter()
+        .map(|tl| {
+            let first = &tl.snapshots[0].1;
+            models
+                .iter()
+                .enumerate()
+                .filter(|(_, &m)| first.supported_on(m))
+                .fold(0u32, |acc, (p, _)| acc | (1 << p))
+        })
+        .collect();
 
     for &(t_ms, class, index) in &events {
         match class {
@@ -124,21 +188,129 @@ pub fn run_fleet(
                 if let Some(nic) = location[id].take() {
                     residents[nic].retain(|&r| r != index);
                 }
+                parked.retain(|p| p.id != index);
+            }
+            CLASS_FAULT => {
+                let ev = profiled.trace.faults[index as usize];
+                match ev.kind {
+                    FaultKind::Fail => {
+                        faults_total += 1;
+                        state[ev.nic] = NicState::Down;
+                        let evicted = std::mem::take(&mut residents[ev.nic]);
+                        for &id in &evicted {
+                            location[id as usize] = None;
+                        }
+                        evacuate(
+                            profiled,
+                            &mut residents,
+                            &mut location,
+                            &cursor,
+                            &nics_map,
+                            &state,
+                            &mut policy,
+                            evicted,
+                            ev.nic,
+                            true,
+                            t_ms,
+                            &mut parked,
+                            &mut evacuations,
+                            &mut shed,
+                        );
+                    }
+                    FaultKind::DrainStart => {
+                        drains_total += 1;
+                        state[ev.nic] = NicState::Draining;
+                        let ids = residents[ev.nic].clone();
+                        evacuate(
+                            profiled,
+                            &mut residents,
+                            &mut location,
+                            &cursor,
+                            &nics_map,
+                            &state,
+                            &mut policy,
+                            ids,
+                            ev.nic,
+                            false,
+                            t_ms,
+                            &mut parked,
+                            &mut evacuations,
+                            &mut shed,
+                        );
+                    }
+                    FaultKind::DrainEnd => {
+                        state[ev.nic] = NicState::Down;
+                        let evicted = std::mem::take(&mut residents[ev.nic]);
+                        for &id in &evicted {
+                            location[id as usize] = None;
+                        }
+                        evacuate(
+                            profiled,
+                            &mut residents,
+                            &mut location,
+                            &cursor,
+                            &nics_map,
+                            &state,
+                            &mut policy,
+                            evicted,
+                            ev.nic,
+                            true,
+                            t_ms,
+                            &mut parked,
+                            &mut evacuations,
+                            &mut shed,
+                        );
+                    }
+                    FaultKind::Recover => {
+                        state[ev.nic] = NicState::Up;
+                    }
+                }
             }
             CLASS_ARRIVAL => {
                 let id = index as usize;
                 let nf = profiled.timelines[id].snapshots[0].1.clone();
-                let slot = match &mut policy {
-                    FleetPolicy::Monopolization => choose_empty(&residents, &nics_map, &nf, None),
-                    FleetPolicy::Greedy => {
-                        choose_greedy(profiled, &residents, &cursor, &nics_map, &nf, None)
-                            .or_else(|| choose_empty(&residents, &nics_map, &nf, None))
+                let slot = choose_slot(
+                    profiled,
+                    &residents,
+                    &cursor,
+                    &nics_map,
+                    &state,
+                    &mut policy,
+                    &nf,
+                    None,
+                    0.0,
+                )
+                .or_else(|| {
+                    // A guaranteed arrival that found no safe slot may,
+                    // under a QoS-aware policy, park best-effort
+                    // residents to make room. All-guaranteed fleets (the
+                    // default) never take this path.
+                    if let FleetPolicy::ContentionAware {
+                        predictor,
+                        qos_aware: true,
+                        ..
+                    } = &mut policy
+                    {
+                        if nf.qos().is_guaranteed() {
+                            return try_preempt_best_effort(
+                                profiled,
+                                &mut residents,
+                                &mut location,
+                                &cursor,
+                                &nics_map,
+                                &state,
+                                *predictor,
+                                &nf,
+                                None,
+                                0.0,
+                                t_ms,
+                                &mut parked,
+                                &mut shed,
+                            );
+                        }
                     }
-                    FleetPolicy::ContentionAware { predictor, .. } => choose_contention_aware(
-                        profiled, &residents, &cursor, &nics_map, *predictor, &nf, None,
-                    )
-                    .or_else(|| choose_empty(&residents, &nics_map, &nf, None)),
-                };
+                    None
+                });
                 match slot {
                     Some(nic) => {
                         debug_assert!(nf.supported_on(nics_map.model[nic]));
@@ -183,6 +355,7 @@ pub fn run_fleet(
                         if outcome.throughput_pps < snapshot(profiled, &cursor, id).sla_floor(model)
                         {
                             violating += 1;
+                            violation_min[records[id as usize].qos as usize] += period_min;
                         }
                     }
                 }
@@ -198,6 +371,7 @@ pub fn run_fleet(
                     predictor,
                     diagnoser,
                     online: Some(online),
+                    ..
                 } = &mut policy
                 {
                     harvest_observations(
@@ -221,35 +395,135 @@ pub fn run_fleet(
                 if let FleetPolicy::ContentionAware {
                     predictor,
                     diagnoser,
+                    qos_aware,
                     ..
                 } = &mut policy
                 {
+                    let aware = *qos_aware;
                     epoch_migrations = migrate(
                         profiled,
                         &mut residents,
                         &mut location,
                         &cursor,
                         &nics_map,
+                        &state,
                         *predictor,
                         diagnoser,
+                        aware,
                         cfg.max_migrations_per_audit,
                     );
                     migrations_total += epoch_migrations;
                 }
+                // 4b. Readmission: parked NFs whose backoff expired
+                // retry admission — guaranteed first under a QoS-aware
+                // policy — against a hysteresis margin
+                // (`READMIT_MARGIN`), so a readmitted NF must clear its
+                // floor with slack rather than re-enter marginally and
+                // bounce on the next audit. Failed retries double their
+                // backoff (capped at `BACKOFF_CAP_EPOCHS`).
+                if !parked.is_empty() {
+                    let aware = matches!(
+                        &policy,
+                        FleetPolicy::ContentionAware {
+                            qos_aware: true,
+                            ..
+                        }
+                    );
+                    let mut order: Vec<usize> = (0..parked.len()).collect();
+                    order.sort_by_key(|&k| {
+                        let q = records[parked[k].id as usize].qos as u8;
+                        (if aware { q } else { 0 }, parked[k].id)
+                    });
+                    let mut admitted: Vec<u32> = Vec::new();
+                    for k in order {
+                        if parked[k].next_retry_ms > t_ms {
+                            continue;
+                        }
+                        let id = parked[k].id;
+                        cursor[id as usize] = profiled.timelines[id as usize].index_at(t_ms);
+                        let nf = snapshot(profiled, &cursor, id).clone();
+                        let slot = choose_slot(
+                            profiled,
+                            &residents,
+                            &cursor,
+                            &nics_map,
+                            &state,
+                            &mut policy,
+                            &nf,
+                            None,
+                            READMIT_MARGIN,
+                        )
+                        .or_else(|| {
+                            // A parked guaranteed NF re-enters by
+                            // preempting best-effort residents, exactly
+                            // as during evacuation — otherwise one bad
+                            // epoch parks it behind a full fleet for
+                            // the whole backoff ladder.
+                            if let FleetPolicy::ContentionAware {
+                                predictor,
+                                qos_aware: true,
+                                ..
+                            } = &mut policy
+                            {
+                                if nf.qos().is_guaranteed() {
+                                    return try_preempt_best_effort(
+                                        profiled,
+                                        &mut residents,
+                                        &mut location,
+                                        &cursor,
+                                        &nics_map,
+                                        &state,
+                                        *predictor,
+                                        &nf,
+                                        None,
+                                        READMIT_MARGIN,
+                                        t_ms,
+                                        &mut parked,
+                                        &mut shed,
+                                    );
+                                }
+                            }
+                            None
+                        });
+                        match slot {
+                            Some(nic) => {
+                                residents[nic].push(id);
+                                location[id as usize] = Some(nic);
+                                readmitted[nf.qos() as usize] += 1;
+                                admitted.push(id);
+                            }
+                            None => {
+                                let p = &mut parked[k];
+                                p.next_retry_ms = t_ms + p.backoff_epochs * period_ms;
+                                p.backoff_epochs = (p.backoff_epochs * 2).min(BACKOFF_CAP_EPOCHS);
+                            }
+                        }
+                    }
+                    parked.retain(|p| !admitted.contains(&p.id));
+                }
                 // 5. Observe.
                 let active: u32 = residents.iter().map(|r| r.len() as u32).sum();
                 let nics_in_use = residents.iter().filter(|r| !r.is_empty()).count() as u32;
-                let mut used_cores = 0u32;
                 let mut wasted_cores = 0u32;
+                let mut cores_by_mask = vec![0u32; 1 << model_cores.len()];
                 for (nic, res) in residents.iter().enumerate() {
                     if res.is_empty() {
                         continue;
                     }
-                    let used = cores_used(profiled, &cursor, res);
-                    used_cores += used;
+                    let mut used = 0u32;
+                    for &id in res {
+                        let c = snapshot(profiled, &cursor, id).workload.cores;
+                        used += c;
+                        cores_by_mask[masks[id as usize] as usize] += c;
+                    }
                     wasted_cores += nics_map.cores[nic] - used;
                 }
-                let oracle_lb_nics = used_cores.div_ceil(lb_cores);
+                let oracle_lb_nics = oracle_packing_bound(&cores_by_mask, &model_cores);
+                // Parked NFs are alive but unserved: every parked epoch
+                // is a downtime period for its class.
+                for p in &parked {
+                    downtime_min[records[p.id as usize].qos as usize] += period_min;
+                }
                 peak_nics = peak_nics.max(nics_in_use);
                 violation_minutes += violating as f64 * period_min;
                 nic_minutes += nics_in_use as f64 * period_min;
@@ -263,12 +537,21 @@ pub fn run_fleet(
                     migrations: epoch_migrations,
                     wasted_cores,
                     oracle_lb_nics,
+                    parked: parked.len() as u32,
+                    down_nics: state.iter().filter(|&&s| s == NicState::Down).count() as u32,
                 });
             }
             _ => unreachable!("unknown event class"),
         }
     }
 
+    let class_stats = |c: QosClass| ClassStats {
+        violation_minutes: violation_min[c as usize],
+        downtime_minutes: downtime_min[c as usize],
+        evacuations: evacuations[c as usize],
+        shed: shed[c as usize],
+        readmitted: readmitted[c as usize],
+    };
     FleetReport {
         policy: label.to_string(),
         seed: cfg.seed,
@@ -284,8 +567,261 @@ pub fn run_fleet(
         oracle_lb_nic_minutes,
         wasted_core_minutes,
         peak_nics,
+        faults: faults_total,
+        drains: drains_total,
+        guaranteed: class_stats(QosClass::Guaranteed),
+        best_effort: class_stats(QosClass::BestEffort),
         samples,
     }
+}
+
+/// Bin-packing lower bound on NICs for the active set, aware of
+/// per-model capabilities: for every non-empty subset `S` of portfolio
+/// models, the NFs feasible *only* within `S` need at least
+/// `ceil(their cores / largest core count in S)` NICs — no packer can
+/// route them elsewhere or onto a bigger NIC than `S` offers. The bound
+/// is the max over subsets. On a homogeneous portfolio the single
+/// subset reduces to the classic `ceil(total cores / NIC cores)`; on a
+/// mixed portfolio the full-set subset reproduces the old
+/// divide-by-largest bound, so the result is never looser.
+fn oracle_packing_bound(cores_by_mask: &[u32], model_cores: &[u32]) -> u32 {
+    let m = model_cores.len();
+    let mut best = 0u32;
+    for s in 1u32..(1u32 << m) {
+        let cores: u32 = cores_by_mask
+            .iter()
+            .enumerate()
+            .filter(|&(mask, _)| mask as u32 & !s == 0)
+            .map(|(_, &c)| c)
+            .sum();
+        if cores == 0 {
+            continue;
+        }
+        let cap = (0..m)
+            .filter(|&p| s & (1 << p) != 0)
+            .map(|p| model_cores[p])
+            .max()
+            .unwrap_or(1);
+        best = best.max(cores.div_ceil(cap));
+    }
+    best
+}
+
+/// The policy's placement rule as one function: the NIC the policy
+/// would place `nf` on right now, or `None` if nothing feasible is
+/// admitted. `margin` is the relative SLA slack a contention-aware
+/// prediction must clear (0.0 for normal placements, `READMIT_MARGIN`
+/// for parked readmissions). Only `Up` NICs are considered.
+#[allow(clippy::too_many_arguments)]
+fn choose_slot(
+    profiled: &ProfiledTrace,
+    residents: &[Vec<u32>],
+    cursor: &[usize],
+    nics_map: &NicMap,
+    state: &[NicState],
+    policy: &mut FleetPolicy<'_>,
+    nf: &Placed,
+    exclude: Option<usize>,
+    margin: f64,
+) -> Option<usize> {
+    match policy {
+        FleetPolicy::Monopolization => choose_empty(residents, nics_map, state, nf, exclude),
+        FleetPolicy::Greedy => {
+            choose_greedy(profiled, residents, cursor, nics_map, state, nf, exclude)
+                .or_else(|| choose_empty(residents, nics_map, state, nf, exclude))
+        }
+        FleetPolicy::ContentionAware { predictor, .. } => choose_contention_aware(
+            profiled, residents, cursor, nics_map, state, *predictor, nf, exclude, margin,
+        )
+        .or_else(|| choose_empty(residents, nics_map, state, nf, exclude)),
+    }
+}
+
+/// Re-places NFs displaced by a fault on NIC `src`. `forced` means the
+/// ids were already evicted (hard failure or drain deadline): an NF
+/// that finds no slot — and, for a QoS-aware policy, no best-effort
+/// residents a guaranteed NF could preempt — is parked. Graceful mode
+/// (`!forced`, drain notice) moves what it can and leaves the rest
+/// resident until the deadline. A QoS-aware policy evacuates guaranteed
+/// NFs first, spending the scarce re-placement slots on the protected
+/// class.
+#[allow(clippy::too_many_arguments)]
+fn evacuate(
+    profiled: &ProfiledTrace,
+    residents: &mut [Vec<u32>],
+    location: &mut [Option<usize>],
+    cursor: &[usize],
+    nics_map: &NicMap,
+    state: &[NicState],
+    policy: &mut FleetPolicy<'_>,
+    ids: Vec<u32>,
+    src: usize,
+    forced: bool,
+    t_ms: u64,
+    parked: &mut Vec<Parked>,
+    evacuations: &mut [u32; 2],
+    shed: &mut [u32; 2],
+) {
+    let qos_aware = matches!(
+        policy,
+        FleetPolicy::ContentionAware {
+            qos_aware: true,
+            ..
+        }
+    );
+    let mut order = ids;
+    if qos_aware {
+        // Stable sort: guaranteed first, original resident order within
+        // each class.
+        order.sort_by_key(|&id| snapshot(profiled, cursor, id).qos());
+    }
+    for id in order {
+        let nf = snapshot(profiled, cursor, id).clone();
+        let c = nf.qos() as usize;
+        let slot = choose_slot(
+            profiled,
+            residents,
+            cursor,
+            nics_map,
+            state,
+            policy,
+            &nf,
+            Some(src),
+            0.0,
+        )
+        .or_else(|| {
+            if let FleetPolicy::ContentionAware {
+                predictor,
+                qos_aware: true,
+                ..
+            } = policy
+            {
+                if nf.qos().is_guaranteed() {
+                    return try_preempt_best_effort(
+                        profiled,
+                        residents,
+                        location,
+                        cursor,
+                        nics_map,
+                        state,
+                        *predictor,
+                        &nf,
+                        Some(src),
+                        0.0,
+                        t_ms,
+                        parked,
+                        shed,
+                    );
+                }
+            }
+            None
+        });
+        match slot {
+            Some(dst) => {
+                if !forced {
+                    residents[src].retain(|&r| r != id);
+                }
+                residents[dst].push(id);
+                location[id as usize] = Some(dst);
+                evacuations[c] += 1;
+            }
+            None if forced => {
+                location[id as usize] = None;
+                parked.push(Parked {
+                    id,
+                    next_retry_ms: t_ms,
+                    backoff_epochs: 1,
+                });
+                shed[c] += 1;
+            }
+            // Graceful: the NF stays resident until the drain deadline;
+            // later audits (or the deadline itself) will retry.
+            None => {}
+        }
+    }
+}
+
+/// Makes room for a guaranteed NF by parking best-effort residents:
+/// scans `Up` NICs supporting `nf`, and on each tries parking
+/// best-effort residents (latest-placed first) until the remaining set
+/// plus `nf` fits and is predicted SLA-safe. Commits on the first NIC
+/// that works and returns it; guaranteed residents are never touched.
+#[allow(clippy::too_many_arguments)]
+fn try_preempt_best_effort(
+    profiled: &ProfiledTrace,
+    residents: &mut [Vec<u32>],
+    location: &mut [Option<usize>],
+    cursor: &[usize],
+    nics_map: &NicMap,
+    state: &[NicState],
+    predictor: &mut dyn PlacementPredictor,
+    nf: &Placed,
+    exclude: Option<usize>,
+    margin: f64,
+    t_ms: u64,
+    parked: &mut Vec<Parked>,
+    shed: &mut [u32; 2],
+) -> Option<usize> {
+    for i in 0..residents.len() {
+        if Some(i) == exclude || state[i] != NicState::Up || !nf.supported_on(nics_map.model[i]) {
+            continue;
+        }
+        let nic: Vec<u32> = residents[i].clone();
+        let be: Vec<u32> = nic
+            .iter()
+            .copied()
+            .filter(|&id| !snapshot(profiled, cursor, id).qos().is_guaranteed())
+            .collect();
+        if be.is_empty() {
+            continue;
+        }
+        // Even parking every best-effort resident must free the cores.
+        let be_cores: u32 = be
+            .iter()
+            .map(|&id| snapshot(profiled, cursor, id).workload.cores)
+            .sum();
+        if cores_used(profiled, cursor, &nic) - be_cores + nf.workload.cores > nics_map.cores[i] {
+            continue;
+        }
+        let model = nics_map.model[i];
+        let mut parked_here: Vec<u32> = Vec::new();
+        let mut found = false;
+        for &id in be.iter().rev() {
+            parked_here.push(id);
+            let mut candidate: Vec<Placed> = nic
+                .iter()
+                .filter(|r| !parked_here.contains(r))
+                .map(|&r| snapshot(profiled, cursor, r).clone())
+                .collect();
+            candidate.push(nf.clone());
+            let cores: u32 = candidate.iter().map(|p| p.workload.cores).sum();
+            if cores > nics_map.cores[i] {
+                continue;
+            }
+            if (0..candidate.len()).all(|t| {
+                predictor.predict(model, t, &candidate)
+                    >= candidate[t].sla_floor(model) * (1.0 + margin)
+            }) {
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            continue;
+        }
+        for id in parked_here {
+            residents[i].retain(|&r| r != id);
+            location[id as usize] = None;
+            parked.push(Parked {
+                id,
+                next_retry_ms: t_ms,
+                backoff_epochs: 1,
+            });
+            shed[QosClass::BestEffort as usize] += 1;
+        }
+        return Some(i);
+    }
+    None
 }
 
 /// The profile snapshot currently in force for NF `id`.
@@ -353,35 +889,45 @@ fn cores_used(profiled: &ProfiledTrace, cursor: &[usize], nic: &[u32]) -> u32 {
         .sum()
 }
 
-/// First empty NIC (lowest index) whose model supports `nf`, skipping
-/// `exclude`.
+/// First empty `Up` NIC (lowest index) whose model supports `nf`,
+/// skipping `exclude`.
 fn choose_empty(
     residents: &[Vec<u32>],
     nics_map: &NicMap,
+    state: &[NicState],
     nf: &Placed,
     exclude: Option<usize>,
 ) -> Option<usize> {
     residents
         .iter()
         .enumerate()
-        .filter(|(i, _)| Some(*i) != exclude && nf.supported_on(nics_map.model[*i]))
+        .filter(|(i, _)| {
+            Some(*i) != exclude && state[*i] == NicState::Up && nf.supported_on(nics_map.model[*i])
+        })
         .find(|(_, r)| r.is_empty())
         .map(|(i, _)| i)
 }
 
-/// Greedy: the occupied NIC with the most available cores among those
-/// where `nf` fits and is feasible (ties break to the lowest index).
+/// Greedy: the occupied `Up` NIC with the most available cores among
+/// those where `nf` fits and is feasible (ties break to the lowest
+/// index).
+#[allow(clippy::too_many_arguments)]
 fn choose_greedy(
     profiled: &ProfiledTrace,
     residents: &[Vec<u32>],
     cursor: &[usize],
     nics_map: &NicMap,
+    state: &[NicState],
     nf: &Placed,
     exclude: Option<usize>,
 ) -> Option<usize> {
     let mut best: Option<(usize, u32)> = None;
     for (i, nic) in residents.iter().enumerate() {
-        if Some(i) == exclude || nic.is_empty() || !nf.supported_on(nics_map.model[i]) {
+        if Some(i) == exclude
+            || state[i] != NicState::Up
+            || nic.is_empty()
+            || !nf.supported_on(nics_map.model[i])
+        {
             continue;
         }
         let used = cores_used(profiled, cursor, nic);
@@ -396,22 +942,29 @@ fn choose_greedy(
     best.map(|(i, _)| i)
 }
 
-/// Contention-aware: the first occupied NIC where `nf` is feasible,
-/// fits, and the predictor — consulted for that NIC's hardware model —
-/// foresees no SLA violation for anyone (the candidate NIC including
-/// `nf`).
+/// Contention-aware: the first occupied `Up` NIC where `nf` is
+/// feasible, fits, and the predictor — consulted for that NIC's
+/// hardware model — foresees no SLA violation for anyone (the candidate
+/// NIC including `nf`), each floor raised by the relative `margin`
+/// (0.0 for normal placements; readmissions demand hysteresis slack).
 #[allow(clippy::too_many_arguments)]
 fn choose_contention_aware(
     profiled: &ProfiledTrace,
     residents: &[Vec<u32>],
     cursor: &[usize],
     nics_map: &NicMap,
+    state: &[NicState],
     predictor: &mut dyn PlacementPredictor,
     nf: &Placed,
     exclude: Option<usize>,
+    margin: f64,
 ) -> Option<usize> {
     for (i, nic) in residents.iter().enumerate() {
-        if Some(i) == exclude || nic.is_empty() || !nf.supported_on(nics_map.model[i]) {
+        if Some(i) == exclude
+            || state[i] != NicState::Up
+            || nic.is_empty()
+            || !nf.supported_on(nics_map.model[i])
+        {
             continue;
         }
         if cores_used(profiled, cursor, nic) + nf.workload.cores > nics_map.cores[i] {
@@ -423,8 +976,10 @@ fn choose_contention_aware(
             .map(|&id| snapshot(profiled, cursor, id).clone())
             .collect();
         candidate.push(nf.clone());
-        let safe = (0..candidate.len())
-            .all(|t| predictor.predict(model, t, &candidate) >= candidate[t].sla_floor(model));
+        let safe = (0..candidate.len()).all(|t| {
+            predictor.predict(model, t, &candidate)
+                >= candidate[t].sla_floor(model) * (1.0 + margin)
+        });
         if safe {
             return Some(i);
         }
@@ -447,8 +1002,10 @@ fn migrate(
     location: &mut [Option<usize>],
     cursor: &[usize],
     nics_map: &NicMap,
+    state: &[NicState],
     predictor: &mut dyn PlacementPredictor,
     diagnoser: &Diagnoser<'_>,
+    qos_aware: bool,
     budget: usize,
 ) -> u32 {
     let mut moved = 0u32;
@@ -468,11 +1025,19 @@ fn migrate(
             continue;
         };
         // Diagnose the violator's bottleneck and pick the co-resident
-        // pressing hardest on it.
+        // pressing hardest on it — under a QoS-aware policy, only from
+        // the lowest-precedence class present (a guaranteed NF is never
+        // drained while a best-effort co-resident remains).
         let co = diagnoser.contenders(model, &placed, violator);
         let bottleneck = diagnoser.bottleneck(model, &placed, violator, &co);
         let co_positions: Vec<usize> = (0..placed.len()).filter(|&i| i != violator).collect();
-        let victim_pos = co_positions[select_victim(bottleneck, &co).expect("≥1 co-resident")];
+        let selected = if qos_aware {
+            let classes: Vec<QosClass> = co_positions.iter().map(|&i| placed[i].qos()).collect();
+            select_victim_qos(bottleneck, &co, &classes)
+        } else {
+            select_victim(bottleneck, &co)
+        };
+        let victim_pos = co_positions[selected.expect("≥1 co-resident")];
         let victim_id = residents[nic][victim_pos];
         let victim = placed[victim_pos].clone();
         // Drain-and-replace: a safe occupied NIC first, else power on an
@@ -482,11 +1047,13 @@ fn migrate(
             residents,
             cursor,
             nics_map,
+            state,
             predictor,
             &victim,
             Some(nic),
+            0.0,
         )
-        .or_else(|| choose_empty(residents, nics_map, &victim, Some(nic)));
+        .or_else(|| choose_empty(residents, nics_map, state, &victim, Some(nic)));
         if let Some(dst) = dst {
             residents[nic].remove(victim_pos);
             residents[dst].push(victim_id);
@@ -500,7 +1067,7 @@ fn migrate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trace::{FleetConfig, FleetTrace, NfRecord};
+    use crate::trace::{FaultEvent, FleetConfig, FleetTrace, NfRecord};
     use yala_nf::NfKind;
     use yala_placement::OraclePredictor;
     use yala_traffic::TrafficProfile;
@@ -528,10 +1095,11 @@ mod tests {
                 start: heavy,
                 end: heavy,
                 sla_drop: 0.01,
+                qos: QosClass::Guaranteed,
             })
             .collect();
         let profiled = crate::timeline::ProfiledTrace::build(
-            FleetTrace::from_records(cfg, records),
+            FleetTrace::from_records(cfg, records).expect("valid records"),
             &Engine::sequential(),
         );
         let cfg = &profiled.trace.config;
@@ -541,6 +1109,7 @@ mod tests {
         let mut residents: Vec<Vec<u32>> = vec![vec![0, 1], Vec::new()];
         let mut location: Vec<Option<usize>> = vec![Some(0), Some(0)];
         let cursor = vec![0usize, 0];
+        let state = vec![NicState::Up; 2];
         let mut oracle = OraclePredictor::for_models(&cfg.specs());
         let moved = migrate(
             &profiled,
@@ -548,8 +1117,10 @@ mod tests {
             &mut location,
             &cursor,
             &nics_map,
+            &state,
             &mut oracle,
             &Diagnoser::MemoryOnly,
+            false,
             8,
         );
         assert_eq!(moved, 1, "the predicted violation must drain a victim");
@@ -565,5 +1136,227 @@ mod tests {
             snap.solo(nics_map.model[0]).solo_tput,
             snap.solo(nics_map.model[1]).solo_tput
         );
+    }
+
+    /// A record alive well past any test horizon.
+    fn rec(id: u32, qos: QosClass, traffic: TrafficProfile, sla: f64) -> NfRecord {
+        NfRecord {
+            id,
+            kind: NfKind::FlowStats,
+            arrival_ms: 0,
+            departure_ms: 10_000_000,
+            start: traffic,
+            end: traffic,
+            sla_drop: sla,
+            qos,
+        }
+    }
+
+    /// Builds a profiled trace with a hand-written fault schedule (the
+    /// generated schedule is random; unit tests pin exact incidents).
+    fn profiled_with_faults(
+        cfg: FleetConfig,
+        records: Vec<NfRecord>,
+        faults: Vec<FaultEvent>,
+    ) -> ProfiledTrace {
+        let mut trace = FleetTrace::from_records(cfg, records).expect("valid records");
+        trace.faults = faults;
+        ProfiledTrace::build(trace, &Engine::sequential())
+    }
+
+    fn two_nic_cfg() -> FleetConfig {
+        use yala_sim::NicSpec;
+        let mut cfg = FleetConfig::small(1);
+        cfg.portfolio = vec![(NicSpec::bluefield2(), 2)];
+        cfg.duration_s = 1_200;
+        cfg.audit_period_s = 600;
+        cfg.kinds = vec![NfKind::FlowStats];
+        cfg.noise_sigma = 0.0;
+        cfg.drift = false;
+        cfg
+    }
+
+    #[test]
+    fn failure_evicts_and_relocates_residents() {
+        let light = TrafficProfile::new(8_000, 512, 0.0);
+        let p = profiled_with_faults(
+            two_nic_cfg(),
+            vec![rec(0, QosClass::Guaranteed, light, 0.10)],
+            vec![FaultEvent {
+                t_ms: 100_000,
+                nic: 0,
+                kind: FaultKind::Fail,
+            }],
+        );
+        let r = run_fleet(&p, FleetPolicy::Greedy, "greedy", &Engine::sequential());
+        assert_eq!(r.faults, 1);
+        assert_eq!(r.drains, 0);
+        assert_eq!(r.guaranteed.evacuations, 1, "the NF fled to the spare NIC");
+        assert_eq!(r.guaranteed.shed, 0);
+        assert_eq!(r.rejected, 0);
+        assert_eq!(r.violation_minutes, 0.0, "solo NFs cannot violate");
+        for s in &r.samples {
+            assert_eq!(s.parked, 0);
+            assert_eq!(s.down_nics, 1, "the failed NIC never recovers");
+        }
+    }
+
+    #[test]
+    fn drain_moves_residents_before_the_deadline() {
+        let light = TrafficProfile::new(8_000, 512, 0.0);
+        let p = profiled_with_faults(
+            two_nic_cfg(),
+            vec![
+                rec(0, QosClass::Guaranteed, light, 0.10),
+                rec(1, QosClass::Guaranteed, light, 0.10),
+            ],
+            vec![
+                FaultEvent {
+                    t_ms: 100_000,
+                    nic: 0,
+                    kind: FaultKind::DrainStart,
+                },
+                FaultEvent {
+                    t_ms: 700_000,
+                    nic: 0,
+                    kind: FaultKind::DrainEnd,
+                },
+            ],
+        );
+        let r = run_fleet(&p, FleetPolicy::Greedy, "greedy", &Engine::sequential());
+        assert_eq!(r.drains, 1);
+        assert_eq!(r.faults, 0);
+        assert_eq!(
+            r.guaranteed.evacuations, 2,
+            "the notice window evacuated both residents gracefully"
+        );
+        assert_eq!(
+            r.guaranteed.shed, 0,
+            "nobody was still aboard at the deadline"
+        );
+    }
+
+    #[test]
+    fn failed_fleet_parks_then_readmits_with_backoff() {
+        use yala_sim::NicSpec;
+        let mut cfg = two_nic_cfg();
+        cfg.portfolio = vec![(NicSpec::bluefield2(), 1)];
+        cfg.duration_s = 2_400;
+        let light = TrafficProfile::new(8_000, 512, 0.0);
+        let p = profiled_with_faults(
+            cfg,
+            vec![rec(0, QosClass::Guaranteed, light, 0.10)],
+            vec![
+                FaultEvent {
+                    t_ms: 650_000,
+                    nic: 0,
+                    kind: FaultKind::Fail,
+                },
+                FaultEvent {
+                    t_ms: 1_300_000,
+                    nic: 0,
+                    kind: FaultKind::Recover,
+                },
+            ],
+        );
+        let r = run_fleet(&p, FleetPolicy::Greedy, "greedy", &Engine::sequential());
+        assert_eq!(r.faults, 1);
+        assert_eq!(r.guaranteed.shed, 1, "a one-NIC fleet has nowhere to flee");
+        // The epoch-1200 retry finds the NIC still down and backs off to
+        // epoch 1800, which lands after the recovery and readmits.
+        assert_eq!(r.guaranteed.readmitted, 1);
+        assert_eq!(
+            r.guaranteed.downtime_minutes, 10.0,
+            "parked across exactly one audit period"
+        );
+        let at = |t: u64| r.samples.iter().find(|s| s.t_s == t).expect("sample");
+        assert_eq!(at(1_200).parked, 1);
+        assert_eq!(at(1_200).down_nics, 1);
+        assert_eq!(at(1_800).parked, 0);
+        assert_eq!(at(1_800).down_nics, 0);
+    }
+
+    #[test]
+    fn qos_aware_evacuation_preempts_best_effort_never_guaranteed() {
+        let heavy = TrafficProfile::new(200_000, 1_500, 0.0);
+        // One heavy best-effort NF and one heavy tight-SLA guaranteed
+        // NF: the oracle forbids co-residence, so they occupy one NIC
+        // each; then the guaranteed NF's NIC fails.
+        let build = || {
+            profiled_with_faults(
+                two_nic_cfg(),
+                vec![
+                    rec(0, QosClass::BestEffort, heavy, 0.10),
+                    rec(1, QosClass::Guaranteed, heavy, 0.01),
+                ],
+                vec![FaultEvent {
+                    t_ms: 100_000,
+                    nic: 1,
+                    kind: FaultKind::Fail,
+                }],
+            )
+        };
+        let p = build();
+        let specs = p.trace.config.specs();
+        let mut oracle = OraclePredictor::for_models(&specs);
+        let aware = run_fleet(
+            &p,
+            FleetPolicy::ContentionAware {
+                predictor: &mut oracle,
+                diagnoser: Diagnoser::MemoryOnly,
+                online: None,
+                qos_aware: true,
+            },
+            "qos",
+            &Engine::sequential(),
+        );
+        assert_eq!(
+            aware.guaranteed.shed, 0,
+            "the guaranteed NF preempted the best-effort resident instead of parking"
+        );
+        assert_eq!(aware.guaranteed.evacuations, 1);
+        assert_eq!(aware.best_effort.shed, 1);
+        assert!(aware.best_effort.downtime_minutes > 0.0);
+        // The blind policy treats both classes alike: with no safe slot
+        // and no preemption, the guaranteed NF itself is shed.
+        let p = build();
+        let mut oracle = OraclePredictor::for_models(&specs);
+        let blind = run_fleet(
+            &p,
+            FleetPolicy::ContentionAware {
+                predictor: &mut oracle,
+                diagnoser: Diagnoser::MemoryOnly,
+                online: None,
+                qos_aware: false,
+            },
+            "blind",
+            &Engine::sequential(),
+        );
+        assert_eq!(blind.guaranteed.shed, 1);
+        assert_eq!(blind.best_effort.shed, 0);
+        assert!(
+            blind.guaranteed.bad_minutes() > aware.guaranteed.bad_minutes(),
+            "QoS-aware degradation must protect the guaranteed class"
+        );
+    }
+
+    #[test]
+    fn packing_bound_is_capability_aware() {
+        // Homogeneous: the single subset is the classic bound.
+        assert_eq!(oracle_packing_bound(&[0, 21], &[7]), 3);
+        assert_eq!(oracle_packing_bound(&[0, 22], &[7]), 4);
+        // Mixed portfolio, 8-core model 0 and 4-core model 1: 17 cores
+        // of NFs that run only on model 1 need ceil(17/4) = 5 NICs —
+        // the old divide-by-largest bound would claim
+        // ceil((17 + 2)/8) = 3. The anywhere-feasible 2 cores cannot
+        // relax the restricted subset.
+        // Masks index the subsets: 0b01 = model 0 only, 0b10 = model 1
+        // only, 0b11 = either.
+        assert_eq!(oracle_packing_bound(&[0, 0, 17, 2], &[8, 4]), 5);
+        // Same shape but the restricted NFs are light: the full-set
+        // subset dominates, reproducing the old bound.
+        assert_eq!(oracle_packing_bound(&[0, 0, 2, 20], &[8, 4]), 3);
+        // Empty fleet.
+        assert_eq!(oracle_packing_bound(&[0, 0, 0, 0], &[8, 4]), 0);
     }
 }

@@ -192,6 +192,7 @@ impl ProfiledTrace {
                 kind: rec.kind,
                 traffic: rec.traffic_at(rec.arrival_ms),
                 sla_drop: rec.sla_drop,
+                qos: rec.qos,
             };
             let first = placed_from_entry(&measure(arrival.traffic), arrival, None);
             let name = first.workload.name.clone();
@@ -297,6 +298,7 @@ impl ProfiledTrace {
                 kind: rec.kind,
                 traffic: last_rep,
                 sla_drop: rec.sla_drop,
+                qos: rec.qos,
             };
             let first =
                 placed_from_entry(&measure(keyed(last_key), last_rep), arrival, Some(&name));

@@ -7,6 +7,7 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use yala_core::QosClass;
 use yala_nf::NfKind;
 use yala_sim::NicSpec;
 use yala_traffic::{TrafficProfile, TrafficQuantizer};
@@ -18,6 +19,16 @@ pub const MS_PER_S: u64 = 1_000;
 /// Salt decorrelating the template table's stream from the per-record
 /// generation stream.
 const TEMPLATE_SALT: u64 = 0x7E3A_917E;
+
+/// Salt decorrelating the per-record QoS-class stream from the arrival
+/// stream, so turning tiers on (or changing the guaranteed fraction)
+/// never perturbs arrival times, lifetimes, kinds, or traffic draws.
+const QOS_SALT: u64 = 0x9057_1E25;
+
+/// Salt decorrelating the fault schedule from every other stream: a
+/// fault-free config generates byte-identical records to the pre-fault
+/// trace generator.
+const FAULT_SALT: u64 = 0xFA17_5EED;
 
 /// How per-NF traffic profiles are drawn at trace generation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,6 +49,111 @@ pub enum TrafficModel {
         /// Per-attribute relative jitter half-width.
         jitter: f64,
     },
+}
+
+/// What happened to a NIC, as scheduled by the fault plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Hard failure: the NIC drops out instantly, every resident NF is
+    /// evicted with no notice.
+    Fail,
+    /// The NIC returns to service (after a failure's repair time or a
+    /// drain's offline window), empty.
+    Recover,
+    /// A maintenance drain is announced: the NIC stops admitting NFs and
+    /// the orchestrator has the notice window to evacuate residents
+    /// gracefully.
+    DrainStart,
+    /// The drain notice expires: any NF still resident is force-evicted
+    /// and the NIC goes offline for maintenance.
+    DrainEnd,
+}
+
+impl FaultKind {
+    /// Same-millisecond processing rank: capacity-returning events fire
+    /// before capacity-removing ones, so an evacuation triggered at time
+    /// `t` can use a NIC that recovered at `t`.
+    pub fn rank(self) -> u8 {
+        match self {
+            FaultKind::Recover => 0,
+            FaultKind::DrainEnd => 1,
+            FaultKind::DrainStart => 2,
+            FaultKind::Fail => 3,
+        }
+    }
+
+    /// Stable lowercase name (used in logs and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Fail => "fail",
+            FaultKind::Recover => "recover",
+            FaultKind::DrainStart => "drain_start",
+            FaultKind::DrainEnd => "drain_end",
+        }
+    }
+}
+
+/// One scheduled fault event. The whole schedule is a pure function of
+/// the config (seed, portfolio, plan), generated up front like the NF
+/// records, so fault-injected runs stay bit-identical across runs and
+/// engine thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the event fires, milliseconds.
+    pub t_ms: u64,
+    /// Which NIC (fleet index).
+    pub nic: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// The fault-injection plan: how often NICs fail, how long repairs
+/// take, and how many maintenance drains the horizon sees.
+/// [`FaultPlan::none`] (the default) schedules nothing, leaving every
+/// pre-fault trace byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Per-NIC mean time between hard failures, seconds. `0.0` disables
+    /// failures.
+    pub mtbf_s: f64,
+    /// Mean repair time after a hard failure, seconds (exponential,
+    /// floored at one minute).
+    pub mean_repair_s: f64,
+    /// Number of maintenance drains to attempt over the horizon (drains
+    /// that would overlap another incident on the same NIC are skipped
+    /// deterministically).
+    pub drains: u32,
+    /// Advance notice between a drain's announcement and its deadline —
+    /// the graceful-evacuation window, seconds.
+    pub drain_notice_s: u64,
+    /// How long a drained NIC stays offline for maintenance after the
+    /// deadline, seconds.
+    pub drain_offline_s: u64,
+}
+
+impl FaultPlan {
+    /// No failures, no drains: the fault-free plan every existing
+    /// scenario uses.
+    pub fn none() -> Self {
+        Self {
+            mtbf_s: 0.0,
+            mean_repair_s: 0.0,
+            drains: 0,
+            drain_notice_s: 0,
+            drain_offline_s: 0,
+        }
+    }
+
+    /// Whether the plan can schedule any event at all.
+    pub fn is_none(&self) -> bool {
+        self.mtbf_s <= 0.0 && self.drains == 0
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
 }
 
 /// Parameters of one fleet scenario.
@@ -79,6 +195,13 @@ pub struct FleetConfig {
     pub max_migrations_per_audit: usize,
     /// Measurement noise sigma for profiling and ground-truth audits.
     pub noise_sigma: f64,
+    /// Fraction of arriving NFs drawn as [`QosClass::Guaranteed`]; the
+    /// rest are best-effort. Drawn from a stream decorrelated from the
+    /// arrival process, so `1.0` (the default) reproduces the pre-tier
+    /// traces byte-for-byte.
+    pub guaranteed_fraction: f64,
+    /// The fault-injection plan ([`FaultPlan::none`] by default).
+    pub faults: FaultPlan,
     /// Master seed: every random stream in the scenario derives from it.
     pub seed: u64,
 }
@@ -101,6 +224,8 @@ impl FleetConfig {
             reprofile_threshold: 0.10,
             max_migrations_per_audit: 8,
             noise_sigma: 0.005,
+            guaranteed_fraction: 1.0,
+            faults: FaultPlan::none(),
             seed,
         }
     }
@@ -175,6 +300,94 @@ impl FleetConfig {
             }
         }
     }
+
+    /// The scenario's fault schedule: a pure function of the seed,
+    /// portfolio size, and fault plan, sorted by
+    /// `(t_ms, kind rank, nic)` — the total order the event loop
+    /// replays. Failures are per-NIC renewal processes (exponential
+    /// time-to-failure, exponential repair floored at one minute);
+    /// drains pick a NIC and a start time uniformly, retrying a bounded
+    /// number of times and then skipping deterministically if the window
+    /// would overlap another incident on the same NIC. Empty under
+    /// [`FaultPlan::none`].
+    pub fn fault_schedule(&self) -> Vec<FaultEvent> {
+        let plan = &self.faults;
+        if plan.is_none() {
+            return Vec::new();
+        }
+        let horizon_ms = self.duration_s * MS_PER_S;
+        let nics = self.nics();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ FAULT_SALT);
+        let mut events = Vec::new();
+        // Per-NIC incident windows `[start, end)` already claimed, used
+        // to keep drains from overlapping failures or other drains.
+        let mut busy: Vec<Vec<(u64, u64)>> = vec![Vec::new(); nics];
+        if plan.mtbf_s > 0.0 {
+            for (nic, busy_nic) in busy.iter_mut().enumerate() {
+                let mut t = 0.0f64;
+                loop {
+                    t += exponential_ms(&mut rng, plan.mtbf_s);
+                    let fail_ms = (t as u64).max(1);
+                    if fail_ms >= horizon_ms {
+                        break;
+                    }
+                    let repair_ms = exponential_ms(&mut rng, plan.mean_repair_s).max(60_000.0);
+                    let recover_ms = fail_ms + repair_ms as u64;
+                    events.push(FaultEvent {
+                        t_ms: fail_ms,
+                        nic,
+                        kind: FaultKind::Fail,
+                    });
+                    if recover_ms < horizon_ms {
+                        events.push(FaultEvent {
+                            t_ms: recover_ms,
+                            nic,
+                            kind: FaultKind::Recover,
+                        });
+                    }
+                    busy_nic.push((fail_ms, recover_ms));
+                    t = recover_ms as f64;
+                }
+            }
+        }
+        let drain_span_ms = (plan.drain_notice_s + plan.drain_offline_s) * MS_PER_S;
+        if plan.drains > 0 && drain_span_ms > 0 && drain_span_ms < horizon_ms {
+            for _ in 0..plan.drains {
+                // Bounded retries keep the draw deterministic even when
+                // a candidate window collides with an existing incident.
+                for _attempt in 0..8 {
+                    let nic = rng.gen_range(0..nics);
+                    let start = rng.gen_range(1..horizon_ms - drain_span_ms);
+                    let end = start + drain_span_ms;
+                    if busy[nic].iter().any(|&(s, e)| start < e && s < end) {
+                        continue;
+                    }
+                    let deadline = start + plan.drain_notice_s * MS_PER_S;
+                    events.push(FaultEvent {
+                        t_ms: start,
+                        nic,
+                        kind: FaultKind::DrainStart,
+                    });
+                    events.push(FaultEvent {
+                        t_ms: deadline,
+                        nic,
+                        kind: FaultKind::DrainEnd,
+                    });
+                    if end < horizon_ms {
+                        events.push(FaultEvent {
+                            t_ms: end,
+                            nic,
+                            kind: FaultKind::Recover,
+                        });
+                    }
+                    busy[nic].push((start, end));
+                    break;
+                }
+            }
+        }
+        events.sort_by_key(|e| (e.t_ms, e.kind.rank(), e.nic));
+        events
+    }
 }
 
 /// One NF's life in the scenario: when it arrives and departs, what it
@@ -197,6 +410,9 @@ pub struct NfRecord {
     pub end: TrafficProfile,
     /// Maximum tolerated throughput drop vs. solo.
     pub sla_drop: f64,
+    /// Service tier: guaranteed NFs are protected during degradation;
+    /// best-effort NFs are shed/parked first.
+    pub qos: QosClass,
 }
 
 impl NfRecord {
@@ -209,14 +425,98 @@ impl NfRecord {
     }
 }
 
+/// Why [`FleetTrace::from_records`] rejected its inputs. Each variant
+/// names the offending record (or config field) so empirical-trace
+/// loaders can report actionable errors instead of panicking mid-load.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The config names no NF kinds.
+    NoKinds,
+    /// The audit period is zero (the control loop would never tick).
+    ZeroAuditPeriod,
+    /// A template traffic model with zero templates.
+    ZeroTemplates,
+    /// Template jitter outside `[0, 1)`.
+    BadTemplateJitter(f64),
+    /// The NIC portfolio is empty.
+    EmptyPortfolio,
+    /// Two portfolio entries share a model name.
+    DuplicateModel(String),
+    /// `guaranteed_fraction` outside `[0, 1]` or non-finite.
+    BadGuaranteedFraction(f64),
+    /// A fault-plan rate or duration is negative or non-finite.
+    BadFaultPlan(&'static str),
+    /// `records[index].id` is not `index` (ids must be dense `0..n`).
+    SparseIds { index: usize, id: u32 },
+    /// Record `index` arrives before its predecessor.
+    OutOfOrderArrival { index: usize },
+    /// Record `index` arrives at or after the horizon.
+    OffHorizonArrival { index: usize },
+    /// Record `index` departs at or before its arrival. The event loop
+    /// orders same-timestamp departures before arrivals, so a
+    /// zero-lifetime NF would fire its no-op departure first and then
+    /// squat on a NIC until the horizon.
+    ZeroLifetime { index: usize },
+    /// Record `index` carries a non-finite traffic attribute.
+    NonFiniteTraffic { index: usize },
+    /// Record `index` has a non-finite or out-of-range SLA drop.
+    BadSla { index: usize, sla_drop: f64 },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::NoKinds => write!(f, "config names no NF kinds"),
+            TraceError::ZeroAuditPeriod => write!(f, "audit period must be positive"),
+            TraceError::ZeroTemplates => write!(f, "template count must be positive"),
+            TraceError::BadTemplateJitter(j) => {
+                write!(f, "template jitter {j} outside [0, 1)")
+            }
+            TraceError::EmptyPortfolio => write!(f, "empty NIC portfolio"),
+            TraceError::DuplicateModel(name) => {
+                write!(f, "duplicate NIC model {name} in portfolio")
+            }
+            TraceError::BadGuaranteedFraction(g) => {
+                write!(f, "guaranteed fraction {g} outside [0, 1]")
+            }
+            TraceError::BadFaultPlan(field) => {
+                write!(f, "fault plan {field} must be finite and non-negative")
+            }
+            TraceError::SparseIds { index, id } => {
+                write!(f, "record {index} has id {id}: ids must be dense (0..n)")
+            }
+            TraceError::OutOfOrderArrival { index } => {
+                write!(f, "arrivals must ascend (record {index})")
+            }
+            TraceError::OffHorizonArrival { index } => {
+                write!(f, "record {index} arrives after the horizon")
+            }
+            TraceError::ZeroLifetime { index } => {
+                write!(f, "record {index} must depart strictly after it arrives")
+            }
+            TraceError::NonFiniteTraffic { index } => {
+                write!(f, "record {index} has a non-finite traffic attribute")
+            }
+            TraceError::BadSla { index, sla_drop } => {
+                write!(f, "record {index} has SLA drop {sla_drop} outside [0, 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 /// A fully materialized scenario: config plus every NF's record, in
-/// arrival order.
+/// arrival order, plus the fault schedule the event loop will replay.
 #[derive(Debug, Clone)]
 pub struct FleetTrace {
     /// The generating config.
     pub config: FleetConfig,
     /// NF records in arrival order; `records[i].id == i`.
     pub records: Vec<NfRecord>,
+    /// Scheduled NIC faults, sorted by `(t_ms, kind rank, nic)` — see
+    /// [`FleetConfig::fault_schedule`]. Empty for fault-free configs.
+    pub faults: Vec<FaultEvent>,
 }
 
 impl FleetTrace {
@@ -228,63 +528,96 @@ impl FleetTrace {
     ///
     /// * `records[i].id == i` (dense ids, used as indices),
     /// * arrivals ascend and fall inside the scenario horizon,
-    /// * every departure is strictly after its arrival (the event loop
-    ///   orders same-timestamp departures *before* arrivals, so a
-    ///   zero-lifetime record would fire its no-op departure first and
-    ///   then occupy a NIC until the horizon),
+    /// * every departure is strictly after its arrival,
+    /// * traffic attributes and SLA drops are finite (a NaN profile
+    ///   would poison every prediction touching the NIC),
     /// * the config names at least one NF kind and a positive audit
-    ///   period, and every portfolio model name is distinct.
+    ///   period, every portfolio model name is distinct, and the
+    ///   guaranteed fraction and fault plan are well-formed.
     ///
-    /// # Panics
-    ///
-    /// Panics if any invariant fails.
-    pub fn from_records(config: FleetConfig, records: Vec<NfRecord>) -> Self {
-        assert!(!config.kinds.is_empty(), "at least one NF kind");
-        assert!(config.audit_period_s > 0, "audit period must be positive");
-        if let TrafficModel::Templates { count, jitter } = config.traffic_model {
-            assert!(count > 0, "template count must be positive");
-            assert!(
-                (0.0..1.0).contains(&jitter),
-                "template jitter must be in [0, 1)"
-            );
+    /// Returns a descriptive [`TraceError`] naming the offending record
+    /// instead of panicking, so callers loading external traces can
+    /// surface actionable diagnostics.
+    pub fn from_records(config: FleetConfig, records: Vec<NfRecord>) -> Result<Self, TraceError> {
+        if config.kinds.is_empty() {
+            return Err(TraceError::NoKinds);
         }
-        assert!(!config.portfolio.is_empty(), "empty NIC portfolio");
+        if config.audit_period_s == 0 {
+            return Err(TraceError::ZeroAuditPeriod);
+        }
+        if let TrafficModel::Templates { count, jitter } = config.traffic_model {
+            if count == 0 {
+                return Err(TraceError::ZeroTemplates);
+            }
+            if !(0.0..1.0).contains(&jitter) {
+                return Err(TraceError::BadTemplateJitter(jitter));
+            }
+        }
+        if config.portfolio.is_empty() {
+            return Err(TraceError::EmptyPortfolio);
+        }
         for (i, (spec, _)) in config.portfolio.iter().enumerate() {
-            assert!(
-                config.portfolio[..i]
-                    .iter()
-                    .all(|(s, _)| s.name != spec.name),
-                "duplicate NIC model {} in portfolio",
-                spec.name
-            );
+            if config.portfolio[..i]
+                .iter()
+                .any(|(s, _)| s.name == spec.name)
+            {
+                return Err(TraceError::DuplicateModel(spec.name.to_string()));
+            }
+        }
+        if !(0.0..=1.0).contains(&config.guaranteed_fraction) {
+            return Err(TraceError::BadGuaranteedFraction(
+                config.guaranteed_fraction,
+            ));
+        }
+        let plan = &config.faults;
+        if !plan.mtbf_s.is_finite() || plan.mtbf_s < 0.0 {
+            return Err(TraceError::BadFaultPlan("mtbf_s"));
+        }
+        if !plan.mean_repair_s.is_finite() || plan.mean_repair_s < 0.0 {
+            return Err(TraceError::BadFaultPlan("mean_repair_s"));
         }
         let horizon_ms = config.duration_s * MS_PER_S;
         let mut last_arrival = 0u64;
         for (i, r) in records.iter().enumerate() {
-            assert_eq!(r.id as usize, i, "record ids must be dense (0..n)");
-            assert!(
-                r.arrival_ms >= last_arrival,
-                "arrivals must ascend (record {i})"
-            );
-            assert!(
-                r.arrival_ms < horizon_ms,
-                "record {i} arrives after the horizon"
-            );
-            assert!(
-                r.departure_ms > r.arrival_ms,
-                "record {i} must depart strictly after it arrives"
-            );
+            if r.id as usize != i {
+                return Err(TraceError::SparseIds { index: i, id: r.id });
+            }
+            if r.arrival_ms < last_arrival {
+                return Err(TraceError::OutOfOrderArrival { index: i });
+            }
+            if r.arrival_ms >= horizon_ms {
+                return Err(TraceError::OffHorizonArrival { index: i });
+            }
+            if r.departure_ms <= r.arrival_ms {
+                return Err(TraceError::ZeroLifetime { index: i });
+            }
+            if !r.start.mtbr.is_finite() || !r.end.mtbr.is_finite() {
+                return Err(TraceError::NonFiniteTraffic { index: i });
+            }
+            if !r.sla_drop.is_finite() || !(0.0..1.0).contains(&r.sla_drop) {
+                return Err(TraceError::BadSla {
+                    index: i,
+                    sla_drop: r.sla_drop,
+                });
+            }
             last_arrival = r.arrival_ms;
         }
-        Self { config, records }
+        let faults = config.fault_schedule();
+        Ok(Self {
+            config,
+            records,
+            faults,
+        })
     }
 
     /// Generates the scenario from `config.seed`: Poisson arrivals over
     /// the horizon, exponential lifetimes (floored at one minute so every
     /// NF survives at least a fraction of an audit period), uniform NF
-    /// kinds, random start/end traffic, uniform SLA tightness.
+    /// kinds, random start/end traffic, uniform SLA tightness, and QoS
+    /// classes Bernoulli(`guaranteed_fraction`) from their own stream.
     pub fn generate(config: FleetConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut qos_rng = StdRng::seed_from_u64(config.seed ^ QOS_SALT);
         let horizon_ms = config.duration_s * MS_PER_S;
         let templates = config.traffic_templates();
         let mut records = Vec::new();
@@ -328,6 +661,14 @@ impl FleetTrace {
                 }
             };
             let sla_drop = rng.gen_range(config.sla_drop_range.0..config.sla_drop_range.1);
+            // The QoS draw lives on its own stream: `guaranteed_fraction
+            // = 1.0` (the default) consumes the draw but always yields
+            // Guaranteed, so pre-tier traces are reproduced exactly.
+            let qos = if qos_rng.gen::<f64>() < config.guaranteed_fraction {
+                QosClass::Guaranteed
+            } else {
+                QosClass::BestEffort
+            };
             records.push(NfRecord {
                 id: records.len() as u32,
                 kind,
@@ -336,9 +677,10 @@ impl FleetTrace {
                 start,
                 end,
                 sla_drop,
+                qos,
             });
         }
-        Self::from_records(config, records)
+        Self::from_records(config, records).expect("generated records satisfy trace invariants")
     }
 }
 
@@ -432,10 +774,26 @@ mod tests {
         assert!(mid != r.start || mid != r.end);
     }
 
+    /// A well-formed single record for error-path tests; callers break
+    /// one field at a time.
+    fn ok_record() -> NfRecord {
+        NfRecord {
+            id: 0,
+            kind: NfKind::Acl,
+            arrival_ms: 5_000,
+            departure_ms: 65_000,
+            start: TrafficProfile::default(),
+            end: TrafficProfile::default(),
+            sla_drop: 0.1,
+            qos: QosClass::Guaranteed,
+        }
+    }
+
     #[test]
     fn from_records_accepts_generated_and_empirical_records() {
         let gen = FleetTrace::generate(FleetConfig::small(17));
-        let rebuilt = FleetTrace::from_records(gen.config.clone(), gen.records.clone());
+        let rebuilt = FleetTrace::from_records(gen.config.clone(), gen.records.clone())
+            .expect("generated records round-trip");
         assert_eq!(rebuilt.records.len(), gen.records.len());
         // A non-Poisson flash crowd: five NFs arriving in the same
         // millisecond, constant traffic, staggered departures.
@@ -443,75 +801,238 @@ mod tests {
         let records: Vec<NfRecord> = (0..5)
             .map(|i| NfRecord {
                 id: i,
-                kind: NfKind::FlowStats,
                 arrival_ms: 60_000,
                 departure_ms: 60_000 + (i as u64 + 1) * 600_000,
-                start: TrafficProfile::default(),
-                end: TrafficProfile::default(),
-                sla_drop: 0.1,
+                ..ok_record()
             })
             .collect();
-        let trace = FleetTrace::from_records(cfg, records);
+        let trace = FleetTrace::from_records(cfg, records).expect("flash crowd is valid");
         assert_eq!(trace.records.len(), 5);
     }
 
     #[test]
-    #[should_panic(expected = "dense")]
     fn from_records_rejects_sparse_ids() {
         let cfg = FleetConfig::small(0);
         let r = NfRecord {
             id: 3,
-            kind: NfKind::Acl,
-            arrival_ms: 0,
-            departure_ms: 1,
-            start: TrafficProfile::default(),
-            end: TrafficProfile::default(),
-            sla_drop: 0.1,
+            ..ok_record()
         };
-        FleetTrace::from_records(cfg, vec![r]);
+        assert_eq!(
+            FleetTrace::from_records(cfg, vec![r]).unwrap_err(),
+            TraceError::SparseIds { index: 0, id: 3 }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "strictly after")]
     fn from_records_rejects_zero_lifetime_records() {
         // The event loop orders same-timestamp departures before
         // arrivals, so a zero-lifetime NF would be placed after its
         // no-op departure and squat on a NIC until the horizon.
         let cfg = FleetConfig::small(0);
         let r = NfRecord {
-            id: 0,
-            kind: NfKind::Acl,
-            arrival_ms: 5_000,
             departure_ms: 5_000,
-            start: TrafficProfile::default(),
-            end: TrafficProfile::default(),
-            sla_drop: 0.1,
+            ..ok_record()
         };
-        FleetTrace::from_records(cfg, vec![r]);
+        assert_eq!(
+            FleetTrace::from_records(cfg, vec![r]).unwrap_err(),
+            TraceError::ZeroLifetime { index: 0 }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "after the horizon")]
     fn from_records_rejects_off_horizon_arrivals() {
         let cfg = FleetConfig::small(0);
         let r = NfRecord {
-            id: 0,
-            kind: NfKind::Acl,
             arrival_ms: cfg.duration_s * MS_PER_S,
             departure_ms: cfg.duration_s * MS_PER_S + 1,
-            start: TrafficProfile::default(),
-            end: TrafficProfile::default(),
-            sla_drop: 0.1,
+            ..ok_record()
         };
-        FleetTrace::from_records(cfg, vec![r]);
+        assert_eq!(
+            FleetTrace::from_records(cfg, vec![r]).unwrap_err(),
+            TraceError::OffHorizonArrival { index: 0 }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "duplicate NIC model")]
+    fn from_records_rejects_out_of_order_arrivals() {
+        let cfg = FleetConfig::small(0);
+        let records = vec![
+            NfRecord {
+                arrival_ms: 10_000,
+                departure_ms: 80_000,
+                ..ok_record()
+            },
+            NfRecord {
+                id: 1,
+                arrival_ms: 9_000,
+                departure_ms: 70_000,
+                ..ok_record()
+            },
+        ];
+        assert_eq!(
+            FleetTrace::from_records(cfg, records).unwrap_err(),
+            TraceError::OutOfOrderArrival { index: 1 }
+        );
+    }
+
+    #[test]
+    fn from_records_rejects_non_finite_traffic_and_bad_sla() {
+        let cfg = FleetConfig::small(0);
+        let r = NfRecord {
+            start: TrafficProfile::new(100, 512, f64::NAN),
+            ..ok_record()
+        };
+        assert_eq!(
+            FleetTrace::from_records(cfg.clone(), vec![r]).unwrap_err(),
+            TraceError::NonFiniteTraffic { index: 0 }
+        );
+        let r = NfRecord {
+            sla_drop: 1.5,
+            ..ok_record()
+        };
+        assert!(matches!(
+            FleetTrace::from_records(cfg, vec![r]).unwrap_err(),
+            TraceError::BadSla { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn from_records_rejects_bad_config() {
+        let mut cfg = FleetConfig::small(0);
+        cfg.guaranteed_fraction = 1.5;
+        assert_eq!(
+            FleetTrace::from_records(cfg, Vec::new()).unwrap_err(),
+            TraceError::BadGuaranteedFraction(1.5)
+        );
+        let mut cfg = FleetConfig::small(0);
+        cfg.faults.mtbf_s = f64::NAN;
+        assert_eq!(
+            FleetTrace::from_records(cfg, Vec::new()).unwrap_err(),
+            TraceError::BadFaultPlan("mtbf_s")
+        );
+        let mut cfg = FleetConfig::small(0);
+        cfg.kinds.clear();
+        assert_eq!(
+            FleetTrace::from_records(cfg, Vec::new()).unwrap_err(),
+            TraceError::NoKinds
+        );
+    }
+
+    #[test]
     fn duplicate_portfolio_models_rejected() {
         let mut cfg = FleetConfig::small(0);
         cfg.portfolio = vec![(NicSpec::bluefield2(), 4), (NicSpec::bluefield2(), 4)];
-        FleetTrace::from_records(cfg, Vec::new());
+        assert_eq!(
+            FleetTrace::from_records(cfg, Vec::new()).unwrap_err(),
+            TraceError::DuplicateModel("bluefield2".to_string())
+        );
+    }
+
+    #[test]
+    fn default_config_draws_all_guaranteed_and_no_faults() {
+        let trace = FleetTrace::generate(FleetConfig::small(5));
+        assert!(trace.records.iter().all(|r| r.qos.is_guaranteed()));
+        assert!(trace.faults.is_empty());
+    }
+
+    #[test]
+    fn qos_draw_does_not_perturb_the_arrival_stream() {
+        let all_guaranteed = FleetTrace::generate(FleetConfig::small(5));
+        let mut cfg = FleetConfig::small(5);
+        cfg.guaranteed_fraction = 0.5;
+        let mixed = FleetTrace::generate(cfg);
+        assert_eq!(all_guaranteed.records.len(), mixed.records.len());
+        for (a, b) in all_guaranteed.records.iter().zip(&mixed.records) {
+            assert_eq!(a.arrival_ms, b.arrival_ms);
+            assert_eq!(a.departure_ms, b.departure_ms);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.sla_drop, b.sla_drop);
+        }
+        let best_effort = mixed
+            .records
+            .iter()
+            .filter(|r| !r.qos.is_guaranteed())
+            .count();
+        let n = mixed.records.len();
+        assert!(
+            best_effort > n / 5 && best_effort < 4 * n / 5,
+            "Bernoulli(0.5) draw badly skewed: {best_effort}/{n} best-effort"
+        );
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_and_well_formed() {
+        let mut cfg = FleetConfig::small(13);
+        cfg.faults = FaultPlan {
+            mtbf_s: 4.0 * 3_600.0,
+            mean_repair_s: 900.0,
+            drains: 3,
+            drain_notice_s: 600,
+            drain_offline_s: 600,
+        };
+        let a = cfg.fault_schedule();
+        let b = cfg.fault_schedule();
+        assert_eq!(a, b, "fault schedule must be a pure function of the config");
+        assert!(!a.is_empty(), "a failure-heavy plan schedules events");
+        let horizon_ms = cfg.duration_s * MS_PER_S;
+        for w in a.windows(2) {
+            assert!(
+                (w[0].t_ms, w[0].kind.rank(), w[0].nic) <= (w[1].t_ms, w[1].kind.rank(), w[1].nic),
+                "schedule must be sorted by (time, rank, nic)"
+            );
+        }
+        for e in &a {
+            assert!(e.t_ms < horizon_ms);
+            assert!(e.nic < cfg.nics());
+        }
+        // Every DrainStart has a matching DrainEnd exactly the notice
+        // window later on the same NIC.
+        for e in a.iter().filter(|e| e.kind == FaultKind::DrainStart) {
+            let deadline = e.t_ms + cfg.faults.drain_notice_s * MS_PER_S;
+            assert!(
+                a.iter()
+                    .any(|d| d.kind == FaultKind::DrainEnd && d.nic == e.nic && d.t_ms == deadline),
+                "drain on NIC {} lacks its deadline",
+                e.nic
+            );
+        }
+        // Incidents never overlap on one NIC: replay the schedule as a
+        // per-NIC state machine and require legal transitions only.
+        #[derive(PartialEq, Clone, Copy)]
+        enum S {
+            Up,
+            Draining,
+            Down,
+        }
+        let mut state = vec![S::Up; cfg.nics()];
+        for e in &a {
+            let s = &mut state[e.nic];
+            match e.kind {
+                FaultKind::Fail => {
+                    assert!(*s == S::Up, "failure on a non-Up NIC");
+                    *s = S::Down;
+                }
+                FaultKind::DrainStart => {
+                    assert!(*s == S::Up, "drain announced on a non-Up NIC");
+                    *s = S::Draining;
+                }
+                FaultKind::DrainEnd => {
+                    assert!(*s == S::Draining, "deadline without a drain");
+                    *s = S::Down;
+                }
+                FaultKind::Recover => {
+                    assert!(*s == S::Down, "recovery of a non-Down NIC");
+                    *s = S::Up;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_plan_schedules_nothing() {
+        assert!(FleetConfig::small(7).fault_schedule().is_empty());
+        assert!(FaultPlan::none().is_none());
     }
 
     #[test]

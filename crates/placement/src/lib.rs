@@ -29,7 +29,7 @@
 
 use yala_core::engine::{model_seed_base, scenario_seed, simulator_for, Engine};
 use yala_core::profile_cache::{ProfileEntry, SoloProfile};
-use yala_core::{Contender, ModelBank, ObservationBuffer, YalaModel};
+use yala_core::{Contender, ModelBank, ObservationBuffer, QosClass, YalaModel};
 use yala_nf::NfKind;
 use yala_sim::{CounterSample, NicModelId, NicSpec, Simulator, WorkloadSpec};
 use yala_slomo::SlomoModel;
@@ -44,6 +44,22 @@ pub struct Arrival {
     pub traffic: TrafficProfile,
     /// Maximum tolerated throughput drop vs. solo (e.g. 0.1 = 10%).
     pub sla_drop: f64,
+    /// The tenant's service class. Guaranteed tenants keep their SLA
+    /// through faults; best-effort tenants shed first under pressure
+    /// (defaults to [`QosClass::Guaranteed`], the single-tier fleet).
+    pub qos: QosClass,
+}
+
+impl Arrival {
+    /// A guaranteed-class arrival — the pre-QoS single-tier default.
+    pub fn new(kind: NfKind, traffic: TrafficProfile, sla_drop: f64) -> Self {
+        Self {
+            kind,
+            traffic,
+            sla_drop,
+            qos: QosClass::Guaranteed,
+        }
+    }
 }
 
 /// One NIC model's solo baseline for a placed NF: what the NF achieves
@@ -106,6 +122,11 @@ impl Placed {
     /// anchors to that hardware's solo throughput.
     pub fn sla_floor(&self, model: NicModelId) -> f64 {
         self.solo(model).solo_tput * (1.0 - self.arrival.sla_drop)
+    }
+
+    /// The tenant's service class.
+    pub fn qos(&self) -> QosClass {
+        self.arrival.qos
     }
 }
 
@@ -703,6 +724,7 @@ mod tests {
                     kind: kinds[i % kinds.len()],
                     traffic: TrafficProfile::default(),
                     sla_drop: rng.gen_range(0.05..0.20),
+                    qos: QosClass::Guaranteed,
                 };
                 prepare(sim, arrival, i as u64)
             })
@@ -761,6 +783,7 @@ mod tests {
                 kind: kinds[i % kinds.len()],
                 traffic: TrafficProfile::new(4_000 + 1_000 * i as u32, 512, 0.0),
                 sla_drop: 0.1,
+                qos: QosClass::Guaranteed,
             })
             .collect();
         let par = prepare_all(&specs, 0.0, &arrivals, 40, &Engine::with_threads(4));
@@ -786,11 +809,13 @@ mod tests {
                 kind: NfKind::FlowStats, // memory-only: both models
                 traffic: TrafficProfile::default(),
                 sla_drop: 0.1,
+                qos: QosClass::Guaranteed,
             },
             Arrival {
                 kind: NfKind::Nids, // regex: BlueField-2 only
                 traffic: TrafficProfile::default(),
                 sla_drop: 0.1,
+                qos: QosClass::Guaranteed,
             },
         ];
         let placed = prepare_all(&specs, 0.0, &arrivals, 7, &Engine::sequential());
@@ -815,6 +840,7 @@ mod tests {
                 kind,
                 traffic: TrafficProfile::default(),
                 sla_drop: 0.1,
+                qos: QosClass::Guaranteed,
             })
             .collect();
         let placed = prepare_all(&specs, 0.0, &arrivals, 3, &Engine::sequential());
@@ -837,6 +863,7 @@ mod tests {
                 kind: NfKind::FlowStats,
                 traffic: TrafficProfile::new(4_000, 512, 0.0),
                 sla_drop: 0.1,
+                qos: QosClass::Guaranteed,
             },
             7,
         );
@@ -895,6 +922,7 @@ mod tests {
                         kind: NfKind::FlowStats,
                         traffic: TrafficProfile::new(200_000, 1500, 0.0),
                         sla_drop: 0.01,
+                        qos: QosClass::Guaranteed,
                     },
                     i,
                 )

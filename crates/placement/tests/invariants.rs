@@ -8,6 +8,7 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use yala_core::QosClass;
 use yala_nf::NfKind;
 use yala_placement::{place_sequence, prepare, Arrival, OraclePredictor, Placed, Strategy};
 use yala_sim::{NicSpec, Simulator};
@@ -31,6 +32,7 @@ fn random_arrivals(sim: &mut Simulator, seed: u64, n: usize) -> Vec<Placed> {
                 kind: *kinds.choose(&mut rng).expect("nonempty"),
                 traffic: TrafficProfile::random(&mut rng, 128_000),
                 sla_drop: rng.gen_range(0.05..0.25),
+                qos: QosClass::Guaranteed,
             };
             prepare(sim, arrival, seed * 1_000 + i as u64)
         })

@@ -6,7 +6,7 @@
 
 use rand::rngs::StdRng;
 use rand::{seq::SliceRandom, Rng, SeedableRng};
-use yala::core::{Engine, ModelBank, TrainConfig};
+use yala::core::{Engine, ModelBank, QosClass, TrainConfig};
 use yala::nf::NfKind;
 use yala::placement::{place_sequence, prepare_all, Arrival, Strategy, YalaPredictor};
 use yala::sim::{NicSpec, Simulator};
@@ -38,6 +38,7 @@ fn main() {
             kind: *kinds.choose(&mut rng).expect("nonempty"),
             traffic: TrafficProfile::default(),
             sla_drop: rng.gen_range(0.05..0.20),
+            qos: QosClass::Guaranteed,
         })
         .collect();
     let arrivals = prepare_all(&[NicSpec::bluefield2()], 0.005, &specs, 0, &engine);

@@ -9,7 +9,7 @@
 //!    placement preparation.
 
 use yala::core::adaptive::{adaptive_profile_all, AdaptiveConfig, TrafficRanges};
-use yala::core::{Engine, TrainConfig, YalaModel};
+use yala::core::{Engine, QosClass, TrainConfig, YalaModel};
 use yala::nf::runtime::{build_workload_per_packet, Profiler, DEFAULT_SAMPLE_PACKETS};
 use yala::nf::NfKind;
 use yala::placement::{prepare_all, Arrival};
@@ -138,6 +138,7 @@ fn parallel_placement_preparation_matches_sequential() {
             kind: kinds[i % kinds.len()],
             traffic: TrafficProfile::new(2_000 + 500 * i as u32, 768, 200.0),
             sla_drop: 0.05 + 0.01 * i as f64,
+            qos: QosClass::Guaranteed,
         })
         .collect();
     let model = spec.model();

@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use yala::core::Engine;
+use yala::core::{Engine, QosClass};
 use yala::fleet::{run_fleet, Diagnoser, FleetConfig, FleetPolicy, FleetTrace, ProfiledTrace};
 use yala::nf::NfKind;
 use yala::placement::{place_sequence, prepare_all, Arrival, OraclePredictor, Strategy};
@@ -80,6 +80,7 @@ fn fleet_strategies_never_place_accelerator_nfs_on_incapable_nics() {
                 predictor: &mut oracle,
                 diagnoser: Diagnoser::MemoryOnly,
                 online: None,
+                qos_aware: true,
             },
             "oracle",
             &engine,
@@ -105,6 +106,7 @@ fn one_shot_strategies_reject_infeasible_arrivals_across_seeds() {
                 kind: *MIXED_KINDS.choose(&mut rng).expect("nonempty"),
                 traffic: TrafficProfile::random(&mut rng, 64_000),
                 sla_drop: rng.gen_range(0.05..0.25),
+                qos: QosClass::Guaranteed,
             })
             .collect();
         let infeasible = arrivals

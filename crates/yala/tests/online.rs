@@ -104,6 +104,7 @@ fn run_policy(
             predictor: &mut predictor,
             diagnoser: Diagnoser::Yala(&fx.bank),
             online,
+            qos_aware: true,
         },
         label,
         engine,
