@@ -67,10 +67,14 @@ fn main() {
     let exact = ProfiledTrace::build(trace.clone(), &engine);
     let exact_s = t0.elapsed().as_secs_f64();
 
-    // The cached bill: one measurement per distinct quantized key.
+    // The cached bill: one measurement per distinct quantized key. With
+    // `--telemetry` this build is the observed one — its journal shows
+    // tenants landing on shared keys (delta/full triggers, hit tagging).
+    let mut tel = args.telemetry_handle(5150);
     let cache = ProfileCache::new();
     let t0 = Instant::now();
-    let cached = ProfiledTrace::build_cached_with(trace.clone(), &engine, &cache);
+    let cached =
+        ProfiledTrace::build_cached_with_observed(trace.clone(), &engine, &cache, &mut tel);
     let cached_s = t0.elapsed().as_secs_f64();
 
     // A warm rebuild of the same scenario: pure cache hits, no simulator
@@ -78,6 +82,7 @@ fn main() {
     let t0 = Instant::now();
     let rebuilt = ProfiledTrace::build_cached_with(trace, &engine, &cache);
     let rebuild_s = t0.elapsed().as_secs_f64();
+    args.write_telemetry(&tel);
 
     let reduction = exact.stats.misses as f64 / cached.stats.misses.max(1) as f64;
     println!(

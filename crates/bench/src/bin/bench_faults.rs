@@ -20,8 +20,8 @@
 use std::time::Instant;
 use yala_bench::{json_f64, read_record, BenchArgs, RegressionCheck, Zoo};
 use yala_fleet::{
-    run_fleet, Diagnoser, FaultKind, FaultPlan, FleetConfig, FleetPolicy, FleetReport, FleetTrace,
-    ProfiledTrace,
+    run_fleet, run_fleet_observed, verify_against, Diagnoser, FaultKind, FaultPlan, FleetConfig,
+    FleetPolicy, FleetReport, FleetTrace, ProfiledTrace,
 };
 use yala_nf::NfKind;
 use yala_placement::YalaPredictor;
@@ -100,7 +100,11 @@ fn main() {
         .iter()
         .filter(|f| f.kind == FaultKind::DrainStart)
         .count();
-    let profiled = ProfiledTrace::build(trace, &engine);
+    // With `--telemetry` the build and the flagship (yala-qos) run are
+    // observed; the fault-injected journal is the richest one the bench
+    // suite produces (faults, evacuations, parks, readmissions).
+    let mut tel = args.telemetry_handle(97);
+    let profiled = ProfiledTrace::build_observed(trace, &engine, &mut tel);
     let profile_s = t0.elapsed().as_secs_f64();
     println!(
         "  scenario: {arrivals} arrivals ({guaranteed_nfs} guaranteed), \
@@ -110,24 +114,43 @@ fn main() {
     );
 
     let t0 = Instant::now();
-    let run_aware = |aware: bool, label: &str| -> FleetReport {
-        let mut predictor = YalaPredictor::new(zoo.yala_bank());
-        run_fleet(
-            &profiled,
-            FleetPolicy::ContentionAware {
-                predictor: &mut predictor,
-                diagnoser: Diagnoser::Yala(zoo.yala_bank()),
-                online: None,
-                qos_aware: aware,
-            },
-            label,
-            &engine,
-        )
-    };
-    let aware = run_aware(true, "yala-qos");
-    let blind = run_aware(false, "yala-blind");
+    let run_aware =
+        |aware: bool, label: &str, tel: &mut yala_telemetry::Telemetry| -> FleetReport {
+            let mut predictor = YalaPredictor::new(zoo.yala_bank());
+            run_fleet_observed(
+                &profiled,
+                FleetPolicy::ContentionAware {
+                    predictor: &mut predictor,
+                    diagnoser: Diagnoser::Yala(zoo.yala_bank()),
+                    online: None,
+                    qos_aware: aware,
+                },
+                label,
+                &engine,
+                tel,
+            )
+        };
+    let aware = run_aware(true, "yala-qos", &mut tel);
+    let blind = run_aware(
+        false,
+        "yala-blind",
+        &mut yala_telemetry::Telemetry::disabled(),
+    );
     let greedy = run_fleet(&profiled, FleetPolicy::Greedy, "greedy", &engine);
     println!("  policy runs: {:.1} s", t0.elapsed().as_secs_f64());
+
+    // Observability self-test on the fault-heavy journal: every park,
+    // readmit, and evacuation must replay to the report's class stats.
+    if let Some(sink) = tel.sink() {
+        let replayed = verify_against(&aware, &sink.journal)
+            .unwrap_or_else(|e| panic!("journal replay diverged from the yala-qos report: {e}"));
+        println!(
+            "  journal: {} events replay to the yala-qos report ({} faults) — OK",
+            sink.journal.len(),
+            replayed.faults
+        );
+    }
+    args.write_telemetry(&tel);
 
     println!(
         "  {:<12} {:>6} {:>6} | {:>9} {:>9} {:>5} {:>5} {:>6} | {:>9} {:>9} {:>5} {:>5}",

@@ -13,7 +13,8 @@
 use std::time::Instant;
 use yala_bench::{json_f64, read_record, BenchArgs, RegressionCheck, Zoo};
 use yala_fleet::{
-    run_fleet, Diagnoser, FleetConfig, FleetPolicy, FleetReport, FleetTrace, ProfiledTrace,
+    run_fleet, run_fleet_observed, verify_against, Diagnoser, FleetConfig, FleetPolicy,
+    FleetReport, FleetTrace, ProfiledTrace,
 };
 use yala_nf::NfKind;
 use yala_placement::{SlomoPredictor, YalaPredictor};
@@ -55,10 +56,16 @@ fn main() {
     let zoo = Zoo::train(&kinds, 6);
     let train_s = t0.elapsed().as_secs_f64();
 
+    // With `--telemetry` the build and the flagship (yala) run below are
+    // observed: profile measurements, placements, audits, and migrations
+    // land in one sim-time journal. Disabled, the handle is a no-op and
+    // the record bytes are exactly the unobserved ones.
+    let mut tel = args.telemetry_handle(42);
+
     let t0 = Instant::now();
     let trace = FleetTrace::generate(cfg);
     let arrivals = trace.records.len();
-    let profiled = ProfiledTrace::build(trace, &engine);
+    let profiled = ProfiledTrace::build_observed(trace, &engine, &mut tel);
     let profile_s = t0.elapsed().as_secs_f64();
     println!(
         "  scenario: {arrivals} arrivals, {} profile snapshots \
@@ -90,7 +97,7 @@ fn main() {
     };
     let yala = {
         let mut predictor = YalaPredictor::new(zoo.yala_bank());
-        run_fleet(
+        run_fleet_observed(
             &profiled,
             FleetPolicy::ContentionAware {
                 predictor: &mut predictor,
@@ -100,9 +107,23 @@ fn main() {
             },
             "yala",
             &engine,
+            &mut tel,
         )
     };
     println!("  policy runs: {:.1} s", t0.elapsed().as_secs_f64());
+
+    // Observability self-test: the journal must replay to the exact
+    // headline counters of the report it narrates.
+    if let Some(sink) = tel.sink() {
+        let replayed = verify_against(&yala, &sink.journal)
+            .unwrap_or_else(|e| panic!("journal replay diverged from the yala report: {e}"));
+        println!(
+            "  journal: {} events replay to the yala report ({} arrivals) — OK",
+            sink.journal.len(),
+            replayed.arrivals
+        );
+    }
+    args.write_telemetry(&tel);
 
     println!(
         "  {:<16} {:>10} {:>10} {:>10} {:>9} {:>6} {:>9} {:>9}",

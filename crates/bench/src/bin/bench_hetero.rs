@@ -17,7 +17,10 @@
 
 use std::time::Instant;
 use yala_bench::{json_f64, read_record, BenchArgs, RegressionCheck, Zoo};
-use yala_fleet::{run_fleet, Diagnoser, FleetConfig, FleetPolicy, FleetTrace, ProfiledTrace};
+use yala_fleet::{
+    run_fleet, run_fleet_observed, verify_against, Diagnoser, FleetConfig, FleetPolicy, FleetTrace,
+    ProfiledTrace,
+};
 use yala_nf::NfKind;
 use yala_placement::YalaPredictor;
 
@@ -78,9 +81,12 @@ fn main() {
     let train_s = t0.elapsed().as_secs_f64();
 
     let t0 = Instant::now();
+    // With `--telemetry` the build and the flagship (yala) run are
+    // observed; migrations in this journal may cross hardware models.
+    let mut tel = args.telemetry_handle(73);
     let trace = FleetTrace::generate(cfg);
     let arrivals = trace.records.len();
-    let profiled = ProfiledTrace::build(trace, &engine);
+    let profiled = ProfiledTrace::build_observed(trace, &engine, &mut tel);
     let profile_s = t0.elapsed().as_secs_f64();
     println!(
         "  scenario: {arrivals} arrivals, {} profile snapshots, {} trained cells \
@@ -116,7 +122,7 @@ fn main() {
     let greedy = run_fleet(&profiled, FleetPolicy::Greedy, "greedy", &engine);
     let yala = {
         let mut predictor = YalaPredictor::new(zoo.yala_bank());
-        run_fleet(
+        run_fleet_observed(
             &profiled,
             FleetPolicy::ContentionAware {
                 predictor: &mut predictor,
@@ -126,9 +132,22 @@ fn main() {
             },
             "yala",
             &engine,
+            &mut tel,
         )
     };
     println!("  policy runs: {:.1} s", t0.elapsed().as_secs_f64());
+
+    // Observability self-test on the mixed-portfolio journal.
+    if let Some(sink) = tel.sink() {
+        let replayed = verify_against(&yala, &sink.journal)
+            .unwrap_or_else(|e| panic!("journal replay diverged from the yala report: {e}"));
+        println!(
+            "  journal: {} events replay to the yala report ({} migrations) — OK",
+            sink.journal.len(),
+            replayed.migrations
+        );
+    }
+    args.write_telemetry(&tel);
 
     println!(
         "  {:<16} {:>10} {:>10} {:>10} {:>9} {:>6} {:>9} {:>9}",

@@ -27,7 +27,8 @@ use yala_bench::{json_f64, read_record, BenchArgs, RegressionCheck, NOISE_SIGMA}
 use yala_core::adaptive::TrafficRanges;
 use yala_core::{ModelBank, TrainConfig};
 use yala_fleet::{
-    run_fleet, Diagnoser, FleetConfig, FleetPolicy, FleetTrace, OnlineRefine, ProfiledTrace,
+    run_fleet, run_fleet_observed, verify_against, Diagnoser, FleetConfig, FleetPolicy, FleetTrace,
+    OnlineRefine, ProfiledTrace,
 };
 use yala_nf::NfKind;
 use yala_placement::YalaPredictor;
@@ -99,10 +100,14 @@ fn main() {
     );
     let train_s = t0.elapsed().as_secs_f64();
 
+    // With `--telemetry` the build and the flagship (yala-online) run
+    // are observed; this journal is the one with absorb passes in it.
+    let mut tel = args.telemetry_handle(97);
+
     let t0 = Instant::now();
     let trace = FleetTrace::generate(cfg);
     let arrivals = trace.records.len();
-    let profiled = ProfiledTrace::build(trace, &engine);
+    let profiled = ProfiledTrace::build_observed(trace, &engine, &mut tel);
     let profile_s = t0.elapsed().as_secs_f64();
     println!(
         "  scenario: {arrivals} arrivals, {} profile snapshots \
@@ -127,7 +132,7 @@ fn main() {
         )
     };
     let mut online_predictor = YalaPredictor::new(&bank);
-    let online = run_fleet(
+    let online = run_fleet_observed(
         &profiled,
         FleetPolicy::ContentionAware {
             predictor: &mut online_predictor,
@@ -137,8 +142,21 @@ fn main() {
         },
         "yala-online",
         &engine,
+        &mut tel,
     );
     println!("  policy runs: {:.1} s", t0.elapsed().as_secs_f64());
+
+    // Observability self-test on the refinement-heavy journal.
+    if let Some(sink) = tel.sink() {
+        let replayed = verify_against(&online, &sink.journal)
+            .unwrap_or_else(|e| panic!("journal replay diverged from the yala-online report: {e}"));
+        println!(
+            "  journal: {} events replay to the yala-online report ({} migrations) — OK",
+            sink.journal.len(),
+            replayed.migrations
+        );
+    }
+    args.write_telemetry(&tel);
 
     println!(
         "  {:<16} {:>10} {:>10} {:>10} {:>9} {:>6} {:>9}",

@@ -256,6 +256,13 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
 /// * `--check` — regression gate: recompute quick-mode results, diff the
 ///   headline metrics against the *committed* record within tolerance,
 ///   and exit nonzero on regression instead of overwriting anything.
+/// * `--telemetry BASE` — observe the flagship run and write its
+///   deterministic artifacts: `BASE.jsonl` (the sim-time event journal),
+///   `BASE.metrics.json` and `BASE.prom` (the metrics registry). The
+///   artifacts are bit-identical across runs and `--threads` values;
+///   the wall-clock latency summary goes to stdout only. Without the
+///   flag every instrumented path runs with the no-op handle and the
+///   record bytes are unchanged.
 #[derive(Debug, Clone, Default)]
 pub struct BenchArgs {
     /// CI-sized run (implied by `--check`).
@@ -266,6 +273,8 @@ pub struct BenchArgs {
     pub threads: Option<usize>,
     /// Alternative record path.
     pub out: Option<String>,
+    /// Base path for telemetry artifacts (`None` = telemetry disabled).
+    pub telemetry: Option<String>,
 }
 
 impl BenchArgs {
@@ -291,6 +300,9 @@ impl BenchArgs {
                     out.threads = Some(v.parse().expect("--threads needs an integer"));
                 }
                 "--out" => out.out = Some(args.next().expect("--out needs a path")),
+                "--telemetry" => {
+                    out.telemetry = Some(args.next().expect("--telemetry needs a base path"));
+                }
                 other => panic!("unknown bench flag {other}"),
             }
         }
@@ -302,6 +314,39 @@ impl BenchArgs {
         match self.threads {
             Some(n) => Engine::with_threads(n),
             None => Engine::auto(),
+        }
+    }
+
+    /// The observability handle the flags select: a live sink with the
+    /// wall-clock layer when `--telemetry` was given, the no-op handle
+    /// otherwise. The disabled handle makes every observed code path
+    /// byte-identical to its unobserved twin, so records produced
+    /// without the flag never move.
+    pub fn telemetry_handle(&self, seed: u64) -> yala_telemetry::Telemetry {
+        match &self.telemetry {
+            Some(_) => yala_telemetry::Telemetry::with_wallclock(seed),
+            None => yala_telemetry::Telemetry::disabled(),
+        }
+    }
+
+    /// Writes the observed run's deterministic artifacts next to the
+    /// `--telemetry` base path — `BASE.jsonl` (event journal),
+    /// `BASE.metrics.json`, `BASE.prom` — and prints the wall-clock
+    /// summary to stdout (deliberately *not* written to a file: it is
+    /// the one non-deterministic layer). No-op without the flag.
+    pub fn write_telemetry(&self, tel: &yala_telemetry::Telemetry) {
+        let (Some(base), Some(sink)) = (&self.telemetry, tel.sink()) else {
+            return;
+        };
+        let write = |path: String, body: String| match std::fs::write(&path, body) {
+            Ok(()) => println!("  wrote {path}"),
+            Err(e) => eprintln!("  could not write {path}: {e}"),
+        };
+        write(format!("{base}.jsonl"), sink.journal.to_jsonl());
+        write(format!("{base}.metrics.json"), sink.metrics.to_json());
+        write(format!("{base}.prom"), sink.metrics.to_prometheus());
+        if let Some(w) = &sink.wall {
+            println!("  wall clock: {}", w.summary());
         }
     }
 

@@ -77,8 +77,10 @@ pub fn select_victim(bottleneck: ResourceKind, co_residents: &[Contender]) -> Op
 
 /// A co-resident's pressure on `bottleneck`, NaN-safe: NaN ranks below
 /// every finite pressure so a pathological counter never wins a victim
-/// election.
-fn victim_pressure(bottleneck: ResourceKind, c: &Contender) -> f64 {
+/// election. Public so callers can report the winning pressure (e.g. a
+/// migration journal explaining the victim choice) without re-deriving
+/// the election's scoring rule.
+pub fn victim_pressure(bottleneck: ResourceKind, c: &Contender) -> f64 {
     let p = match bottleneck {
         ResourceKind::CpuMem => c.counters.car(),
         accel => c.pressure_on(accel),

@@ -30,6 +30,10 @@
 //! * [`report`] — the [`FleetReport`] time series: NICs in use,
 //!   SLA-violation minutes, migrations, wasted cores vs. the oracle
 //!   packing bound. Same `(config, policy)` ⇒ bit-identical report.
+//! * [`replay`] — the observability self-test: reconstructs the
+//!   report's headline counters from the [`yala_telemetry`] event
+//!   journal alone and checks them exactly (an observed run via
+//!   [`run_fleet_observed`] journals every decision the loop makes).
 //!
 //! ```
 //! use yala_core::Engine;
@@ -45,14 +49,16 @@
 //! ```
 
 pub mod policy;
+pub mod replay;
 pub mod report;
 pub mod sim;
 pub mod timeline;
 pub mod trace;
 
 pub use policy::{Diagnoser, FleetPolicy, OnlineRefine};
+pub use replay::{replay_journal, verify_against, ReplaySummary};
 pub use report::{ClassStats, FleetReport, FleetSample};
-pub use sim::run_fleet;
+pub use sim::{run_fleet, run_fleet_observed};
 pub use timeline::{NfTimeline, ProfileStats, ProfiledTrace};
 pub use trace::{
     FaultEvent, FaultKind, FaultPlan, FleetConfig, FleetTrace, NfRecord, TraceError, TrafficModel,

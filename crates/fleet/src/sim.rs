@@ -23,9 +23,15 @@ use crate::trace::{FaultKind, MS_PER_S};
 use yala_core::contender::{aggregate_counters, total_pressure};
 use yala_core::engine::{scenario_seed, simulator_for, Engine};
 use yala_core::{Observation, ObservationBuffer, QosClass};
-use yala_diagnosis::{select_victim, select_victim_qos};
+use yala_diagnosis::{select_victim, select_victim_qos, victim_pressure};
 use yala_placement::{Placed, PlacementPredictor};
 use yala_sim::{CoRunReport, NicModelId, ResourceKind, WorkloadSpec};
+use yala_telemetry::{Event, Telemetry};
+
+/// Per-resident predicted-vs-floor margins a contention-aware placement
+/// gathered on the NIC it accepted: `(slot, predicted, floor_with_margin)`.
+/// `None` disables collection entirely (the telemetry-off path).
+type MarginSink<'a> = Option<&'a mut Vec<(usize, f64, f64)>>;
 
 /// Salt separating the audit seed stream from the timeline stream.
 const AUDIT_SALT: u64 = 0xAD17_0CA5;
@@ -107,9 +113,28 @@ impl NicMap {
 /// parallelizes the per-NIC ground-truth audits.
 pub fn run_fleet(
     profiled: &ProfiledTrace,
+    policy: FleetPolicy<'_>,
+    label: &str,
+    engine: &Engine,
+) -> FleetReport {
+    run_fleet_observed(profiled, policy, label, engine, &mut Telemetry::disabled())
+}
+
+/// [`run_fleet`] with an observability sink: every decision the loop
+/// takes — placements with their predicted-vs-floor margins, rejections,
+/// ground-truth violations with a diagnosed bottleneck, migrations with
+/// the victim's pressure rationale, fault transitions, evacuations,
+/// park/readmit, absorb passes, and a per-epoch fleet snapshot — is
+/// journaled at logical event time and tallied into the metrics
+/// registry. With a disabled handle this *is* `run_fleet`: the
+/// instrumentation adds only skipped branches and pure extra reads, so
+/// the report is bit-identical with telemetry on, off, or absent.
+pub fn run_fleet_observed(
+    profiled: &ProfiledTrace,
     mut policy: FleetPolicy<'_>,
     label: &str,
     engine: &Engine,
+    tel: &mut Telemetry,
 ) -> FleetReport {
     let cfg = &profiled.trace.config;
     let records = &profiled.trace.records;
@@ -181,20 +206,39 @@ pub fn run_fleet(
         })
         .collect();
 
+    // Margin scratch buffer for contention-aware placements; only wired
+    // into the chooser when telemetry is on, so the off path never pays
+    // the pushes.
+    let observing = tel.is_enabled();
+    let mut margin_buf: Vec<(usize, f64, f64)> = Vec::new();
+    let cache_hit_rate = if profiled.stats.lookups > 0 {
+        profiled.stats.hits as f64 / profiled.stats.lookups as f64
+    } else {
+        0.0
+    };
+
     for &(t_ms, class, index) in &events {
+        tel.wall_tick();
         match class {
             CLASS_DEPARTURE => {
                 let id = index as usize;
+                let at = location[id].map(|n| n as i64).unwrap_or(-1);
                 if let Some(nic) = location[id].take() {
                     residents[nic].retain(|&r| r != index);
                 }
                 parked.retain(|p| p.id != index);
+                tel.rec(t_ms, || Event::Depart { id: index, nic: at });
             }
             CLASS_FAULT => {
                 let ev = profiled.trace.faults[index as usize];
+                tel.rec(t_ms, || Event::Fault {
+                    nic: ev.nic as u32,
+                    kind: ev.kind.name(),
+                });
                 match ev.kind {
                     FaultKind::Fail => {
                         faults_total += 1;
+                        tel.inc("fleet.faults", 1);
                         state[ev.nic] = NicState::Down;
                         let evicted = std::mem::take(&mut residents[ev.nic]);
                         for &id in &evicted {
@@ -215,10 +259,12 @@ pub fn run_fleet(
                             &mut parked,
                             &mut evacuations,
                             &mut shed,
+                            tel,
                         );
                     }
                     FaultKind::DrainStart => {
                         drains_total += 1;
+                        tel.inc("fleet.drains", 1);
                         state[ev.nic] = NicState::Draining;
                         let ids = residents[ev.nic].clone();
                         evacuate(
@@ -236,6 +282,7 @@ pub fn run_fleet(
                             &mut parked,
                             &mut evacuations,
                             &mut shed,
+                            tel,
                         );
                     }
                     FaultKind::DrainEnd => {
@@ -259,6 +306,7 @@ pub fn run_fleet(
                             &mut parked,
                             &mut evacuations,
                             &mut shed,
+                            tel,
                         );
                     }
                     FaultKind::Recover => {
@@ -269,6 +317,16 @@ pub fn run_fleet(
             CLASS_ARRIVAL => {
                 let id = index as usize;
                 let nf = profiled.timelines[id].snapshots[0].1.clone();
+                tel.inc("fleet.arrivals", 1);
+                tel.rec(t_ms, || Event::Arrival {
+                    id: index,
+                    kind: nf.arrival.kind.name(),
+                    qos: nf.qos().name(),
+                    sla_drop: nf.arrival.sla_drop,
+                });
+                let w0 = tel.wall_start();
+                margin_buf.clear();
+                let mut reason = "arrival";
                 let slot = choose_slot(
                     profiled,
                     &residents,
@@ -279,6 +337,7 @@ pub fn run_fleet(
                     &nf,
                     None,
                     0.0,
+                    observing.then_some(&mut margin_buf),
                 )
                 .or_else(|| {
                     // A guaranteed arrival that found no safe slot may,
@@ -292,7 +351,7 @@ pub fn run_fleet(
                     } = &mut policy
                     {
                         if nf.qos().is_guaranteed() {
-                            return try_preempt_best_effort(
+                            let r = try_preempt_best_effort(
                                 profiled,
                                 &mut residents,
                                 &mut location,
@@ -306,23 +365,55 @@ pub fn run_fleet(
                                 t_ms,
                                 &mut parked,
                                 &mut shed,
+                                tel,
                             );
+                            if r.is_some() {
+                                reason = "preempt";
+                            }
+                            return r;
                         }
                     }
                     None
                 });
+                tel.wall_decision(w0);
                 match slot {
                     Some(nic) => {
                         debug_assert!(nf.supported_on(nics_map.model[nic]));
+                        tel.rec(t_ms, || Event::Place {
+                            id: index,
+                            nic: nic as u32,
+                            reason,
+                        });
+                        // The margins refer to the accepted NIC's
+                        // candidate vector: its residents *before* this
+                        // push, then the arriving NF.
+                        for &(slot_idx, predicted, floor) in &margin_buf {
+                            let mid = residents[nic].get(slot_idx).copied().unwrap_or(index);
+                            tel.rec(t_ms, || Event::Margin {
+                                id: mid,
+                                nic: nic as u32,
+                                predicted,
+                                floor,
+                            });
+                        }
                         residents[nic].push(index);
                         location[id] = Some(nic);
                         cursor[id] = 0;
                     }
-                    None => rejected += 1,
+                    None => {
+                        rejected += 1;
+                        tel.inc("fleet.rejected", 1);
+                        tel.rec(t_ms, || Event::Reject {
+                            id: index,
+                            kind: nf.arrival.kind.name(),
+                            qos: nf.qos().name(),
+                        });
+                    }
                 }
             }
             CLASS_AUDIT => {
                 let epoch = index as u64;
+                let w0 = tel.wall_start();
                 // 1. Drift: bring every placed NF to its snapshot in
                 // force at this epoch (re-profiles are epoch-aligned).
                 for (id, loc) in location.iter().enumerate() {
@@ -351,14 +442,54 @@ pub fn run_fleet(
                 let mut violating = 0u32;
                 for (&nic, report) in occupied.iter().zip(&reports) {
                     let model = nics_map.model[nic];
-                    for (&id, outcome) in residents[nic].iter().zip(&report.outcomes) {
-                        if outcome.throughput_pps < snapshot(profiled, &cursor, id).sla_floor(model)
-                        {
+                    if observing {
+                        tel.observe_log2("fleet.co_residents", 1.0, 6, residents[nic].len() as f64);
+                    }
+                    for (pos, (&id, outcome)) in
+                        residents[nic].iter().zip(&report.outcomes).enumerate()
+                    {
+                        let floor = snapshot(profiled, &cursor, id).sla_floor(model);
+                        if outcome.throughput_pps < floor {
                             violating += 1;
-                            violation_min[records[id as usize].qos as usize] += period_min;
+                            let qos = records[id as usize].qos;
+                            violation_min[qos as usize] += period_min;
+                            tel.inc(&format!("fleet.violations.{}", qos.name()), 1);
+                            if observing {
+                                // Diagnose the measured violation for the
+                                // journal. The diagnoser is pure (&self),
+                                // so the extra call cannot perturb the
+                                // run; solo NFs and diagnoser-free
+                                // policies record "none".
+                                let bottleneck = match (&policy, residents[nic].len()) {
+                                    (FleetPolicy::ContentionAware { diagnoser, .. }, n)
+                                        if n >= 2 =>
+                                    {
+                                        let placed: Vec<Placed> = residents[nic]
+                                            .iter()
+                                            .map(|&r| snapshot(profiled, &cursor, r).clone())
+                                            .collect();
+                                        let co = diagnoser.contenders(model, &placed, pos);
+                                        diagnoser.bottleneck(model, &placed, pos, &co).to_string()
+                                    }
+                                    _ => "none".to_string(),
+                                };
+                                tel.rec(t_ms, || Event::Violation {
+                                    id,
+                                    nic: nic as u32,
+                                    qos: qos.name(),
+                                    measured: outcome.throughput_pps,
+                                    floor,
+                                    bottleneck,
+                                });
+                            }
                         }
                     }
                 }
+                tel.rec(t_ms, || Event::Audit {
+                    epoch: index,
+                    occupied: occupied.len() as u32,
+                    violating,
+                });
                 // 3. Learn: online-refining policies feed the audit's
                 // ground truth straight back into the predictor — the
                 // (context, outcome) pairs were measured anyway, so the
@@ -385,7 +516,15 @@ pub fn run_fleet(
                         &mut pending,
                     );
                     if pending.len() >= online.min_observations.max(1) {
-                        predictor.absorb(&pending, engine);
+                        let observations = pending.len() as u32;
+                        let refined = predictor.absorb(&pending, engine) as u64;
+                        tel.inc("fleet.absorb.passes", 1);
+                        tel.inc("fleet.absorb.observations", observations as u64);
+                        tel.inc("fleet.absorb.refined_cells", refined);
+                        tel.rec(t_ms, || Event::Absorb {
+                            epoch: index,
+                            observations,
+                        });
                         pending.clear();
                     }
                 }
@@ -411,6 +550,8 @@ pub fn run_fleet(
                         diagnoser,
                         aware,
                         cfg.max_migrations_per_audit,
+                        t_ms,
+                        tel,
                     );
                     migrations_total += epoch_migrations;
                 }
@@ -452,6 +593,7 @@ pub fn run_fleet(
                             &nf,
                             None,
                             READMIT_MARGIN,
+                            None,
                         )
                         .or_else(|| {
                             // A parked guaranteed NF re-enters by
@@ -480,6 +622,7 @@ pub fn run_fleet(
                                         t_ms,
                                         &mut parked,
                                         &mut shed,
+                                        tel,
                                     );
                                 }
                             }
@@ -490,6 +633,12 @@ pub fn run_fleet(
                                 residents[nic].push(id);
                                 location[id as usize] = Some(nic);
                                 readmitted[nf.qos() as usize] += 1;
+                                tel.inc(&format!("fleet.readmitted.{}", nf.qos().name()), 1);
+                                tel.rec(t_ms, || Event::Readmit {
+                                    id,
+                                    nic: nic as u32,
+                                    qos: nf.qos().name(),
+                                });
                                 admitted.push(id);
                             }
                             None => {
@@ -529,6 +678,27 @@ pub fn run_fleet(
                 nic_minutes += nics_in_use as f64 * period_min;
                 oracle_lb_nic_minutes += oracle_lb_nics as f64 * period_min;
                 wasted_core_minutes += wasted_cores as f64 * period_min;
+                let down_nics = state.iter().filter(|&&s| s == NicState::Down).count() as u32;
+                tel.gauge("fleet.active_nfs", active as f64);
+                tel.gauge("fleet.nics_in_use", nics_in_use as f64);
+                tel.gauge("fleet.parked", parked.len() as f64);
+                tel.gauge("fleet.down_nics", down_nics as f64);
+                tel.gauge("fleet.obs_queue", pending.len() as f64);
+                tel.gauge("fleet.cache_hit_rate", cache_hit_rate);
+                tel.rec(t_ms, || Event::Epoch {
+                    t_s: t_ms / MS_PER_S,
+                    active,
+                    nics_in_use,
+                    violating,
+                    migrations: epoch_migrations,
+                    wasted_cores,
+                    oracle_lb: oracle_lb_nics,
+                    parked: parked.len() as u32,
+                    down: down_nics,
+                    obs_queue: pending.len() as u32,
+                    cache_hit_rate,
+                });
+                tel.wall_phase("audit", w0);
                 samples.push(FleetSample {
                     t_s: t_ms / MS_PER_S,
                     active_nfs: active,
@@ -538,7 +708,7 @@ pub fn run_fleet(
                     wasted_cores,
                     oracle_lb_nics,
                     parked: parked.len() as u32,
-                    down_nics: state.iter().filter(|&&s| s == NicState::Down).count() as u32,
+                    down_nics,
                 });
             }
             _ => unreachable!("unknown event class"),
@@ -623,6 +793,7 @@ fn choose_slot(
     nf: &Placed,
     exclude: Option<usize>,
     margin: f64,
+    mut margins: MarginSink<'_>,
 ) -> Option<usize> {
     match policy {
         FleetPolicy::Monopolization => choose_empty(residents, nics_map, state, nf, exclude),
@@ -630,10 +801,29 @@ fn choose_slot(
             choose_greedy(profiled, residents, cursor, nics_map, state, nf, exclude)
                 .or_else(|| choose_empty(residents, nics_map, state, nf, exclude))
         }
-        FleetPolicy::ContentionAware { predictor, .. } => choose_contention_aware(
-            profiled, residents, cursor, nics_map, state, *predictor, nf, exclude, margin,
-        )
-        .or_else(|| choose_empty(residents, nics_map, state, nf, exclude)),
+        FleetPolicy::ContentionAware { predictor, .. } => {
+            let found = choose_contention_aware(
+                profiled,
+                residents,
+                cursor,
+                nics_map,
+                state,
+                *predictor,
+                nf,
+                exclude,
+                margin,
+                margins.as_deref_mut(),
+            );
+            if found.is_some() {
+                return found;
+            }
+            // Falling back to an empty NIC: the last candidate's partial
+            // margins describe a NIC that was *not* chosen.
+            if let Some(m) = margins {
+                m.clear();
+            }
+            choose_empty(residents, nics_map, state, nf, exclude)
+        }
     }
 }
 
@@ -661,6 +851,7 @@ fn evacuate(
     parked: &mut Vec<Parked>,
     evacuations: &mut [u32; 2],
     shed: &mut [u32; 2],
+    tel: &mut Telemetry,
 ) {
     let qos_aware = matches!(
         policy,
@@ -688,6 +879,7 @@ fn evacuate(
             &nf,
             Some(src),
             0.0,
+            None,
         )
         .or_else(|| {
             if let FleetPolicy::ContentionAware {
@@ -711,6 +903,7 @@ fn evacuate(
                         t_ms,
                         parked,
                         shed,
+                        tel,
                     );
                 }
             }
@@ -724,6 +917,14 @@ fn evacuate(
                 residents[dst].push(id);
                 location[id as usize] = Some(dst);
                 evacuations[c] += 1;
+                tel.inc(&format!("fleet.evacuations.{}", nf.qos().name()), 1);
+                tel.rec(t_ms, || Event::Evacuate {
+                    id,
+                    from: src as u32,
+                    to: dst as u32,
+                    qos: nf.qos().name(),
+                    forced,
+                });
             }
             None if forced => {
                 location[id as usize] = None;
@@ -733,6 +934,12 @@ fn evacuate(
                     backoff_epochs: 1,
                 });
                 shed[c] += 1;
+                tel.inc(&format!("fleet.shed.{}", nf.qos().name()), 1);
+                tel.rec(t_ms, || Event::Park {
+                    id,
+                    qos: nf.qos().name(),
+                    reason: "no_slot",
+                });
             }
             // Graceful: the NF stays resident until the drain deadline;
             // later audits (or the deadline itself) will retry.
@@ -761,6 +968,7 @@ fn try_preempt_best_effort(
     t_ms: u64,
     parked: &mut Vec<Parked>,
     shed: &mut [u32; 2],
+    tel: &mut Telemetry,
 ) -> Option<usize> {
     for i in 0..residents.len() {
         if Some(i) == exclude || state[i] != NicState::Up || !nf.supported_on(nics_map.model[i]) {
@@ -818,6 +1026,12 @@ fn try_preempt_best_effort(
                 backoff_epochs: 1,
             });
             shed[QosClass::BestEffort as usize] += 1;
+            tel.inc("fleet.shed.best_effort", 1);
+            tel.rec(t_ms, || Event::Park {
+                id,
+                qos: QosClass::BestEffort.name(),
+                reason: "preempted",
+            });
         }
         return Some(i);
     }
@@ -958,6 +1172,7 @@ fn choose_contention_aware(
     nf: &Placed,
     exclude: Option<usize>,
     margin: f64,
+    mut margins: MarginSink<'_>,
 ) -> Option<usize> {
     for (i, nic) in residents.iter().enumerate() {
         if Some(i) == exclude
@@ -976,10 +1191,27 @@ fn choose_contention_aware(
             .map(|&id| snapshot(profiled, cursor, id).clone())
             .collect();
         candidate.push(nf.clone());
-        let safe = (0..candidate.len()).all(|t| {
-            predictor.predict(model, t, &candidate)
-                >= candidate[t].sla_floor(model) * (1.0 + margin)
-        });
+        // Explicit loop with the same short-circuit as the original
+        // `all()`, so margin collection sees each prediction the moment
+        // it is made without changing which predictions are made.
+        if let Some(m) = margins.as_deref_mut() {
+            m.clear();
+        }
+        let mut safe = true;
+        for t in 0..candidate.len() {
+            let predicted = predictor.predict(model, t, &candidate);
+            let floor = candidate[t].sla_floor(model) * (1.0 + margin);
+            if let Some(m) = margins.as_deref_mut() {
+                m.push((t, predicted, floor));
+            }
+            // `!(>=)`, not `<`: a NaN prediction must stay unsafe,
+            // exactly as it failed the original `all(>=)`.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(predicted >= floor) {
+                safe = false;
+                break;
+            }
+        }
         if safe {
             return Some(i);
         }
@@ -1007,6 +1239,8 @@ fn migrate(
     diagnoser: &Diagnoser<'_>,
     qos_aware: bool,
     budget: usize,
+    t_ms: u64,
+    tel: &mut Telemetry,
 ) -> u32 {
     let mut moved = 0u32;
     for nic in 0..residents.len() {
@@ -1037,8 +1271,10 @@ fn migrate(
         } else {
             select_victim(bottleneck, &co)
         };
-        let victim_pos = co_positions[selected.expect("≥1 co-resident")];
+        let sel = selected.expect("≥1 co-resident");
+        let victim_pos = co_positions[sel];
         let victim_id = residents[nic][victim_pos];
+        let violator_id = residents[nic][violator];
         let victim = placed[victim_pos].clone();
         // Drain-and-replace: a safe occupied NIC first, else power on an
         // empty one; if the fleet is exhausted the victim stays put.
@@ -1052,6 +1288,7 @@ fn migrate(
             &victim,
             Some(nic),
             0.0,
+            None,
         )
         .or_else(|| choose_empty(residents, nics_map, state, &victim, Some(nic)));
         if let Some(dst) = dst {
@@ -1059,6 +1296,16 @@ fn migrate(
             residents[dst].push(victim_id);
             location[victim_id as usize] = Some(dst);
             moved += 1;
+            tel.inc("fleet.migrations", 1);
+            tel.rec(t_ms, || Event::Migrate {
+                victim: victim_id,
+                from: nic as u32,
+                to: dst as u32,
+                violator: violator_id,
+                bottleneck: bottleneck.to_string(),
+                qos: victim.qos().name(),
+                pressure: victim_pressure(bottleneck, &co[sel]),
+            });
         }
     }
     moved
@@ -1122,6 +1369,8 @@ mod tests {
             &Diagnoser::MemoryOnly,
             false,
             8,
+            600_000,
+            &mut Telemetry::disabled(),
         );
         assert_eq!(moved, 1, "the predicted violation must drain a victim");
         assert_eq!(residents[0].len(), 1);

@@ -35,7 +35,17 @@ use crate::trace::{FleetTrace, MS_PER_S};
 use yala_core::engine::Engine;
 use yala_core::profile_cache::{profile_seed, ProfileCache, ProfileKey, TrafficKey};
 use yala_placement::{measure_entry, placed_from_entry, sims_for, sims_for_key, Arrival, Placed};
+use yala_telemetry::{stable_hash64, Event, MetricsRegistry, Telemetry};
 use yala_traffic::TrafficQuantizer;
+
+/// One measurement consumed during an observed build, for the journal:
+/// `(logical time, trigger, stable key hash)`.
+type ProfileTap = Vec<(u64, &'static str, u64)>;
+
+/// Stable 64-bit identity of a profile-cache key, for journal lines.
+fn key_hash(key: &ProfileKey) -> u64 {
+    stable_hash64(format!("{key:?}").as_bytes())
+}
 
 /// Salt separating the timeline's seed stream from the audit stream.
 const TIMELINE_SALT: u64 = 0xF1EE_7717;
@@ -149,6 +159,16 @@ impl ProfiledTrace {
         Self::build_with_cache(trace, engine, &ProfileCache::new())
     }
 
+    /// [`build`](Self::build) with an observability sink: every
+    /// measurement is journaled as an [`Event::Profile`] (with a stable
+    /// key hash and a deterministic hit/miss attribution), per-scenario
+    /// metric shards are merged into the registry in scenario order, and
+    /// the build's [`ProfileStats`] are mirrored onto `profile.*`
+    /// counters. A disabled handle makes this exactly `build`.
+    pub fn build_observed(trace: FleetTrace, engine: &Engine, tel: &mut Telemetry) -> Self {
+        Self::build_with_cache_observed(trace, engine, &ProfileCache::new(), tel)
+    }
+
     /// Exact-mode build against a caller-owned cache. Keys are
     /// `(kind, exact traffic, per-instance workload seed)`, so within
     /// one trace every measurement is a fresh key and the build is a
@@ -159,69 +179,106 @@ impl ProfiledTrace {
     /// `(seed, kind, traffic)` — the per-instance seed in the key keeps
     /// unrelated traces from colliding.
     pub fn build_with_cache(trace: FleetTrace, engine: &Engine, cache: &ProfileCache) -> Self {
+        Self::build_with_cache_observed(trace, engine, cache, &mut Telemetry::disabled())
+    }
+
+    /// Exact-mode observed build; see [`build_observed`](Self::build_observed)
+    /// for the telemetry contract.
+    pub fn build_with_cache_observed(
+        trace: FleetTrace,
+        engine: &Engine,
+        cache: &ProfileCache,
+        tel: &mut Telemetry,
+    ) -> Self {
         let cfg = trace.config.clone();
         let specs = cfg.specs();
         let horizon_ms = cfg.duration_s * MS_PER_S;
         let period_ms = cfg.audit_period_s * MS_PER_S;
+        let observe = tel.is_enabled();
         let before = cache.stats();
-        let built: Vec<(NfTimeline, u64)> = engine.run(trace.records.len(), |i| {
-            let rec = &trace.records[i];
-            let mut sims = sims_for(
-                &specs,
-                rec.kind,
-                cfg.noise_sigma,
-                cfg.seed ^ TIMELINE_SALT,
-                i,
-            );
-            let workload_seed = cfg.seed.wrapping_add(rec.id as u64);
-            // The measurement closure threads the record's own simulators
-            // through the cache: on a miss the simulators advance exactly
-            // as the uncached profiler's would; on a hit they stay put and
-            // the cached bytes stand in for the measurement they replay.
-            let mut measure = |traffic| {
-                let key = ProfileKey {
-                    kind: rec.kind,
-                    traffic: TrafficKey::exact(&traffic),
-                    seed: workload_seed,
+        let built: Vec<(NfTimeline, u64, ProfileTap, Option<MetricsRegistry>)> =
+            engine.run(trace.records.len(), |i| {
+                let rec = &trace.records[i];
+                let mut sims = sims_for(
+                    &specs,
+                    rec.kind,
+                    cfg.noise_sigma,
+                    cfg.seed ^ TIMELINE_SALT,
+                    i,
+                );
+                let workload_seed = cfg.seed.wrapping_add(rec.id as u64);
+                let mut tap: ProfileTap = Vec::new();
+                let mut shard = observe.then(MetricsRegistry::new);
+                // The measurement closure threads the record's own simulators
+                // through the cache: on a miss the simulators advance exactly
+                // as the uncached profiler's would; on a hit they stay put and
+                // the cached bytes stand in for the measurement they replay.
+                let mut measure = |traffic, t_ms: u64, trigger: &'static str| {
+                    let key = ProfileKey {
+                        kind: rec.kind,
+                        traffic: TrafficKey::exact(&traffic),
+                        seed: workload_seed,
+                    };
+                    if observe {
+                        tap.push((t_ms, trigger, key_hash(&key)));
+                    }
+                    cache.get_or_measure(&key, || {
+                        measure_entry(&mut sims, rec.kind, traffic, workload_seed)
+                    })
                 };
-                cache.get_or_measure(&key, || {
-                    measure_entry(&mut sims, rec.kind, traffic, workload_seed)
-                })
-            };
-            let arrival = Arrival {
-                kind: rec.kind,
-                traffic: rec.traffic_at(rec.arrival_ms),
-                sla_drop: rec.sla_drop,
-                qos: rec.qos,
-            };
-            let first = placed_from_entry(&measure(arrival.traffic), arrival, None);
-            let name = first.workload.name.clone();
-            let mut snapshots = vec![(rec.arrival_ms, first)];
-            let mut last_traffic = rec.start;
-            let mut reprofiles = 0u64;
-            // Walk the audit epochs inside the NF's on-trace lifetime.
-            let mut epoch_ms = (rec.arrival_ms / period_ms + 1) * period_ms;
-            while epoch_ms < rec.departure_ms && epoch_ms <= horizon_ms {
-                let now = rec.traffic_at(epoch_ms);
-                if last_traffic.relative_change(&now) > cfg.reprofile_threshold {
-                    let prev = &snapshots.last().expect("arrival snapshot").1;
-                    let mut arr = prev.arrival.clone();
-                    arr.traffic = now;
-                    snapshots.push((epoch_ms, placed_from_entry(&measure(now), arr, Some(&name))));
-                    reprofiles += 1;
-                    last_traffic = now;
+                let arrival = Arrival {
+                    kind: rec.kind,
+                    traffic: rec.traffic_at(rec.arrival_ms),
+                    sla_drop: rec.sla_drop,
+                    qos: rec.qos,
+                };
+                let first = placed_from_entry(
+                    &measure(arrival.traffic, rec.arrival_ms, "arrival"),
+                    arrival,
+                    None,
+                );
+                let name = first.workload.name.clone();
+                let mut snapshots = vec![(rec.arrival_ms, first)];
+                let mut last_traffic = rec.start;
+                let mut reprofiles = 0u64;
+                // Walk the audit epochs inside the NF's on-trace lifetime.
+                let mut epoch_ms = (rec.arrival_ms / period_ms + 1) * period_ms;
+                while epoch_ms < rec.departure_ms && epoch_ms <= horizon_ms {
+                    let now = rec.traffic_at(epoch_ms);
+                    if last_traffic.relative_change(&now) > cfg.reprofile_threshold {
+                        let prev = &snapshots.last().expect("arrival snapshot").1;
+                        let mut arr = prev.arrival.clone();
+                        arr.traffic = now;
+                        snapshots.push((
+                            epoch_ms,
+                            placed_from_entry(&measure(now, epoch_ms, "drift"), arr, Some(&name)),
+                        ));
+                        reprofiles += 1;
+                        last_traffic = now;
+                    }
+                    epoch_ms += period_ms;
                 }
-                epoch_ms += period_ms;
-            }
-            (NfTimeline { snapshots }, reprofiles)
-        });
+                if let Some(s) = shard.as_mut() {
+                    for &(_, trigger, _) in &tap {
+                        s.inc(&format!("profile.measurements.{trigger}"), 1);
+                    }
+                    s.observe_log2("profile.snapshots_per_nf", 1.0, 6, snapshots.len() as f64);
+                }
+                (NfTimeline { snapshots }, reprofiles, tap, shard)
+            });
         let mut timelines = Vec::with_capacity(built.len());
         let mut full_reprofiles = 0u64;
-        for (tl, n) in built {
+        let mut seen_keys = std::collections::HashSet::new();
+        for (i, (tl, n, tap, shard)) in built.into_iter().enumerate() {
             timelines.push(tl);
             full_reprofiles += n;
+            if let Some(shard) = shard {
+                tel.merge_shard(&shard);
+            }
+            journal_tap(tel, &trace, i, tap, &mut seen_keys);
         }
         let stats = Self::stats_from(before, cache.stats(), 0, full_reprofiles);
+        mirror_stats(tel, &stats);
         Self {
             trace,
             timelines,
@@ -238,6 +295,14 @@ impl ProfiledTrace {
     /// [`build_cached_with`]: ProfiledTrace::build_cached_with
     pub fn build_cached(trace: FleetTrace, engine: &Engine) -> Self {
         Self::build_cached_with(trace, engine, &ProfileCache::new())
+    }
+
+    /// [`build_cached`](Self::build_cached) with an observability sink;
+    /// same telemetry contract as [`build_observed`](Self::build_observed),
+    /// with triggers `arrival`/`delta`/`full` instead of
+    /// `arrival`/`drift`.
+    pub fn build_cached_observed(trace: FleetTrace, engine: &Engine, tel: &mut Telemetry) -> Self {
+        Self::build_cached_with_observed(trace, engine, &ProfileCache::new(), tel)
     }
 
     /// Quantized-mode build against a caller-owned cache — the
@@ -259,14 +324,30 @@ impl ProfiledTrace {
     /// already measured. Snapshots carry the representative traffic, so
     /// SLA floors track the profile that was actually measured.
     pub fn build_cached_with(trace: FleetTrace, engine: &Engine, cache: &ProfileCache) -> Self {
+        Self::build_cached_with_observed(trace, engine, cache, &mut Telemetry::disabled())
+    }
+
+    /// Quantized-mode observed build; see
+    /// [`build_cached_observed`](Self::build_cached_observed) for the
+    /// telemetry contract.
+    pub fn build_cached_with_observed(
+        trace: FleetTrace,
+        engine: &Engine,
+        cache: &ProfileCache,
+        tel: &mut Telemetry,
+    ) -> Self {
         let cfg = trace.config.clone();
         let specs = cfg.specs();
         let horizon_ms = cfg.duration_s * MS_PER_S;
         let period_ms = cfg.audit_period_s * MS_PER_S;
         let quantizer = TrafficQuantizer::new(cfg.reprofile_threshold);
+        let observe = tel.is_enabled();
         let before = cache.stats();
-        let built: Vec<(NfTimeline, u64, u64)> = engine.run(trace.records.len(), |i| {
+        type QuantBuilt = (NfTimeline, u64, u64, ProfileTap, Option<MetricsRegistry>);
+        let built: Vec<QuantBuilt> = engine.run(trace.records.len(), |i| {
             let rec = &trace.records[i];
+            let mut tap: ProfileTap = Vec::new();
+            let mut shard = observe.then(MetricsRegistry::new);
             // A keyed measurement is a pure function of the key: fresh
             // simulators seeded from the key, measuring the bucket's
             // representative profile with the key-derived seed.
@@ -300,8 +381,11 @@ impl ProfiledTrace {
                 sla_drop: rec.sla_drop,
                 qos: rec.qos,
             };
-            let first =
-                placed_from_entry(&measure(keyed(last_key), last_rep), arrival, Some(&name));
+            let k0 = keyed(last_key);
+            if observe {
+                tap.push((rec.arrival_ms, "arrival", key_hash(&k0)));
+            }
+            let first = placed_from_entry(&measure(k0, last_rep), arrival, Some(&name));
             let mut snapshots = vec![(rec.arrival_ms, first)];
             let (mut delta, mut full) = (0u64, 0u64);
             let mut epoch_ms = (rec.arrival_ms / period_ms + 1) * period_ms;
@@ -313,34 +397,52 @@ impl ProfiledTrace {
                 // nominal trigger can re-quantize to the same key, and
                 // re-measuring it would be pure waste.
                 if rk.moved_count() > 0 && rk.key != last_key {
-                    if rk.is_full() {
+                    let trigger = if rk.is_full() {
                         full += 1;
+                        "full"
                     } else {
                         delta += 1;
-                    }
+                        "delta"
+                    };
                     let rep = quantizer.representative(&rk.key);
                     let prev = &snapshots.last().expect("arrival snapshot").1;
                     let mut arr = prev.arrival.clone();
                     arr.traffic = rep;
+                    let k = keyed(rk.key);
+                    if observe {
+                        tap.push((epoch_ms, trigger, key_hash(&k)));
+                    }
                     snapshots.push((
                         epoch_ms,
-                        placed_from_entry(&measure(keyed(rk.key), rep), arr, Some(&name)),
+                        placed_from_entry(&measure(k, rep), arr, Some(&name)),
                     ));
                     last_key = rk.key;
                     last_rep = rep;
                 }
                 epoch_ms += period_ms;
             }
-            (NfTimeline { snapshots }, delta, full)
+            if let Some(s) = shard.as_mut() {
+                for &(_, trigger, _) in &tap {
+                    s.inc(&format!("profile.measurements.{trigger}"), 1);
+                }
+                s.observe_log2("profile.snapshots_per_nf", 1.0, 6, snapshots.len() as f64);
+            }
+            (NfTimeline { snapshots }, delta, full, tap, shard)
         });
         let mut timelines = Vec::with_capacity(built.len());
         let (mut delta_reprofiles, mut full_reprofiles) = (0u64, 0u64);
-        for (tl, d, f) in built {
+        let mut seen_keys = std::collections::HashSet::new();
+        for (i, (tl, d, f, tap, shard)) in built.into_iter().enumerate() {
             timelines.push(tl);
             delta_reprofiles += d;
             full_reprofiles += f;
+            if let Some(shard) = shard {
+                tel.merge_shard(&shard);
+            }
+            journal_tap(tel, &trace, i, tap, &mut seen_keys);
         }
         let stats = Self::stats_from(before, cache.stats(), delta_reprofiles, full_reprofiles);
+        mirror_stats(tel, &stats);
         Self {
             trace,
             timelines,
@@ -375,6 +477,48 @@ impl ProfiledTrace {
             full_reprofiles,
         }
     }
+}
+
+/// Journals one record's profile tap, tagging each measurement `miss`
+/// on the first post-merge occurrence of its key hash and `hit` after.
+/// Runs sequentially in record order after the parallel build, so the
+/// attribution is deterministic regardless of which thread actually
+/// paid for the measurement.
+fn journal_tap(
+    tel: &mut Telemetry,
+    trace: &FleetTrace,
+    i: usize,
+    tap: ProfileTap,
+    seen: &mut std::collections::HashSet<u64>,
+) {
+    if tap.is_empty() {
+        return;
+    }
+    let rec = &trace.records[i];
+    for (t_ms, trigger, key) in tap {
+        let cache = if seen.insert(key) { "miss" } else { "hit" };
+        tel.rec(t_ms, || Event::Profile {
+            id: rec.id,
+            kind: rec.kind.name(),
+            trigger,
+            key,
+            cache,
+        });
+    }
+}
+
+/// Mirrors a build's [`ProfileStats`] onto the `profile.*` counters, so
+/// the registry carries the same accounting the bench records print.
+fn mirror_stats(tel: &mut Telemetry, stats: &ProfileStats) {
+    if !tel.is_enabled() {
+        return;
+    }
+    tel.inc("profile.lookups", stats.lookups);
+    tel.inc("profile.hits", stats.hits);
+    tel.inc("profile.misses", stats.misses);
+    tel.inc("profile.inserts", stats.inserts);
+    tel.inc("profile.delta_reprofiles", stats.delta_reprofiles);
+    tel.inc("profile.full_reprofiles", stats.full_reprofiles);
 }
 
 #[cfg(test)]

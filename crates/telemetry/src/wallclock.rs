@@ -1,0 +1,200 @@
+//! The optional wall-clock layer: decision-latency and phase-timing
+//! measurements in *real* time. Everything here is excluded from the
+//! determinism contract — wall time varies run to run — so none of it
+//! flows into the journal or the metrics exports that CI diffs; it
+//! renders to a human summary instead.
+//!
+//! Latency samples go through a seeded reservoir (Algorithm R on a
+//! [`rand::rngs::StdRng`]): which *slots* get replaced is deterministic
+//! in the seed and the sample count, even though the sampled values are
+//! wall-clock noise.
+
+use crate::metrics::Histogram;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// A fixed-size uniform sample over a stream (Vitter's Algorithm R),
+/// with a seeded RNG so the kept/evicted slot schedule is reproducible.
+#[derive(Debug, Clone)]
+pub struct Reservoir {
+    samples: Vec<f64>,
+    capacity: usize,
+    seen: u64,
+    rng: StdRng,
+}
+
+impl Reservoir {
+    /// An empty reservoir holding at most `capacity` samples.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        Self {
+            samples: Vec::with_capacity(capacity),
+            capacity: capacity.max(1),
+            seen: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Offers one value to the reservoir.
+    pub fn add(&mut self, v: f64) {
+        self.seen += 1;
+        if self.samples.len() < self.capacity {
+            self.samples.push(v);
+            return;
+        }
+        let j = self.rng.gen_range(0..self.seen as usize);
+        if j < self.capacity {
+            self.samples[j] = v;
+        }
+    }
+
+    /// Values offered so far (kept or not).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The `q`-quantile (0..=1) of the retained sample by
+    /// nearest-rank, or `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency samples"));
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+}
+
+/// Wall-clock instrumentation for one run: an events/sec counter, a
+/// reservoir + log-bucketed histogram of placement-decision latency,
+/// and per-phase accumulated timings.
+#[derive(Debug)]
+pub struct WallClock {
+    started: Instant,
+    events: u64,
+    decisions: Reservoir,
+    decision_hist: Histogram,
+    phases: BTreeMap<&'static str, (f64, u64)>,
+}
+
+/// Reservoir size for decision latencies: big enough for stable tail
+/// quantiles, small enough to stay cache-resident.
+const RESERVOIR_CAPACITY: usize = 4_096;
+
+impl WallClock {
+    /// A fresh wall clock whose reservoir replacement schedule derives
+    /// from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            started: Instant::now(),
+            events: 0,
+            decisions: Reservoir::new(RESERVOIR_CAPACITY, seed),
+            // 256 ns .. ~8 ms in power-of-two buckets.
+            decision_hist: Histogram::log2(256.0, 16),
+            phases: BTreeMap::new(),
+        }
+    }
+
+    /// Counts one processed simulation event.
+    pub fn tick(&mut self) {
+        self.events += 1;
+    }
+
+    /// Records a placement-decision latency measured from `t0`.
+    pub fn decision(&mut self, t0: Instant) {
+        let ns = t0.elapsed().as_nanos() as f64;
+        self.decisions.add(ns);
+        self.decision_hist.observe(ns);
+    }
+
+    /// Accumulates elapsed-since-`t0` into phase `name`.
+    pub fn phase(&mut self, name: &'static str, t0: Instant) {
+        let e = self.phases.entry(name).or_insert((0.0, 0));
+        e.0 += t0.elapsed().as_secs_f64();
+        e.1 += 1;
+    }
+
+    /// Events processed per wall-clock second so far.
+    pub fn events_per_sec(&self) -> f64 {
+        let s = self.started.elapsed().as_secs_f64();
+        if s > 0.0 {
+            self.events as f64 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// Human-readable summary: throughput, decision-latency quantiles,
+    /// phase table. Not byte-stable — never diff this.
+    pub fn summary(&self) -> String {
+        let q = |p: f64| {
+            self.decisions
+                .quantile(p)
+                .map(|ns| format!("{:.1}", ns / 1_000.0))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        let mut out = format!(
+            "wall-clock: {} events in {:.2} s ({:.0} events/s); placement decisions {} \
+             (p50 {} us, p95 {} us, p99 {} us)\n",
+            self.events,
+            self.started.elapsed().as_secs_f64(),
+            self.events_per_sec(),
+            self.decisions.seen(),
+            q(0.50),
+            q(0.95),
+            q(0.99)
+        );
+        for (name, (secs, n)) in &self.phases {
+            out.push_str(&format!(
+                "  phase {name:<20} {secs:>9.3} s over {n} calls\n"
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservoir_keeps_a_bounded_uniformish_sample() {
+        let mut r = Reservoir::new(16, 7);
+        for i in 0..1_000 {
+            r.add(i as f64);
+        }
+        assert_eq!(r.seen(), 1_000);
+        assert_eq!(r.samples.len(), 16);
+        // Quantiles are ordered and within the stream's range.
+        let (p50, p99) = (r.quantile(0.5).unwrap(), r.quantile(0.99).unwrap());
+        assert!((0.0..1_000.0).contains(&p50));
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn reservoir_slot_schedule_is_seed_deterministic() {
+        let run = |seed| {
+            let mut r = Reservoir::new(8, seed);
+            for i in 0..100 {
+                r.add(i as f64);
+            }
+            r.samples
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4), "different seeds, different schedules");
+    }
+
+    #[test]
+    fn wallclock_summary_renders() {
+        let mut w = WallClock::new(1);
+        let t0 = Instant::now();
+        w.tick();
+        w.decision(t0);
+        w.phase("audit", t0);
+        let s = w.summary();
+        assert!(s.contains("events"));
+        assert!(s.contains("phase audit"));
+    }
+}

@@ -17,6 +17,9 @@
 //! * [`diagnosis`] — the performance-diagnosis use case (§7.5.2).
 //! * [`fleet`] — the live-cluster orchestrator: traffic drift, periodic
 //!   SLA audits, and reactive migration over simulated hours.
+//! * [`telemetry`] — the deterministic observability plane: metrics
+//!   registry, sim-time event journal, wall-clock layer, and the
+//!   journal inspector behind the `fleet_inspect` bin.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory
 //! and hardware-substitution notes.
@@ -30,4 +33,5 @@ pub use yala_placement as placement;
 pub use yala_rxp as rxp;
 pub use yala_sim as sim;
 pub use yala_slomo as slomo;
+pub use yala_telemetry as telemetry;
 pub use yala_traffic as traffic;
