@@ -1,0 +1,319 @@
+//! Records the fleet scale-out run to `BENCH_scale.json`: a 10k-NIC
+//! mixed portfolio over a simulated day with sub-second Poisson
+//! arrivals (~576k placements), driven end to end through the indexed
+//! placement path and the chunked audit fan-out. `--quick` (CI) keeps
+//! the same day on 2k NICs (~115k arrivals).
+//!
+//! The binary sweeps the engine thread count (powers of two up to
+//! 2x the machine's cores, always including 4) over the *same*
+//! profiled trace and asserts the scale-out contract from both sides:
+//!
+//! * **determinism** — every sweep run's `FleetReport` serializes to
+//!   byte-identical JSON and its event journal compares equal, whatever
+//!   the thread count;
+//! * **throughput** — events/sec and reservoir-sampled decision-latency
+//!   quantiles come from the wall-clock telemetry layer; the 4-thread
+//!   speedup over sequential is gated at 3x when the machine actually
+//!   has 4 cores (and only sanity-floored when it does not).
+//!
+//! The committed record separates the two worlds: a `"deterministic"`
+//! block (arrival/rejection/violation counts, journal size — hard
+//! `--check` gates) and a `"wall"` block (machine-dependent throughput
+//! numbers, recorded for the archaeology but never byte-diffed by CI,
+//! like `BENCH_rxp.json`).
+
+use std::num::NonZeroUsize;
+use std::time::Instant;
+use yala_bench::{json_f64, read_record, BenchArgs, RegressionCheck};
+use yala_fleet::{
+    run_fleet_observed, verify_against, FleetConfig, FleetPolicy, FleetTrace, ProfiledTrace,
+    TrafficModel,
+};
+use yala_telemetry::{Journal, Telemetry};
+
+/// The committed record this binary regenerates (and `--check`s against).
+const RECORD: &str = "BENCH_scale.json";
+
+/// Canonical traffic templates: a large fleet still runs a catalog of
+/// configurations, which is what lets the profile cache collapse the
+/// offline bill from ~10^5 tenants to ~10^2 measurements.
+const TEMPLATES: u32 = 64;
+
+/// One thread-sweep measurement row.
+struct SweepRow {
+    threads: usize,
+    run_s: f64,
+    events_per_sec: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
+
+fn main() {
+    let mut args = BenchArgs::parse();
+    let quick = args.quick;
+    // A full-scale day journals ~1.3M events — past the journal's 1Mi
+    // default bound. Default the cap up so the flagship artifact is
+    // lossless; an explicit `--journal-cap` still wins.
+    if !quick && args.journal_cap.is_none() {
+        args.journal_cap = Some(1 << 22);
+    }
+    let journal_cap = args.journal_cap.unwrap_or(1 << 20);
+
+    let (nics, interarrival) = if quick { (2_000, 0.75) } else { (10_000, 0.15) };
+    let mut cfg = FleetConfig::mixed(77, nics);
+    cfg.duration_s = 24 * 3_600;
+    cfg.mean_interarrival_s = interarrival; // ~115k quick / ~576k full arrivals
+    cfg.mean_lifetime_s = 1_800.0;
+    cfg.audit_period_s = 1_800;
+    cfg.reprofile_threshold = 0.20;
+    cfg.max_flows = 200_000;
+    cfg.sla_drop_range = (0.05, 0.15);
+    // Jitter well inside the quantization bucket: tenants spread around
+    // their template but share its profile-cache key.
+    cfg.traffic_model = TrafficModel::Templates {
+        count: TEMPLATES,
+        jitter: 0.02,
+    };
+
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    println!(
+        "bench_scale: {} NICs, {} h, ~{:.0} arrivals expected, audit every {} s, \
+         {} templates, {} core(s){}",
+        cfg.nics(),
+        cfg.duration_s / 3_600,
+        cfg.duration_s as f64 / cfg.mean_interarrival_s,
+        cfg.audit_period_s,
+        TEMPLATES,
+        cores,
+        if quick { " [quick]" } else { "" }
+    );
+
+    // The flagship telemetry handle observes the profiling build (and,
+    // with `--telemetry`, a final flagship run) — the sweep runs below
+    // get their own private handles so each measures only itself.
+    let mut tel = args.telemetry_handle(77);
+    let engine = args.engine();
+
+    let t0 = Instant::now();
+    let trace = FleetTrace::generate(cfg);
+    let arrivals = trace.records.len();
+    let profiled = ProfiledTrace::build_cached_observed(trace, &engine, &mut tel);
+    println!(
+        "  scenario: {arrivals} arrivals, {} profile snapshots ({} measured, {} cache hits) \
+         in {:.1} s",
+        profiled.snapshot_count(),
+        profiled.stats.misses,
+        profiled.stats.hits,
+        t0.elapsed().as_secs_f64()
+    );
+
+    // Thread sweep: 1, 2, 4, ... up to 2x cores, always including the
+    // acceptance point at 4 threads.
+    let mut sweep_threads: Vec<usize> = Vec::new();
+    let mut n = 1;
+    while n <= 2 * cores {
+        sweep_threads.push(n);
+        n *= 2;
+    }
+    if !sweep_threads.contains(&4) {
+        sweep_threads.push(4);
+        sweep_threads.sort_unstable();
+    }
+
+    let mut baseline: Option<(String, Journal, u64)> = None;
+    let mut rows: Vec<SweepRow> = Vec::new();
+    for &threads in &sweep_threads {
+        // A fresh wall clock per run (same seed: the reservoir's slot
+        // schedule is identical) and a fresh journal at the same cap, so
+        // journals from different thread counts are comparable values.
+        let mut run_tel = Telemetry::with_wallclock(77);
+        if let Some(sink) = run_tel.sink_mut() {
+            sink.journal = Journal::with_capacity(journal_cap);
+        }
+        let t0 = Instant::now();
+        let report = run_fleet_observed(
+            &profiled,
+            FleetPolicy::Greedy,
+            "greedy",
+            &yala_core::Engine::with_threads(threads),
+            &mut run_tel,
+        );
+        let run_s = t0.elapsed().as_secs_f64();
+        let sink = run_tel.sink().expect("sweep telemetry is live");
+        let wall = sink.wall.as_ref().expect("sweep wall clock is live");
+        let q = |p: f64| wall.decision_quantile(p).unwrap_or(0.0) / 1_000.0;
+        rows.push(SweepRow {
+            threads,
+            run_s,
+            events_per_sec: wall.events_per_sec(),
+            p50_us: q(0.50),
+            p95_us: q(0.95),
+            p99_us: q(0.99),
+        });
+        println!(
+            "  threads {threads:>2}: {run_s:>7.2} s, {:>10.0} events/s, decisions p50 {:.1} / \
+             p95 {:.1} / p99 {:.1} us",
+            wall.events_per_sec(),
+            q(0.50),
+            q(0.95),
+            q(0.99)
+        );
+
+        // The determinism contract, asserted in-binary: report bytes and
+        // journal equal across every thread count. Only the sequential
+        // baseline is kept alive — later journals drop immediately, so
+        // peak memory stays ~2 journals however long the sweep is.
+        let json = report.to_json();
+        let journal = run_tel.sink().expect("sweep telemetry is live");
+        match &baseline {
+            None => {
+                if journal.journal.dropped() == 0 {
+                    let replayed = verify_against(&report, &journal.journal)
+                        .unwrap_or_else(|e| panic!("journal replay diverged from the report: {e}"));
+                    println!(
+                        "  journal: {} events replay to the report ({} arrivals) — OK",
+                        journal.journal.len(),
+                        replayed.arrivals
+                    );
+                } else {
+                    println!(
+                        "  journal: {} events, {} dropped at cap {journal_cap} — replay \
+                         self-test skipped (raise --journal-cap for a lossless journal)",
+                        journal.journal.len(),
+                        journal.journal.dropped()
+                    );
+                }
+                baseline = Some((json, journal.journal.clone(), wall.decisions_seen()));
+            }
+            Some((base_json, base_journal, base_decisions)) => {
+                assert_eq!(
+                    &json, base_json,
+                    "FleetReport must serialize byte-identically at {threads} threads"
+                );
+                assert_eq!(
+                    &journal.journal, base_journal,
+                    "event journal must be identical at {threads} threads"
+                );
+                assert_eq!(
+                    wall.decisions_seen(),
+                    *base_decisions,
+                    "decision count must be identical at {threads} threads"
+                );
+            }
+        }
+    }
+    let (report_json, base_journal, decisions) = baseline.expect("sweep ran at least once");
+
+    let eps_at = |t: usize| {
+        rows.iter()
+            .find(|r| r.threads == t)
+            .map(|r| r.events_per_sec)
+            .unwrap_or(0.0)
+    };
+    let speedup_at_4 = eps_at(4) / eps_at(1).max(1e-9);
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.events_per_sec.total_cmp(&b.events_per_sec))
+        .expect("nonempty sweep");
+    println!(
+        "  speedup: {speedup_at_4:.2}x at 4 threads vs sequential (best {:.2}x at {} threads)",
+        best.events_per_sec / eps_at(1).max(1e-9),
+        best.threads
+    );
+
+    // With `--telemetry`, one more observed run on the flag-selected
+    // engine fills the flagship journal (which also holds the profiling
+    // build's events) and writes the deterministic artifacts, plus the
+    // report itself — CI byte-compares all of them across `--threads`.
+    if tel.sink().is_some() {
+        let flagship =
+            run_fleet_observed(&profiled, FleetPolicy::Greedy, "greedy", &engine, &mut tel);
+        assert_eq!(
+            flagship.to_json(),
+            report_json,
+            "flagship run must match the sweep baseline byte for byte"
+        );
+        if let Some(base) = &args.telemetry {
+            let path = format!("{base}.report.json");
+            match std::fs::write(&path, &report_json) {
+                Ok(()) => println!("  wrote {path}"),
+                Err(e) => eprintln!("  could not write {path}: {e}"),
+            }
+        }
+        args.write_telemetry(&tel);
+    }
+
+    let rows_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"threads\": {}, \"run_s\": {:.2}, \"events_per_sec\": {:.0}, \
+                 \"decision_p50_us\": {:.1}, \"decision_p95_us\": {:.1}, \
+                 \"decision_p99_us\": {:.1}}}",
+                r.threads, r.run_s, r.events_per_sec, r.p50_us, r.p95_us, r.p99_us
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\"bench\": \"scale\",\n\"quick\": {quick},\n\"nics\": {nics},\n\
+         \"arrivals\": {arrivals},\n\"duration_s\": 86400,\n\"audit_period_s\": 1800,\n\
+         \"seed\": 77,\n\"templates\": {TEMPLATES},\n\
+         \"deterministic\": {{\"decisions\": {decisions}, \"journal_events\": {}, \
+         \"journal_dropped\": {}, \"profile_measurements\": {}}},\n\
+         \"wall\": {{\"machine_cores\": {cores}, \"speedup_at_4\": {speedup_at_4:.2}, \
+         \"sweep\": [\n  {}\n]}},\n\"report\": {}\n}}\n",
+        base_journal.len(),
+        base_journal.dropped(),
+        profiled.stats.misses,
+        rows_json.join(",\n  "),
+        report_json.trim()
+    );
+    if let Some(path) = args.record_path(RECORD) {
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("  wrote {path}"),
+            Err(e) => eprintln!("  could not write {path}: {e}"),
+        }
+    }
+
+    // Regression gate. The deterministic block is exact — a mismatch
+    // means the committed record describes a different scenario. The
+    // speedup gate is honest about hardware: the 3x acceptance bar only
+    // means something on a machine with >= 4 real cores; below that it
+    // degrades to a sanity floor (oversubscribed threads must not
+    // crater throughput).
+    if args.check {
+        let committed = read_record(RECORD);
+        let mut check = RegressionCheck::new();
+        let exact = |check: &mut RegressionCheck, key: &str, got: f64| {
+            let want = json_f64(&committed, "\"deterministic\"", key).unwrap_or(-1.0);
+            check.exact(key, got, want);
+        };
+        check.exact(
+            "arrivals",
+            arrivals as f64,
+            json_f64(&committed, "", "arrivals").unwrap_or(-1.0),
+        );
+        exact(&mut check, "decisions", decisions as f64);
+        exact(&mut check, "journal_events", base_journal.len() as f64);
+        exact(&mut check, "journal_dropped", base_journal.dropped() as f64);
+        check.exact(
+            "rejected",
+            json_f64(&json, "\"report\"", "rejected").unwrap_or(-1.0),
+            json_f64(&committed, "\"report\"", "rejected").unwrap_or(-2.0),
+        );
+        check.exact(
+            "violation_minutes",
+            json_f64(&json, "\"report\"", "violation_minutes").unwrap_or(-1.0),
+            json_f64(&committed, "\"report\"", "violation_minutes").unwrap_or(-2.0),
+        );
+        if cores >= 4 {
+            check.at_least("speedup_at_4", speedup_at_4, 3.0);
+        } else {
+            check.at_least("speedup_at_4 (oversubscribed sanity)", speedup_at_4, 0.4);
+        }
+        check.finish(RECORD);
+    }
+}

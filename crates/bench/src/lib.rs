@@ -263,6 +263,10 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
 ///   the wall-clock latency summary goes to stdout only. Without the
 ///   flag every instrumented path runs with the no-op handle and the
 ///   record bytes are unchanged.
+/// * `--journal-cap N` — size the telemetry journal's event bound to
+///   `N` (default [`yala_telemetry::Journal`]'s 1Mi). A capped journal
+///   drops newest-first and `fleet_inspect` flags the truncation; raise
+///   the cap for million-arrival days where every event matters.
 #[derive(Debug, Clone, Default)]
 pub struct BenchArgs {
     /// CI-sized run (implied by `--check`).
@@ -275,6 +279,8 @@ pub struct BenchArgs {
     pub out: Option<String>,
     /// Base path for telemetry artifacts (`None` = telemetry disabled).
     pub telemetry: Option<String>,
+    /// Explicit journal capacity (`None` = the journal's default).
+    pub journal_cap: Option<usize>,
 }
 
 impl BenchArgs {
@@ -303,6 +309,10 @@ impl BenchArgs {
                 "--telemetry" => {
                     out.telemetry = Some(args.next().expect("--telemetry needs a base path"));
                 }
+                "--journal-cap" => {
+                    let v = args.next().expect("--journal-cap needs a value");
+                    out.journal_cap = Some(v.parse().expect("--journal-cap needs an integer"));
+                }
                 other => panic!("unknown bench flag {other}"),
             }
         }
@@ -324,7 +334,15 @@ impl BenchArgs {
     /// without the flag never move.
     pub fn telemetry_handle(&self, seed: u64) -> yala_telemetry::Telemetry {
         match &self.telemetry {
-            Some(_) => yala_telemetry::Telemetry::with_wallclock(seed),
+            Some(_) => {
+                let mut tel = yala_telemetry::Telemetry::with_wallclock(seed);
+                if let Some(cap) = self.journal_cap {
+                    if let Some(sink) = tel.sink_mut() {
+                        sink.journal = yala_telemetry::Journal::with_capacity(cap);
+                    }
+                }
+                tel
+            }
             None => yala_telemetry::Telemetry::disabled(),
         }
     }

@@ -136,6 +136,47 @@ impl Engine {
             })
             .collect()
     }
+
+    /// [`Engine::run`] with chunked work-stealing: workers claim runs
+    /// of `chunk` consecutive scenario indices per atomic increment and
+    /// the per-chunk result vectors merge back in chunk order, so a
+    /// 10k-scenario fan-out costs hundreds of claims and slot locks
+    /// instead of 10k. The contract is unchanged — `job(i)` pure in
+    /// `i`, results in scenario order — so for any chunk size the
+    /// output equals `run`'s, and the parity tests assert it.
+    pub fn run_chunked<T, F>(&self, scenarios: usize, chunk: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let chunk = chunk.max(1);
+        if self.threads == 1 || scenarios <= chunk {
+            return (0..scenarios).map(job).collect();
+        }
+        let chunks = scenarios.div_ceil(chunk);
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Vec<T>>> = (0..chunks).map(|_| Mutex::new(Vec::new())).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(chunks) {
+                scope.spawn(|| loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= chunks {
+                        break;
+                    }
+                    let lo = c * chunk;
+                    let hi = (lo + chunk).min(scenarios);
+                    let results: Vec<T> = (lo..hi).map(&job).collect();
+                    *slots[c].lock().expect("chunk slot poisoned") = results;
+                });
+            }
+        });
+        let mut out = Vec::with_capacity(scenarios);
+        for slot in slots {
+            out.extend(slot.into_inner().expect("chunk slot poisoned"));
+        }
+        debug_assert_eq!(out.len(), scenarios, "every chunk was claimed");
+        out
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +216,38 @@ mod tests {
     fn zero_and_one_scenarios() {
         assert!(Engine::with_threads(4).run(0, |i| i).is_empty());
         assert_eq!(Engine::with_threads(4).run(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn chunked_equals_plain_for_any_chunk_size() {
+        let job = |i: usize| scenario_seed(9, i).wrapping_mul(i as u64);
+        let want = Engine::sequential().run(103, job);
+        for threads in [1, 3, 8] {
+            for chunk in [1, 7, 16, 103, 500] {
+                assert_eq!(
+                    Engine::with_threads(threads).run_chunked(103, chunk, job),
+                    want,
+                    "threads={threads} chunk={chunk}"
+                );
+            }
+        }
+        // Chunk boundaries: exact multiple and a trailing partial chunk.
+        assert_eq!(
+            Engine::with_threads(4).run_chunked(32, 8, job),
+            Engine::sequential().run(32, job)
+        );
+        assert!(Engine::with_threads(4).run_chunked(0, 8, |i| i).is_empty());
+    }
+
+    #[test]
+    fn chunked_runs_every_scenario_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = Engine::with_threads(6).run_chunked(250, 9, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 250);
+        assert_eq!(out, (0..250).collect::<Vec<_>>());
     }
 
     #[test]

@@ -48,6 +48,7 @@
 //! assert_eq!(report.samples.len(), 2);
 //! ```
 
+mod index;
 pub mod policy;
 pub mod replay;
 pub mod report;
@@ -143,6 +144,44 @@ mod tests {
         let r = run_fleet(&p, FleetPolicy::Greedy, "greedy", &Engine::sequential());
         assert_eq!(r.nics, 8);
         assert_eq!(r.total_arrivals as usize, p.trace.records.len());
+    }
+
+    #[test]
+    fn chunked_audit_fanout_is_thread_invariant_past_one_chunk() {
+        // Enough simultaneously occupied NICs that the audit fan-out
+        // spans multiple work-stealing chunks (AUDIT_CHUNK = 16): the
+        // parallel claim/merge path actually engages and must still
+        // produce the sequential report bit for bit.
+        let mut cfg = FleetConfig::small(31);
+        cfg.portfolio = vec![(yala_sim::NicSpec::bluefield2(), 48)];
+        cfg.duration_s = 3_600;
+        cfg.mean_interarrival_s = 40.0; // ~90 arrivals over the hour
+        cfg.mean_lifetime_s = 3_000.0; // most stay the whole hour
+        cfg.audit_period_s = 600;
+        cfg.traffic_model = TrafficModel::Templates {
+            count: 4,
+            jitter: 0.0,
+        };
+        let p = ProfiledTrace::build_cached(FleetTrace::generate(cfg), &Engine::sequential());
+        let seq = run_fleet(
+            &p,
+            FleetPolicy::Monopolization,
+            "mono",
+            &Engine::sequential(),
+        );
+        let par = run_fleet(
+            &p,
+            FleetPolicy::Monopolization,
+            "mono",
+            &Engine::with_threads(4),
+        );
+        assert_eq!(seq, par, "chunked audit fan-out must be thread-invariant");
+        assert_eq!(seq.to_json(), par.to_json());
+        let peak = seq.samples.iter().map(|s| s.nics_in_use).max().unwrap();
+        assert!(
+            peak > 16,
+            "scenario too small to cross a chunk boundary (peak {peak} occupied NICs)"
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! move an NF *across* models — the victim's SLA floor on the
 //! destination hardware is its solo baseline there.
 
+use crate::index::PlacementIndex;
 use crate::policy::{Diagnoser, FleetPolicy};
 use crate::report::{ClassStats, FleetReport, FleetSample};
 use crate::timeline::ProfiledTrace;
@@ -35,6 +36,14 @@ type MarginSink<'a> = Option<&'a mut Vec<(usize, f64, f64)>>;
 
 /// Salt separating the audit seed stream from the timeline stream.
 const AUDIT_SALT: u64 = 0xAD17_0CA5;
+
+/// Work-stealing granularity for the audit co-run fan-out: workers
+/// claim runs of this many NICs per atomic increment, so a 10k-NIC
+/// epoch costs ~hundreds of claims instead of ~10k. Chunking only
+/// shapes scheduling — each co-run is a pure function of
+/// `(epoch, occupied position)`, and the merge is by index — so the
+/// reports are identical for any chunk size or thread count.
+const AUDIT_CHUNK: usize = 16;
 
 /// Event classes, in processing order at equal timestamps. Faults fire
 /// after departures (a departing NF is gone before its NIC fails) and
@@ -84,6 +93,9 @@ struct NicMap {
     model: Vec<NicModelId>,
     cores: Vec<u32>,
     spec_pos: Vec<usize>,
+    /// Model of each portfolio position, so feasibility can be decided
+    /// once per position instead of once per NIC.
+    pos_models: Vec<NicModelId>,
 }
 
 impl NicMap {
@@ -96,6 +108,7 @@ impl NicMap {
             model: Vec::with_capacity(n),
             cores: Vec::with_capacity(n),
             spec_pos: Vec::with_capacity(n),
+            pos_models: cfg.portfolio.iter().map(|(s, _)| s.model()).collect(),
         };
         for nic in 0..n {
             let pos = cfg.nic_model_pos(nic);
@@ -106,6 +119,41 @@ impl NicMap {
         }
         map
     }
+}
+
+/// Portfolio positions whose hardware model supports `nf`, ascending.
+fn supported_positions(nics_map: &NicMap, nf: &Placed) -> Vec<usize> {
+    (0..nics_map.pos_models.len())
+        .filter(|&p| nf.supported_on(nics_map.pos_models[p]))
+        .collect()
+}
+
+/// Builds a [`PlacementIndex`] mirroring an existing fleet state — the
+/// event loop's bootstrap (everything `Up` and empty) and the parity
+/// tests' entry point for hand-built states.
+fn build_index(
+    profiled: &ProfiledTrace,
+    cursor: &[usize],
+    residents: &[Vec<u32>],
+    state: &[NicState],
+    nics_map: &NicMap,
+) -> PlacementIndex {
+    let mut index = PlacementIndex::new(
+        &nics_map.spec_pos,
+        &nics_map.cores,
+        nics_map.pos_models.len(),
+    );
+    for (nic, res) in residents.iter().enumerate() {
+        for &id in res {
+            index.place(nic, snapshot(profiled, cursor, id).workload.cores);
+        }
+    }
+    for (nic, &s) in state.iter().enumerate() {
+        if s != NicState::Up {
+            index.retire(nic);
+        }
+    }
+    index
 }
 
 /// Runs one policy over a profiled trace and returns its report.
@@ -168,8 +216,18 @@ pub fn run_fleet_observed(
     let mut cursor: Vec<usize> = vec![0; records.len()];
     let mut state: Vec<NicState> = vec![NicState::Up; nic_count];
     let mut parked: Vec<Parked> = Vec::new();
+    // The placement-candidate index, kept in lockstep with `residents`
+    // and `state` at every mutation below so each decision walks a
+    // shortlist instead of the whole fleet.
+    let mut pidx = build_index(profiled, &cursor, &residents, &state, &nics_map);
     // Audit ground truth pending absorption (online-refining policies).
     let mut pending = ObservationBuffer::new();
+    // Per-epoch scratch, hoisted: the occupied-NIC list for the audit
+    // fan-out and the readmission ordering buffers are reused across
+    // epochs instead of reallocated.
+    let mut occupied: Vec<usize> = Vec::new();
+    let mut order: Vec<usize> = Vec::new();
+    let mut admitted: Vec<u32> = Vec::new();
 
     // Report accumulators.
     let period_min = cfg.audit_period_s as f64 / 60.0;
@@ -225,6 +283,7 @@ pub fn run_fleet_observed(
                 let at = location[id].map(|n| n as i64).unwrap_or(-1);
                 if let Some(nic) = location[id].take() {
                     residents[nic].retain(|&r| r != index);
+                    pidx.remove(nic, snapshot(profiled, &cursor, index).workload.cores);
                 }
                 parked.retain(|p| p.id != index);
                 tel.rec(t_ms, || Event::Depart { id: index, nic: at });
@@ -240,10 +299,12 @@ pub fn run_fleet_observed(
                         faults_total += 1;
                         tel.inc("fleet.faults", 1);
                         state[ev.nic] = NicState::Down;
+                        pidx.retire(ev.nic);
                         let evicted = std::mem::take(&mut residents[ev.nic]);
                         for &id in &evicted {
                             location[id as usize] = None;
                         }
+                        pidx.clear_retired(ev.nic);
                         evacuate(
                             profiled,
                             &mut residents,
@@ -251,6 +312,7 @@ pub fn run_fleet_observed(
                             &cursor,
                             &nics_map,
                             &state,
+                            &mut pidx,
                             &mut policy,
                             evicted,
                             ev.nic,
@@ -266,6 +328,7 @@ pub fn run_fleet_observed(
                         drains_total += 1;
                         tel.inc("fleet.drains", 1);
                         state[ev.nic] = NicState::Draining;
+                        pidx.retire(ev.nic);
                         let ids = residents[ev.nic].clone();
                         evacuate(
                             profiled,
@@ -274,6 +337,7 @@ pub fn run_fleet_observed(
                             &cursor,
                             &nics_map,
                             &state,
+                            &mut pidx,
                             &mut policy,
                             ids,
                             ev.nic,
@@ -287,10 +351,12 @@ pub fn run_fleet_observed(
                     }
                     FaultKind::DrainEnd => {
                         state[ev.nic] = NicState::Down;
+                        pidx.retire(ev.nic);
                         let evicted = std::mem::take(&mut residents[ev.nic]);
                         for &id in &evicted {
                             location[id as usize] = None;
                         }
+                        pidx.clear_retired(ev.nic);
                         evacuate(
                             profiled,
                             &mut residents,
@@ -298,6 +364,7 @@ pub fn run_fleet_observed(
                             &cursor,
                             &nics_map,
                             &state,
+                            &mut pidx,
                             &mut policy,
                             evicted,
                             ev.nic,
@@ -311,6 +378,7 @@ pub fn run_fleet_observed(
                     }
                     FaultKind::Recover => {
                         state[ev.nic] = NicState::Up;
+                        pidx.restore(ev.nic);
                     }
                 }
             }
@@ -333,6 +401,7 @@ pub fn run_fleet_observed(
                     &cursor,
                     &nics_map,
                     &state,
+                    &pidx,
                     &mut policy,
                     &nf,
                     None,
@@ -358,6 +427,7 @@ pub fn run_fleet_observed(
                                 &cursor,
                                 &nics_map,
                                 &state,
+                                &mut pidx,
                                 *predictor,
                                 &nf,
                                 None,
@@ -399,6 +469,7 @@ pub fn run_fleet_observed(
                         residents[nic].push(index);
                         location[id] = Some(nic);
                         cursor[id] = 0;
+                        pidx.place(nic, nf.workload.cores);
                     }
                     None => {
                         rejected += 1;
@@ -423,22 +494,30 @@ pub fn run_fleet_observed(
                 }
                 // 2. Ground truth: co-run every occupied NIC on a private
                 // deterministically seeded simulator — built from the
-                // hardware of *that* NIC — across the engine.
-                let occupied: Vec<usize> = (0..nic_count)
-                    .filter(|&n| !residents[n].is_empty())
-                    .collect();
+                // hardware of *that* NIC — across the engine. The
+                // occupied list doubles as the index's drift re-pricing
+                // pass: the cursor moves above may have changed resident
+                // core footprints.
+                occupied.clear();
+                for (n, res) in residents.iter().enumerate() {
+                    if !res.is_empty() {
+                        occupied.push(n);
+                        pidx.set_used(n, cores_used(profiled, &cursor, res));
+                    }
+                }
                 let audit_base = scenario_seed(cfg.seed ^ AUDIT_SALT, epoch as usize);
-                let reports: Vec<CoRunReport> = engine.run(occupied.len(), |j| {
-                    let nic = occupied[j];
-                    let spec = &cfg.portfolio[nics_map.spec_pos[nic]].0;
-                    let mut sim =
-                        simulator_for(spec, cfg.noise_sigma, scenario_seed(audit_base, j));
-                    let workloads: Vec<WorkloadSpec> = residents[nic]
-                        .iter()
-                        .map(|&id| snapshot(profiled, &cursor, id).workload.clone())
-                        .collect();
-                    sim.co_run(&workloads)
-                });
+                let reports: Vec<CoRunReport> =
+                    engine.run_chunked(occupied.len(), AUDIT_CHUNK, |j| {
+                        let nic = occupied[j];
+                        let spec = &cfg.portfolio[nics_map.spec_pos[nic]].0;
+                        let mut sim =
+                            simulator_for(spec, cfg.noise_sigma, scenario_seed(audit_base, j));
+                        let workloads: Vec<WorkloadSpec> = residents[nic]
+                            .iter()
+                            .map(|&id| snapshot(profiled, &cursor, id).workload.clone())
+                            .collect();
+                        sim.co_run(&workloads)
+                    });
                 let mut violating = 0u32;
                 for (&nic, report) in occupied.iter().zip(&reports) {
                     let model = nics_map.model[nic];
@@ -546,6 +625,7 @@ pub fn run_fleet_observed(
                         &cursor,
                         &nics_map,
                         &state,
+                        &mut pidx,
                         *predictor,
                         diagnoser,
                         aware,
@@ -570,13 +650,14 @@ pub fn run_fleet_observed(
                             ..
                         }
                     );
-                    let mut order: Vec<usize> = (0..parked.len()).collect();
+                    order.clear();
+                    order.extend(0..parked.len());
                     order.sort_by_key(|&k| {
                         let q = records[parked[k].id as usize].qos as u8;
                         (if aware { q } else { 0 }, parked[k].id)
                     });
-                    let mut admitted: Vec<u32> = Vec::new();
-                    for k in order {
+                    admitted.clear();
+                    for &k in &order {
                         if parked[k].next_retry_ms > t_ms {
                             continue;
                         }
@@ -589,6 +670,7 @@ pub fn run_fleet_observed(
                             &cursor,
                             &nics_map,
                             &state,
+                            &pidx,
                             &mut policy,
                             &nf,
                             None,
@@ -615,6 +697,7 @@ pub fn run_fleet_observed(
                                         &cursor,
                                         &nics_map,
                                         &state,
+                                        &mut pidx,
                                         *predictor,
                                         &nf,
                                         None,
@@ -632,6 +715,7 @@ pub fn run_fleet_observed(
                             Some(nic) => {
                                 residents[nic].push(id);
                                 location[id as usize] = Some(nic);
+                                pidx.place(nic, nf.workload.cores);
                                 readmitted[nf.qos() as usize] += 1;
                                 tel.inc(&format!("fleet.readmitted.{}", nf.qos().name()), 1);
                                 tel.rec(t_ms, || Event::Readmit {
@@ -789,6 +873,7 @@ fn choose_slot(
     cursor: &[usize],
     nics_map: &NicMap,
     state: &[NicState],
+    pidx: &PlacementIndex,
     policy: &mut FleetPolicy<'_>,
     nf: &Placed,
     exclude: Option<usize>,
@@ -796,11 +881,11 @@ fn choose_slot(
     mut margins: MarginSink<'_>,
 ) -> Option<usize> {
     match policy {
-        FleetPolicy::Monopolization => choose_empty(residents, nics_map, state, nf, exclude),
-        FleetPolicy::Greedy => {
-            choose_greedy(profiled, residents, cursor, nics_map, state, nf, exclude)
-                .or_else(|| choose_empty(residents, nics_map, state, nf, exclude))
-        }
+        FleetPolicy::Monopolization => choose_empty(residents, nics_map, state, pidx, nf, exclude),
+        FleetPolicy::Greedy => choose_greedy(
+            profiled, residents, cursor, nics_map, state, pidx, nf, exclude,
+        )
+        .or_else(|| choose_empty(residents, nics_map, state, pidx, nf, exclude)),
         FleetPolicy::ContentionAware { predictor, .. } => {
             let found = choose_contention_aware(
                 profiled,
@@ -808,6 +893,7 @@ fn choose_slot(
                 cursor,
                 nics_map,
                 state,
+                pidx,
                 *predictor,
                 nf,
                 exclude,
@@ -822,7 +908,7 @@ fn choose_slot(
             if let Some(m) = margins {
                 m.clear();
             }
-            choose_empty(residents, nics_map, state, nf, exclude)
+            choose_empty(residents, nics_map, state, pidx, nf, exclude)
         }
     }
 }
@@ -843,6 +929,7 @@ fn evacuate(
     cursor: &[usize],
     nics_map: &NicMap,
     state: &[NicState],
+    pidx: &mut PlacementIndex,
     policy: &mut FleetPolicy<'_>,
     ids: Vec<u32>,
     src: usize,
@@ -875,6 +962,7 @@ fn evacuate(
             cursor,
             nics_map,
             state,
+            pidx,
             policy,
             &nf,
             Some(src),
@@ -896,6 +984,7 @@ fn evacuate(
                         cursor,
                         nics_map,
                         state,
+                        pidx,
                         *predictor,
                         &nf,
                         Some(src),
@@ -913,9 +1002,11 @@ fn evacuate(
             Some(dst) => {
                 if !forced {
                     residents[src].retain(|&r| r != id);
+                    pidx.remove(src, nf.workload.cores);
                 }
                 residents[dst].push(id);
                 location[id as usize] = Some(dst);
+                pidx.place(dst, nf.workload.cores);
                 evacuations[c] += 1;
                 tel.inc(&format!("fleet.evacuations.{}", nf.qos().name()), 1);
                 tel.rec(t_ms, || Event::Evacuate {
@@ -961,6 +1052,7 @@ fn try_preempt_best_effort(
     cursor: &[usize],
     nics_map: &NicMap,
     state: &[NicState],
+    pidx: &mut PlacementIndex,
     predictor: &mut dyn PlacementPredictor,
     nf: &Placed,
     exclude: Option<usize>,
@@ -1019,6 +1111,7 @@ fn try_preempt_best_effort(
         }
         for id in parked_here {
             residents[i].retain(|&r| r != id);
+            pidx.remove(i, snapshot(profiled, cursor, id).workload.cores);
             location[id as usize] = None;
             parked.push(Parked {
                 id,
@@ -1104,8 +1197,31 @@ fn cores_used(profiled: &ProfiledTrace, cursor: &[usize], nic: &[u32]) -> u32 {
 }
 
 /// First empty `Up` NIC (lowest index) whose model supports `nf`,
-/// skipping `exclude`.
+/// skipping `exclude` — answered from the index; debug builds check the
+/// answer against [`choose_empty_linear`] on every call.
 fn choose_empty(
+    residents: &[Vec<u32>],
+    nics_map: &NicMap,
+    state: &[NicState],
+    pidx: &PlacementIndex,
+    nf: &Placed,
+    exclude: Option<usize>,
+) -> Option<usize> {
+    let sup = supported_positions(nics_map, nf);
+    let found = pidx.first_empty(&sup, exclude);
+    if cfg!(debug_assertions) {
+        assert_eq!(
+            found,
+            choose_empty_linear(residents, nics_map, state, nf, exclude),
+            "indexed empty-NIC choice diverged from the linear scan"
+        );
+    }
+    found
+}
+
+/// The pre-index reference scan for [`choose_empty`]: O(NICs), kept as
+/// the semantics oracle for the debug cross-checks and parity tests.
+fn choose_empty_linear(
     residents: &[Vec<u32>],
     nics_map: &NicMap,
     state: &[NicState],
@@ -1124,9 +1240,34 @@ fn choose_empty(
 
 /// Greedy: the occupied `Up` NIC with the most available cores among
 /// those where `nf` fits and is feasible (ties break to the lowest
-/// index).
+/// index) — answered from the index's free-core buckets; debug builds
+/// check against [`choose_greedy_linear`] on every call.
 #[allow(clippy::too_many_arguments)]
 fn choose_greedy(
+    profiled: &ProfiledTrace,
+    residents: &[Vec<u32>],
+    cursor: &[usize],
+    nics_map: &NicMap,
+    state: &[NicState],
+    pidx: &PlacementIndex,
+    nf: &Placed,
+    exclude: Option<usize>,
+) -> Option<usize> {
+    let sup = supported_positions(nics_map, nf);
+    let found = pidx.most_free(&sup, nf.workload.cores, exclude);
+    if cfg!(debug_assertions) {
+        assert_eq!(
+            found,
+            choose_greedy_linear(profiled, residents, cursor, nics_map, state, nf, exclude),
+            "indexed greedy choice diverged from the linear scan"
+        );
+    }
+    found
+}
+
+/// The pre-index reference scan for [`choose_greedy`].
+#[allow(clippy::too_many_arguments)]
+fn choose_greedy_linear(
     profiled: &ProfiledTrace,
     residents: &[Vec<u32>],
     cursor: &[usize],
@@ -1156,11 +1297,41 @@ fn choose_greedy(
     best.map(|(i, _)| i)
 }
 
+/// The structurally eligible candidates of the linear contention-aware
+/// scan — `Up`, occupied, feasible, fitting — in its evaluation order.
+/// The semantics oracle for [`choose_contention_aware`]'s shortlist.
+fn contention_candidates_linear(
+    profiled: &ProfiledTrace,
+    residents: &[Vec<u32>],
+    cursor: &[usize],
+    nics_map: &NicMap,
+    state: &[NicState],
+    nf: &Placed,
+    exclude: Option<usize>,
+) -> Vec<usize> {
+    residents
+        .iter()
+        .enumerate()
+        .filter(|(i, nic)| {
+            Some(*i) != exclude
+                && state[*i] == NicState::Up
+                && !nic.is_empty()
+                && nf.supported_on(nics_map.model[*i])
+                && cores_used(profiled, cursor, nic) + nf.workload.cores <= nics_map.cores[*i]
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
 /// Contention-aware: the first occupied `Up` NIC where `nf` is
 /// feasible, fits, and the predictor — consulted for that NIC's
 /// hardware model — foresees no SLA violation for anyone (the candidate
 /// NIC including `nf`), each floor raised by the relative `margin`
 /// (0.0 for normal placements; readmissions demand hysteresis slack).
+/// The structural filter comes from the index as an ascending shortlist
+/// — the same NICs the linear scan would evaluate, in the same order,
+/// so the predictor sees an identical call sequence; debug builds
+/// assert the shortlist against [`contention_candidates_linear`].
 #[allow(clippy::too_many_arguments)]
 fn choose_contention_aware(
     profiled: &ProfiledTrace,
@@ -1168,25 +1339,26 @@ fn choose_contention_aware(
     cursor: &[usize],
     nics_map: &NicMap,
     state: &[NicState],
+    pidx: &PlacementIndex,
     predictor: &mut dyn PlacementPredictor,
     nf: &Placed,
     exclude: Option<usize>,
     margin: f64,
     mut margins: MarginSink<'_>,
 ) -> Option<usize> {
-    for (i, nic) in residents.iter().enumerate() {
-        if Some(i) == exclude
-            || state[i] != NicState::Up
-            || nic.is_empty()
-            || !nf.supported_on(nics_map.model[i])
-        {
-            continue;
-        }
-        if cores_used(profiled, cursor, nic) + nf.workload.cores > nics_map.cores[i] {
-            continue;
-        }
+    let sup = supported_positions(nics_map, nf);
+    let mut cands: Vec<usize> = Vec::new();
+    pidx.fitting(&sup, nf.workload.cores, exclude, &mut cands);
+    if cfg!(debug_assertions) {
+        assert_eq!(
+            cands,
+            contention_candidates_linear(profiled, residents, cursor, nics_map, state, nf, exclude),
+            "indexed contention-aware shortlist diverged from the linear scan"
+        );
+    }
+    for &i in &cands {
         let model = nics_map.model[i];
-        let mut candidate: Vec<Placed> = nic
+        let mut candidate: Vec<Placed> = residents[i]
             .iter()
             .map(|&id| snapshot(profiled, cursor, id).clone())
             .collect();
@@ -1235,6 +1407,7 @@ fn migrate(
     cursor: &[usize],
     nics_map: &NicMap,
     state: &[NicState],
+    pidx: &mut PlacementIndex,
     predictor: &mut dyn PlacementPredictor,
     diagnoser: &Diagnoser<'_>,
     qos_aware: bool,
@@ -1284,16 +1457,19 @@ fn migrate(
             cursor,
             nics_map,
             state,
+            pidx,
             predictor,
             &victim,
             Some(nic),
             0.0,
             None,
         )
-        .or_else(|| choose_empty(residents, nics_map, state, &victim, Some(nic)));
+        .or_else(|| choose_empty(residents, nics_map, state, pidx, &victim, Some(nic)));
         if let Some(dst) = dst {
             residents[nic].remove(victim_pos);
+            pidx.remove(nic, victim.workload.cores);
             residents[dst].push(victim_id);
+            pidx.place(dst, victim.workload.cores);
             location[victim_id as usize] = Some(dst);
             moved += 1;
             tel.inc("fleet.migrations", 1);
@@ -1357,6 +1533,7 @@ mod tests {
         let mut location: Vec<Option<usize>> = vec![Some(0), Some(0)];
         let cursor = vec![0usize, 0];
         let state = vec![NicState::Up; 2];
+        let mut pidx = build_index(&profiled, &cursor, &residents, &state, &nics_map);
         let mut oracle = OraclePredictor::for_models(&cfg.specs());
         let moved = migrate(
             &profiled,
@@ -1365,6 +1542,7 @@ mod tests {
             &cursor,
             &nics_map,
             &state,
+            &mut pidx,
             &mut oracle,
             &Diagnoser::MemoryOnly,
             false,
@@ -1587,6 +1765,152 @@ mod tests {
             blind.guaranteed.bad_minutes() > aware.guaranteed.bad_minutes(),
             "QoS-aware degradation must protect the guaranteed class"
         );
+    }
+
+    /// The tentpole's safety net: at 50–200 NICs across seeds, mixed
+    /// portfolios, random occupancy, fault states, and exclusions,
+    /// every indexed query must answer byte-identically to its
+    /// pre-index linear scan — both on a freshly built index and after
+    /// a stream of incremental mutations (depart / place / fail /
+    /// recover) maintained in lockstep. Debug builds of the live event
+    /// loop additionally assert the same parity on every decision it
+    /// takes, so the whole test suite doubles as a fleet-shaped
+    /// property test.
+    #[test]
+    fn indexed_placement_matches_linear_scan_across_seeds_and_sizes() {
+        use crate::trace::TrafficModel;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        for &nics in &[50usize, 100, 200] {
+            // One profiled trace per fleet size (template traffic keeps
+            // the profiling bill at ~a dozen measurements); three
+            // placement-RNG streams exercise it.
+            let mut cfg = FleetConfig::mixed(7 + nics as u64, nics);
+            cfg.duration_s = 600;
+            cfg.audit_period_s = 600;
+            cfg.mean_interarrival_s = 8.0;
+            cfg.mean_lifetime_s = 2_000.0;
+            cfg.noise_sigma = 0.0;
+            cfg.drift = false;
+            cfg.guaranteed_fraction = 0.5;
+            cfg.traffic_model = TrafficModel::Templates {
+                count: 8,
+                jitter: 0.02,
+            };
+            let profiled =
+                ProfiledTrace::build_cached(FleetTrace::generate(cfg), &Engine::sequential());
+            let cfg = &profiled.trace.config;
+            let records = &profiled.trace.records;
+            let nics_map = NicMap::new(cfg);
+            assert!(records.len() >= 40, "enough NFs to populate the fleet");
+
+            for seed in [11u64, 12, 13] {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let cursor = vec![0usize; records.len()];
+                let mut residents: Vec<Vec<u32>> = vec![Vec::new(); nics];
+                let mut state: Vec<NicState> = (0..nics)
+                    .map(|_| match rng.gen_range(0..10) {
+                        0 => NicState::Down,
+                        1 => NicState::Draining,
+                        _ => NicState::Up,
+                    })
+                    .collect();
+                for r in records {
+                    let nf = snapshot(&profiled, &cursor, r.id);
+                    let nic = rng.gen_range(0..nics);
+                    if nf.supported_on(nics_map.model[nic])
+                        && cores_used(&profiled, &cursor, &residents[nic]) + nf.workload.cores
+                            <= nics_map.cores[nic]
+                    {
+                        residents[nic].push(r.id);
+                    }
+                }
+                let mut pidx = build_index(&profiled, &cursor, &residents, &state, &nics_map);
+
+                let check = |residents: &[Vec<u32>],
+                             state: &[NicState],
+                             pidx: &PlacementIndex,
+                             rng: &mut StdRng| {
+                    for _ in 0..8 {
+                        let id = records[rng.gen_range(0..records.len())].id;
+                        let nf = snapshot(&profiled, &cursor, id);
+                        let exclude = rng.gen_bool(0.5).then(|| rng.gen_range(0..nics));
+                        let sup = supported_positions(&nics_map, nf);
+                        assert_eq!(
+                            pidx.first_empty(&sup, exclude),
+                            choose_empty_linear(residents, &nics_map, state, nf, exclude),
+                            "empty-NIC parity (nics={nics}, seed={seed})"
+                        );
+                        assert_eq!(
+                            pidx.most_free(&sup, nf.workload.cores, exclude),
+                            choose_greedy_linear(
+                                &profiled, residents, &cursor, &nics_map, state, nf, exclude
+                            ),
+                            "greedy parity (nics={nics}, seed={seed})"
+                        );
+                        let mut got = Vec::new();
+                        pidx.fitting(&sup, nf.workload.cores, exclude, &mut got);
+                        assert_eq!(
+                            got,
+                            contention_candidates_linear(
+                                &profiled, residents, &cursor, &nics_map, state, nf, exclude
+                            ),
+                            "contention-aware shortlist parity (nics={nics}, seed={seed})"
+                        );
+                    }
+                };
+                check(&residents, &state, &pidx, &mut rng);
+
+                // A stream of incremental transitions — the index is
+                // maintained, never rebuilt — then parity again.
+                for _ in 0..60 {
+                    match rng.gen_range(0..4) {
+                        0 => {
+                            let nic = rng.gen_range(0..nics);
+                            if let Some(&id) = residents[nic].first() {
+                                residents[nic].retain(|&r| r != id);
+                                pidx.remove(nic, snapshot(&profiled, &cursor, id).workload.cores);
+                            }
+                        }
+                        1 => {
+                            let id = records[rng.gen_range(0..records.len())].id;
+                            if residents.iter().any(|r| r.contains(&id)) {
+                                continue;
+                            }
+                            let nf = snapshot(&profiled, &cursor, id);
+                            let nic = rng.gen_range(0..nics);
+                            if nf.supported_on(nics_map.model[nic])
+                                && cores_used(&profiled, &cursor, &residents[nic])
+                                    + nf.workload.cores
+                                    <= nics_map.cores[nic]
+                            {
+                                residents[nic].push(id);
+                                pidx.place(nic, nf.workload.cores);
+                            }
+                        }
+                        2 => {
+                            // Hard failure: retire and bulk-evict.
+                            let nic = rng.gen_range(0..nics);
+                            if state[nic] == NicState::Up {
+                                state[nic] = NicState::Down;
+                                pidx.retire(nic);
+                                residents[nic].clear();
+                                pidx.clear_retired(nic);
+                            }
+                        }
+                        _ => {
+                            let nic = rng.gen_range(0..nics);
+                            if state[nic] == NicState::Down && residents[nic].is_empty() {
+                                state[nic] = NicState::Up;
+                                pidx.restore(nic);
+                            }
+                        }
+                    }
+                }
+                check(&residents, &state, &pidx, &mut rng);
+            }
+        }
     }
 
     #[test]

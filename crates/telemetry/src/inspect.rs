@@ -76,6 +76,20 @@ impl Inspector {
             self.events.len(),
             fmt_t(span_ms)
         );
+        // A capacity-truncated journal undercounts everything below;
+        // say so before any number, not in a footnote.
+        let dropped: i64 = self
+            .events
+            .iter()
+            .filter(|e| e.tag() == "truncated")
+            .filter_map(|e| e.int("dropped"))
+            .sum();
+        if dropped > 0 {
+            out.push_str(&format!(
+                "  !! TRUNCATED: {dropped} events dropped at the journal capacity bound — \
+                 every tally below undercounts (raise the cap, e.g. --journal-cap)\n"
+            ));
+        }
         out.push_str(&format!(
             "  arrivals {}  placed {}  rejected {}  departed {}\n",
             self.count("arrival"),
@@ -144,8 +158,10 @@ impl Inspector {
                     pending.clear();
                 }
                 // Margin/audit/profile lines are too chatty for the
-                // timeline view; everything else tallies into the delta.
-                "margin" | "audit" | "profile" | "" => {}
+                // timeline view, and the truncation trailer is a meta
+                // line, not a fleet event; everything else tallies into
+                // the delta.
+                "margin" | "audit" | "profile" | "truncated" | "" => {}
                 tag => {
                     let tag: &'static str = match tag {
                         "arrival" => "arrival",
@@ -510,10 +526,27 @@ mod tests {
         let s = i.summary();
         assert!(s.contains("arrivals 1"));
         assert!(s.contains("violations 1 (guaranteed 1, best_effort 0)"));
+        assert!(!s.contains("TRUNCATED"), "untruncated journals stay quiet");
         let t = i.timeline();
         assert!(t.contains("[00:20:00]"));
         assert!(t.contains("parked=1"));
         assert!(t.contains("1 migrate"));
+    }
+
+    #[test]
+    fn summary_surfaces_journal_truncation_prominently() {
+        let mut text = sample();
+        text.push_str("{\"seq\":6,\"t_ms\":1200000,\"ev\":\"truncated\",\"dropped\":12345}\n");
+        let i = Inspector::from_jsonl(&text);
+        let s = i.summary();
+        let warn = s.lines().nth(1).expect("warning directly under headline");
+        assert!(warn.contains("TRUNCATED"));
+        assert!(warn.contains("12345"));
+        assert!(warn.contains("--journal-cap"));
+        // The meta line is not a fleet event: the timeline must not
+        // tally it as "other".
+        assert!(!i.timeline().contains("truncated"));
+        assert!(!i.timeline().contains("other"));
     }
 
     #[test]

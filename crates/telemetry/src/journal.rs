@@ -230,11 +230,26 @@ impl Journal {
 
     /// Serializes the journal as JSONL: one flat object per line, fixed
     /// field order, floats at fixed precision — identical journals
-    /// produce identical bytes.
+    /// produce identical bytes. A journal that hit its capacity bound
+    /// appends one trailing `"ev":"truncated"` meta line carrying the
+    /// dropped-event count, so the loss is visible in the artifact
+    /// itself; journals that dropped nothing serialize exactly as
+    /// before.
     pub fn to_jsonl(&self) -> String {
+        use std::fmt::Write;
         let mut out = String::with_capacity(self.records.len() * 96);
         for r in &self.records {
             render_line(&mut out, r);
+        }
+        if self.dropped > 0 {
+            let t_ms = self.records.last().map(|r| r.t_ms).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "{{\"seq\":{},\"t_ms\":{},\"ev\":\"truncated\",\"dropped\":{}}}",
+                self.records.len(),
+                t_ms,
+                self.dropped
+            );
         }
         out
     }
@@ -559,6 +574,16 @@ mod tests {
         }
         assert_eq!(j.len(), 2);
         assert_eq!(j.dropped(), 3);
+        // The loss is visible in the serialized artifact: one trailing
+        // meta line with the dropped count, parseable like any other.
+        let text = j.to_jsonl();
+        assert_eq!(text.lines().count(), 3);
+        let parsed = parse_jsonl(&text);
+        assert_eq!(parsed[2].tag(), "truncated");
+        assert_eq!(parsed[2].int("dropped"), Some(3));
+        assert_eq!(parsed[2].int("seq"), Some(2));
+        // An unfilled journal serializes without the trailer.
+        assert!(!sample_journal().to_jsonl().contains("truncated"));
     }
 
     #[test]

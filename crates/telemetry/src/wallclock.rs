@@ -116,6 +116,17 @@ impl WallClock {
         e.1 += 1;
     }
 
+    /// Placement decisions timed so far (kept in the reservoir or not).
+    pub fn decisions_seen(&self) -> u64 {
+        self.decisions.seen()
+    }
+
+    /// The `q`-quantile of decision latency in nanoseconds, from the
+    /// reservoir sample. Wall-clock noise — report it, never diff it.
+    pub fn decision_quantile(&self, q: f64) -> Option<f64> {
+        self.decisions.quantile(q)
+    }
+
     /// Events processed per wall-clock second so far.
     pub fn events_per_sec(&self) -> f64 {
         let s = self.started.elapsed().as_secs_f64();
