@@ -284,17 +284,28 @@ pub struct BenchArgs {
 }
 
 impl BenchArgs {
-    /// Parses the common flags from `std::env::args`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an unknown flag or a malformed `--threads` value, so a
-    /// typo in a CI step fails loudly instead of silently running the
-    /// default configuration.
+    /// Parses the common flags from `std::env::args`. On a malformed
+    /// invocation (unknown flag, missing or invalid value) it prints the
+    /// error and exits with status 2, so a typo in a CI step fails loudly
+    /// instead of silently running the default configuration — and fails
+    /// with a usable message instead of a panic backtrace.
     pub fn parse() -> Self {
+        match Self::try_parse_from(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("bench: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The fallible core of [`Self::parse`], testable without touching
+    /// process state. Every rejection names the flag and the offense.
+    pub fn try_parse_from(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
         let mut out = Self::default();
-        let mut args = std::env::args().skip(1);
+        let mut args = args.into_iter();
         while let Some(a) = args.next() {
+            let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
             match a.as_str() {
                 "--quick" => out.quick = true,
                 "--check" => {
@@ -302,21 +313,39 @@ impl BenchArgs {
                     out.quick = true;
                 }
                 "--threads" => {
-                    let v = args.next().expect("--threads needs a value");
-                    out.threads = Some(v.parse().expect("--threads needs an integer"));
+                    let v = value("--threads")?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("--threads got {v:?}, expected an integer"))?;
+                    if n == 0 {
+                        return Err("--threads must be at least 1".to_string());
+                    }
+                    out.threads = Some(n);
                 }
-                "--out" => out.out = Some(args.next().expect("--out needs a path")),
-                "--telemetry" => {
-                    out.telemetry = Some(args.next().expect("--telemetry needs a base path"));
-                }
+                "--out" => out.out = Some(value("--out")?),
+                "--telemetry" => out.telemetry = Some(value("--telemetry")?),
                 "--journal-cap" => {
-                    let v = args.next().expect("--journal-cap needs a value");
-                    out.journal_cap = Some(v.parse().expect("--journal-cap needs an integer"));
+                    let v = value("--journal-cap")?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("--journal-cap got {v:?}, expected an integer"))?;
+                    if n == 0 {
+                        return Err(
+                            "--journal-cap must be at least 1 (0 would drop every event)"
+                                .to_string(),
+                        );
+                    }
+                    out.journal_cap = Some(n);
                 }
-                other => panic!("unknown bench flag {other}"),
+                other => {
+                    return Err(format!(
+                        "unknown flag {other} (known: --quick --check --threads \
+                         --out --telemetry --journal-cap)"
+                    ))
+                }
             }
         }
-        out
+        Ok(out)
     }
 
     /// The scenario engine the flags select.
@@ -540,6 +569,43 @@ mod tests {
             ..BenchArgs::default()
         };
         assert_eq!(out.record_path("BENCH_x.json"), Some("/tmp/r.json"));
+    }
+
+    #[test]
+    fn args_parse_accepts_valid_flags() {
+        let to_args =
+            |s: &str| -> Vec<String> { s.split_whitespace().map(str::to_string).collect() };
+        let a = BenchArgs::try_parse_from(to_args(
+            "--check --threads 4 --out /tmp/r.json --telemetry /tmp/t --journal-cap 1024",
+        ))
+        .expect("valid flags");
+        assert!(a.check && a.quick);
+        assert_eq!(a.threads, Some(4));
+        assert_eq!(a.out.as_deref(), Some("/tmp/r.json"));
+        assert_eq!(a.telemetry.as_deref(), Some("/tmp/t"));
+        assert_eq!(a.journal_cap, Some(1024));
+        let none = BenchArgs::try_parse_from(std::iter::empty()).expect("no flags");
+        assert_eq!(none.threads, None);
+        assert!(!none.quick);
+    }
+
+    #[test]
+    fn args_parse_rejects_invalid_flags_with_clear_errors() {
+        let to_args =
+            |s: &str| -> Vec<String> { s.split_whitespace().map(str::to_string).collect() };
+        for (argv, expect) in [
+            ("--journal-cap 0", "at least 1"),
+            ("--journal-cap many", "expected an integer"),
+            ("--threads zero", "expected an integer"),
+            ("--threads 0", "at least 1"),
+            ("--threads", "needs a value"),
+            ("--out", "needs a value"),
+            ("--frobnicate", "unknown flag --frobnicate"),
+        ] {
+            let err = BenchArgs::try_parse_from(to_args(argv))
+                .expect_err(&format!("{argv:?} must be rejected"));
+            assert!(err.contains(expect), "{argv:?} => {err:?}");
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! One NF's adaptive run is inherently sequential (each probe depends on
 //! the quota spent so far), but runs for *different NFs* are independent:
 //! [`adaptive_profile_all`] dispatches them across the
-//! [`Engine`](crate::engine::Engine) worker pool with deterministic
+//! [`Engine`] worker pool with deterministic
 //! per-scenario simulators, so profiling a fleet scales with core count
 //! while staying bit-identical to the sequential sweep.
 

@@ -66,7 +66,7 @@ const BACKOFF_CAP_EPOCHS: u64 = 8;
 
 /// Operational state of a NIC under the fault machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum NicState {
+pub(crate) enum NicState {
     /// In service: admits placements.
     Up,
     /// Maintenance announced: residents keep running until the deadline
@@ -78,18 +78,18 @@ enum NicState {
 
 /// A shed NF waiting to re-enter the fleet: retried at audit epochs
 /// with exponential backoff.
-struct Parked {
-    id: u32,
+pub(crate) struct Parked {
+    pub(crate) id: u32,
     /// Earliest time a retry may run (audits at or after this qualify).
-    next_retry_ms: u64,
+    pub(crate) next_retry_ms: u64,
     /// Current backoff, in audit epochs; doubles per failed retry.
-    backoff_epochs: u64,
+    pub(crate) backoff_epochs: u64,
 }
 
 /// Per-NIC hardware facts expanded from the portfolio: the model and
 /// core count of every NIC index, plus the portfolio position used to
 /// build ground-truth simulators.
-struct NicMap {
+pub(crate) struct NicMap {
     model: Vec<NicModelId>,
     cores: Vec<u32>,
     spec_pos: Vec<usize>,
@@ -159,9 +159,9 @@ fn build_index(
 /// Runs one policy over a profiled trace and returns its report.
 /// `label` names the run in the report (e.g. `"yala"`); `engine`
 /// parallelizes the per-NIC ground-truth audits.
-pub fn run_fleet(
-    profiled: &ProfiledTrace,
-    policy: FleetPolicy<'_>,
+pub fn run_fleet<'a>(
+    profiled: &'a ProfiledTrace,
+    policy: FleetPolicy<'a>,
     label: &str,
     engine: &Engine,
 ) -> FleetReport {
@@ -177,116 +177,270 @@ pub fn run_fleet(
 /// registry. With a disabled handle this *is* `run_fleet`: the
 /// instrumentation adds only skipped branches and pure extra reads, so
 /// the report is bit-identical with telemetry on, off, or absent.
-pub fn run_fleet_observed(
-    profiled: &ProfiledTrace,
-    mut policy: FleetPolicy<'_>,
+pub fn run_fleet_observed<'a>(
+    profiled: &'a ProfiledTrace,
+    policy: FleetPolicy<'a>,
     label: &str,
     engine: &Engine,
     tel: &mut Telemetry,
 ) -> FleetReport {
-    let cfg = &profiled.trace.config;
-    let records = &profiled.trace.records;
-    let nic_count = cfg.nics();
-    let nics_map = NicMap::new(cfg);
-    let horizon_ms = cfg.duration_s * MS_PER_S;
-    let period_ms = cfg.audit_period_s * MS_PER_S;
+    let mut sim = FleetSim::new(profiled, policy, label);
+    while sim.step(engine, tel).is_some() {}
+    sim.into_report()
+}
 
-    // The static event list: (time, class, index). Index is the NF id
-    // for departures/arrivals, the position in the fault schedule for
-    // faults, and the epoch number for audits.
-    let mut events: Vec<(u64, u8, u32)> =
-        Vec::with_capacity(2 * records.len() + profiled.trace.faults.len() + 64);
-    for r in records {
-        events.push((r.arrival_ms, CLASS_ARRIVAL, r.id));
-        if r.departure_ms <= horizon_ms {
-            events.push((r.departure_ms, CLASS_DEPARTURE, r.id));
+/// What one [`FleetSim::step`] consumed, carrying the event's index —
+/// the NF id for departures/arrivals, the fault-schedule position for
+/// faults, the epoch number for audits. Checkpointing callers watch for
+/// `Audit(epoch)`: the state between two audits is mid-decision and not
+/// a snapshot boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Processed {
+    /// A departure freed its NIC slot.
+    Departure(u32),
+    /// A fault-machine transition ran.
+    Fault(u32),
+    /// An arrival was placed or rejected.
+    Arrival(u32),
+    /// A full audit epoch settled: ground truth, refinement, migration,
+    /// readmission, and the epoch sample.
+    Audit(u32),
+}
+
+/// The fleet event loop as a steppable value: [`FleetSim::new`] builds
+/// the static event list and the empty fleet, [`FleetSim::step`]
+/// consumes one event, [`FleetSim::into_report`] closes the books.
+/// [`run_fleet_observed`] is exactly `new` + `step`-to-exhaustion +
+/// `into_report`, so driving the loop one event at a time — as the
+/// checkpointing daemon does — is bit-identical to the one-shot run.
+///
+/// Everything a resumed run cannot re-derive lives in named fields; the
+/// absorbed-observation log exists so a restore can replay the online
+/// refinement history through a freshly trained predictor instead of
+/// serializing model internals (`location` and the placement index are
+/// derived from `residents`/`state` and rebuilt on restore).
+pub struct FleetSim<'a> {
+    pub(crate) profiled: &'a ProfiledTrace,
+    pub(crate) policy: FleetPolicy<'a>,
+    pub(crate) label: String,
+    pub(crate) nics_map: NicMap,
+    /// The static event list: (time, class, index). Index is the NF id
+    /// for departures/arrivals, the position in the fault schedule for
+    /// faults, and the epoch number for audits.
+    pub(crate) events: Vec<(u64, u8, u32)>,
+    /// Position of the next unconsumed event.
+    pub(crate) next_event: usize,
+    // Mutable fleet state.
+    pub(crate) residents: Vec<Vec<u32>>,
+    pub(crate) location: Vec<Option<usize>>,
+    pub(crate) cursor: Vec<usize>,
+    pub(crate) state: Vec<NicState>,
+    pub(crate) parked: Vec<Parked>,
+    /// The placement-candidate index, kept in lockstep with `residents`
+    /// and `state` at every mutation so each decision walks a shortlist
+    /// instead of the whole fleet.
+    pub(crate) pidx: PlacementIndex,
+    /// Audit ground truth pending absorption (online-refining policies).
+    pub(crate) pending: ObservationBuffer,
+    /// Every batch already absorbed, in absorb order — the replay script
+    /// that rebuilds a predictor's refined state on restore.
+    pub(crate) absorb_log: Vec<Vec<Observation>>,
+    // Per-epoch scratch, hoisted: reused across epochs instead of
+    // reallocated. Never part of a snapshot.
+    occupied: Vec<usize>,
+    order: Vec<usize>,
+    admitted: Vec<u32>,
+    margin_buf: Vec<(usize, f64, f64)>,
+    // Report accumulators.
+    pub(crate) period_min: f64,
+    pub(crate) samples: Vec<FleetSample>,
+    pub(crate) rejected: u32,
+    pub(crate) migrations_total: u32,
+    pub(crate) violation_minutes: f64,
+    pub(crate) nic_minutes: f64,
+    pub(crate) oracle_lb_nic_minutes: f64,
+    pub(crate) wasted_core_minutes: f64,
+    pub(crate) peak_nics: u32,
+    pub(crate) faults_total: u32,
+    pub(crate) drains_total: u32,
+    // Per-class degradation accounting, indexed by `QosClass as usize`.
+    pub(crate) violation_min: [f64; 2],
+    pub(crate) downtime_min: [f64; 2],
+    pub(crate) evacuations: [u32; 2],
+    pub(crate) shed: [u32; 2],
+    pub(crate) readmitted: [u32; 2],
+    // Per-model packing-bound facts, precomputed in `new`.
+    model_cores: Vec<u32>,
+    masks: Vec<u32>,
+    cache_hit_rate: f64,
+}
+
+impl<'a> FleetSim<'a> {
+    /// Builds the static event list and the empty fleet for one policy
+    /// run. `label` names the run in the final report.
+    pub fn new(profiled: &'a ProfiledTrace, policy: FleetPolicy<'a>, label: &str) -> Self {
+        let cfg = &profiled.trace.config;
+        let records = &profiled.trace.records;
+        let nic_count = cfg.nics();
+        let nics_map = NicMap::new(cfg);
+        let horizon_ms = cfg.duration_s * MS_PER_S;
+        let period_ms = cfg.audit_period_s * MS_PER_S;
+
+        let mut events: Vec<(u64, u8, u32)> =
+            Vec::with_capacity(2 * records.len() + profiled.trace.faults.len() + 64);
+        for r in records {
+            events.push((r.arrival_ms, CLASS_ARRIVAL, r.id));
+            if r.departure_ms <= horizon_ms {
+                events.push((r.departure_ms, CLASS_DEPARTURE, r.id));
+            }
+        }
+        for (i, f) in profiled.trace.faults.iter().enumerate() {
+            events.push((f.t_ms, CLASS_FAULT, i as u32));
+        }
+        for epoch in 1..=cfg.epochs() {
+            events.push((epoch * period_ms, CLASS_AUDIT, epoch as u32));
+        }
+        events.sort_unstable();
+
+        let residents: Vec<Vec<u32>> = vec![Vec::new(); nic_count];
+        let location: Vec<Option<usize>> = vec![None; records.len()];
+        let cursor: Vec<usize> = vec![0; records.len()];
+        let state: Vec<NicState> = vec![NicState::Up; nic_count];
+        let pidx = build_index(profiled, &cursor, &residents, &state, &nics_map);
+
+        // Per-model packing-bound facts: each NF's capability mask over
+        // portfolio positions, and each model's core count.
+        let model_cores: Vec<u32> = cfg.portfolio.iter().map(|(s, _)| s.cores).collect();
+        let models: Vec<NicModelId> = cfg.portfolio.iter().map(|(s, _)| s.model()).collect();
+        let masks: Vec<u32> = profiled
+            .timelines
+            .iter()
+            .map(|tl| {
+                let first = &tl.snapshots[0].1;
+                models
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &m)| first.supported_on(m))
+                    .fold(0u32, |acc, (p, _)| acc | (1 << p))
+            })
+            .collect();
+        let cache_hit_rate = if profiled.stats.lookups > 0 {
+            profiled.stats.hits as f64 / profiled.stats.lookups as f64
+        } else {
+            0.0
+        };
+
+        Self {
+            profiled,
+            policy,
+            label: label.to_string(),
+            nics_map,
+            events,
+            next_event: 0,
+            residents,
+            location,
+            cursor,
+            state,
+            parked: Vec::new(),
+            pidx,
+            pending: ObservationBuffer::new(),
+            absorb_log: Vec::new(),
+            occupied: Vec::new(),
+            order: Vec::new(),
+            admitted: Vec::new(),
+            margin_buf: Vec::new(),
+            period_min: cfg.audit_period_s as f64 / 60.0,
+            samples: Vec::with_capacity(cfg.epochs() as usize),
+            rejected: 0,
+            migrations_total: 0,
+            violation_minutes: 0.0,
+            nic_minutes: 0.0,
+            oracle_lb_nic_minutes: 0.0,
+            wasted_core_minutes: 0.0,
+            peak_nics: 0,
+            faults_total: 0,
+            drains_total: 0,
+            violation_min: [0.0; 2],
+            downtime_min: [0.0; 2],
+            evacuations: [0; 2],
+            shed: [0; 2],
+            readmitted: [0; 2],
+            model_cores,
+            masks,
+            cache_hit_rate,
         }
     }
-    for (i, f) in profiled.trace.faults.iter().enumerate() {
-        events.push((f.t_ms, CLASS_FAULT, i as u32));
+
+    /// The run's report label.
+    pub fn label(&self) -> &str {
+        &self.label
     }
-    for epoch in 1..=cfg.epochs() {
-        events.push((epoch * period_ms, CLASS_AUDIT, epoch as u32));
+
+    /// Events consumed so far (the snapshot's resume point).
+    pub fn events_consumed(&self) -> usize {
+        self.next_event
     }
-    events.sort_unstable();
 
-    // Mutable fleet state.
-    let mut residents: Vec<Vec<u32>> = vec![Vec::new(); nic_count];
-    let mut location: Vec<Option<usize>> = vec![None; records.len()];
-    let mut cursor: Vec<usize> = vec![0; records.len()];
-    let mut state: Vec<NicState> = vec![NicState::Up; nic_count];
-    let mut parked: Vec<Parked> = Vec::new();
-    // The placement-candidate index, kept in lockstep with `residents`
-    // and `state` at every mutation below so each decision walks a
-    // shortlist instead of the whole fleet.
-    let mut pidx = build_index(profiled, &cursor, &residents, &state, &nics_map);
-    // Audit ground truth pending absorption (online-refining policies).
-    let mut pending = ObservationBuffer::new();
-    // Per-epoch scratch, hoisted: the occupied-NIC list for the audit
-    // fan-out and the readmission ordering buffers are reused across
-    // epochs instead of reallocated.
-    let mut occupied: Vec<usize> = Vec::new();
-    let mut order: Vec<usize> = Vec::new();
-    let mut admitted: Vec<u32> = Vec::new();
+    /// Rebuilds the derived structures — `location` and the placement
+    /// index — from `residents`, `cursor`, and `state` after a restore
+    /// overwrote the authoritative state.
+    pub(crate) fn rebuild_derived(&mut self) {
+        self.location = vec![None; self.profiled.trace.records.len()];
+        for (nic, res) in self.residents.iter().enumerate() {
+            for &id in res {
+                self.location[id as usize] = Some(nic);
+            }
+        }
+        self.pidx = build_index(
+            self.profiled,
+            &self.cursor,
+            &self.residents,
+            &self.state,
+            &self.nics_map,
+        );
+    }
 
-    // Report accumulators.
-    let period_min = cfg.audit_period_s as f64 / 60.0;
-    let mut samples: Vec<FleetSample> = Vec::with_capacity(cfg.epochs() as usize);
-    let mut rejected = 0u32;
-    let mut migrations_total = 0u32;
-    let mut violation_minutes = 0.0f64;
-    let mut nic_minutes = 0.0f64;
-    let mut oracle_lb_nic_minutes = 0.0f64;
-    let mut wasted_core_minutes = 0.0f64;
-    let mut peak_nics = 0u32;
-    let mut faults_total = 0u32;
-    let mut drains_total = 0u32;
-    // Per-class degradation accounting, indexed by `QosClass as usize`.
-    let mut violation_min = [0.0f64; 2];
-    let mut downtime_min = [0.0f64; 2];
-    let mut evacuations = [0u32; 2];
-    let mut shed = [0u32; 2];
-    let mut readmitted = [0u32; 2];
-    // Per-model packing-bound facts: each NF's capability mask over
-    // portfolio positions, and each model's core count.
-    let model_cores: Vec<u32> = cfg.portfolio.iter().map(|(s, _)| s.cores).collect();
-    let models: Vec<NicModelId> = cfg.portfolio.iter().map(|(s, _)| s.model()).collect();
-    let masks: Vec<u32> = profiled
-        .timelines
-        .iter()
-        .map(|tl| {
-            let first = &tl.snapshots[0].1;
-            models
-                .iter()
-                .enumerate()
-                .filter(|(_, &m)| first.supported_on(m))
-                .fold(0u32, |acc, (p, _)| acc | (1 << p))
-        })
-        .collect();
+    /// Replays the absorbed-observation log through the policy's
+    /// predictor — the restore path's substitute for serializing refined
+    /// model internals. A freshly trained predictor fed the same batches
+    /// in the same order reaches bit-identical refined cells.
+    pub(crate) fn replay_absorbs(&mut self, engine: &Engine) {
+        if let FleetPolicy::ContentionAware { predictor, .. } = &mut self.policy {
+            for batch in &self.absorb_log {
+                let mut buf = ObservationBuffer::new();
+                for o in batch {
+                    buf.push(o.clone());
+                }
+                predictor.absorb(&buf, engine);
+            }
+        }
+    }
 
-    // Margin scratch buffer for contention-aware placements; only wired
-    // into the chooser when telemetry is on, so the off path never pays
-    // the pushes.
-    let observing = tel.is_enabled();
-    let mut margin_buf: Vec<(usize, f64, f64)> = Vec::new();
-    let cache_hit_rate = if profiled.stats.lookups > 0 {
-        profiled.stats.hits as f64 / profiled.stats.lookups as f64
-    } else {
-        0.0
-    };
-
-    for &(t_ms, class, index) in &events {
+    /// Consumes one event; `None` once the run is complete. The engine
+    /// parallelizes audit ground-truth co-runs exactly as in
+    /// [`run_fleet_observed`]; any stepping pattern produces the same
+    /// decisions, report, and journal as the one-shot loop.
+    pub fn step(&mut self, engine: &Engine, tel: &mut Telemetry) -> Option<Processed> {
+        let &(t_ms, class, index) = self.events.get(self.next_event)?;
+        self.next_event += 1;
+        let profiled = self.profiled;
+        let cfg = &profiled.trace.config;
+        let records = &profiled.trace.records;
+        let period_ms = cfg.audit_period_s * MS_PER_S;
+        let observing = tel.is_enabled();
         tel.wall_tick();
         match class {
             CLASS_DEPARTURE => {
                 let id = index as usize;
-                let at = location[id].map(|n| n as i64).unwrap_or(-1);
-                if let Some(nic) = location[id].take() {
-                    residents[nic].retain(|&r| r != index);
-                    pidx.remove(nic, snapshot(profiled, &cursor, index).workload.cores);
+                let at = self.location[id].map(|n| n as i64).unwrap_or(-1);
+                if let Some(nic) = self.location[id].take() {
+                    self.residents[nic].retain(|&r| r != index);
+                    self.pidx
+                        .remove(nic, snapshot(profiled, &self.cursor, index).workload.cores);
                 }
-                parked.retain(|p| p.id != index);
+                self.parked.retain(|p| p.id != index);
                 tel.rec(t_ms, || Event::Depart { id: index, nic: at });
+                Some(Processed::Departure(index))
             }
             CLASS_FAULT => {
                 let ev = profiled.trace.faults[index as usize];
@@ -296,91 +450,92 @@ pub fn run_fleet_observed(
                 });
                 match ev.kind {
                     FaultKind::Fail => {
-                        faults_total += 1;
+                        self.faults_total += 1;
                         tel.inc("fleet.faults", 1);
-                        state[ev.nic] = NicState::Down;
-                        pidx.retire(ev.nic);
-                        let evicted = std::mem::take(&mut residents[ev.nic]);
+                        self.state[ev.nic] = NicState::Down;
+                        self.pidx.retire(ev.nic);
+                        let evicted = std::mem::take(&mut self.residents[ev.nic]);
                         for &id in &evicted {
-                            location[id as usize] = None;
+                            self.location[id as usize] = None;
                         }
-                        pidx.clear_retired(ev.nic);
+                        self.pidx.clear_retired(ev.nic);
                         evacuate(
                             profiled,
-                            &mut residents,
-                            &mut location,
-                            &cursor,
-                            &nics_map,
-                            &state,
-                            &mut pidx,
-                            &mut policy,
+                            &mut self.residents,
+                            &mut self.location,
+                            &self.cursor,
+                            &self.nics_map,
+                            &self.state,
+                            &mut self.pidx,
+                            &mut self.policy,
                             evicted,
                             ev.nic,
                             true,
                             t_ms,
-                            &mut parked,
-                            &mut evacuations,
-                            &mut shed,
+                            &mut self.parked,
+                            &mut self.evacuations,
+                            &mut self.shed,
                             tel,
                         );
                     }
                     FaultKind::DrainStart => {
-                        drains_total += 1;
+                        self.drains_total += 1;
                         tel.inc("fleet.drains", 1);
-                        state[ev.nic] = NicState::Draining;
-                        pidx.retire(ev.nic);
-                        let ids = residents[ev.nic].clone();
+                        self.state[ev.nic] = NicState::Draining;
+                        self.pidx.retire(ev.nic);
+                        let ids = self.residents[ev.nic].clone();
                         evacuate(
                             profiled,
-                            &mut residents,
-                            &mut location,
-                            &cursor,
-                            &nics_map,
-                            &state,
-                            &mut pidx,
-                            &mut policy,
+                            &mut self.residents,
+                            &mut self.location,
+                            &self.cursor,
+                            &self.nics_map,
+                            &self.state,
+                            &mut self.pidx,
+                            &mut self.policy,
                             ids,
                             ev.nic,
                             false,
                             t_ms,
-                            &mut parked,
-                            &mut evacuations,
-                            &mut shed,
+                            &mut self.parked,
+                            &mut self.evacuations,
+                            &mut self.shed,
                             tel,
                         );
                     }
                     FaultKind::DrainEnd => {
-                        state[ev.nic] = NicState::Down;
-                        pidx.retire(ev.nic);
-                        let evicted = std::mem::take(&mut residents[ev.nic]);
+                        self.state[ev.nic] = NicState::Down;
+                        self.pidx.retire(ev.nic);
+                        let evicted = std::mem::take(&mut self.residents[ev.nic]);
                         for &id in &evicted {
-                            location[id as usize] = None;
+                            self.location[id as usize] = None;
                         }
-                        pidx.clear_retired(ev.nic);
+                        self.pidx.clear_retired(ev.nic);
                         evacuate(
                             profiled,
-                            &mut residents,
-                            &mut location,
-                            &cursor,
-                            &nics_map,
-                            &state,
-                            &mut pidx,
-                            &mut policy,
+                            &mut self.residents,
+                            &mut self.location,
+                            &self.cursor,
+                            &self.nics_map,
+                            &self.state,
+                            &mut self.pidx,
+                            &mut self.policy,
                             evicted,
                             ev.nic,
                             true,
                             t_ms,
-                            &mut parked,
-                            &mut evacuations,
-                            &mut shed,
+                            &mut self.parked,
+                            &mut self.evacuations,
+                            &mut self.shed,
                             tel,
                         );
                     }
                     FaultKind::Recover => {
-                        state[ev.nic] = NicState::Up;
-                        pidx.restore(ev.nic);
+                        self.state[ev.nic] = NicState::Up;
+                        self.pidx.restore(ev.nic);
                     }
                 }
+                Some(Processed::Fault(index))
             }
             CLASS_ARRIVAL => {
                 let id = index as usize;
@@ -393,20 +548,20 @@ pub fn run_fleet_observed(
                     sla_drop: nf.arrival.sla_drop,
                 });
                 let w0 = tel.wall_start();
-                margin_buf.clear();
+                self.margin_buf.clear();
                 let mut reason = "arrival";
                 let slot = choose_slot(
                     profiled,
-                    &residents,
-                    &cursor,
-                    &nics_map,
-                    &state,
-                    &pidx,
-                    &mut policy,
+                    &self.residents,
+                    &self.cursor,
+                    &self.nics_map,
+                    &self.state,
+                    &self.pidx,
+                    &mut self.policy,
                     &nf,
                     None,
                     0.0,
-                    observing.then_some(&mut margin_buf),
+                    observing.then_some(&mut self.margin_buf),
                 )
                 .or_else(|| {
                     // A guaranteed arrival that found no safe slot may,
@@ -417,24 +572,24 @@ pub fn run_fleet_observed(
                         predictor,
                         qos_aware: true,
                         ..
-                    } = &mut policy
+                    } = &mut self.policy
                     {
                         if nf.qos().is_guaranteed() {
                             let r = try_preempt_best_effort(
                                 profiled,
-                                &mut residents,
-                                &mut location,
-                                &cursor,
-                                &nics_map,
-                                &state,
-                                &mut pidx,
+                                &mut self.residents,
+                                &mut self.location,
+                                &self.cursor,
+                                &self.nics_map,
+                                &self.state,
+                                &mut self.pidx,
                                 *predictor,
                                 &nf,
                                 None,
                                 0.0,
                                 t_ms,
-                                &mut parked,
-                                &mut shed,
+                                &mut self.parked,
+                                &mut self.shed,
                                 tel,
                             );
                             if r.is_some() {
@@ -448,7 +603,7 @@ pub fn run_fleet_observed(
                 tel.wall_decision(w0);
                 match slot {
                     Some(nic) => {
-                        debug_assert!(nf.supported_on(nics_map.model[nic]));
+                        debug_assert!(nf.supported_on(self.nics_map.model[nic]));
                         tel.rec(t_ms, || Event::Place {
                             id: index,
                             nic: nic as u32,
@@ -457,8 +612,8 @@ pub fn run_fleet_observed(
                         // The margins refer to the accepted NIC's
                         // candidate vector: its residents *before* this
                         // push, then the arriving NF.
-                        for &(slot_idx, predicted, floor) in &margin_buf {
-                            let mid = residents[nic].get(slot_idx).copied().unwrap_or(index);
+                        for &(slot_idx, predicted, floor) in &self.margin_buf {
+                            let mid = self.residents[nic].get(slot_idx).copied().unwrap_or(index);
                             tel.rec(t_ms, || Event::Margin {
                                 id: mid,
                                 nic: nic as u32,
@@ -466,13 +621,13 @@ pub fn run_fleet_observed(
                                 floor,
                             });
                         }
-                        residents[nic].push(index);
-                        location[id] = Some(nic);
-                        cursor[id] = 0;
-                        pidx.place(nic, nf.workload.cores);
+                        self.residents[nic].push(index);
+                        self.location[id] = Some(nic);
+                        self.cursor[id] = 0;
+                        self.pidx.place(nic, nf.workload.cores);
                     }
                     None => {
-                        rejected += 1;
+                        self.rejected += 1;
                         tel.inc("fleet.rejected", 1);
                         tel.rec(t_ms, || Event::Reject {
                             id: index,
@@ -481,15 +636,16 @@ pub fn run_fleet_observed(
                         });
                     }
                 }
+                Some(Processed::Arrival(index))
             }
             CLASS_AUDIT => {
                 let epoch = index as u64;
                 let w0 = tel.wall_start();
                 // 1. Drift: bring every placed NF to its snapshot in
                 // force at this epoch (re-profiles are epoch-aligned).
-                for (id, loc) in location.iter().enumerate() {
+                for (id, loc) in self.location.iter().enumerate() {
                     if loc.is_some() {
-                        cursor[id] = profiled.timelines[id].index_at(t_ms);
+                        self.cursor[id] = profiled.timelines[id].index_at(t_ms);
                     }
                 }
                 // 2. Ground truth: co-run every occupied NIC on a private
@@ -498,14 +654,19 @@ pub fn run_fleet_observed(
                 // occupied list doubles as the index's drift re-pricing
                 // pass: the cursor moves above may have changed resident
                 // core footprints.
-                occupied.clear();
-                for (n, res) in residents.iter().enumerate() {
+                self.occupied.clear();
+                for (n, res) in self.residents.iter().enumerate() {
                     if !res.is_empty() {
-                        occupied.push(n);
-                        pidx.set_used(n, cores_used(profiled, &cursor, res));
+                        self.occupied.push(n);
+                        self.pidx
+                            .set_used(n, cores_used(profiled, &self.cursor, res));
                     }
                 }
                 let audit_base = scenario_seed(cfg.seed ^ AUDIT_SALT, epoch as usize);
+                let occupied = &self.occupied;
+                let residents = &self.residents;
+                let cursor = &self.cursor;
+                let nics_map = &self.nics_map;
                 let reports: Vec<CoRunReport> =
                     engine.run_chunked(occupied.len(), AUDIT_CHUNK, |j| {
                         let nic = occupied[j];
@@ -514,24 +675,29 @@ pub fn run_fleet_observed(
                             simulator_for(spec, cfg.noise_sigma, scenario_seed(audit_base, j));
                         let workloads: Vec<WorkloadSpec> = residents[nic]
                             .iter()
-                            .map(|&id| snapshot(profiled, &cursor, id).workload.clone())
+                            .map(|&id| snapshot(profiled, cursor, id).workload.clone())
                             .collect();
                         sim.co_run(&workloads)
                     });
                 let mut violating = 0u32;
-                for (&nic, report) in occupied.iter().zip(&reports) {
-                    let model = nics_map.model[nic];
+                for (&nic, report) in self.occupied.iter().zip(&reports) {
+                    let model = self.nics_map.model[nic];
                     if observing {
-                        tel.observe_log2("fleet.co_residents", 1.0, 6, residents[nic].len() as f64);
+                        tel.observe_log2(
+                            "fleet.co_residents",
+                            1.0,
+                            6,
+                            self.residents[nic].len() as f64,
+                        );
                     }
                     for (pos, (&id, outcome)) in
-                        residents[nic].iter().zip(&report.outcomes).enumerate()
+                        self.residents[nic].iter().zip(&report.outcomes).enumerate()
                     {
-                        let floor = snapshot(profiled, &cursor, id).sla_floor(model);
+                        let floor = snapshot(profiled, &self.cursor, id).sla_floor(model);
                         if outcome.throughput_pps < floor {
                             violating += 1;
                             let qos = records[id as usize].qos;
-                            violation_min[qos as usize] += period_min;
+                            self.violation_min[qos as usize] += self.period_min;
                             tel.inc(&format!("fleet.violations.{}", qos.name()), 1);
                             if observing {
                                 // Diagnose the measured violation for the
@@ -539,13 +705,13 @@ pub fn run_fleet_observed(
                                 // so the extra call cannot perturb the
                                 // run; solo NFs and diagnoser-free
                                 // policies record "none".
-                                let bottleneck = match (&policy, residents[nic].len()) {
+                                let bottleneck = match (&self.policy, self.residents[nic].len()) {
                                     (FleetPolicy::ContentionAware { diagnoser, .. }, n)
                                         if n >= 2 =>
                                     {
-                                        let placed: Vec<Placed> = residents[nic]
+                                        let placed: Vec<Placed> = self.residents[nic]
                                             .iter()
-                                            .map(|&r| snapshot(profiled, &cursor, r).clone())
+                                            .map(|&r| snapshot(profiled, &self.cursor, r).clone())
                                             .collect();
                                         let co = diagnoser.contenders(model, &placed, pos);
                                         diagnoser.bottleneck(model, &placed, pos, &co).to_string()
@@ -566,7 +732,7 @@ pub fn run_fleet_observed(
                 }
                 tel.rec(t_ms, || Event::Audit {
                     epoch: index,
-                    occupied: occupied.len() as u32,
+                    occupied: self.occupied.len() as u32,
                     violating,
                 });
                 // 3. Learn: online-refining policies feed the audit's
@@ -582,21 +748,25 @@ pub fn run_fleet_observed(
                     diagnoser,
                     online: Some(online),
                     ..
-                } = &mut policy
+                } = &mut self.policy
                 {
                     harvest_observations(
                         profiled,
-                        &residents,
-                        &cursor,
-                        &nics_map,
-                        &occupied,
+                        &self.residents,
+                        &self.cursor,
+                        &self.nics_map,
+                        &self.occupied,
                         &reports,
                         diagnoser,
-                        &mut pending,
+                        &mut self.pending,
                     );
-                    if pending.len() >= online.min_observations.max(1) {
-                        let observations = pending.len() as u32;
-                        let refined = predictor.absorb(&pending, engine) as u64;
+                    if self.pending.len() >= online.min_observations.max(1) {
+                        let observations = self.pending.len() as u32;
+                        // Log the batch before draining it: a restored
+                        // run replays these batches through a freshly
+                        // trained predictor to rebuild the refined state.
+                        self.absorb_log.push(self.pending.iter().cloned().collect());
+                        let refined = predictor.absorb(&self.pending, engine) as u64;
                         tel.inc("fleet.absorb.passes", 1);
                         tel.inc("fleet.absorb.observations", observations as u64);
                         tel.inc("fleet.absorb.refined_cells", refined);
@@ -604,7 +774,7 @@ pub fn run_fleet_observed(
                             epoch: index,
                             observations,
                         });
-                        pending.clear();
+                        self.pending.clear();
                     }
                 }
                 // 4. React: predicted-violation migration (contention-
@@ -615,17 +785,17 @@ pub fn run_fleet_observed(
                     diagnoser,
                     qos_aware,
                     ..
-                } = &mut policy
+                } = &mut self.policy
                 {
                     let aware = *qos_aware;
                     epoch_migrations = migrate(
                         profiled,
-                        &mut residents,
-                        &mut location,
-                        &cursor,
-                        &nics_map,
-                        &state,
-                        &mut pidx,
+                        &mut self.residents,
+                        &mut self.location,
+                        &self.cursor,
+                        &self.nics_map,
+                        &self.state,
+                        &mut self.pidx,
                         *predictor,
                         diagnoser,
                         aware,
@@ -633,7 +803,7 @@ pub fn run_fleet_observed(
                         t_ms,
                         tel,
                     );
-                    migrations_total += epoch_migrations;
+                    self.migrations_total += epoch_migrations;
                 }
                 // 4b. Readmission: parked NFs whose backoff expired
                 // retry admission — guaranteed first under a QoS-aware
@@ -642,36 +812,37 @@ pub fn run_fleet_observed(
                 // floor with slack rather than re-enter marginally and
                 // bounce on the next audit. Failed retries double their
                 // backoff (capped at `BACKOFF_CAP_EPOCHS`).
-                if !parked.is_empty() {
+                if !self.parked.is_empty() {
                     let aware = matches!(
-                        &policy,
+                        &self.policy,
                         FleetPolicy::ContentionAware {
                             qos_aware: true,
                             ..
                         }
                     );
-                    order.clear();
-                    order.extend(0..parked.len());
-                    order.sort_by_key(|&k| {
-                        let q = records[parked[k].id as usize].qos as u8;
-                        (if aware { q } else { 0 }, parked[k].id)
+                    self.order.clear();
+                    self.order.extend(0..self.parked.len());
+                    let parked_now = &self.parked;
+                    self.order.sort_by_key(|&k| {
+                        let q = records[parked_now[k].id as usize].qos as u8;
+                        (if aware { q } else { 0 }, parked_now[k].id)
                     });
-                    admitted.clear();
-                    for &k in &order {
-                        if parked[k].next_retry_ms > t_ms {
+                    self.admitted.clear();
+                    for &k in &self.order {
+                        if self.parked[k].next_retry_ms > t_ms {
                             continue;
                         }
-                        let id = parked[k].id;
-                        cursor[id as usize] = profiled.timelines[id as usize].index_at(t_ms);
-                        let nf = snapshot(profiled, &cursor, id).clone();
+                        let id = self.parked[k].id;
+                        self.cursor[id as usize] = profiled.timelines[id as usize].index_at(t_ms);
+                        let nf = snapshot(profiled, &self.cursor, id).clone();
                         let slot = choose_slot(
                             profiled,
-                            &residents,
-                            &cursor,
-                            &nics_map,
-                            &state,
-                            &pidx,
-                            &mut policy,
+                            &self.residents,
+                            &self.cursor,
+                            &self.nics_map,
+                            &self.state,
+                            &self.pidx,
+                            &mut self.policy,
                             &nf,
                             None,
                             READMIT_MARGIN,
@@ -687,24 +858,24 @@ pub fn run_fleet_observed(
                                 predictor,
                                 qos_aware: true,
                                 ..
-                            } = &mut policy
+                            } = &mut self.policy
                             {
                                 if nf.qos().is_guaranteed() {
                                     return try_preempt_best_effort(
                                         profiled,
-                                        &mut residents,
-                                        &mut location,
-                                        &cursor,
-                                        &nics_map,
-                                        &state,
-                                        &mut pidx,
+                                        &mut self.residents,
+                                        &mut self.location,
+                                        &self.cursor,
+                                        &self.nics_map,
+                                        &self.state,
+                                        &mut self.pidx,
                                         *predictor,
                                         &nf,
                                         None,
                                         READMIT_MARGIN,
                                         t_ms,
-                                        &mut parked,
-                                        &mut shed,
+                                        &mut self.parked,
+                                        &mut self.shed,
                                         tel,
                                     );
                                 }
@@ -713,62 +884,63 @@ pub fn run_fleet_observed(
                         });
                         match slot {
                             Some(nic) => {
-                                residents[nic].push(id);
-                                location[id as usize] = Some(nic);
-                                pidx.place(nic, nf.workload.cores);
-                                readmitted[nf.qos() as usize] += 1;
+                                self.residents[nic].push(id);
+                                self.location[id as usize] = Some(nic);
+                                self.pidx.place(nic, nf.workload.cores);
+                                self.readmitted[nf.qos() as usize] += 1;
                                 tel.inc(&format!("fleet.readmitted.{}", nf.qos().name()), 1);
                                 tel.rec(t_ms, || Event::Readmit {
                                     id,
                                     nic: nic as u32,
                                     qos: nf.qos().name(),
                                 });
-                                admitted.push(id);
+                                self.admitted.push(id);
                             }
                             None => {
-                                let p = &mut parked[k];
+                                let p = &mut self.parked[k];
                                 p.next_retry_ms = t_ms + p.backoff_epochs * period_ms;
                                 p.backoff_epochs = (p.backoff_epochs * 2).min(BACKOFF_CAP_EPOCHS);
                             }
                         }
                     }
-                    parked.retain(|p| !admitted.contains(&p.id));
+                    let admitted = &self.admitted;
+                    self.parked.retain(|p| !admitted.contains(&p.id));
                 }
                 // 5. Observe.
-                let active: u32 = residents.iter().map(|r| r.len() as u32).sum();
-                let nics_in_use = residents.iter().filter(|r| !r.is_empty()).count() as u32;
+                let active: u32 = self.residents.iter().map(|r| r.len() as u32).sum();
+                let nics_in_use = self.residents.iter().filter(|r| !r.is_empty()).count() as u32;
                 let mut wasted_cores = 0u32;
-                let mut cores_by_mask = vec![0u32; 1 << model_cores.len()];
-                for (nic, res) in residents.iter().enumerate() {
+                let mut cores_by_mask = vec![0u32; 1 << self.model_cores.len()];
+                for (nic, res) in self.residents.iter().enumerate() {
                     if res.is_empty() {
                         continue;
                     }
                     let mut used = 0u32;
                     for &id in res {
-                        let c = snapshot(profiled, &cursor, id).workload.cores;
+                        let c = snapshot(profiled, &self.cursor, id).workload.cores;
                         used += c;
-                        cores_by_mask[masks[id as usize] as usize] += c;
+                        cores_by_mask[self.masks[id as usize] as usize] += c;
                     }
-                    wasted_cores += nics_map.cores[nic] - used;
+                    wasted_cores += self.nics_map.cores[nic] - used;
                 }
-                let oracle_lb_nics = oracle_packing_bound(&cores_by_mask, &model_cores);
+                let oracle_lb_nics = oracle_packing_bound(&cores_by_mask, &self.model_cores);
                 // Parked NFs are alive but unserved: every parked epoch
                 // is a downtime period for its class.
-                for p in &parked {
-                    downtime_min[records[p.id as usize].qos as usize] += period_min;
+                for p in &self.parked {
+                    self.downtime_min[records[p.id as usize].qos as usize] += self.period_min;
                 }
-                peak_nics = peak_nics.max(nics_in_use);
-                violation_minutes += violating as f64 * period_min;
-                nic_minutes += nics_in_use as f64 * period_min;
-                oracle_lb_nic_minutes += oracle_lb_nics as f64 * period_min;
-                wasted_core_minutes += wasted_cores as f64 * period_min;
-                let down_nics = state.iter().filter(|&&s| s == NicState::Down).count() as u32;
+                self.peak_nics = self.peak_nics.max(nics_in_use);
+                self.violation_minutes += violating as f64 * self.period_min;
+                self.nic_minutes += nics_in_use as f64 * self.period_min;
+                self.oracle_lb_nic_minutes += oracle_lb_nics as f64 * self.period_min;
+                self.wasted_core_minutes += wasted_cores as f64 * self.period_min;
+                let down_nics = self.state.iter().filter(|&&s| s == NicState::Down).count() as u32;
                 tel.gauge("fleet.active_nfs", active as f64);
                 tel.gauge("fleet.nics_in_use", nics_in_use as f64);
-                tel.gauge("fleet.parked", parked.len() as f64);
+                tel.gauge("fleet.parked", self.parked.len() as f64);
                 tel.gauge("fleet.down_nics", down_nics as f64);
-                tel.gauge("fleet.obs_queue", pending.len() as f64);
-                tel.gauge("fleet.cache_hit_rate", cache_hit_rate);
+                tel.gauge("fleet.obs_queue", self.pending.len() as f64);
+                tel.gauge("fleet.cache_hit_rate", self.cache_hit_rate);
                 tel.rec(t_ms, || Event::Epoch {
                     t_s: t_ms / MS_PER_S,
                     active,
@@ -777,13 +949,13 @@ pub fn run_fleet_observed(
                     migrations: epoch_migrations,
                     wasted_cores,
                     oracle_lb: oracle_lb_nics,
-                    parked: parked.len() as u32,
+                    parked: self.parked.len() as u32,
                     down: down_nics,
-                    obs_queue: pending.len() as u32,
-                    cache_hit_rate,
+                    obs_queue: self.pending.len() as u32,
+                    cache_hit_rate: self.cache_hit_rate,
                 });
                 tel.wall_phase("audit", w0);
-                samples.push(FleetSample {
+                self.samples.push(FleetSample {
                     t_s: t_ms / MS_PER_S,
                     active_nfs: active,
                     nics_in_use,
@@ -791,41 +963,50 @@ pub fn run_fleet_observed(
                     migrations: epoch_migrations,
                     wasted_cores,
                     oracle_lb_nics,
-                    parked: parked.len() as u32,
+                    parked: self.parked.len() as u32,
                     down_nics,
                 });
+                Some(Processed::Audit(index))
             }
             _ => unreachable!("unknown event class"),
         }
     }
 
-    let class_stats = |c: QosClass| ClassStats {
-        violation_minutes: violation_min[c as usize],
-        downtime_minutes: downtime_min[c as usize],
-        evacuations: evacuations[c as usize],
-        shed: shed[c as usize],
-        readmitted: readmitted[c as usize],
-    };
-    FleetReport {
-        policy: label.to_string(),
-        seed: cfg.seed,
-        nics: nic_count,
-        duration_s: cfg.duration_s,
-        audit_period_s: cfg.audit_period_s,
-        total_arrivals: records.len() as u32,
-        rejected,
-        migrations: migrations_total,
-        profile_snapshots: profiled.snapshot_count() as u32,
-        violation_minutes,
-        nic_minutes,
-        oracle_lb_nic_minutes,
-        wasted_core_minutes,
-        peak_nics,
-        faults: faults_total,
-        drains: drains_total,
-        guaranteed: class_stats(QosClass::Guaranteed),
-        best_effort: class_stats(QosClass::BestEffort),
-        samples,
+    /// Closes the books: the final [`FleetReport`] of the (possibly
+    /// resumed) run. Call after [`FleetSim::step`] returns `None`.
+    pub fn into_report(self) -> FleetReport {
+        let profiled = self.profiled;
+        let cfg = &profiled.trace.config;
+        let class_stats = |c: QosClass| ClassStats {
+            violation_minutes: self.violation_min[c as usize],
+            downtime_minutes: self.downtime_min[c as usize],
+            evacuations: self.evacuations[c as usize],
+            shed: self.shed[c as usize],
+            readmitted: self.readmitted[c as usize],
+        };
+        let guaranteed = class_stats(QosClass::Guaranteed);
+        let best_effort = class_stats(QosClass::BestEffort);
+        FleetReport {
+            policy: self.label,
+            seed: cfg.seed,
+            nics: cfg.nics(),
+            duration_s: cfg.duration_s,
+            audit_period_s: cfg.audit_period_s,
+            total_arrivals: profiled.trace.records.len() as u32,
+            rejected: self.rejected,
+            migrations: self.migrations_total,
+            profile_snapshots: profiled.snapshot_count() as u32,
+            violation_minutes: self.violation_minutes,
+            nic_minutes: self.nic_minutes,
+            oracle_lb_nic_minutes: self.oracle_lb_nic_minutes,
+            wasted_core_minutes: self.wasted_core_minutes,
+            peak_nics: self.peak_nics,
+            faults: self.faults_total,
+            drains: self.drains_total,
+            guaranteed,
+            best_effort,
+            samples: self.samples,
+        }
     }
 }
 

@@ -30,6 +30,14 @@ const QOS_SALT: u64 = 0x9057_1E25;
 /// trace generator.
 const FAULT_SALT: u64 = 0xFA17_5EED;
 
+/// Salt for the shaped-arrival candidate stream used by
+/// [`FleetTrace::diurnal`] and [`FleetTrace::flash_crowd`]: arrival
+/// *times* come from their own stream so the per-record attribute draws
+/// (lifetime, kind, traffic, SLA) see an identical stream under every
+/// arrival shape — record `i` is the same NF in a diurnal trace and a
+/// flash crowd, only its arrival time moves.
+const SHAPE_SALT: u64 = 0x5EA5_0A1D;
+
 /// How per-NF traffic profiles are drawn at trace generation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TrafficModel {
@@ -628,59 +636,147 @@ impl FleetTrace {
             if arrival_ms >= horizon_ms {
                 break;
             }
-            let lifetime_ms = exponential_ms(&mut rng, config.mean_lifetime_s).max(60_000.0);
-            let kind = *config.kinds.choose(&mut rng).expect("nonempty kinds");
-            // Uniform mode must keep the pre-template draw order exactly:
-            // committed bench records pin traces byte-for-byte.
-            let (start, end) = match config.traffic_model {
-                TrafficModel::Uniform => {
-                    let start = TrafficProfile::random(&mut rng, config.max_flows);
-                    let end = if config.drift {
-                        TrafficProfile::random(&mut rng, config.max_flows)
-                    } else {
-                        start
-                    };
-                    (start, end)
-                }
-                TrafficModel::Templates { jitter, .. } => {
-                    let start = jittered(
-                        templates.choose(&mut rng).expect("nonempty template table"),
-                        jitter,
-                        &mut rng,
-                    );
-                    let end = if config.drift {
-                        jittered(
-                            templates.choose(&mut rng).expect("nonempty template table"),
-                            jitter,
-                            &mut rng,
-                        )
-                    } else {
-                        start
-                    };
-                    (start, end)
-                }
-            };
-            let sla_drop = rng.gen_range(config.sla_drop_range.0..config.sla_drop_range.1);
-            // The QoS draw lives on its own stream: `guaranteed_fraction
-            // = 1.0` (the default) consumes the draw but always yields
-            // Guaranteed, so pre-tier traces are reproduced exactly.
-            let qos = if qos_rng.gen::<f64>() < config.guaranteed_fraction {
-                QosClass::Guaranteed
-            } else {
-                QosClass::BestEffort
-            };
-            records.push(NfRecord {
-                id: records.len() as u32,
-                kind,
+            records.push(draw_record(
+                &config,
+                &templates,
+                records.len() as u32,
                 arrival_ms,
-                departure_ms: arrival_ms + lifetime_ms as u64,
-                start,
-                end,
-                sla_drop,
-                qos,
-            });
+                &mut rng,
+                &mut qos_rng,
+            ));
         }
         Self::from_records(config, records).expect("generated records satisfy trace invariants")
+    }
+
+    /// A trace with a diurnal arrival pattern: the Poisson rate is
+    /// modulated by `0.2 + 1.6·sin²(π·t/T)` over the horizon — a 0.2×
+    /// overnight trough rising to a 1.8× midday peak, averaging the
+    /// config's base rate. Arrival times come from a thinned
+    /// non-homogeneous Poisson process on a salted stream; every other
+    /// per-NF attribute is drawn exactly as [`FleetTrace::generate`]
+    /// draws it, so shaping the load never changes what the NFs *are*.
+    pub fn diurnal(config: FleetConfig) -> Self {
+        Self::generate_shaped(config, 1.8, |frac| {
+            let s = (std::f64::consts::PI * frac).sin();
+            0.2 + 1.6 * s * s
+        })
+    }
+
+    /// A trace with a flash crowd: the base Poisson rate with a 6× burst
+    /// over the window `[0.40, 0.50)` of the horizon — the
+    /// capacity-pressure regime where admission, parking, and
+    /// readmission policies actually separate. Same thinning scheme and
+    /// attribute streams as [`FleetTrace::diurnal`].
+    pub fn flash_crowd(config: FleetConfig) -> Self {
+        Self::generate_shaped(config, 6.0, |frac| {
+            if (0.40..0.50).contains(&frac) {
+                6.0
+            } else {
+                1.0
+            }
+        })
+    }
+
+    /// Shared non-homogeneous Poisson generator: candidate arrivals at
+    /// `peak` times the base rate on the [`SHAPE_SALT`] stream, thinned
+    /// by `intensity(frac)/peak` where `frac` is the fraction of the
+    /// horizon elapsed. `intensity` must never exceed `peak` (thinning
+    /// would silently clip the rate).
+    fn generate_shaped(config: FleetConfig, peak: f64, intensity: impl Fn(f64) -> f64) -> Self {
+        let mut arrival_rng = StdRng::seed_from_u64(config.seed ^ SHAPE_SALT);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut qos_rng = StdRng::seed_from_u64(config.seed ^ QOS_SALT);
+        let horizon_ms = config.duration_s * MS_PER_S;
+        let templates = config.traffic_templates();
+        let mut records = Vec::new();
+        let mean_candidate_s = config.mean_interarrival_s / peak;
+        let mut t_ms = 0.0f64;
+        loop {
+            t_ms += exponential_ms(&mut arrival_rng, mean_candidate_s);
+            let arrival_ms = t_ms as u64;
+            if arrival_ms >= horizon_ms {
+                break;
+            }
+            let keep: f64 = arrival_rng.gen();
+            if keep * peak >= intensity(t_ms / horizon_ms as f64) {
+                continue;
+            }
+            records.push(draw_record(
+                &config,
+                &templates,
+                records.len() as u32,
+                arrival_ms,
+                &mut rng,
+                &mut qos_rng,
+            ));
+        }
+        Self::from_records(config, records).expect("generated records satisfy trace invariants")
+    }
+}
+
+/// Draws one NF's attributes — lifetime, kind, traffic trajectory, SLA,
+/// QoS — in the exact order [`FleetTrace::generate`] has always drawn
+/// them. Factored out so shaped generators reuse the streams verbatim;
+/// committed bench records pin the uniform-mode byte stream, so the
+/// draw order here must never change.
+fn draw_record(
+    config: &FleetConfig,
+    templates: &[TrafficProfile],
+    id: u32,
+    arrival_ms: u64,
+    rng: &mut StdRng,
+    qos_rng: &mut StdRng,
+) -> NfRecord {
+    let lifetime_ms = exponential_ms(rng, config.mean_lifetime_s).max(60_000.0);
+    let kind = *config.kinds.choose(rng).expect("nonempty kinds");
+    // Uniform mode must keep the pre-template draw order exactly:
+    // committed bench records pin traces byte-for-byte.
+    let (start, end) = match config.traffic_model {
+        TrafficModel::Uniform => {
+            let start = TrafficProfile::random(rng, config.max_flows);
+            let end = if config.drift {
+                TrafficProfile::random(rng, config.max_flows)
+            } else {
+                start
+            };
+            (start, end)
+        }
+        TrafficModel::Templates { jitter, .. } => {
+            let start = jittered(
+                templates.choose(rng).expect("nonempty template table"),
+                jitter,
+                rng,
+            );
+            let end = if config.drift {
+                jittered(
+                    templates.choose(rng).expect("nonempty template table"),
+                    jitter,
+                    rng,
+                )
+            } else {
+                start
+            };
+            (start, end)
+        }
+    };
+    let sla_drop = rng.gen_range(config.sla_drop_range.0..config.sla_drop_range.1);
+    // The QoS draw lives on its own stream: `guaranteed_fraction = 1.0`
+    // (the default) consumes the draw but always yields Guaranteed, so
+    // pre-tier traces are reproduced exactly.
+    let qos = if qos_rng.gen::<f64>() < config.guaranteed_fraction {
+        QosClass::Guaranteed
+    } else {
+        QosClass::BestEffort
+    };
+    NfRecord {
+        id,
+        kind,
+        arrival_ms,
+        departure_ms: arrival_ms + lifetime_ms as u64,
+        start,
+        end,
+        sla_drop,
+        qos,
     }
 }
 
@@ -1098,6 +1194,86 @@ mod tests {
         for (a, b) in trace.records.iter().zip(&again.records) {
             assert_eq!(a.start, b.start);
             assert_eq!(a.end, b.end);
+        }
+    }
+
+    #[test]
+    fn diurnal_trace_is_deterministic_and_shaped() {
+        let mut cfg = FleetConfig::small(31);
+        cfg.duration_s = 24 * 3_600;
+        let a = FleetTrace::diurnal(cfg.clone());
+        let b = FleetTrace::diurnal(cfg.clone());
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.arrival_ms, y.arrival_ms);
+            assert_eq!(x.start, y.start);
+            assert_eq!(x.sla_drop, y.sla_drop);
+        }
+        // The midday peak (middle third) must out-arrive the overnight
+        // trough (outer thirds combined carry 0.2–1.0× rate vs 1.2–1.8×
+        // in the middle).
+        let horizon = cfg.duration_s * MS_PER_S;
+        let third = horizon / 3;
+        let outer = a
+            .records
+            .iter()
+            .filter(|r| r.arrival_ms < third || r.arrival_ms >= 2 * third)
+            .count();
+        let middle = a.records.len() - outer;
+        assert!(
+            middle > outer,
+            "diurnal peak must dominate: middle {middle} vs outer {outer}"
+        );
+        // Mean rate ≈ the base Poisson rate.
+        let expected = cfg.duration_s as f64 / cfg.mean_interarrival_s;
+        let n = a.records.len() as f64;
+        assert!(
+            (n - expected).abs() < 6.0 * expected.sqrt(),
+            "got {n} arrivals, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_bursts_in_its_window() {
+        let mut cfg = FleetConfig::small(33);
+        cfg.duration_s = 24 * 3_600;
+        let trace = FleetTrace::flash_crowd(cfg.clone());
+        let horizon = cfg.duration_s * MS_PER_S;
+        let (lo, hi) = (horizon * 40 / 100, horizon * 50 / 100);
+        let burst = trace
+            .records
+            .iter()
+            .filter(|r| (lo..hi).contains(&r.arrival_ms))
+            .count() as f64;
+        let calm = (trace.records.len() as f64 - burst).max(1.0);
+        // The 10% window at 6× rate should hold ~40% of all arrivals;
+        // require its *density* (per unit time) to be clearly elevated.
+        let density_ratio = (burst / 0.10) / (calm / 0.90);
+        assert!(
+            density_ratio > 3.0,
+            "burst density only {density_ratio:.2}× the calm density"
+        );
+    }
+
+    #[test]
+    fn shaped_generators_draw_the_same_attribute_streams() {
+        // Same seed, same record index → same lifetime/kind/traffic/SLA
+        // regardless of the arrival *shape*: shaping only moves when NFs
+        // arrive, never what they are, because arrival times live on the
+        // salted candidate stream and attributes on their own stream.
+        let cfg = FleetConfig::small(35);
+        let flash = FleetTrace::flash_crowd(cfg.clone());
+        let diurnal = FleetTrace::diurnal(cfg);
+        let n = flash.records.len().min(diurnal.records.len());
+        assert!(n > 0);
+        for i in 0..n {
+            let (p, d) = (&flash.records[i], &diurnal.records[i]);
+            assert_eq!(p.kind, d.kind);
+            assert_eq!(p.start, d.start);
+            assert_eq!(p.end, d.end);
+            assert_eq!(p.sla_drop, d.sla_drop);
+            assert_eq!(p.qos, d.qos);
+            assert_eq!(p.departure_ms - p.arrival_ms, d.departure_ms - d.arrival_ms);
         }
     }
 

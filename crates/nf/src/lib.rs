@@ -17,7 +17,8 @@
 //! higher MTBR means more regex matches per request (→ longer accelerator
 //! service times, the paper's Eq. 4).
 //!
-//! The [`bench`] module provides the synthetic contention generators
+//! The [`bench`](mod@bench) module provides the synthetic contention
+//! generators
 //! (`mem-bench`, `regex-bench`, `compression-bench`) of §6 and the
 //! synthetic NF1/NF2/regex-NF workloads of Figs. 2b/4/5 and Table 4.
 //!

@@ -1,5 +1,5 @@
 //! Firewall: the AMD Pensando generalisation NF of §8/Table 9. It "conducts
-//! a flow walk on [the] hardware flow table and updates entry metadata upon
+//! a flow walk on \[the\] hardware flow table and updates entry metadata upon
 //! matching against flows in the input traffic" — a memory-dominated NF
 //! with a policy check on the miss path. No accelerators, so it runs on the
 //! Pensando preset (which has no regex engine).

@@ -99,6 +99,13 @@ impl NfKind {
         }
     }
 
+    /// The inverse of [`NfKind::name`]: resolves a stable lowercase
+    /// name back to its kind. `None` for unknown names, so trace loaders
+    /// can report the bad token instead of panicking.
+    pub fn from_name(name: &str) -> Option<NfKind> {
+        NfKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
     /// Whether the NF submits work to the regex accelerator (Table 1).
     pub fn uses_regex(self) -> bool {
         matches!(
@@ -223,6 +230,14 @@ mod tests {
         for kind in NfKind::ALL {
             assert_eq!(kind.build().name(), kind.name());
         }
+    }
+
+    #[test]
+    fn from_name_inverts_name() {
+        for kind in NfKind::ALL {
+            assert_eq!(NfKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(NfKind::from_name("teleporter"), None);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! NFs implement [`NetworkFunction::process`] over borrowed
 //! [`PacketView`]s with genuine logic (hash tables, tries, payload scans)
-//! and charge costs to a [`CostTracker`](crate::cost::CostTracker). The
+//! and charge costs to a [`CostTracker`]. The
 //! measurement dataplane is batched and allocation-free: a [`Profiler`]
 //! streams a traffic profile through [`NetworkFunction::process_batch`]
 //! one reusable [`PacketBatch`] arena at a time, folds the measured

@@ -1,4 +1,4 @@
-//! Thompson construction: [`Ast`](crate::parser::Ast) → non-deterministic
+//! Thompson construction: [`Ast`] → non-deterministic
 //! finite automaton with byte-class transitions and epsilon edges.
 
 use crate::classes::ClassSet;

@@ -1,6 +1,6 @@
 //! Multi-pattern rulesets: the software analogue of a compiled RXP ruleset.
 //!
-//! The paper's regex NFs all use the same L7-filter rule set ([5] in the
+//! The paper's regex NFs all use the same L7-filter rule set (\[5\] in the
 //! paper). [`l7_default_ruleset`] ships a representative subset of
 //! application-protocol signatures in the style of L7-filter, chosen so the
 //! traffic generator can plant matches at a controlled MTBR.
@@ -106,7 +106,7 @@ impl Ruleset {
 
     /// Compiles with an explicit fused-automaton state budget (exposed for
     /// tests and tuning; [`Ruleset::compile`] uses
-    /// [`MAX_DFA_STATES`](crate::dfa::MAX_DFA_STATES), and budgets are
+    /// [`MAX_DFA_STATES`], and budgets are
     /// honoured up to [`MAX_FUSED_BUDGET`](crate::fused::MAX_FUSED_BUDGET)).
     /// Rules that cannot fuse within the budget transparently fall back to
     /// per-rule scanning.

@@ -1,0 +1,868 @@
+//! # yala-serve — the placement daemon behind `yalad`
+//!
+//! Everything else in this workspace *simulates* an operator fleet; this
+//! crate *is* the operator-facing service. [`ServeLoop`] is a persistent,
+//! single-threaded-deterministic request loop: NF arrivals, departures,
+//! traffic drift, NIC faults, and audit observations arrive as
+//! length-delimited JSONL messages (one object per line, the same flat
+//! grammar as the [`yala_telemetry`] journal), placement queries are
+//! answered from the shared [`yala_core::ProfileCache`] plus the trained
+//! predictor, and audit ground truth is absorbed online through the
+//! refinable banks — the paper's prediction pipeline kept warm at
+//! production request rates instead of replayed offline.
+//!
+//! Determinism is the contract. The loop owns no clock and no I/O; every
+//! response is a pure function of the construction seed and the message
+//! sequence so far. Checkpointing exploits that: a [`ServeLoop::snapshot`]
+//! is the counters plus the verbatim log of mutating messages, and
+//! [`ServeLoop::restore`] re-drives the log through a freshly built loop —
+//! kill → restore → continue is bit-identical to never having stopped
+//! (asserted in this crate's tests and in CI's `serve-smoke` job). The
+//! fleet-simulation replay path (`yalad --replay`) uses the richer
+//! [`yala_fleet::snapshot_fleet`] format instead; both are versioned.
+//!
+//! ## Wire format (version [`SERVE_WIRE_VERSION`])
+//!
+//! Requests: `{"op":"place","id":7,"kind":"nat","qos":"guaranteed",`
+//! `"flows":50000,"psize":512,"mtbr":0.0,"sla_drop":0.1}` and friends
+//! (`depart`, `drift`, `fault`, `observe`, `absorb`, `query`, `stats`,
+//! `hello`, `shutdown`). Responses always carry `"ok"` and echo `"op"`.
+//! See DESIGN.md, "Serving placement", for the full field tables.
+
+use std::collections::BTreeMap;
+
+use yala_core::{
+    Engine, ModelBank, ObservationBuffer, ProfileCache, ProfileKey, QosClass, TrafficKey,
+    TrainConfig,
+};
+use yala_fleet::{read_observation, FleetConfig};
+use yala_nf::NfKind;
+use yala_placement::{
+    measure_entry, placed_from_entry, sims_for, Arrival, Placed, PlacementPredictor, YalaPredictor,
+};
+use yala_sim::NicModelId;
+use yala_telemetry::journal::{parse_line, RawEvent};
+use yala_traffic::TrafficProfile;
+
+/// Version stamp of the request/response line protocol and of the serve
+/// snapshot header. Bumped on any incompatible change.
+pub const SERVE_WIRE_VERSION: i64 = 1;
+
+/// Salt decorrelating the daemon's profiling simulators from every other
+/// stream derived from the scenario seed (cf. `TIMELINE_SALT` in
+/// `yala-fleet`): the serve path must not replay the offline timeline's
+/// measurement noise byte-for-byte, or cache collisions would silently
+/// alias the two.
+const SERVE_SALT: u64 = 0x5E12_E5A1;
+
+/// Placement rule the daemon serves with. The names double as the wire
+/// and CLI spelling (`--policy greedy`).
+enum ServePolicy {
+    /// One NF per NIC, prediction-free.
+    Mono,
+    /// Most-free-cores first, prediction-free.
+    Greedy,
+    /// Contention-aware: a candidate NIC is accepted only if the trained
+    /// predictor foresees every resident (the newcomer included) above
+    /// its SLA floor. With `online`, absorbed audit observations refine
+    /// the predictor's bank between requests.
+    Yala {
+        predictor: YalaPredictor,
+        online: bool,
+    },
+}
+
+impl ServePolicy {
+    fn name(&self) -> &'static str {
+        match self {
+            ServePolicy::Mono => "mono",
+            ServePolicy::Greedy => "greedy",
+            ServePolicy::Yala { online: false, .. } => "yala",
+            ServePolicy::Yala { online: true, .. } => "yala-online",
+        }
+    }
+}
+
+/// Monotonic request counters, reported by `stats` and carried verbatim
+/// through snapshots (queries are not logged, so replay alone cannot
+/// reconstruct them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Counters {
+    admissions: u64,
+    rejections: u64,
+    departures: u64,
+    queries: u64,
+    observations: u64,
+    absorb_passes: u64,
+    absorbed: u64,
+    evictions: u64,
+    sheds: u64,
+}
+
+/// A placed NF instance: where it lives (if admitted) and its profiled
+/// placement record.
+struct Instance {
+    nic: Option<usize>,
+    placed: Placed,
+}
+
+/// The daemon state machine. See the crate docs for the contract; see
+/// [`ServeLoop::handle_line`] for the dispatch table.
+pub struct ServeLoop {
+    cfg: FleetConfig,
+    nic_model: Vec<NicModelId>,
+    nic_cores: Vec<u32>,
+    up: Vec<bool>,
+    used: Vec<u32>,
+    residents: Vec<Vec<u32>>,
+    instances: BTreeMap<u32, Instance>,
+    policy: ServePolicy,
+    cache: ProfileCache,
+    pending: ObservationBuffer,
+    counters: Counters,
+    /// Verbatim mutating request lines, in arrival order — the replay
+    /// half of a snapshot.
+    log: Vec<String>,
+    shutdown: bool,
+}
+
+impl ServeLoop {
+    /// Builds a daemon for `cfg`'s portfolio serving with `policy_name`
+    /// (`mono` | `greedy` | `yala` | `yala-online`). The yala policies
+    /// train their bank here, once, from `cfg.kinds` — construction cost,
+    /// not request-path cost.
+    pub fn new(cfg: &FleetConfig, policy_name: &str, engine: &Engine) -> Result<Self, String> {
+        let specs = cfg.specs();
+        let mut nic_model = Vec::new();
+        let mut nic_cores = Vec::new();
+        for (spec, count) in &cfg.portfolio {
+            for _ in 0..*count {
+                nic_model.push(spec.model());
+                nic_cores.push(spec.cores);
+            }
+        }
+        if nic_model.is_empty() {
+            return Err("empty NIC portfolio".to_string());
+        }
+        let policy = match policy_name {
+            "mono" => ServePolicy::Mono,
+            "greedy" => ServePolicy::Greedy,
+            "yala" | "yala-online" => {
+                let train = TrainConfig {
+                    seed: cfg.seed,
+                    ..TrainConfig::default()
+                };
+                let bank =
+                    ModelBank::train_yala(&specs, cfg.noise_sigma, &cfg.kinds, &train, engine);
+                ServePolicy::Yala {
+                    predictor: YalaPredictor::new(&bank),
+                    online: policy_name == "yala-online",
+                }
+            }
+            other => return Err(format!("unknown policy {other}")),
+        };
+        let nics = nic_model.len();
+        Ok(Self {
+            cfg: cfg.clone(),
+            nic_model,
+            nic_cores,
+            up: vec![true; nics],
+            used: vec![0; nics],
+            residents: vec![Vec::new(); nics],
+            instances: BTreeMap::new(),
+            policy,
+            cache: ProfileCache::new(),
+            pending: ObservationBuffer::new(),
+            counters: Counters::default(),
+            log: Vec::new(),
+            shutdown: false,
+        })
+    }
+
+    /// Whether a `shutdown` request has been served. The driving loop
+    /// exits when this turns true.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown
+    }
+
+    /// The greeting the daemon prints on startup — also the first line a
+    /// replaying client should expect.
+    pub fn hello(&self) -> String {
+        format!(
+            "{{\"ok\":true,\"op\":\"hello\",\"yala_serve\":{SERVE_WIRE_VERSION},\
+             \"policy\":\"{}\",\"nics\":{},\"seed\":\"{}\"}}",
+            self.policy.name(),
+            self.nic_model.len(),
+            self.cfg.seed
+        )
+    }
+
+    /// Serves one request line and returns the one response line. Never
+    /// panics on wire input: malformed lines get `{"ok":false,...}`.
+    pub fn handle_line(&mut self, line: &str, engine: &Engine) -> String {
+        let Some(ev) = parse_line(line) else {
+            return err_line("unparseable request line");
+        };
+        let Some(op) = ev.str("op").map(str::to_string) else {
+            return err_line("missing op field");
+        };
+        let result = match op.as_str() {
+            "hello" => Ok(self.hello()),
+            "place" => self
+                .op_place(&ev)
+                .inspect(|_| self.log.push(line.to_string())),
+            "depart" => self
+                .op_depart(&ev)
+                .inspect(|_| self.log.push(line.to_string())),
+            "drift" => self
+                .op_drift(&ev)
+                .inspect(|_| self.log.push(line.to_string())),
+            "fault" => self
+                .op_fault(&ev)
+                .inspect(|_| self.log.push(line.to_string())),
+            "observe" => self
+                .op_observe(&ev)
+                .inspect(|_| self.log.push(line.to_string())),
+            "absorb" => self
+                .op_absorb(engine)
+                .inspect(|_| self.log.push(line.to_string())),
+            "query" => self.op_query(&ev),
+            "stats" => Ok(self.op_stats()),
+            "shutdown" => {
+                self.shutdown = true;
+                Ok("{\"ok\":true,\"op\":\"shutdown\"}".to_string())
+            }
+            other => Err(format!("unknown op {other}")),
+        };
+        result.unwrap_or_else(|e| err_line(&e))
+    }
+
+    fn arrival_from(&self, ev: &RawEvent) -> Result<Arrival, String> {
+        let kind_name = need_str(ev, "kind")?;
+        let kind =
+            NfKind::from_name(kind_name).ok_or_else(|| format!("unknown NF kind {kind_name}"))?;
+        let qos = match ev.str("qos") {
+            None => QosClass::Guaranteed,
+            Some("guaranteed") => QosClass::Guaranteed,
+            Some("best_effort") => QosClass::BestEffort,
+            Some(other) => return Err(format!("unknown qos class {other}")),
+        };
+        let sla_drop = need_num(ev, "sla_drop")?;
+        if !(0.0..1.0).contains(&sla_drop) {
+            return Err(format!("sla_drop {sla_drop} outside [0,1)"));
+        }
+        Ok(Arrival {
+            kind,
+            traffic: traffic_from(ev)?,
+            sla_drop,
+            qos,
+        })
+    }
+
+    /// Profiles (through the cache) and materializes the placement record
+    /// for one instance, mirroring the timeline convention: per-instance
+    /// workload seed, salted simulator stream.
+    fn profile(&self, id: u32, arrival: Arrival) -> Placed {
+        let specs = self.cfg.specs();
+        let workload_seed = self.cfg.seed.wrapping_add(id as u64);
+        let key = ProfileKey {
+            kind: arrival.kind,
+            traffic: TrafficKey::exact(&arrival.traffic),
+            seed: workload_seed,
+        };
+        let entry = self.cache.get_or_measure(&key, || {
+            let mut sims = sims_for(
+                &specs,
+                arrival.kind,
+                self.cfg.noise_sigma,
+                self.cfg.seed ^ SERVE_SALT,
+                id as usize,
+            );
+            measure_entry(&mut sims, arrival.kind, arrival.traffic, workload_seed)
+        });
+        let name = format!("nf{id}");
+        placed_from_entry(&entry, arrival, Some(&name))
+    }
+
+    /// The placement decision: candidate NICs that fit, ordered
+    /// most-free-cores-first (ties to the lowest index), filtered by the
+    /// policy. Deterministic by construction.
+    fn choose_nic(&mut self, placed: &Placed) -> Option<usize> {
+        let cores = placed.workload.cores;
+        let mut order: Vec<usize> = (0..self.nic_model.len())
+            .filter(|&n| {
+                self.up[n]
+                    && placed.supported_on(self.nic_model[n])
+                    && self.used[n] + cores <= self.nic_cores[n]
+            })
+            .collect();
+        order.sort_by(|&a, &b| {
+            let fa = self.nic_cores[a] - self.used[a];
+            let fb = self.nic_cores[b] - self.used[b];
+            fb.cmp(&fa).then(a.cmp(&b))
+        });
+        match &mut self.policy {
+            ServePolicy::Mono => order.into_iter().find(|&n| self.residents[n].is_empty()),
+            ServePolicy::Greedy => order.first().copied(),
+            ServePolicy::Yala { predictor, .. } => {
+                let residents = &self.residents;
+                let instances = &self.instances;
+                let models = &self.nic_model;
+                order.into_iter().find(|&n| {
+                    if residents[n].is_empty() {
+                        return true;
+                    }
+                    let mut cand: Vec<Placed> = residents[n]
+                        .iter()
+                        .map(|id| instances[id].placed.clone())
+                        .collect();
+                    cand.push(placed.clone());
+                    (0..cand.len()).all(|i| {
+                        predictor.predict(models[n], i, &cand) >= cand[i].sla_floor(models[n])
+                    })
+                })
+            }
+        }
+    }
+
+    fn op_place(&mut self, ev: &RawEvent) -> Result<String, String> {
+        let id = need_id(ev)?;
+        if self.instances.contains_key(&id) {
+            return Err(format!("instance {id} already exists"));
+        }
+        let arrival = self.arrival_from(ev)?;
+        let placed = self.profile(id, arrival);
+        let nic = self.choose_nic(&placed);
+        match nic {
+            Some(n) => {
+                self.used[n] += placed.workload.cores;
+                self.residents[n].push(id);
+                self.counters.admissions += 1;
+                self.instances.insert(
+                    id,
+                    Instance {
+                        nic: Some(n),
+                        placed,
+                    },
+                );
+                Ok(format!(
+                    "{{\"ok\":true,\"op\":\"place\",\"id\":{id},\"nic\":{n}}}"
+                ))
+            }
+            None => {
+                self.counters.rejections += 1;
+                Ok(format!(
+                    "{{\"ok\":true,\"op\":\"place\",\"id\":{id},\"nic\":-1}}"
+                ))
+            }
+        }
+    }
+
+    fn op_query(&mut self, ev: &RawEvent) -> Result<String, String> {
+        let arrival = self.arrival_from(ev)?;
+        // Queries share the cache under a reserved pseudo-instance id so
+        // repeated queries are cheap and, crucially, never perturb any
+        // real instance's measurement stream.
+        let placed = self.profile(u32::MAX, arrival);
+        let nic = self.choose_nic(&placed);
+        self.counters.queries += 1;
+        let n = nic.map(|n| n as i64).unwrap_or(-1);
+        Ok(format!("{{\"ok\":true,\"op\":\"query\",\"nic\":{n}}}"))
+    }
+
+    fn evict(&mut self, id: u32) -> Option<usize> {
+        let inst = self.instances.get_mut(&id)?;
+        let nic = inst.nic.take()?;
+        self.used[nic] -= inst.placed.workload.cores;
+        self.residents[nic].retain(|&r| r != id);
+        Some(nic)
+    }
+
+    fn op_depart(&mut self, ev: &RawEvent) -> Result<String, String> {
+        let id = need_id(ev)?;
+        if !self.instances.contains_key(&id) {
+            return Err(format!("no instance {id}"));
+        }
+        let nic = self.evict(id).map(|n| n as i64).unwrap_or(-1);
+        self.instances.remove(&id);
+        self.counters.departures += 1;
+        Ok(format!(
+            "{{\"ok\":true,\"op\":\"depart\",\"id\":{id},\"nic\":{nic}}}"
+        ))
+    }
+
+    fn op_drift(&mut self, ev: &RawEvent) -> Result<String, String> {
+        let id = need_id(ev)?;
+        let old = self
+            .instances
+            .get(&id)
+            .ok_or_else(|| format!("no instance {id}"))?;
+        let arrival = Arrival {
+            traffic: traffic_from(ev)?,
+            ..old.placed.arrival
+        };
+        let nic = old.nic;
+        let fresh = self.profile(id, arrival);
+        // Drift re-profiles in place: the instance keeps its NIC (the
+        // serve loop has no migration budget of its own — an operator
+        // departs and re-places to move one), only the accounting moves.
+        if let Some(n) = nic {
+            let inst = self.instances.get_mut(&id).expect("checked above");
+            self.used[n] -= inst.placed.workload.cores;
+            self.used[n] += fresh.workload.cores;
+            inst.placed = fresh;
+        } else {
+            self.instances.get_mut(&id).expect("checked above").placed = fresh;
+        }
+        let n = nic.map(|n| n as i64).unwrap_or(-1);
+        Ok(format!(
+            "{{\"ok\":true,\"op\":\"drift\",\"id\":{id},\"nic\":{n}}}"
+        ))
+    }
+
+    fn op_fault(&mut self, ev: &RawEvent) -> Result<String, String> {
+        let nic = need_int(ev, "nic")? as usize;
+        if nic >= self.nic_model.len() {
+            return Err(format!("nic {nic} out of range"));
+        }
+        match need_str(ev, "kind")? {
+            "recover" => {
+                self.up[nic] = true;
+                Ok(format!(
+                    "{{\"ok\":true,\"op\":\"fault\",\"nic\":{nic},\"kind\":\"recover\"}}"
+                ))
+            }
+            "fail" => {
+                self.up[nic] = false;
+                // Evacuate in ascending instance id — deterministic, and
+                // guaranteed tenants (lower contention floors aside) get
+                // no special order here: the serve loop is a placement
+                // service, not the fleet simulator's QoS machinery.
+                let ids: Vec<u32> = self.residents[nic].clone();
+                let mut evicted = 0u64;
+                let mut replaced = 0u64;
+                let mut shed = 0u64;
+                let mut sorted = ids;
+                sorted.sort_unstable();
+                for id in sorted {
+                    self.evict(id);
+                    evicted += 1;
+                    let placed = self.instances[&id].placed.clone();
+                    match self.choose_nic(&placed) {
+                        Some(n) => {
+                            self.used[n] += placed.workload.cores;
+                            self.residents[n].push(id);
+                            self.instances.get_mut(&id).expect("resident").nic = Some(n);
+                            replaced += 1;
+                        }
+                        None => {
+                            self.instances.remove(&id);
+                            self.counters.sheds += 1;
+                            shed += 1;
+                        }
+                    }
+                }
+                self.counters.evictions += evicted;
+                Ok(format!(
+                    "{{\"ok\":true,\"op\":\"fault\",\"nic\":{nic},\"kind\":\"fail\",\
+                     \"evicted\":{evicted},\"replaced\":{replaced},\"shed\":{shed}}}"
+                ))
+            }
+            other => Err(format!("unknown fault kind {other}")),
+        }
+    }
+
+    fn op_observe(&mut self, ev: &RawEvent) -> Result<String, String> {
+        let obs = read_observation(ev, 0).map_err(|e| format!("bad observation: {e}"))?;
+        self.pending.push(obs);
+        self.counters.observations += 1;
+        Ok(format!(
+            "{{\"ok\":true,\"op\":\"observe\",\"pending\":{}}}",
+            self.pending.len()
+        ))
+    }
+
+    fn op_absorb(&mut self, engine: &Engine) -> Result<String, String> {
+        let absorbed = match &mut self.policy {
+            ServePolicy::Yala {
+                predictor,
+                online: true,
+            } if !self.pending.is_empty() => {
+                let n = predictor.absorb(&self.pending, engine) as u64;
+                self.pending.clear();
+                n
+            }
+            _ => 0,
+        };
+        if absorbed > 0 {
+            self.counters.absorb_passes += 1;
+            self.counters.absorbed += absorbed;
+        }
+        Ok(format!(
+            "{{\"ok\":true,\"op\":\"absorb\",\"absorbed\":{absorbed},\"passes\":{}}}",
+            self.counters.absorb_passes
+        ))
+    }
+
+    fn op_stats(&mut self) -> String {
+        let c = &self.counters;
+        let active = self.instances.len();
+        let nics_up = self.up.iter().filter(|&&u| u).count();
+        format!(
+            "{{\"ok\":true,\"op\":\"stats\",\"admissions\":{},\"rejections\":{},\
+             \"departures\":{},\"queries\":{},\"observations\":{},\"absorb_passes\":{},\
+             \"absorbed\":{},\"evictions\":{},\"sheds\":{},\"active\":{active},\
+             \"nics_up\":{nics_up},\"pending\":{}}}",
+            c.admissions,
+            c.rejections,
+            c.departures,
+            c.queries,
+            c.observations,
+            c.absorb_passes,
+            c.absorbed,
+            c.evictions,
+            c.sheds,
+            self.pending.len()
+        )
+    }
+
+    /// Serializes the loop to a versioned snapshot: one header line
+    /// carrying the identity (seed, policy, portfolio width) and every
+    /// counter, then the verbatim log of mutating request lines. Restoring
+    /// re-drives the log — the same restore-by-replay strategy the fleet
+    /// snapshot uses for refined predictor state, applied to the whole
+    /// daemon.
+    pub fn snapshot(&self) -> String {
+        let c = &self.counters;
+        let mut out = format!(
+            "{{\"yala_serve_snapshot\":{SERVE_WIRE_VERSION},\"seed\":\"{}\",\
+             \"policy\":\"{}\",\"nics\":{},\"admissions\":{},\"rejections\":{},\
+             \"departures\":{},\"queries\":{},\"observations\":{},\"absorb_passes\":{},\
+             \"absorbed\":{},\"evictions\":{},\"sheds\":{},\"log\":{}}}\n",
+            self.cfg.seed,
+            self.policy.name(),
+            self.nic_model.len(),
+            c.admissions,
+            c.rejections,
+            c.departures,
+            c.queries,
+            c.observations,
+            c.absorb_passes,
+            c.absorbed,
+            c.evictions,
+            c.sheds,
+            self.log.len()
+        );
+        for line in &self.log {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Rebuilds a daemon from [`ServeLoop::snapshot`] text. `cfg` and
+    /// `policy_name` must match the snapshotting daemon's — the header is
+    /// cross-checked and a mismatch is an error, not a silent divergence.
+    pub fn restore(
+        cfg: &FleetConfig,
+        policy_name: &str,
+        engine: &Engine,
+        text: &str,
+    ) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header_line = lines.next().ok_or("empty snapshot")?;
+        let header = parse_line(header_line).ok_or("unparseable snapshot header")?;
+        let version = header
+            .int("yala_serve_snapshot")
+            .ok_or("missing yala_serve_snapshot version")?;
+        if version != SERVE_WIRE_VERSION {
+            return Err(format!("unsupported snapshot version {version}"));
+        }
+        if header.str("seed") != Some(&cfg.seed.to_string()) {
+            return Err("snapshot seed does not match config".to_string());
+        }
+        if header.str("policy") != Some(policy_name) {
+            return Err(format!(
+                "snapshot policy {:?} != {policy_name:?}",
+                header.str("policy").unwrap_or("<missing>")
+            ));
+        }
+        let mut loop_ = ServeLoop::new(cfg, policy_name, engine)?;
+        if header.int("nics") != Some(loop_.nic_model.len() as i64) {
+            return Err("snapshot NIC count does not match config".to_string());
+        }
+        let promised = header.int("log").ok_or("missing log length")? as usize;
+        let mut replayed = 0usize;
+        for line in lines {
+            let resp = loop_.handle_line(line, engine);
+            if !resp.starts_with("{\"ok\":true") {
+                return Err(format!("snapshot log replay failed: {resp}"));
+            }
+            replayed += 1;
+        }
+        if replayed != promised {
+            return Err(format!(
+                "snapshot log promised {promised} lines, found {replayed}"
+            ));
+        }
+        // Queries are unlogged; pull every counter from the header so
+        // post-restore `stats` is bit-identical to the uninterrupted run.
+        let get = |k: &str| -> Result<u64, String> {
+            header
+                .int(k)
+                .map(|v| v as u64)
+                .ok_or_else(|| format!("missing counter {k}"))
+        };
+        loop_.counters = Counters {
+            admissions: get("admissions")?,
+            rejections: get("rejections")?,
+            departures: get("departures")?,
+            queries: get("queries")?,
+            observations: get("observations")?,
+            absorb_passes: get("absorb_passes")?,
+            absorbed: get("absorbed")?,
+            evictions: get("evictions")?,
+            sheds: get("sheds")?,
+        };
+        Ok(loop_)
+    }
+}
+
+fn err_line(msg: &str) -> String {
+    // The wire grammar has no escapes; keep error text quote-free.
+    let clean: String = msg.chars().filter(|&c| c != '"' && c != '\\').collect();
+    format!("{{\"ok\":false,\"error\":\"{clean}\"}}")
+}
+
+fn need_str<'a>(ev: &'a RawEvent, key: &str) -> Result<&'a str, String> {
+    ev.str(key).ok_or_else(|| format!("missing field {key}"))
+}
+
+fn need_int(ev: &RawEvent, key: &str) -> Result<i64, String> {
+    let v = ev.int(key).ok_or_else(|| format!("missing field {key}"))?;
+    if v < 0 {
+        return Err(format!("field {key} must be non-negative"));
+    }
+    Ok(v)
+}
+
+fn need_num(ev: &RawEvent, key: &str) -> Result<f64, String> {
+    ev.num(key).ok_or_else(|| format!("missing field {key}"))
+}
+
+fn need_id(ev: &RawEvent) -> Result<u32, String> {
+    let id = need_int(ev, "id")?;
+    u32::try_from(id)
+        .ok()
+        .filter(|&v| v != u32::MAX)
+        .ok_or_else(|| format!("id {id} out of range"))
+}
+
+fn traffic_from(ev: &RawEvent) -> Result<TrafficProfile, String> {
+    Ok(TrafficProfile {
+        flow_count: need_int(ev, "flows")? as u32,
+        packet_size: need_int(ev, "psize")? as u32,
+        mtbr: need_num(ev, "mtbr")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seed: u64) -> FleetConfig {
+        let mut c = FleetConfig::small(seed);
+        c.portfolio = vec![(yala_sim::NicSpec::bluefield2(), 4)];
+        c.kinds = vec![NfKind::FlowStats, NfKind::Nat];
+        c
+    }
+
+    fn place(id: u32, kind: &str, flows: u32) -> String {
+        format!(
+            "{{\"op\":\"place\",\"id\":{id},\"kind\":\"{kind}\",\"qos\":\"guaranteed\",\
+             \"flows\":{flows},\"psize\":512,\"mtbr\":0.0,\"sla_drop\":0.1}}"
+        )
+    }
+
+    #[test]
+    fn greedy_serves_and_is_deterministic() {
+        let engine = Engine::sequential();
+        let c = cfg(7);
+        let msgs: Vec<String> = vec![
+            place(1, "nat", 20_000),
+            place(2, "flowstats", 40_000),
+            "{\"op\":\"query\",\"kind\":\"nat\",\"flows\":8000,\"psize\":256,\
+             \"mtbr\":0.0,\"sla_drop\":0.1}"
+                .to_string(),
+            place(3, "nat", 60_000),
+            "{\"op\":\"depart\",\"id\":2}".to_string(),
+            "{\"op\":\"fault\",\"nic\":0,\"kind\":\"fail\"}".to_string(),
+            "{\"op\":\"fault\",\"nic\":0,\"kind\":\"recover\"}".to_string(),
+            "{\"op\":\"stats\"}".to_string(),
+        ];
+        let drive = || {
+            let mut s = ServeLoop::new(&c, "greedy", &engine).expect("build");
+            msgs.iter()
+                .map(|m| s.handle_line(m, &engine))
+                .collect::<Vec<_>>()
+        };
+        let a = drive();
+        let b = drive();
+        assert_eq!(a, b, "same messages must produce identical responses");
+        assert!(a.iter().all(|r| r.starts_with("{\"ok\":true")), "{a:?}");
+        // Three placements, one departure, one failover: stats add up.
+        let stats = a.last().expect("stats response");
+        assert!(stats.contains("\"admissions\":3"), "{stats}");
+        assert!(stats.contains("\"departures\":1"), "{stats}");
+        assert!(stats.contains("\"queries\":1"), "{stats}");
+        assert!(stats.contains("\"nics_up\":4"), "{stats}");
+    }
+
+    #[test]
+    fn mono_refuses_to_share_and_rejects_when_full() {
+        let engine = Engine::sequential();
+        let mut c = cfg(9);
+        c.portfolio = vec![(yala_sim::NicSpec::bluefield2(), 2)];
+        let mut s = ServeLoop::new(&c, "mono", &engine).expect("build");
+        let r1 = s.handle_line(&place(1, "nat", 10_000), &engine);
+        let r2 = s.handle_line(&place(2, "nat", 10_000), &engine);
+        let r3 = s.handle_line(&place(3, "nat", 10_000), &engine);
+        assert!(r1.contains("\"nic\":0"), "{r1}");
+        assert!(r2.contains("\"nic\":1"), "{r2}");
+        assert!(
+            r3.contains("\"nic\":-1"),
+            "full mono fleet must reject: {r3}"
+        );
+    }
+
+    #[test]
+    fn malformed_requests_get_errors_not_panics() {
+        let engine = Engine::sequential();
+        let mut s = ServeLoop::new(&cfg(11), "greedy", &engine).expect("build");
+        for bad in [
+            "not json at all",
+            "{\"nop\":1}",
+            "{\"op\":\"warp\"}",
+            "{\"op\":\"place\",\"id\":1,\"kind\":\"timetravel\",\"flows\":1,\
+             \"psize\":64,\"mtbr\":0.0,\"sla_drop\":0.1}",
+            "{\"op\":\"place\",\"id\":-4,\"kind\":\"nat\",\"flows\":1,\"psize\":64,\
+             \"mtbr\":0.0,\"sla_drop\":0.1}",
+            "{\"op\":\"depart\",\"id\":99}",
+            "{\"op\":\"fault\",\"nic\":99,\"kind\":\"fail\"}",
+            "{\"op\":\"place\",\"id\":5,\"kind\":\"nat\",\"flows\":1,\"psize\":64,\
+             \"mtbr\":0.0,\"sla_drop\":1.5}",
+        ] {
+            let r = s.handle_line(bad, &engine);
+            assert!(r.starts_with("{\"ok\":false"), "{bad} => {r}");
+        }
+        // Duplicate id is an error; the original instance survives.
+        let ok = s.handle_line(&place(8, "nat", 5_000), &engine);
+        assert!(ok.starts_with("{\"ok\":true"), "{ok}");
+        let dup = s.handle_line(&place(8, "nat", 5_000), &engine);
+        assert!(dup.starts_with("{\"ok\":false"), "{dup}");
+    }
+
+    #[test]
+    fn snapshot_restore_continues_bit_identically() {
+        let engine = Engine::sequential();
+        let c = cfg(13);
+        let first: Vec<String> = vec![
+            place(1, "nat", 20_000),
+            place(2, "flowstats", 40_000),
+            "{\"op\":\"query\",\"kind\":\"nat\",\"flows\":8000,\"psize\":256,\
+             \"mtbr\":0.0,\"sla_drop\":0.1}"
+                .to_string(),
+            place(3, "nat", 60_000),
+            "{\"op\":\"fault\",\"nic\":0,\"kind\":\"fail\"}".to_string(),
+        ];
+        let second: Vec<String> = vec![
+            "{\"op\":\"fault\",\"nic\":0,\"kind\":\"recover\"}".to_string(),
+            place(4, "flowstats", 90_000),
+            "{\"op\":\"depart\",\"id\":1}".to_string(),
+            place(5, "nat", 15_000),
+            "{\"op\":\"stats\"}".to_string(),
+        ];
+        // Uninterrupted run.
+        let mut whole = ServeLoop::new(&c, "greedy", &engine).expect("build");
+        let mut whole_resp = Vec::new();
+        for m in first.iter().chain(&second) {
+            whole_resp.push(whole.handle_line(m, &engine));
+        }
+        // Interrupted run: drive half, snapshot, drop, restore, finish.
+        let mut half = ServeLoop::new(&c, "greedy", &engine).expect("build");
+        for m in &first {
+            half.handle_line(m, &engine);
+        }
+        let snap = half.snapshot();
+        drop(half);
+        let mut restored = ServeLoop::restore(&c, "greedy", &engine, &snap).expect("restore");
+        let tail: Vec<String> = second
+            .iter()
+            .map(|m| restored.handle_line(m, &engine))
+            .collect();
+        assert_eq!(
+            tail,
+            whole_resp[first.len()..],
+            "responses after restore must be bit-identical"
+        );
+        assert_eq!(
+            restored.snapshot(),
+            whole.snapshot(),
+            "final snapshots must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_mismatches() {
+        let engine = Engine::sequential();
+        let c = cfg(17);
+        let mut s = ServeLoop::new(&c, "greedy", &engine).expect("build");
+        s.handle_line(&place(1, "nat", 9_000), &engine);
+        let snap = s.snapshot();
+        assert!(ServeLoop::restore(&c, "mono", &engine, &snap).is_err());
+        assert!(ServeLoop::restore(&cfg(18), "greedy", &engine, &snap).is_err());
+        assert!(ServeLoop::restore(&c, "greedy", &engine, "").is_err());
+        let vandalized = snap.replacen("\"yala_serve_snapshot\":1", "\"yala_serve_snapshot\":7", 1);
+        assert!(ServeLoop::restore(&c, "greedy", &engine, &vandalized).is_err());
+        let truncated: String = snap.lines().take(1).map(|l| format!("{l}\n")).collect();
+        assert!(ServeLoop::restore(&c, "greedy", &engine, &truncated).is_err());
+        assert!(ServeLoop::restore(&c, "greedy", &engine, &snap).is_ok());
+    }
+
+    #[test]
+    fn yala_online_absorbs_observations() {
+        let engine = Engine::sequential();
+        let c = cfg(19);
+        let mut s = ServeLoop::new(&c, "yala-online", &engine).expect("build");
+        let r = s.handle_line(&place(1, "nat", 20_000), &engine);
+        assert!(r.contains("\"nic\":0"), "{r}");
+        // Feed synthetic audit observations through the wire format.
+        let mut obs_text = String::new();
+        let model = yala_sim::NicSpec::bluefield2().model();
+        let o = yala_core::Observation {
+            model,
+            kind: NfKind::Nat,
+            traffic: TrafficProfile::new(20_000, 512, 0.0),
+            competitors: yala_sim::CounterSample::default(),
+            accel_pressure: Vec::new(),
+            solo_tput: 1.0e7,
+            measured_tput: 9.0e6,
+        };
+        yala_fleet::write_observation(&mut obs_text, 0, &o);
+        let obs_line = obs_text
+            .trim()
+            .replacen("\"sn\":\"obs\"", "\"op\":\"observe\"", 1);
+        for _ in 0..3 {
+            let r = s.handle_line(&obs_line, &engine);
+            assert!(r.starts_with("{\"ok\":true"), "{r}");
+        }
+        let r = s.handle_line("{\"op\":\"absorb\"}", &engine);
+        assert!(r.contains("\"absorbed\":3"), "{r}");
+        assert!(r.contains("\"passes\":1"), "{r}");
+        // A frozen yala daemon ignores observations on absorb.
+        let mut frozen = ServeLoop::new(&c, "yala", &engine).expect("build");
+        frozen.handle_line(&obs_line, &engine);
+        let r = frozen.handle_line("{\"op\":\"absorb\"}", &engine);
+        assert!(r.contains("\"absorbed\":0"), "{r}");
+    }
+}
